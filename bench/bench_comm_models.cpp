@@ -1,0 +1,52 @@
+/// Extension bench: validates the calibrated static-contention phase
+/// model (used by the driver) against the event-driven store-and-forward
+/// reference on realistic halo patterns across machine sizes and
+/// mappings. The ratio column is the quantity to watch — the static
+/// model should track the reference within a small factor everywhere.
+
+#include "bench_common.hpp"
+
+#include "netsim/event_model.hpp"
+#include "procgrid/decomp.hpp"
+
+int main() {
+  using namespace nestwx;
+  util::Table table({"machine", "mapping", "static phase (ms)",
+                     "event-driven phase (ms)", "event/static ratio",
+                     "peak link utilisation"});
+  for (int cores : {256, 1024}) {
+    for (bool bgl : {true, false}) {
+      const auto machine = bgl ? workload::bluegene_l(cores)
+                               : workload::bluegene_p(cores);
+      const auto grid = procgrid::choose_grid(machine.total_ranks(), 286,
+                                              307);
+      const procgrid::Decomposition dec(286, 307, grid);
+      const netsim::PhaseSimulator stat(machine);
+      const netsim::EventPhaseSimulator event(machine);
+      std::vector<netsim::Message> msgs;
+      for (const auto& h : dec.halo_messages(machine.halo_width))
+        msgs.push_back({h.src_rank, h.dst_rank,
+                        stat.halo_message_bytes(h.elements)});
+      for (auto scheme : {core::MapScheme::xyzt,
+                          core::MapScheme::multilevel}) {
+        const auto part = core::huffman_partition(
+            grid.bounds(), std::vector<double>{0.6, 0.4});
+        const auto map = core::make_mapping(machine, grid, scheme, part);
+        const auto s = stat.run(map, msgs);
+        const auto e = event.run(map, msgs);
+        table.add_row({machine.name + " " + std::to_string(cores),
+                       core::to_string(scheme),
+                       util::Table::num(s.duration * 1e3, 3),
+                       util::Table::num(e.duration * 1e3, 3),
+                       util::Table::num(e.duration / s.duration, 2),
+                       util::Table::num(e.max_queue_depth, 2)});
+      }
+    }
+  }
+  bench::emit(table, "comm_models",
+              "Static-contention model vs event-driven reference "
+              "(286x307 halo phase)",
+              "extension: the driver's cheap model tracks the reference "
+              "within a small factor");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared plumbing for the reproduction benches: per-machine fitted
+/// performance models (profiling is deterministic, so they are cached),
+/// improvement helpers, and paper-vs-measured table emission.
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/planner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace nestwx::bench {
+
+/// Fit (and cache) the Delaunay perf model for a machine.
+inline const core::DelaunayPerfModel& model_for(
+    const topo::MachineParams& machine) {
+  static std::map<std::string, core::DelaunayPerfModel> cache;
+  const std::string key =
+      machine.name + ":" + std::to_string(machine.total_ranks());
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, core::DelaunayPerfModel::fit(wrfsim::profile_basis(
+                               machine, core::default_basis_domains())))
+             .first;
+  }
+  return it->second;
+}
+
+/// Percent improvement of `ours` over `baseline` formatted for tables.
+inline std::string pct(double baseline, double ours, int precision = 2) {
+  return util::Table::num(util::improvement_pct(baseline, ours), precision);
+}
+
+/// Print the table, mirror it to $NESTWX_BENCH_OUT/<name>.csv, and emit a
+/// uniform header so `for b in build/bench/*; do $b; done` output reads
+/// as a reproduction report.
+inline void emit(const util::Table& table, const std::string& name,
+                 const std::string& title, const std::string& paper_note) {
+  std::cout << "\n###### " << name << " — " << title << " ######\n";
+  if (!paper_note.empty()) std::cout << "paper: " << paper_note << "\n\n";
+  table.print(std::cout);
+  table.write_bench_csv(name);
+  std::cout << std::flush;
+}
+
+}  // namespace nestwx::bench

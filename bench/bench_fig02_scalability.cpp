@@ -1,0 +1,52 @@
+/// Reproduces paper Fig. 2: execution time per iteration of a WRF run
+/// over the Pacific parent domain (286×307 @ 24 km), with and without the
+/// 415×445 subdomain, on a Blue Gene/L rack. The nested run must saturate
+/// around 512 cores while the un-nested run keeps scaling further.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto cfg_nested = workload::fig2_config();
+  core::NestedConfig cfg_plain;  // parent only, modelled as a single
+  cfg_plain.name = "fig2-no-nest";  // "sibling" the size of the parent
+  cfg_plain.parent = workload::pacific_parent();
+  {
+    core::DomainSpec whole = workload::pacific_parent();
+    whole.name = "whole-domain";
+    whole.refinement_ratio = 1;
+    whole.parent_anchor_x = 0;
+    whole.parent_anchor_y = 0;
+    cfg_plain.siblings.push_back(whole);
+  }
+
+  util::Table table({"cores", "with subdomain (s/iter)",
+                     "without subdomain (s/iter)", "nested speedup vs 32"});
+  double nested32 = 0.0;
+  for (int cores : {32, 64, 128, 256, 512, 1024}) {
+    const auto machine = workload::bluegene_l(cores);
+    const auto& model = bench::model_for(machine);
+    const auto nested = wrfsim::simulate_run(
+        machine, cfg_nested,
+        core::plan_execution(machine, cfg_nested, model,
+                             core::Strategy::sequential,
+                             core::Allocator::huffman,
+                             core::MapScheme::txyz));
+    const auto plain = wrfsim::simulate_run(
+        machine, cfg_plain,
+        core::plan_execution(machine, cfg_plain, model,
+                             core::Strategy::sequential,
+                             core::Allocator::huffman,
+                             core::MapScheme::txyz));
+    if (cores == 32) nested32 = nested.integration;
+    table.add_row({std::to_string(cores),
+                   util::Table::num(nested.integration, 3),
+                   util::Table::num(plain.integration, 3),
+                   util::Table::num(nested32 / nested.integration, 2) + "x"});
+  }
+  bench::emit(table, "fig02_scalability",
+              "WRF scalability with and without a subdomain (BG/L)",
+              "nested-run performance saturates at about 512 processors "
+              "(Fig. 2)");
+  return 0;
+}

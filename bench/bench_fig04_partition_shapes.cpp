@@ -1,0 +1,73 @@
+/// Reproduces paper Fig. 3b + Fig. 4: the shapes of the processor-grid
+/// partitions. Fig. 3b: four nests with time ratios 0.15:0.3:0.35:0.2.
+/// Fig. 4: for k = 3, splitting the longer dimension first yields more
+/// square-like rectangles than splitting the shorter dimension first
+/// (the ablation of Algorithm 1's axis rule).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+void render(const nestwx::core::GridPartition& part) {
+  // ASCII sketch of the partition (one char per 2 processors in x).
+  const auto& g = part.grid;
+  for (int y = g.y1() - 1; y >= g.y0; --y) {
+    for (int x = g.x0; x < g.x1(); x += 2) {
+      char c = '?';
+      for (std::size_t i = 0; i < part.rects.size(); ++i)
+        if (part.rects[i].contains(x, y)) c = static_cast<char>('1' + i);
+      std::cout << c;
+    }
+    std::cout << '\n';
+  }
+}
+}  // namespace
+
+int main() {
+  using namespace nestwx;
+  const procgrid::Rect grid{0, 0, 32, 32};
+
+  const std::vector<double> fig3b{0.15, 0.3, 0.35, 0.2};
+  const auto part3b = core::huffman_partition(grid, fig3b);
+  std::cout << "###### fig03b_partition — processor space split in ratio "
+               "0.15:0.3:0.35:0.2 (Fig. 3b) ######\n";
+  render(part3b);
+  util::Table t3b({"nest", "ratio", "rect", "area share"});
+  for (std::size_t i = 0; i < fig3b.size(); ++i)
+    t3b.add_row({std::to_string(i + 1), util::Table::num(fig3b[i], 2),
+                 part3b.rects[i].to_string(),
+                 util::Table::num(
+                     100.0 * part3b.rects[i].area() / grid.area(), 1) +
+                     "%"});
+  bench::emit(t3b, "fig03b_partition", "Partition areas vs requested ratios",
+              "areas proportional to predicted execution times");
+
+  // Fig. 4 ablation on a 24x32 grid with k = 3 equal nests.
+  const procgrid::Rect grid43{0, 0, 24, 32};
+  const std::vector<double> equal3{1.0, 1.0, 1.0};
+  const auto longer = core::huffman_partition(grid43, equal3, {true});
+  const auto shorter = core::huffman_partition(grid43, equal3, {false});
+  std::cout << "\nFirst split along the LONGER dimension (Fig. 4a):\n";
+  render(longer);
+  std::cout << "\nFirst split along the SHORTER dimension (Fig. 4b):\n";
+  render(shorter);
+
+  util::Table t4({"variant", "rect 1", "rect 2", "rect 3",
+                  "worst elongation"});
+  auto worst = [](const core::GridPartition& p) {
+    double e = 0.0;
+    for (const auto& r : p.rects) e = std::max(e, r.elongation());
+    return e;
+  };
+  t4.add_row({"longer-first (paper)", longer.rects[0].to_string(),
+              longer.rects[1].to_string(), longer.rects[2].to_string(),
+              util::Table::num(worst(longer), 2)});
+  t4.add_row({"shorter-first (ablation)", shorter.rects[0].to_string(),
+              shorter.rects[1].to_string(), shorter.rects[2].to_string(),
+              util::Table::num(worst(shorter), 2)});
+  bench::emit(t4, "fig04_split_axis",
+              "Split-axis ablation, k = 3 on a 24x32 grid",
+              "Fig. 4: longer-dimension splits keep rectangles square-like");
+  return 0;
+}

@@ -1,0 +1,28 @@
+/// Reproduces paper Fig. 10: three large siblings (586×643, 856×919,
+/// 925×850) on 1024–8192 BG/P cores. Large nests saturate much later, so
+/// the concurrent strategy's benefit grows with the partition size:
+/// paper reports 1.33 % at 1024 cores rising to 20.64 % at 8192.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto cfg = workload::fig10_config();
+  util::Table table({"cores", "sequential (s/iter)", "concurrent (s/iter)",
+                     "improvement (%)"});
+  for (int cores : {1024, 2048, 4096, 8192}) {
+    const auto machine = workload::bluegene_p(cores);
+    const auto& model = bench::model_for(machine);
+    const auto cmp = wrfsim::compare_strategies(machine, cfg, model);
+    table.add_row(
+        {std::to_string(cores),
+         util::Table::num(cmp.sequential.integration, 3),
+         util::Table::num(cmp.concurrent_aware.integration, 3),
+         bench::pct(cmp.sequential.integration,
+                    cmp.concurrent_aware.integration)});
+  }
+  bench::emit(table, "fig10_large_nests",
+              "Three large siblings (586x643, 856x919, 925x850) on BG/P",
+              "Fig. 10: 1.33 % at 1024 cores growing to 20.64 % at 8192");
+  return 0;
+}

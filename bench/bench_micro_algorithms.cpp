@@ -1,0 +1,116 @@
+/// Google-benchmark microbenchmarks of the core algorithms: Delaunay
+/// construction and queries, Huffman partitioning, mapping generation and
+/// the network phase simulator. These guard the library's own costs (the
+/// paper's planning phase must be negligible next to one WRF iteration).
+
+#include <benchmark/benchmark.h>
+
+#include "core/allocation.hpp"
+#include "core/mapping.hpp"
+#include "core/perf_model.hpp"
+#include "geom/delaunay.hpp"
+#include "netsim/phase.hpp"
+#include "procgrid/decomp.hpp"
+#include "util/rng.hpp"
+#include "workload/machines.hpp"
+
+namespace {
+
+using namespace nestwx;
+
+std::vector<geom::Vec2> random_points(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geom::Vec2> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  return pts;
+}
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const auto pts = random_points(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    auto d = geom::Delaunay::build(pts);
+    benchmark::DoNotOptimize(d.triangles().size());
+  }
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(13)->Arg(50)->Arg(200);
+
+void BM_DelaunayLocate(benchmark::State& state) {
+  const auto pts = random_points(100, 23);
+  const auto d = geom::Delaunay::build(pts);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const geom::Vec2 q{rng.uniform(10, 90), rng.uniform(10, 90)};
+    benchmark::DoNotOptimize(d.locate(q));
+  }
+}
+BENCHMARK(BM_DelaunayLocate);
+
+void BM_PerfModelPredict(benchmark::State& state) {
+  std::vector<core::ProfilePoint> basis;
+  for (const auto& [nx, ny] : core::default_basis_domains())
+    basis.push_back({nx, ny, 1e-6 * nx * ny});
+  const auto model = core::DelaunayPerfModel::fit(basis);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    const int nx = static_cast<int>(rng.uniform_int(94, 415));
+    const int ny = static_cast<int>(rng.uniform_int(124, 445));
+    benchmark::DoNotOptimize(model.predict(nx, ny));
+  }
+}
+BENCHMARK(BM_PerfModelPredict);
+
+void BM_HuffmanPartition(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> weights;
+  for (int i = 0; i < k; ++i) weights.push_back(rng.uniform(0.1, 1.0));
+  const procgrid::Rect grid{0, 0, 64, 128};
+  for (auto _ : state) {
+    auto part = core::huffman_partition(grid, weights);
+    benchmark::DoNotOptimize(part.rects.size());
+  }
+}
+BENCHMARK(BM_HuffmanPartition)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_MappingGeneration(benchmark::State& state) {
+  const auto machine = workload::bluegene_p(4096);
+  const procgrid::Grid2D grid =
+      procgrid::choose_grid(machine.total_ranks(), 286, 307);
+  const auto part = core::huffman_partition(
+      grid.bounds(), std::vector<double>{0.4, 0.15, 0.16, 0.29});
+  const auto scheme = static_cast<core::MapScheme>(state.range(0));
+  for (auto _ : state) {
+    auto map = core::make_mapping(machine, grid, scheme, part);
+    benchmark::DoNotOptimize(map.nranks());
+  }
+}
+BENCHMARK(BM_MappingGeneration)
+    ->Arg(static_cast<int>(core::MapScheme::xyzt))
+    ->Arg(static_cast<int>(core::MapScheme::partition))
+    ->Arg(static_cast<int>(core::MapScheme::multilevel));
+
+void BM_PhaseSimulation(benchmark::State& state) {
+  const auto machine = workload::bluegene_p(
+      static_cast<int>(state.range(0)));
+  const procgrid::Grid2D grid =
+      procgrid::choose_grid(machine.total_ranks(), 286, 307);
+  const auto mapping =
+      core::make_mapping(machine, grid, core::MapScheme::txyz);
+  const netsim::PhaseSimulator sim(machine);
+  const procgrid::Decomposition dec(286, 307, grid);
+  std::vector<netsim::Message> msgs;
+  for (const auto& h : dec.halo_messages(machine.halo_width))
+    msgs.push_back({h.src_rank, h.dst_rank,
+                    sim.halo_message_bytes(h.elements)});
+  for (auto _ : state) {
+    auto stats = sim.run(mapping, msgs);
+    benchmark::DoNotOptimize(stats.duration);
+  }
+}
+BENCHMARK(BM_PhaseSimulation)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

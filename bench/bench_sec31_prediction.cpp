@@ -1,0 +1,82 @@
+/// Reproduces paper §3.1 + Fig. 3a: the Delaunay-interpolation performance
+/// model. Profiles the 13 basis domains on a fixed processor count, fits
+/// both the paper's model and the naive points-proportional model, then
+/// predicts unseen test domains (55 900–94 990 points, aspect 0.5–1.5) and
+/// compares against direct simulation. Paper: <6 % error for the model,
+/// >19 % for the naive feature. Also prints the triangulation (Fig. 3a).
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+
+int main() {
+  using namespace nestwx;
+  const auto machine = workload::bluegene_l(512);
+  const auto basis =
+      wrfsim::profile_basis(machine, core::default_basis_domains());
+  const auto model = core::DelaunayPerfModel::fit(basis);
+  const auto naive = core::PointsProportionalModel::fit(basis);
+  const auto regression = core::RegressionModel::fit(basis);
+
+  util::Table tri({"basis domain", "aspect", "points", "time (s)"});
+  for (const auto& b : basis)
+    tri.add_row({std::to_string(b.nx) + "x" + std::to_string(b.ny),
+                 util::Table::num(b.aspect(), 3),
+                 util::Table::num(b.points(), 0),
+                 util::Table::num(b.time, 4)});
+  bench::emit(tri, "fig03a_basis",
+              "13 profiled basis domains (Delaunay vertices, Fig. 3a)",
+              "13 domains covering sizes 94x124…415x445, aspect 0.5–1.5");
+
+  util::Table tstats(
+      {"triangles", "hull vertices", "delaunay violations"});
+  tstats.add_row(
+      {std::to_string(model.triangulation().triangles().size()),
+       std::to_string(model.triangulation().hull().size()),
+       std::to_string(model.triangulation().delaunay_violations())});
+  bench::emit(tstats, "fig03a_triangulation",
+              "Triangulation of the basis point set", "");
+
+  util::Rng rng(31);
+  util::Accumulator err_model, err_naive, err_reg;
+  util::Table sample({"test domain", "measured (s)", "model (s)",
+                      "model err %", "naive (s)", "naive err %"});
+  const int trials = 40;
+  for (int k = 0; k < trials; ++k) {
+    const double aspect = rng.uniform(0.55, 1.45);
+    const double points = rng.uniform(55900.0, 94990.0);
+    const int nx = static_cast<int>(std::lround(std::sqrt(points * aspect)));
+    const int ny = static_cast<int>(std::lround(nx / aspect));
+    const double truth = wrfsim::profile_basis(machine, {{nx, ny}})[0].time;
+    const double pm = model.predict(nx, ny);
+    const double pn = naive.predict(nx, ny);
+    const double em = util::relative_error_pct(pm, truth);
+    const double en = util::relative_error_pct(pn, truth);
+    err_model.add(em);
+    err_naive.add(en);
+    err_reg.add(util::relative_error_pct(regression.predict(nx, ny), truth));
+    if (k < 10)
+      sample.add_row({std::to_string(nx) + "x" + std::to_string(ny),
+                      util::Table::num(truth, 4), util::Table::num(pm, 4),
+                      util::Table::num(em, 2), util::Table::num(pn, 4),
+                      util::Table::num(en, 2)});
+  }
+  bench::emit(sample, "sec31_prediction_sample",
+              "Prediction on unseen test domains (first 10 of 40)", "");
+
+  util::Table summary({"model", "mean error %", "max error %"});
+  summary.add_row({"Delaunay interpolation (ours)",
+                   util::Table::num(err_model.summary().mean, 2),
+                   util::Table::num(err_model.summary().max, 2)});
+  summary.add_row({"points-proportional (naive)",
+                   util::Table::num(err_naive.summary().mean, 2),
+                   util::Table::num(err_naive.summary().max, 2)});
+  summary.add_row({"OLS regression (Delgado-style, section 2.1)",
+                   util::Table::num(err_reg.summary().mean, 2),
+                   util::Table::num(err_reg.summary().max, 2)});
+  bench::emit(summary, "sec31_prediction_error",
+              "Prediction error over 40 unseen domains",
+              "paper §3.1: <6 % (ours) vs >19 % (naive)");
+  return 0;
+}

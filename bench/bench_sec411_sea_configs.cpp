@@ -1,0 +1,37 @@
+/// Reproduces the paper's §4.1.1 South-East-Asia evaluation set: eight
+/// configurations with varying nesting depth and sibling counts (five
+/// with first-level siblings, three with second-level siblings) run on
+/// 2048 BG/P cores, comparing the default sequential strategy against
+/// concurrent execution at every nesting level.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto machine = workload::bluegene_p(2048);
+  const auto& model = bench::model_for(machine);
+
+  util::Table table({"configuration", "siblings", "2nd-level",
+                     "sequential (s/iter)", "concurrent (s/iter)",
+                     "improvement (%)"});
+  util::Accumulator gains;
+  for (const auto& cfg : workload::sea_configs()) {
+    const auto cmp = wrfsim::compare_strategies(machine, cfg, model);
+    const double gain = util::improvement_pct(
+        cmp.sequential.integration, cmp.concurrent_aware.integration);
+    gains.add(gain);
+    table.add_row({cfg.name, std::to_string(cfg.siblings.size()),
+                   std::to_string(cfg.second_level.size()),
+                   util::Table::num(cmp.sequential.integration, 3),
+                   util::Table::num(cmp.concurrent_aware.integration, 3),
+                   util::Table::num(gain, 2)});
+  }
+  table.add_row({"average", "-", "-", "-", "-",
+                 util::Table::num(gains.summary().mean, 2)});
+  bench::emit(table, "sec411_sea_configs",
+              "The eight South-East-Asia configurations on 2048 BG/P "
+              "cores",
+              "§4.1.1: five first-level and three second-level sibling "
+              "configurations");
+  return 0;
+}

@@ -1,0 +1,33 @@
+/// Extension bench (paper §4.1.1): a South-East-Asia style configuration
+/// with siblings at the *second* level of nesting — two 4.5 km nests in a
+/// 13.5 km parent, carrying three 1.5 km innermost nests between them.
+/// Compares the default fully-sequential strategy against concurrent
+/// execution at both nesting levels.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto cfg = workload::sea_second_level_config();
+  util::Table table({"cores", "sequential (s/iter)",
+                     "concurrent both levels (s/iter)", "improvement (%)",
+                     "wait improvement (%)"});
+  for (int cores : {1024, 2048, 4096}) {
+    const auto machine = workload::bluegene_p(cores);
+    const auto& model = bench::model_for(machine);
+    const auto cmp = wrfsim::compare_strategies(machine, cfg, model);
+    table.add_row({std::to_string(cores),
+                   util::Table::num(cmp.sequential.integration, 3),
+                   util::Table::num(cmp.concurrent_aware.integration, 3),
+                   bench::pct(cmp.sequential.integration,
+                              cmp.concurrent_aware.integration),
+                   bench::pct(cmp.sequential.avg_wait,
+                              cmp.concurrent_aware.avg_wait)});
+  }
+  bench::emit(table, "second_level_nesting",
+              "Two-level nested configuration (2 nests @4.5 km, 3 inner "
+              "@1.5 km) on BG/P",
+              "§4.1.1 configurations with siblings at the second level of "
+              "nesting");
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// Reproduces paper Table 1: average and maximum improvement in MPI_Wait
+/// time of the concurrent strategy over the default sequential strategy,
+/// on 1024 BG/L cores and 512–4096 BG/P cores, over a pool of random
+/// configurations.
+/// Paper: 38.42/66.30 (BG/L 1024), 30.70/60.92 (BG/P 512), 36.01/60.11
+/// (1024), 27.02/55.54 (2048), 28.68/43.86 (4096).
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nestwx;
+  struct Row {
+    const char* label;
+    topo::MachineParams machine;
+    const char* paper;
+  };
+  const std::vector<Row> rows{
+      {"1024 on BG/L", workload::bluegene_l(1024), "38.42 / 66.30"},
+      {"512 on BG/P", workload::bluegene_p(512), "30.70 / 60.92"},
+      {"1024 on BG/P", workload::bluegene_p(1024), "36.01 / 60.11"},
+      {"2048 on BG/P", workload::bluegene_p(2048), "27.02 / 55.54"},
+      {"4096 on BG/P", workload::bluegene_p(4096), "28.68 / 43.86"},
+  };
+
+  util::Table table({"#processors", "paper avg/max (%)", "measured avg (%)",
+                     "measured max (%)"});
+  for (const auto& row : rows) {
+    const auto& model = bench::model_for(row.machine);
+    util::Rng rng(7);
+    const auto configs = workload::random_configs(rng, 20);
+    util::Accumulator gain;
+    for (const auto& cfg : configs) {
+      const auto cmp =
+          wrfsim::compare_strategies(row.machine, cfg, model);
+      gain.add(util::improvement_pct(cmp.sequential.avg_wait,
+                                     cmp.concurrent_aware.avg_wait));
+    }
+    table.add_row({row.label, row.paper,
+                   util::Table::num(gain.summary().mean, 2),
+                   util::Table::num(gain.summary().max, 2)});
+  }
+  bench::emit(table, "table1_wait",
+              "MPI_Wait improvement, concurrent vs default (20 configs "
+              "per machine)",
+              "Table 1");
+  return 0;
+}

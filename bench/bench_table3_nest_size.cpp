@@ -1,0 +1,37 @@
+/// Reproduces paper Table 3 (varying sibling sizes): larger nests need
+/// more processors before they saturate, so the improvement from the
+/// concurrent strategy shrinks with nest size on a fixed machine budget.
+/// Paper (≤8192 BG/P cores): 25.62 % for max nest 205×223, 21.87 % for
+/// 394×418, 10.11 % for 925×820.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nestwx;
+  struct Family {
+    const char* max_size;
+    core::NestedConfig cfg;
+    const char* paper;
+    int cores;
+  };
+  const std::vector<Family> families{
+      {"205x223", workload::table3_config_small(), "25.62", 2048},
+      {"394x418", workload::table3_config_medium(), "21.87", 2048},
+      {"925x820", workload::table3_config_large(), "10.11", 2048},
+  };
+
+  util::Table table({"maximum nest size", "paper improvement (%)",
+                     "measured improvement (%)"});
+  for (const auto& f : families) {
+    const auto machine = workload::bluegene_p(f.cores);
+    const auto& model = bench::model_for(machine);
+    const auto cmp = wrfsim::compare_strategies(machine, f.cfg, model);
+    table.add_row({f.max_size, f.paper,
+                   bench::pct(cmp.sequential.integration,
+                              cmp.concurrent_aware.integration)});
+  }
+  bench::emit(table, "table3_nest_size",
+              "Improvement vs maximum nest size (BG/P)",
+              "Table 3: larger nests -> smaller improvement");
+  return 0;
+}

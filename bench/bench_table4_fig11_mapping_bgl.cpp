@@ -1,0 +1,67 @@
+/// Reproduces paper Table 4 + Fig. 11: per-iteration execution times of
+/// the default sequential strategy vs the concurrent strategy under
+/// topology-oblivious, partition, multi-level and TXYZ mappings, on 1024
+/// BG/L cores, for five sibling configurations (2/2/2/3/4 siblings), plus
+/// the corresponding execution-time and MPI_Wait improvements.
+/// Paper row 1: 2.77 / 2.25 / 2.10 / 2.07 / 2.12 seconds.
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto machine = workload::bluegene_l(1024);
+  const auto& model = bench::model_for(machine);
+
+  util::Rng rng(44);
+  std::vector<core::NestedConfig> configs;
+  {
+    auto pool2 = workload::random_configs(rng, 3, 2, 2);
+    auto pool3 = workload::random_configs(rng, 1, 3, 3);
+    configs.insert(configs.end(), pool2.begin(), pool2.end());
+    configs.insert(configs.end(), pool3.begin(), pool3.end());
+    configs.push_back(workload::table2_config());
+  }
+
+  util::Table table({"config", "default (s)", "topology-oblivious (s)",
+                     "partition (s)", "multi-level (s)", "TXYZ (s)"});
+  util::Table improv({"config", "oblivious vs default (%)",
+                      "partition vs default (%)",
+                      "multi-level vs default (%)",
+                      "wait: multi-level vs default (%)"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& cfg = configs[i];
+    auto run = [&](core::Strategy st, core::MapScheme sc) {
+      return wrfsim::simulate_run(
+          machine, cfg,
+          core::plan_execution(machine, cfg, model, st,
+                               core::Allocator::huffman, sc));
+    };
+    const auto def = run(core::Strategy::sequential, core::MapScheme::xyzt);
+    const auto obl = run(core::Strategy::concurrent, core::MapScheme::xyzt);
+    const auto part =
+        run(core::Strategy::concurrent, core::MapScheme::partition);
+    const auto ml =
+        run(core::Strategy::concurrent, core::MapScheme::multilevel);
+    const auto txyz =
+        run(core::Strategy::concurrent, core::MapScheme::txyz);
+    const std::string name =
+        cfg.name + " (" + std::to_string(cfg.siblings.size()) + " sib)";
+    table.add_row({name, util::Table::num(def.integration, 2),
+                   util::Table::num(obl.integration, 2),
+                   util::Table::num(part.integration, 2),
+                   util::Table::num(ml.integration, 2),
+                   util::Table::num(txyz.integration, 2)});
+    improv.add_row({name, bench::pct(def.integration, obl.integration),
+                    bench::pct(def.integration, part.integration),
+                    bench::pct(def.integration, ml.integration),
+                    bench::pct(def.avg_wait, ml.avg_wait)});
+  }
+  bench::emit(table, "table4_mapping_bgl",
+              "Execution times per iteration by mapping (1024 BG/L cores)",
+              "Table 4, e.g. 2.77 / 2.25 / 2.10 / 2.07 / 2.12 s");
+  bench::emit(improv, "fig11_mapping_improvements",
+              "Improvements over the default strategy (BG/L)",
+              "Fig. 11: execution-time and MPI_Wait improvements");
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Reproduces paper Table 5 + Fig. 12: mapping comparison on 4096 BG/P
+/// cores for 4/4/3-sibling configurations (Table 5, e.g. 5.43 / 3.94 /
+/// 3.92 / 3.93 s), the MPI_Wait improvements (>50 % on average, Fig. 12a)
+/// and the reduction in average hops (~50 %, Fig. 12b).
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nestwx;
+  const auto machine = workload::bluegene_p(4096);
+  const auto& model = bench::model_for(machine);
+
+  util::Rng rng(55);
+  std::vector<core::NestedConfig> configs =
+      workload::random_configs(rng, 2, 4, 4);
+  {
+    auto pool3 = workload::random_configs(rng, 1, 3, 3);
+    configs.insert(configs.end(), pool3.begin(), pool3.end());
+  }
+
+  util::Table table({"config", "default (s)", "topology-oblivious (s)",
+                     "partition (s)", "multi-level (s)"});
+  util::Table waits({"config", "wait improvement: oblivious (%)",
+                     "partition (%)", "multi-level (%)"});
+  util::Table hops({"config", "default avg hops", "multi-level avg hops",
+                    "hop reduction (%)"});
+  for (const auto& cfg : configs) {
+    auto run = [&](core::Strategy st, core::MapScheme sc) {
+      return wrfsim::simulate_run(
+          machine, cfg,
+          core::plan_execution(machine, cfg, model, st,
+                               core::Allocator::huffman, sc));
+    };
+    const auto def = run(core::Strategy::sequential, core::MapScheme::xyzt);
+    const auto obl = run(core::Strategy::concurrent, core::MapScheme::xyzt);
+    const auto part =
+        run(core::Strategy::concurrent, core::MapScheme::partition);
+    const auto ml =
+        run(core::Strategy::concurrent, core::MapScheme::multilevel);
+    const std::string name =
+        cfg.name + " (" + std::to_string(cfg.siblings.size()) + " sib)";
+    table.add_row({name, util::Table::num(def.integration, 2),
+                   util::Table::num(obl.integration, 2),
+                   util::Table::num(part.integration, 2),
+                   util::Table::num(ml.integration, 2)});
+    waits.add_row({name, bench::pct(def.avg_wait, obl.avg_wait),
+                   bench::pct(def.avg_wait, part.avg_wait),
+                   bench::pct(def.avg_wait, ml.avg_wait)});
+    hops.add_row({name, util::Table::num(def.avg_hops, 2),
+                  util::Table::num(ml.avg_hops, 2),
+                  bench::pct(def.avg_hops, ml.avg_hops)});
+  }
+  bench::emit(table, "table5_mapping_bgp",
+              "Execution times per iteration by mapping (4096 BG/P cores)",
+              "Table 5, e.g. 5.43 / 3.94 / 3.92 / 3.93 s");
+  bench::emit(waits, "fig12a_wait_improvements",
+              "MPI_Wait improvements over the default strategy (BG/P)",
+              "Fig. 12a: >50 % decrease on average");
+  bench::emit(hops, "fig12b_hop_reduction",
+              "Average hop reduction with topology-aware mapping (BG/P)",
+              "Fig. 12b: ~50 % reduction in average number of hops");
+  return 0;
+}

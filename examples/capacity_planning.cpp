@@ -1,0 +1,82 @@
+/// \file capacity_planning.cpp
+/// Operational question the paper's §4.3.3 raises: how many cores should
+/// a forecast with several large nests request, and when does the
+/// concurrent sibling strategy start paying off?
+///
+/// Sweeps Blue Gene/P partition sizes for a chosen nest family, prints
+/// time-per-iteration and efficiency for both strategies, and marks the
+/// sweet spot (the smallest partition within 10 % of the best total
+/// time).
+///
+/// Usage: capacity_planning [--family=small|medium|large]
+///                          [--min-cores=512] [--max-cores=8192]
+
+#include <iostream>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestwx;
+  const util::Cli cli(argc, argv);
+  const std::string family = cli.get("family", "large");
+  const int min_cores = static_cast<int>(cli.get_int("min-cores", 512));
+  const int max_cores = static_cast<int>(cli.get_int("max-cores", 8192));
+
+  const auto config = family == "small"   ? workload::table3_config_small()
+                      : family == "medium" ? workload::table3_config_medium()
+                                           : workload::table3_config_large();
+  std::cout << "capacity_planning: family '" << family << "' — "
+            << config.siblings.size() << " nests, largest "
+            << config.siblings[0].nx << "x" << config.siblings[0].ny
+            << "\n\n";
+
+  util::Table table({"cores", "sequential (s/iter)", "concurrent (s/iter)",
+                     "improvement", "seq speedup", "conc speedup"});
+  double seq_base = 0.0, conc_base = 0.0;
+  int base_cores = 0;
+  std::vector<std::pair<int, double>> totals;
+  for (int cores = min_cores; cores <= max_cores; cores *= 2) {
+    const auto machine = workload::bluegene_p(cores);
+    const auto model = core::DelaunayPerfModel::fit(
+        wrfsim::profile_basis(machine, core::default_basis_domains()));
+    const auto cmp = wrfsim::compare_strategies(machine, config, model);
+    if (base_cores == 0) {
+      base_cores = cores;
+      seq_base = cmp.sequential.integration;
+      conc_base = cmp.concurrent_aware.integration;
+    }
+    totals.emplace_back(cores, cmp.concurrent_aware.integration);
+    table.add_row(
+        {std::to_string(cores),
+         util::Table::num(cmp.sequential.integration, 3),
+         util::Table::num(cmp.concurrent_aware.integration, 3),
+         util::Table::num(
+             util::improvement_pct(cmp.sequential.integration,
+                                   cmp.concurrent_aware.integration),
+             1) + "%",
+         util::Table::num(seq_base / cmp.sequential.integration, 2) + "x",
+         util::Table::num(conc_base / cmp.concurrent_aware.integration, 2) +
+             "x"});
+  }
+  table.print(std::cout, "Partition-size sweep (" + family + " nests)");
+
+  double best = totals.back().second;
+  for (const auto& [cores, t] : totals) best = std::min(best, t);
+  for (const auto& [cores, t] : totals) {
+    if (t <= 1.10 * best) {
+      std::cout << "\nSweet spot: " << cores
+                << " cores — within 10% of the best concurrent time ("
+                << util::Table::num(best, 3) << " s/iter); larger "
+                << "partitions mostly buy idle processors.\n";
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// \file mapping_explorer.cpp
+/// Visual tour of the 2-D → 3-D mapping heuristics (paper §3.3) on the
+/// small Fig. 5/6 machine: prints each z-plane of the torus with the
+/// virtual rank placed on every node, then compares hop statistics of all
+/// four schemes for the sibling and parent halo patterns, and writes Blue
+/// Gene-style mapfiles.
+///
+/// Usage: mapping_explorer [--cores=32] [--mapfiles]
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "core/mapping.hpp"
+#include "procgrid/grid2d.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestwx;
+  const util::Cli cli(argc, argv);
+  const bool mapfiles = cli.get_bool("mapfiles", false);
+
+  // The paper's illustration machine: 4x4x2 torus, one rank per node,
+  // 8x4 virtual grid with two equal sibling partitions.
+  topo::MachineParams machine;
+  machine.name = "fig5-demo";
+  machine.torus_x = 4;
+  machine.torus_y = 4;
+  machine.torus_z = 2;
+  machine.cores_per_node = 1;
+  machine.mode = topo::NodeMode::smp;
+
+  const procgrid::Grid2D grid(8, 4);
+  core::GridPartition part;
+  part.grid = grid.bounds();
+  part.rects = {procgrid::Rect{0, 0, 4, 4}, procgrid::Rect{4, 0, 4, 4}};
+
+  std::cout << "Virtual 8x4 process grid; ranks 0-3,8-11,16-19,24-27 form\n"
+               "sibling 1 and the rest sibling 2 (paper Fig. 5a):\n\n";
+  for (int y = grid.py() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.px(); ++x)
+      std::cout << std::setw(4) << grid.rank(x, y);
+    std::cout << '\n';
+  }
+
+  const std::map<core::MapScheme, const char*> blurb{
+      {core::MapScheme::xyzt, "topology-oblivious sequential (Fig. 5b)"},
+      {core::MapScheme::txyz, "Blue Gene default TXYZ"},
+      {core::MapScheme::partition, "partition mapping (Fig. 6a)"},
+      {core::MapScheme::multilevel, "multi-level fold (Fig. 6b)"}};
+
+  // Halo patterns.
+  core::CommPattern parent_pat;
+  for (int r = 0; r < grid.size(); ++r)
+    for (int n : grid.neighbors(r)) parent_pat.add(r, n);
+  auto sibling_pat = [&](const procgrid::Rect& rect) {
+    core::CommPattern pat;
+    for (int y = rect.y0; y < rect.y1(); ++y)
+      for (int x = rect.x0; x < rect.x1(); ++x) {
+        if (x + 1 < rect.x1()) pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+        if (y + 1 < rect.y1()) pat.add(grid.rank(x, y), grid.rank(x, y + 1));
+      }
+    return pat;
+  };
+
+  util::Table table({"scheme", "sib1 avg hops", "sib2 avg hops",
+                     "parent avg hops", "parent max hops"});
+  for (const auto& [scheme, label] : blurb) {
+    const auto map = core::make_mapping(machine, grid, scheme, part);
+    std::cout << "\n== " << core::to_string(scheme) << " — " << label
+              << " ==\n";
+    for (int z = 0; z < machine.torus_z; ++z) {
+      std::cout << "z=" << z << ":\n";
+      for (int y = machine.torus_y - 1; y >= 0; --y) {
+        for (int x = 0; x < machine.torus_x; ++x) {
+          int who = -1;
+          for (int r = 0; r < map.nranks(); ++r)
+            if (map.placement(r).node == topo::Coord3{x, y, z}) who = r;
+          std::cout << std::setw(4) << who;
+        }
+        std::cout << '\n';
+      }
+    }
+    table.add_row(
+        {core::to_string(scheme),
+         util::Table::num(core::average_hops(map, sibling_pat(part.rects[0])),
+                          2),
+         util::Table::num(core::average_hops(map, sibling_pat(part.rects[1])),
+                          2),
+         util::Table::num(core::average_hops(map, parent_pat), 2),
+         std::to_string(core::max_hops(map, parent_pat))});
+    if (mapfiles)
+      map.write_mapfile("mapfile_" + core::to_string(scheme) + ".txt");
+  }
+  std::cout << '\n';
+  table.print(std::cout, "Hop statistics by mapping scheme");
+  if (mapfiles)
+    std::cout << "\nMapfiles written as mapfile_<scheme>.txt\n";
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+bool GridPartition::is_exact_tiling() const {
+  long long covered = 0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const auto& r = rects[i];
+    if (r.empty() || !grid.contains(r)) return false;
+    covered += r.area();
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      if (procgrid::overlaps(r, rects[j])) return false;
+  }
+  return covered == grid.area();
+}
+
+double GridPartition::max_overallocation(
+    std::span<const double> weights) const {
+  NESTWX_REQUIRE(weights.size() == rects.size(),
+                 "one weight per rectangle required");
+  const double total_w = std::accumulate(weights.begin(), weights.end(), 0.0);
+  NESTWX_REQUIRE(total_w > 0.0, "weights must sum to a positive value");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const double share = weights[i] / total_w;
+    const double got =
+        static_cast<double>(rects[i].area()) / static_cast<double>(grid.area());
+    worst = std::max(worst, got / share);
+  }
+  return worst;
+}
+
+int proportional_split(int extent, double wl, double wr, int min_left,
+                       int min_right) {
+  NESTWX_REQUIRE(wl > 0.0 && wr > 0.0, "split weights must be positive");
+  NESTWX_REQUIRE(min_left >= 1 && min_right >= 1, "parts must be non-empty");
+  NESTWX_REQUIRE(min_left + min_right <= extent,
+                 "extent too small to split into required minimum parts");
+  const auto raw =
+      static_cast<int>(std::llround(extent * wl / (wl + wr)));
+  return std::clamp(raw, min_left, extent - min_right);
+}
+
+namespace {
+
+/// Recursively realise the Huffman split-tree over concrete rectangles
+/// (Algorithm 1 lines 2–19, with origins tracked and integer rounding).
+void split_node(const HuffmanTree& tree, int node, const procgrid::Rect& rect,
+                const SplitOptions& options,
+                std::vector<procgrid::Rect>& out) {
+  const auto& n = tree.node(node);
+  if (n.is_leaf()) {
+    NESTWX_ASSERT(!rect.empty(), "leaf received an empty rectangle");
+    out[static_cast<std::size_t>(n.leaf_id)] = rect;
+    return;
+  }
+  const double wl = tree.weight_under(n.left);
+  const double wr = tree.weight_under(n.right);
+  const auto kl = static_cast<int>(tree.leaves_under(n.left).size());
+  const auto kr = static_cast<int>(tree.leaves_under(n.right).size());
+
+  // Choose the axis: the longer dimension by default (keeps rectangles
+  // square-like, Fig. 4a); the ablation flips to the shorter one.
+  const bool split_y = options.split_longer_dimension ? (rect.w <= rect.h)
+                                                      : (rect.w > rect.h);
+  procgrid::Rect left = rect;
+  procgrid::Rect right = rect;
+  if (split_y) {
+    const int min_l = std::max(1, (kl + rect.w - 1) / rect.w);
+    const int min_r = std::max(1, (kr + rect.w - 1) / rect.w);
+    NESTWX_REQUIRE(min_l + min_r <= rect.h,
+                   "grid too small to host all sibling rectangles");
+    const int hl = proportional_split(rect.h, wl, wr, min_l, min_r);
+    left.h = hl;
+    right.y0 = rect.y0 + hl;
+    right.h = rect.h - hl;
+  } else {
+    const int min_l = std::max(1, (kl + rect.h - 1) / rect.h);
+    const int min_r = std::max(1, (kr + rect.h - 1) / rect.h);
+    NESTWX_REQUIRE(min_l + min_r <= rect.w,
+                   "grid too small to host all sibling rectangles");
+    const int wl_cols = proportional_split(rect.w, wl, wr, min_l, min_r);
+    left.w = wl_cols;
+    right.x0 = rect.x0 + wl_cols;
+    right.w = rect.w - wl_cols;
+  }
+  split_node(tree, n.left, left, options, out);
+  split_node(tree, n.right, right, options, out);
+}
+
+}  // namespace
+
+GridPartition huffman_partition(const procgrid::Rect& grid,
+                                std::span<const double> weights,
+                                const SplitOptions& options) {
+  NESTWX_REQUIRE(!grid.empty(), "cannot partition an empty grid");
+  NESTWX_REQUIRE(!weights.empty(), "need at least one sibling weight");
+  NESTWX_REQUIRE(grid.area() >= static_cast<long long>(weights.size()),
+                 "fewer grid cells than siblings");
+
+  GridPartition result;
+  result.grid = grid;
+  result.rects.resize(weights.size());
+  if (weights.size() == 1) {
+    result.rects[0] = grid;
+    return result;
+  }
+  const HuffmanTree tree = build_huffman(weights);
+  split_node(tree, tree.root, grid, options, result.rects);
+  NESTWX_ASSERT(result.is_exact_tiling(),
+                "Huffman partition failed to tile the grid exactly");
+  return result;
+}
+
+GridPartition strip_partition(const procgrid::Rect& grid,
+                              std::span<const double> weights) {
+  NESTWX_REQUIRE(!grid.empty(), "cannot partition an empty grid");
+  NESTWX_REQUIRE(!weights.empty(), "need at least one sibling weight");
+  const auto k = static_cast<int>(weights.size());
+  NESTWX_REQUIRE(grid.w >= k, "fewer grid columns than siblings");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  NESTWX_REQUIRE(total > 0.0, "weights must sum to a positive value");
+
+  GridPartition result;
+  result.grid = grid;
+  result.rects.reserve(weights.size());
+  // Every sibling gets one column, then remaining columns go one at a time
+  // to the sibling furthest below its proportional share.
+  std::vector<int> cols(weights.size(), 1);
+  for (int assigned = k; assigned < grid.w; ++assigned) {
+    std::size_t best = 0;
+    double best_deficit = -1.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double ideal = grid.w * weights[i] / total;
+      const double deficit = ideal - cols[i];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = i;
+      }
+    }
+    cols[best] += 1;
+  }
+  int x = grid.x0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    result.rects.push_back(procgrid::Rect{x, grid.y0, cols[i], grid.h});
+    x += cols[i];
+  }
+  NESTWX_ASSERT(result.is_exact_tiling(),
+                "strip partition failed to tile the grid exactly");
+  return result;
+}
+
+GridPartition equal_partition(const procgrid::Rect& grid, int k) {
+  NESTWX_REQUIRE(k >= 1, "need at least one sibling");
+  std::vector<double> weights(static_cast<std::size_t>(k), 1.0);
+  return huffman_partition(grid, weights);
+}
+
+}  // namespace nestwx::core

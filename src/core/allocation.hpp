@@ -1,0 +1,67 @@
+#pragma once
+/// \file allocation.hpp
+/// Processor allocation for concurrent sibling nests (paper §3.2).
+///
+/// The virtual Px × Py processor grid is partitioned into k disjoint
+/// rectangles, one per nested simulation, with areas proportional to the
+/// siblings' predicted execution-time ratios. The paper's Algorithm 1
+/// builds a Huffman tree over the ratios and converts it into a balanced
+/// split-tree over the grid, always splitting the longer dimension so the
+/// rectangles stay square-like (minimising the difference between X and Y
+/// halo communication volume).
+
+#include <span>
+#include <vector>
+
+#include "core/huffman.hpp"
+#include "procgrid/rect.hpp"
+
+namespace nestwx::core {
+
+/// A disjoint rectangular partition of a processor grid; rects() is
+/// indexed by sibling (input weight) order.
+struct GridPartition {
+  procgrid::Rect grid;                ///< the partitioned grid
+  std::vector<procgrid::Rect> rects;  ///< one per sibling, input order
+
+  /// True when rects are pairwise disjoint and exactly tile `grid`.
+  bool is_exact_tiling() const;
+
+  /// max over siblings of rect_area / (grid_area · weight_share) — 1.0 is
+  /// a perfectly proportional allocation.
+  double max_overallocation(std::span<const double> weights) const;
+};
+
+/// Which dimension a split divides.
+enum class SplitAxis { x, y };
+
+/// Controls for the recursive splitter (used by the Fig. 4 ablation).
+struct SplitOptions {
+  /// Paper default: split the longer dimension. The ablation flips this.
+  bool split_longer_dimension = true;
+};
+
+/// Algorithm 1: Huffman tree + balanced split-tree partitioning.
+/// `weights` are the predicted execution-time ratios (any positive scale).
+/// Every rectangle is guaranteed non-empty; throws PreconditionError when
+/// the grid cannot host k non-empty rectangles (grid area < k).
+GridPartition huffman_partition(const procgrid::Rect& grid,
+                                std::span<const double> weights,
+                                const SplitOptions& options = {});
+
+/// Naive baseline (§4.6): subdivide the grid into consecutive vertical
+/// strips whose widths are proportional to the weights (in the paper the
+/// naive weights are the siblings' point counts).
+GridPartition strip_partition(const procgrid::Rect& grid,
+                              std::span<const double> weights);
+
+/// Equal-share baseline: huffman_partition with all weights equal.
+GridPartition equal_partition(const procgrid::Rect& grid, int k);
+
+/// Split `extent` into two positive parts in the ratio wl : wr, rounding
+/// to the nearest integer but keeping both parts >= min_left/min_right.
+/// Exposed for testing.
+int proportional_split(int extent, double wl, double wr, int min_left = 1,
+                       int min_right = 1);
+
+}  // namespace nestwx::core

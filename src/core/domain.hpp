@@ -1,0 +1,70 @@
+#pragma once
+/// \file domain.hpp
+/// Simulation domain descriptions: a coarse parent domain and the nested
+/// high-resolution regions of interest ("siblings") inside it.
+
+#include <string>
+#include <vector>
+
+#include "procgrid/rect.hpp"
+
+namespace nestwx::core {
+
+/// A rectangular simulation domain.
+///
+/// `nx`/`ny` count horizontal grid points. For a nested domain,
+/// `refinement_ratio` is r: the nest integrates r time steps for every
+/// parent step and its cell size is parent's / r. `parent_anchor` gives the
+/// nest's position in *parent* grid coordinates (south-west corner); the
+/// nest covers ceil(nx/r) × ceil(ny/r) parent cells.
+struct DomainSpec {
+  std::string name;
+  int nx = 0;
+  int ny = 0;
+  double resolution_km = 0.0;
+  int refinement_ratio = 3;
+  int parent_anchor_x = 0;
+  int parent_anchor_y = 0;
+
+  long long points() const {
+    return static_cast<long long>(nx) * static_cast<long long>(ny);
+  }
+  double aspect() const {
+    return ny == 0 ? 0.0 : static_cast<double>(nx) / static_cast<double>(ny);
+  }
+  /// Parent-grid footprint of this nest.
+  procgrid::Rect parent_footprint() const {
+    const int w = (nx + refinement_ratio - 1) / refinement_ratio;
+    const int h = (ny + refinement_ratio - 1) / refinement_ratio;
+    return procgrid::Rect{parent_anchor_x, parent_anchor_y, w, h};
+  }
+};
+
+/// A second-level nest: a child of one of the first-level siblings
+/// (paper §4.1.1 — several South-East-Asia configurations nest siblings
+/// at the second level). `spec.parent_anchor_*` are in the *sibling's*
+/// grid coordinates and `spec.refinement_ratio` is relative to the
+/// sibling.
+struct SecondLevelNest {
+  int sibling = 0;  ///< index into NestedConfig::siblings
+  DomainSpec spec;
+};
+
+/// A parent domain together with its first-level sibling nests and any
+/// second-level nests inside them.
+struct NestedConfig {
+  std::string name;
+  DomainSpec parent;
+  std::vector<DomainSpec> siblings;
+  std::vector<SecondLevelNest> second_level;
+
+  /// Indices of second_level entries belonging to sibling `s`.
+  std::vector<int> children_of(int s) const {
+    std::vector<int> out;
+    for (int i = 0; i < static_cast<int>(second_level.size()); ++i)
+      if (second_level[i].sibling == s) out.push_back(i);
+    return out;
+  }
+};
+
+}  // namespace nestwx::core

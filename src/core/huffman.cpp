@@ -1,0 +1,87 @@
+#include "core/huffman.hpp"
+
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+std::vector<int> HuffmanTree::internal_bfs_order() const {
+  std::vector<int> order;
+  if (root < 0) return order;
+  std::deque<int> frontier{root};
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    if (nodes[u].is_leaf()) continue;
+    order.push_back(u);
+    frontier.push_back(nodes[u].left);
+    frontier.push_back(nodes[u].right);
+  }
+  return order;
+}
+
+std::vector<int> HuffmanTree::leaves_under(int node_index) const {
+  NESTWX_REQUIRE(node_index >= 0 &&
+                     node_index < static_cast<int>(nodes.size()),
+                 "node index out of range");
+  std::vector<int> out;
+  std::vector<int> stack{node_index};
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    if (nodes[u].is_leaf()) {
+      out.push_back(nodes[u].leaf_id);
+    } else {
+      stack.push_back(nodes[u].right);
+      stack.push_back(nodes[u].left);
+    }
+  }
+  return out;
+}
+
+double HuffmanTree::weight_under(int node_index) const {
+  NESTWX_REQUIRE(node_index >= 0 &&
+                     node_index < static_cast<int>(nodes.size()),
+                 "node index out of range");
+  return nodes[node_index].weight;
+}
+
+HuffmanTree build_huffman(std::span<const double> weights) {
+  NESTWX_REQUIRE(!weights.empty(), "Huffman tree over empty weight set");
+  for (double w : weights)
+    NESTWX_REQUIRE(w > 0.0, "Huffman weights must be positive");
+
+  HuffmanTree tree;
+  tree.nodes.reserve(2 * weights.size());
+  // (weight, node index); node index doubles as the deterministic
+  // tie-breaker since nodes are created in a fixed order.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    HuffmanNode leaf;
+    leaf.weight = weights[i];
+    leaf.leaf_id = static_cast<int>(i);
+    tree.nodes.push_back(leaf);
+    heap.emplace(weights[i], static_cast<int>(i));
+  }
+  while (heap.size() > 1) {
+    const auto [wl, l] = heap.top();
+    heap.pop();
+    const auto [wr, r] = heap.top();
+    heap.pop();
+    HuffmanNode parent;
+    parent.weight = wl + wr;
+    parent.left = l;
+    parent.right = r;
+    const int id = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(parent);
+    heap.emplace(parent.weight, id);
+  }
+  tree.root = heap.top().second;
+  return tree;
+}
+
+}  // namespace nestwx::core

@@ -1,0 +1,50 @@
+#pragma once
+/// \file huffman.hpp
+/// Huffman tree over positive weights (paper Algorithm 1, line 1).
+///
+/// The allocator builds a Huffman tree over the siblings' predicted
+/// execution-time ratios: merging the two lightest subtrees repeatedly
+/// yields a binary tree whose every internal node has reasonably balanced
+/// children — exactly what the split-tree construction wants.
+
+#include <span>
+#include <vector>
+
+namespace nestwx::core {
+
+/// Node of a Huffman tree. Leaves carry `leaf_id` (index into the input
+/// weight array) and children are -1; internal nodes have both children.
+struct HuffmanNode {
+  double weight = 0.0;
+  int left = -1;
+  int right = -1;
+  int leaf_id = -1;
+
+  bool is_leaf() const { return leaf_id >= 0; }
+};
+
+/// A fully built tree: nodes plus the root index. For k weights there are
+/// k leaves and k-1 internal nodes (k >= 1; a single weight yields just a
+/// leaf root).
+struct HuffmanTree {
+  std::vector<HuffmanNode> nodes;
+  int root = -1;
+
+  const HuffmanNode& node(int i) const { return nodes[i]; }
+
+  /// Internal nodes in BFS order from the root (Algorithm 1, line 2).
+  std::vector<int> internal_bfs_order() const;
+
+  /// Leaf ids in the subtree rooted at `node_index`.
+  std::vector<int> leaves_under(int node_index) const;
+
+  /// Sum of leaf weights under `node_index`.
+  double weight_under(int node_index) const;
+};
+
+/// Build the Huffman tree. Weights must be positive. Deterministic:
+/// ties in the priority queue break toward the node created earliest,
+/// and of two popped nodes the lighter/earlier becomes the left child.
+HuffmanTree build_huffman(std::span<const double> weights);
+
+}  // namespace nestwx::core

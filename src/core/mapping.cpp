@@ -1,0 +1,316 @@
+#include "core/mapping.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+std::string to_string(MapScheme scheme) {
+  switch (scheme) {
+    case MapScheme::xyzt: return "xyzt";
+    case MapScheme::txyz: return "txyz";
+    case MapScheme::partition: return "partition";
+    case MapScheme::multilevel: return "multilevel";
+  }
+  return "?";
+}
+
+Mapping::Mapping(const topo::MachineParams& machine,
+                 std::vector<Placement> slots)
+    : torus_(machine.torus()),
+      cores_per_node_(
+          topo::ranks_per_node(machine.mode, machine.cores_per_node)),
+      slots_(std::move(slots)) {
+  NESTWX_REQUIRE(!slots_.empty(), "mapping needs at least one rank");
+  NESTWX_REQUIRE(is_valid(), "mapping is not an injective slot assignment");
+}
+
+const Placement& Mapping::placement(int rank) const {
+  NESTWX_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range");
+  return slots_[static_cast<std::size_t>(rank)];
+}
+
+int Mapping::hops(int rank_a, int rank_b) const {
+  return torus_.hop_dist(placement(rank_a).node, placement(rank_b).node);
+}
+
+bool Mapping::is_valid() const {
+  std::set<std::pair<int, int>> seen;
+  for (const auto& p : slots_) {
+    if (!torus_.contains(p.node)) return false;
+    if (p.core < 0 || p.core >= cores_per_node_) return false;
+    if (!seen.insert({torus_.node_index(p.node), p.core}).second)
+      return false;
+  }
+  return true;
+}
+
+Mapping Mapping::replaced(std::vector<Placement> slots) const {
+  Mapping out = *this;
+  out.slots_ = std::move(slots);
+  NESTWX_REQUIRE(out.is_valid(),
+                 "replacement placements are not a valid assignment");
+  return out;
+}
+
+void Mapping::write_mapfile(const std::string& path) const {
+  std::ofstream f(path);
+  NESTWX_REQUIRE(f.good(), "cannot open mapfile for writing: " + path);
+  for (const auto& p : slots_)
+    f << p.node.x << ' ' << p.node.y << ' ' << p.node.z << ' ' << p.core
+      << '\n';
+}
+
+double average_hops(const Mapping& mapping, const CommPattern& pattern) {
+  NESTWX_REQUIRE(!pattern.pairs.empty(), "empty communication pattern");
+  double hops = 0.0;
+  double weight = 0.0;
+  for (const auto& p : pattern.pairs) {
+    hops += p.weight * mapping.hops(p.a, p.b);
+    weight += p.weight;
+  }
+  NESTWX_REQUIRE(weight > 0.0, "pattern weights must be positive");
+  return hops / weight;
+}
+
+int max_hops(const Mapping& mapping, const CommPattern& pattern) {
+  NESTWX_REQUIRE(!pattern.pairs.empty(), "empty communication pattern");
+  int worst = 0;
+  for (const auto& p : pattern.pairs)
+    worst = std::max(worst, mapping.hops(p.a, p.b));
+  return worst;
+}
+
+namespace {
+
+/// Sequence of machine slots in "y-line block" order: z-planes stacked;
+/// within a plane, torus columns (fixed x) are taken serpentine in x; a
+/// column's slots run through y with both cores consecutive. Partitions
+/// claiming contiguous chunks thus occupy compact bundles of torus
+/// y-lines, and the column-major rank order inside a partition aligns
+/// virtual y-neighbours with torus y-neighbours.
+std::vector<Placement> serpentine_slots(const topo::MachineParams& m) {
+  const int T = topo::ranks_per_node(m.mode, m.cores_per_node);
+  std::vector<Placement> out;
+  out.reserve(static_cast<std::size_t>(m.total_ranks()));
+  for (int z = 0; z < m.torus_z; ++z) {
+    for (int xx = 0; xx < m.torus_x; ++xx) {
+      const int x = (z % 2 == 0) ? xx : m.torus_x - 1 - xx;
+      for (int yy = 0; yy < m.torus_y; ++yy) {
+        const int y = (xx % 2 == 0) ? yy : m.torus_y - 1 - yy;
+        for (int t = 0; t < T; ++t)
+          out.push_back(Placement{topo::Coord3{x, y, z}, t});
+      }
+    }
+  }
+  return out;
+}
+
+/// Slot order for the multi-level "fold": z-planes are taken in pairs and
+/// every row curls across the pair (x forward on the even plane, backward
+/// on the odd plane) — the anticlockwise fold of Fig. 6b. An odd trailing
+/// plane is walked serpentine.
+std::vector<Placement> folded_slots(const topo::MachineParams& m) {
+  const int T = topo::ranks_per_node(m.mode, m.cores_per_node);
+  std::vector<Placement> out;
+  out.reserve(static_cast<std::size_t>(m.total_ranks()));
+  int z = 0;
+  for (; z + 1 < m.torus_z; z += 2) {
+    for (int yy = 0; yy < m.torus_y; ++yy) {
+      const int y = ((z / 2) % 2 == 0) ? yy : m.torus_y - 1 - yy;
+      // Curl: x ascending on plane z, then descending on plane z+1.
+      for (int k = 0; k < 2 * m.torus_x; ++k) {
+        const bool second = k >= m.torus_x;
+        const int x = second ? 2 * m.torus_x - 1 - k : k;
+        const int zz = second ? z + 1 : z;
+        for (int t = 0; t < T; ++t)
+          out.push_back(Placement{topo::Coord3{x, y, zz}, t});
+      }
+    }
+  }
+  if (z < m.torus_z) {  // odd final plane
+    for (int yy = 0; yy < m.torus_y; ++yy) {
+      const int y = ((z / 2) % 2 == 0) ? yy : m.torus_y - 1 - yy;
+      for (int xx = 0; xx < m.torus_x; ++xx) {
+        const int x = (yy % 2 == 0) ? xx : m.torus_x - 1 - xx;
+        for (int t = 0; t < T; ++t)
+          out.push_back(Placement{topo::Coord3{x, y, z}, t});
+      }
+    }
+  }
+  return out;
+}
+
+/// Global foldable mapping (the paper's "foldable" multi-level case).
+///
+/// Requires the virtual grid to factor into the torus extents:
+///   Px = DX · a   (virtual x folds boustrophedon across `a` z-layers)
+///   Py = DY · T · b  (virtual y folds across cores, torus y, `b` z-layers)
+///   a · b = DZ
+/// (also tried with the virtual axes swapped). Under this fold every
+/// virtual x-neighbour pair is exactly 1 hop (the "curl" across z-planes
+/// of Fig. 6b) and virtual y-neighbours are 0 hops (same node, next
+/// core), 1 hop (next y), or a rare a-hop z-jump at fold boundaries —
+/// for both the sibling partitions and the parent domain.
+std::optional<std::vector<Placement>> try_global_fold(
+    const topo::MachineParams& m, const procgrid::Grid2D& grid,
+    bool cores_with_x) {
+  const int T = topo::ranks_per_node(m.mode, m.cores_per_node);
+  const int DX = m.torus_x;
+  const int DY = m.torus_y;
+  const int DZ = m.torus_z;
+  const int x_unit = cores_with_x ? DX * T : DX;
+  const int y_unit = cores_with_x ? DY : DY * T;
+  for (bool swap_axes : {false, true}) {
+    const int px = swap_axes ? grid.py() : grid.px();
+    const int py = swap_axes ? grid.px() : grid.py();
+    if (px % x_unit != 0 || py % y_unit != 0) continue;
+    const int a = px / x_unit;
+    const int b = py / y_unit;
+    if (a * b != DZ) continue;
+    std::vector<Placement> out(static_cast<std::size_t>(grid.size()));
+    for (int r = 0; r < grid.size(); ++r) {
+      const int vx = swap_axes ? grid.y_of(r) : grid.x_of(r);
+      const int vy = swap_axes ? grid.x_of(r) : grid.y_of(r);
+      int t, x, y, z_lo, z_hi;
+      if (cores_with_x) {
+        t = vx % T;
+        const int xr = (vx / T) % DX;
+        z_lo = vx / (T * DX);
+        x = (z_lo % 2 == 0) ? xr : DX - 1 - xr;
+        const int yr = vy % DY;
+        z_hi = vy / DY;
+        y = (z_hi % 2 == 0) ? yr : DY - 1 - yr;
+      } else {
+        const int xr = vx % DX;
+        z_lo = vx / DX;
+        x = (z_lo % 2 == 0) ? xr : DX - 1 - xr;
+        t = vy % T;
+        const int rem = vy / T;
+        const int yr = rem % DY;
+        z_hi = rem / DY;
+        y = (z_hi % 2 == 0) ? yr : DY - 1 - yr;
+      }
+      out[static_cast<std::size_t>(r)] =
+          Placement{topo::Coord3{x, y, z_hi * a + z_lo}, t};
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+/// Virtual ranks of a partition rectangle in column-major boustrophedon
+/// order (consecutive entries are virtual-grid neighbours).
+std::vector<int> partition_rank_order(const procgrid::Grid2D& grid,
+                                      const procgrid::Rect& rect) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(rect.area()));
+  for (int cx = 0; cx < rect.w; ++cx) {
+    for (int cy = 0; cy < rect.h; ++cy) {
+      const int y = (cx % 2 == 0) ? rect.y0 + cy : rect.y0 + rect.h - 1 - cy;
+      out.push_back(grid.rank(rect.x0 + cx, y));
+    }
+  }
+  return out;
+}
+
+std::vector<Placement> assign_by_orders(
+    const procgrid::Grid2D& grid, const GridPartition& partition,
+    const std::vector<Placement>& slot_order) {
+  // Partitions claim contiguous slot runs in virtual-grid position order
+  // (left-to-right, bottom-to-top), so partitions adjacent in the virtual
+  // grid sit adjacent on the torus.
+  std::vector<std::size_t> part_order(partition.rects.size());
+  std::iota(part_order.begin(), part_order.end(), 0);
+  std::sort(part_order.begin(), part_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto& ra = partition.rects[a];
+              const auto& rb = partition.rects[b];
+              if (ra.x0 != rb.x0) return ra.x0 < rb.x0;
+              return ra.y0 < rb.y0;
+            });
+  std::vector<Placement> placements(
+      static_cast<std::size_t>(grid.size()));
+  std::size_t cursor = 0;
+  for (std::size_t p : part_order) {
+    for (int rank : partition_rank_order(grid, partition.rects[p])) {
+      NESTWX_ASSERT(cursor < slot_order.size(), "ran out of machine slots");
+      placements[static_cast<std::size_t>(rank)] = slot_order[cursor++];
+    }
+  }
+  NESTWX_ASSERT(cursor == slot_order.size(), "slots left unassigned");
+  return placements;
+}
+
+}  // namespace
+
+Mapping make_mapping(const topo::MachineParams& machine,
+                     const procgrid::Grid2D& grid, MapScheme scheme,
+                     const std::optional<GridPartition>& partition) {
+  NESTWX_REQUIRE(grid.size() == machine.total_ranks(),
+                 "virtual grid size must equal machine rank count");
+  const int T = topo::ranks_per_node(machine.mode, machine.cores_per_node);
+  const int nodes = machine.torus_x * machine.torus_y * machine.torus_z;
+  const topo::Torus torus = machine.torus();
+  std::vector<Placement> placements;
+  placements.reserve(static_cast<std::size_t>(grid.size()));
+
+  switch (scheme) {
+    case MapScheme::xyzt:
+      // X fastest, core slowest: ranks 0..N-1 fill plane rows first.
+      for (int r = 0; r < grid.size(); ++r) {
+        const int t = r / nodes;
+        placements.push_back(Placement{torus.node_coord(r % nodes), t});
+      }
+      break;
+    case MapScheme::txyz:
+      // Core fastest (Blue Gene default in VN mode).
+      for (int r = 0; r < grid.size(); ++r) {
+        const int t = r % T;
+        placements.push_back(Placement{torus.node_coord(r / T), t});
+      }
+      break;
+    case MapScheme::partition: {
+      NESTWX_REQUIRE(partition.has_value(),
+                     "partition mapping needs the grid partition");
+      NESTWX_REQUIRE(partition->is_exact_tiling() &&
+                         partition->grid == grid.bounds(),
+                     "partition must exactly tile the virtual grid");
+      // Foldable geometry: fold with cores interleaved along virtual x
+      // (keeps every sibling's rectangle on a compact torus block);
+      // otherwise assign partitions contiguous serpentine slot chunks.
+      if (auto folded =
+              try_global_fold(machine, grid, /*cores_with_x=*/false)) {
+        placements = std::move(*folded);
+      } else {
+        placements =
+            assign_by_orders(grid, *partition, serpentine_slots(machine));
+      }
+      break;
+    }
+    case MapScheme::multilevel: {
+      NESTWX_REQUIRE(partition.has_value(),
+                     "multilevel mapping needs the grid partition");
+      NESTWX_REQUIRE(partition->is_exact_tiling() &&
+                         partition->grid == grid.bounds(),
+                     "partition must exactly tile the virtual grid");
+      if (auto folded =
+              try_global_fold(machine, grid, /*cores_with_x=*/true)) {
+        placements = std::move(*folded);
+      } else {
+        // Non-foldable geometry: fall back to z-plane-pair curled slot
+        // order with partition-contiguous assignment.
+        placements =
+            assign_by_orders(grid, *partition, folded_slots(machine));
+      }
+      break;
+    }
+  }
+  return Mapping(machine, std::move(placements));
+}
+
+}  // namespace nestwx::core

@@ -1,0 +1,103 @@
+#pragma once
+/// \file mapping.hpp
+/// 2-D → 3-D process mapping heuristics (paper §3.3).
+///
+/// The virtual process topology is the Px × Py grid over which the parent
+/// domain is decomposed; sibling partitions are rectangles inside it. A
+/// Mapping assigns every virtual rank a (node, core) slot of the torus
+/// machine. Schemes:
+///
+///  * xyzt  — topology-oblivious sequential fill (Fig. 5b): rank order
+///            walks torus X fastest, then Y, Z, core last.
+///  * txyz  — Blue Gene's default core-major fill (Table 4 comparison).
+///  * partition   — topology-aware (Fig. 6a): each sibling partition
+///            occupies a contiguous, compact block of the torus; ranks
+///            inside a partition follow a boustrophedon so virtual
+///            neighbours stay torus neighbours.
+///  * multilevel  — topology-aware (Fig. 6b): like partition, but the
+///            torus is walked in folded z-plane pairs (the paper's
+///            "curl"), which also keeps parent-domain neighbours across
+///            partition boundaries close.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "procgrid/grid2d.hpp"
+#include "topo/machine.hpp"
+#include "topo/torus.hpp"
+
+namespace nestwx::core {
+
+enum class MapScheme { xyzt, txyz, partition, multilevel };
+
+std::string to_string(MapScheme scheme);
+
+/// A rank's physical placement.
+struct Placement {
+  topo::Coord3 node;
+  int core = 0;
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+/// An injective assignment of virtual ranks to machine slots.
+class Mapping {
+ public:
+  Mapping(const topo::MachineParams& machine, std::vector<Placement> slots);
+
+  int nranks() const { return static_cast<int>(slots_.size()); }
+  const Placement& placement(int rank) const;
+  const std::vector<Placement>& placements() const { return slots_; }
+
+  /// Torus hop count between two ranks (0 when co-located on one node).
+  int hops(int rank_a, int rank_b) const;
+
+  /// True when no two ranks share a (node, core) slot and every slot is
+  /// valid for the machine.
+  bool is_valid() const;
+
+  /// Write a Blue Gene-style mapfile: one "x y z t" line per rank.
+  void write_mapfile(const std::string& path) const;
+
+  const topo::Torus& torus() const { return torus_; }
+  int cores_per_node() const { return cores_per_node_; }
+
+  /// A mapping on the same machine with different rank placements
+  /// (used by the local-search optimiser).
+  Mapping replaced(std::vector<Placement> slots) const;
+
+ private:
+  topo::Torus torus_;
+  int cores_per_node_;
+  std::vector<Placement> slots_;
+};
+
+/// Weighted communicating-pairs pattern for hop metrics.
+struct CommPattern {
+  struct Pair {
+    int a = 0;
+    int b = 0;
+    double weight = 1.0;
+  };
+  std::vector<Pair> pairs;
+
+  void add(int a, int b, double weight = 1.0) { pairs.push_back({a, b, weight}); }
+};
+
+/// Weighted average torus hops over the pattern.
+double average_hops(const Mapping& mapping, const CommPattern& pattern);
+
+/// Maximum hops over the pattern (worst neighbour pair).
+int max_hops(const Mapping& mapping, const CommPattern& pattern);
+
+/// Build a mapping for `grid` ranks on `machine`.
+///
+/// For the partition/multilevel schemes, `partition` must give the sibling
+/// rectangles tiling `grid` (from huffman_partition); for xyzt/txyz it is
+/// ignored. Requires grid.size() == machine.total_ranks().
+Mapping make_mapping(const topo::MachineParams& machine,
+                     const procgrid::Grid2D& grid, MapScheme scheme,
+                     const std::optional<GridPartition>& partition = {});
+
+}  // namespace nestwx::core

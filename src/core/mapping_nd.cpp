@@ -1,0 +1,170 @@
+#include "core/mapping_nd.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+MappingND::MappingND(const topo::MachineND& machine,
+                     std::vector<std::pair<int, int>> node_core)
+    : torus_(machine.torus()),
+      ranks_per_node_(machine.ranks_per_node),
+      slots_(std::move(node_core)) {
+  NESTWX_REQUIRE(!slots_.empty(), "mapping needs at least one rank");
+  NESTWX_REQUIRE(is_valid(), "ND mapping is not an injective assignment");
+}
+
+int MappingND::node_of(int rank) const {
+  NESTWX_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range");
+  return slots_[static_cast<std::size_t>(rank)].first;
+}
+
+int MappingND::core_of(int rank) const {
+  NESTWX_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range");
+  return slots_[static_cast<std::size_t>(rank)].second;
+}
+
+int MappingND::hops(int a, int b) const {
+  return torus_.hop_dist(node_of(a), node_of(b));
+}
+
+bool MappingND::is_valid() const {
+  std::set<std::pair<int, int>> seen;
+  for (const auto& s : slots_) {
+    if (s.first < 0 || s.first >= torus_.node_count()) return false;
+    if (s.second < 0 || s.second >= ranks_per_node_) return false;
+    if (!seen.insert(s).second) return false;
+  }
+  return true;
+}
+
+double average_hops(const MappingND& mapping, const CommPattern& pattern) {
+  NESTWX_REQUIRE(!pattern.pairs.empty(), "empty communication pattern");
+  double hops = 0.0;
+  double weight = 0.0;
+  for (const auto& p : pattern.pairs) {
+    hops += p.weight * mapping.hops(p.a, p.b);
+    weight += p.weight;
+  }
+  return hops / weight;
+}
+
+std::string to_string(MapSchemeND scheme) {
+  switch (scheme) {
+    case MapSchemeND::oblivious: return "nd-oblivious";
+    case MapSchemeND::folded: return "nd-folded";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reflected mixed-radix decomposition: digit i of `v` over extents
+/// `units` (units[0] fastest), with boustrophedon reflection so that
+/// consecutive v differ by ±1 in exactly one digit.
+std::vector<int> reflected_digits(int v, const std::vector<int>& units) {
+  std::vector<int> digits(units.size());
+  int q = v;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const int r = q % units[i];
+    q /= units[i];
+    digits[i] = (q % 2 == 0) ? r : units[i] - 1 - r;
+  }
+  return digits;
+}
+
+/// One assignable unit: a torus dimension or the within-node core slot.
+struct Unit {
+  int extent;
+  int dim;  ///< torus dimension index, or -1 for the core unit
+};
+
+}  // namespace
+
+std::optional<MappingND> try_fold_nd(const topo::MachineND& machine,
+                                     const procgrid::Grid2D& grid) {
+  NESTWX_REQUIRE(grid.size() == machine.total_ranks(),
+                 "grid size must equal machine rank count");
+  std::vector<Unit> units;
+  for (std::size_t d = 0; d < machine.torus_dims.size(); ++d)
+    units.push_back({machine.torus_dims[d], static_cast<int>(d)});
+  units.push_back({machine.ranks_per_node, -1});
+  const auto n = units.size();
+  NESTWX_REQUIRE(n <= 16, "too many torus dimensions for subset search");
+
+  const topo::TorusND torus = machine.torus();
+  for (bool swap_axes : {false, true}) {
+    const int px = swap_axes ? grid.py() : grid.px();
+    // Find a subset of units whose extents multiply to px; prefer
+    // assigning the core unit to the *y* axis (0-hop fast digit there).
+    std::optional<unsigned> chosen;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      long long prod = 1;
+      for (std::size_t i = 0; i < n; ++i)
+        if (mask & (1u << i)) prod *= units[i].extent;
+      if (prod != px) continue;
+      const bool core_in_x = (mask >> (n - 1)) & 1u;
+      if (!chosen || (!core_in_x && ((*chosen >> (n - 1)) & 1u))) {
+        chosen = mask;
+      }
+    }
+    if (!chosen) continue;
+
+    std::vector<int> x_units, x_dims, y_units, y_dims;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (*chosen & (1u << i)) {
+        x_units.push_back(units[i].extent);
+        x_dims.push_back(units[i].dim);
+      } else {
+        y_units.push_back(units[i].extent);
+        y_dims.push_back(units[i].dim);
+      }
+    }
+    std::vector<std::pair<int, int>> slots(
+        static_cast<std::size_t>(grid.size()));
+    for (int r = 0; r < grid.size(); ++r) {
+      const int vx = swap_axes ? grid.y_of(r) : grid.x_of(r);
+      const int vy = swap_axes ? grid.x_of(r) : grid.y_of(r);
+      topo::CoordN coord(machine.torus_dims.size(), 0);
+      int core = 0;
+      const auto dx = reflected_digits(vx, x_units);
+      for (std::size_t i = 0; i < x_units.size(); ++i) {
+        if (x_dims[i] < 0)
+          core = dx[i];
+        else
+          coord[x_dims[i]] = dx[i];
+      }
+      const auto dy = reflected_digits(vy, y_units);
+      for (std::size_t i = 0; i < y_units.size(); ++i) {
+        if (y_dims[i] < 0)
+          core = dy[i];
+        else
+          coord[y_dims[i]] = dy[i];
+      }
+      slots[static_cast<std::size_t>(r)] = {torus.node_index(coord), core};
+    }
+    return MappingND(machine, std::move(slots));
+  }
+  return std::nullopt;
+}
+
+MappingND make_mapping_nd(const topo::MachineND& machine,
+                          const procgrid::Grid2D& grid,
+                          MapSchemeND scheme) {
+  NESTWX_REQUIRE(grid.size() == machine.total_ranks(),
+                 "grid size must equal machine rank count");
+  if (scheme == MapSchemeND::folded) {
+    if (auto folded = try_fold_nd(machine, grid)) return std::move(*folded);
+    // Fall back to the oblivious fill for non-factoring geometries.
+  }
+  const int nodes = machine.torus().node_count();
+  std::vector<std::pair<int, int>> slots(
+      static_cast<std::size_t>(grid.size()));
+  for (int r = 0; r < grid.size(); ++r)
+    slots[static_cast<std::size_t>(r)] = {r % nodes, r / nodes};
+  return MappingND(machine, std::move(slots));
+}
+
+}  // namespace nestwx::core

@@ -1,0 +1,68 @@
+#pragma once
+/// \file mapping_nd.hpp
+/// 2-D → N-D topology-aware mapping — the paper's future-work direction
+/// ("novel schemes for the 5D torus topology of Blue Gene/Q system").
+///
+/// Generalises the 3-D fold of mapping.hpp: the virtual Px × Py grid is
+/// mapped onto an N-dimensional torus by assigning every torus dimension
+/// (plus the within-node core dimension) wholly to one virtual axis such
+/// that the extents multiply out to Px and Py, then walking each axis in
+/// reflected (boustrophedon) mixed-radix order. Under such a fold every
+/// virtual-neighbour pair is at most 1 hop apart.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"  // CommPattern
+#include "procgrid/grid2d.hpp"
+#include "topo/torusnd.hpp"
+
+namespace nestwx::core {
+
+/// Rank placements on an N-D torus machine.
+class MappingND {
+ public:
+  MappingND(const topo::MachineND& machine,
+            std::vector<std::pair<int, int>> node_core);
+
+  int nranks() const { return static_cast<int>(slots_.size()); }
+  int node_of(int rank) const;
+  int core_of(int rank) const;
+
+  int hops(int rank_a, int rank_b) const;
+
+  /// True when no two ranks share a (node, core) slot.
+  bool is_valid() const;
+
+  const topo::TorusND& torus() const { return torus_; }
+
+ private:
+  topo::TorusND torus_;
+  int ranks_per_node_;
+  std::vector<std::pair<int, int>> slots_;  // (node index, core)
+};
+
+/// Weighted average hops of a pattern under an N-D mapping.
+double average_hops(const MappingND& mapping, const CommPattern& pattern);
+
+enum class MapSchemeND { oblivious, folded };
+
+std::string to_string(MapSchemeND scheme);
+
+/// Build a mapping of `grid` onto `machine`.
+///
+/// * oblivious — ranks fill nodes in linear order, cores slowest (the
+///   N-D analogue of XYZT).
+/// * folded — the generalised fold described above; requires Px · Py to
+///   factor into the machine's dimension extents. Returns nullopt from
+///   try_fold_nd (and make_mapping_nd falls back to oblivious) when no
+///   whole-dimension assignment exists.
+MappingND make_mapping_nd(const topo::MachineND& machine,
+                          const procgrid::Grid2D& grid, MapSchemeND scheme);
+
+/// The fold itself; nullopt when the grid does not factor.
+std::optional<MappingND> try_fold_nd(const topo::MachineND& machine,
+                                     const procgrid::Grid2D& grid);
+
+}  // namespace nestwx::core

@@ -1,0 +1,112 @@
+#include "core/mapping_opt.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+double hop_cost(const Mapping& mapping, const CommPattern& pattern) {
+  double cost = 0.0;
+  for (const auto& p : pattern.pairs)
+    cost += p.weight * mapping.hops(p.a, p.b);
+  return cost;
+}
+
+namespace {
+
+int slot_key(const topo::Torus& torus, const Placement& p, int cores) {
+  return torus.node_index(p.node) * cores + p.core;
+}
+
+/// Hop-cost contribution of all pattern pairs touching rank r, given the
+/// working placements.
+double local_cost(const std::vector<Placement>& slots,
+                  const topo::Torus& torus, const CommPattern& pattern,
+                  const std::vector<std::vector<int>>& pairs_of, int r) {
+  double cost = 0.0;
+  for (int pi : pairs_of[r]) {
+    const auto& p = pattern.pairs[pi];
+    cost += p.weight * torus.hop_dist(slots[p.a].node, slots[p.b].node);
+  }
+  return cost;
+}
+
+}  // namespace
+
+MappingOptResult refine_mapping(const Mapping& start,
+                                const CommPattern& pattern,
+                                const MappingOptOptions& options) {
+  NESTWX_REQUIRE(!pattern.pairs.empty(), "empty communication pattern");
+  NESTWX_REQUIRE(options.max_passes >= 1, "need at least one pass");
+  const topo::Torus& torus = start.torus();
+  const int cores = start.cores_per_node();
+  std::vector<Placement> slots = start.placements();
+
+  // Reverse index: slot -> occupying rank (-1 when free).
+  std::unordered_map<int, int> occupant;
+  for (int r = 0; r < start.nranks(); ++r)
+    occupant[slot_key(torus, slots[r], cores)] = r;
+
+  // Per-rank pattern adjacency.
+  std::vector<std::vector<int>> pairs_of(
+      static_cast<std::size_t>(start.nranks()));
+  for (int pi = 0; pi < static_cast<int>(pattern.pairs.size()); ++pi) {
+    pairs_of[pattern.pairs[pi].a].push_back(pi);
+    if (pattern.pairs[pi].b != pattern.pairs[pi].a)
+      pairs_of[pattern.pairs[pi].b].push_back(pi);
+  }
+
+  MappingOptResult result{start, hop_cost(start, pattern),
+                          hop_cost(start, pattern), 0};
+
+  auto try_swap = [&](int x, int y) {
+    if (x == y) return false;
+    const double before = local_cost(slots, torus, pattern, pairs_of, x) +
+                          local_cost(slots, torus, pattern, pairs_of, y);
+    std::swap(slots[x], slots[y]);
+    const double after = local_cost(slots, torus, pattern, pairs_of, x) +
+                         local_cost(slots, torus, pattern, pairs_of, y);
+    if (after + 1e-12 < before) {
+      occupant[slot_key(torus, slots[x], cores)] = x;
+      occupant[slot_key(torus, slots[y], cores)] = y;
+      return true;
+    }
+    std::swap(slots[x], slots[y]);  // revert
+    return false;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    int improvements = 0;
+    for (const auto& pr : pattern.pairs) {
+      if (torus.hop_dist(slots[pr.a].node, slots[pr.b].node) <= 1) continue;
+      // Try to pull b next to a: swap b with occupants of a's
+      // neighbouring slots (all cores of the six adjacent nodes and the
+      // remaining cores of a's own node).
+      bool moved = false;
+      for (int c = 0; c < cores && !moved; ++c) {
+        const int key = torus.node_index(slots[pr.a].node) * cores + c;
+        const auto it = occupant.find(key);
+        if (it != occupant.end()) moved = try_swap(pr.b, it->second);
+      }
+      for (int d = 0; d < 6 && !moved; ++d) {
+        const auto nb = torus.neighbor(slots[pr.a].node,
+                                       static_cast<topo::LinkDir>(d));
+        for (int c = 0; c < cores && !moved; ++c) {
+          const auto it = occupant.find(torus.node_index(nb) * cores + c);
+          if (it != occupant.end()) moved = try_swap(pr.b, it->second);
+        }
+      }
+      if (moved) ++improvements;
+    }
+    result.swaps += improvements;
+    if (improvements < options.min_improvements) break;
+  }
+
+  result.mapping = start.replaced(slots);
+  result.final_cost = hop_cost(result.mapping, pattern);
+  return result;
+}
+
+}  // namespace nestwx::core

@@ -1,0 +1,40 @@
+#pragma once
+/// \file mapping_opt.hpp
+/// Local-search mapping refinement, in the spirit of the hop-byte
+/// minimising mapping generators the paper discusses in §2.3 (Bhatele et
+/// al., Hoefler & Snir): starting from any mapping, repeatedly swap the
+/// placements of rank pairs when the swap reduces the weighted hop cost
+/// of a communication pattern. Useful for the non-foldable geometries
+/// where the constructive fold of mapping.hpp does not apply.
+
+#include "core/mapping.hpp"
+
+namespace nestwx::core {
+
+struct MappingOptOptions {
+  /// Passes over the candidate pairs; each pass tries every
+  /// communicating pair's endpoints against each other.
+  int max_passes = 4;
+  /// Stop a pass early when fewer than this many swaps were accepted.
+  int min_improvements = 1;
+};
+
+struct MappingOptResult {
+  Mapping mapping;
+  double initial_cost = 0.0;  ///< weighted hop cost before
+  double final_cost = 0.0;    ///< weighted hop cost after
+  int swaps = 0;              ///< accepted swaps
+};
+
+/// Weighted hop cost Σ w·hops of the pattern under the mapping.
+double hop_cost(const Mapping& mapping, const CommPattern& pattern);
+
+/// Greedy pairwise-swap descent on `pattern`'s hop cost. Deterministic.
+/// The candidate set is the ranks that appear in the pattern; for each
+/// communicating pair (a, b), swapping b with a's torus neighbours'
+/// occupants is attempted.
+MappingOptResult refine_mapping(const Mapping& start,
+                                const CommPattern& pattern,
+                                const MappingOptOptions& options = {});
+
+}  // namespace nestwx::core

@@ -1,0 +1,224 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/convex_hull.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+std::vector<double> PerfModel::ratios(
+    std::span<const DomainSpec> domains) const {
+  NESTWX_REQUIRE(!domains.empty(), "ratios of empty sibling set");
+  std::vector<double> out;
+  out.reserve(domains.size());
+  double total = 0.0;
+  for (const auto& d : domains) {
+    const double t = predict(d);
+    NESTWX_ASSERT(t > 0.0, "non-positive predicted time");
+    out.push_back(t);
+    total += t;
+  }
+  for (double& r : out) r /= total;
+  return out;
+}
+
+DelaunayPerfModel DelaunayPerfModel::fit(
+    std::span<const ProfilePoint> basis) {
+  NESTWX_REQUIRE(basis.size() >= 3, "need at least 3 profile points");
+  DelaunayPerfModel m;
+  m.basis_.assign(basis.begin(), basis.end());
+
+  double min_a = basis[0].aspect(), max_a = basis[0].aspect();
+  double min_p = basis[0].points(), max_p = basis[0].points();
+  for (const auto& b : basis) {
+    NESTWX_REQUIRE(b.nx > 0 && b.ny > 0, "profile domain dims must be > 0");
+    NESTWX_REQUIRE(b.time > 0.0, "profile times must be positive");
+    min_a = std::min(min_a, b.aspect());
+    max_a = std::max(max_a, b.aspect());
+    min_p = std::min(min_p, b.points());
+    max_p = std::max(max_p, b.points());
+  }
+  NESTWX_REQUIRE(max_a > min_a && max_p > min_p,
+                 "basis must span a 2-D feature region");
+  m.feature_min_ = {min_a, min_p};
+  m.feature_scale_ = {1.0 / (max_a - min_a), 1.0 / (max_p - min_p)};
+
+  std::vector<geom::Vec2> feature_points;
+  feature_points.reserve(basis.size());
+  m.times_.reserve(basis.size());
+  for (const auto& b : basis) {
+    feature_points.push_back(m.normalize(b.aspect(), b.points()));
+    m.times_.push_back(b.time);
+  }
+  m.triangulation_ = std::make_shared<const geom::Delaunay>(
+      geom::Delaunay::build(feature_points));
+
+  std::vector<geom::Vec2> hull_pts;
+  for (int i : m.triangulation_->hull())
+    hull_pts.push_back(m.triangulation_->points()[i]);
+  m.hull_centroid_ = geom::centroid(hull_pts);
+  return m;
+}
+
+geom::Vec2 DelaunayPerfModel::normalize(double aspect, double points) const {
+  return {(aspect - feature_min_.x) * feature_scale_.x,
+          (points - feature_min_.y) * feature_scale_.y};
+}
+
+double DelaunayPerfModel::predict(int nx, int ny) const {
+  NESTWX_REQUIRE(nx > 0 && ny > 0, "domain dims must be positive");
+  return predict_features(static_cast<double>(nx) / ny,
+                          static_cast<double>(nx) * ny);
+}
+
+double DelaunayPerfModel::predict_features(double aspect,
+                                           double points) const {
+  const geom::Vec2 q = normalize(aspect, points);
+  if (auto t = triangulation_->interpolate(q, times_)) return *t;
+
+  // Outside the region of coverage: scale toward the covered region, then
+  // interpolate and correct by the work ratio so that larger domains keep
+  // larger (relative) predictions (paper §3.1).
+  std::vector<geom::Vec2> hull_pts;
+  for (int i : triangulation_->hull())
+    hull_pts.push_back(triangulation_->points()[i]);
+  geom::Vec2 scaled = geom::scale_into_hull(hull_pts, q, hull_centroid_);
+  // Near-collinear hull vertices can leave a sliver between the strict
+  // convex hull and the triangulated region; keep pulling toward the
+  // centroid until a containing triangle exists.
+  auto t = triangulation_->interpolate(scaled, times_);
+  for (int i = 0; i < 2000 && !t; ++i) {
+    scaled = hull_centroid_ + 0.97 * (scaled - hull_centroid_);
+    t = triangulation_->interpolate(scaled, times_);
+  }
+  NESTWX_ASSERT(t.has_value(), "scaled query still outside hull");
+  // Denormalise the point-count of the scaled query; guard against the
+  // degenerate case where it collapses to ~0.
+  const double scaled_points = scaled.y / feature_scale_.y + feature_min_.y;
+  if (scaled_points <= 0.0) return *t;
+  return *t * (points / scaled_points);
+}
+
+PointsProportionalModel PointsProportionalModel::fit(
+    std::span<const ProfilePoint> basis) {
+  NESTWX_REQUIRE(!basis.empty(), "need at least one profile point");
+  // Least squares through the origin: c = Σ p·t / Σ p².
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& b : basis) {
+    NESTWX_REQUIRE(b.time > 0.0, "profile times must be positive");
+    num += b.points() * b.time;
+    den += b.points() * b.points();
+  }
+  PointsProportionalModel m;
+  m.coefficient_ = num / den;
+  return m;
+}
+
+double PointsProportionalModel::predict(int nx, int ny) const {
+  NESTWX_REQUIRE(nx > 0 && ny > 0, "domain dims must be positive");
+  return coefficient_ * static_cast<double>(nx) * static_cast<double>(ny);
+}
+
+RegressionModel RegressionModel::fit(std::span<const ProfilePoint> basis) {
+  NESTWX_REQUIRE(basis.size() >= 4, "regression needs >= 4 profile points");
+  // Normal equations AᵀA c = Aᵀ t with rows (1, nx, ny, nx·ny). Features
+  // are scaled to O(1) before solving to keep the system well-conditioned.
+  double sx = 0.0, sy = 0.0;
+  for (const auto& b : basis) {
+    NESTWX_REQUIRE(b.time > 0.0, "profile times must be positive");
+    sx = std::max(sx, static_cast<double>(b.nx));
+    sy = std::max(sy, static_cast<double>(b.ny));
+  }
+  NESTWX_REQUIRE(sx > 0.0 && sy > 0.0, "degenerate basis dimensions");
+  double ata[4][4] = {};
+  double atb[4] = {};
+  for (const auto& b : basis) {
+    const double row[4] = {1.0, b.nx / sx, b.ny / sy,
+                           (b.nx / sx) * (b.ny / sy)};
+    for (int i = 0; i < 4; ++i) {
+      atb[i] += row[i] * b.time;
+      for (int j = 0; j < 4; ++j) ata[i][j] += row[i] * row[j];
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r)
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) pivot = r;
+    NESTWX_REQUIRE(std::abs(ata[pivot][col]) > 1e-12,
+                   "regression system is singular");
+    if (pivot != col) {
+      for (int j = 0; j < 4; ++j) std::swap(ata[col][j], ata[pivot][j]);
+      std::swap(atb[col], atb[pivot]);
+    }
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      const double factor = ata[r][col] / ata[col][col];
+      for (int j = 0; j < 4; ++j) ata[r][j] -= factor * ata[col][j];
+      atb[r] -= factor * atb[col];
+    }
+  }
+  RegressionModel m;
+  // Un-scale: c = (c0, c1/sx, c2/sy, c3/(sx·sy)).
+  m.coef_[0] = atb[0] / ata[0][0];
+  m.coef_[1] = atb[1] / ata[1][1] / sx;
+  m.coef_[2] = atb[2] / ata[2][2] / sy;
+  m.coef_[3] = atb[3] / ata[3][3] / (sx * sy);
+  return m;
+}
+
+double RegressionModel::predict(int nx, int ny) const {
+  NESTWX_REQUIRE(nx > 0 && ny > 0, "domain dims must be positive");
+  const double t = coef_[0] + coef_[1] * nx + coef_[2] * ny +
+                   coef_[3] * static_cast<double>(nx) * ny;
+  // Execution times are positive; clamp pathological extrapolations.
+  return std::max(t, 1e-9);
+}
+
+std::vector<double> leave_one_out_errors(
+    std::span<const ProfilePoint> basis) {
+  NESTWX_REQUIRE(basis.size() >= 4, "cross-validation needs >= 4 points");
+  std::vector<double> errors;
+  errors.reserve(basis.size());
+  for (std::size_t hold = 0; hold < basis.size(); ++hold) {
+    std::vector<ProfilePoint> rest;
+    rest.reserve(basis.size() - 1);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+      if (i != hold) rest.push_back(basis[i]);
+    try {
+      const auto model = DelaunayPerfModel::fit(rest);
+      const double predicted =
+          model.predict(basis[hold].nx, basis[hold].ny);
+      errors.push_back(std::abs(predicted - basis[hold].time) /
+                       basis[hold].time * 100.0);
+    } catch (const util::PreconditionError&) {
+      errors.push_back(-1.0);  // degenerate fold
+    }
+  }
+  return errors;
+}
+
+std::vector<std::pair<int, int>> default_basis_domains() {
+  // 13 domains covering aspect 0.5–1.5 and 94×124 … 415×445 total points
+  // (paper §3.1: manually chosen so the covered region triangulates well).
+  return {
+      {79, 158},   // aspect 0.50, ~12.5k points
+      {110, 110},  // aspect 1.00, ~12.1k
+      {130, 87},   // aspect 1.49, ~11.3k
+      {150, 300},  // aspect 0.50, ~45k
+      {212, 212},  // aspect 1.00, ~45k
+      {260, 173},  // aspect 1.50, ~45k
+      {210, 420},  // aspect 0.50, ~88k
+      {297, 297},  // aspect 1.00, ~88k
+      {363, 242},  // aspect 1.50, ~88k
+      {260, 445},  // aspect 0.58, ~116k
+      {340, 340},  // aspect 1.00, ~116k
+      {415, 277},  // aspect 1.50, ~115k
+      {415, 445},  // aspect 0.93, ~185k (largest paper domain)
+  };
+}
+
+}  // namespace nestwx::core

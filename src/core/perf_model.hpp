@@ -1,0 +1,134 @@
+#pragma once
+/// \file perf_model.hpp
+/// Performance prediction for nested-domain execution times (paper §3.1).
+///
+/// The paper's model: profile a small basis set of domains (13 in the
+/// paper) on a fixed processor count, place each domain at feature point
+/// (aspect ratio nx/ny, total points nx·ny), Delaunay-triangulate the
+/// basis, and predict a new domain by barycentric interpolation inside its
+/// containing triangle. Points outside the basis convex hull are scaled
+/// down toward the region of coverage (we scale toward the hull centroid
+/// and correct the interpolated time by the work ratio, preserving the
+/// *relative* ordering the allocator needs). The naive baseline — time
+/// proportional to the number of points — is provided for the >19 % vs
+/// <6 % error comparison.
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "geom/delaunay.hpp"
+
+namespace nestwx::core {
+
+/// One profiling observation: a domain and its measured time per step.
+struct ProfilePoint {
+  int nx = 0;
+  int ny = 0;
+  double time = 0.0;  ///< seconds per (nest) integration step
+
+  double aspect() const {
+    return static_cast<double>(nx) / static_cast<double>(ny);
+  }
+  double points() const {
+    return static_cast<double>(nx) * static_cast<double>(ny);
+  }
+};
+
+/// Interface: predict per-step execution time of an nx × ny nest on the
+/// profiling processor count. Only relative magnitudes matter to the
+/// allocator (paper §3.1).
+class PerfModel {
+ public:
+  virtual ~PerfModel() = default;
+  virtual double predict(int nx, int ny) const = 0;
+
+  double predict(const DomainSpec& d) const { return predict(d.nx, d.ny); }
+
+  /// Predicted time ratios for a sibling set, normalised to sum to 1.
+  std::vector<double> ratios(std::span<const DomainSpec> domains) const;
+};
+
+/// The paper's model: piecewise-linear interpolation over
+/// (aspect ratio, total points) via Delaunay triangulation of the basis.
+class DelaunayPerfModel final : public PerfModel {
+ public:
+  /// Fit from profiled basis points. Requires >= 3 non-degenerate basis
+  /// points; throws PreconditionError otherwise.
+  static DelaunayPerfModel fit(std::span<const ProfilePoint> basis);
+
+  double predict(int nx, int ny) const override;
+
+  /// Predict at raw feature coordinates (aspect, points).
+  double predict_features(double aspect, double points) const;
+
+  const geom::Delaunay& triangulation() const { return *triangulation_; }
+  const std::vector<ProfilePoint>& basis() const { return basis_; }
+
+ private:
+  DelaunayPerfModel() = default;
+
+  /// Features are affinely normalised to [0,1]² over the basis bounding
+  /// box before triangulating, since aspect (≈1) and points (≈10⁵) differ
+  /// by orders of magnitude.
+  geom::Vec2 normalize(double aspect, double points) const;
+
+  std::vector<ProfilePoint> basis_;
+  std::vector<double> times_;
+  std::shared_ptr<const geom::Delaunay> triangulation_;
+  geom::Vec2 feature_min_{};
+  geom::Vec2 feature_scale_{};  // 1 / (max - min)
+  geom::Vec2 hull_centroid_{};
+};
+
+/// Naive baseline (§3.1): a univariate linear model, time = c · points,
+/// with c fitted by least squares through the origin.
+class PointsProportionalModel final : public PerfModel {
+ public:
+  static PointsProportionalModel fit(std::span<const ProfilePoint> basis);
+
+  double predict(int nx, int ny) const override;
+  double coefficient() const { return coefficient_; }
+
+ private:
+  double coefficient_ = 0.0;
+};
+
+/// Regression baseline in the style of the Delgado et al. line of work
+/// the paper discusses (§2.1): ordinary least squares on the features
+/// (1, nx, ny, nx·ny). Unlike the Delaunay model it extrapolates
+/// globally, but it smooths over the piecewise structure the
+/// interpolation captures.
+class RegressionModel final : public PerfModel {
+ public:
+  /// Fit by solving the 4×4 normal equations; requires >= 4 points and a
+  /// non-singular system (throws PreconditionError otherwise).
+  static RegressionModel fit(std::span<const ProfilePoint> basis);
+
+  double predict(int nx, int ny) const override;
+
+  /// Coefficients (c0, c_nx, c_ny, c_points).
+  const std::array<double, 4>& coefficients() const { return coef_; }
+
+ private:
+  std::array<double, 4> coef_{0.0, 0.0, 0.0, 0.0};
+};
+
+/// Leave-one-out cross-validation of a profiling basis: fit the Delaunay
+/// model on all points but one, predict the held-out point, and return
+/// the relative errors (%) in basis order. Folds whose reduced basis is
+/// degenerate (< 3 points or collinear) are reported as -1.
+/// A cheap way to judge whether a basis covers its feature region well
+/// before spending cluster time on production runs.
+std::vector<double> leave_one_out_errors(std::span<const ProfilePoint> basis);
+
+/// The paper's 13-point basis recipe (§3.1): from candidate domains between
+/// `min_nx × min_ny` and `max_nx × max_ny` with aspect in [0.5, 1.5], pick
+/// a spread of sizes and aspects that covers the feature rectangle and
+/// triangulates well. Returns the (nx, ny) pairs; callers measure/simulate
+/// the times to complete the ProfilePoints.
+std::vector<std::pair<int, int>> default_basis_domains();
+
+}  // namespace nestwx::core

@@ -1,0 +1,273 @@
+#include "core/planner.hpp"
+
+#include "core/mapping_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "procgrid/decomp.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::core {
+
+namespace {
+
+/// Cheap estimate of a sibling's per-sub-step time on a processor
+/// rectangle: slowest ghost-ring-inflated tile compute, an uncontended
+/// halo-exchange estimate for the largest tile edge, and the serialised
+/// boundary-interpolation cost. Mapping-dependent contention is excluded
+/// (unknown at allocation time).
+double block_estimate(const topo::MachineParams& machine,
+                      const DomainSpec& sib, const procgrid::Rect& rect) {
+  const int px = std::min(rect.w, sib.nx);
+  const int py = std::min(rect.h, sib.ny);
+  const procgrid::Grid2D local(px, py);
+  const procgrid::Decomposition dec(sib.nx, sib.ny, local);
+  const int ov = machine.compute_halo_overhead;
+  long long worst = 0;
+  long long worst_edge = 0;
+  for (int r = 0; r < local.size(); ++r) {
+    const auto t = dec.tile(r);
+    worst = std::max(worst, static_cast<long long>(t.w + ov) *
+                                static_cast<long long>(t.h + ov));
+    worst_edge = std::max(worst_edge,
+                          static_cast<long long>(std::max(t.w, t.h)));
+  }
+  const double compute = static_cast<double>(worst) *
+                         machine.vertical_levels *
+                         machine.flops_per_point_per_level /
+                         machine.flop_rate;
+  const double edge_bytes = static_cast<double>(worst_edge) *
+                            machine.halo_width * machine.vertical_levels *
+                            machine.halo_variables *
+                            machine.bytes_per_element;
+  const double comm =
+      machine.halo_phases *
+      (4.0 * machine.software_latency +
+       edge_bytes * (1.0 / machine.link_bandwidth +
+                     2.0 / machine.pack_bandwidth));
+  const double bdy_bytes = 2.0 * (sib.nx + sib.ny) * machine.halo_width *
+                           machine.vertical_levels *
+                           machine.halo_variables *
+                           machine.bytes_per_element;
+  return compute + comm + bdy_bytes / machine.nest_boundary_rate;
+}
+
+/// Estimated block time of sibling `s` *including* its second-level
+/// children: each child is assumed to get a proportional sub-rectangle of
+/// the sibling's rect and to run r₂ sub-steps per sibling sub-step.
+double subtree_block_estimate(const topo::MachineParams& machine,
+                              const NestedConfig& config, std::size_t s,
+                              const procgrid::Rect& rect) {
+  double est = block_estimate(machine, config.siblings[s], rect);
+  const auto kids = config.children_of(static_cast<int>(s));
+  if (kids.empty()) return est;
+  std::vector<double> kid_w;
+  double total = 0.0;
+  for (int k : kids) {
+    kid_w.push_back(block_estimate(machine, config.second_level[k].spec,
+                                   rect));
+    total += kid_w.back();
+  }
+  // Children run concurrently on proportional sub-rectangles: the
+  // sibling's per-sub-step child phase is the *slowest* child's block.
+  double child_phase = 0.0;
+  for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+    const auto& kid = config.second_level[kids[ci]].spec;
+    const double share = kid_w[ci] / total;
+    procgrid::Rect kid_rect = rect;
+    kid_rect.w = std::max(1, static_cast<int>(rect.w * std::sqrt(share)));
+    kid_rect.h = std::max(1, static_cast<int>(rect.h * std::sqrt(share)));
+    child_phase = std::max(
+        child_phase,
+        kid.refinement_ratio * block_estimate(machine, kid, kid_rect));
+  }
+  return est + child_phase;
+}
+
+/// Fixed-point refinement of the allocation weights: re-partition with
+/// weights corrected by each sibling's estimated block time until the
+/// predicted blocks balance (or the iteration budget runs out). Returns
+/// the weights whose partition had the smallest max/mean block ratio.
+std::vector<double> refine_weights(const topo::MachineParams& machine,
+                                   const NestedConfig& config,
+                                   const procgrid::Rect& grid,
+                                   std::vector<double> weights) {
+  std::vector<double> best_weights = weights;
+  double best_spread = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto part = huffman_partition(grid, weights);
+    double mean = 0.0;
+    std::vector<double> blocks(config.siblings.size());
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      blocks[s] = config.siblings[s].refinement_ratio *
+                  subtree_block_estimate(machine, config, s, part.rects[s]);
+      mean += blocks[s];
+    }
+    mean /= static_cast<double>(blocks.size());
+    const double spread =
+        *std::max_element(blocks.begin(), blocks.end()) / mean;
+    if (spread < best_spread) {
+      best_spread = spread;
+      best_weights = weights;
+    }
+    // Grow the share of siblings whose block exceeds the mean.
+    double total = 0.0;
+    for (std::size_t s = 0; s < weights.size(); ++s) {
+      weights[s] *= std::pow(blocks[s] / mean, 0.7);
+      total += weights[s];
+    }
+    for (double& w : weights) w /= total;
+  }
+  return best_weights;
+}
+
+}  // namespace
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::sequential: return "sequential";
+    case Strategy::concurrent: return "concurrent";
+  }
+  return "?";
+}
+
+std::string to_string(Allocator a) {
+  switch (a) {
+    case Allocator::huffman: return "huffman";
+    case Allocator::huffman_single: return "huffman-single";
+    case Allocator::naive_strips: return "naive-strips";
+    case Allocator::equal: return "equal";
+  }
+  return "?";
+}
+
+CommPattern plan_comm_pattern(const NestedConfig& config,
+                              const ExecutionPlan& plan) {
+  CommPattern pat;
+  const auto& grid = plan.parent_grid;
+  for (int r = 0; r < grid.size(); ++r) {
+    const int x = grid.x_of(r);
+    const int y = grid.y_of(r);
+    if (x + 1 < grid.px()) pat.add(r, grid.rank(x + 1, y), 1.0);
+    if (y + 1 < grid.py()) pat.add(r, grid.rank(x, y + 1), 1.0);
+  }
+  if (plan.strategy == Strategy::concurrent && plan.partition) {
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      const auto& rect = plan.partition->rects[s];
+      const double w =
+          static_cast<double>(config.siblings[s].refinement_ratio);
+      for (int y = rect.y0; y < rect.y1(); ++y)
+        for (int x = rect.x0; x < rect.x1(); ++x) {
+          if (x + 1 < rect.x1())
+            pat.add(grid.rank(x, y), grid.rank(x + 1, y), w);
+          if (y + 1 < rect.y1())
+            pat.add(grid.rank(x, y), grid.rank(x, y + 1), w);
+        }
+    }
+  }
+  return pat;
+}
+
+ExecutionPlan plan_execution(const topo::MachineParams& machine,
+                             const NestedConfig& config,
+                             const PerfModel& model, Strategy strategy,
+                             Allocator allocator, MapScheme scheme,
+                             bool optimize_mapping) {
+  NESTWX_REQUIRE(!config.siblings.empty(),
+                 "configuration has no sibling nests");
+  ExecutionPlan plan;
+  plan.strategy = strategy;
+  plan.scheme = scheme;
+  plan.parent_grid = procgrid::choose_grid(
+      machine.total_ranks(), config.parent.nx, config.parent.ny);
+
+  const bool needs_partition =
+      strategy == Strategy::concurrent ||
+      scheme == MapScheme::partition || scheme == MapScheme::multilevel;
+  if (needs_partition) {
+    // Predicted-time weights; a sibling hosting second-level nests
+    // carries its whole subtree's work (each child contributes r₂
+    // sub-steps per sibling sub-step).
+    const auto subtree_ratios = [&] {
+      std::vector<double> w;
+      double total = 0.0;
+      for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+        double t = model.predict(config.siblings[s]);
+        for (int k : config.children_of(static_cast<int>(s)))
+          t += config.second_level[k].spec.refinement_ratio *
+               model.predict(config.second_level[k].spec);
+        w.push_back(t);
+        total += t;
+      }
+      for (double& x : w) x /= total;
+      return w;
+    };
+    switch (allocator) {
+      case Allocator::huffman:
+        plan.weights = refine_weights(machine, config,
+                                      plan.parent_grid.bounds(),
+                                      subtree_ratios());
+        plan.partition =
+            huffman_partition(plan.parent_grid.bounds(), plan.weights);
+        break;
+      case Allocator::huffman_single:
+        plan.weights = subtree_ratios();
+        plan.partition =
+            huffman_partition(plan.parent_grid.bounds(), plan.weights);
+        break;
+      case Allocator::naive_strips:
+        plan.weights.clear();
+        for (const auto& s : config.siblings)
+          plan.weights.push_back(static_cast<double>(s.points()));
+        plan.partition =
+            strip_partition(plan.parent_grid.bounds(), plan.weights);
+        break;
+      case Allocator::equal:
+        plan.weights.assign(config.siblings.size(),
+                            1.0 / static_cast<double>(config.siblings.size()));
+        plan.partition = equal_partition(
+            plan.parent_grid.bounds(),
+            static_cast<int>(config.siblings.size()));
+        break;
+    }
+  }
+  // Second-level nests: partition each hosting sibling's rectangle among
+  // its children (concurrent strategy only; sequentially they simply run
+  // one after another on the sibling's processors).
+  if (!config.second_level.empty() && plan.partition.has_value() &&
+      strategy == Strategy::concurrent) {
+    plan.child_partitions.resize(config.siblings.size());
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      const auto kids = config.children_of(static_cast<int>(s));
+      if (kids.empty()) continue;
+      std::vector<DomainSpec> child_specs;
+      for (int k : kids) child_specs.push_back(config.second_level[k].spec);
+      auto ratios = model.ratios(child_specs);
+      if (allocator == Allocator::huffman) {
+        // Balance the children's blocks on their candidate rectangles,
+        // exactly as for the first level.
+        NestedConfig inner;
+        inner.parent = config.siblings[s];
+        inner.siblings = child_specs;
+        ratios = refine_weights(machine, inner, plan.partition->rects[s],
+                                ratios);
+      }
+      plan.child_partitions[s] =
+          huffman_partition(plan.partition->rects[s], ratios);
+    }
+  }
+  plan.mapping = make_mapping(machine, plan.parent_grid, scheme,
+                              plan.partition);
+  if (optimize_mapping) {
+    // Local-search pass over the plan's own communication pattern —
+    // mainly useful on non-foldable geometries where the constructive
+    // schemes fall back to serpentine fills.
+    const auto pattern = plan_comm_pattern(config, plan);
+    plan.mapping = refine_mapping(*plan.mapping, pattern).mapping;
+  }
+  return plan;
+}
+
+}  // namespace nestwx::core

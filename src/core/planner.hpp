@@ -1,0 +1,93 @@
+#pragma once
+/// \file planner.hpp
+/// Builds execution plans: which strategy runs the siblings (the default
+/// sequential one-nest-at-a-time on all processors, or the paper's
+/// concurrent execution on disjoint partitions), with which allocator and
+/// which 2-D → 3-D mapping.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/domain.hpp"
+#include "core/mapping.hpp"
+#include "core/perf_model.hpp"
+#include "procgrid/grid2d.hpp"
+#include "topo/machine.hpp"
+
+namespace nestwx::core {
+
+/// Sibling execution strategies (paper §3).
+enum class Strategy {
+  sequential,  ///< default WRF: every nest on the full processor set, in turn
+  concurrent   ///< the paper: all nests simultaneously on disjoint partitions
+};
+
+/// Which allocator shapes the concurrent partitions.
+enum class Allocator {
+  huffman,        ///< Algorithm 1 + fixed-point refinement (see below)
+  huffman_single, ///< the paper's single-shot Algorithm 1 allocation
+  naive_strips,   ///< §4.6 baseline: vertical strips ∝ point counts
+  equal           ///< equal-share split
+};
+
+std::string to_string(Strategy s);
+std::string to_string(Allocator a);
+
+/// A complete, machine-realisable plan for one nested configuration.
+struct ExecutionPlan {
+  Strategy strategy = Strategy::sequential;
+  MapScheme scheme = MapScheme::xyzt;
+
+  /// Virtual grid of the full machine (parent domain decomposition).
+  procgrid::Grid2D parent_grid{1, 1};
+
+  /// For the concurrent strategy: the sibling partition of parent_grid
+  /// (rects indexed by sibling order) and the weights that produced it.
+  std::optional<GridPartition> partition;
+  std::vector<double> weights;
+
+  /// For configurations with second-level nests under the concurrent
+  /// strategy: per first-level sibling, the partition of *its* rectangle
+  /// among its children (nullopt when the sibling has no children).
+  /// Rects are indexed by the order of NestedConfig::children_of(s).
+  std::vector<std::optional<GridPartition>> child_partitions;
+
+  /// The rank → torus placement used by the run.
+  std::optional<Mapping> mapping;
+};
+
+/// Assemble a plan.
+///
+/// * parent_grid is chosen square-seeking for the parent domain over all
+///   machine ranks.
+/// * For Strategy::concurrent the sibling weights come from `model`
+///   (Allocator::huffman / equal) or from raw point counts
+///   (Allocator::naive_strips), and the grid is partitioned accordingly.
+/// * Allocator::huffman additionally refines the weights by a short
+///   fixed-point iteration: the per-sibling sub-step time is re-estimated
+///   at each candidate partition size (where small tiles pay a relatively
+///   larger ghost-ring overhead) and the weights are corrected until the
+///   predicted sibling blocks are balanced — the paper's requirement that
+///   the siblings "reach the synchronization step with the parent
+///   together". Allocator::huffman_single is the paper's one-shot
+///   allocation.
+/// * For the partition/multilevel map schemes with Strategy::sequential,
+///   a partition is still computed (the schemes need one); callers
+///   normally pair sequential with xyzt/txyz as the paper does.
+ExecutionPlan plan_execution(const topo::MachineParams& machine,
+                             const NestedConfig& config,
+                             const PerfModel& model, Strategy strategy,
+                             Allocator allocator = Allocator::huffman,
+                             MapScheme scheme = MapScheme::xyzt,
+                             bool optimize_mapping = false);
+
+/// The weighted halo communication pattern a plan induces: the parent's
+/// neighbour pairs at weight 1 and, for the concurrent strategy, each
+/// sibling's intra-partition pairs at weight r (nests exchange r times
+/// per parent step). Feed to average_hops / refine_mapping.
+CommPattern plan_comm_pattern(const NestedConfig& config,
+                              const ExecutionPlan& plan);
+
+}  // namespace nestwx::core

@@ -1,0 +1,86 @@
+#include "geom/convex_hull.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace nestwx::geom {
+
+std::vector<int> convex_hull(std::span<const Vec2> points) {
+  NESTWX_REQUIRE(!points.empty(), "convex hull of empty point set");
+  const int n = static_cast<int>(points.size());
+  std::vector<int> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (points[a].x != points[b].x) return points[a].x < points[b].x;
+    return points[a].y < points[b].y;
+  });
+  // Deduplicate coincident points.
+  order.erase(std::unique(order.begin(), order.end(),
+                          [&](int a, int b) { return points[a] == points[b]; }),
+              order.end());
+  if (order.size() <= 2) return order;
+
+  std::vector<int> hull(2 * order.size());
+  std::size_t k = 0;
+  for (int idx : order) {  // lower chain
+    while (k >= 2 && orient2d(points[hull[k - 2]], points[hull[k - 1]],
+                              points[idx]) <= 0)
+      --k;
+    hull[k++] = idx;
+  }
+  const std::size_t lower = k + 1;
+  for (auto it = order.rbegin() + 1; it != order.rend(); ++it) {  // upper
+    while (k >= lower && orient2d(points[hull[k - 2]], points[hull[k - 1]],
+                                  points[*it]) <= 0)
+      --k;
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);
+  (void)n;
+  return hull;
+}
+
+bool point_in_convex_polygon(std::span<const Vec2> hull, Vec2 p, double eps) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return dist(hull[0], p) <= eps;
+  if (hull.size() == 2) {
+    // On-segment test.
+    const Vec2 d = hull[1] - hull[0];
+    const double len2 = dot(d, d);
+    if (len2 == 0.0) return dist(hull[0], p) <= eps;
+    const double t = dot(p - hull[0], d) / len2;
+    if (t < -eps || t > 1.0 + eps) return false;
+    const Vec2 proj = hull[0] + t * d;
+    return dist(proj, p) <= eps;
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % hull.size()];
+    if (orient2d(a, b, p) < -eps) return false;
+  }
+  return true;
+}
+
+Vec2 centroid(std::span<const Vec2> points) {
+  NESTWX_REQUIRE(!points.empty(), "centroid of empty point set");
+  Vec2 c{0.0, 0.0};
+  for (Vec2 p : points) c = c + p;
+  return (1.0 / static_cast<double>(points.size())) * c;
+}
+
+Vec2 scale_into_hull(std::span<const Vec2> hull, Vec2 p, Vec2 anchor,
+                     double factor, int max_iter) {
+  NESTWX_REQUIRE(factor > 0.0 && factor < 1.0, "factor must be in (0,1)");
+  Vec2 q = p;
+  for (int i = 0; i < max_iter; ++i) {
+    if (point_in_convex_polygon(hull, q)) return q;
+    q = anchor + factor * (q - anchor);
+  }
+  NESTWX_ASSERT(point_in_convex_polygon(hull, anchor, 1e-9),
+                "anchor itself lies outside hull; cannot scale into hull");
+  return anchor;
+}
+
+}  // namespace nestwx::geom

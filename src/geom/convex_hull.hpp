@@ -1,0 +1,33 @@
+#pragma once
+/// \file convex_hull.hpp
+/// Convex hull (Andrew's monotone chain) and point-in-hull queries.
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace nestwx::geom {
+
+/// Indices of the convex hull of `points`, counter-clockwise, starting from
+/// the lexicographically smallest point. Collinear interior points are
+/// excluded. Requires at least one point.
+std::vector<int> convex_hull(std::span<const Vec2> points);
+
+/// True when p lies inside or on the polygon given by `hull` (counter-
+/// clockwise vertex list).
+bool point_in_convex_polygon(std::span<const Vec2> hull, Vec2 p,
+                             double eps = 1e-12);
+
+/// Centroid (arithmetic mean) of a point set. Requires non-empty input.
+Vec2 centroid(std::span<const Vec2> points);
+
+/// Move p toward `anchor` by repeatedly scaling the offset by `factor`
+/// (0 < factor < 1) until it lies inside the hull; mirrors the paper's
+/// "scale down to the region of coverage" rule for out-of-hull domains.
+/// Returns the first in-hull point found; throws InvariantError if the
+/// hull is degenerate and no point is ever inside.
+Vec2 scale_into_hull(std::span<const Vec2> hull, Vec2 p, Vec2 anchor,
+                     double factor = 0.95, int max_iter = 2000);
+
+}  // namespace nestwx::geom

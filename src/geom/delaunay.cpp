@@ -1,0 +1,235 @@
+#include "geom/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "geom/convex_hull.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::geom {
+
+namespace {
+
+/// Working triangle during construction (no adjacency yet).
+struct WorkTri {
+  std::array<int, 3> v;
+  bool alive = true;
+};
+
+/// Edge key with canonical vertex order for boundary extraction.
+struct Edge {
+  int a, b;
+  friend bool operator<(const Edge& l, const Edge& r) {
+    return std::pair(l.a, l.b) < std::pair(r.a, r.b);
+  }
+};
+
+Edge make_edge(int a, int b) { return a < b ? Edge{a, b} : Edge{b, a}; }
+
+}  // namespace
+
+Delaunay Delaunay::build(std::span<const Vec2> pts) {
+  NESTWX_REQUIRE(pts.size() >= 3, "Delaunay needs at least 3 points");
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      NESTWX_REQUIRE(!(pts[i] == pts[j]),
+                     "Delaunay input contains coincident points");
+
+  // Check non-collinearity.
+  bool non_collinear = false;
+  for (std::size_t k = 2; k < pts.size() && !non_collinear; ++k)
+    non_collinear = std::abs(orient2d(pts[0], pts[1], pts[k])) > 0.0;
+  NESTWX_REQUIRE(non_collinear, "Delaunay input is collinear");
+
+  Delaunay d;
+  d.points_.assign(pts.begin(), pts.end());
+  const int n = static_cast<int>(pts.size());
+
+  // Super-triangle comfortably enclosing the bounding box.
+  double min_x = pts[0].x, max_x = pts[0].x;
+  double min_y = pts[0].y, max_y = pts[0].y;
+  for (Vec2 p : pts) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1.0});
+  const Vec2 mid{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  std::vector<Vec2> work(d.points_);
+  work.push_back({mid.x - 30.0 * span, mid.y - 10.0 * span});  // n
+  work.push_back({mid.x + 30.0 * span, mid.y - 10.0 * span});  // n+1
+  work.push_back({mid.x, mid.y + 30.0 * span});                // n+2
+
+  std::vector<WorkTri> tris;
+  tris.push_back({{n, n + 1, n + 2}, true});
+
+  // Incremental insertion (Bowyer–Watson).
+  for (int ip = 0; ip < n; ++ip) {
+    const Vec2 p = work[ip];
+    // Collect edges of the cavity: edges of "bad" triangles not shared by
+    // two bad triangles.
+    std::map<Edge, std::pair<int, int>> edge_count;  // count, any orientation
+    std::vector<int> bad;
+    for (int t = 0; t < static_cast<int>(tris.size()); ++t) {
+      if (!tris[t].alive) continue;
+      const auto& v = tris[t].v;
+      if (incircle(work[v[0]], work[v[1]], work[v[2]], p) > 0.0) {
+        bad.push_back(t);
+        for (int e = 0; e < 3; ++e) {
+          const int a = v[e];
+          const int b = v[(e + 1) % 3];
+          auto [it, inserted] =
+              edge_count.try_emplace(make_edge(a, b), std::pair(0, 0));
+          it->second.first += 1;
+          (void)inserted;
+        }
+      }
+    }
+    NESTWX_ASSERT(!bad.empty(), "inserted point not in any circumcircle");
+    for (int t : bad) tris[t].alive = false;
+    // Re-triangulate the cavity: connect boundary edges (count == 1) to p,
+    // preserving counter-clockwise orientation.
+    for (int t : bad) {
+      // Copy: push_back below may reallocate `tris`.
+      const std::array<int, 3> v = tris[t].v;
+      for (int e = 0; e < 3; ++e) {
+        const int a = v[e];
+        const int b = v[(e + 1) % 3];
+        if (edge_count.at(make_edge(a, b)).first == 1) {
+          tris.push_back({{a, b, ip}, true});
+        }
+      }
+    }
+  }
+
+  // Keep triangles with no super-triangle vertex; enforce CCW orientation.
+  for (const auto& wt : tris) {
+    if (!wt.alive) continue;
+    if (wt.v[0] >= n || wt.v[1] >= n || wt.v[2] >= n) continue;
+    Triangle t;
+    t.v = wt.v;
+    if (orient2d(d.points_[t.v[0]], d.points_[t.v[1]], d.points_[t.v[2]]) <
+        0.0)
+      std::swap(t.v[1], t.v[2]);
+    d.triangles_.push_back(t);
+  }
+  NESTWX_ASSERT(!d.triangles_.empty(), "triangulation produced no triangles");
+
+  // Build adjacency: nbr[i] is across the edge opposite vertex i.
+  std::map<Edge, std::vector<std::pair<int, int>>> edge_tris;
+  for (int t = 0; t < static_cast<int>(d.triangles_.size()); ++t) {
+    const auto& v = d.triangles_[t].v;
+    for (int i = 0; i < 3; ++i) {
+      // Edge opposite vertex i connects v[(i+1)%3], v[(i+2)%3].
+      edge_tris[make_edge(v[(i + 1) % 3], v[(i + 2) % 3])].push_back({t, i});
+    }
+  }
+  for (const auto& [edge, users] : edge_tris) {
+    (void)edge;
+    NESTWX_ASSERT(users.size() <= 2, "edge shared by more than two triangles");
+    if (users.size() == 2) {
+      d.triangles_[users[0].first].nbr[users[0].second] = users[1].first;
+      d.triangles_[users[1].first].nbr[users[1].second] = users[0].first;
+    }
+  }
+
+  d.hull_ = convex_hull(d.points_);
+  return d;
+}
+
+int Delaunay::locate(Vec2 p) const {
+  // Remembering stochastic-free walk: from the last hit, step toward p
+  // across the edge whose half-plane excludes p.
+  const double eps = 1e-12;
+  int tri = last_located_;
+  if (tri < 0 || tri >= static_cast<int>(triangles_.size())) tri = 0;
+  for (std::size_t steps = 0; steps <= triangles_.size(); ++steps) {
+    const auto& t = triangles_[tri];
+    int next = -2;
+    for (int i = 0; i < 3; ++i) {
+      const Vec2 a = points_[t.v[(i + 1) % 3]];
+      const Vec2 b = points_[t.v[(i + 2) % 3]];
+      if (orient2d(a, b, p) < -eps) {
+        next = t.nbr[i];
+        break;
+      }
+    }
+    if (next == -2) {  // inside or on boundary of current triangle
+      last_located_ = tri;
+      return tri;
+    }
+    if (next == -1) break;  // walked off the hull: p may be outside
+    tri = next;
+  }
+  // Fallback: exhaustive scan (handles walk failures near degeneracies).
+  for (int t = 0; t < static_cast<int>(triangles_.size()); ++t) {
+    const auto& v = triangles_[t].v;
+    bool inside = true;
+    for (int i = 0; i < 3 && inside; ++i) {
+      inside = orient2d(points_[v[i]], points_[v[(i + 1) % 3]], p) >= -eps;
+    }
+    if (inside) {
+      last_located_ = t;
+      return t;
+    }
+  }
+  return -1;
+}
+
+Barycentric Delaunay::barycentric(int tri, Vec2 p) const {
+  NESTWX_REQUIRE(tri >= 0 && tri < static_cast<int>(triangles_.size()),
+                 "triangle index out of range");
+  const auto& t = triangles_[tri];
+  const Vec2 a = points_[t.v[0]];
+  const Vec2 b = points_[t.v[1]];
+  const Vec2 c = points_[t.v[2]];
+  // Paper Eqs. (1)–(2); Eq. (3) as printed (λ3 = λ1 − λ2) is a typo for the
+  // standard λ3 = 1 − λ1 − λ2, which we implement.
+  const double den =
+      (b.y - c.y) * (a.x - c.x) + (c.x - b.x) * (a.y - c.y);
+  NESTWX_ASSERT(den != 0.0, "degenerate triangle in barycentric");
+  Barycentric out;
+  out.vertex = t.v;
+  out.lambda[0] =
+      ((b.y - c.y) * (p.x - c.x) + (c.x - b.x) * (p.y - c.y)) / den;
+  out.lambda[1] =
+      ((c.y - a.y) * (p.x - c.x) + (a.x - c.x) * (p.y - c.y)) / den;
+  out.lambda[2] = 1.0 - out.lambda[0] - out.lambda[1];
+  return out;
+}
+
+std::optional<Barycentric> Delaunay::interpolation_weights(Vec2 p) const {
+  const int tri = locate(p);
+  if (tri < 0) return std::nullopt;
+  return barycentric(tri, p);
+}
+
+std::optional<double> Delaunay::interpolate(
+    Vec2 p, std::span<const double> values) const {
+  NESTWX_REQUIRE(values.size() == points_.size(),
+                 "one value per triangulated point required");
+  const auto w = interpolation_weights(p);
+  if (!w) return std::nullopt;
+  double out = 0.0;
+  for (int i = 0; i < 3; ++i) out += w->lambda[i] * values[w->vertex[i]];
+  return out;
+}
+
+int Delaunay::delaunay_violations(double eps) const {
+  int violations = 0;
+  for (const auto& t : triangles_) {
+    const Vec2 a = points_[t.v[0]];
+    const Vec2 b = points_[t.v[1]];
+    const Vec2 c = points_[t.v[2]];
+    for (int p = 0; p < static_cast<int>(points_.size()); ++p) {
+      if (p == t.v[0] || p == t.v[1] || p == t.v[2]) continue;
+      if (incircle(a, b, c, points_[p]) > eps) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace nestwx::geom

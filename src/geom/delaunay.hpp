@@ -1,0 +1,75 @@
+#pragma once
+/// \file delaunay.hpp
+/// Bowyer–Watson Delaunay triangulation with point location and barycentric
+/// interpolation — the geometric engine behind the paper's performance
+/// prediction model (§3.1, Fig. 3a).
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace nestwx::geom {
+
+/// A triangle of the final triangulation. `v` are indices into points();
+/// `nbr[i]` is the index of the triangle sharing the edge opposite v[i]
+/// (-1 on the convex-hull boundary). Vertices are counter-clockwise.
+struct Triangle {
+  std::array<int, 3> v{-1, -1, -1};
+  std::array<int, 3> nbr{-1, -1, -1};
+};
+
+/// Barycentric coordinates of a query point inside a triangle, paired with
+/// the triangle's vertex indices so callers can blend vertex attributes:
+/// value(p) = Σ lambda[i] · value(vertex[i]).
+struct Barycentric {
+  std::array<double, 3> lambda{0.0, 0.0, 0.0};
+  std::array<int, 3> vertex{-1, -1, -1};
+};
+
+/// Immutable Delaunay triangulation of a planar point set.
+class Delaunay {
+ public:
+  /// Triangulate `pts`. Requires >= 3 distinct, non-collinear points;
+  /// throws PreconditionError otherwise. Coincident points (within exact
+  /// double equality) are rejected with PreconditionError.
+  static Delaunay build(std::span<const Vec2> pts);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+
+  /// Index of a triangle containing p (boundary inclusive), or -1 when p
+  /// lies outside the convex hull. Uses a remembering walk from the last
+  /// hit with a brute-force fallback, so it is correct for any input.
+  int locate(Vec2 p) const;
+
+  /// Barycentric coordinates of p within triangle `tri`.
+  Barycentric barycentric(int tri, Vec2 p) const;
+
+  /// locate + barycentric in one call; nullopt when outside the hull.
+  std::optional<Barycentric> interpolation_weights(Vec2 p) const;
+
+  /// Blend per-vertex values at p: Σ λ_i · values[v_i]. nullopt outside
+  /// the hull. `values` must have one entry per input point.
+  std::optional<double> interpolate(Vec2 p,
+                                    std::span<const double> values) const;
+
+  /// Convex hull vertex indices (counter-clockwise).
+  const std::vector<int>& hull() const { return hull_; }
+
+  /// Verify the empty-circumcircle property for every triangle/point pair;
+  /// used by tests and returns the number of violations (0 when Delaunay).
+  int delaunay_violations(double eps = 1e-9) const;
+
+ private:
+  Delaunay() = default;
+
+  std::vector<Vec2> points_;
+  std::vector<Triangle> triangles_;
+  std::vector<int> hull_;
+  mutable int last_located_ = 0;
+};
+
+}  // namespace nestwx::geom

@@ -1,0 +1,62 @@
+#pragma once
+/// \file vec2.hpp
+/// 2-D points/vectors and orientation predicates for the geometry module.
+
+#include <cmath>
+
+namespace nestwx::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) {
+    return {s * a.x, s * a.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return s * a; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+inline double norm(Vec2 a) { return std::sqrt(dot(a, a)); }
+inline double dist(Vec2 a, Vec2 b) { return norm(a - b); }
+
+/// Twice the signed area of triangle (a, b, c); positive when counter-
+/// clockwise. Evaluated in extended precision to reduce cancellation.
+inline double orient2d(Vec2 a, Vec2 b, Vec2 c) {
+  const long double acx = static_cast<long double>(a.x) - c.x;
+  const long double acy = static_cast<long double>(a.y) - c.y;
+  const long double bcx = static_cast<long double>(b.x) - c.x;
+  const long double bcy = static_cast<long double>(b.y) - c.y;
+  return static_cast<double>(acx * bcy - acy * bcx);
+}
+
+/// InCircle predicate: > 0 iff point d lies strictly inside the circumcircle
+/// of the counter-clockwise triangle (a, b, c).
+inline double incircle(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const long double adx = static_cast<long double>(a.x) - d.x;
+  const long double ady = static_cast<long double>(a.y) - d.y;
+  const long double bdx = static_cast<long double>(b.x) - d.x;
+  const long double bdy = static_cast<long double>(b.y) - d.y;
+  const long double cdx = static_cast<long double>(c.x) - d.x;
+  const long double cdy = static_cast<long double>(c.y) - d.y;
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+  const long double det = adx * (bdy * cd2 - cdy * bd2) -
+                          ady * (bdx * cd2 - cdx * bd2) +
+                          ad2 * (bdx * cdy - cdx * bdy);
+  return static_cast<double>(det);
+}
+
+}  // namespace nestwx::geom

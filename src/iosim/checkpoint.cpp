@@ -1,0 +1,85 @@
+#include "iosim/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace nestwx::iosim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E575843;  // "NWXC"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  std::int32_t halo = 0;
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+void write_field(std::ofstream& f, const swm::Field2D& field) {
+  const auto data = field.raw();
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+}
+
+void read_field(std::ifstream& f, swm::Field2D& field,
+                const std::string& path) {
+  auto data = field.raw();
+  f.read(reinterpret_cast<char*>(data.data()),
+         static_cast<std::streamsize>(data.size() * sizeof(double)));
+  NESTWX_REQUIRE(f.good(), "checkpoint truncated: " + path);
+}
+
+}  // namespace
+
+void save_checkpoint(const swm::State& state, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  NESTWX_REQUIRE(f.good(), "cannot open checkpoint for writing: " + path);
+  Header h;
+  h.nx = state.grid.nx;
+  h.ny = state.grid.ny;
+  h.halo = state.grid.halo;
+  h.dx = state.grid.dx;
+  h.dy = state.grid.dy;
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  write_field(f, state.h);
+  write_field(f, state.u);
+  write_field(f, state.v);
+  write_field(f, state.b);
+  NESTWX_REQUIRE(f.good(), "checkpoint write failed: " + path);
+}
+
+swm::State load_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  NESTWX_REQUIRE(f.good(), "cannot open checkpoint: " + path);
+  Header h;
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  NESTWX_REQUIRE(f.good(), "checkpoint truncated (header): " + path);
+  NESTWX_REQUIRE(h.magic == kMagic, "not a nestwx checkpoint: " + path);
+  NESTWX_REQUIRE(h.version == kVersion,
+                 "unsupported checkpoint version in " + path);
+  NESTWX_REQUIRE(h.nx >= 1 && h.ny >= 1 && h.halo >= 1 && h.dx > 0.0 &&
+                     h.dy > 0.0,
+                 "corrupt checkpoint geometry in " + path);
+  swm::GridSpec g;
+  g.nx = h.nx;
+  g.ny = h.ny;
+  g.halo = h.halo;
+  g.dx = h.dx;
+  g.dy = h.dy;
+  swm::State state(g);
+  read_field(f, state.h, path);
+  read_field(f, state.u, path);
+  read_field(f, state.v, path);
+  read_field(f, state.b, path);
+  return state;
+}
+
+}  // namespace nestwx::iosim

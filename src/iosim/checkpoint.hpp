@@ -1,0 +1,22 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Binary checkpoint/restart for shallow-water states — the operational
+/// counterpart of WRF's restart files. The format is a small
+/// header (magic, version, grid geometry) followed by the raw field
+/// payloads (including ghost cells, so a restarted run is bit-identical
+/// to an uninterrupted one).
+
+#include <string>
+
+#include "swm/state.hpp"
+
+namespace nestwx::iosim {
+
+/// Write `state` to `path`. Throws PreconditionError on I/O failure.
+void save_checkpoint(const swm::State& state, const std::string& path);
+
+/// Read a state back. Throws PreconditionError when the file is missing,
+/// truncated, or not a nestwx checkpoint of a compatible version.
+swm::State load_checkpoint(const std::string& path);
+
+}  // namespace nestwx::iosim

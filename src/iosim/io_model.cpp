@@ -1,0 +1,41 @@
+#include "iosim/io_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::iosim {
+
+IoModel::IoModel(const topo::MachineParams& machine) : machine_(machine) {
+  NESTWX_REQUIRE(machine.io_stream_bandwidth > 0.0,
+                 "I/O stream bandwidth must be positive");
+}
+
+double IoModel::write_time(double bytes, int writers, IoMode mode) const {
+  NESTWX_REQUIRE(bytes >= 0.0, "negative byte count");
+  NESTWX_REQUIRE(writers >= 1, "need at least one writer");
+  const double stream = bytes / machine_.io_stream_bandwidth;
+  switch (mode) {
+    case IoMode::pnetcdf_collective:
+      return machine_.io_base_latency +
+             machine_.io_per_rank_overhead * writers + stream;
+    case IoMode::split_files: {
+      // Every rank writes its own file; metadata/create cost per file is
+      // tiny but filesystem metadata service saturates slowly (sqrt
+      // growth models the directory contention seen in practice).
+      const double metadata =
+          0.2 * machine_.io_base_latency * std::sqrt(writers);
+      return machine_.io_base_latency + metadata + stream;
+    }
+  }
+  NESTWX_ASSERT(false, "unknown I/O mode");
+  return 0.0;
+}
+
+double IoModel::frame_bytes(int nx, int ny, int levels, int fields) {
+  NESTWX_REQUIRE(nx > 0 && ny > 0 && levels > 0 && fields > 0,
+                 "frame dimensions must be positive");
+  return static_cast<double>(nx) * ny * levels * fields * 4.0;
+}
+
+}  // namespace nestwx::iosim

@@ -1,0 +1,43 @@
+#pragma once
+/// \file io_model.hpp
+/// Parallel-I/O cost model (paper §4.5).
+///
+/// The paper observes that PnetCDF collective writes *slow down* as more
+/// MPI ranks participate — per-iteration I/O time rises steadily with the
+/// processor count (Fig. 13b) — so running each sibling on a processor
+/// subset also shrinks the writer set per output file and improves I/O
+/// scaling. The model:
+///
+///   collective:  T = base + overhead · writers + bytes / stream_bw
+///   split files: T = base_split + file_cost · ceil(writers/ranks_per_file)
+///                    + bytes / stream_bw
+///
+/// `overhead · writers` is the collective coordination term that grows
+/// with the communicator size; the streaming term is shared.
+
+#include "topo/machine.hpp"
+
+namespace nestwx::iosim {
+
+enum class IoMode {
+  pnetcdf_collective,  ///< used on BG/P in the paper
+  split_files          ///< WRF split I/O, used on BG/L in the paper
+};
+
+class IoModel {
+ public:
+  explicit IoModel(const topo::MachineParams& machine);
+
+  /// Seconds to write one frame of `bytes` with `writers` participating
+  /// ranks.
+  double write_time(double bytes, int writers, IoMode mode) const;
+
+  /// Bytes of one output frame of an nx × ny domain: all vertical levels
+  /// of `fields` variables in 4-byte reals.
+  static double frame_bytes(int nx, int ny, int levels, int fields = 10);
+
+ private:
+  topo::MachineParams machine_;
+};
+
+}  // namespace nestwx::iosim

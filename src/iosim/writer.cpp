@@ -1,0 +1,41 @@
+#include "iosim/writer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nestwx::iosim {
+
+void write_field_csv(const swm::Field2D& f, const std::string& path) {
+  std::ofstream out(path);
+  NESTWX_REQUIRE(out.good(), "cannot open field output file: " + path);
+  for (int j = 0; j < f.ny(); ++j) {
+    for (int i = 0; i < f.nx(); ++i) {
+      if (i) out << ',';
+      out << f(i, j);
+    }
+    out << '\n';
+  }
+}
+
+int write_state_frame(const swm::State& s, const std::string& dir,
+                      const std::string& prefix, int step) {
+  std::filesystem::create_directories(dir);
+  auto path = [&](const char* field) {
+    std::ostringstream os;
+    os << dir << '/' << prefix << '_' << field << '_' << step << ".csv";
+    return os.str();
+  };
+  write_field_csv(s.h, path("h"));
+  write_field_csv(s.u, path("u"));
+  write_field_csv(s.v, path("v"));
+  swm::Field2D eta(s.grid.nx, s.grid.ny, 0);
+  for (int j = 0; j < s.grid.ny; ++j)
+    for (int i = 0; i < s.grid.nx; ++i) eta(i, j) = s.eta(i, j);
+  write_field_csv(eta, path("eta"));
+  return 4;
+}
+
+}  // namespace nestwx::iosim

@@ -1,0 +1,21 @@
+#pragma once
+/// \file writer.hpp
+/// Real on-disk output for shallow-water states (CSV grids, one file per
+/// field per frame) — the concrete counterpart of the I/O *cost* model,
+/// used by the example applications to emit visualisable forecasts.
+
+#include <string>
+
+#include "swm/state.hpp"
+
+namespace nestwx::iosim {
+
+/// Write the interior of `f` as a CSV grid (row j per line, x ascending).
+void write_field_csv(const swm::Field2D& f, const std::string& path);
+
+/// Write h/u/v/eta of `s` as <dir>/<prefix>_<field>_<step>.csv; creates
+/// `dir` if needed. Returns the number of files written.
+int write_state_frame(const swm::State& s, const std::string& dir,
+                      const std::string& prefix, int step);
+
+}  // namespace nestwx::iosim

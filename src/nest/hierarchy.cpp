@@ -1,0 +1,115 @@
+#include "nest/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nestwx::nest {
+
+HierarchicalSimulation::HierarchicalSimulation(
+    swm::State root_initial, swm::ModelParams params,
+    const std::vector<TreeNestSpec>& nests)
+    : params_(params),
+      root_(std::move(root_initial)),
+      root_stepper_(root_.grid, params) {
+  swm::apply_boundary(root_, params_.boundary);
+  nodes_.reserve(nests.size());
+  for (std::size_t k = 0; k < nests.size(); ++k) {
+    const auto& tn = nests[k];
+    NESTWX_REQUIRE(tn.parent >= -1 && tn.parent < static_cast<int>(k),
+                   "nest parent must precede it in the list (or be -1)");
+    const swm::State& host =
+        tn.parent < 0 ? root_ : nodes_[tn.parent].domain->state();
+    Node node;
+    node.parent = tn.parent;
+    node.domain = std::make_unique<NestedDomain>(host, tn.spec);
+    swm::ModelParams child_params = params_;
+    child_params.boundary = swm::BoundaryKind::open;
+    // Scale diffusion with the cumulative refinement along the path to
+    // the root (constant grid Reynolds number across levels).
+    double cumulative = tn.spec.ratio;
+    for (int p = tn.parent; p >= 0; p = nests[p].parent)
+      cumulative *= nests[p].spec.ratio;
+    child_params.viscosity = params_.viscosity / cumulative;
+    node.stepper = std::make_unique<swm::Stepper>(
+        node.domain->state().grid, child_params);
+    nodes_.push_back(std::move(node));
+    if (tn.parent < 0)
+      root_children_.push_back(static_cast<int>(k));
+    else
+      nodes_[tn.parent].children.push_back(static_cast<int>(k));
+  }
+}
+
+int HierarchicalSimulation::level_of(std::size_t k) const {
+  int level = 1;
+  int p = nodes_[k].parent;
+  while (p >= 0) {
+    ++level;
+    p = nodes_[p].parent;
+  }
+  return level;
+}
+
+swm::State& HierarchicalSimulation::state_of(int index) {
+  return index < 0 ? root_ : nodes_[index].domain->state();
+}
+
+void HierarchicalSimulation::advance_children(int parent_index,
+                                              const swm::State& prev,
+                                              const swm::State& next,
+                                              double parent_dt) {
+  const auto& children =
+      parent_index < 0 ? root_children_ : nodes_[parent_index].children;
+  for (int c : children) {
+    Node& node = nodes_[c];
+    const int r = node.domain->spec().ratio;
+    const double child_dt = parent_dt / r;
+    for (int sub = 0; sub < r; ++sub) {
+      const double alpha = (static_cast<double>(sub) + 0.5) / r;
+      node.domain->force_boundary(prev, next, alpha);
+      if (node.children.empty()) {
+        node.stepper->step(node.domain->state(), child_dt);
+      } else {
+        // Bracket this sub-step for the grandchildren.
+        const swm::State before = node.domain->state();
+        node.stepper->step(node.domain->state(), child_dt);
+        advance_children(c, before, node.domain->state(), child_dt);
+      }
+    }
+    node.domain->feedback(state_of(parent_index));
+  }
+}
+
+void HierarchicalSimulation::advance(double dt) {
+  NESTWX_REQUIRE(dt > 0.0, "time step must be positive");
+  const swm::State prev = root_;
+  root_stepper_.step(root_, dt);
+  advance_children(-1, prev, root_, dt);
+  swm::apply_boundary(root_, params_.boundary);
+  ++steps_;
+}
+
+void HierarchicalSimulation::run(double dt, int n) {
+  for (int i = 0; i < n; ++i) advance(dt);
+}
+
+double HierarchicalSimulation::stable_dt(double safety) const {
+  double best = safety / root_stepper_.courant(root_, 1.0);
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const double c1 =
+        nodes_[k].stepper->courant(nodes_[k].domain->state(), 1.0);
+    if (c1 <= 0.0) continue;
+    // Accumulated sub-stepping factor along the path to the root.
+    double factor = 1.0;
+    int idx = static_cast<int>(k);
+    while (idx >= 0) {
+      factor *= nodes_[idx].domain->spec().ratio;
+      idx = nodes_[idx].parent;
+    }
+    best = std::min(best, factor * safety / c1);
+  }
+  return best;
+}
+
+}  // namespace nestwx::nest

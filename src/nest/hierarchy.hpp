@@ -1,0 +1,78 @@
+#pragma once
+/// \file hierarchy.hpp
+/// Multi-level nesting: nests within nests (paper §4.1.1 — three of the
+/// South-East-Asia configurations place sibling domains at the *second*
+/// level of nesting).
+///
+/// The domain tree is given as a flat list of NestSpec with a parent
+/// index (-1 = the root domain). One advance() of the root performs the
+/// full recursive cycle: every domain at level ℓ runs r sub-steps per
+/// step of its parent, forcing its children before each sub-step and
+/// receiving their feedback afterwards.
+
+#include <memory>
+#include <vector>
+
+#include "nest/nested_domain.hpp"
+#include "swm/dynamics.hpp"
+
+namespace nestwx::nest {
+
+/// A nest in the tree: its placement within domain `parent` (-1 for the
+/// root domain).
+struct TreeNestSpec {
+  NestSpec spec;
+  int parent = -1;
+};
+
+class HierarchicalSimulation {
+ public:
+  /// `nests[k].parent` must refer to an earlier entry (or -1); children
+  /// must lie inside their parent per NestedDomain's rules.
+  HierarchicalSimulation(swm::State root_initial, swm::ModelParams params,
+                         const std::vector<TreeNestSpec>& nests);
+
+  swm::State& root() { return root_; }
+  const swm::State& root() const { return root_; }
+
+  std::size_t nest_count() const { return nodes_.size(); }
+  NestedDomain& nest(std::size_t k) { return *nodes_[k].domain; }
+  const NestedDomain& nest(std::size_t k) const { return *nodes_[k].domain; }
+  int parent_of(std::size_t k) const { return nodes_[k].parent; }
+
+  /// Depth of nest k (1 = direct child of the root).
+  int level_of(std::size_t k) const;
+
+  /// One root step of size dt plus the full recursive sub-stepping.
+  void advance(double dt);
+  void run(double dt, int n);
+
+  /// Stability limit considering every level (children run rᵏ sub-steps).
+  double stable_dt(double safety = 0.8) const;
+
+  int steps_taken() const { return steps_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<NestedDomain> domain;
+    std::unique_ptr<swm::Stepper> stepper;
+    int parent = -1;
+    std::vector<int> children;
+  };
+
+  /// Advance every child of `parent_index` (-1 = root) through `r`
+  /// sub-steps bracketed by (prev, next) states of the parent.
+  void advance_children(int parent_index, const swm::State& prev,
+                        const swm::State& next, double parent_dt);
+
+  swm::State& state_of(int index);
+
+  swm::ModelParams params_;
+  swm::State root_;
+  swm::Stepper root_stepper_;
+  std::vector<Node> nodes_;
+  std::vector<int> root_children_;
+  int steps_ = 0;
+};
+
+}  // namespace nestwx::nest

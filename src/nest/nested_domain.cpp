@@ -1,0 +1,147 @@
+#include "nest/nested_domain.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::nest {
+
+namespace {
+
+/// Parent-index-space coordinates of a child sample, per staggering.
+/// Child index ci of a center-staggered axis has position
+/// anchor + (ci + 0.5)/r in parent cell units; a face-staggered axis has
+/// position anchor + ci/r. Parent Field2D::sample() expects *index*
+/// coordinates of the parent field, which are position − 0.5 for center
+/// staggering and position for face staggering.
+struct AxisMap {
+  int anchor;
+  int ratio;
+  double child_offset;   // 0.5 center, 0.0 face
+  double parent_offset;  // 0.5 center, 0.0 face
+
+  double parent_index(int ci) const {
+    const double pos =
+        anchor + (static_cast<double>(ci) + child_offset) / ratio;
+    return pos - parent_offset;
+  }
+};
+
+/// Interpolate parent field into a rectangle of the child field,
+/// blending two parent time levels.
+void interp_region(const swm::Field2D& prev, const swm::Field2D& next,
+                   double alpha, swm::Field2D& child, const AxisMap& mx,
+                   const AxisMap& my, int i0, int i1, int j0, int j1) {
+  for (int j = j0; j < j1; ++j) {
+    const double py = my.parent_index(j);
+    for (int i = i0; i < i1; ++i) {
+      const double px = mx.parent_index(i);
+      const double a = prev.sample(px, py);
+      const double b = next.sample(px, py);
+      child(i, j) = (1.0 - alpha) * a + alpha * b;
+    }
+  }
+}
+
+}  // namespace
+
+NestedDomain::NestedDomain(const swm::State& parent, const NestSpec& spec)
+    : spec_(spec) {
+  NESTWX_REQUIRE(spec.ratio >= 1, "refinement ratio must be >= 1");
+  NESTWX_REQUIRE(spec.cells_x >= 2 && spec.cells_y >= 2,
+                 "nest must cover at least 2x2 parent cells");
+  NESTWX_REQUIRE(spec.anchor_i >= 1 && spec.anchor_j >= 1 &&
+                     spec.anchor_i + spec.cells_x <= parent.grid.nx - 1 &&
+                     spec.anchor_j + spec.cells_y <= parent.grid.ny - 1,
+                 "nest must lie strictly inside the parent interior");
+  swm::GridSpec g;
+  g.nx = spec.child_nx();
+  g.ny = spec.child_ny();
+  g.dx = parent.grid.dx / spec.ratio;
+  g.dy = parent.grid.dy / spec.ratio;
+  g.halo = parent.grid.halo;
+  state_ = swm::State(g);
+  initialize_from_parent(parent);
+}
+
+void NestedDomain::initialize_from_parent(const swm::State& parent) {
+  const int r = spec_.ratio;
+  const AxisMap cx{spec_.anchor_i, r, 0.5, 0.5};
+  const AxisMap cy{spec_.anchor_j, r, 0.5, 0.5};
+  const AxisMap fx{spec_.anchor_i, r, 0.0, 0.0};
+  const AxisMap fy{spec_.anchor_j, r, 0.0, 0.0};
+  const int halo = state_.grid.halo;
+  const int nx = state_.grid.nx;
+  const int ny = state_.grid.ny;
+  interp_region(parent.h, parent.h, 0.0, state_.h, cx, cy, -halo, nx + halo,
+                -halo, ny + halo);
+  interp_region(parent.b, parent.b, 0.0, state_.b, cx, cy, -halo, nx + halo,
+                -halo, ny + halo);
+  interp_region(parent.u, parent.u, 0.0, state_.u, fx, cy, -halo,
+                nx + 1 + halo, -halo, ny + halo);
+  interp_region(parent.v, parent.v, 0.0, state_.v, cx, fy, -halo, nx + halo,
+                -halo, ny + 1 + halo);
+}
+
+void NestedDomain::force_boundary(const swm::State& prev,
+                                  const swm::State& next, double alpha) {
+  NESTWX_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  const int r = spec_.ratio;
+  const AxisMap cx{spec_.anchor_i, r, 0.5, 0.5};
+  const AxisMap cy{spec_.anchor_j, r, 0.5, 0.5};
+  const AxisMap fx{spec_.anchor_i, r, 0.0, 0.0};
+  const AxisMap fy{spec_.anchor_j, r, 0.0, 0.0};
+  const int halo = state_.grid.halo;
+  const int nx = state_.grid.nx;
+  const int ny = state_.grid.ny;
+
+  // Four ghost bands per field: west, east, south, north (corners are
+  // covered by the south/north bands spanning the extended i range).
+  auto fill = [&](const swm::Field2D& p, const swm::Field2D& n,
+                  swm::Field2D& c, const AxisMap& ax, const AxisMap& ay,
+                  int cnx, int cny) {
+    interp_region(p, n, alpha, c, ax, ay, -halo, 0, 0, cny);          // W
+    interp_region(p, n, alpha, c, ax, ay, cnx, cnx + halo, 0, cny);   // E
+    interp_region(p, n, alpha, c, ax, ay, -halo, cnx + halo, -halo, 0);  // S
+    interp_region(p, n, alpha, c, ax, ay, -halo, cnx + halo, cny,
+                  cny + halo);  // N
+  };
+  fill(prev.h, next.h, state_.h, cx, cy, nx, ny);
+  fill(prev.u, next.u, state_.u, fx, cy, nx + 1, ny);
+  fill(prev.v, next.v, state_.v, cx, fy, nx, ny + 1);
+}
+
+void NestedDomain::feedback(swm::State& parent, int margin) const {
+  NESTWX_REQUIRE(margin >= 0, "margin must be non-negative");
+  const int r = spec_.ratio;
+  const double inv_r2 = 1.0 / (static_cast<double>(r) * r);
+  // Depth: parent cell (I,J) <- mean of its r×r child cells.
+  for (int J = margin; J < spec_.cells_y - margin; ++J) {
+    for (int I = margin; I < spec_.cells_x - margin; ++I) {
+      double acc = 0.0;
+      for (int cj = 0; cj < r; ++cj)
+        for (int ci = 0; ci < r; ++ci)
+          acc += state_.h(I * r + ci, J * r + cj);
+      parent.h(spec_.anchor_i + I, spec_.anchor_j + J) = acc * inv_r2;
+    }
+  }
+  // u: parent x-face (I,J) at x = I (cell units) <- mean of the r child
+  // u-faces at child x-index I·r, child y-indices J·r .. J·r+r-1.
+  for (int J = margin; J < spec_.cells_y - margin; ++J) {
+    for (int I = margin; I <= spec_.cells_x - margin; ++I) {
+      double acc = 0.0;
+      for (int cj = 0; cj < r; ++cj) acc += state_.u(I * r, J * r + cj);
+      parent.u(spec_.anchor_i + I, spec_.anchor_j + J) =
+          acc / static_cast<double>(r);
+    }
+  }
+  // v: parent y-face (I,J) at y = J <- mean of r child v-faces.
+  for (int J = margin; J <= spec_.cells_y - margin; ++J) {
+    for (int I = margin; I < spec_.cells_x - margin; ++I) {
+      double acc = 0.0;
+      for (int ci = 0; ci < r; ++ci) acc += state_.v(I * r + ci, J * r);
+      parent.v(spec_.anchor_i + I, spec_.anchor_j + J) =
+          acc / static_cast<double>(r);
+    }
+  }
+}
+
+}  // namespace nestwx::nest

@@ -1,0 +1,65 @@
+#pragma once
+/// \file nested_domain.hpp
+/// One high-resolution nested domain ("sibling") inside a parent
+/// shallow-water domain, with WRF-style two-way nesting:
+///
+///  * the child grid refines a rectangle of parent cells by the ratio r
+///    (child Δx = parent Δx / r, child Δt = parent Δt / r);
+///  * before each child step the child's ghost cells are interpolated
+///    (bilinear in space, linear in time) from the bracketing parent
+///    states — the paper's "data … interpolated from the overlapping
+///    parent region";
+///  * after r child steps the child interior is restriction-averaged back
+///    onto the parent — the paper's "data from the finer region is
+///    communicated to the parent region".
+
+#include <string>
+
+#include "swm/state.hpp"
+
+namespace nestwx::nest {
+
+/// Placement of a nest within its parent.
+struct NestSpec {
+  std::string name;
+  int anchor_i = 0;  ///< parent cell index of the nest's west edge
+  int anchor_j = 0;  ///< parent cell index of the nest's south edge
+  int cells_x = 0;   ///< parent cells covered in x
+  int cells_y = 0;   ///< parent cells covered in y
+  int ratio = 3;     ///< refinement ratio r
+
+  int child_nx() const { return cells_x * ratio; }
+  int child_ny() const { return cells_y * ratio; }
+};
+
+class NestedDomain {
+ public:
+  /// Create the child domain; the spec must lie strictly inside the
+  /// parent interior (at least one parent cell of clearance so bilinear
+  /// ghost interpolation never reads beyond the parent halo).
+  NestedDomain(const swm::State& parent, const NestSpec& spec);
+
+  const NestSpec& spec() const { return spec_; }
+  swm::State& state() { return state_; }
+  const swm::State& state() const { return state_; }
+
+  /// Fill the child's interior and ghosts entirely from the parent
+  /// (cold-start initialisation).
+  void initialize_from_parent(const swm::State& parent);
+
+  /// Fill the child's ghost cells from parent states at times t (prev)
+  /// and t+Δt (next), linearly blended with weight `alpha` ∈ [0,1].
+  void force_boundary(const swm::State& prev, const swm::State& next,
+                      double alpha);
+
+  /// Restriction-average the child interior back onto the covered parent
+  /// cells (two-way feedback). The outermost `margin` parent cells of the
+  /// nest footprint are skipped to avoid re-injecting boundary blending.
+  void feedback(swm::State& parent, int margin = 1) const;
+
+ private:
+  NestSpec spec_;
+  swm::State state_;
+};
+
+}  // namespace nestwx::nest

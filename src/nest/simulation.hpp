@@ -1,0 +1,66 @@
+#pragma once
+/// \file simulation.hpp
+/// Serial driver for a parent domain with multiple sibling nests: the
+/// numerical ground truth the performance experiments schedule. One call
+/// to advance() performs one parent step and, for every sibling, the r
+/// child sub-steps plus two-way feedback — the work unit whose *parallel
+/// execution order* the paper optimises.
+
+#include <memory>
+#include <vector>
+
+#include "nest/nested_domain.hpp"
+#include "swm/dynamics.hpp"
+
+namespace nestwx::nest {
+
+class NestedSimulation {
+ public:
+  /// `parent_initial` supplies the parent grid/state; `params.boundary`
+  /// governs the parent's lateral boundary (children always run open
+  /// boundaries forced by the parent).
+  NestedSimulation(swm::State parent_initial, swm::ModelParams params,
+                   const std::vector<NestSpec>& nests);
+
+  swm::State& parent() { return parent_; }
+  const swm::State& parent() const { return parent_; }
+
+  std::size_t sibling_count() const { return siblings_.size(); }
+  NestedDomain& sibling(std::size_t k) { return *siblings_[k]; }
+  const NestedDomain& sibling(std::size_t k) const { return *siblings_[k]; }
+
+  const swm::ModelParams& params() const { return params_; }
+
+  /// One parent step of size `parent_dt` plus each sibling's r sub-steps
+  /// and feedback. Sibling order of execution does not affect the result
+  /// (siblings are disjoint and only talk to the parent).
+  void advance(double parent_dt);
+
+  /// Advance n parent steps.
+  void run(double parent_dt, int n);
+
+  /// Largest stable parent dt considering the parent and (scaled) all
+  /// children.
+  double stable_dt(double safety = 0.8) const;
+
+  /// Move sibling `k` so its south-west corner sits at parent cell
+  /// (anchor_i, anchor_j) — the "moving nest" primitive used by the
+  /// steering controller. The nest's dimensions and ratio are kept; its
+  /// fields are re-initialised from the parent (which already carries the
+  /// nest's information through two-way feedback). Throws when the new
+  /// placement does not fit.
+  void relocate_sibling(std::size_t k, int anchor_i, int anchor_j);
+
+  int steps_taken() const { return steps_; }
+
+ private:
+  swm::ModelParams params_;
+  swm::State parent_;
+  swm::State parent_prev_;
+  swm::Stepper parent_stepper_;
+  std::vector<std::unique_ptr<NestedDomain>> siblings_;
+  std::vector<std::unique_ptr<swm::Stepper>> child_steppers_;
+  int steps_ = 0;
+};
+
+}  // namespace nestwx::nest

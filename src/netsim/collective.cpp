@@ -1,0 +1,69 @@
+#include "netsim/collective.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nestwx::netsim {
+
+CollectiveStats simulate_allreduce(const PhaseSimulator& sim,
+                                   const core::Mapping& mapping,
+                                   std::span<const int> ranks, double bytes,
+                                   std::span<const double> ready) {
+  NESTWX_REQUIRE(!ranks.empty(), "allreduce over empty rank set");
+  NESTWX_REQUIRE(bytes >= 0.0, "negative payload");
+  NESTWX_REQUIRE(ready.empty() ||
+                     static_cast<int>(ready.size()) == mapping.nranks(),
+                 "ready vector must cover every mapping rank");
+  const auto& m = sim.machine();
+  const auto& torus = mapping.torus();
+  auto transit = [&](int a, int b) {
+    const int hops = torus.hop_dist(mapping.placement(a).node,
+                                    mapping.placement(b).node);
+    return m.software_latency + hops * m.hop_latency +
+           bytes / m.link_bandwidth + 2.0 * bytes / m.pack_bandwidth;
+  };
+
+  const int n = static_cast<int>(ranks.size());
+  std::vector<double> clock(ranks.size());
+  for (int i = 0; i < n; ++i)
+    clock[i] = ready.empty() ? 0.0 : ready[ranks[i]];
+  const std::vector<double> entry = clock;
+
+  CollectiveStats stats;
+  // Binomial reduce toward ranks[0].
+  for (int span = 1; span < n; span *= 2) {
+    for (int i = 0; i + span < n; i += 2 * span) {
+      const int receiver = i;
+      const int sender = i + span;
+      clock[receiver] =
+          std::max(clock[receiver],
+                   clock[sender] + transit(ranks[sender], ranks[receiver]));
+    }
+    ++stats.stages;
+  }
+  // Broadcast back down the same tree.
+  int top_span = 1;
+  while (top_span < n) top_span *= 2;
+  for (int span = top_span / 2; span >= 1; span /= 2) {
+    for (int i = 0; i + span < n; i += 2 * span) {
+      clock[i + span] =
+          std::max(clock[i + span],
+                   clock[i] + transit(ranks[i], ranks[i + span]));
+    }
+    ++stats.stages;
+  }
+
+  double max_entry = entry[0];
+  double max_clock = clock[0];
+  for (int i = 0; i < n; ++i) {
+    max_entry = std::max(max_entry, entry[i]);
+    max_clock = std::max(max_clock, clock[i]);
+    stats.total_wait += clock[i] - entry[i];
+  }
+  stats.duration = max_clock - max_entry;
+  return stats;
+}
+
+}  // namespace nestwx::netsim

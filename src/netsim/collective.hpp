@@ -1,0 +1,30 @@
+#pragma once
+/// \file collective.hpp
+/// Collective-operation timing on the torus: a binomial-tree allreduce
+/// (reduce to a root, broadcast back), the pattern WRF uses for per-step
+/// diagnostics (CFL checks, domain-wide extrema). Adds the
+/// O(log P · latency) per-iteration term that does not shrink with more
+/// processors.
+
+#include <span>
+
+#include "netsim/phase.hpp"
+
+namespace nestwx::netsim {
+
+struct CollectiveStats {
+  double duration = 0.0;    ///< wall time of the whole allreduce
+  double total_wait = 0.0;  ///< Σ per-rank blocked time
+  int stages = 0;           ///< tree depth (2·ceil(log2 n) for allreduce)
+};
+
+/// Simulate an allreduce of `bytes` per message among `ranks` (global
+/// rank ids of `mapping`). `ready` (one entry per mapping rank, or empty
+/// for all-zero) staggers entry times; stragglers propagate up the tree.
+/// Contention is ignored (collective messages are few and staggered).
+CollectiveStats simulate_allreduce(const PhaseSimulator& sim,
+                                   const core::Mapping& mapping,
+                                   std::span<const int> ranks, double bytes,
+                                   std::span<const double> ready = {});
+
+}  // namespace nestwx::netsim

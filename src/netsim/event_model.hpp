@@ -1,0 +1,48 @@
+#pragma once
+/// \file event_model.hpp
+/// Event-driven alternative to the static-contention phase model of
+/// phase.hpp: links are explicit FIFO resources and every message flows
+/// through its dimension-ordered route wormhole-style — the header stalls
+/// behind busy links, each traversed link is occupied for one
+/// serialisation time, and the payload pipelines. Dynamic contention
+/// therefore emerges from actual overlap in time instead of a static
+/// flow count.
+///
+/// The model is more expensive (O(messages · hops · log) vs the phase
+/// model's O(messages · hops)) and is used to *validate* the calibrated
+/// static model (`bench_comm_models`), not by the main driver.
+
+#include <span>
+#include <vector>
+
+#include "netsim/phase.hpp"
+
+namespace nestwx::netsim {
+
+/// Result of an event-driven phase: same shape as PhaseStats (link-flow
+/// maximum is replaced by the peak number of messages queued on a link).
+struct EventPhaseStats {
+  std::vector<double> finish;
+  std::vector<double> wait;
+  double duration = 0.0;
+  double total_wait = 0.0;
+  double max_queue_depth = 0.0;  ///< worst per-link busy-time / duration
+};
+
+class EventPhaseSimulator {
+ public:
+  explicit EventPhaseSimulator(const topo::MachineParams& machine);
+
+  /// Simulate one phase. Messages are injected in deterministic order
+  /// (by ready time, then source, then destination).
+  EventPhaseStats run(const core::Mapping& mapping,
+                      std::span<const Message> messages,
+                      std::span<const double> ready = {}) const;
+
+  const topo::MachineParams& machine() const { return machine_; }
+
+ private:
+  topo::MachineParams machine_;
+};
+
+}  // namespace nestwx::netsim

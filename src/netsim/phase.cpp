@@ -1,0 +1,114 @@
+#include "netsim/phase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace nestwx::netsim {
+
+PhaseSimulator::PhaseSimulator(const topo::MachineParams& machine)
+    : machine_(machine) {
+  NESTWX_REQUIRE(machine.link_bandwidth > 0.0, "link bandwidth must be > 0");
+  NESTWX_REQUIRE(machine.hop_latency >= 0.0 && machine.software_latency >= 0.0,
+                 "latencies must be non-negative");
+}
+
+double PhaseSimulator::halo_message_bytes(long long elements) const {
+  return static_cast<double>(elements) * machine_.vertical_levels *
+         machine_.halo_variables * machine_.bytes_per_element;
+}
+
+PhaseStats PhaseSimulator::run(const core::Mapping& mapping,
+                               std::span<const Message> messages,
+                               std::span<const double> ready) const {
+  const int nranks = mapping.nranks();
+  NESTWX_REQUIRE(ready.empty() || static_cast<int>(ready.size()) == nranks,
+                 "ready vector must cover every rank");
+  auto ready_of = [&](int r) { return ready.empty() ? 0.0 : ready[r]; };
+
+  PhaseStats stats;
+  stats.finish.resize(static_cast<std::size_t>(nranks));
+  stats.wait.assign(static_cast<std::size_t>(nranks), 0.0);
+  for (int r = 0; r < nranks; ++r) stats.finish[r] = ready_of(r);
+  if (messages.empty()) return stats;
+
+  const topo::Torus& torus = mapping.torus();
+
+  // Pass 1: routes and static link loads.
+  std::unordered_map<int, int> link_flows;
+  std::vector<std::vector<int>> routes(messages.size());
+  long long total_hops = 0;
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const auto& msg = messages[m];
+    NESTWX_REQUIRE(msg.src >= 0 && msg.src < nranks && msg.dst >= 0 &&
+                       msg.dst < nranks,
+                   "message endpoints out of rank range");
+    NESTWX_REQUIRE(msg.bytes >= 0.0, "negative message size");
+    routes[m] = torus.route(mapping.placement(msg.src).node,
+                            mapping.placement(msg.dst).node);
+    total_hops += static_cast<long long>(routes[m].size());
+    for (int link : routes[m]) link_flows[link] += 1;
+  }
+  stats.avg_hops =
+      static_cast<double>(total_hops) / static_cast<double>(messages.size());
+  for (const auto& [link, flows] : link_flows) {
+    (void)link;
+    stats.max_link_flows = std::max(stats.max_link_flows, flows);
+  }
+
+  // Pass 2: per-rank send counts.
+  std::vector<int> n_sends(static_cast<std::size_t>(nranks), 0);
+  std::vector<bool> participates(static_cast<std::size_t>(nranks), false);
+  for (const auto& msg : messages) {
+    n_sends[msg.src] += 1;
+    participates[msg.src] = true;
+    participates[msg.dst] = true;
+  }
+  // Senders pay software latency plus the cost of packing each message's
+  // strided halo data before it can enter the network.
+  std::vector<double> send_busy(static_cast<std::size_t>(nranks), 0.0);
+  for (const auto& msg : messages)
+    send_busy[msg.src] +=
+        machine_.software_latency + msg.bytes / machine_.pack_bandwidth;
+  std::vector<double> send_complete(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    send_complete[r] = ready_of(r) + send_busy[r];
+
+  // Pass 3: arrivals and completion.
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    const auto& msg = messages[m];
+    int contention = 1;
+    for (int link : routes[m])
+      contention = std::max(contention, link_flows.at(link));
+    const double slowdown =
+        std::min(std::pow(static_cast<double>(contention),
+                          machine_.contention_exponent),
+                 machine_.contention_cap);
+    const double transit =
+        machine_.software_latency +
+        static_cast<double>(routes[m].size()) * machine_.hop_latency +
+        msg.bytes * slowdown / machine_.link_bandwidth +
+        2.0 * msg.bytes / machine_.pack_bandwidth;  // pack + unpack
+    const double arrival = ready_of(msg.src) + transit;
+    stats.finish[msg.dst] = std::max(stats.finish[msg.dst], arrival);
+  }
+  double max_ready = 0.0;
+  double max_finish = 0.0;
+  bool any = false;
+  for (int r = 0; r < nranks; ++r) {
+    if (!participates[r]) continue;
+    stats.finish[r] = std::max(stats.finish[r], send_complete[r]);
+    stats.wait[r] = stats.finish[r] - send_complete[r];
+    stats.total_wait += stats.wait[r];
+    stats.max_wait = std::max(stats.max_wait, stats.wait[r]);
+    max_ready = any ? std::max(max_ready, ready_of(r)) : ready_of(r);
+    max_finish = any ? std::max(max_finish, stats.finish[r]) : stats.finish[r];
+    any = true;
+  }
+  stats.duration = any ? max_finish - max_ready : 0.0;
+  return stats;
+}
+
+}  // namespace nestwx::netsim

@@ -1,0 +1,88 @@
+#include "procgrid/decomp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nestwx::procgrid {
+
+namespace {
+/// Split `n` into `parts` nearly equal chunks; returns starts (size parts+1).
+std::vector<int> block_starts(int n, int parts) {
+  std::vector<int> starts(static_cast<std::size_t>(parts) + 1);
+  const int base = n / parts;
+  const int extra = n % parts;
+  int pos = 0;
+  for (int i = 0; i < parts; ++i) {
+    starts[i] = pos;
+    pos += base + (i < extra ? 1 : 0);
+  }
+  starts[parts] = n;
+  return starts;
+}
+}  // namespace
+
+Decomposition::Decomposition(int nx, int ny, const Grid2D& grid)
+    : nx_(nx), ny_(ny), grid_(grid) {
+  NESTWX_REQUIRE(nx >= 1 && ny >= 1, "domain dims must be positive");
+  NESTWX_REQUIRE(grid.px() <= nx && grid.py() <= ny,
+                 "more processes than grid points along a dimension");
+  x_start_ = block_starts(nx, grid.px());
+  y_start_ = block_starts(ny, grid.py());
+}
+
+Rect Decomposition::tile(int rank) const {
+  const int gx = grid_.x_of(rank);
+  const int gy = grid_.y_of(rank);
+  Rect r;
+  r.x0 = x_start_[gx];
+  r.y0 = y_start_[gy];
+  r.w = x_start_[gx + 1] - x_start_[gx];
+  r.h = y_start_[gy + 1] - y_start_[gy];
+  return r;
+}
+
+long long Decomposition::max_tile_area() const {
+  long long best = 0;
+  for (int r = 0; r < grid_.size(); ++r)
+    best = std::max(best, tile(r).area());
+  return best;
+}
+
+int Decomposition::owner_of(int x, int y) const {
+  NESTWX_REQUIRE(x >= 0 && x < nx_ && y >= 0 && y < ny_,
+                 "domain point out of range");
+  const auto gx = static_cast<int>(
+      std::upper_bound(x_start_.begin(), x_start_.end(), x) -
+      x_start_.begin() - 1);
+  const auto gy = static_cast<int>(
+      std::upper_bound(y_start_.begin(), y_start_.end(), y) -
+      y_start_.begin() - 1);
+  return grid_.rank(gx, gy);
+}
+
+std::vector<HaloMessage> Decomposition::halo_messages(int halo_width) const {
+  NESTWX_REQUIRE(halo_width >= 1, "halo width must be positive");
+  std::vector<HaloMessage> out;
+  out.reserve(static_cast<std::size_t>(grid_.size()) * 4);
+  for (int r = 0; r < grid_.size(); ++r) {
+    const Rect t = tile(r);
+    for (auto side : {Side::west, Side::east, Side::south, Side::north}) {
+      const auto n = grid_.neighbor(r, side);
+      if (!n) continue;
+      const long long edge =
+          (side == Side::west || side == Side::east) ? t.h : t.w;
+      out.push_back(HaloMessage{r, *n, side, edge * halo_width});
+    }
+  }
+  return out;
+}
+
+long long Decomposition::max_edge_elements(int halo_width) const {
+  long long best = 0;
+  for (const auto& m : halo_messages(halo_width))
+    best = std::max(best, m.elements);
+  return best;
+}
+
+}  // namespace nestwx::procgrid

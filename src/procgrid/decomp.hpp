@@ -1,0 +1,56 @@
+#pragma once
+/// \file decomp.hpp
+/// Block domain decomposition of an nx × ny grid over a 2-D process grid,
+/// plus halo-exchange message geometry.
+
+#include <vector>
+
+#include "procgrid/grid2d.hpp"
+#include "procgrid/rect.hpp"
+
+namespace nestwx::procgrid {
+
+/// One halo message a rank sends per exchange phase.
+struct HaloMessage {
+  int src_rank = -1;   ///< within the owning grid
+  int dst_rank = -1;
+  Side side = Side::west;  ///< the side of src this message leaves through
+  long long elements = 0;  ///< grid points per vertical level per variable
+};
+
+/// Block decomposition: domain columns/rows are split as evenly as possible;
+/// the first (nx mod Px) column-blocks get one extra column (WRF-style).
+class Decomposition {
+ public:
+  Decomposition(int nx, int ny, const Grid2D& grid);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  const Grid2D& grid() const { return grid_; }
+
+  /// The sub-rectangle of the domain owned by `rank`.
+  Rect tile(int rank) const;
+
+  /// Largest tile area across ranks (drives the load-imbalance factor).
+  long long max_tile_area() const;
+
+  /// Rank whose tile contains domain point (x, y).
+  int owner_of(int x, int y) const;
+
+  /// All halo messages of one exchange phase with `halo_width` ghost cells:
+  /// one message to each existing neighbour per rank; `elements` counts grid
+  /// points per level per variable (edge length × halo width).
+  std::vector<HaloMessage> halo_messages(int halo_width) const;
+
+  /// Largest per-message element count leaving any single rank.
+  long long max_edge_elements(int halo_width) const;
+
+ private:
+  int nx_;
+  int ny_;
+  Grid2D grid_;
+  std::vector<int> x_start_;  // size px+1
+  std::vector<int> y_start_;  // size py+1
+};
+
+}  // namespace nestwx::procgrid

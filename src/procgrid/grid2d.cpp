@@ -1,0 +1,80 @@
+#include "procgrid/grid2d.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace nestwx::procgrid {
+
+Grid2D::Grid2D(int px, int py) : px_(px), py_(py) {
+  NESTWX_REQUIRE(px >= 1 && py >= 1, "process grid dims must be positive");
+}
+
+int Grid2D::rank(int x, int y) const {
+  NESTWX_REQUIRE(x >= 0 && x < px_ && y >= 0 && y < py_,
+                 "grid coordinate out of range");
+  return y * px_ + x;
+}
+
+int Grid2D::x_of(int r) const {
+  NESTWX_REQUIRE(r >= 0 && r < size(), "rank out of range");
+  return r % px_;
+}
+
+int Grid2D::y_of(int r) const {
+  NESTWX_REQUIRE(r >= 0 && r < size(), "rank out of range");
+  return r / px_;
+}
+
+std::optional<int> Grid2D::neighbor(int r, Side side) const {
+  const int x = x_of(r);
+  const int y = y_of(r);
+  switch (side) {
+    case Side::west: return x > 0 ? std::optional(rank(x - 1, y)) : std::nullopt;
+    case Side::east:
+      return x < px_ - 1 ? std::optional(rank(x + 1, y)) : std::nullopt;
+    case Side::south: return y > 0 ? std::optional(rank(x, y - 1)) : std::nullopt;
+    case Side::north:
+      return y < py_ - 1 ? std::optional(rank(x, y + 1)) : std::nullopt;
+  }
+  NESTWX_ASSERT(false, "unknown side");
+  return std::nullopt;
+}
+
+std::vector<int> Grid2D::neighbors(int r) const {
+  std::vector<int> out;
+  out.reserve(4);
+  for (auto side : {Side::west, Side::east, Side::south, Side::north})
+    if (auto n = neighbor(r, side)) out.push_back(*n);
+  return out;
+}
+
+std::vector<std::array<int, 2>> factor_pairs(int n) {
+  NESTWX_REQUIRE(n >= 1, "factorisation of non-positive count");
+  std::vector<std::array<int, 2>> out;
+  for (int p = 1; p <= n; ++p)
+    if (n % p == 0) out.push_back({p, n / p});
+  return out;
+}
+
+Grid2D choose_grid(int nranks, int domain_nx, int domain_ny) {
+  NESTWX_REQUIRE(nranks >= 1, "need at least one rank");
+  NESTWX_REQUIRE(domain_nx >= 1 && domain_ny >= 1,
+                 "domain dimensions must be positive");
+  double best = std::numeric_limits<double>::infinity();
+  std::array<int, 2> best_pair{1, nranks};
+  for (const auto& [px, py] : factor_pairs(nranks)) {
+    const double tile_aspect =
+        (static_cast<double>(domain_nx) / px) /
+        (static_cast<double>(domain_ny) / py);
+    const double badness = std::abs(std::log(tile_aspect));
+    if (badness < best) {
+      best = badness;
+      best_pair = {px, py};
+    }
+  }
+  return Grid2D(best_pair[0], best_pair[1]);
+}
+
+}  // namespace nestwx::procgrid

@@ -1,0 +1,52 @@
+#pragma once
+/// \file grid2d.hpp
+/// 2-D virtual process grids: rank layout, neighbourhoods, and the square-
+/// seeking factorisation WRF uses to pick Px × Py for a given rank count.
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "procgrid/rect.hpp"
+
+namespace nestwx::procgrid {
+
+/// Cardinal neighbours in the virtual 2-D topology.
+enum class Side : int { west = 0, east = 1, south = 2, north = 3 };
+
+/// A Px × Py grid of processes, ranks numbered row-major: rank = y·Px + x.
+class Grid2D {
+ public:
+  Grid2D(int px, int py);
+
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int size() const { return px_ * py_; }
+
+  int rank(int x, int y) const;
+  int x_of(int rank) const;
+  int y_of(int rank) const;
+
+  /// Neighbour rank on `side`, or nullopt at the (non-periodic) boundary.
+  std::optional<int> neighbor(int rank, Side side) const;
+
+  /// All existing neighbours of `rank` in W,E,S,N order.
+  std::vector<int> neighbors(int rank) const;
+
+  /// The full grid as a Rect (origin 0,0).
+  Rect bounds() const { return Rect{0, 0, px_, py_}; }
+
+ private:
+  int px_;
+  int py_;
+};
+
+/// Factor `nranks` into Px × Py so that the per-process tile of an
+/// nx × ny domain is as square as possible (matches WRF's
+/// MPASPECT-style grid choice). Throws if nranks < 1.
+Grid2D choose_grid(int nranks, int domain_nx, int domain_ny);
+
+/// All ordered factor pairs (px, py) with px·py == n, ascending px.
+std::vector<std::array<int, 2>> factor_pairs(int n);
+
+}  // namespace nestwx::procgrid

@@ -1,0 +1,28 @@
+#include "procgrid/rect.hpp"
+
+#include <sstream>
+
+namespace nestwx::procgrid {
+
+std::string Rect::to_string() const {
+  std::ostringstream os;
+  os << w << "x" << h << "@(" << x0 << "," << y0 << ")";
+  return os.str();
+}
+
+Rect intersect(const Rect& a, const Rect& b) {
+  Rect r;
+  r.x0 = std::max(a.x0, b.x0);
+  r.y0 = std::max(a.y0, b.y0);
+  r.w = std::min(a.x1(), b.x1()) - r.x0;
+  r.h = std::min(a.y1(), b.y1()) - r.y0;
+  if (r.w < 0) r.w = 0;
+  if (r.h < 0) r.h = 0;
+  return r;
+}
+
+bool overlaps(const Rect& a, const Rect& b) {
+  return !intersect(a, b).empty();
+}
+
+}  // namespace nestwx::procgrid

@@ -1,0 +1,54 @@
+#pragma once
+/// \file rect.hpp
+/// Integer rectangles on a 2-D grid (processor partitions, domain tiles).
+
+#include <algorithm>
+#include <string>
+
+namespace nestwx::procgrid {
+
+/// Half-open rectangle: columns [x0, x0+w), rows [y0, y0+h).
+struct Rect {
+  int x0 = 0;
+  int y0 = 0;
+  int w = 0;
+  int h = 0;
+
+  long long area() const {
+    return static_cast<long long>(w) * static_cast<long long>(h);
+  }
+  bool empty() const { return w <= 0 || h <= 0; }
+  int x1() const { return x0 + w; }  ///< exclusive
+  int y1() const { return y0 + h; }  ///< exclusive
+
+  bool contains(int x, int y) const {
+    return x >= x0 && x < x1() && y >= y0 && y < y1();
+  }
+  bool contains(const Rect& o) const {
+    return o.x0 >= x0 && o.x1() <= x1() && o.y0 >= y0 && o.y1() <= y1();
+  }
+
+  /// Aspect ratio w/h; 0 when degenerate.
+  double aspect() const {
+    return h == 0 ? 0.0 : static_cast<double>(w) / static_cast<double>(h);
+  }
+
+  /// max(w/h, h/w) — 1.0 for a square, grows as the rectangle elongates.
+  double elongation() const {
+    if (w <= 0 || h <= 0) return 0.0;
+    const double a = static_cast<double>(w) / h;
+    return std::max(a, 1.0 / a);
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  std::string to_string() const;
+};
+
+/// Intersection (possibly empty).
+Rect intersect(const Rect& a, const Rect& b);
+
+/// True when the interiors of a and b intersect.
+bool overlaps(const Rect& a, const Rect& b);
+
+}  // namespace nestwx::procgrid

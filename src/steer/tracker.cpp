@@ -1,0 +1,108 @@
+#include "steer/tracker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "swm/init.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::steer {
+
+MovingNestController::MovingNestController(SteeringPolicy policy)
+    : policy_(policy) {
+  NESTWX_REQUIRE(policy_.edge_margin >= 1, "edge margin must be positive");
+  NESTWX_REQUIRE(policy_.check_every >= 1, "check interval must be >= 1");
+}
+
+FeatureFix locate_feature(const nest::NestedSimulation& sim,
+                          std::size_t sibling) {
+  const auto& nest = sim.sibling(sibling);
+  const auto& st = nest.state();
+  // Track the minimum of the *row-demeaned* free surface: removing the
+  // per-row zonal mean discards large-scale background tilts (e.g. the
+  // surface slope balancing a steering flow) so the fix locks onto the
+  // vortex, not the basin-wide gradient.
+  // Skip a ring of fine cells near the nest boundary where parent
+  // blending can create spurious extrema.
+  const int skip = 2 * nest.spec().ratio;
+  const int i0 = std::min(skip, st.grid.nx / 4);
+  const int j0 = std::min(skip, st.grid.ny / 4);
+  swm::MinLocation loc;
+  double best = 0.0;
+  bool first = true;
+  for (int j = j0; j < st.grid.ny - j0; ++j) {
+    double row_mean = 0.0;
+    for (int i = i0; i < st.grid.nx - i0; ++i) row_mean += st.eta(i, j);
+    row_mean /= static_cast<double>(st.grid.nx - 2 * i0);
+    for (int i = i0; i < st.grid.nx - i0; ++i) {
+      const double anomaly = st.eta(i, j) - row_mean;
+      if (first || anomaly < best) {
+        best = anomaly;
+        loc.i = i;
+        loc.j = j;
+        loc.eta = st.eta(i, j);
+        first = false;
+      }
+    }
+  }
+  const auto& spec = nest.spec();
+  FeatureFix fix;
+  fix.step = sim.steps_taken();
+  fix.sibling = sibling;
+  fix.parent_i =
+      spec.anchor_i + (loc.i + 0.5) / static_cast<double>(spec.ratio);
+  fix.parent_j =
+      spec.anchor_j + (loc.j + 0.5) / static_cast<double>(spec.ratio);
+  fix.eta = loc.eta;
+  return fix;
+}
+
+std::pair<int, int> centered_anchor(const nest::NestedSimulation& sim,
+                                    std::size_t sibling, double pi,
+                                    double pj) {
+  const auto& spec = sim.sibling(sibling).spec();
+  const auto& pgrid = sim.parent().grid;
+  const int ai = std::clamp(
+      static_cast<int>(pi) - spec.cells_x / 2, 1,
+      pgrid.nx - spec.cells_x - 1);
+  const int aj = std::clamp(
+      static_cast<int>(pj) - spec.cells_y / 2, 1,
+      pgrid.ny - spec.cells_y - 1);
+  return {ai, aj};
+}
+
+int MovingNestController::update(nest::NestedSimulation& sim) {
+  if (sim.steps_taken() % policy_.check_every != 0) return 0;
+  int moved = 0;
+  for (std::size_t k = 0; k < sim.sibling_count(); ++k) {
+    const auto fix = locate_feature(sim, k);
+    track_.push_back(fix);
+    const auto& spec = sim.sibling(k).spec();
+    const double left = fix.parent_i - spec.anchor_i;
+    const double right = spec.anchor_i + spec.cells_x - fix.parent_i;
+    const double south = fix.parent_j - spec.anchor_j;
+    const double north = spec.anchor_j + spec.cells_y - fix.parent_j;
+    const double margin = policy_.edge_margin;
+    if (left >= margin && right >= margin && south >= margin &&
+        north >= margin)
+      continue;
+    const auto [ai, aj] =
+        centered_anchor(sim, k, fix.parent_i, fix.parent_j);
+    if (std::abs(ai - spec.anchor_i) < policy_.min_move &&
+        std::abs(aj - spec.anchor_j) < policy_.min_move)
+      continue;
+    Relocation ev;
+    ev.step = sim.steps_taken();
+    ev.sibling = k;
+    ev.old_anchor_i = spec.anchor_i;
+    ev.old_anchor_j = spec.anchor_j;
+    ev.new_anchor_i = ai;
+    ev.new_anchor_j = aj;
+    sim.relocate_sibling(k, ai, aj);
+    relocations_.push_back(ev);
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace nestwx::steer

@@ -1,0 +1,74 @@
+#pragma once
+/// \file tracker.hpp
+/// Simulation steering (the paper's future work, §6: "we also plan to
+/// simultaneously steer these multiple nested simulations"): track the
+/// feature each nest was spawned for — here, the free-surface minimum of
+/// a depression — and relocate the nest whenever the feature drifts too
+/// close to the nest boundary, keeping every region of interest inside
+/// its high-resolution window without restarting the run.
+
+#include <string>
+#include <vector>
+
+#include "nest/simulation.hpp"
+
+namespace nestwx::steer {
+
+struct SteeringPolicy {
+  /// Relocate when the tracked minimum comes within this many parent
+  /// cells of the nest's footprint boundary.
+  int edge_margin = 3;
+  /// Only inspect every n-th parent step (tracking is cheap but nest
+  /// relocation is not free).
+  int check_every = 5;
+  /// Ignore relocations that would move the anchor by less than this
+  /// many parent cells along both axes (hysteresis against jitter).
+  int min_move = 3;
+};
+
+/// One relocation event, in parent-grid coordinates.
+struct Relocation {
+  int step = 0;          ///< parent step count at relocation
+  std::size_t sibling = 0;
+  int old_anchor_i = 0, old_anchor_j = 0;
+  int new_anchor_i = 0, new_anchor_j = 0;
+};
+
+/// Position of a tracked feature, in parent-grid coordinates.
+struct FeatureFix {
+  int step = 0;
+  std::size_t sibling = 0;
+  double parent_i = 0.0;
+  double parent_j = 0.0;
+  double eta = 0.0;
+};
+
+/// Tracks the eta-minimum of every sibling and re-centers nests on it.
+class MovingNestController {
+ public:
+  explicit MovingNestController(SteeringPolicy policy = {});
+
+  /// Inspect (and possibly steer) after a sim.advance(). Returns the
+  /// number of nests relocated this call.
+  int update(nest::NestedSimulation& sim);
+
+  const std::vector<Relocation>& relocations() const { return relocations_; }
+  const std::vector<FeatureFix>& track() const { return track_; }
+
+ private:
+  SteeringPolicy policy_;
+  std::vector<Relocation> relocations_;
+  std::vector<FeatureFix> track_;
+};
+
+/// Where the nest's eta-minimum sits in parent coordinates.
+FeatureFix locate_feature(const nest::NestedSimulation& sim,
+                          std::size_t sibling);
+
+/// The anchor that would center the sibling's footprint on (pi, pj),
+/// clamped to keep the nest inside the parent interior.
+std::pair<int, int> centered_anchor(const nest::NestedSimulation& sim,
+                                    std::size_t sibling, double pi,
+                                    double pj);
+
+}  // namespace nestwx::steer

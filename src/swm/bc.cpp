@@ -1,0 +1,229 @@
+#include "swm/bc.hpp"
+
+namespace nestwx::swm {
+
+namespace {
+
+/// Periodic wrap of ghost cells for any field shape.
+void periodic_fill(Field2D& f) {
+  const int nx = f.nx();
+  const int ny = f.ny();
+  const int halo = f.halo();
+  // x-direction (including corner ghosts via full j range afterwards).
+  for (int j = 0; j < ny; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      f(-g, j) = f(nx - g, j);
+      f(nx - 1 + g, j) = f(g - 1, j);
+    }
+  }
+  // y-direction over the full extended i range (fills corners).
+  for (int i = -halo; i < nx + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      f(i, -g) = f(i, ny - g);
+      f(i, ny - 1 + g) = f(i, g - 1);
+    }
+  }
+}
+
+/// Periodic wrap for a field face-staggered in x: the field stores nx+1
+/// faces of an nx-cell domain, but faces 0 and nx are physically the same
+/// point. Enforce that identity, then wrap with period nx.
+void periodic_fill_xface(Field2D& u) {
+  const int nxc = u.nx() - 1;  // number of cells
+  const int ny = u.ny();
+  const int halo = u.halo();
+  for (int j = 0; j < ny; ++j) {
+    u(nxc, j) = u(0, j);
+    for (int g = 1; g <= halo; ++g) {
+      u(-g, j) = u(nxc - g, j);
+      u(nxc + g, j) = u(g, j);
+    }
+  }
+  for (int i = -halo; i < u.nx() + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      u(i, -g) = u(i, ny - g);
+      u(i, ny - 1 + g) = u(i, g - 1);
+    }
+  }
+}
+
+/// Periodic wrap for a field face-staggered in y (see periodic_fill_xface).
+void periodic_fill_yface(Field2D& v) {
+  const int nx = v.nx();
+  const int nyc = v.ny() - 1;
+  const int halo = v.halo();
+  for (int i = 0; i < nx; ++i) {
+    v(i, nyc) = v(i, 0);
+    for (int g = 1; g <= halo; ++g) {
+      v(i, -g) = v(i, nyc - g);
+      v(i, nyc + g) = v(i, g);
+    }
+  }
+  for (int j = -halo; j < v.ny() + halo; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      v(-g, j) = v(nx - g, j);
+      v(nx - 1 + g, j) = v(g - 1, j);
+    }
+  }
+}
+
+/// Zero-gradient extrapolation (used by wall for h/terrain and by open).
+void extrapolate_fill(Field2D& f) {
+  const int nx = f.nx();
+  const int ny = f.ny();
+  const int halo = f.halo();
+  for (int j = 0; j < ny; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      f(-g, j) = f(0, j);
+      f(nx - 1 + g, j) = f(nx - 1, j);
+    }
+  }
+  for (int i = -halo; i < nx + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      f(i, -g) = f(i, 0);
+      f(i, ny - 1 + g) = f(i, ny - 1);
+    }
+  }
+}
+
+/// Mirror with sign flip about the boundary face of a face-staggered
+/// velocity (normal component): value on the face itself is forced to 0.
+void wall_normal_x(Field2D& u) {
+  const int nx = u.nx();  // nx_cells + 1 faces
+  const int ny = u.ny();
+  const int halo = u.halo();
+  for (int j = 0; j < ny; ++j) {
+    u(0, j) = 0.0;
+    u(nx - 1, j) = 0.0;
+    for (int g = 1; g <= halo; ++g) {
+      u(-g, j) = -u(g, j);
+      u(nx - 1 + g, j) = -u(nx - 1 - g, j);
+    }
+  }
+  for (int i = -halo; i < nx + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      u(i, -g) = u(i, 0);
+      u(i, ny - 1 + g) = u(i, ny - 1);
+    }
+  }
+}
+
+void wall_normal_y(Field2D& v) {
+  const int nx = v.nx();
+  const int ny = v.ny();  // ny_cells + 1 faces
+  const int halo = v.halo();
+  for (int i = 0; i < nx; ++i) {
+    v(i, 0) = 0.0;
+    v(i, ny - 1) = 0.0;
+    for (int g = 1; g <= halo; ++g) {
+      v(i, -g) = -v(i, g);
+      v(i, ny - 1 + g) = -v(i, ny - 1 - g);
+    }
+  }
+  for (int j = -halo; j < ny + halo; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      v(-g, j) = v(0, j);
+      v(nx - 1 + g, j) = v(nx - 1, j);
+    }
+  }
+}
+
+/// Channel fills: periodic in x, solid free-slip walls in y.
+void channel_fill_center(Field2D& f) {
+  const int nx = f.nx();
+  const int ny = f.ny();
+  const int halo = f.halo();
+  for (int j = 0; j < ny; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      f(-g, j) = f(nx - g, j);
+      f(nx - 1 + g, j) = f(g - 1, j);
+    }
+  }
+  for (int i = -halo; i < nx + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      f(i, -g) = f(i, 0);
+      f(i, ny - 1 + g) = f(i, ny - 1);
+    }
+  }
+}
+
+void channel_fill_u(Field2D& u) {
+  const int nxc = u.nx() - 1;  // cells
+  const int ny = u.ny();
+  const int halo = u.halo();
+  for (int j = 0; j < ny; ++j) {
+    u(nxc, j) = u(0, j);
+    for (int g = 1; g <= halo; ++g) {
+      u(-g, j) = u(nxc - g, j);
+      u(nxc + g, j) = u(g, j);
+    }
+  }
+  for (int i = -halo; i < u.nx() + halo; ++i) {
+    for (int g = 1; g <= halo; ++g) {
+      u(i, -g) = u(i, 0);
+      u(i, ny - 1 + g) = u(i, ny - 1);
+    }
+  }
+}
+
+void channel_fill_v(Field2D& v) {
+  const int nx = v.nx();
+  const int nyf = v.ny();  // cells + 1 faces
+  const int halo = v.halo();
+  for (int i = 0; i < nx; ++i) {
+    v(i, 0) = 0.0;
+    v(i, nyf - 1) = 0.0;
+    for (int g = 1; g <= halo; ++g) {
+      v(i, -g) = -v(i, g);
+      v(i, nyf - 1 + g) = -v(i, nyf - 1 - g);
+    }
+  }
+  for (int j = -halo; j < nyf + halo; ++j) {
+    for (int g = 1; g <= halo; ++g) {
+      v(-g, j) = v(nx - g, j);
+      v(nx - 1 + g, j) = v(g - 1, j);
+    }
+  }
+}
+
+}  // namespace
+
+void apply_center_boundary(Field2D& f, BoundaryKind kind) {
+  switch (kind) {
+    case BoundaryKind::periodic: periodic_fill(f); break;
+    case BoundaryKind::channel: channel_fill_center(f); break;
+    case BoundaryKind::wall:
+    case BoundaryKind::open: extrapolate_fill(f); break;
+  }
+}
+
+void apply_boundary(State& s, BoundaryKind kind) {
+  switch (kind) {
+    case BoundaryKind::periodic:
+      periodic_fill(s.h);
+      periodic_fill_xface(s.u);
+      periodic_fill_yface(s.v);
+      periodic_fill(s.b);
+      break;
+    case BoundaryKind::wall:
+      extrapolate_fill(s.h);
+      extrapolate_fill(s.b);
+      wall_normal_x(s.u);
+      wall_normal_y(s.v);
+      break;
+    case BoundaryKind::channel:
+      channel_fill_center(s.h);
+      channel_fill_center(s.b);
+      channel_fill_u(s.u);
+      channel_fill_v(s.v);
+      break;
+    case BoundaryKind::open:
+      extrapolate_fill(s.h);
+      extrapolate_fill(s.b);
+      extrapolate_fill(s.u);
+      extrapolate_fill(s.v);
+      break;
+  }
+}
+
+}  // namespace nestwx::swm

@@ -1,0 +1,27 @@
+#pragma once
+/// \file bc.hpp
+/// Lateral boundary conditions for the shallow-water core.
+///
+/// * periodic — wraps all fields (idealised tests, conservation checks).
+/// * wall     — free-slip rigid walls: normal velocity vanishes on the
+///              boundary faces, tangential velocity and depth are mirrored.
+/// * channel  — periodic in x, rigid walls in y: the natural setting for
+///              zonal (eastward) steering flows.
+/// * open     — ghosts are prescribed externally (by the nesting machinery
+///              interpolating from the parent); applying `open` here only
+///              zero-gradient-extrapolates as a fallback for the outermost
+///              (un-nested) domain.
+
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+enum class BoundaryKind { periodic, wall, channel, open };
+
+/// Fill ghost cells of every prognostic field (and terrain) of `s`.
+void apply_boundary(State& s, BoundaryKind kind);
+
+/// Fill ghost cells of a single center-staggered field.
+void apply_center_boundary(Field2D& f, BoundaryKind kind);
+
+}  // namespace nestwx::swm

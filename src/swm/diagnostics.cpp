@@ -1,0 +1,77 @@
+#include "swm/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nestwx::swm {
+
+Diagnostics diagnose(const State& s, double gravity) {
+  Diagnostics d;
+  const double area = s.grid.dx * s.grid.dy;
+  bool first = true;
+  for (int j = 0; j < s.grid.ny; ++j) {
+    for (int i = 0; i < s.grid.nx; ++i) {
+      const double h = s.h(i, j);
+      const double eta = s.eta(i, j);
+      const double b = s.b(i, j);
+      const double uc = 0.5 * (s.u(i, j) + s.u(i + 1, j));
+      const double vc = 0.5 * (s.v(i, j) + s.v(i, j + 1));
+      const double speed = std::sqrt(uc * uc + vc * vc);
+      d.mass += h * area;
+      d.kinetic_energy += 0.5 * h * (uc * uc + vc * vc) * area;
+      d.potential_energy += 0.5 * gravity * (eta * eta - b * b) * area;
+      d.max_speed = std::max(d.max_speed, speed);
+      if (first) {
+        d.min_depth = h;
+        d.max_eta = d.min_eta = eta;
+        first = false;
+      } else {
+        d.min_depth = std::min(d.min_depth, h);
+        d.max_eta = std::max(d.max_eta, eta);
+        d.min_eta = std::min(d.min_eta, eta);
+      }
+    }
+  }
+  d.total_energy = d.kinetic_energy + d.potential_energy;
+  return d;
+}
+
+Field2D relative_vorticity(const State& s) {
+  const int nx = s.grid.nx;
+  const int ny = s.grid.ny;
+  Field2D zeta(nx + 1, ny + 1, 0);
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      // Corner (i, j): v faces to its east/west, u faces to its
+      // north/south.
+      const double dvdx = (s.v(std::min(i, nx - 1), j) -
+                           s.v(std::max(i - 1, 0), j)) /
+                          s.grid.dx;
+      const double dudy = (s.u(i, std::min(j, ny - 1)) -
+                           s.u(i, std::max(j - 1, 0))) /
+                          s.grid.dy;
+      zeta(i, j) = dvdx - dudy;
+    }
+  }
+  return zeta;
+}
+
+double enstrophy(const State& s) {
+  const auto zeta = relative_vorticity(s);
+  double acc = 0.0;
+  for (int j = 1; j < s.grid.ny; ++j)
+    for (int i = 1; i < s.grid.nx; ++i)
+      acc += 0.5 * zeta(i, j) * zeta(i, j);
+  return acc * s.grid.dx * s.grid.dy;
+}
+
+bool all_finite(const State& s) {
+  auto check = [](const Field2D& f) {
+    for (double v : f.raw())
+      if (!std::isfinite(v)) return false;
+    return true;
+  };
+  return check(s.h) && check(s.u) && check(s.v) && check(s.b);
+}
+
+}  // namespace nestwx::swm

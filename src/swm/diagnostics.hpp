@@ -1,0 +1,33 @@
+#pragma once
+/// \file diagnostics.hpp
+/// Integral diagnostics of a shallow-water state: used by conservation
+/// tests and by the examples' progress reports.
+
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+struct Diagnostics {
+  double mass = 0.0;            ///< ∫ h dA  (m³)
+  double kinetic_energy = 0.0;  ///< ∫ ½ h (u²+v²) dA
+  double potential_energy = 0.0;///< ∫ ½ g (η² − b²) dA
+  double total_energy = 0.0;
+  double max_speed = 0.0;       ///< max cell-centered |velocity|
+  double min_depth = 0.0;
+  double max_eta = 0.0;
+  double min_eta = 0.0;
+};
+
+Diagnostics diagnose(const State& s, double gravity = 9.81);
+
+/// Relative vorticity ζ = ∂v/∂x − ∂u/∂y on the C-grid's cell corners
+/// ((nx+1) × (ny+1) field, no halo). Ghost cells of `s` must be current.
+Field2D relative_vorticity(const State& s);
+
+/// Domain-integrated enstrophy ½ ∫ ζ² dA over the interior corners.
+double enstrophy(const State& s);
+
+/// True when every value of every prognostic field is finite.
+bool all_finite(const State& s);
+
+}  // namespace nestwx::swm

@@ -1,0 +1,157 @@
+#include "swm/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+void compute_tendency(const State& s, const ModelParams& p, Tendency& out) {
+  const int nx = s.grid.nx;
+  const int ny = s.grid.ny;
+  const double dx = s.grid.dx;
+  const double dy = s.grid.dy;
+  const double g = p.gravity;
+  const double f = p.coriolis;
+
+  // Mass: dh/dt = -div(H u). Face depths are two-cell averages.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double hw = 0.5 * (s.h(i - 1, j) + s.h(i, j));
+      const double he = 0.5 * (s.h(i, j) + s.h(i + 1, j));
+      const double hs = 0.5 * (s.h(i, j - 1) + s.h(i, j));
+      const double hn = 0.5 * (s.h(i, j) + s.h(i, j + 1));
+      const double flux_w = hw * s.u(i, j);
+      const double flux_e = he * s.u(i + 1, j);
+      const double flux_s = hs * s.v(i, j);
+      const double flux_n = hn * s.v(i, j + 1);
+      out.dh(i, j) = -(flux_e - flux_w) / dx - (flux_n - flux_s) / dy;
+    }
+  }
+
+  // u-momentum at x-faces i = 0..nx (tendency on every face; wall BCs
+  // re-zero the boundary faces afterwards).
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      const double eta_e = s.h(i, j) + s.b(i, j);
+      const double eta_w = s.h(i - 1, j) + s.b(i - 1, j);
+      const double pgrad = -g * (eta_e - eta_w) / dx;
+      // v averaged to the u-point (4 surrounding v-faces).
+      const double vbar = 0.25 * (s.v(i - 1, j) + s.v(i, j) +
+                                  s.v(i - 1, j + 1) + s.v(i, j + 1));
+      double adv = 0.0;
+      if (p.nonlinear) {
+        const double dudx = (s.u(i + 1, j) - s.u(i - 1, j)) / (2.0 * dx);
+        const double dudy = (s.u(i, j + 1) - s.u(i, j - 1)) / (2.0 * dy);
+        adv = s.u(i, j) * dudx + vbar * dudy;
+      }
+      double diff = 0.0;
+      if (p.viscosity > 0.0) {
+        diff = p.viscosity *
+               ((s.u(i + 1, j) - 2.0 * s.u(i, j) + s.u(i - 1, j)) / (dx * dx) +
+                (s.u(i, j + 1) - 2.0 * s.u(i, j) + s.u(i, j - 1)) / (dy * dy));
+      }
+      out.du(i, j) = pgrad + f * vbar - adv + diff - p.drag * s.u(i, j);
+    }
+  }
+
+  // v-momentum at y-faces j = 0..ny.
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double eta_n = s.h(i, j) + s.b(i, j);
+      const double eta_s = s.h(i, j - 1) + s.b(i, j - 1);
+      const double pgrad = -g * (eta_n - eta_s) / dy;
+      const double ubar = 0.25 * (s.u(i, j - 1) + s.u(i + 1, j - 1) +
+                                  s.u(i, j) + s.u(i + 1, j));
+      double adv = 0.0;
+      if (p.nonlinear) {
+        const double dvdx = (s.v(i + 1, j) - s.v(i - 1, j)) / (2.0 * dx);
+        const double dvdy = (s.v(i, j + 1) - s.v(i, j - 1)) / (2.0 * dy);
+        adv = ubar * dvdx + s.v(i, j) * dvdy;
+      }
+      double diff = 0.0;
+      if (p.viscosity > 0.0) {
+        diff = p.viscosity *
+               ((s.v(i + 1, j) - 2.0 * s.v(i, j) + s.v(i - 1, j)) / (dx * dx) +
+                (s.v(i, j + 1) - 2.0 * s.v(i, j) + s.v(i, j - 1)) / (dy * dy));
+      }
+      out.dv(i, j) = pgrad - f * ubar - adv + diff - p.drag * s.v(i, j);
+    }
+  }
+}
+
+Stepper::Stepper(const GridSpec& grid, ModelParams params)
+    : params_(params), stage_(grid), tend_(grid) {}
+
+namespace {
+/// stage = base + w * tend for the three prognostic fields (interior),
+/// then refresh ghosts.
+void blend(State& stage, const State& base, double w, const Tendency& t,
+           BoundaryKind bc) {
+  const int nx = base.grid.nx;
+  const int ny = base.grid.ny;
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      stage.h(i, j) = base.h(i, j) + w * t.dh(i, j);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i <= nx; ++i)
+      stage.u(i, j) = base.u(i, j) + w * t.du(i, j);
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      stage.v(i, j) = base.v(i, j) + w * t.dv(i, j);
+  // With open boundaries the ghost cells are prescribed by the nesting
+  // machinery and must stay fixed through the RK3 stages.
+  if (bc != BoundaryKind::open) apply_boundary(stage, bc);
+}
+}  // namespace
+
+void Stepper::step(State& s, double dt) {
+  NESTWX_REQUIRE(dt > 0.0, "time step must be positive");
+  NESTWX_REQUIRE(s.grid.nx == stage_.grid.nx && s.grid.ny == stage_.grid.ny,
+                 "state shape does not match stepper grid");
+  // Full copy so prescribed (open-boundary) ghost cells carry into the
+  // stage state; interiors are overwritten by blend().
+  stage_ = s;
+  if (params_.boundary != BoundaryKind::open)
+    apply_boundary(s, params_.boundary);
+
+  compute_tendency(s, params_, tend_);
+  blend(stage_, s, dt / 3.0, tend_, params_.boundary);
+
+  compute_tendency(stage_, params_, tend_);
+  blend(stage_, s, dt / 2.0, tend_, params_.boundary);
+
+  compute_tendency(stage_, params_, tend_);
+  blend(s, s, dt, tend_, params_.boundary);
+}
+
+void Stepper::run(State& s, double dt, int n) {
+  NESTWX_REQUIRE(n >= 0, "negative step count");
+  for (int k = 0; k < n; ++k) step(s, dt);
+}
+
+double Stepper::courant(const State& s, double dt) const {
+  double worst = 0.0;
+  for (int j = 0; j < s.grid.ny; ++j) {
+    for (int i = 0; i < s.grid.nx; ++i) {
+      const double depth = std::max(s.h(i, j), 0.0);
+      const double c = std::sqrt(params_.gravity * depth);
+      const double uu =
+          0.5 * std::abs(s.u(i, j) + s.u(i + 1, j));
+      const double vv =
+          0.5 * std::abs(s.v(i, j) + s.v(i, j + 1));
+      worst = std::max(worst, (uu + c) * dt / s.grid.dx +
+                                  (vv + c) * dt / s.grid.dy);
+    }
+  }
+  return worst;
+}
+
+double Stepper::stable_dt(const State& s, double limit) const {
+  const double c1 = courant(s, 1.0);
+  NESTWX_REQUIRE(c1 > 0.0, "state has no signal speed; cannot size dt");
+  return limit / c1;
+}
+
+}  // namespace nestwx::swm

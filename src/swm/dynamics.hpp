@@ -1,0 +1,64 @@
+#pragma once
+/// \file dynamics.hpp
+/// Shallow-water equations on the C-grid and the WRF-style third-order
+/// Runge–Kutta integrator.
+///
+/// Continuous equations (η = h + b is the free surface):
+///   ∂h/∂t = −∂(H u)/∂x − ∂(H v)/∂y            (flux-form mass)
+///   ∂u/∂t = −g ∂η/∂x + f v̄ − (u∂u/∂x + v̄∂u/∂y) + ν∇²u − c_d u
+///   ∂v/∂t = −g ∂η/∂y − f ū − (ū∂v/∂x + v∂v/∂y) + ν∇²v − c_d v
+/// discretised with second-order centered differences; depth at faces is
+/// the two-cell average. The RK3 scheme is WRF's:
+///   Φ*  = Φⁿ + Δt/3 · R(Φⁿ)
+///   Φ** = Φⁿ + Δt/2 · R(Φ*)
+///   Φⁿ⁺¹= Φⁿ + Δt  · R(Φ**)
+/// with boundary conditions applied after every stage.
+
+#include "swm/bc.hpp"
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+/// Physical and numerical parameters of the model.
+struct ModelParams {
+  double gravity = 9.81;      ///< m/s²
+  double coriolis = 1.0e-4;   ///< s⁻¹ (f-plane)
+  double viscosity = 0.0;     ///< m²/s horizontal diffusion
+  double drag = 0.0;          ///< s⁻¹ linear bottom drag
+  bool nonlinear = true;      ///< include momentum advection
+  BoundaryKind boundary = BoundaryKind::periodic;
+};
+
+/// Evaluate tendencies R(s) into `out`. Ghost cells of `s` must be current
+/// (call apply_boundary first); only interior tendencies are written.
+void compute_tendency(const State& s, const ModelParams& p, Tendency& out);
+
+/// Advance `s` by one RK3 step of size dt (seconds), applying `p.boundary`
+/// after each stage. Scratch state/tendencies are managed by the Stepper
+/// so repeated stepping allocates nothing.
+class Stepper {
+ public:
+  Stepper(const GridSpec& grid, ModelParams params);
+
+  const ModelParams& params() const { return params_; }
+
+  void step(State& s, double dt);
+
+  /// Advance n steps.
+  void run(State& s, double dt, int n);
+
+  /// Largest gravity-wave Courant number of the current state for dt:
+  /// max over cells of (|u|+√(g·h)) dt/dx + (|v|+√(g·h)) dt/dy.
+  double courant(const State& s, double dt) const;
+
+  /// Largest stable dt under `courant` ≤ limit (default the RK3 practical
+  /// limit ≈ 1.0 for this discretisation, with a safety factor).
+  double stable_dt(const State& s, double limit = 0.8) const;
+
+ private:
+  ModelParams params_;
+  State stage_;
+  Tendency tend_;
+};
+
+}  // namespace nestwx::swm

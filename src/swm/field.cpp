@@ -1,0 +1,81 @@
+#include "swm/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+Field2D::Field2D(int nx, int ny, int halo, double fill_value)
+    : nx_(nx), ny_(ny), halo_(halo), stride_(nx + 2 * halo) {
+  NESTWX_REQUIRE(nx >= 1 && ny >= 1, "field dims must be positive");
+  NESTWX_REQUIRE(halo >= 0, "halo must be non-negative");
+  data_.assign(static_cast<std::size_t>(stride_) * (ny + 2 * halo),
+               fill_value);
+}
+
+std::size_t Field2D::index(int i, int j) const {
+  NESTWX_REQUIRE(i >= -halo_ && i < nx_ + halo_ && j >= -halo_ &&
+                     j < ny_ + halo_,
+                 "field index out of range");
+  return static_cast<std::size_t>(j + halo_) * stride_ + (i + halo_);
+}
+
+void Field2D::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Field2D::interior_sum() const {
+  double total = 0.0;
+  for (int j = 0; j < ny_; ++j)
+    for (int i = 0; i < nx_; ++i) total += (*this)(i, j);
+  return total;
+}
+
+double Field2D::interior_max_abs() const {
+  double best = 0.0;
+  for (int j = 0; j < ny_; ++j)
+    for (int i = 0; i < nx_; ++i)
+      best = std::max(best, std::abs((*this)(i, j)));
+  return best;
+}
+
+double Field2D::sample(double x, double y) const {
+  const double lo_x = -halo_;
+  const double hi_x = nx_ + halo_ - 1;
+  const double lo_y = -halo_;
+  const double hi_y = ny_ + halo_ - 1;
+  x = std::clamp(x, lo_x, hi_x);
+  y = std::clamp(y, lo_y, hi_y);
+  const int i0 = std::min(static_cast<int>(std::floor(x)), nx_ + halo_ - 2);
+  const int j0 = std::min(static_cast<int>(std::floor(y)), ny_ + halo_ - 2);
+  const double fx = x - i0;
+  const double fy = y - j0;
+  return (1.0 - fx) * (1.0 - fy) * (*this)(i0, j0) +
+         fx * (1.0 - fy) * (*this)(i0 + 1, j0) +
+         (1.0 - fx) * fy * (*this)(i0, j0 + 1) +
+         fx * fy * (*this)(i0 + 1, j0 + 1);
+}
+
+void axpy(Field2D& a, double s, const Field2D& b) {
+  NESTWX_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.halo() == b.halo(),
+                 "field shape mismatch in axpy");
+  auto pa = a.raw();
+  auto pb = b.raw();
+  for (std::size_t k = 0; k < pa.size(); ++k) pa[k] += s * pb[k];
+}
+
+void add_scaled(Field2D& out, const Field2D& a, double s, const Field2D& b) {
+  NESTWX_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.halo() == b.halo(),
+                 "field shape mismatch in add_scaled");
+  NESTWX_REQUIRE(out.nx() == a.nx() && out.ny() == a.ny() &&
+                     out.halo() == a.halo(),
+                 "output shape mismatch in add_scaled");
+  auto po = out.raw();
+  auto pa = a.raw();
+  auto pb = b.raw();
+  for (std::size_t k = 0; k < po.size(); ++k) po[k] = pa[k] + s * pb[k];
+}
+
+}  // namespace nestwx::swm

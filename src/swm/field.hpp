@@ -1,0 +1,59 @@
+#pragma once
+/// \file field.hpp
+/// 2-D scalar fields with ghost (halo) cells, the storage unit of the
+/// shallow-water dynamical core.
+
+#include <span>
+#include <vector>
+
+namespace nestwx::swm {
+
+/// A field of nx × ny interior points with `halo` ghost rings, stored
+/// row-major. Valid indices are i ∈ [-halo, nx+halo), j ∈ [-halo, ny+halo).
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(int nx, int ny, int halo = 1, double fill = 0.0);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int halo() const { return halo_; }
+
+  double& operator()(int i, int j) { return data_[index(i, j)]; }
+  double operator()(int i, int j) const { return data_[index(i, j)]; }
+
+  /// Set every value (including ghosts).
+  void fill(double value);
+
+  /// Sum over interior points only.
+  double interior_sum() const;
+
+  /// max |value| over interior points.
+  double interior_max_abs() const;
+
+  /// Bilinear sample at fractional interior coordinates (x, y) measured in
+  /// grid indices; clamps into [-halo, n+halo-1] so boundary-adjacent
+  /// samples read ghost data.
+  double sample(double x, double y) const;
+
+  std::span<double> raw() { return data_; }
+  std::span<const double> raw() const { return data_; }
+
+  /// Linearised index of (i, j); bounds-checked.
+  std::size_t index(int i, int j) const;
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  int halo_ = 0;
+  int stride_ = 0;
+  std::vector<double> data_;
+};
+
+/// a += s * b over interior + ghosts; shapes must match.
+void axpy(Field2D& a, double s, const Field2D& b);
+
+/// out = a + s * b (whole array); shapes must match.
+void add_scaled(Field2D& out, const Field2D& a, double s, const Field2D& b);
+
+}  // namespace nestwx::swm

@@ -1,0 +1,141 @@
+#include "swm/init.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+State lake_at_rest(const GridSpec& grid, double depth) {
+  NESTWX_REQUIRE(depth > 0.0, "depth must be positive");
+  State s(grid);
+  s.h.fill(depth);
+  return s;
+}
+
+State lake_over_terrain(const GridSpec& grid, double eta0, double bump) {
+  State s(grid);
+  const double cx = 0.5 * grid.nx;
+  const double cy = 0.5 * grid.ny;
+  const double r0 = 0.2 * std::min(grid.nx, grid.ny);
+  for (int j = -grid.halo; j < grid.ny + grid.halo; ++j) {
+    for (int i = -grid.halo; i < grid.nx + grid.halo; ++i) {
+      const double dx = (i + 0.5 - cx) / r0;
+      const double dy = (j + 0.5 - cy) / r0;
+      const double b = bump * std::exp(-(dx * dx + dy * dy));
+      s.b(i, j) = b;
+      s.h(i, j) = eta0 - b;
+      NESTWX_REQUIRE(eta0 > b, "terrain bump pierces the free surface");
+    }
+  }
+  return s;
+}
+
+namespace {
+
+/// Gaussian surface deficit and its geostrophic wind at a point.
+/// eta'(r) = -deficit * exp(-r²/R²); geostrophic balance on the C-grid:
+/// f k × u = -g ∇η  ⇒  u = -(g/f) ∂η/∂y,  v = (g/f) ∂η/∂x.
+struct Vortex {
+  double cx_m, cy_m, deficit, radius, g, f;
+
+  double eta_prime(double x, double y) const {
+    const double rx = (x - cx_m) / radius;
+    const double ry = (y - cy_m) / radius;
+    return -deficit * std::exp(-(rx * rx + ry * ry));
+  }
+  double detadx(double x, double y) const {
+    const double rx = (x - cx_m) / radius;
+    return -2.0 * rx / radius * eta_prime(x, y);
+  }
+  double detady(double x, double y) const {
+    const double ry = (y - cy_m) / radius;
+    return -2.0 * ry / radius * eta_prime(x, y);
+  }
+  double u_wind(double x, double y) const {
+    return -(g / f) * detady(x, y);
+  }
+  double v_wind(double x, double y) const { return (g / f) * detadx(x, y); }
+};
+
+void apply_vortex(State& s, const Vortex& vx) {
+  const GridSpec& g = s.grid;
+  for (int j = -g.halo; j < g.ny + g.halo; ++j) {
+    for (int i = -g.halo; i < g.nx + g.halo; ++i) {
+      const double x = (i + 0.5) * g.dx;
+      const double y = (j + 0.5) * g.dy;
+      s.h(i, j) += vx.eta_prime(x, y);
+    }
+  }
+  for (int j = -g.halo; j < g.ny + g.halo; ++j) {
+    for (int i = -g.halo; i < g.nx + 1 + g.halo; ++i) {
+      const double x = i * g.dx;
+      const double y = (j + 0.5) * g.dy;
+      s.u(i, j) += vx.u_wind(x, y);
+    }
+  }
+  for (int j = -g.halo; j < g.ny + 1 + g.halo; ++j) {
+    for (int i = -g.halo; i < g.nx + g.halo; ++i) {
+      const double x = (i + 0.5) * g.dx;
+      const double y = j * g.dy;
+      s.v(i, j) += vx.v_wind(x, y);
+    }
+  }
+}
+
+}  // namespace
+
+State depression(const GridSpec& grid, double f, double cx, double cy,
+                 double depth, double deficit, double radius_m,
+                 double gravity) {
+  State s = lake_at_rest(grid, depth);
+  add_depression(s, f, cx, cy, deficit, radius_m, gravity);
+  return s;
+}
+
+void add_depression(State& s, double f, double cx, double cy, double deficit,
+                    double radius_m, double gravity) {
+  NESTWX_REQUIRE(f != 0.0, "geostrophic vortex needs non-zero Coriolis");
+  NESTWX_REQUIRE(radius_m > 0.0, "vortex radius must be positive");
+  const Vortex vx{cx * s.grid.nx * s.grid.dx, cy * s.grid.ny * s.grid.dy,
+                  deficit, radius_m, gravity, f};
+  apply_vortex(s, vx);
+}
+
+void add_zonal_flow(State& s, double f, double u0, double gravity) {
+  NESTWX_REQUIRE(gravity > 0.0, "gravity must be positive");
+  const GridSpec& g = s.grid;
+  const double slope = -f * u0 / gravity;  // dη/dy
+  const double y_mid = 0.5 * g.ny * g.dy;
+  for (int j = -g.halo; j < g.ny + g.halo; ++j)
+    for (int i = -g.halo; i < g.nx + g.halo; ++i) {
+      const double y = (j + 0.5) * g.dy;
+      s.h(i, j) += slope * (y - y_mid);
+    }
+  for (int j = -g.halo; j < g.ny + g.halo; ++j)
+    for (int i = -g.halo; i < g.nx + 1 + g.halo; ++i) s.u(i, j) += u0;
+}
+
+void perturb(State& s, util::Rng& rng, double amplitude) {
+  for (int j = 0; j < s.grid.ny; ++j)
+    for (int i = 0; i < s.grid.nx; ++i)
+      s.h(i, j) += amplitude * (2.0 * rng.uniform() - 1.0);
+}
+
+MinLocation find_min_eta(const State& s) {
+  MinLocation best;
+  best.eta = s.eta(0, 0);
+  for (int j = 0; j < s.grid.ny; ++j) {
+    for (int i = 0; i < s.grid.nx; ++i) {
+      const double e = s.eta(i, j);
+      if (e < best.eta) {
+        best.eta = e;
+        best.i = i;
+        best.j = j;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace nestwx::swm

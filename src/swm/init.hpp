@@ -1,0 +1,54 @@
+#pragma once
+/// \file init.hpp
+/// Idealised initial conditions for the shallow-water core: the standard
+/// test problems plus synthetic "weather" scenes (tropical depressions)
+/// used by the nested-domain examples.
+
+#include "util/rng.hpp"
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+/// Flat resting fluid of the given depth over flat terrain.
+State lake_at_rest(const GridSpec& grid, double depth = 1000.0);
+
+/// Resting fluid over uneven terrain with a flat free surface η = `eta0`;
+/// a well-balanced scheme must keep it motionless. Terrain is a smooth
+/// bump of height `bump` at the domain center.
+State lake_over_terrain(const GridSpec& grid, double eta0 = 1000.0,
+                        double bump = 200.0);
+
+/// A geostrophically balanced low-pressure vortex ("depression") centered
+/// at fraction (cx, cy) of the domain: a Gaussian depth deficit with the
+/// cyclonic wind field that balances it under Coriolis parameter f.
+/// `depth` is the ambient depth, `deficit` the central depth reduction,
+/// `radius_m` the e-folding radius in meters.
+State depression(const GridSpec& grid, double f, double cx = 0.5,
+                 double cy = 0.5, double depth = 1000.0,
+                 double deficit = 30.0, double radius_m = 50e3,
+                 double gravity = 9.81);
+
+/// Add a second (or further) depression to an existing state.
+void add_depression(State& s, double f, double cx, double cy,
+                    double deficit = 30.0, double radius_m = 50e3,
+                    double gravity = 9.81);
+
+/// Superpose a geostrophically balanced uniform zonal (eastward) flow of
+/// speed u0: u += u0 with the meridional surface tilt
+/// ∂η/∂y = −f·u0/g that balances it. Embedded vortices advect eastward
+/// at ≈ u0 (used by the steering tests and the moving-nest example).
+void add_zonal_flow(State& s, double f, double u0, double gravity = 9.81);
+
+/// Small random perturbation of the depth field (for robustness tests).
+void perturb(State& s, util::Rng& rng, double amplitude);
+
+/// Location (grid coordinates of cell centers) of the minimum free
+/// surface — tracks a depression center.
+struct MinLocation {
+  int i = 0;
+  int j = 0;
+  double eta = 0.0;
+};
+MinLocation find_min_eta(const State& s);
+
+}  // namespace nestwx::swm

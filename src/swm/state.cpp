@@ -1,0 +1,22 @@
+#include "swm/state.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+State::State(const GridSpec& g)
+    : grid(g),
+      h(g.nx, g.ny, g.halo),
+      u(g.nx + 1, g.ny, g.halo),
+      v(g.nx, g.ny + 1, g.halo),
+      b(g.nx, g.ny, g.halo) {
+  NESTWX_REQUIRE(g.dx > 0.0 && g.dy > 0.0, "grid spacing must be positive");
+  NESTWX_REQUIRE(g.halo >= 1, "dynamics needs at least one ghost ring");
+}
+
+Tendency::Tendency(const GridSpec& g)
+    : dh(g.nx, g.ny, g.halo),
+      du(g.nx + 1, g.ny, g.halo),
+      dv(g.nx, g.ny + 1, g.halo) {}
+
+}  // namespace nestwx::swm

@@ -1,0 +1,48 @@
+#pragma once
+/// \file state.hpp
+/// Prognostic state of the shallow-water core on an Arakawa C-grid.
+///
+/// h (fluid depth) lives at cell centers, u at x-faces, v at y-faces, and
+/// the static terrain height b at centers. The free-surface elevation is
+/// η = h + b. Grid indices: cell (i, j) has center ((i+½)dx, (j+½)dy),
+/// u-face i at (i·dx, (j+½)dy), v-face j at ((i+½)dx, j·dy).
+
+#include "swm/field.hpp"
+
+namespace nestwx::swm {
+
+/// Geometric description of one rectangular domain.
+struct GridSpec {
+  int nx = 0;        ///< cells in x
+  int ny = 0;        ///< cells in y
+  double dx = 1e3;   ///< meters
+  double dy = 1e3;   ///< meters
+  int halo = 3;      ///< ghost rings (WRF-like halo width)
+};
+
+/// Prognostic fields (h, u, v) plus terrain.
+struct State {
+  GridSpec grid;
+  Field2D h;  ///< depth, nx × ny centers
+  Field2D u;  ///< (nx+1) × ny x-face velocities
+  Field2D v;  ///< nx × (ny+1) y-face velocities
+  Field2D b;  ///< terrain height, centers (static)
+
+  State() = default;
+  explicit State(const GridSpec& g);
+
+  /// Free-surface elevation at a center.
+  double eta(int i, int j) const { return h(i, j) + b(i, j); }
+};
+
+/// Same-shape tendency container (db/dt is always zero and omitted).
+struct Tendency {
+  Field2D dh;
+  Field2D du;
+  Field2D dv;
+
+  Tendency() = default;
+  explicit Tendency(const GridSpec& g);
+};
+
+}  // namespace nestwx::swm

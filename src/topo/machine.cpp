@@ -1,0 +1,23 @@
+#include "topo/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::topo {
+
+int ranks_per_node(NodeMode mode, int cores_per_node) {
+  NESTWX_REQUIRE(cores_per_node >= 1, "node needs at least one core");
+  switch (mode) {
+    case NodeMode::coprocessor:
+    case NodeMode::smp:
+      return 1;
+    case NodeMode::dual:
+      NESTWX_REQUIRE(cores_per_node >= 2, "dual mode needs >= 2 cores");
+      return 2;
+    case NodeMode::virtual_node:
+      return cores_per_node;
+  }
+  NESTWX_ASSERT(false, "unknown node mode");
+  return 1;
+}
+
+}  // namespace nestwx::topo

@@ -1,0 +1,89 @@
+#pragma once
+/// \file machine.hpp
+/// Description of a torus-interconnect machine partition: geometry plus the
+/// calibrated performance parameters the network/compute/IO models consume.
+/// Concrete presets for Blue Gene/L and Blue Gene/P live in
+/// workload/machines.hpp.
+
+#include <string>
+
+#include "topo/torus.hpp"
+
+namespace nestwx::topo {
+
+/// Execution modes of Blue Gene nodes (paper §4.2): how many MPI ranks run
+/// on each node. CO/SMP use one rank per node, Dual two, VN all cores.
+enum class NodeMode { coprocessor, smp, dual, virtual_node };
+
+/// How many ranks per node a mode implies, given physical core count.
+int ranks_per_node(NodeMode mode, int cores_per_node);
+
+struct MachineParams {
+  std::string name;
+
+  // Geometry.
+  int torus_x = 1;
+  int torus_y = 1;
+  int torus_z = 1;
+  int cores_per_node = 2;
+  NodeMode mode = NodeMode::virtual_node;
+
+  // Compute: effective per-rank floating-point rate (F/s) after typical
+  // stencil-code efficiency, and the per-grid-point work of one dynamics
+  // step of the weather code (flops per point per vertical level).
+  double flop_rate = 0.28e9;
+  double flops_per_point_per_level = 1500.0;
+  int vertical_levels = 35;
+
+  // Stencil codes compute on a ghost ring around each tile (and pay loop
+  // overhead on short rows), so the effective per-rank work area is
+  // (w + overhead)·(h + overhead). This is what bends WRF's scaling
+  // sub-linear once tiles get small (Fig. 2).
+  int compute_halo_overhead = 4;
+
+  // Network: per-link unidirectional bandwidth (B/s), per-hop router
+  // latency (s), and per-message software overhead (s).
+  double link_bandwidth = 175e6;
+  double hop_latency = 100e-9;
+  double software_latency = 3e-6;
+  /// CPU rate for packing/unpacking strided halo data into messages
+  /// (paid by the sender before injection and by the receiver on
+  /// arrival) — a large cost on the slow embedded Blue Gene cores.
+  double pack_bandwidth = 400e6;
+  /// Effective rate (B/s) of the nest lateral-boundary interpolation
+  /// path: WRF's specified-boundary handling is partially serialised per
+  /// nest and does not speed up with more processors — one of the reasons
+  /// nested runs saturate early (Fig. 2). The per-substep cost is the
+  /// nest's boundary-band bytes divided by this rate. The concurrent
+  /// strategy parallelises it *across* sibling nests.
+  double nest_boundary_rate = 700e6;
+  // Static contention: a message sharing its bottleneck link with F flows
+  // sees bandwidth / min(F^contention_exponent, contention_cap). 1.0 is
+  // full serialisation; real torus networks with adaptive arbitration and
+  // multiple escape paths sit well below that, and the slowdown saturates
+  // once flows spread over alternative routes.
+  double contention_exponent = 0.5;
+  double contention_cap = 4.0;
+
+  // Halo-exchange shape (WRF exchanges 144 messages per step with its four
+  // neighbours — modelled as `halo_phases` dependent phases of 4 messages).
+  int halo_phases = 36;
+  int halo_width = 3;
+  int halo_variables = 6;  ///< 3-D fields exchanged per phase-message
+  int bytes_per_element = 8;
+
+  // Parallel I/O model (PnetCDF-like collective write): fixed open/close
+  // latency, per-participating-rank collective overhead, and aggregate
+  // streaming bandwidth to the filesystem.
+  double io_base_latency = 0.05;
+  double io_per_rank_overhead = 0.9e-3;
+  double io_stream_bandwidth = 700e6;
+
+  int total_ranks() const {
+    return torus_x * torus_y * torus_z *
+           ranks_per_node(mode, cores_per_node);
+  }
+  Torus torus() const { return Torus(torus_x, torus_y, torus_z); }
+};
+
+}  // namespace nestwx::topo

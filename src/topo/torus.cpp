@@ -1,0 +1,92 @@
+#include "topo/torus.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace nestwx::topo {
+
+Torus::Torus(int dx, int dy, int dz) : dims_{dx, dy, dz} {
+  NESTWX_REQUIRE(dx >= 1 && dy >= 1 && dz >= 1,
+                 "torus dimensions must be positive");
+}
+
+int Torus::node_index(Coord3 c) const {
+  NESTWX_REQUIRE(contains(c), "coordinate outside torus");
+  return c.x + dims_[0] * (c.y + dims_[1] * c.z);
+}
+
+Coord3 Torus::node_coord(int index) const {
+  NESTWX_REQUIRE(index >= 0 && index < node_count(),
+                 "node index outside torus");
+  Coord3 c;
+  c.x = index % dims_[0];
+  c.y = (index / dims_[0]) % dims_[1];
+  c.z = index / (dims_[0] * dims_[1]);
+  return c;
+}
+
+int Torus::wrap_dist(int a, int b, int dim) {
+  const int d = std::abs(a - b);
+  return std::min(d, dim - d);
+}
+
+int Torus::hop_dist(Coord3 a, Coord3 b) const {
+  return wrap_dist(a.x, b.x, dims_[0]) + wrap_dist(a.y, b.y, dims_[1]) +
+         wrap_dist(a.z, b.z, dims_[2]);
+}
+
+int Torus::link_index(Coord3 from, LinkDir dir) const {
+  return node_index(from) * 6 + static_cast<int>(dir);
+}
+
+Coord3 Torus::neighbor(Coord3 c, LinkDir dir) const {
+  Coord3 n = c;
+  switch (dir) {
+    case LinkDir::x_plus: n.x = (c.x + 1) % dims_[0]; break;
+    case LinkDir::x_minus: n.x = (c.x - 1 + dims_[0]) % dims_[0]; break;
+    case LinkDir::y_plus: n.y = (c.y + 1) % dims_[1]; break;
+    case LinkDir::y_minus: n.y = (c.y - 1 + dims_[1]) % dims_[1]; break;
+    case LinkDir::z_plus: n.z = (c.z + 1) % dims_[2]; break;
+    case LinkDir::z_minus: n.z = (c.z - 1 + dims_[2]) % dims_[2]; break;
+  }
+  return n;
+}
+
+bool Torus::contains(Coord3 c) const {
+  return c.x >= 0 && c.x < dims_[0] && c.y >= 0 && c.y < dims_[1] &&
+         c.z >= 0 && c.z < dims_[2];
+}
+
+std::vector<int> Torus::route(Coord3 a, Coord3 b) const {
+  NESTWX_REQUIRE(contains(a) && contains(b), "route endpoints outside torus");
+  std::vector<int> links;
+  links.reserve(static_cast<std::size_t>(hop_dist(a, b)));
+  Coord3 cur = a;
+  struct DimStep {
+    int Coord3::*field;
+    LinkDir plus;
+    LinkDir minus;
+    int size;
+  };
+  const DimStep steps[3] = {
+      {&Coord3::x, LinkDir::x_plus, LinkDir::x_minus, dims_[0]},
+      {&Coord3::y, LinkDir::y_plus, LinkDir::y_minus, dims_[1]},
+      {&Coord3::z, LinkDir::z_plus, LinkDir::z_minus, dims_[2]},
+  };
+  for (const auto& s : steps) {
+    while (cur.*(s.field) != b.*(s.field)) {
+      const int from = cur.*(s.field);
+      const int to = b.*(s.field);
+      const int fwd = (to - from + s.size) % s.size;   // hops going +
+      const int bwd = (from - to + s.size) % s.size;   // hops going -
+      const LinkDir dir = (fwd <= bwd) ? s.plus : s.minus;
+      links.push_back(link_index(cur, dir));
+      cur = neighbor(cur, dir);
+    }
+  }
+  NESTWX_ASSERT(cur == b, "dimension-ordered route failed to reach target");
+  return links;
+}
+
+}  // namespace nestwx::topo

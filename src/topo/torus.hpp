@@ -1,0 +1,73 @@
+#pragma once
+/// \file torus.hpp
+/// 3-D torus interconnect model (IBM Blue Gene/L and /P class networks).
+///
+/// Nodes live at integer coordinates with wrap-around links in each of the
+/// three dimensions; every node has six unidirectional outgoing links
+/// (X+, X-, Y+, Y-, Z+, Z-). Messages follow dimension-ordered (XYZ)
+/// shortest-direction routing, which is how the Blue Gene torus routes
+/// deterministic traffic.
+
+#include <cstdint>
+#include <vector>
+
+namespace nestwx::topo {
+
+struct Coord3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+/// Direction of an outgoing link.
+enum class LinkDir : int {
+  x_plus = 0,
+  x_minus = 1,
+  y_plus = 2,
+  y_minus = 3,
+  z_plus = 4,
+  z_minus = 5
+};
+
+class Torus {
+ public:
+  /// Construct a dx × dy × dz torus; all dimensions must be >= 1.
+  Torus(int dx, int dy, int dz);
+
+  int dx() const { return dims_[0]; }
+  int dy() const { return dims_[1]; }
+  int dz() const { return dims_[2]; }
+  int node_count() const { return dims_[0] * dims_[1] * dims_[2]; }
+  /// Six unidirectional links per node.
+  int link_count() const { return node_count() * 6; }
+
+  /// x-fastest node linearisation.
+  int node_index(Coord3 c) const;
+  Coord3 node_coord(int index) const;
+
+  /// Wrap-around (torus) distance along one dimension of size `dim`.
+  static int wrap_dist(int a, int b, int dim);
+
+  /// Manhattan distance on the torus (minimum hop count a→b).
+  int hop_dist(Coord3 a, Coord3 b) const;
+
+  /// Identifier of the outgoing link of `from` in direction `dir`.
+  int link_index(Coord3 from, LinkDir dir) const;
+
+  /// Dimension-ordered (X then Y then Z) shortest-direction route a→b as a
+  /// sequence of link identifiers; ties between the two directions go to
+  /// the positive direction. Empty when a == b.
+  std::vector<int> route(Coord3 a, Coord3 b) const;
+
+  /// Neighbour of `c` in direction `dir` (with wrap-around).
+  Coord3 neighbor(Coord3 c, LinkDir dir) const;
+
+  /// True when `c` is a valid coordinate of this torus.
+  bool contains(Coord3 c) const;
+
+ private:
+  int dims_[3];
+};
+
+}  // namespace nestwx::topo

@@ -1,0 +1,105 @@
+#include "topo/torusnd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace nestwx::topo {
+
+TorusND::TorusND(std::vector<int> dims) : dims_(std::move(dims)) {
+  NESTWX_REQUIRE(!dims_.empty(), "torus needs at least one dimension");
+  strides_.resize(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    NESTWX_REQUIRE(dims_[d] >= 1, "torus extents must be positive");
+    strides_[d] = node_count_;
+    node_count_ *= dims_[d];
+  }
+}
+
+int TorusND::node_index(const CoordN& c) const {
+  NESTWX_REQUIRE(contains(c), "coordinate outside torus");
+  int idx = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) idx += c[d] * strides_[d];
+  return idx;
+}
+
+CoordN TorusND::node_coord(int index) const {
+  NESTWX_REQUIRE(index >= 0 && index < node_count_, "node index outside");
+  CoordN c(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    c[d] = (index / strides_[d]) % dims_[d];
+  return c;
+}
+
+int TorusND::hop_dist(const CoordN& a, const CoordN& b) const {
+  NESTWX_REQUIRE(contains(a) && contains(b), "coordinates outside torus");
+  int hops = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const int diff = std::abs(a[d] - b[d]);
+    hops += std::min(diff, dims_[d] - diff);
+  }
+  return hops;
+}
+
+int TorusND::hop_dist(int a, int b) const {
+  return hop_dist(node_coord(a), node_coord(b));
+}
+
+long long TorusND::link_index(int from, int dim, int dir) const {
+  NESTWX_REQUIRE(dim >= 0 && dim < ndims(), "link dimension out of range");
+  NESTWX_REQUIRE(dir == 1 || dir == -1, "link direction must be +-1");
+  return static_cast<long long>(from) * 2 * ndims() + 2 * dim +
+         (dir > 0 ? 0 : 1);
+}
+
+std::vector<long long> TorusND::route(int a, int b) const {
+  CoordN cur = node_coord(a);
+  const CoordN target = node_coord(b);
+  std::vector<long long> links;
+  links.reserve(static_cast<std::size_t>(hop_dist(a, b)));
+  for (int d = 0; d < ndims(); ++d) {
+    while (cur[d] != target[d]) {
+      const int fwd = (target[d] - cur[d] + dims_[d]) % dims_[d];
+      const int bwd = (cur[d] - target[d] + dims_[d]) % dims_[d];
+      const int dir = (fwd <= bwd) ? 1 : -1;
+      links.push_back(link_index(node_index(cur), d, dir));
+      cur[d] = (cur[d] + dir + dims_[d]) % dims_[d];
+    }
+  }
+  return links;
+}
+
+bool TorusND::contains(const CoordN& c) const {
+  if (c.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    if (c[d] < 0 || c[d] >= dims_[d]) return false;
+  return true;
+}
+
+MachineND bluegene_q(int ranks) {
+  NESTWX_REQUIRE(ranks >= 16 && ranks % 16 == 0,
+                 "BG/Q runs 16 ranks per node");
+  const int nodes = ranks / 16;
+  // Grow a 5-D shape (..., E=2 innermost like the real machine) by
+  // doubling the smallest of the first four extents.
+  std::vector<int> dims{1, 1, 1, 1, 2};
+  int have = 2;
+  while (have < nodes) {
+    int smallest = 0;
+    for (int d = 1; d < 4; ++d)
+      if (dims[d] < dims[smallest]) smallest = d;
+    dims[smallest] *= 2;
+    have *= 2;
+  }
+  NESTWX_REQUIRE(have == nodes,
+                 "BG/Q node count must be 2 x a power of two, got " +
+                     std::to_string(nodes));
+  MachineND m;
+  m.name = "BlueGene/Q";
+  m.torus_dims = dims;
+  m.ranks_per_node = 16;
+  return m;
+}
+
+}  // namespace nestwx::topo

@@ -1,0 +1,72 @@
+#pragma once
+/// \file torusnd.hpp
+/// N-dimensional torus interconnect (the paper's future work targets the
+/// 5-D torus of Blue Gene/Q). Generalises topo::Torus: nodes live at
+/// integer coordinate vectors with wrap-around links along every
+/// dimension; messages follow dimension-ordered shortest-direction
+/// routing.
+
+#include <string>
+#include <vector>
+
+namespace nestwx::topo {
+
+using CoordN = std::vector<int>;
+
+class TorusND {
+ public:
+  /// All extents must be >= 1.
+  explicit TorusND(std::vector<int> dims);
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+  int node_count() const { return node_count_; }
+  /// 2·ndims unidirectional links per node.
+  long long link_count() const {
+    return static_cast<long long>(node_count_) * 2 * ndims();
+  }
+
+  /// First-dimension-fastest linearisation.
+  int node_index(const CoordN& c) const;
+  CoordN node_coord(int index) const;
+
+  /// Minimum hop count between two nodes.
+  int hop_dist(const CoordN& a, const CoordN& b) const;
+  int hop_dist(int a, int b) const;
+
+  /// Identifier of the outgoing link of node `from` along `dim` in
+  /// direction `dir` (+1 / -1).
+  long long link_index(int from, int dim, int dir) const;
+
+  /// Dimension-ordered shortest route a→b as link identifiers.
+  std::vector<long long> route(int a, int b) const;
+
+  bool contains(const CoordN& c) const;
+
+ private:
+  std::vector<int> dims_;
+  std::vector<int> strides_;
+  int node_count_ = 1;
+};
+
+/// Blue Gene/Q-style machine description for mapping studies: a 5-D
+/// torus (A,B,C,D,E with E = 2 on real hardware) and 16 ranks per node.
+struct MachineND {
+  std::string name;
+  std::vector<int> torus_dims;
+  int ranks_per_node = 1;
+
+  int total_ranks() const {
+    int n = ranks_per_node;
+    for (int d : torus_dims) n *= d;
+    return n;
+  }
+  TorusND torus() const { return TorusND(torus_dims); }
+};
+
+/// A midplane-scale BG/Q partition: 4x4x4x4x2 torus, 16 ranks/node
+/// (8192 ranks), or scaled-down variants for the given rank count
+/// (must be 16 x a product of small powers of two).
+MachineND bluegene_q(int ranks);
+
+}  // namespace nestwx::topo

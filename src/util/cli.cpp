@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace nestwx::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  NESTWX_REQUIRE(argc >= 1, "argc must be at least 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";  // boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  NESTWX_REQUIRE(end != it->second.c_str() && *end == '\0',
+                 "flag --" + name + " is not an integer: " + it->second);
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  NESTWX_REQUIRE(end != it->second.c_str() && *end == '\0',
+                 "flag --" + name + " is not a number: " + it->second);
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1")
+    return true;
+  if (it->second == "false" || it->second == "0") return false;
+  NESTWX_REQUIRE(false, "flag --" + name + " is not a boolean: " + it->second);
+  return fallback;  // unreachable
+}
+
+}  // namespace nestwx::util

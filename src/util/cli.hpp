@@ -1,0 +1,39 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line flag parser shared by examples and bench binaries.
+/// Supports --name=value, --name value, and boolean --flag forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nestwx::util {
+
+class Cli {
+ public:
+  /// Parse argv; throws PreconditionError on malformed input
+  /// (e.g. a value flag at the end with no value).
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Value accessors with defaults; throw PreconditionError when present
+  /// but unparseable.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nestwx::util

@@ -1,0 +1,28 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace nestwx::util::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const std::string& msg,
+                   std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") — " << msg << " ["
+     << loc.file_name() << ":" << loc.line() << " in " << loc.function_name()
+     << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const std::string& msg,
+                        std::source_location loc) {
+  throw PreconditionError(format("precondition", expr, msg, loc));
+}
+
+void throw_invariant(const char* expr, const std::string& msg,
+                     std::source_location loc) {
+  throw InvariantError(format("invariant", expr, msg, loc));
+}
+
+}  // namespace nestwx::util::detail

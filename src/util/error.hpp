@@ -1,0 +1,58 @@
+#pragma once
+/// \file error.hpp
+/// Error handling primitives used across nestwx.
+///
+/// Library code reports precondition violations and invariant breakage via
+/// exceptions derived from nestwx::util::Error so callers (tests, examples,
+/// benches) can react; it never calls std::abort.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace nestwx::util {
+
+/// Base class for all nestwx errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in nestwx itself).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const std::string& msg,
+                                     std::source_location loc);
+[[noreturn]] void throw_invariant(const char* expr, const std::string& msg,
+                                  std::source_location loc);
+}  // namespace detail
+
+}  // namespace nestwx::util
+
+/// Check a documented precondition; throws PreconditionError on failure.
+#define NESTWX_REQUIRE(expr, msg)                              \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::nestwx::util::detail::throw_precondition(              \
+          #expr, (msg), std::source_location::current());      \
+    }                                                          \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define NESTWX_ASSERT(expr, msg)                               \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::nestwx::util::detail::throw_invariant(                 \
+          #expr, (msg), std::source_location::current());      \
+    }                                                          \
+  } while (false)

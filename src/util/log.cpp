@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace nestwx::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_emit_mutex;
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("NESTWX_LOG")) return parse_level(env);
+  return LogLevel::warn;
+}
+
+const bool g_initialized = [] {
+  g_level.store(initial_level());
+  return true;
+}();
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(LogLevel lvl) { g_level.store(lvl); }
+LogLevel level() { return g_level.load(); }
+
+LogLevel parse_level(const std::string& name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+namespace detail {
+void emit(LogLevel lvl, const std::string& message) {
+  (void)g_initialized;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::clog << "[nestwx " << level_name(lvl) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace nestwx::util

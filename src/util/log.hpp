@@ -1,0 +1,40 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Off-by-default below `warn` so library code can
+/// emit diagnostics without polluting bench output; set NESTWX_LOG=debug|info
+/// or call set_level() to see more.
+
+#include <sstream>
+#include <string>
+
+namespace nestwx::util {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Globally set the log threshold.
+void set_level(LogLevel level);
+LogLevel level();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; unknown strings yield warn.
+LogLevel parse_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace nestwx::util
+
+#define NESTWX_LOG(lvl, expr)                                          \
+  do {                                                                 \
+    if (static_cast<int>(lvl) >=                                       \
+        static_cast<int>(::nestwx::util::level())) {                   \
+      std::ostringstream nestwx_log_os;                                \
+      nestwx_log_os << expr;                                           \
+      ::nestwx::util::detail::emit((lvl), nestwx_log_os.str());        \
+    }                                                                  \
+  } while (false)
+
+#define NESTWX_DEBUG(expr) NESTWX_LOG(::nestwx::util::LogLevel::debug, expr)
+#define NESTWX_INFO(expr) NESTWX_LOG(::nestwx::util::LogLevel::info, expr)
+#define NESTWX_WARN(expr) NESTWX_LOG(::nestwx::util::LogLevel::warn, expr)
+#define NESTWX_ERROR(expr) NESTWX_LOG(::nestwx::util::LogLevel::error, expr)

@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::util {
+
+Summary summarize(std::span<const double> sample) {
+  Accumulator acc;
+  for (double x : sample) acc.add(x);
+  return acc.summary();
+}
+
+double mean(std::span<const double> sample) { return summarize(sample).mean; }
+
+double percentile(std::span<const double> sample, double p) {
+  NESTWX_REQUIRE(!sample.empty(), "percentile of empty sample");
+  NESTWX_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double relative_error_pct(double predicted, double actual) {
+  NESTWX_REQUIRE(actual != 0.0, "relative error against zero actual");
+  return std::abs(predicted - actual) / std::abs(actual) * 100.0;
+}
+
+double improvement_pct(double baseline, double ours) {
+  NESTWX_REQUIRE(baseline != 0.0, "improvement against zero baseline");
+  return (baseline - ours) / baseline * 100.0;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = n_;
+  if (n_ == 0) return s;
+  s.min = min_;
+  s.max = max_;
+  s.mean = mean_;
+  s.sum = sum_;
+  s.stddev = std::sqrt(m2_ / static_cast<double>(n_));
+  return s;
+}
+
+}  // namespace nestwx::util

@@ -1,0 +1,55 @@
+#pragma once
+/// \file stats.hpp
+/// Small summary-statistics helpers used by experiment reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nestwx::util {
+
+/// Summary of a sample: count, extrema, mean, standard deviation.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+};
+
+/// Compute a Summary over the sample. Empty input yields a zero Summary.
+Summary summarize(std::span<const double> sample);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> sample);
+
+/// Linearly-interpolated percentile, p in [0, 100]. Sorts a copy.
+/// Throws PreconditionError on empty input or p outside [0, 100].
+double percentile(std::span<const double> sample, double p);
+
+/// Relative error |predicted - actual| / |actual| as a percentage.
+/// Throws PreconditionError if actual == 0.
+double relative_error_pct(double predicted, double actual);
+
+/// Percentage improvement of `ours` over `baseline`:
+/// (baseline - ours) / baseline * 100. Throws if baseline == 0.
+double improvement_pct(double baseline, double ours);
+
+/// Online accumulator (Welford) for streaming statistics.
+class Accumulator {
+ public:
+  void add(double x);
+  Summary summary() const;
+  std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace nestwx::util

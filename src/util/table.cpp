@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace nestwx::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  NESTWX_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  NESTWX_REQUIRE(row.size() == header_.size(),
+                 "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  NESTWX_REQUIRE(f.good(), "cannot open CSV output file: " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ',';
+      f << csv_escape(row[c]);
+    }
+    f << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool Table::write_bench_csv(const std::string& name) const {
+  const char* dir = std::getenv("NESTWX_BENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::filesystem::create_directories(dir);
+  write_csv((std::filesystem::path(dir) / (name + ".csv")).string());
+  return true;
+}
+
+}  // namespace nestwx::util

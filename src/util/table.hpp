@@ -1,0 +1,45 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table and CSV rendering for experiment reports.
+///
+/// Every bench binary prints its reproduction of a paper table/figure as a
+/// Table, and optionally mirrors it to CSV (for plotting) when the
+/// NESTWX_BENCH_OUT environment variable names a directory.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nestwx::util {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header rule.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Write as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void write_csv(const std::string& path) const;
+
+  /// Write CSV under $NESTWX_BENCH_OUT/<name>.csv when that env var is set;
+  /// returns true if a file was written.
+  bool write_bench_csv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nestwx::util

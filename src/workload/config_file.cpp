@@ -1,0 +1,130 @@
+#include "workload/config_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+
+namespace nestwx::workload {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::pair<int, int> parse_wxh(const std::string& text, int line_no) {
+  const auto x = text.find('x');
+  NESTWX_REQUIRE(x != std::string::npos && x > 0 && x + 1 < text.size(),
+                 "line " + std::to_string(line_no) +
+                     ": expected WxH, got '" + text + "'");
+  try {
+    const int w = std::stoi(text.substr(0, x));
+    const int h = std::stoi(text.substr(x + 1));
+    NESTWX_REQUIRE(w > 0 && h > 0, "line " + std::to_string(line_no) +
+                                       ": dimensions must be positive");
+    return {w, h};
+  } catch (const std::invalid_argument&) {
+    NESTWX_REQUIRE(false, "line " + std::to_string(line_no) +
+                              ": malformed size '" + text + "'");
+  }
+  return {0, 0};  // unreachable
+}
+
+int parse_int(const std::string& text, int line_no) {
+  try {
+    return std::stoi(text);
+  } catch (const std::invalid_argument&) {
+    NESTWX_REQUIRE(false, "line " + std::to_string(line_no) +
+                              ": expected an integer, got '" + text + "'");
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+PlanFile parse_plan_file(std::istream& in) {
+  PlanFile plan;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    std::string line = strip(hash == std::string::npos
+                                 ? raw
+                                 : raw.substr(0, hash));
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    NESTWX_REQUIRE(eq != std::string::npos,
+                   "line " + std::to_string(line_no) +
+                       ": expected 'key = value', got '" + line + "'");
+    const std::string key = strip(line.substr(0, eq));
+    const std::string value = strip(line.substr(eq + 1));
+    NESTWX_REQUIRE(!value.empty(), "line " + std::to_string(line_no) +
+                                       ": empty value for '" + key + "'");
+    if (key == "machine") {
+      NESTWX_REQUIRE(value == "bgl" || value == "bgp",
+                     "line " + std::to_string(line_no) +
+                         ": machine must be bgl or bgp");
+      plan.machine = value;
+    } else if (key == "cores") {
+      plan.cores = parse_int(value, line_no);
+    } else if (key == "parent") {
+      plan.parent = parse_wxh(value, line_no);
+    } else if (key == "ratio") {
+      plan.ratio = parse_int(value, line_no);
+    } else if (key == "nest") {
+      plan.nests.push_back(parse_wxh(value, line_no));
+    } else if (key == "inner") {
+      const auto colon = value.find(':');
+      NESTWX_REQUIRE(colon != std::string::npos,
+                     "line " + std::to_string(line_no) +
+                         ": inner nests use 'sibling: WxH'");
+      const int sib = parse_int(strip(value.substr(0, colon)), line_no);
+      plan.inner.emplace_back(sib,
+                              parse_wxh(strip(value.substr(colon + 1)),
+                                        line_no));
+    } else if (key == "allocator") {
+      plan.allocator = value;
+    } else if (key == "scheme") {
+      plan.scheme = value;
+    } else {
+      NESTWX_REQUIRE(false, "line " + std::to_string(line_no) +
+                                ": unknown key '" + key + "'");
+    }
+  }
+  NESTWX_REQUIRE(!plan.nests.empty(), "plan file declares no nests");
+  for (const auto& [sib, size] : plan.inner) {
+    (void)size;
+    NESTWX_REQUIRE(sib >= 0 && sib < static_cast<int>(plan.nests.size()),
+                   "inner nest references sibling " + std::to_string(sib) +
+                       " but only " + std::to_string(plan.nests.size()) +
+                       " nests are declared");
+  }
+  return plan;
+}
+
+PlanFile load_plan_file(const std::string& path) {
+  std::ifstream f(path);
+  NESTWX_REQUIRE(f.good(), "cannot open plan file: " + path);
+  return parse_plan_file(f);
+}
+
+core::NestedConfig PlanFile::to_config(const std::string& name) const {
+  core::DomainSpec p;
+  p.name = name + "-parent";
+  p.nx = parent.first;
+  p.ny = parent.second;
+  p.resolution_km = 24.0;
+  p.refinement_ratio = 1;
+  auto cfg = make_config(name, p, nests, ratio);
+  for (const auto& [sib, size] : inner)
+    add_second_level(cfg, sib, size.first, size.second, ratio);
+  return cfg;
+}
+
+}  // namespace nestwx::workload

@@ -1,0 +1,50 @@
+#pragma once
+/// \file config_file.hpp
+/// Plain-text plan files for the nestwx-plan tool and scripting users.
+///
+/// Format: one `key = value` per line, `#` comments, blank lines ignored.
+///
+///     # two typhoon nests over the Pacific
+///     machine   = bgp            # bgl | bgp
+///     cores     = 4096
+///     parent    = 286x307
+///     ratio     = 3
+///     nest      = 394x418        # repeated, one per sibling
+///     nest      = 232x202
+///     inner     = 0: 150x150     # second-level nest inside sibling 0
+///     allocator = huffman        # huffman | huffman-single | strips | equal
+///     scheme    = multilevel     # multilevel | partition | txyz | xyzt
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/domain.hpp"
+
+namespace nestwx::workload {
+
+struct PlanFile {
+  std::string machine = "bgp";
+  int cores = 1024;
+  std::pair<int, int> parent{286, 307};
+  int ratio = 3;
+  std::vector<std::pair<int, int>> nests;
+  /// (sibling index, size) pairs for second-level nests.
+  std::vector<std::pair<int, std::pair<int, int>>> inner;
+  std::string allocator = "huffman";
+  std::string scheme = "multilevel";
+
+  /// Realise the described nested configuration (anchors laid out as in
+  /// make_config / add_second_level).
+  core::NestedConfig to_config(const std::string& name = "planfile") const;
+};
+
+/// Parse from a stream; throws PreconditionError with the offending line
+/// number on malformed input.
+PlanFile parse_plan_file(std::istream& in);
+
+/// Parse from a file path.
+PlanFile load_plan_file(const std::string& path);
+
+}  // namespace nestwx::workload

@@ -1,0 +1,218 @@
+#include "workload/configs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::workload {
+
+core::DomainSpec pacific_parent() {
+  core::DomainSpec d;
+  d.name = "pacific-parent";
+  d.nx = 286;
+  d.ny = 307;
+  d.resolution_km = 24.0;
+  d.refinement_ratio = 1;
+  return d;
+}
+
+core::DomainSpec sea_parent() {
+  core::DomainSpec d;
+  d.name = "sea-parent";
+  d.nx = 640;
+  d.ny = 620;
+  d.resolution_km = 4.5;
+  d.refinement_ratio = 1;
+  return d;
+}
+
+core::NestedConfig make_config(
+    const std::string& name, const core::DomainSpec& parent,
+    const std::vector<std::pair<int, int>>& nests, int ratio) {
+  NESTWX_REQUIRE(!nests.empty(), "configuration needs at least one nest");
+  NESTWX_REQUIRE(ratio >= 1, "refinement ratio must be >= 1");
+  core::NestedConfig cfg;
+  cfg.name = name;
+  cfg.parent = parent;
+
+  // Row-wise shelf layout with a 2-cell margin inside the parent.
+  const int margin = 2;
+  int cursor_x = margin;
+  int cursor_y = margin;
+  int row_h = 0;
+  int index = 0;
+  for (const auto& [nx, ny] : nests) {
+    NESTWX_REQUIRE(nx >= 1 && ny >= 1, "nest dims must be positive");
+    core::DomainSpec s;
+    s.name = name + "-nest" + std::to_string(++index);
+    s.nx = nx;
+    s.ny = ny;
+    s.resolution_km = parent.resolution_km / ratio;
+    s.refinement_ratio = ratio;
+    const auto fp = s.parent_footprint();
+    if (cursor_x + fp.w > parent.nx - margin) {  // wrap to next shelf
+      cursor_x = margin;
+      cursor_y += row_h + 1;
+      row_h = 0;
+    }
+    NESTWX_REQUIRE(cursor_x + fp.w <= parent.nx - margin &&
+                       cursor_y + fp.h <= parent.ny - margin,
+                   "nest '" + s.name + "' does not fit inside the parent");
+    s.parent_anchor_x = cursor_x;
+    s.parent_anchor_y = cursor_y;
+    cursor_x += fp.w + 1;
+    row_h = std::max(row_h, fp.h);
+    cfg.siblings.push_back(s);
+  }
+  return cfg;
+}
+
+void add_second_level(core::NestedConfig& config, int sibling, int nx,
+                      int ny, int ratio) {
+  NESTWX_REQUIRE(sibling >= 0 &&
+                     sibling < static_cast<int>(config.siblings.size()),
+                 "sibling index out of range");
+  NESTWX_REQUIRE(nx >= 1 && ny >= 1 && ratio >= 1,
+                 "second-level nest dims/ratio must be positive");
+  const auto& host = config.siblings[sibling];
+  core::SecondLevelNest child;
+  child.sibling = sibling;
+  child.spec.name = host.name + "-inner" +
+                    std::to_string(config.children_of(sibling).size() + 1);
+  child.spec.nx = nx;
+  child.spec.ny = ny;
+  child.spec.resolution_km = host.resolution_km / ratio;
+  child.spec.refinement_ratio = ratio;
+  const auto fp = child.spec.parent_footprint();
+  NESTWX_REQUIRE(fp.w + 4 <= host.nx && fp.h + 4 <= host.ny,
+                 "second-level nest does not fit inside its sibling");
+  // Center it; shift by the number of existing children so several
+  // children of one sibling do not overlap exactly.
+  const int shift =
+      2 * static_cast<int>(config.children_of(sibling).size());
+  child.spec.parent_anchor_x =
+      std::clamp((host.nx - fp.w) / 2 + shift, 2, host.nx - fp.w - 2);
+  child.spec.parent_anchor_y = std::clamp((host.ny - fp.h) / 2, 2,
+                                          host.ny - fp.h - 2);
+  config.second_level.push_back(child);
+}
+
+core::NestedConfig sea_second_level_config() {
+  core::DomainSpec parent;
+  parent.name = "sea-13.5km-parent";
+  parent.nx = 320;
+  parent.ny = 300;
+  parent.resolution_km = 13.5;
+  parent.refinement_ratio = 1;
+  auto cfg =
+      make_config("sea-second-level", parent, {{258, 240}, {240, 258}});
+  add_second_level(cfg, 0, 189, 168);
+  add_second_level(cfg, 0, 150, 150);
+  add_second_level(cfg, 1, 168, 189);
+  return cfg;
+}
+
+std::vector<core::NestedConfig> sea_configs() {
+  // Eight configurations over South-East Asia (paper §4.1.1): parent at
+  // 13.5 km covering Malaysia…Philippines; innermost nests at 1.5 km
+  // over the major business centers. Five configs nest siblings at the
+  // first level, three at the second level.
+  core::DomainSpec parent;
+  parent.name = "sea-13.5km";
+  parent.nx = 320;
+  parent.ny = 300;
+  parent.resolution_km = 13.5;
+  parent.refinement_ratio = 1;
+
+  std::vector<core::NestedConfig> out;
+  // First-level sibling configurations (4.5 km siblings).
+  out.push_back(make_config("sea-1-two-cities", parent,
+                            {{216, 216}, {189, 216}}));
+  out.push_back(make_config("sea-2-three-cities", parent,
+                            {{216, 216}, {189, 216}, {162, 189}}));
+  out.push_back(make_config("sea-3-four-cities", parent,
+                            {{216, 216}, {189, 216}, {162, 189},
+                             {189, 162}}));
+  out.push_back(make_config("sea-4-uneven", parent,
+                            {{258, 240}, {135, 162}}));
+  out.push_back(make_config("sea-5-largest", parent,
+                            {{276, 258}, {216, 240}}));
+  // Second-level sibling configurations (1.5 km innermost nests).
+  {
+    auto cfg = make_config("sea-6-single-chain", parent, {{258, 240}});
+    add_second_level(cfg, 0, 189, 168);
+    out.push_back(cfg);
+  }
+  {
+    auto cfg = make_config("sea-7-twin-inner", parent, {{276, 258}});
+    add_second_level(cfg, 0, 168, 168);
+    add_second_level(cfg, 0, 150, 168);
+    out.push_back(cfg);
+  }
+  out.push_back(sea_second_level_config());
+  out.back().name = "sea-8-two-chains";
+  return out;
+}
+
+core::NestedConfig fig2_config() {
+  return make_config("fig2", pacific_parent(), {{415, 445}});
+}
+
+core::NestedConfig table2_config() {
+  return make_config("table2", pacific_parent(),
+                     {{394, 418}, {232, 202}, {232, 256}, {313, 337}});
+}
+
+core::NestedConfig fig10_config() {
+  return make_config("fig10-large", sea_parent(),
+                     {{586, 643}, {856, 919}, {925, 850}});
+}
+
+core::NestedConfig table3_config_small() {
+  return make_config("table3-small", pacific_parent(),
+                     {{205, 223}, {178, 202}, {190, 214}});
+}
+
+core::NestedConfig table3_config_medium() {
+  return make_config("table3-medium", pacific_parent(),
+                     {{394, 418}, {232, 202}, {313, 337}});
+}
+
+core::NestedConfig table3_config_large() {
+  return make_config("table3-large", sea_parent(),
+                     {{925, 820}, {856, 919}, {586, 643}});
+}
+
+core::NestedConfig fig15_config() {
+  return make_config("fig15", pacific_parent(), {{259, 229}, {259, 229}});
+}
+
+std::vector<core::NestedConfig> random_configs(util::Rng& rng, int count,
+                                               int min_siblings,
+                                               int max_siblings) {
+  NESTWX_REQUIRE(count >= 1, "config count must be positive");
+  NESTWX_REQUIRE(min_siblings >= 1 && max_siblings >= min_siblings &&
+                     max_siblings <= 4,
+                 "sibling count range must lie in [1,4]");
+  std::vector<core::NestedConfig> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int c = 0; c < count; ++c) {
+    const int k =
+        static_cast<int>(rng.uniform_int(min_siblings, max_siblings));
+    std::vector<std::pair<int, int>> nests;
+    nests.reserve(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      const int nx = static_cast<int>(rng.uniform_int(94, 415));
+      const double aspect = rng.uniform(0.5, 1.5);
+      const int ny = std::clamp(
+          static_cast<int>(std::lround(nx / aspect)), 124, 445);
+      nests.emplace_back(nx, ny);
+    }
+    out.push_back(make_config("random-" + std::to_string(c),
+                              pacific_parent(), nests));
+  }
+  return out;
+}
+
+}  // namespace nestwx::workload

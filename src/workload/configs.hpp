@@ -1,0 +1,69 @@
+#pragma once
+/// \file configs.hpp
+/// The paper's domain configurations (§4.1) and the random configuration
+/// generator used for the 85-run Pacific Ocean evaluation.
+
+#include <vector>
+
+#include "core/domain.hpp"
+#include "util/rng.hpp"
+
+namespace nestwx::workload {
+
+/// Pacific Ocean parent domain: 286 × 307 at 24 km, nests at 8 km (r=3).
+core::DomainSpec pacific_parent();
+
+/// South-East Asia style parent for the large-nest experiments: big
+/// enough to host the Fig. 10 / Table 3 nests at r = 3.
+core::DomainSpec sea_parent();
+
+/// Lay out sibling nests (given as nx × ny pairs) inside `parent`,
+/// assigning anchors row-wise with a safety margin. Throws when a nest
+/// cannot fit inside the parent at the given refinement ratio.
+core::NestedConfig make_config(const std::string& name,
+                               const core::DomainSpec& parent,
+                               const std::vector<std::pair<int, int>>& nests,
+                               int ratio = 3);
+
+/// Add a second-level nest of nx × ny points (at `ratio` × the sibling's
+/// resolution) inside sibling `sibling`, anchored centrally. Throws when
+/// it does not fit.
+void add_second_level(core::NestedConfig& config, int sibling, int nx,
+                      int ny, int ratio = 3);
+
+/// South-East-Asia style configuration with siblings at the *second*
+/// level of nesting (paper §4.1.1): parent at 13.5 km, two first-level
+/// nests at 4.5 km, each containing high-resolution 1.5 km nests.
+core::NestedConfig sea_second_level_config();
+
+/// The paper's eight South-East-Asia configurations (§4.1.1): varying
+/// numbers of sibling domains over the major business centers, five with
+/// siblings at the first level of nesting and three with siblings at the
+/// second level. Index 0..7.
+std::vector<core::NestedConfig> sea_configs();
+
+/// Fig. 2: parent 286 × 307 with a single 415 × 445 nest.
+core::NestedConfig fig2_config();
+
+/// Table 2 / Fig. 9: four siblings 394×418, 232×202, 232×256, 313×337.
+core::NestedConfig table2_config();
+
+/// Fig. 10: three large siblings 586×643, 856×919, 925×850.
+core::NestedConfig fig10_config();
+
+/// Table 3 nest-size families, keyed by the paper's "maximum nest size".
+core::NestedConfig table3_config_small();   // max 205 × 223
+core::NestedConfig table3_config_medium();  // max 394 × 418
+core::NestedConfig table3_config_large();   // max 925 × 820
+
+/// Fig. 15: two siblings of 259 × 229.
+core::NestedConfig fig15_config();
+
+/// Random Pacific-style configurations (§4.1.2): `count` configs with
+/// 2–4 siblings, nest sizes in [94,415] × [124,445], aspect 0.5–1.5.
+/// Deterministic for a given rng state.
+std::vector<core::NestedConfig> random_configs(util::Rng& rng, int count,
+                                               int min_siblings = 2,
+                                               int max_siblings = 4);
+
+}  // namespace nestwx::workload

@@ -1,0 +1,94 @@
+#include "workload/machines.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace nestwx::workload {
+
+topo::Coord3 balanced_torus_dims(int nodes) {
+  NESTWX_REQUIRE(nodes >= 1, "node count must be positive");
+  topo::Coord3 best{nodes, 1, 1};
+  double best_badness = std::numeric_limits<double>::infinity();
+  for (int a = 1; a * a * a <= nodes; ++a) {
+    if (nodes % a != 0) continue;
+    const int rest = nodes / a;
+    for (int b = a; b * b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      const int c = rest / b;  // a <= b <= c
+      const double badness = static_cast<double>(c) / a;
+      if (badness < best_badness) {
+        best_badness = badness;
+        best = {c, b, a};  // dx >= dy >= dz
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+topo::MachineParams with_geometry(topo::MachineParams m, int cores,
+                                  int ranks_per_node) {
+  NESTWX_REQUIRE(cores >= ranks_per_node,
+                 "need at least one node's worth of cores");
+  NESTWX_REQUIRE(cores % ranks_per_node == 0,
+                 "core count must be a multiple of ranks per node");
+  const int nodes = cores / ranks_per_node;
+  const topo::Coord3 dims = balanced_torus_dims(nodes);
+  m.torus_x = dims.x;
+  m.torus_y = dims.y;
+  m.torus_z = dims.z;
+  return m;
+}
+}  // namespace
+
+topo::MachineParams bluegene_l(int cores) {
+  topo::MachineParams m;
+  m.name = "BlueGene/L";
+  m.cores_per_node = 2;
+  m.mode = topo::NodeMode::virtual_node;
+  // 700 MHz PPC440, ~10 % of peak on WRF-like stencil code.
+  m.flop_rate = 0.28e9;
+  m.flops_per_point_per_level = 3300.0;
+  m.vertical_levels = 35;
+  m.compute_halo_overhead = 4;  // RK3 high-order stencil ghost ring
+  m.nest_boundary_rate = 700e6;
+  m.link_bandwidth = 175e6;   // 175 MB/s per torus link
+  m.hop_latency = 100e-9;
+  m.software_latency = 20e-6;  // MPI per-message overhead on 700 MHz PPC440
+  m.pack_bandwidth = 300e6;    // strided halo pack/unpack rate
+  m.halo_phases = 36;         // 36 phases x 4 neighbours = 144 msgs/step
+  m.halo_width = 3;
+  m.halo_variables = 6;
+  m.io_base_latency = 0.08;
+  m.io_per_rank_overhead = 0.4e-3;
+  m.io_stream_bandwidth = 200e6;  // one rack's GPFS share, circa 2011
+  return with_geometry(m, cores, 2);
+}
+
+topo::MachineParams bluegene_p(int cores) {
+  topo::MachineParams m;
+  m.name = "BlueGene/P";
+  m.cores_per_node = 4;
+  m.mode = topo::NodeMode::virtual_node;
+  // 850 MHz PPC450.
+  m.flop_rate = 0.34e9;
+  m.flops_per_point_per_level = 3300.0;
+  m.vertical_levels = 35;
+  m.compute_halo_overhead = 2;
+  m.nest_boundary_rate = 700e6;
+  m.link_bandwidth = 425e6;   // 425 MB/s per torus link
+  m.hop_latency = 64e-9;
+  m.software_latency = 12e-6;
+  m.pack_bandwidth = 500e6;
+  m.halo_phases = 36;
+  m.halo_width = 3;
+  m.halo_variables = 6;
+  m.io_base_latency = 0.05;
+  m.io_per_rank_overhead = 0.25e-3;
+  m.io_stream_bandwidth = 400e6;
+  return with_geometry(m, cores, 4);
+}
+
+}  // namespace nestwx::workload

@@ -1,0 +1,28 @@
+#pragma once
+/// \file machines.hpp
+/// Calibrated machine presets: IBM Blue Gene/L and Blue Gene/P partitions
+/// of a requested core count (paper §4.2).
+///
+/// Calibration reproduces the paper's *shapes*, not the authors' absolute
+/// seconds: the nested run of Fig. 2 saturates around 512 BG/L cores, the
+/// concurrent strategy gains ~20 % on average / ~33 % max (§4.3.1),
+/// topology-aware mapping adds a few percent (Table 4), and PnetCDF
+/// per-iteration I/O time rises with rank count (Fig. 13b).
+
+#include "topo/machine.hpp"
+
+namespace nestwx::workload {
+
+/// Blue Gene/L partition with `cores` cores in virtual-node mode
+/// (2 ranks/node, 700 MHz PPC440, 175 MB/s torus links).
+topo::MachineParams bluegene_l(int cores);
+
+/// Blue Gene/P partition with `cores` cores in virtual-node mode
+/// (4 ranks/node, 850 MHz PPC450, 425 MB/s torus links).
+topo::MachineParams bluegene_p(int cores);
+
+/// Factor `nodes` into a balanced 3-D torus (dx ≥ dy ≥ dz as close to a
+/// cube as possible). Throws when nodes < 1.
+topo::Coord3 balanced_torus_dims(int nodes);
+
+}  // namespace nestwx::workload

@@ -1,0 +1,447 @@
+#include "wrfsim/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netsim/collective.hpp"
+#include "netsim/phase.hpp"
+#include "procgrid/decomp.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::wrfsim {
+
+namespace {
+
+using core::ExecutionPlan;
+using core::Mapping;
+using core::NestedConfig;
+using netsim::Message;
+using netsim::PhaseSimulator;
+using procgrid::Decomposition;
+using procgrid::Grid2D;
+using procgrid::Rect;
+
+/// Per-substep compute time of the slowest rank: the effective work area
+/// is the tile plus the ghost ring the stencil computes over (which is
+/// what makes small tiles inefficient and bends scaling sub-linear).
+double compute_time(const topo::MachineParams& m, const Decomposition& dec) {
+  const int ov = m.compute_halo_overhead;
+  long long worst = 0;
+  for (int r = 0; r < dec.grid().size(); ++r) {
+    const auto t = dec.tile(r);
+    worst = std::max(worst, static_cast<long long>(t.w + ov) *
+                                static_cast<long long>(t.h + ov));
+  }
+  return static_cast<double>(worst) * m.vertical_levels *
+         m.flops_per_point_per_level / m.flop_rate;
+}
+
+/// Clip a processor rect so the decomposition never has more processes
+/// than grid points along a dimension (excess ranks idle, as in WRF).
+Rect effective_rect(const Rect& rect, int domain_nx, int domain_ny) {
+  Rect r = rect;
+  r.w = std::min(r.w, domain_nx);
+  r.h = std::min(r.h, domain_ny);
+  return r;
+}
+
+/// Halo messages of one exchange phase for a domain decomposed over the
+/// processor sub-rectangle `rect` of the global grid, with rank ids
+/// translated to global grid ranks.
+std::vector<Message> halo_messages_global(const PhaseSimulator& sim,
+                                          const Grid2D& global,
+                                          const Rect& rect, int domain_nx,
+                                          int domain_ny) {
+  const Grid2D local(rect.w, rect.h);
+  const Decomposition dec(domain_nx, domain_ny, local);
+  const auto halos = dec.halo_messages(sim.machine().halo_width);
+  std::vector<Message> msgs;
+  msgs.reserve(halos.size());
+  auto to_global = [&](int local_rank) {
+    return global.rank(rect.x0 + local.x_of(local_rank),
+                       rect.y0 + local.y_of(local_rank));
+  };
+  for (const auto& h : halos) {
+    msgs.push_back(Message{to_global(h.src_rank), to_global(h.dst_rank),
+                           sim.halo_message_bytes(h.elements)});
+  }
+  return msgs;
+}
+
+struct DomainPhase {
+  DomainTiming timing;
+  netsim::PhaseStats stats;  ///< one halo phase (per-rank waits, global size)
+  Rect rect;                 ///< effective processor rect
+  std::size_t message_count = 0;
+};
+
+/// Per-substep timing of `domain_nx × domain_ny` on processor rect `rect`.
+///
+/// Each halo phase starts from per-rank ready times staggered by the
+/// ranks' compute shares (edge tiles are smaller than interior tiles), so
+/// the measured MPI_Wait includes the load-imbalance component that
+/// dominates real WRF wait times, not just network transit.
+DomainPhase time_domain(const topo::MachineParams& machine,
+                        const PhaseSimulator& sim, const Mapping& mapping,
+                        const Grid2D& global, const Rect& rect,
+                        int domain_nx, int domain_ny) {
+  DomainPhase out;
+  out.rect = effective_rect(rect, domain_nx, domain_ny);
+  const Grid2D local(out.rect.w, out.rect.h);
+  const Decomposition dec(domain_nx, domain_ny, local);
+  const auto msgs =
+      halo_messages_global(sim, global, out.rect, domain_nx, domain_ny);
+  out.message_count = msgs.size();
+  // Per-rank compute share of one phase (ghost-ring-inflated tile).
+  std::vector<double> ready(static_cast<std::size_t>(global.size()), 0.0);
+  const int ov = machine.compute_halo_overhead;
+  const double point_cost = machine.vertical_levels *
+                            machine.flops_per_point_per_level /
+                            machine.flop_rate;
+  for (int lr = 0; lr < local.size(); ++lr) {
+    const auto t = dec.tile(lr);
+    const int gr = global.rank(out.rect.x0 + local.x_of(lr),
+                               out.rect.y0 + local.y_of(lr));
+    ready[gr] = static_cast<double>(t.w + ov) * (t.h + ov) * point_cost /
+                machine.halo_phases;
+  }
+  out.stats = sim.run(mapping, msgs, ready);
+  out.timing.compute = compute_time(machine, dec);
+  out.timing.comm = machine.halo_phases * out.stats.duration;
+  const int ranks = static_cast<int>(out.rect.area());
+  out.timing.avg_wait =
+      ranks > 0 ? machine.halo_phases * out.stats.total_wait / ranks : 0.0;
+  out.timing.avg_hops = out.stats.avg_hops;
+  out.timing.max_link_flows = out.stats.max_link_flows;
+  out.timing.ranks = ranks;
+  return out;
+}
+
+/// Feedback/forcing exchange between a nest's ranks and the ranks of its
+/// *host* domain (the parent for first-level nests, the hosting sibling
+/// for second-level nests) that own the overlapping coarse region: one
+/// message per nest rank carrying its tile restricted to host resolution.
+/// `host_rect` is the processor rectangle the host domain is decomposed
+/// over (the full grid for the parent).
+std::vector<Message> sync_messages(const PhaseSimulator& sim,
+                                   const Grid2D& global, const Rect& rect,
+                                   const core::DomainSpec& nest,
+                                   const Rect& host_rect, int host_nx,
+                                   int host_ny) {
+  const Grid2D local(rect.w, rect.h);
+  const Decomposition dec(nest.nx, nest.ny, local);
+  const Grid2D host_local(host_rect.w, host_rect.h);
+  const Decomposition host_dec(host_nx, host_ny, host_local);
+  const auto fp = nest.parent_footprint();
+  std::vector<Message> msgs;
+  msgs.reserve(static_cast<std::size_t>(local.size()));
+  for (int lr = 0; lr < local.size(); ++lr) {
+    const Rect tile = dec.tile(lr);
+    // Center of this tile in host-grid coordinates.
+    const int pcx = std::clamp(
+        fp.x0 + (tile.x0 + tile.w / 2) / nest.refinement_ratio, 0,
+        host_nx - 1);
+    const int pcy = std::clamp(
+        fp.y0 + (tile.y0 + tile.h / 2) / nest.refinement_ratio, 0,
+        host_ny - 1);
+    const int owner_local = host_dec.owner_of(pcx, pcy);
+    const int owner =
+        global.rank(host_rect.x0 + host_local.x_of(owner_local),
+                    host_rect.y0 + host_local.y_of(owner_local));
+    const long long coarse_points =
+        tile.area() /
+        (static_cast<long long>(nest.refinement_ratio) *
+         nest.refinement_ratio);
+    const int src = global.rank(rect.x0 + local.x_of(lr),
+                                rect.y0 + local.y_of(lr));
+    msgs.push_back(Message{src, owner,
+                           sim.halo_message_bytes(
+                               std::max<long long>(coarse_points, 1))});
+  }
+  return msgs;
+}
+
+}  // namespace
+
+RunResult simulate_run(const topo::MachineParams& machine,
+                       const NestedConfig& config, const ExecutionPlan& plan,
+                       const RunOptions& options) {
+  NESTWX_REQUIRE(plan.mapping.has_value(), "plan carries no mapping");
+  NESTWX_REQUIRE(!config.siblings.empty(), "config has no siblings");
+  NESTWX_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  const Mapping& mapping = *plan.mapping;
+  const Grid2D& grid = plan.parent_grid;
+  const PhaseSimulator sim(machine);
+  const int nranks = grid.size();
+
+  RunResult result;
+  std::vector<double> rank_wait(static_cast<std::size_t>(nranks), 0.0);
+  double hop_weight = 0.0;
+  double hop_sum = 0.0;
+
+  // --- Parent integration step on the full grid.
+  const auto parent = time_domain(machine, sim, mapping, grid, grid.bounds(),
+                                  config.parent.nx, config.parent.ny);
+  result.parent_timing = parent.timing;
+  result.parent_step = parent.timing.substep();
+  for (int r = 0; r < nranks; ++r)
+    rank_wait[r] += machine.halo_phases * parent.stats.wait[r];
+  hop_sum += parent.stats.avg_hops *
+             static_cast<double>(parent.message_count) * machine.halo_phases;
+  hop_weight +=
+      static_cast<double>(parent.message_count) * machine.halo_phases;
+
+  // --- Sibling sub-step blocks.
+  std::vector<double> blocks;
+  blocks.reserve(config.siblings.size());
+  const bool concurrent = plan.strategy == core::Strategy::concurrent;
+  NESTWX_REQUIRE(!concurrent || plan.partition.has_value(),
+                 "concurrent plan carries no partition");
+
+  double sync_total = 0.0;
+  for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+    const auto& sib = config.siblings[s];
+    const Rect rect =
+        concurrent ? plan.partition->rects[s] : grid.bounds();
+    auto dp =
+        time_domain(machine, sim, mapping, grid, rect, sib.nx, sib.ny);
+    // Serialised lateral-boundary interpolation of this nest: bytes of
+    // the boundary band over the (P-independent) processing rate.
+    const auto boundary_cost = [&](const core::DomainSpec& d) {
+      return 2.0 * (d.nx + d.ny) * machine.halo_width *
+             machine.vertical_levels * machine.halo_variables *
+             machine.bytes_per_element / machine.nest_boundary_rate;
+    };
+    dp.timing.boundary = boundary_cost(sib);
+
+    // --- Second-level nests hosted by this sibling (paper §4.1.1).
+    // Each runs r₂ sub-steps per sibling sub-step — sequentially on the
+    // sibling's processors, or concurrently on a partition of them.
+    double child_contrib = 0.0;
+    const auto kids = config.children_of(static_cast<int>(s));
+    if (!kids.empty()) {
+      const bool kids_concurrent =
+          concurrent && s < plan.child_partitions.size() &&
+          plan.child_partitions[s].has_value();
+      std::vector<double> child_blocks;
+      std::vector<Rect> child_rects;
+      for (std::size_t ci = 0; ci < kids.size(); ++ci) {
+        const auto& child = config.second_level[kids[ci]].spec;
+        const Rect crect = kids_concurrent
+                               ? plan.child_partitions[s]->rects[ci]
+                               : rect;
+        auto cdp = time_domain(machine, sim, mapping, grid, crect,
+                               child.nx, child.ny);
+        cdp.timing.boundary = boundary_cost(child);
+        // Child sub-steps per iteration: r₁ · r₂ halo phases each.
+        const double cphases = static_cast<double>(machine.halo_phases) *
+                               sib.refinement_ratio *
+                               child.refinement_ratio;
+        for (int ly = 0; ly < cdp.rect.h; ++ly)
+          for (int lx = 0; lx < cdp.rect.w; ++lx) {
+            const int gr = grid.rank(cdp.rect.x0 + lx, cdp.rect.y0 + ly);
+            rank_wait[gr] += cphases * cdp.stats.wait[gr];
+          }
+        hop_sum += cdp.stats.avg_hops *
+                   static_cast<double>(cdp.message_count) * cphases;
+        hop_weight += static_cast<double>(cdp.message_count) * cphases;
+        // Child↔sibling forcing + feedback, twice per sibling sub-step.
+        const auto csync_msgs = sync_messages(
+            sim, grid, cdp.rect, child, dp.rect, sib.nx, sib.ny);
+        const auto csync = sim.run(mapping, csync_msgs);
+        for (int r = 0; r < nranks; ++r)
+          rank_wait[r] += 2.0 * sib.refinement_ratio * csync.wait[r];
+        hop_sum += csync.avg_hops *
+                   static_cast<double>(csync_msgs.size()) * 2.0 *
+                   sib.refinement_ratio;
+        hop_weight += static_cast<double>(csync_msgs.size()) * 2.0 *
+                      sib.refinement_ratio;
+        child_blocks.push_back(child.refinement_ratio *
+                                   cdp.timing.substep() +
+                               2.0 * csync.duration);
+        child_rects.push_back(cdp.rect);
+      }
+      if (kids_concurrent) {
+        child_contrib = *std::max_element(child_blocks.begin(),
+                                          child_blocks.end());
+        // Ranks of faster children idle at the sibling's sync point.
+        for (std::size_t ci = 0; ci < child_blocks.size(); ++ci) {
+          const double idle =
+              sib.refinement_ratio * (child_contrib - child_blocks[ci]);
+          for (int ly = 0; ly < child_rects[ci].h; ++ly)
+            for (int lx = 0; lx < child_rects[ci].w; ++lx)
+              rank_wait[grid.rank(child_rects[ci].x0 + lx,
+                                  child_rects[ci].y0 + ly)] += idle;
+        }
+      } else {
+        for (double b : child_blocks) child_contrib += b;
+      }
+    }
+
+    const double block =
+        sib.refinement_ratio * (dp.timing.substep() + child_contrib);
+    result.sibling_timings.push_back(dp.timing);
+    blocks.push_back(block);
+    const double phases_per_iter =
+        static_cast<double>(machine.halo_phases) * sib.refinement_ratio;
+    for (int ly = 0; ly < dp.rect.h; ++ly)
+      for (int lx = 0; lx < dp.rect.w; ++lx) {
+        const int gr = grid.rank(dp.rect.x0 + lx, dp.rect.y0 + ly);
+        rank_wait[gr] += phases_per_iter * dp.stats.wait[gr];
+      }
+    hop_sum += dp.stats.avg_hops * static_cast<double>(dp.message_count) *
+               phases_per_iter;
+    hop_weight += static_cast<double>(dp.message_count) * phases_per_iter;
+
+    // Forcing + feedback exchanges with the parent (twice per iteration).
+    const auto sync_msgs =
+        sync_messages(sim, grid, dp.rect, sib, grid.bounds(),
+                      config.parent.nx, config.parent.ny);
+    const auto sync_stats = sim.run(mapping, sync_msgs);
+    sync_total += 2.0 * sync_stats.duration;
+    for (int r = 0; r < nranks; ++r)
+      rank_wait[r] += 2.0 * sync_stats.wait[r];
+    hop_sum += sync_stats.avg_hops *
+               static_cast<double>(sync_msgs.size()) * 2.0;
+    hop_weight += static_cast<double>(sync_msgs.size()) * 2.0;
+  }
+  result.sibling_blocks = blocks;
+  if (options.diagnostics_reduce) {
+    std::vector<int> all(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) all[r] = r;
+    const auto reduce = netsim::simulate_allreduce(
+        sim, mapping, all,
+        machine.halo_variables * machine.bytes_per_element);
+    sync_total += reduce.duration;
+    const double per_rank =
+        reduce.total_wait / static_cast<double>(nranks);
+    for (int r = 0; r < nranks; ++r) rank_wait[r] += per_rank;
+  }
+  result.sync_time = sync_total;
+
+  if (concurrent) {
+    const double span = *std::max_element(blocks.begin(), blocks.end());
+    result.nest_phase = span;
+    // Ranks of faster siblings idle at the synchronisation point.
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      const Rect rect = effective_rect(plan.partition->rects[s],
+                                       config.siblings[s].nx,
+                                       config.siblings[s].ny);
+      const double idle = span - blocks[s];
+      for (int ly = 0; ly < rect.h; ++ly)
+        for (int lx = 0; lx < rect.w; ++lx)
+          rank_wait[grid.rank(rect.x0 + lx, rect.y0 + ly)] += idle;
+    }
+  } else {
+    double total = 0.0;
+    for (double b : blocks) total += b;
+    result.nest_phase = total;
+  }
+
+  result.integration = result.parent_step + result.nest_phase +
+                       result.sync_time;
+
+  // --- I/O (amortised per iteration).
+  if (options.with_io) {
+    const iosim::IoModel io(machine);
+    const auto frame = [&](int nx, int ny) {
+      return iosim::IoModel::frame_bytes(nx, ny, machine.vertical_levels,
+                                         options.output_fields);
+    };
+    result.io_time =
+        io.write_time(frame(config.parent.nx, config.parent.ny), nranks,
+                      options.io_mode) /
+        options.parent_output_every;
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      const auto& sib = config.siblings[s];
+      const int writers =
+          concurrent
+              ? static_cast<int>(effective_rect(plan.partition->rects[s],
+                                                sib.nx, sib.ny)
+                                     .area())
+              : nranks;
+      result.io_time +=
+          io.write_time(frame(sib.nx, sib.ny), writers, options.io_mode) /
+          options.output_every;
+    }
+    // Second-level (innermost) nests also write at the high frequency.
+    for (std::size_t k = 0; k < config.second_level.size(); ++k) {
+      const auto& child = config.second_level[k].spec;
+      const int s = config.second_level[k].sibling;
+      int writers = nranks;
+      if (concurrent) {
+        Rect host = plan.partition->rects[s];
+        if (static_cast<std::size_t>(s) < plan.child_partitions.size() &&
+            plan.child_partitions[s].has_value()) {
+          const auto kids = config.children_of(s);
+          for (std::size_t ci = 0; ci < kids.size(); ++ci)
+            if (kids[ci] == static_cast<int>(k))
+              host = plan.child_partitions[s]->rects[ci];
+        }
+        writers = static_cast<int>(
+            effective_rect(host, child.nx, child.ny).area());
+      }
+      result.io_time +=
+          io.write_time(frame(child.nx, child.ny), writers,
+                        options.io_mode) /
+          options.output_every;
+    }
+  }
+  result.total = result.integration + result.io_time;
+
+  // --- Wait metrics.
+  double wait_sum = 0.0;
+  for (double w : rank_wait) {
+    wait_sum += w;
+    result.max_wait = std::max(result.max_wait, w);
+  }
+  result.avg_wait = wait_sum / static_cast<double>(nranks);
+  result.avg_hops = hop_weight > 0.0 ? hop_sum / hop_weight : 0.0;
+  return result;
+}
+
+StrategyComparison compare_strategies(const topo::MachineParams& machine,
+                                      const NestedConfig& config,
+                                      const core::PerfModel& model,
+                                      core::MapScheme aware_scheme,
+                                      const RunOptions& options) {
+  StrategyComparison out;
+  // The default strategy and the "topology-oblivious" concurrent run both
+  // use the platform default XYZT mapping (the paper treats TXYZ as a
+  // separately requested mapping, Table 4).
+  const auto seq_plan =
+      core::plan_execution(machine, config, model, core::Strategy::sequential,
+                           core::Allocator::huffman, core::MapScheme::xyzt);
+  out.sequential = simulate_run(machine, config, seq_plan, options);
+
+  const auto obl_plan =
+      core::plan_execution(machine, config, model, core::Strategy::concurrent,
+                           core::Allocator::huffman, core::MapScheme::xyzt);
+  out.concurrent_oblivious = simulate_run(machine, config, obl_plan, options);
+
+  const auto aware_plan =
+      core::plan_execution(machine, config, model, core::Strategy::concurrent,
+                           core::Allocator::huffman, aware_scheme);
+  out.concurrent_aware = simulate_run(machine, config, aware_plan, options);
+  return out;
+}
+
+std::vector<core::ProfilePoint> profile_basis(
+    const topo::MachineParams& machine,
+    const std::vector<std::pair<int, int>>& basis_domains) {
+  NESTWX_REQUIRE(!basis_domains.empty(), "empty basis");
+  std::vector<core::ProfilePoint> out;
+  out.reserve(basis_domains.size());
+  const Grid2D grid = procgrid::choose_grid(machine.total_ranks(), 1, 1);
+  const Mapping mapping =
+      core::make_mapping(machine, grid, core::MapScheme::txyz);
+  const PhaseSimulator sim(machine);
+  for (const auto& [nx, ny] : basis_domains) {
+    const auto dp = time_domain(machine, sim, mapping, grid, grid.bounds(),
+                                nx, ny);
+    out.push_back(core::ProfilePoint{nx, ny, dp.timing.substep()});
+  }
+  return out;
+}
+
+}  // namespace nestwx::wrfsim

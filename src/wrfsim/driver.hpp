@@ -1,0 +1,107 @@
+#pragma once
+/// \file driver.hpp
+/// The "WRF on Blue Gene" virtual-time driver.
+///
+/// Given a machine, a nested configuration and an ExecutionPlan, it plays
+/// the paper's execution cycle in virtual time:
+///
+///   per iteration:  parent integration step on the full processor grid
+///                   → r sub-steps of every sibling nest, either
+///                     sequentially on the full grid (default WRF) or
+///                     concurrently on the plan's partitions (the paper)
+///                   → nest→parent feedback exchange (sync point)
+///                   → optional output frame (amortised per iteration)
+///
+/// Compute time comes from the calibrated per-point cost on the largest
+/// tile of each decomposition; communication time and MPI_Wait come from
+/// the netsim phase simulator on the plan's 2-D→3-D mapping; I/O time
+/// comes from the iosim cost model with the writer set implied by the
+/// strategy. Results are per-iteration averages, directly comparable to
+/// the paper's tables and figures.
+
+#include <vector>
+
+#include "core/planner.hpp"
+#include "iosim/io_model.hpp"
+#include "topo/machine.hpp"
+
+namespace nestwx::wrfsim {
+
+struct RunOptions {
+  int iterations = 1;     ///< virtual iterations (results are steady-state)
+  bool with_io = false;
+  iosim::IoMode io_mode = iosim::IoMode::pnetcdf_collective;
+  /// Iterations between *nest* output frames (the paper's high-frequency
+  /// output applies to the regions of interest at the innermost level).
+  int output_every = 8;
+  /// Iterations between parent-domain frames (hourly in the paper).
+  int parent_output_every = 25;
+  int output_fields = 10; ///< 3-D variables per frame
+  /// Include one per-iteration diagnostics allreduce over all ranks
+  /// (WRF's CFL/extrema checks) — an O(log P) latency term counted in
+  /// sync_time.
+  bool diagnostics_reduce = true;
+};
+
+/// Per-substep timing of one domain on its processor set.
+struct DomainTiming {
+  double compute = 0.0;
+  double comm = 0.0;            ///< halo phases total
+  double boundary = 0.0;        ///< serialised nest-boundary processing
+  double avg_wait = 0.0;        ///< mean per-participating-rank MPI_Wait
+  double avg_hops = 0.0;
+  int max_link_flows = 0;
+  int ranks = 0;
+
+  double substep() const { return compute + comm + boundary; }
+};
+
+/// Per-iteration steady-state metrics of a run.
+struct RunResult {
+  double parent_step = 0.0;
+  double nest_phase = 0.0;      ///< all siblings' sub-step blocks
+  double sync_time = 0.0;       ///< feedback exchange
+  double integration = 0.0;     ///< parent_step + nest_phase + sync_time
+  double io_time = 0.0;         ///< amortised per iteration
+  double total = 0.0;           ///< integration + io_time
+
+  /// MPI_Wait seconds per rank per iteration, averaged over all ranks
+  /// (includes idle time of ranks waiting for slower siblings).
+  double avg_wait = 0.0;
+  double max_wait = 0.0;
+
+  double avg_hops = 0.0;        ///< message-weighted over all halo traffic
+  DomainTiming parent_timing;
+  std::vector<DomainTiming> sibling_timings;  ///< per sibling, per substep
+  std::vector<double> sibling_blocks;         ///< r × substep per sibling
+};
+
+/// Simulate the steady-state iteration of `config` under `plan`.
+/// plan.mapping must be present (plan_execution provides it).
+RunResult simulate_run(const topo::MachineParams& machine,
+                       const core::NestedConfig& config,
+                       const core::ExecutionPlan& plan,
+                       const RunOptions& options = {});
+
+/// Convenience: plan + simulate the paper's three canonical variants.
+/// Returns {default sequential, concurrent oblivious, concurrent with
+/// `aware_scheme`} results using the given perf model.
+struct StrategyComparison {
+  RunResult sequential;
+  RunResult concurrent_oblivious;
+  RunResult concurrent_aware;
+};
+StrategyComparison compare_strategies(
+    const topo::MachineParams& machine, const core::NestedConfig& config,
+    const core::PerfModel& model,
+    core::MapScheme aware_scheme = core::MapScheme::multilevel,
+    const RunOptions& options = {});
+
+/// Build a profiling database for the perf model by simulating each basis
+/// domain as a single nest on `machine` with the default plan, returning
+/// ProfilePoints whose time is the nest's per-substep time.
+std::vector<core::ProfilePoint> profile_basis(
+    const topo::MachineParams& machine,
+    const std::vector<std::pair<int, int>>& basis_domains);
+
+}  // namespace nestwx::wrfsim

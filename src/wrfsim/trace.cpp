@@ -1,0 +1,87 @@
+#include "wrfsim/trace.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace nestwx::wrfsim {
+
+namespace {
+void event(std::ofstream& f, bool& first, const std::string& name, int tid,
+           double start_s, double dur_s, const std::string& args = "") {
+  if (dur_s <= 0.0) return;
+  if (!first) f << ",\n";
+  first = false;
+  f << "  {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": 1, "
+    << "\"tid\": " << tid << ", \"ts\": " << start_s * 1e6
+    << ", \"dur\": " << dur_s * 1e6;
+  if (!args.empty()) f << ", \"args\": {" << args << "}";
+  f << "}";
+}
+}  // namespace
+
+void write_trace_json(const std::string& path,
+                      const core::NestedConfig& config,
+                      const core::ExecutionPlan& plan,
+                      const RunResult& result, int iterations) {
+  NESTWX_REQUIRE(iterations >= 1, "need at least one iteration");
+  NESTWX_REQUIRE(result.sibling_blocks.size() == config.siblings.size(),
+                 "result does not match the configuration");
+  std::ofstream f(path);
+  NESTWX_REQUIRE(f.good(), "cannot open trace file: " + path);
+  f << "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Lane metadata.
+  auto lane_name = [&](int tid, const std::string& name) {
+    if (!first) f << ",\n";
+    first = false;
+    f << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+      << "\"tid\": " << tid << ", \"args\": {\"name\": \"" << name
+      << "\"}}";
+  };
+  lane_name(0, "parent " + std::to_string(config.parent.nx) + "x" +
+                   std::to_string(config.parent.ny));
+  for (std::size_t s = 0; s < config.siblings.size(); ++s)
+    lane_name(static_cast<int>(s) + 1,
+              config.siblings[s].name + " " +
+                  std::to_string(config.siblings[s].nx) + "x" +
+                  std::to_string(config.siblings[s].ny));
+
+  const bool concurrent =
+      plan.strategy == core::Strategy::concurrent;
+  double t = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    event(f, first, "parent step", 0, t, result.parent_step);
+    const double nest_start = t + result.parent_step;
+    if (concurrent) {
+      for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+        event(f, first, "integrate", static_cast<int>(s) + 1, nest_start,
+              result.sibling_blocks[s],
+              "\"processors\": " +
+                  std::to_string(result.sibling_timings[s].ranks));
+        const double idle =
+            result.nest_phase - result.sibling_blocks[s];
+        event(f, first, "wait for siblings", static_cast<int>(s) + 1,
+              nest_start + result.sibling_blocks[s], idle);
+      }
+    } else {
+      double cursor = nest_start;
+      for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+        event(f, first, "integrate", static_cast<int>(s) + 1, cursor,
+              result.sibling_blocks[s],
+              "\"processors\": " +
+                  std::to_string(result.sibling_timings[s].ranks));
+        cursor += result.sibling_blocks[s];
+      }
+    }
+    const double sync_start = nest_start + result.nest_phase;
+    event(f, first, "feedback/sync", 0, sync_start, result.sync_time);
+    event(f, first, "output", 0, sync_start + result.sync_time,
+          result.io_time);
+    t += result.total;
+  }
+  f << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+}  // namespace nestwx::wrfsim

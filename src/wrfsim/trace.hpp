@@ -1,0 +1,24 @@
+#pragma once
+/// \file trace.hpp
+/// Export a simulated run as a Chrome-tracing JSON timeline
+/// (chrome://tracing or https://ui.perfetto.dev): one lane for the parent
+/// domain and one per sibling nest, showing integration blocks, the
+/// synchronisation point and the output phase across iterations — a
+/// visual rendering of the difference between the sequential and
+/// concurrent strategies.
+
+#include <string>
+
+#include "core/planner.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace nestwx::wrfsim {
+
+/// Write `iterations` steady-state iterations of `result` to `path`.
+/// Times are microseconds of virtual time.
+void write_trace_json(const std::string& path,
+                      const core::NestedConfig& config,
+                      const core::ExecutionPlan& plan,
+                      const RunResult& result, int iterations = 2);
+
+}  // namespace nestwx::wrfsim

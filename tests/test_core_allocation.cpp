@@ -1,0 +1,193 @@
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace c = nestwx::core;
+namespace p = nestwx::procgrid;
+using nestwx::util::PreconditionError;
+
+namespace {
+const p::Rect kGrid32{0, 0, 32, 32};
+}
+
+TEST(ProportionalSplit, RoundsToNearest) {
+  EXPECT_EQ(c::proportional_split(32, 1.0, 1.0), 16);
+  EXPECT_EQ(c::proportional_split(32, 3.0, 1.0), 24);
+  EXPECT_EQ(c::proportional_split(10, 1.0, 2.0), 3);
+}
+
+TEST(ProportionalSplit, ClampsToMinimumParts) {
+  EXPECT_EQ(c::proportional_split(10, 100.0, 1.0), 9);
+  EXPECT_EQ(c::proportional_split(10, 1.0, 100.0), 1);
+  EXPECT_EQ(c::proportional_split(10, 100.0, 1.0, 1, 3), 7);
+}
+
+TEST(ProportionalSplit, RejectsImpossible) {
+  EXPECT_THROW(c::proportional_split(2, 1.0, 1.0, 2, 2), PreconditionError);
+  EXPECT_THROW(c::proportional_split(10, 0.0, 1.0), PreconditionError);
+}
+
+TEST(HuffmanPartition, SingleSiblingGetsWholeGrid) {
+  const auto part = c::huffman_partition(kGrid32, std::vector<double>{1.0});
+  ASSERT_EQ(part.rects.size(), 1u);
+  EXPECT_EQ(part.rects[0], kGrid32);
+  EXPECT_TRUE(part.is_exact_tiling());
+}
+
+TEST(HuffmanPartition, ExactTilingForPaperRatios) {
+  // Fig. 3b: 4 nests with ratios 0.15 : 0.3 : 0.35 : 0.2.
+  const std::vector<double> w{0.15, 0.3, 0.35, 0.2};
+  const auto part = c::huffman_partition(kGrid32, w);
+  EXPECT_TRUE(part.is_exact_tiling());
+  // Areas proportional to weights within rounding slack.
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double share =
+        static_cast<double>(part.rects[i].area()) / kGrid32.area();
+    EXPECT_NEAR(share, w[i], 0.05) << "sibling " << i;
+  }
+}
+
+TEST(HuffmanPartition, EqualWeightsGiveEqualAreas) {
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  const auto part = c::huffman_partition(kGrid32, w);
+  for (const auto& r : part.rects) EXPECT_EQ(r.area(), 256);
+}
+
+TEST(HuffmanPartition, RectanglesAreSquareLike) {
+  // The paper splits the longer dimension so rects stay square-like.
+  const std::vector<double> w{0.25, 0.25, 0.25, 0.25};
+  const auto part = c::huffman_partition(kGrid32, w);
+  for (const auto& r : part.rects) EXPECT_LE(r.elongation(), 2.0);
+}
+
+TEST(HuffmanPartition, ShortDimSplitGivesMoreElongatedRects) {
+  // Fig. 4 ablation: first split along the shorter dimension produces a
+  // worse (more elongated) worst rectangle for k = 3.
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  const p::Rect grid{0, 0, 24, 32};
+  const auto longer = c::huffman_partition(grid, w, {true});
+  const auto shorter = c::huffman_partition(grid, w, {false});
+  auto worst = [](const c::GridPartition& part) {
+    double e = 0.0;
+    for (const auto& r : part.rects) e = std::max(e, r.elongation());
+    return e;
+  };
+  EXPECT_TRUE(longer.is_exact_tiling());
+  EXPECT_TRUE(shorter.is_exact_tiling());
+  EXPECT_LE(worst(longer), worst(shorter));
+}
+
+TEST(HuffmanPartition, Table2AreasMatchProcessorCounts) {
+  // Table 2: four siblings on 1024 = 32×32 processors got 432, 144, 168
+  // and 280 processors. Feeding the implied time ratios back in must
+  // reproduce areas within rounding.
+  const std::vector<double> w{432.0, 144.0, 168.0, 280.0};
+  const auto part = c::huffman_partition(kGrid32, w);
+  EXPECT_TRUE(part.is_exact_tiling());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(part.rects[i].area()), w[i], 48.0);
+}
+
+TEST(HuffmanPartition, ManySiblingsStillTileExactly) {
+  nestwx::util::Rng rng(31);
+  for (int k = 2; k <= 12; ++k) {
+    std::vector<double> w;
+    for (int i = 0; i < k; ++i) w.push_back(rng.uniform(0.05, 1.0));
+    const auto part = c::huffman_partition(kGrid32, w);
+    EXPECT_TRUE(part.is_exact_tiling()) << "k=" << k;
+    for (const auto& r : part.rects) EXPECT_FALSE(r.empty());
+  }
+}
+
+TEST(HuffmanPartition, NonSquareGridsTile) {
+  nestwx::util::Rng rng(77);
+  const std::vector<p::Rect> grids{{0, 0, 64, 16}, {0, 0, 16, 64},
+                                   {0, 0, 7, 13},  {0, 0, 128, 64}};
+  for (const auto& grid : grids) {
+    std::vector<double> w{0.4, 0.35, 0.25};
+    const auto part = c::huffman_partition(grid, w);
+    EXPECT_TRUE(part.is_exact_tiling()) << grid.to_string();
+  }
+}
+
+TEST(HuffmanPartition, OffsetGridRespected) {
+  const p::Rect grid{4, 8, 16, 16};
+  const auto part = c::huffman_partition(grid, std::vector<double>{1.0, 1.0});
+  EXPECT_TRUE(part.is_exact_tiling());
+  for (const auto& r : part.rects) EXPECT_TRUE(grid.contains(r));
+}
+
+TEST(HuffmanPartition, ExtremeWeightStillGivesEveryoneProcessors) {
+  const std::vector<double> w{1000.0, 1.0};
+  const auto part = c::huffman_partition(kGrid32, w);
+  EXPECT_TRUE(part.is_exact_tiling());
+  EXPECT_GE(part.rects[1].area(), 1);
+}
+
+TEST(HuffmanPartition, RejectsImpossibleInputs) {
+  EXPECT_THROW(c::huffman_partition(p::Rect{0, 0, 0, 4},
+                                    std::vector<double>{1.0}),
+               PreconditionError);
+  EXPECT_THROW(c::huffman_partition(p::Rect{0, 0, 1, 1},
+                                    std::vector<double>{1.0, 1.0}),
+               PreconditionError);
+  EXPECT_THROW(c::huffman_partition(kGrid32, {}), PreconditionError);
+}
+
+TEST(StripPartition, ProportionalColumns) {
+  const std::vector<double> w{1.0, 1.0, 2.0};
+  const p::Rect grid{0, 0, 16, 8};
+  const auto part = c::strip_partition(grid, w);
+  EXPECT_TRUE(part.is_exact_tiling());
+  EXPECT_EQ(part.rects[0].w, 4);
+  EXPECT_EQ(part.rects[1].w, 4);
+  EXPECT_EQ(part.rects[2].w, 8);
+  for (const auto& r : part.rects) EXPECT_EQ(r.h, 8);
+}
+
+TEST(StripPartition, ConsecutiveStrips) {
+  const std::vector<double> w{1.0, 2.0};
+  const auto part = c::strip_partition(kGrid32, w);
+  EXPECT_EQ(part.rects[0].x0, 0);
+  EXPECT_EQ(part.rects[1].x0, part.rects[0].x1());
+}
+
+TEST(StripPartition, TinyWeightStillGetsAColumn) {
+  const std::vector<double> w{1.0, 1e-9};
+  const auto part = c::strip_partition(kGrid32, w);
+  EXPECT_TRUE(part.is_exact_tiling());
+  EXPECT_EQ(part.rects[1].w, 1);
+}
+
+TEST(StripPartition, RejectsTooManySiblings) {
+  const std::vector<double> w(10, 1.0);
+  EXPECT_THROW(c::strip_partition(p::Rect{0, 0, 8, 8}, w),
+               PreconditionError);
+}
+
+TEST(EqualPartition, MatchesHuffmanWithEqualWeights) {
+  const auto a = c::equal_partition(kGrid32, 4);
+  const auto b =
+      c::huffman_partition(kGrid32, std::vector<double>{2.0, 2.0, 2.0, 2.0});
+  ASSERT_EQ(a.rects.size(), b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i)
+    EXPECT_EQ(a.rects[i], b.rects[i]);
+}
+
+TEST(MaxOverallocation, PerfectForExactSplit) {
+  const auto part = c::equal_partition(kGrid32, 4);
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(part.max_overallocation(w), 1.0, 1e-12);
+}
+
+TEST(MaxOverallocation, DetectsImbalance) {
+  const auto part = c::equal_partition(kGrid32, 2);
+  const std::vector<double> w{3.0, 1.0};  // equal split vs 3:1 need
+  EXPECT_NEAR(part.max_overallocation(w), 2.0, 1e-12);
+}

@@ -1,0 +1,96 @@
+/// Property sweeps of Algorithm 1 over random weight sets and grid
+/// shapes: exact tiling, bounded disproportion, square-likeness and
+/// determinism must hold everywhere, not just on the paper's examples.
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+#include "util/rng.hpp"
+
+namespace c = nestwx::core;
+namespace p = nestwx::procgrid;
+
+struct AllocCase {
+  const char* name;
+  int gw, gh;   // grid shape
+  int k;        // sibling count
+  std::uint64_t seed;
+};
+
+class AllocationProperty : public ::testing::TestWithParam<AllocCase> {
+ protected:
+  std::vector<double> weights() const {
+    nestwx::util::Rng rng(GetParam().seed);
+    std::vector<double> w(static_cast<std::size_t>(GetParam().k));
+    for (auto& x : w) x = rng.uniform(0.05, 1.0);
+    return w;
+  }
+  p::Rect grid() const {
+    return p::Rect{0, 0, GetParam().gw, GetParam().gh};
+  }
+};
+
+TEST_P(AllocationProperty, ExactTiling) {
+  const auto part = c::huffman_partition(grid(), weights());
+  EXPECT_TRUE(part.is_exact_tiling());
+  for (const auto& r : part.rects) EXPECT_GE(r.area(), 1);
+}
+
+TEST_P(AllocationProperty, DisproportionIsBounded) {
+  // With grid cells ≫ k, no sibling's processor share exceeds ~1.6× its
+  // weight share (integer rounding plus split-tree quantisation).
+  const auto w = weights();
+  const auto part = c::huffman_partition(grid(), w);
+  if (grid().area() >= 64 * GetParam().k)
+    EXPECT_LT(part.max_overallocation(w), 1.6) << GetParam().name;
+}
+
+TEST_P(AllocationProperty, RectanglesNotPathologicallyElongated) {
+  const auto part = c::huffman_partition(grid(), weights());
+  const double grid_elong = grid().elongation();
+  for (const auto& r : part.rects) {
+    // A rectangle may inherit the grid's own elongation plus the
+    // worst-case factor from weight skew, but must stay bounded.
+    EXPECT_LT(r.elongation(), 8.0 * std::max(1.0, grid_elong))
+        << GetParam().name << " " << r.to_string();
+  }
+}
+
+TEST_P(AllocationProperty, Deterministic) {
+  const auto w = weights();
+  const auto a = c::huffman_partition(grid(), w);
+  const auto b = c::huffman_partition(grid(), w);
+  ASSERT_EQ(a.rects.size(), b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i)
+    EXPECT_EQ(a.rects[i], b.rects[i]);
+}
+
+TEST_P(AllocationProperty, StripsAlsoTileExactly) {
+  const auto w = weights();
+  if (grid().w < GetParam().k) GTEST_SKIP();
+  const auto part = c::strip_partition(grid(), w);
+  EXPECT_TRUE(part.is_exact_tiling());
+}
+
+TEST_P(AllocationProperty, ScalingWeightsIsInvariant) {
+  // Multiplying every weight by a constant must not change the result.
+  auto w = weights();
+  const auto base = c::huffman_partition(grid(), w);
+  for (auto& x : w) x *= 1234.5;
+  const auto scaled = c::huffman_partition(grid(), w);
+  for (std::size_t i = 0; i < base.rects.size(); ++i)
+    EXPECT_EQ(base.rects[i], scaled.rects[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocationProperty,
+    ::testing::Values(AllocCase{"square32_k2", 32, 32, 2, 1},
+                      AllocCase{"square32_k4", 32, 32, 4, 2},
+                      AllocCase{"square32_k7", 32, 32, 7, 3},
+                      AllocCase{"wide_k3", 64, 16, 3, 4},
+                      AllocCase{"tall_k3", 16, 64, 3, 5},
+                      AllocCase{"small_k4", 8, 8, 4, 6},
+                      AllocCase{"big_k10", 128, 64, 10, 7},
+                      AllocCase{"odd_k5", 23, 41, 5, 8},
+                      AllocCase{"huge_k16", 128, 128, 16, 9}),
+    [](const auto& info) { return std::string(info.param.name); });

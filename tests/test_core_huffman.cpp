@@ -1,0 +1,142 @@
+#include "core/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace c = nestwx::core;
+using nestwx::util::PreconditionError;
+
+TEST(Huffman, SingleWeightIsLeafRoot) {
+  const auto t = c::build_huffman(std::vector<double>{1.0});
+  EXPECT_EQ(t.nodes.size(), 1u);
+  EXPECT_TRUE(t.node(t.root).is_leaf());
+  EXPECT_EQ(t.node(t.root).leaf_id, 0);
+}
+
+TEST(Huffman, TwoWeightsMergeUnderRoot) {
+  const auto t = c::build_huffman(std::vector<double>{0.3, 0.7});
+  EXPECT_EQ(t.nodes.size(), 3u);
+  EXPECT_FALSE(t.node(t.root).is_leaf());
+  EXPECT_DOUBLE_EQ(t.node(t.root).weight, 1.0);
+}
+
+TEST(Huffman, NodeAndLeafCounts) {
+  for (int k = 1; k <= 10; ++k) {
+    std::vector<double> w(k, 1.0);
+    const auto t = c::build_huffman(w);
+    EXPECT_EQ(t.nodes.size(), static_cast<std::size_t>(2 * k - 1));
+    EXPECT_EQ(t.leaves_under(t.root).size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(Huffman, RootWeightIsTotal) {
+  const std::vector<double> w{0.15, 0.3, 0.35, 0.2};
+  const auto t = c::build_huffman(w);
+  EXPECT_NEAR(t.weight_under(t.root), 1.0, 1e-12);
+}
+
+TEST(Huffman, InternalWeightsAreChildSums) {
+  const std::vector<double> w{1, 2, 3, 4, 5};
+  const auto t = c::build_huffman(w);
+  for (const auto& n : t.nodes) {
+    if (n.is_leaf()) continue;
+    EXPECT_DOUBLE_EQ(n.weight,
+                     t.nodes[n.left].weight + t.nodes[n.right].weight);
+  }
+}
+
+TEST(Huffman, EveryLeafAppearsExactlyOnce) {
+  const std::vector<double> w{5, 1, 4, 2, 3, 6, 7};
+  const auto t = c::build_huffman(w);
+  auto leaves = t.leaves_under(t.root);
+  std::sort(leaves.begin(), leaves.end());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_EQ(leaves[i], static_cast<int>(i));
+}
+
+TEST(Huffman, LightestPairMergesFirst) {
+  // Classic property: the two smallest weights become siblings at the
+  // deepest level.
+  const std::vector<double> w{0.05, 0.5, 0.06, 0.39};
+  const auto t = c::build_huffman(w);
+  // Find the parent of leaf 0 (weight 0.05); its other child must be
+  // leaf 2 (weight 0.06).
+  for (const auto& n : t.nodes) {
+    if (n.is_leaf()) continue;
+    const bool has0 = t.nodes[n.left].leaf_id == 0 ||
+                      t.nodes[n.right].leaf_id == 0;
+    if (has0) {
+      const bool has2 = t.nodes[n.left].leaf_id == 2 ||
+                        t.nodes[n.right].leaf_id == 2;
+      if (t.nodes[n.left].is_leaf() && t.nodes[n.right].is_leaf()) {
+        EXPECT_TRUE(has2);
+        return;
+      }
+    }
+  }
+}
+
+TEST(Huffman, BfsOrderStartsAtRootAndCoversInternals) {
+  const std::vector<double> w{1, 2, 3, 4};
+  const auto t = c::build_huffman(w);
+  const auto order = t.internal_bfs_order();
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.front(), t.root);
+  // BFS property: each node's parent appears earlier.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    bool parent_earlier = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& p = t.node(order[j]);
+      if (p.left == order[i] || p.right == order[i]) parent_earlier = true;
+    }
+    EXPECT_TRUE(parent_earlier);
+  }
+}
+
+TEST(Huffman, BalancedChildrenForEqualWeights) {
+  const std::vector<double> w(8, 1.0);
+  const auto t = c::build_huffman(w);
+  const auto& root = t.node(t.root);
+  EXPECT_DOUBLE_EQ(t.weight_under(root.left), t.weight_under(root.right));
+}
+
+TEST(Huffman, DeterministicAcrossCalls) {
+  nestwx::util::Rng rng(21);
+  std::vector<double> w;
+  for (int i = 0; i < 12; ++i) w.push_back(rng.uniform(0.1, 2.0));
+  const auto t1 = c::build_huffman(w);
+  const auto t2 = c::build_huffman(w);
+  ASSERT_EQ(t1.nodes.size(), t2.nodes.size());
+  for (std::size_t i = 0; i < t1.nodes.size(); ++i) {
+    EXPECT_EQ(t1.nodes[i].left, t2.nodes[i].left);
+    EXPECT_EQ(t1.nodes[i].right, t2.nodes[i].right);
+    EXPECT_EQ(t1.nodes[i].leaf_id, t2.nodes[i].leaf_id);
+  }
+}
+
+TEST(Huffman, RejectsBadWeights) {
+  EXPECT_THROW(c::build_huffman({}), PreconditionError);
+  EXPECT_THROW(c::build_huffman(std::vector<double>{1.0, 0.0}),
+               PreconditionError);
+  EXPECT_THROW(c::build_huffman(std::vector<double>{1.0, -2.0}),
+               PreconditionError);
+}
+
+TEST(Huffman, LeavesUnderSubtreeAreConsistent) {
+  const std::vector<double> w{0.15, 0.3, 0.35, 0.2};
+  const auto t = c::build_huffman(w);
+  const auto& root = t.node(t.root);
+  auto left = t.leaves_under(root.left);
+  auto right = t.leaves_under(root.right);
+  EXPECT_EQ(left.size() + right.size(), w.size());
+  double wl = 0, wr = 0;
+  for (int id : left) wl += w[id];
+  for (int id : right) wr += w[id];
+  EXPECT_NEAR(wl, t.weight_under(root.left), 1e-12);
+  EXPECT_NEAR(wr, t.weight_under(root.right), 1e-12);
+}

@@ -1,0 +1,223 @@
+#include "core/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "procgrid/decomp.hpp"
+#include "util/error.hpp"
+
+namespace c = nestwx::core;
+namespace p = nestwx::procgrid;
+namespace t = nestwx::topo;
+using nestwx::util::PreconditionError;
+
+namespace {
+
+/// 4×4×2 torus, one rank per node — the paper's Fig. 5/6 machine.
+t::MachineParams fig5_machine() {
+  t::MachineParams m;
+  m.name = "fig5";
+  m.torus_x = 4;
+  m.torus_y = 4;
+  m.torus_z = 2;
+  m.cores_per_node = 1;
+  m.mode = t::NodeMode::smp;
+  return m;
+}
+
+/// 8×4 virtual grid split into two 4×4 partitions (Fig. 5a).
+c::GridPartition fig5_partition() {
+  c::GridPartition part;
+  part.grid = p::Rect{0, 0, 8, 4};
+  part.rects = {p::Rect{0, 0, 4, 4}, p::Rect{4, 0, 4, 4}};
+  return part;
+}
+
+/// Halo pattern of a domain decomposed over the whole grid.
+c::CommPattern grid_halo_pattern(const p::Grid2D& grid) {
+  c::CommPattern pat;
+  for (int r = 0; r < grid.size(); ++r)
+    for (int n : grid.neighbors(r))
+      pat.add(r, n);
+  return pat;
+}
+
+/// Halo pattern internal to one partition rectangle.
+c::CommPattern rect_halo_pattern(const p::Grid2D& grid, const p::Rect& rect) {
+  c::CommPattern pat;
+  for (int y = rect.y0; y < rect.y1(); ++y)
+    for (int x = rect.x0; x < rect.x1(); ++x) {
+      if (x + 1 < rect.x1()) pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+      if (y + 1 < rect.y1()) pat.add(grid.rank(x, y), grid.rank(x, y + 1));
+    }
+  return pat;
+}
+
+}  // namespace
+
+TEST(Mapping, XyztMatchesFig5b) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  // Rank 0..3 fill the x-row of plane z=0 (Fig. 5b).
+  EXPECT_EQ(map.placement(0).node, (t::Coord3{0, 0, 0}));
+  EXPECT_EQ(map.placement(3).node, (t::Coord3{3, 0, 0}));
+  EXPECT_EQ(map.placement(4).node, (t::Coord3{0, 1, 0}));
+  EXPECT_EQ(map.placement(16).node, (t::Coord3{0, 0, 1}));
+  // Virtual y-neighbours 0 and 8 are 2 hops apart (paper's complaint).
+  EXPECT_EQ(map.hops(0, 8), 2);
+}
+
+TEST(Mapping, ValidityCatchesDuplicates) {
+  const auto m = fig5_machine();
+  std::vector<c::Placement> dup(32, c::Placement{{0, 0, 0}, 0});
+  EXPECT_THROW(c::Mapping(m, dup), PreconditionError);
+}
+
+TEST(Mapping, TxyzPutsConsecutiveRanksOnSameNode) {
+  auto m = fig5_machine();
+  m.cores_per_node = 2;
+  m.mode = t::NodeMode::virtual_node;  // 64 ranks
+  const p::Grid2D grid(8, 8);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::txyz);
+  EXPECT_EQ(map.placement(0).node, map.placement(1).node);
+  EXPECT_NE(map.placement(0).core, map.placement(1).core);
+  EXPECT_EQ(map.hops(0, 1), 0);
+}
+
+TEST(Mapping, PartitionSchemeKeepsPartitionsCompact) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto part = fig5_partition();
+  const auto map =
+      c::make_mapping(m, grid, c::MapScheme::partition, part);
+  // Every rank of partition 0 lives in one z-plane's worth of nodes (16
+  // ranks = 16 nodes); intra-partition neighbours must be <= 2 hops.
+  const auto pat = rect_halo_pattern(grid, part.rects[0]);
+  EXPECT_LE(c::max_hops(map, pat), 2);
+  EXPECT_LT(c::average_hops(map, pat), 1.7);
+}
+
+TEST(Mapping, TopologyAwareBeatsObliviousOnSiblingHalo) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto part = fig5_partition();
+  const auto oblivious = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto aware =
+      c::make_mapping(m, grid, c::MapScheme::partition, part);
+  for (const auto& rect : part.rects) {
+    const auto pat = rect_halo_pattern(grid, rect);
+    EXPECT_LT(c::average_hops(aware, pat), c::average_hops(oblivious, pat));
+  }
+}
+
+TEST(Mapping, MultilevelGoodForParentToo) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto part = fig5_partition();
+  const auto ml = c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+  const auto oblivious = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto parent_pat = grid_halo_pattern(grid);
+  EXPECT_LE(c::average_hops(ml, parent_pat),
+            c::average_hops(oblivious, parent_pat));
+}
+
+TEST(Mapping, SchemesAreValidOnBiggerMachines) {
+  t::MachineParams m;
+  m.torus_x = 8;
+  m.torus_y = 8;
+  m.torus_z = 8;
+  m.cores_per_node = 2;
+  m.mode = t::NodeMode::virtual_node;  // 1024 ranks
+  const p::Grid2D grid(32, 32);
+  const auto part = c::huffman_partition(
+      grid.bounds(), std::vector<double>{0.4, 0.15, 0.16, 0.29});
+  for (auto scheme : {c::MapScheme::xyzt, c::MapScheme::txyz,
+                      c::MapScheme::partition, c::MapScheme::multilevel}) {
+    const auto map = c::make_mapping(m, grid, scheme, part);
+    EXPECT_TRUE(map.is_valid()) << c::to_string(scheme);
+    EXPECT_EQ(map.nranks(), 1024);
+  }
+}
+
+TEST(Mapping, AwareSchemesReduceHopsAtScale) {
+  t::MachineParams m;
+  m.torus_x = 8;
+  m.torus_y = 8;
+  m.torus_z = 8;
+  m.cores_per_node = 2;
+  m.mode = t::NodeMode::virtual_node;
+  const p::Grid2D grid(32, 32);
+  const auto part = c::huffman_partition(
+      grid.bounds(), std::vector<double>{0.4, 0.15, 0.16, 0.29});
+  const auto oblivious = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto aware = c::make_mapping(m, grid, c::MapScheme::partition, part);
+  const auto ml = c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+  double obl = 0, aw = 0, mlh = 0;
+  for (const auto& rect : part.rects) {
+    const auto pat = rect_halo_pattern(grid, rect);
+    obl += c::average_hops(oblivious, pat);
+    aw += c::average_hops(aware, pat);
+    mlh += c::average_hops(ml, pat);
+  }
+  EXPECT_LT(aw, 0.75 * obl);
+  EXPECT_LT(mlh, 0.5 * obl);  // ~50 % hop reduction (Fig. 12b)
+}
+
+TEST(Mapping, PartitionRequiresPartition) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  EXPECT_THROW(c::make_mapping(m, grid, c::MapScheme::partition),
+               PreconditionError);
+  EXPECT_THROW(c::make_mapping(m, grid, c::MapScheme::multilevel),
+               PreconditionError);
+}
+
+TEST(Mapping, SizeMismatchRejected) {
+  const auto m = fig5_machine();  // 32 ranks
+  const p::Grid2D grid(8, 8);     // 64 ranks
+  EXPECT_THROW(c::make_mapping(m, grid, c::MapScheme::xyzt),
+               PreconditionError);
+}
+
+TEST(Mapping, MapfileHasOneLinePerRank) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const std::string path = ::testing::TempDir() + "nestwx_mapfile.txt";
+  map.write_mapfile(path);
+  std::ifstream f(path);
+  int lines = 0;
+  std::string line;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, 32);
+  std::remove(path.c_str());
+}
+
+TEST(CommPattern, AverageAndMaxHops) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  c::CommPattern pat;
+  pat.add(0, 1, 1.0);   // 1 hop
+  pat.add(0, 16, 1.0);  // z-neighbour: 1 hop
+  pat.add(0, 8, 2.0);   // 2 hops, double weight
+  EXPECT_NEAR(c::average_hops(map, pat), (1.0 + 1.0 + 4.0) / 4.0, 1e-12);
+  EXPECT_EQ(c::max_hops(map, pat), 2);
+}
+
+TEST(CommPattern, EmptyPatternRejected) {
+  const auto m = fig5_machine();
+  const p::Grid2D grid(8, 4);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  EXPECT_THROW(c::average_hops(map, {}), PreconditionError);
+}
+
+TEST(MapScheme, Names) {
+  EXPECT_EQ(c::to_string(c::MapScheme::xyzt), "xyzt");
+  EXPECT_EQ(c::to_string(c::MapScheme::txyz), "txyz");
+  EXPECT_EQ(c::to_string(c::MapScheme::partition), "partition");
+  EXPECT_EQ(c::to_string(c::MapScheme::multilevel), "multilevel");
+}

@@ -1,0 +1,150 @@
+/// Property tests of the foldable global mappings across many machine
+/// geometries: bijectivity, the 1-hop virtual-x property, and graceful
+/// fallback when the grid does not factor into the torus.
+
+#include <gtest/gtest.h>
+
+#include "core/mapping.hpp"
+#include "procgrid/grid2d.hpp"
+#include "workload/machines.hpp"
+
+namespace c = nestwx::core;
+namespace p = nestwx::procgrid;
+namespace t = nestwx::topo;
+
+namespace {
+
+struct FoldCase {
+  const char* name;
+  int cores;
+  bool bgl;  // else BG/P
+  int px;
+  int py;
+};
+
+c::GridPartition two_split(const p::Grid2D& grid) {
+  return c::huffman_partition(grid.bounds(), std::vector<double>{0.6, 0.4});
+}
+
+}  // namespace
+
+class FoldMapping : public ::testing::TestWithParam<FoldCase> {
+ protected:
+  t::MachineParams machine() const {
+    const auto& cse = GetParam();
+    return cse.bgl ? nestwx::workload::bluegene_l(cse.cores)
+                   : nestwx::workload::bluegene_p(cse.cores);
+  }
+};
+
+TEST_P(FoldMapping, BothAwareSchemesAreBijective) {
+  const auto m = machine();
+  const p::Grid2D grid(GetParam().px, GetParam().py);
+  ASSERT_EQ(grid.size(), m.total_ranks());
+  const auto part = two_split(grid);
+  for (auto scheme : {c::MapScheme::partition, c::MapScheme::multilevel}) {
+    const auto map = c::make_mapping(m, grid, scheme, part);
+    EXPECT_TRUE(map.is_valid()) << c::to_string(scheme);
+  }
+}
+
+TEST_P(FoldMapping, VirtualNeighboursStayClose) {
+  const auto m = machine();
+  const p::Grid2D grid(GetParam().px, GetParam().py);
+  const auto part = two_split(grid);
+  const auto map =
+      c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+  // Sample the halo pattern; under a successful fold, neighbours must be
+  // at most max(a,b) hops (z-jumps at fold boundaries), typically <= 1.
+  c::CommPattern pat;
+  for (int y = 0; y < grid.py(); y += 3)
+    for (int x = 0; x + 1 < grid.px(); x += 2)
+      pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+  EXPECT_LE(c::average_hops(map, pat), 1.5);
+}
+
+TEST_P(FoldMapping, AwareNoWorseThanObliviousOnSiblingTraffic) {
+  const auto m = machine();
+  const p::Grid2D grid(GetParam().px, GetParam().py);
+  const auto part = two_split(grid);
+  auto halo = [&](const p::Rect& rect) {
+    c::CommPattern pat;
+    for (int y = rect.y0; y < rect.y1(); ++y)
+      for (int x = rect.x0; x < rect.x1(); ++x) {
+        if (x + 1 < rect.x1()) pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+        if (y + 1 < rect.y1()) pat.add(grid.rank(x, y), grid.rank(x, y + 1));
+      }
+    return pat;
+  };
+  const auto obl = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto ml = c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+  double obl_total = 0, ml_total = 0;
+  for (const auto& rect : part.rects) {
+    obl_total += c::average_hops(obl, halo(rect));
+    ml_total += c::average_hops(ml, halo(rect));
+  }
+  EXPECT_LE(ml_total, obl_total + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FoldMapping,
+    ::testing::Values(FoldCase{"bgl_256", 256, true, 16, 16},
+                      FoldCase{"bgl_512", 512, true, 16, 32},
+                      FoldCase{"bgl_1024", 1024, true, 32, 32},
+                      FoldCase{"bgp_512", 512, false, 16, 32},
+                      FoldCase{"bgp_1024", 1024, false, 32, 32},
+                      FoldCase{"bgp_2048", 2048, false, 32, 64},
+                      FoldCase{"bgp_4096", 4096, false, 64, 64}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(FoldFallback, NonFoldableGridStillMapsValidly) {
+  // 30x34 does not factor into an 8x8x8 torus with 2 cores per node, so
+  // both aware schemes must take their serpentine fallbacks.
+  t::MachineParams m = nestwx::workload::bluegene_l(1024);
+  (void)m;
+  t::MachineParams odd;
+  odd.name = "odd";
+  odd.torus_x = 5;
+  odd.torus_y = 7;
+  odd.torus_z = 3;
+  odd.cores_per_node = 2;
+  odd.mode = t::NodeMode::virtual_node;  // 210 ranks
+  const p::Grid2D grid(14, 15);
+  ASSERT_EQ(grid.size(), odd.total_ranks());
+  const auto part = c::huffman_partition(
+      grid.bounds(), std::vector<double>{0.5, 0.3, 0.2});
+  for (auto scheme : {c::MapScheme::partition, c::MapScheme::multilevel}) {
+    const auto map = c::make_mapping(odd, grid, scheme, part);
+    EXPECT_TRUE(map.is_valid()) << c::to_string(scheme);
+    EXPECT_EQ(map.nranks(), 210);
+  }
+}
+
+TEST(FoldFallback, SingleNodeMachine) {
+  t::MachineParams tiny;
+  tiny.name = "tiny";
+  tiny.torus_x = tiny.torus_y = tiny.torus_z = 1;
+  tiny.cores_per_node = 4;
+  tiny.mode = t::NodeMode::virtual_node;
+  const p::Grid2D grid(2, 2);
+  const auto part = c::equal_partition(grid.bounds(), 2);
+  for (auto scheme : {c::MapScheme::xyzt, c::MapScheme::txyz,
+                      c::MapScheme::partition, c::MapScheme::multilevel}) {
+    const auto map = c::make_mapping(tiny, grid, scheme, part);
+    EXPECT_TRUE(map.is_valid());
+    EXPECT_EQ(map.hops(0, 3), 0);  // all ranks co-located
+  }
+}
+
+TEST(FoldAxesSwap, TallGridFoldsViaTransposedAxes) {
+  // Px=16, Py=32 on BG/L 512 (8x8x4 nodes x2): the swap_axes variant
+  // must kick in for one of the orientations.
+  const auto m = nestwx::workload::bluegene_l(512);
+  for (auto dims : {std::pair{16, 32}, std::pair{32, 16}}) {
+    const p::Grid2D grid(dims.first, dims.second);
+    const auto part = two_split(grid);
+    const auto map =
+        c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+    EXPECT_TRUE(map.is_valid());
+  }
+}

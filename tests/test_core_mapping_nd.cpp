@@ -1,0 +1,100 @@
+#include "core/mapping_nd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "procgrid/grid2d.hpp"
+#include "util/error.hpp"
+
+namespace c = nestwx::core;
+namespace t = nestwx::topo;
+namespace p = nestwx::procgrid;
+
+namespace {
+c::CommPattern halo(const p::Grid2D& grid) {
+  c::CommPattern pat;
+  for (int y = 0; y < grid.py(); ++y)
+    for (int x = 0; x < grid.px(); ++x) {
+      if (x + 1 < grid.px()) pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+      if (y + 1 < grid.py()) pat.add(grid.rank(x, y), grid.rank(x, y + 1));
+    }
+  return pat;
+}
+}  // namespace
+
+TEST(MappingND, ObliviousIsValidBijection) {
+  const auto m = t::bluegene_q(512);
+  const p::Grid2D grid(32, 16);
+  const auto map = c::make_mapping_nd(m, grid, c::MapSchemeND::oblivious);
+  EXPECT_TRUE(map.is_valid());
+  EXPECT_EQ(map.nranks(), 512);
+  // Cores are slowest in the oblivious fill.
+  EXPECT_EQ(map.core_of(0), 0);
+  EXPECT_EQ(map.core_of(map.nranks() - 1), m.ranks_per_node - 1);
+}
+
+TEST(MappingND, FoldExistsForMidplane) {
+  const auto m = t::bluegene_q(8192);  // 4x4x4x4x2 x16
+  // 8192 = 128 x 64: 128 = 4*4*4*2, 64 = 4*16 — whole-unit assignable.
+  const p::Grid2D grid(128, 64);
+  const auto folded = c::try_fold_nd(m, grid);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_TRUE(folded->is_valid());
+}
+
+TEST(MappingND, FoldedNeighboursAtMostOneHop) {
+  const auto m = t::bluegene_q(8192);
+  const p::Grid2D grid(128, 64);
+  const auto folded = c::try_fold_nd(m, grid);
+  ASSERT_TRUE(folded.has_value());
+  const auto pat = halo(grid);
+  for (const auto& pr : pat.pairs)
+    EXPECT_LE(folded->hops(pr.a, pr.b), 1);
+}
+
+TEST(MappingND, FoldBeatsObliviousOnBgq) {
+  const auto m = t::bluegene_q(8192);
+  const p::Grid2D grid(128, 64);
+  const auto obl = c::make_mapping_nd(m, grid, c::MapSchemeND::oblivious);
+  const auto fold = c::make_mapping_nd(m, grid, c::MapSchemeND::folded);
+  const auto pat = halo(grid);
+  const double ho = c::average_hops(obl, pat);
+  const double hf = c::average_hops(fold, pat);
+  EXPECT_LT(hf, 0.5 * ho);  // the Fig. 12b-style reduction carries to 5-D
+  EXPECT_LE(hf, 1.0);
+}
+
+TEST(MappingND, FoldWorksOnSmallerPartitions) {
+  for (int ranks : {512, 2048}) {
+    const auto m = t::bluegene_q(ranks);
+    // Pick a Px that multiplies out of the dims.
+    const p::Grid2D grid(ranks / 16, 16);
+    const auto folded = c::try_fold_nd(m, grid);
+    ASSERT_TRUE(folded.has_value()) << ranks;
+    EXPECT_TRUE(folded->is_valid());
+  }
+}
+
+TEST(MappingND, NonFactoringGridFallsBackToOblivious) {
+  t::MachineND m;
+  m.name = "odd-nd";
+  m.torus_dims = {4, 3};
+  m.ranks_per_node = 1;
+  const p::Grid2D grid(4, 3);      // whole-unit assignable
+  const p::Grid2D grid_bad(6, 2);  // 6 is no subset product of {4, 3}
+  EXPECT_TRUE(c::try_fold_nd(m, grid).has_value());
+  EXPECT_FALSE(c::try_fold_nd(m, grid_bad).has_value());
+  const auto map = c::make_mapping_nd(m, grid_bad, c::MapSchemeND::folded);
+  EXPECT_TRUE(map.is_valid());  // fallback still usable
+}
+
+TEST(MappingND, SizeMismatchRejected) {
+  const auto m = t::bluegene_q(512);
+  const p::Grid2D grid(16, 16);  // 256 != 512
+  EXPECT_THROW(c::make_mapping_nd(m, grid, c::MapSchemeND::oblivious),
+               nestwx::util::PreconditionError);
+}
+
+TEST(MappingND, SchemeNames) {
+  EXPECT_EQ(c::to_string(c::MapSchemeND::oblivious), "nd-oblivious");
+  EXPECT_EQ(c::to_string(c::MapSchemeND::folded), "nd-folded");
+}

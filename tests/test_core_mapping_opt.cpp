@@ -1,0 +1,131 @@
+#include "core/mapping_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.hpp"
+#include "procgrid/grid2d.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/machines.hpp"
+
+namespace c = nestwx::core;
+namespace p = nestwx::procgrid;
+
+namespace {
+
+nestwx::topo::MachineParams odd_machine() {
+  nestwx::topo::MachineParams m;
+  m.name = "odd";
+  m.torus_x = 5;
+  m.torus_y = 7;
+  m.torus_z = 3;
+  m.cores_per_node = 2;
+  m.mode = nestwx::topo::NodeMode::virtual_node;  // 210 ranks
+  return m;
+}
+
+c::CommPattern grid_halo(const p::Grid2D& grid) {
+  c::CommPattern pat;
+  for (int y = 0; y < grid.py(); ++y)
+    for (int x = 0; x < grid.px(); ++x) {
+      if (x + 1 < grid.px()) pat.add(grid.rank(x, y), grid.rank(x + 1, y));
+      if (y + 1 < grid.py()) pat.add(grid.rank(x, y), grid.rank(x, y + 1));
+    }
+  return pat;
+}
+
+}  // namespace
+
+TEST(MappingOpt, HopCostMatchesAverageHopsTimesWeight) {
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto pat = grid_halo(grid);
+  const double cost = c::hop_cost(map, pat);
+  const double avg = c::average_hops(map, pat);
+  EXPECT_NEAR(cost, avg * static_cast<double>(pat.pairs.size()), 1e-9);
+}
+
+TEST(MappingOpt, NeverWorsensAndStaysValid) {
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  const auto pat = grid_halo(grid);
+  for (auto scheme : {c::MapScheme::xyzt, c::MapScheme::txyz}) {
+    const auto start = c::make_mapping(m, grid, scheme);
+    const auto res = c::refine_mapping(start, pat);
+    EXPECT_LE(res.final_cost, res.initial_cost) << c::to_string(scheme);
+    EXPECT_TRUE(res.mapping.is_valid());
+    EXPECT_NEAR(res.final_cost, c::hop_cost(res.mapping, pat), 1e-9);
+  }
+}
+
+TEST(MappingOpt, ImprovesObliviousOnNonFoldableMachine) {
+  // 14x15 on a 5x7x3 torus is non-foldable, so the constructive schemes
+  // fall back to serpentine; local search must still find real gains
+  // over the oblivious start.
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  const auto pat = grid_halo(grid);
+  const auto start = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  c::MappingOptOptions opt;
+  opt.max_passes = 8;
+  const auto res = c::refine_mapping(start, pat, opt);
+  EXPECT_LT(res.final_cost, 0.9 * res.initial_cost);
+  EXPECT_GT(res.swaps, 0);
+}
+
+TEST(MappingOpt, NearOptimalStartIsLeftAlone) {
+  // The fold already places all neighbours <= 1 hop; nothing to gain.
+  const auto m = nestwx::workload::bluegene_l(1024);
+  const p::Grid2D grid(32, 32);
+  const auto part =
+      c::huffman_partition(grid.bounds(), std::vector<double>{0.5, 0.5});
+  const auto start =
+      c::make_mapping(m, grid, c::MapScheme::multilevel, part);
+  const auto pat = grid_halo(grid);
+  const auto res = c::refine_mapping(start, pat);
+  EXPECT_LE(res.final_cost, res.initial_cost);
+  EXPECT_NEAR(res.final_cost, res.initial_cost,
+              0.05 * res.initial_cost + 1e-9);
+}
+
+TEST(MappingOpt, RespectsWeights) {
+  // A single heavy pair must end up adjacent even if light pairs suffer.
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  c::CommPattern pat;
+  pat.add(0, 209, 1000.0);  // opposite corners under xyzt
+  for (int r = 0; r < 20; ++r) pat.add(r, r + 1, 0.001);
+  const auto start = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  c::MappingOptOptions opt;
+  opt.max_passes = 10;
+  const auto res = c::refine_mapping(start, pat, opt);
+  EXPECT_LE(res.mapping.hops(0, 209), 1);
+}
+
+TEST(MappingOpt, DeterministicResults) {
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  const auto pat = grid_halo(grid);
+  const auto start = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  const auto r1 = c::refine_mapping(start, pat);
+  const auto r2 = c::refine_mapping(start, pat);
+  EXPECT_EQ(r1.final_cost, r2.final_cost);
+  EXPECT_EQ(r1.swaps, r2.swaps);
+  for (int r = 0; r < start.nranks(); ++r)
+    EXPECT_EQ(r1.mapping.placement(r), r2.mapping.placement(r));
+}
+
+TEST(MappingOpt, RejectsBadArguments) {
+  const auto m = odd_machine();
+  const p::Grid2D grid(14, 15);
+  const auto start = c::make_mapping(m, grid, c::MapScheme::xyzt);
+  EXPECT_THROW(c::refine_mapping(start, {}),
+               nestwx::util::PreconditionError);
+  c::CommPattern pat;
+  pat.add(0, 1);
+  c::MappingOptOptions opt;
+  opt.max_passes = 0;
+  EXPECT_THROW(c::refine_mapping(start, pat, opt),
+               nestwx::util::PreconditionError);
+}

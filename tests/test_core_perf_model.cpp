@@ -1,0 +1,244 @@
+#include "core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace c = nestwx::core;
+using nestwx::util::PreconditionError;
+
+namespace {
+
+/// Synthetic "true" cost surface with separate x/y communication terms —
+/// the kind of behaviour the paper says a points-only model cannot see.
+double true_cost(int nx, int ny) {
+  const double points = static_cast<double>(nx) * ny;
+  return 1e-6 * points + 4e-4 * nx + 6.5e-4 * ny + 0.01;
+}
+
+std::vector<c::ProfilePoint> synthetic_basis() {
+  std::vector<c::ProfilePoint> basis;
+  for (const auto& [nx, ny] : c::default_basis_domains())
+    basis.push_back({nx, ny, true_cost(nx, ny)});
+  return basis;
+}
+
+}  // namespace
+
+TEST(DefaultBasis, ThirteenDomainsCoveringPaperRanges) {
+  const auto basis = c::default_basis_domains();
+  EXPECT_EQ(basis.size(), 13u);
+  double min_a = 1e9, max_a = 0, min_p = 1e18, max_p = 0;
+  for (const auto& [nx, ny] : basis) {
+    const double a = static_cast<double>(nx) / ny;
+    const double p = static_cast<double>(nx) * ny;
+    min_a = std::min(min_a, a);
+    max_a = std::max(max_a, a);
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_LE(min_a, 0.55);
+  EXPECT_GE(max_a, 1.45);
+  EXPECT_LE(min_p, 94.0 * 124.0 + 1500);
+  EXPECT_GE(max_p, 415.0 * 445.0 - 1);
+}
+
+TEST(DelaunayModel, ExactAtBasisPoints) {
+  const auto basis = synthetic_basis();
+  const auto model = c::DelaunayPerfModel::fit(basis);
+  for (const auto& b : basis)
+    EXPECT_NEAR(model.predict(b.nx, b.ny), b.time, 1e-9 * b.time);
+}
+
+TEST(DelaunayModel, InterpolatesInsideHullBelowSixPercent) {
+  // The paper's §3.1 claim: < 6 % error on test domains with 55 900–94 990
+  // points and aspect 0.5–1.5.
+  const auto model = c::DelaunayPerfModel::fit(synthetic_basis());
+  nestwx::util::Rng rng(101);
+  std::vector<double> errors;
+  for (int k = 0; k < 200; ++k) {
+    const double aspect = rng.uniform(0.55, 1.45);
+    const double points = rng.uniform(55900.0, 94990.0);
+    const int nx = static_cast<int>(std::lround(std::sqrt(points * aspect)));
+    const int ny = static_cast<int>(std::lround(nx / aspect));
+    errors.push_back(nestwx::util::relative_error_pct(
+        model.predict(nx, ny), true_cost(nx, ny)));
+  }
+  EXPECT_LT(nestwx::util::mean(errors), 6.0);
+}
+
+TEST(DelaunayModel, BeatsNaivePointsModel) {
+  const auto basis = synthetic_basis();
+  const auto ours = c::DelaunayPerfModel::fit(basis);
+  const auto naive = c::PointsProportionalModel::fit(basis);
+  nestwx::util::Rng rng(55);
+  double err_ours = 0.0, err_naive = 0.0;
+  int n = 0;
+  for (int k = 0; k < 100; ++k) {
+    const double aspect = rng.uniform(0.55, 1.45);
+    const double points = rng.uniform(30000.0, 100000.0);
+    const int nx = static_cast<int>(std::lround(std::sqrt(points * aspect)));
+    const int ny = static_cast<int>(std::lround(nx / aspect));
+    const double truth = true_cost(nx, ny);
+    err_ours += nestwx::util::relative_error_pct(ours.predict(nx, ny), truth);
+    err_naive +=
+        nestwx::util::relative_error_pct(naive.predict(nx, ny), truth);
+    ++n;
+  }
+  EXPECT_LT(err_ours / n, err_naive / n);
+}
+
+TEST(DelaunayModel, OutOfHullLargerDomainPredictsLargerTime) {
+  // Scaled-down out-of-hull prediction preserves relative ordering
+  // (paper: "captures the relative execution times of larger domains").
+  const auto model = c::DelaunayPerfModel::fit(synthetic_basis());
+  const double t1 = model.predict(586, 643);
+  const double t2 = model.predict(856, 919);
+  const double t3 = model.predict(925, 850);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t1);
+}
+
+TEST(DelaunayModel, OutOfHullScalesRoughlyLinearlyInWork) {
+  const auto model = c::DelaunayPerfModel::fit(synthetic_basis());
+  const double t1 = model.predict(500, 500);
+  const double t2 = model.predict(1000, 1000);  // 4x the points
+  EXPECT_GT(t2 / t1, 2.0);
+  EXPECT_LT(t2 / t1, 8.0);
+}
+
+TEST(DelaunayModel, PredictionsArePositive) {
+  const auto model = c::DelaunayPerfModel::fit(synthetic_basis());
+  nestwx::util::Rng rng(9);
+  for (int k = 0; k < 200; ++k) {
+    const int nx = static_cast<int>(rng.uniform_int(50, 1200));
+    const int ny = static_cast<int>(rng.uniform_int(50, 1200));
+    EXPECT_GT(model.predict(nx, ny), 0.0) << nx << "x" << ny;
+  }
+}
+
+TEST(DelaunayModel, RejectsDegenerateBasis) {
+  std::vector<c::ProfilePoint> line{{100, 100, 1.0}, {200, 200, 2.0},
+                                    {300, 300, 3.0}};  // all aspect 1
+  EXPECT_THROW(c::DelaunayPerfModel::fit(line), PreconditionError);
+  std::vector<c::ProfilePoint> two{{100, 100, 1.0}, {100, 200, 2.0}};
+  EXPECT_THROW(c::DelaunayPerfModel::fit(two), PreconditionError);
+  std::vector<c::ProfilePoint> bad_time{
+      {100, 100, 1.0}, {100, 200, 0.0}, {200, 100, 1.0}};
+  EXPECT_THROW(c::DelaunayPerfModel::fit(bad_time), PreconditionError);
+}
+
+TEST(PointsModel, FitsProportionalDataExactly) {
+  std::vector<c::ProfilePoint> basis{
+      {100, 100, 1.0}, {200, 100, 2.0}, {100, 300, 3.0}};
+  const auto m = c::PointsProportionalModel::fit(basis);
+  EXPECT_NEAR(m.coefficient(), 1e-4, 1e-12);
+  EXPECT_NEAR(m.predict(150, 200), 3.0, 1e-9);
+}
+
+TEST(PointsModel, CannotSeparateAspectRatios) {
+  // nx1·ny1 == nx2·ny2 ⇒ identical predictions (the paper's §3.1
+  // criticism of the naive feature).
+  std::vector<c::ProfilePoint> basis{
+      {100, 100, 1.0}, {200, 100, 2.0}, {100, 300, 3.0}};
+  const auto m = c::PointsProportionalModel::fit(basis);
+  EXPECT_DOUBLE_EQ(m.predict(100, 400), m.predict(400, 100));
+  EXPECT_DOUBLE_EQ(m.predict(200, 200), m.predict(80, 500));
+}
+
+TEST(Ratios, NormalisedAndOrdered) {
+  const auto model = c::DelaunayPerfModel::fit(synthetic_basis());
+  std::vector<c::DomainSpec> sibs(3);
+  sibs[0].nx = 394; sibs[0].ny = 418;
+  sibs[1].nx = 232; sibs[1].ny = 202;
+  sibs[2].nx = 313; sibs[2].ny = 337;
+  const auto r = model.ratios(sibs);
+  ASSERT_EQ(r.size(), 3u);
+  double total = 0.0;
+  for (double x : r) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(r[0], r[2]);
+  EXPECT_GT(r[2], r[1]);
+}
+
+TEST(DomainSpec, DerivedQuantities) {
+  c::DomainSpec d;
+  d.nx = 300;
+  d.ny = 200;
+  d.refinement_ratio = 3;
+  d.parent_anchor_x = 10;
+  d.parent_anchor_y = 20;
+  EXPECT_EQ(d.points(), 60000);
+  EXPECT_DOUBLE_EQ(d.aspect(), 1.5);
+  const auto fp = d.parent_footprint();
+  EXPECT_EQ(fp.x0, 10);
+  EXPECT_EQ(fp.w, 100);
+  EXPECT_EQ(fp.h, 67);  // ceil(200/3)
+}
+
+TEST(RegressionModel, RecoversExactLinearSurface) {
+  // t = 2 + 0.003·nx + 0.004·ny + 1e-5·nx·ny reproduced exactly.
+  auto f = [](int nx, int ny) {
+    return 2.0 + 0.003 * nx + 0.004 * ny + 1e-5 * nx * ny;
+  };
+  std::vector<c::ProfilePoint> basis;
+  for (int nx : {100, 150, 220, 300, 410})
+    for (int ny : {120, 180, 260, 340})
+      basis.push_back({nx, ny, f(nx, ny)});
+  const auto m = c::RegressionModel::fit(basis);
+  EXPECT_NEAR(m.predict(137, 291), f(137, 291), 1e-6);
+  EXPECT_NEAR(m.predict(500, 500), f(500, 500), 1e-5);  // extrapolation
+  EXPECT_NEAR(m.coefficients()[0], 2.0, 1e-6);
+}
+
+TEST(RegressionModel, BetterThanPointsOnlyWorseThanDelaunay) {
+  const auto basis = synthetic_basis();
+  const auto reg = c::RegressionModel::fit(basis);
+  const auto naive = c::PointsProportionalModel::fit(basis);
+  const auto ours = c::DelaunayPerfModel::fit(basis);
+  nestwx::util::Rng rng(77);
+  double err_reg = 0, err_naive = 0, err_ours = 0;
+  const int n = 100;
+  for (int k = 0; k < n; ++k) {
+    const double aspect = rng.uniform(0.55, 1.45);
+    const double points = rng.uniform(30000.0, 100000.0);
+    const int nx = static_cast<int>(std::lround(std::sqrt(points * aspect)));
+    const int ny = static_cast<int>(std::lround(nx / aspect));
+    const double truth = true_cost(nx, ny);
+    err_reg += nestwx::util::relative_error_pct(reg.predict(nx, ny), truth);
+    err_naive +=
+        nestwx::util::relative_error_pct(naive.predict(nx, ny), truth);
+    err_ours +=
+        nestwx::util::relative_error_pct(ours.predict(nx, ny), truth);
+  }
+  EXPECT_LT(err_reg, err_naive);
+  // The synthetic truth is linear in (points, nx, ny), so regression can
+  // tie or beat interpolation here; both must be far below the naive.
+  EXPECT_LT(err_ours, 0.5 * err_naive);
+  EXPECT_LT(err_reg, 0.5 * err_naive);
+}
+
+TEST(RegressionModel, RejectsDegenerateInputs) {
+  std::vector<c::ProfilePoint> three{
+      {100, 100, 1.0}, {100, 200, 2.0}, {200, 100, 2.1}};
+  EXPECT_THROW(c::RegressionModel::fit(three), PreconditionError);
+  // All identical rows -> singular system.
+  std::vector<c::ProfilePoint> same(5, c::ProfilePoint{100, 100, 1.0});
+  EXPECT_THROW(c::RegressionModel::fit(same), PreconditionError);
+}
+
+TEST(RegressionModel, PredictionsClampedPositive) {
+  // Strongly decreasing fit could go negative when extrapolating down.
+  std::vector<c::ProfilePoint> basis{{100, 100, 10.0},
+                                     {200, 100, 5.0},
+                                     {100, 200, 5.0},
+                                     {200, 200, 1.0},
+                                     {150, 150, 5.0}};
+  const auto m = c::RegressionModel::fit(basis);
+  EXPECT_GT(m.predict(400, 400), 0.0);
+}

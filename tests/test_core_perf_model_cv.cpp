@@ -1,0 +1,71 @@
+#include "core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+
+namespace {
+std::vector<c::ProfilePoint> simulated_basis() {
+  static const auto basis = nestwx::wrfsim::profile_basis(
+      nestwx::workload::bluegene_l(512), c::default_basis_domains());
+  return basis;
+}
+}  // namespace
+
+TEST(LeaveOneOut, OneErrorPerBasisPoint) {
+  const auto basis = simulated_basis();
+  const auto errors = c::leave_one_out_errors(basis);
+  EXPECT_EQ(errors.size(), basis.size());
+}
+
+TEST(LeaveOneOut, InteriorPointsPredictWell) {
+  // Holding out an interior basis point must still predict it to within
+  // a few percent (it lies inside the remaining points' hull).
+  const auto basis = simulated_basis();
+  const auto errors = c::leave_one_out_errors(basis);
+  int interior_folds = 0;
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    if (errors[i] < 0.0) continue;  // degenerate fold
+    // Mid-size square-ish domains are interior in feature space.
+    const double aspect = basis[i].aspect();
+    const double pts = basis[i].points();
+    if (aspect > 0.8 && aspect < 1.2 && pts > 3e4 && pts < 1.2e5) {
+      EXPECT_LT(errors[i], 8.0) << basis[i].nx << "x" << basis[i].ny;
+      ++interior_folds;
+    }
+  }
+  EXPECT_GE(interior_folds, 2);
+}
+
+TEST(LeaveOneOut, AllFoldsFiniteOrFlaggedDegenerate) {
+  const auto errors = c::leave_one_out_errors(simulated_basis());
+  for (double e : errors) {
+    EXPECT_TRUE(e >= 0.0 || e == -1.0);
+    if (e >= 0.0) EXPECT_LT(e, 100.0);
+  }
+}
+
+TEST(LeaveOneOut, RejectsTinyBasis) {
+  std::vector<c::ProfilePoint> three{
+      {100, 100, 1.0}, {100, 200, 2.0}, {200, 100, 2.1}};
+  EXPECT_THROW(c::leave_one_out_errors(three),
+               nestwx::util::PreconditionError);
+}
+
+TEST(LeaveOneOut, FlagsDegenerateFoldInsteadOfThrowing) {
+  // Four points, three of which are collinear in feature space: dropping
+  // the off-line point leaves a degenerate basis -> flagged with -1.
+  std::vector<c::ProfilePoint> pts{
+      {100, 100, 1.0},  // aspect 1
+      {141, 141, 1.9},  // aspect 1
+      {200, 200, 3.7},  // aspect 1 (collinear in aspect)
+      {120, 260, 2.9},  // the only off-line point
+  };
+  const auto errors = c::leave_one_out_errors(pts);
+  ASSERT_EQ(errors.size(), 4u);
+  EXPECT_EQ(errors[3], -1.0);
+}

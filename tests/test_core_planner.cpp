@@ -1,0 +1,144 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+using nestwx::util::PreconditionError;
+
+namespace {
+c::DelaunayPerfModel fitted_model(const nestwx::topo::MachineParams& m) {
+  return c::DelaunayPerfModel::fit(
+      nestwx::wrfsim::profile_basis(m, c::default_basis_domains()));
+}
+}  // namespace
+
+TEST(Planner, SequentialPlanHasMappingNoPartition) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::fig15_config(), model,
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::xyzt);
+  EXPECT_FALSE(plan.partition.has_value());
+  ASSERT_TRUE(plan.mapping.has_value());
+  EXPECT_EQ(plan.mapping->nranks(), 256);
+  EXPECT_EQ(plan.parent_grid.size(), 256);
+}
+
+TEST(Planner, ConcurrentPlanTilesGrid) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::concurrent);
+  ASSERT_TRUE(plan.partition.has_value());
+  EXPECT_TRUE(plan.partition->is_exact_tiling());
+  EXPECT_EQ(plan.partition->rects.size(), 4u);
+  EXPECT_EQ(plan.weights.size(), 4u);
+}
+
+TEST(Planner, WeightsReflectDomainSizes) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::concurrent);
+  // Sibling 0 (394x418) is the largest; it must get the top weight.
+  for (std::size_t i = 1; i < plan.weights.size(); ++i)
+    EXPECT_GT(plan.weights[0], plan.weights[i]);
+}
+
+TEST(Planner, NaiveStripsUsePointCounts) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::naive_strips);
+  ASSERT_TRUE(plan.partition.has_value());
+  EXPECT_TRUE(plan.partition->is_exact_tiling());
+  const auto& cfg = w::table2_config();
+  for (std::size_t i = 0; i < plan.weights.size(); ++i)
+    EXPECT_DOUBLE_EQ(plan.weights[i],
+                     static_cast<double>(cfg.siblings[i].points()));
+  // Strips span the full grid height.
+  for (const auto& r : plan.partition->rects)
+    EXPECT_EQ(r.h, plan.parent_grid.py());
+}
+
+TEST(Planner, EqualAllocatorGivesEqualWeights) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::equal);
+  for (double wgt : plan.weights) EXPECT_DOUBLE_EQ(wgt, 0.25);
+}
+
+TEST(Planner, AwareSchemeBuildsPartitionEvenWhenSequential) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel);
+  EXPECT_TRUE(plan.partition.has_value());
+  EXPECT_TRUE(plan.mapping.has_value());
+}
+
+TEST(Planner, RejectsEmptyConfig) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  nestwx::core::NestedConfig empty;
+  empty.parent = w::pacific_parent();
+  EXPECT_THROW(c::plan_execution(machine, empty, model,
+                                 c::Strategy::concurrent),
+               PreconditionError);
+}
+
+TEST(Planner, SingleShotWeightsMatchModelRatios) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = fitted_model(machine);
+  const auto plan = c::plan_execution(machine, w::table2_config(), model,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman_single);
+  const auto ratios = model.ratios(w::table2_config().siblings);
+  ASSERT_EQ(plan.weights.size(), ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i)
+    EXPECT_DOUBLE_EQ(plan.weights[i], ratios[i]);
+}
+
+TEST(Planner, RefinementImprovesBlockBalanceAtScale) {
+  // At 4096 cores the ghost-ring overhead on tiny tiles skews the
+  // single-shot allocation; the refined allocator must not be worse.
+  const auto machine = w::bluegene_p(4096);
+  const auto model = c::DelaunayPerfModel::fit(
+      nestwx::wrfsim::profile_basis(machine, c::default_basis_domains()));
+  const auto cfg = w::make_config("refine", w::pacific_parent(),
+                                  {{110, 130}, {400, 440}, {200, 300}});
+  auto spread = [&](c::Allocator al) {
+    const auto plan = c::plan_execution(machine, cfg, model,
+                                        c::Strategy::concurrent, al);
+    const auto res = nestwx::wrfsim::simulate_run(machine, cfg, plan);
+    double mn = 1e300, mx = 0.0;
+    for (double b : res.sibling_blocks) {
+      mn = std::min(mn, b);
+      mx = std::max(mx, b);
+    }
+    return mx / mn;
+  };
+  EXPECT_LE(spread(c::Allocator::huffman),
+            spread(c::Allocator::huffman_single) * 1.05);
+}
+
+TEST(Planner, StrategyAndAllocatorNames) {
+  EXPECT_EQ(c::to_string(c::Strategy::sequential), "sequential");
+  EXPECT_EQ(c::to_string(c::Strategy::concurrent), "concurrent");
+  EXPECT_EQ(c::to_string(c::Allocator::huffman), "huffman");
+  EXPECT_EQ(c::to_string(c::Allocator::huffman_single), "huffman-single");
+  EXPECT_EQ(c::to_string(c::Allocator::naive_strips), "naive-strips");
+  EXPECT_EQ(c::to_string(c::Allocator::equal), "equal");
+}

@@ -1,0 +1,154 @@
+#include "geom/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace g = nestwx::geom;
+using nestwx::util::PreconditionError;
+
+TEST(Delaunay, SingleTriangle) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto d = g::Delaunay::build(pts);
+  ASSERT_EQ(d.triangles().size(), 1u);
+  EXPECT_EQ(d.delaunay_violations(), 0);
+}
+
+TEST(Delaunay, SquareYieldsTwoTriangles) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto d = g::Delaunay::build(pts);
+  EXPECT_EQ(d.triangles().size(), 2u);
+  EXPECT_EQ(d.delaunay_violations(), 0);
+}
+
+TEST(Delaunay, RejectsDegenerateInputs) {
+  EXPECT_THROW(g::Delaunay::build(std::vector<g::Vec2>{{0, 0}, {1, 1}}),
+               PreconditionError);
+  EXPECT_THROW(g::Delaunay::build(
+                   std::vector<g::Vec2>{{0, 0}, {1, 1}, {2, 2}, {3, 3}}),
+               PreconditionError);
+  EXPECT_THROW(g::Delaunay::build(
+                   std::vector<g::Vec2>{{0, 0}, {0, 0}, {1, 1}, {0, 1}}),
+               PreconditionError);
+}
+
+TEST(Delaunay, EulerRelationForTriangulation) {
+  // For a Delaunay triangulation of n points with h hull points:
+  // triangles = 2n − h − 2.
+  nestwx::util::Rng rng(7);
+  std::vector<g::Vec2> pts;
+  for (int i = 0; i < 40; ++i)
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  const auto d = g::Delaunay::build(pts);
+  const auto n = static_cast<int>(pts.size());
+  const auto h = static_cast<int>(d.hull().size());
+  EXPECT_EQ(static_cast<int>(d.triangles().size()), 2 * n - h - 2);
+}
+
+TEST(Delaunay, EmptyCircumcirclePropertyOnRandomSets) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    nestwx::util::Rng rng(seed);
+    std::vector<g::Vec2> pts;
+    for (int i = 0; i < 60; ++i)
+      pts.push_back({rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    const auto d = g::Delaunay::build(pts);
+    EXPECT_EQ(d.delaunay_violations(1e-9), 0) << "seed " << seed;
+  }
+}
+
+TEST(Delaunay, AdjacencyIsSymmetric) {
+  nestwx::util::Rng rng(11);
+  std::vector<g::Vec2> pts;
+  for (int i = 0; i < 30; ++i)
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+  const auto d = g::Delaunay::build(pts);
+  for (int t = 0; t < static_cast<int>(d.triangles().size()); ++t) {
+    for (int e = 0; e < 3; ++e) {
+      const int n = d.triangles()[t].nbr[e];
+      if (n < 0) continue;
+      bool back = false;
+      for (int f = 0; f < 3; ++f)
+        if (d.triangles()[n].nbr[f] == t) back = true;
+      EXPECT_TRUE(back) << "triangle " << t << " edge " << e;
+    }
+  }
+}
+
+TEST(Delaunay, LocateFindsContainingTriangle) {
+  nestwx::util::Rng rng(13);
+  std::vector<g::Vec2> pts;
+  for (int i = 0; i < 50; ++i)
+    pts.push_back({rng.uniform(0, 4), rng.uniform(0, 4)});
+  const auto d = g::Delaunay::build(pts);
+  for (int q = 0; q < 200; ++q) {
+    const g::Vec2 p{rng.uniform(0.5, 3.5), rng.uniform(0.5, 3.5)};
+    const int tri = d.locate(p);
+    if (tri < 0) continue;  // outside hull is allowed
+    const auto& t = d.triangles()[tri];
+    for (int e = 0; e < 3; ++e) {
+      EXPECT_GE(g::orient2d(d.points()[t.v[e]], d.points()[t.v[(e + 1) % 3]],
+                            p),
+                -1e-9);
+    }
+  }
+}
+
+TEST(Delaunay, LocateOutsideHullReturnsMinusOne) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto d = g::Delaunay::build(pts);
+  EXPECT_EQ(d.locate({5, 5}), -1);
+  EXPECT_EQ(d.locate({-1, -1}), -1);
+}
+
+TEST(Barycentric, SumsToOneAndReproducesVertices) {
+  const std::vector<g::Vec2> pts{{0, 0}, {2, 0}, {0, 2}};
+  const auto d = g::Delaunay::build(pts);
+  const auto b = d.barycentric(0, {0.5, 0.5});
+  EXPECT_NEAR(b.lambda[0] + b.lambda[1] + b.lambda[2], 1.0, 1e-12);
+  // At a vertex, the weight is 1 on that vertex.
+  const auto bv = d.barycentric(0, d.points()[d.triangles()[0].v[1]]);
+  EXPECT_NEAR(bv.lambda[1], 1.0, 1e-12);
+}
+
+TEST(Interpolate, ExactForLinearFunctions) {
+  // Interpolation of a linear field is exact everywhere inside the hull.
+  nestwx::util::Rng rng(17);
+  std::vector<g::Vec2> pts;
+  for (int i = 0; i < 25; ++i)
+    pts.push_back({rng.uniform(0, 2), rng.uniform(0, 2)});
+  const auto d = g::Delaunay::build(pts);
+  auto f = [](g::Vec2 p) { return 3.0 * p.x - 2.0 * p.y + 0.5; };
+  std::vector<double> values;
+  for (const auto& p : d.points()) values.push_back(f(p));
+  for (int q = 0; q < 100; ++q) {
+    const g::Vec2 p{rng.uniform(0.2, 1.8), rng.uniform(0.2, 1.8)};
+    const auto v = d.interpolate(p, values);
+    if (!v) continue;
+    EXPECT_NEAR(*v, f(p), 1e-9);
+  }
+}
+
+TEST(Interpolate, NulloptOutsideHull) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto d = g::Delaunay::build(pts);
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_FALSE(d.interpolate({5, 5}, values).has_value());
+}
+
+TEST(Interpolate, RejectsWrongValueCount) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {0, 1}};
+  const auto d = g::Delaunay::build(pts);
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_THROW((void)d.interpolate({0.2, 0.2}, values), PreconditionError);
+}
+
+TEST(Incircle, SignConvention) {
+  // d inside the circumcircle of CCW (a,b,c) gives positive incircle.
+  const g::Vec2 a{0, 0}, b{2, 0}, c{0, 2};
+  EXPECT_GT(g::incircle(a, b, c, {0.5, 0.5}), 0.0);
+  EXPECT_LT(g::incircle(a, b, c, {5, 5}), 0.0);
+}

@@ -1,0 +1,107 @@
+#include "geom/convex_hull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace g = nestwx::geom;
+
+TEST(ConvexHull, Square) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = g::convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  // Interior point must not be on the hull.
+  for (int idx : hull) EXPECT_NE(idx, 4);
+}
+
+TEST(ConvexHull, CounterClockwiseOrientation) {
+  const std::vector<g::Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const auto hull = g::convex_hull(pts);
+  ASSERT_EQ(hull.size(), 4u);
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const g::Vec2 a = pts[hull[i]];
+    const g::Vec2 b = pts[hull[(i + 1) % hull.size()]];
+    area2 += g::cross(a, b);
+  }
+  EXPECT_GT(area2, 0.0);  // CCW polygons have positive signed area
+}
+
+TEST(ConvexHull, CollinearPointsYieldSegmentEndpoints) {
+  const std::vector<g::Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = g::convex_hull(pts);
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHull, DuplicatesCollapsed) {
+  const std::vector<g::Vec2> pts{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}};
+  const auto hull = g::convex_hull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, SinglePoint) {
+  const std::vector<g::Vec2> pts{{3, 4}};
+  EXPECT_EQ(g::convex_hull(pts).size(), 1u);
+}
+
+TEST(ConvexHull, EmptyThrows) {
+  EXPECT_THROW(g::convex_hull({}), nestwx::util::PreconditionError);
+}
+
+TEST(ConvexHull, RandomPointsAllInsideHull) {
+  nestwx::util::Rng rng(2024);
+  std::vector<g::Vec2> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  const auto hull_idx = g::convex_hull(pts);
+  std::vector<g::Vec2> hull;
+  for (int i : hull_idx) hull.push_back(pts[i]);
+  for (const auto& p : pts)
+    EXPECT_TRUE(g::point_in_convex_polygon(hull, p, 1e-9));
+}
+
+TEST(PointInPolygon, InsideOutsideBoundary) {
+  const std::vector<g::Vec2> tri{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_TRUE(g::point_in_convex_polygon(tri, {1, 1}));
+  EXPECT_TRUE(g::point_in_convex_polygon(tri, {0, 0}));       // vertex
+  EXPECT_TRUE(g::point_in_convex_polygon(tri, {2, 0}));       // edge
+  EXPECT_FALSE(g::point_in_convex_polygon(tri, {3, 3}));
+  EXPECT_FALSE(g::point_in_convex_polygon(tri, {-0.1, 0.0}));
+}
+
+TEST(Centroid, MeanOfPoints) {
+  const std::vector<g::Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const auto c = g::centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+TEST(ScaleIntoHull, AlreadyInsideIsUnchanged) {
+  const std::vector<g::Vec2> tri{{0, 0}, {4, 0}, {0, 4}};
+  const g::Vec2 p{1, 1};
+  const auto q = g::scale_into_hull(tri, p, {1, 1});
+  EXPECT_DOUBLE_EQ(q.x, 1.0);
+  EXPECT_DOUBLE_EQ(q.y, 1.0);
+}
+
+TEST(ScaleIntoHull, OutsidePointPulledIn) {
+  const std::vector<g::Vec2> tri{{0, 0}, {4, 0}, {0, 4}};
+  const g::Vec2 anchor{1, 1};
+  const auto q = g::scale_into_hull(tri, {10, 10}, anchor);
+  EXPECT_TRUE(g::point_in_convex_polygon(tri, q, 1e-9));
+  // The pulled-in point stays on the segment anchor→p.
+  const double cross = (q.x - anchor.x) * (10 - anchor.y) -
+                       (q.y - anchor.y) * (10 - anchor.x);
+  EXPECT_NEAR(cross, 0.0, 1e-9);
+}
+
+TEST(ScaleIntoHull, RejectsBadFactor) {
+  const std::vector<g::Vec2> tri{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_THROW(g::scale_into_hull(tri, {5, 5}, {1, 1}, 1.5),
+               nestwx::util::PreconditionError);
+  EXPECT_THROW(g::scale_into_hull(tri, {5, 5}, {1, 1}, 0.0),
+               nestwx::util::PreconditionError);
+}

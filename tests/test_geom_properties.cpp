@@ -1,0 +1,141 @@
+/// Property-based sweeps of the geometry kernels: for many random point
+/// sets, the Delaunay triangulation must satisfy its defining invariants
+/// and interpolation must behave like a partition of unity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "geom/convex_hull.hpp"
+#include "geom/delaunay.hpp"
+#include "util/rng.hpp"
+
+namespace g = nestwx::geom;
+
+struct GeomCase {
+  std::uint64_t seed;
+  int n;
+  double scale;  // coordinate magnitude, stresses robustness
+};
+
+class DelaunayProperty : public ::testing::TestWithParam<GeomCase> {
+ protected:
+  std::vector<g::Vec2> make_points() const {
+    const auto [seed, n, scale] = GetParam();
+    nestwx::util::Rng rng(seed);
+    std::vector<g::Vec2> pts;
+    pts.reserve(n);
+    for (int i = 0; i < n; ++i)
+      pts.push_back({rng.uniform(-scale, scale), rng.uniform(-scale, scale)});
+    return pts;
+  }
+};
+
+TEST_P(DelaunayProperty, EmptyCircumcircles) {
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  EXPECT_EQ(d.delaunay_violations(1e-7 * GetParam().scale), 0);
+}
+
+TEST_P(DelaunayProperty, TriangleCountMatchesEuler) {
+  // T = 2n − b − 2, with b the number of *boundary* vertices of the
+  // triangulation (edges with no neighbour). Note b can exceed the strict
+  // convex hull count when hull points are nearly collinear.
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  std::set<int> boundary;
+  for (const auto& t : d.triangles())
+    for (int e = 0; e < 3; ++e)
+      if (t.nbr[e] < 0) {
+        boundary.insert(t.v[(e + 1) % 3]);
+        boundary.insert(t.v[(e + 2) % 3]);
+      }
+  const int n = static_cast<int>(pts.size());
+  const int b = static_cast<int>(boundary.size());
+  EXPECT_EQ(static_cast<int>(d.triangles().size()), 2 * n - b - 2);
+  EXPECT_LE(d.hull().size(), boundary.size());
+}
+
+TEST_P(DelaunayProperty, AllTrianglesPositivelyOriented) {
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  for (const auto& t : d.triangles()) {
+    EXPECT_GT(g::orient2d(d.points()[t.v[0]], d.points()[t.v[1]],
+                          d.points()[t.v[2]]),
+              0.0);
+  }
+}
+
+TEST_P(DelaunayProperty, EveryInputPointIsLocatedInATriangleContainingIt) {
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  for (const auto& p : pts) {
+    const int tri = d.locate(p);
+    ASSERT_GE(tri, 0);
+    const auto b = d.barycentric(tri, p);
+    for (double l : b.lambda) EXPECT_GT(l, -1e-7);
+  }
+}
+
+TEST_P(DelaunayProperty, InterpolationIsPartitionOfUnity) {
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  const std::vector<double> ones(pts.size(), 1.0);
+  nestwx::util::Rng rng(GetParam().seed ^ 0xABCD);
+  const double s = GetParam().scale;
+  for (int k = 0; k < 50; ++k) {
+    const g::Vec2 q{rng.uniform(-s, s), rng.uniform(-s, s)};
+    const auto v = d.interpolate(q, ones);
+    if (v) EXPECT_NEAR(*v, 1.0, 1e-9);
+  }
+}
+
+TEST_P(DelaunayProperty, HullVerticesMatchStandaloneHull) {
+  const auto pts = make_points();
+  const auto d = g::Delaunay::build(pts);
+  const auto hull = g::convex_hull(pts);
+  EXPECT_EQ(d.hull().size(), hull.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DelaunayProperty,
+    ::testing::Values(GeomCase{1, 10, 1.0}, GeomCase{2, 25, 1.0},
+                      GeomCase{3, 50, 100.0}, GeomCase{4, 100, 1e-3},
+                      GeomCase{5, 200, 1e6}, GeomCase{6, 13, 1.0},
+                      GeomCase{7, 4, 10.0}, GeomCase{8, 500, 1.0}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(DelaunayGrid, RegularGridTriangulates) {
+  // Co-circular points (grid squares) are the classic degenerate case.
+  std::vector<g::Vec2> pts;
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i)
+      pts.push_back({static_cast<double>(i), static_cast<double>(j)});
+  const auto d = g::Delaunay::build(pts);
+  // 36 points, 20 hull points -> 2*36 - 20 - 2 = 50 triangles.
+  EXPECT_EQ(d.triangles().size(), 50u);
+  EXPECT_EQ(d.delaunay_violations(1e-9), 0);
+}
+
+TEST(DelaunayCluster, NearCoincidentClustersSurvive) {
+  nestwx::util::Rng rng(99);
+  std::vector<g::Vec2> pts;
+  for (int c = 0; c < 5; ++c) {
+    const g::Vec2 center{rng.uniform(0, 10), rng.uniform(0, 10)};
+    for (int k = 0; k < 8; ++k)
+      pts.push_back({center.x + rng.uniform(-1e-4, 1e-4),
+                     center.y + rng.uniform(-1e-4, 1e-4)});
+  }
+  const auto d = g::Delaunay::build(pts);
+  EXPECT_GT(d.triangles().size(), 0u);
+  for (const auto& t : d.triangles()) {
+    EXPECT_GT(g::orient2d(d.points()[t.v[0]], d.points()[t.v[1]],
+                          d.points()[t.v[2]]),
+              0.0);
+  }
+}

@@ -1,0 +1,150 @@
+/// End-to-end integration tests: the full pipeline the paper describes —
+/// profile → fit the prediction model → allocate processors → map to the
+/// torus → simulate both strategies — plus the numerics pipeline coupling
+/// real nested shallow-water domains.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/planner.hpp"
+#include "nest/simulation.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/stats.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+
+TEST(Integration, FullPipelineOnBglRack) {
+  const auto machine = w::bluegene_l(1024);
+  // 1. Profile the 13 basis domains and fit the prediction model.
+  const auto basis =
+      ws::profile_basis(machine, c::default_basis_domains());
+  const auto model = c::DelaunayPerfModel::fit(basis);
+  // 2. Prediction sanity: interpolation reproduces the basis.
+  for (const auto& b : basis)
+    EXPECT_NEAR(model.predict(b.nx, b.ny), b.time, 1e-6 * b.time);
+  // 3. Plan + simulate the Table-2 configuration.
+  const auto cmp =
+      ws::compare_strategies(machine, w::table2_config(), model);
+  const double gain = nestwx::util::improvement_pct(
+      cmp.sequential.integration, cmp.concurrent_oblivious.integration);
+  EXPECT_GT(gain, 5.0);
+  EXPECT_LT(gain, 60.0);
+  const double aware_gain = nestwx::util::improvement_pct(
+      cmp.sequential.integration, cmp.concurrent_aware.integration);
+  EXPECT_GE(aware_gain, gain - 0.5);
+}
+
+TEST(Integration, PredictionErrorUnderSixPercentOnSimulator) {
+  // The paper's §3.1 validation, run against the simulator itself:
+  // predict sibling sub-step times of unseen domains and compare with the
+  // simulator's direct measurement on the same processor count.
+  const auto machine = w::bluegene_l(512);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  nestwx::util::Rng rng(65);
+  std::vector<double> errors;
+  for (int k = 0; k < 30; ++k) {
+    const double aspect = rng.uniform(0.55, 1.45);
+    const double points = rng.uniform(55900.0, 94990.0);
+    const int nx = static_cast<int>(std::lround(std::sqrt(points * aspect)));
+    const int ny = static_cast<int>(std::lround(nx / aspect));
+    const auto truth = ws::profile_basis(machine, {{nx, ny}})[0].time;
+    errors.push_back(
+        nestwx::util::relative_error_pct(model.predict(nx, ny), truth));
+  }
+  EXPECT_LT(nestwx::util::mean(errors), 6.0);
+}
+
+TEST(Integration, HuffmanAllocationBeatsNaiveStrips) {
+  // §4.6: prediction-driven Huffman allocation outperforms naive
+  // point-proportional strips.
+  const auto machine = w::bluegene_l(1024);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  const auto cfg = w::table2_config();
+  const auto huff = ws::simulate_run(
+      machine, cfg,
+      c::plan_execution(machine, cfg, model, c::Strategy::concurrent,
+                        c::Allocator::huffman, c::MapScheme::txyz));
+  const auto naive = ws::simulate_run(
+      machine, cfg,
+      c::plan_execution(machine, cfg, model, c::Strategy::concurrent,
+                        c::Allocator::naive_strips, c::MapScheme::txyz));
+  EXPECT_LT(huff.integration, naive.integration);
+}
+
+TEST(Integration, ImprovementGrowsWithSiblingCount) {
+  // §4.3.4: more siblings -> more to gain from concurrency.
+  const auto machine = w::bluegene_l(1024);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  nestwx::util::Rng rng(12);
+  auto avg_gain = [&](int siblings) {
+    const auto configs = w::random_configs(rng, 6, siblings, siblings);
+    double total = 0.0;
+    for (const auto& cfg : configs) {
+      const auto cmp = ws::compare_strategies(machine, cfg, model);
+      total += nestwx::util::improvement_pct(
+          cmp.sequential.integration, cmp.concurrent_oblivious.integration);
+    }
+    return total / 6.0;
+  };
+  EXPECT_GT(avg_gain(4), avg_gain(2));
+}
+
+TEST(Integration, NumericsAndTimingPipelinesAgreeOnConfiguration) {
+  // Run the real nested shallow-water numerics for a scaled-down version
+  // of a two-sibling scenario while the timing driver schedules the same
+  // logical configuration; both must stay healthy.
+  nestwx::swm::GridSpec g;
+  g.nx = g.ny = 64;
+  g.dx = g.dy = 24e3;
+  const double f = 7e-5;
+  auto parent = nestwx::swm::depression(g, f, 0.3, 0.35, 800.0, 20.0, 150e3);
+  nestwx::swm::add_depression(parent, f, 0.7, 0.65, 25.0, 120e3);
+  nestwx::swm::ModelParams p;
+  p.coriolis = f;
+  p.viscosity = 500.0;
+  p.boundary = nestwx::swm::BoundaryKind::wall;
+  nestwx::nest::NestSpec n1{"west", 10, 12, 18, 18, 3};
+  nestwx::nest::NestSpec n2{"east", 36, 32, 18, 18, 3};
+  nestwx::nest::NestedSimulation sim(std::move(parent), p, {n1, n2});
+  const double dt = sim.stable_dt(0.4);
+  sim.run(dt, 30);
+  EXPECT_TRUE(nestwx::swm::all_finite(sim.parent()));
+  EXPECT_TRUE(nestwx::swm::all_finite(sim.sibling(0).state()));
+  EXPECT_TRUE(nestwx::swm::all_finite(sim.sibling(1).state()));
+
+  const auto machine = w::bluegene_l(256);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  const auto cfg = w::make_config(
+      "twin-depressions", w::pacific_parent(), {{162, 162}, {162, 162}});
+  const auto cmp = ws::compare_strategies(machine, cfg, model);
+  EXPECT_GT(cmp.sequential.integration, 0.0);
+  EXPECT_LE(cmp.concurrent_oblivious.integration,
+            cmp.sequential.integration);
+}
+
+TEST(Integration, WaitImprovementWithinPaperBallpark) {
+  // Table 1 reports 27–38 % average MPI_Wait improvement across machines.
+  const auto machine = w::bluegene_l(1024);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  nestwx::util::Rng rng(3);
+  const auto configs = w::random_configs(rng, 8);
+  std::vector<double> gains;
+  for (const auto& cfg : configs) {
+    const auto cmp = ws::compare_strategies(machine, cfg, model);
+    gains.push_back(nestwx::util::improvement_pct(
+        cmp.sequential.avg_wait, cmp.concurrent_aware.avg_wait));
+  }
+  EXPECT_GT(nestwx::util::mean(gains), 10.0);
+}

@@ -1,0 +1,109 @@
+#include "iosim/io_model.hpp"
+#include "iosim/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "swm/init.hpp"
+#include "util/error.hpp"
+#include "workload/machines.hpp"
+
+namespace io = nestwx::iosim;
+using nestwx::util::PreconditionError;
+
+namespace {
+nestwx::topo::MachineParams bgp() {
+  return nestwx::workload::bluegene_p(512);
+}
+}  // namespace
+
+TEST(IoModel, CollectiveTimeGrowsWithWriters) {
+  const io::IoModel model(bgp());
+  const double bytes = 100e6;
+  const double t512 =
+      model.write_time(bytes, 512, io::IoMode::pnetcdf_collective);
+  const double t2048 =
+      model.write_time(bytes, 2048, io::IoMode::pnetcdf_collective);
+  const double t8192 =
+      model.write_time(bytes, 8192, io::IoMode::pnetcdf_collective);
+  EXPECT_LT(t512, t2048);
+  EXPECT_LT(t2048, t8192);  // the paper's Fig. 13b trend
+}
+
+TEST(IoModel, FewerWritersBeatTheFullSet) {
+  // The concurrent strategy's I/O benefit: a sibling file written by its
+  // partition only is cheaper than one written by every rank.
+  const io::IoModel model(bgp());
+  const double bytes = 200e6;
+  EXPECT_LT(model.write_time(bytes, 432, io::IoMode::pnetcdf_collective),
+            model.write_time(bytes, 4096, io::IoMode::pnetcdf_collective));
+}
+
+TEST(IoModel, StreamingTermScalesWithBytes) {
+  const io::IoModel model(bgp());
+  const double t1 =
+      model.write_time(100e6, 64, io::IoMode::pnetcdf_collective);
+  const double t2 =
+      model.write_time(200e6, 64, io::IoMode::pnetcdf_collective);
+  const double stream = 100e6 / bgp().io_stream_bandwidth;
+  EXPECT_NEAR(t2 - t1, stream, 1e-9);
+}
+
+TEST(IoModel, SplitFilesScaleMildlyWithWriters) {
+  const io::IoModel model(bgp());
+  const double bytes = 100e6;
+  const double t64 = model.write_time(bytes, 64, io::IoMode::split_files);
+  const double t4096 =
+      model.write_time(bytes, 4096, io::IoMode::split_files);
+  EXPECT_LT(t4096 / t64, 3.5);  // much flatter than collective
+  const double c64 =
+      model.write_time(bytes, 64, io::IoMode::pnetcdf_collective);
+  const double c4096 =
+      model.write_time(bytes, 4096, io::IoMode::pnetcdf_collective);
+  EXPECT_GT(c4096 / c64, t4096 / t64);
+}
+
+TEST(IoModel, RejectsBadArguments) {
+  const io::IoModel model(bgp());
+  EXPECT_THROW(model.write_time(-1.0, 4, io::IoMode::split_files),
+               PreconditionError);
+  EXPECT_THROW(model.write_time(1.0, 0, io::IoMode::split_files),
+               PreconditionError);
+}
+
+TEST(IoModel, FrameBytesFormula) {
+  EXPECT_DOUBLE_EQ(io::IoModel::frame_bytes(100, 50, 35, 10),
+                   100.0 * 50 * 35 * 10 * 4);
+  EXPECT_THROW(io::IoModel::frame_bytes(0, 50, 35), PreconditionError);
+}
+
+TEST(Writer, FieldCsvRoundTrip) {
+  nestwx::swm::Field2D f(3, 2, 1);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 3; ++i) f(i, j) = i + 10 * j;
+  const std::string path = ::testing::TempDir() + "nestwx_field.csv";
+  io::write_field_csv(f, path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "10,11,12");
+  std::filesystem::remove(path);
+}
+
+TEST(Writer, StateFrameWritesFourFields) {
+  nestwx::swm::GridSpec g;
+  g.nx = 8;
+  g.ny = 8;
+  auto state = nestwx::swm::lake_at_rest(g, 10.0);
+  const std::string dir = ::testing::TempDir() + "nestwx_frames";
+  EXPECT_EQ(io::write_state_frame(state, dir, "test", 3), 4);
+  for (const char* field : {"h", "u", "v", "eta"}) {
+    const auto p = dir + "/test_" + field + "_3.csv";
+    EXPECT_TRUE(std::filesystem::exists(p)) << p;
+  }
+  std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,112 @@
+#include "iosim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "swm/dynamics.hpp"
+#include "swm/init.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace io = nestwx::iosim;
+namespace s = nestwx::swm;
+using nestwx::util::PreconditionError;
+
+namespace {
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+s::State busy_state() {
+  s::GridSpec g;
+  g.nx = 40;
+  g.ny = 32;
+  g.dx = 3e3;
+  g.dy = 4e3;
+  auto st = s::depression(g, 1e-4, 0.4, 0.6, 500.0, 12.0, 40e3);
+  nestwx::util::Rng rng(3);
+  s::perturb(st, rng, 0.1);
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  return st;
+}
+}  // namespace
+
+TEST(Checkpoint, RoundTripIsBitExact) {
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_ckpt.bin");
+  io::save_checkpoint(st, path);
+  const auto back = io::load_checkpoint(path);
+  EXPECT_EQ(back.grid.nx, st.grid.nx);
+  EXPECT_EQ(back.grid.ny, st.grid.ny);
+  EXPECT_EQ(back.grid.halo, st.grid.halo);
+  EXPECT_DOUBLE_EQ(back.grid.dx, st.grid.dx);
+  for (int j = -st.grid.halo; j < st.grid.ny + st.grid.halo; ++j)
+    for (int i = -st.grid.halo; i < st.grid.nx + st.grid.halo; ++i) {
+      EXPECT_EQ(back.h(i, j), st.h(i, j));
+      EXPECT_EQ(back.b(i, j), st.b(i, j));
+    }
+  for (int j = 0; j < st.grid.ny; ++j)
+    for (int i = 0; i <= st.grid.nx; ++i)
+      EXPECT_EQ(back.u(i, j), st.u(i, j));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestartContinuesBitIdentically) {
+  // Run 10 steps; checkpoint; run 10 more. Restarting from the
+  // checkpoint and running the same 10 steps must match exactly.
+  auto st = busy_state();
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(st.grid, p);
+  stepper.run(st, 8.0, 10);
+  const auto path = tmp_path("nestwx_restart.bin");
+  io::save_checkpoint(st, path);
+  stepper.run(st, 8.0, 10);
+
+  auto resumed = io::load_checkpoint(path);
+  s::Stepper stepper2(resumed.grid, p);
+  stepper2.run(resumed, 8.0, 10);
+  for (int j = 0; j < st.grid.ny; ++j)
+    for (int i = 0; i < st.grid.nx; ++i)
+      EXPECT_EQ(resumed.h(i, j), st.h(i, j)) << i << "," << j;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(io::load_checkpoint("/no/such/ckpt.bin"),
+               PreconditionError);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const auto path = tmp_path("nestwx_garbage.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a checkpoint at all";
+  }
+  EXPECT_THROW(io::load_checkpoint(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_trunc.bin");
+  io::save_checkpoint(st, path);
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  std::string data(static_cast<std::size_t>(size / 2), '\0');
+  {
+    std::ifstream re(path, std::ios::binary);
+    re.read(data.data(), size / 2);
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), size / 2);
+  }
+  EXPECT_THROW(io::load_checkpoint(path), PreconditionError);
+  std::remove(path.c_str());
+}

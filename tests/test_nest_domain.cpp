@@ -1,0 +1,155 @@
+#include "nest/nested_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "swm/init.hpp"
+#include "util/error.hpp"
+
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+using nestwx::util::PreconditionError;
+
+namespace {
+s::State make_parent(int nx = 40, int ny = 40, double depth = 300.0) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 3e3;
+  return s::lake_at_rest(g, depth);
+}
+
+n::NestSpec basic_spec(int ratio = 3) {
+  n::NestSpec spec;
+  spec.name = "nest";
+  spec.anchor_i = 10;
+  spec.anchor_j = 12;
+  spec.cells_x = 8;
+  spec.cells_y = 6;
+  spec.ratio = ratio;
+  return spec;
+}
+}  // namespace
+
+TEST(NestSpec, ChildDimensions) {
+  const auto spec = basic_spec(3);
+  EXPECT_EQ(spec.child_nx(), 24);
+  EXPECT_EQ(spec.child_ny(), 18);
+}
+
+TEST(NestedDomain, ChildGridRefinesParent) {
+  const auto parent = make_parent();
+  const n::NestedDomain nest(parent, basic_spec(3));
+  EXPECT_EQ(nest.state().grid.nx, 24);
+  EXPECT_EQ(nest.state().grid.ny, 18);
+  EXPECT_DOUBLE_EQ(nest.state().grid.dx, 1e3);
+}
+
+TEST(NestedDomain, RejectsOutOfBoundsPlacement) {
+  const auto parent = make_parent(20, 20);
+  auto spec = basic_spec();
+  spec.anchor_i = 15;  // 15 + 8 > 19
+  EXPECT_THROW(n::NestedDomain(parent, spec), PreconditionError);
+  spec = basic_spec();
+  spec.anchor_i = 0;  // must be >= 1
+  EXPECT_THROW(n::NestedDomain(parent, spec), PreconditionError);
+  spec = basic_spec();
+  spec.ratio = 0;
+  EXPECT_THROW(n::NestedDomain(parent, spec), PreconditionError);
+}
+
+TEST(NestedDomain, InitializationReproducesConstantState) {
+  const auto parent = make_parent(40, 40, 250.0);
+  const n::NestedDomain nest(parent, basic_spec());
+  for (int j = 0; j < nest.state().grid.ny; ++j)
+    for (int i = 0; i < nest.state().grid.nx; ++i)
+      EXPECT_NEAR(nest.state().h(i, j), 250.0, 1e-12);
+  EXPECT_LT(nest.state().u.interior_max_abs(), 1e-12);
+}
+
+TEST(NestedDomain, InitializationInterpolatesLinearField) {
+  auto parent = make_parent(40, 40, 100.0);
+  // h = 100 + 0.5·x_cell + 0.25·y_cell (linear in the cell-center coords).
+  for (int j = -parent.grid.halo; j < parent.grid.ny + parent.grid.halo; ++j)
+    for (int i = -parent.grid.halo; i < parent.grid.nx + parent.grid.halo;
+         ++i)
+      parent.h(i, j) = 100.0 + 0.5 * (i + 0.5) + 0.25 * (j + 0.5);
+  const auto spec = basic_spec(3);
+  const n::NestedDomain nest(parent, spec);
+  // Child cell (ci,cj) center sits at parent coord anchor+(ci+0.5)/3.
+  for (int cj = 0; cj < nest.state().grid.ny; ++cj)
+    for (int ci = 0; ci < nest.state().grid.nx; ++ci) {
+      const double px = spec.anchor_i + (ci + 0.5) / 3.0;
+      const double py = spec.anchor_j + (cj + 0.5) / 3.0;
+      EXPECT_NEAR(nest.state().h(ci, cj), 100.0 + 0.5 * px + 0.25 * py,
+                  1e-10);
+    }
+}
+
+TEST(NestedDomain, BoundaryForcingBlendsTimeLevels) {
+  const auto prev = make_parent(40, 40, 100.0);
+  const auto next = make_parent(40, 40, 200.0);
+  n::NestedDomain nest(prev, basic_spec());
+  nest.force_boundary(prev, next, 0.25);
+  const int halo = nest.state().grid.halo;
+  // Ghost cells hold the blended value 0.75·100 + 0.25·200 = 125.
+  EXPECT_NEAR(nest.state().h(-1, 0), 125.0, 1e-10);
+  EXPECT_NEAR(nest.state().h(nest.state().grid.nx, 0), 125.0, 1e-10);
+  EXPECT_NEAR(nest.state().h(0, -halo), 125.0, 1e-10);
+  // Interior untouched (still 100 from initialisation).
+  EXPECT_NEAR(nest.state().h(5, 5), 100.0, 1e-10);
+}
+
+TEST(NestedDomain, BoundaryForcingRejectsBadAlpha) {
+  const auto parent = make_parent();
+  n::NestedDomain nest(parent, basic_spec());
+  EXPECT_THROW(nest.force_boundary(parent, parent, -0.1),
+               PreconditionError);
+  EXPECT_THROW(nest.force_boundary(parent, parent, 1.1), PreconditionError);
+}
+
+TEST(NestedDomain, FeedbackRestrictsChildAverages) {
+  auto parent = make_parent(40, 40, 100.0);
+  const auto spec = basic_spec(2);
+  n::NestedDomain nest(parent, spec);
+  // Write a recognisable constant into the child.
+  nest.state().h.fill(42.0);
+  nest.feedback(parent, /*margin=*/1);
+  // Interior footprint cells now carry the child average.
+  EXPECT_NEAR(parent.h(spec.anchor_i + 2, spec.anchor_j + 2), 42.0, 1e-12);
+  // Margin cells (outermost footprint ring) are untouched.
+  EXPECT_NEAR(parent.h(spec.anchor_i, spec.anchor_j), 100.0, 1e-12);
+  // Cells outside the footprint untouched.
+  EXPECT_NEAR(parent.h(1, 1), 100.0, 1e-12);
+}
+
+TEST(NestedDomain, FeedbackAveragesVaryingChildField) {
+  auto parent = make_parent(40, 40, 1.0);
+  const auto spec = basic_spec(2);
+  n::NestedDomain nest(parent, spec);
+  // Child h = child i index; parent cell (I,J) gets mean of its 2x2 block.
+  for (int cj = 0; cj < nest.state().grid.ny; ++cj)
+    for (int ci = 0; ci < nest.state().grid.nx; ++ci)
+      nest.state().h(ci, cj) = static_cast<double>(ci);
+  nest.feedback(parent, 1);
+  // Parent cell I=2 covers child i ∈ {4,5} → mean 4.5.
+  EXPECT_NEAR(parent.h(spec.anchor_i + 2, spec.anchor_j + 2), 4.5, 1e-12);
+}
+
+TEST(NestedDomain, RoundTripIsConsistent) {
+  // initialize-from-parent followed by feedback must reproduce the parent
+  // (for smooth fields, up to interpolation error).
+  auto parent = make_parent(40, 40, 100.0);
+  for (int j = -3; j < 43; ++j)
+    for (int i = -3; i < 43; ++i)
+      parent.h(i, j) = 100.0 + std::sin(0.2 * i) + std::cos(0.15 * j);
+  const auto spec = basic_spec(3);
+  n::NestedDomain nest(parent, spec);
+  auto copy = parent;
+  nest.feedback(copy, 1);
+  for (int J = 1; J < spec.cells_y - 1; ++J)
+    for (int I = 1; I < spec.cells_x - 1; ++I)
+      EXPECT_NEAR(copy.h(spec.anchor_i + I, spec.anchor_j + J),
+                  parent.h(spec.anchor_i + I, spec.anchor_j + J), 0.02);
+}

@@ -1,0 +1,147 @@
+#include "nest/hierarchy.hpp"
+#include "nest/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/error.hpp"
+
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+
+namespace {
+s::State root48(double depth = 300.0) {
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 9e3;
+  return s::lake_at_rest(g, depth);
+}
+
+n::TreeNestSpec tn(const char* name, int parent, int anchor, int cells,
+                   int ratio = 3) {
+  return n::TreeNestSpec{
+      n::NestSpec{name, anchor, anchor, cells, cells, ratio}, parent};
+}
+}  // namespace
+
+TEST(Hierarchy, BuildsTwoLevels) {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation sim(
+      root48(), p, {tn("l1", -1, 10, 20), tn("l2", 0, 10, 12)});
+  EXPECT_EQ(sim.nest_count(), 2u);
+  EXPECT_EQ(sim.level_of(0), 1);
+  EXPECT_EQ(sim.level_of(1), 2);
+  // Level-2 grid spacing is 9 km / 3 / 3 = 1 km.
+  EXPECT_DOUBLE_EQ(sim.nest(1).state().grid.dx, 1e3);
+}
+
+TEST(Hierarchy, RejectsForwardParentReference) {
+  s::ModelParams p;
+  EXPECT_THROW(n::HierarchicalSimulation(
+                   root48(), p, {tn("bad", 1, 10, 20), tn("l1", -1, 10, 20)}),
+               nestwx::util::PreconditionError);
+}
+
+TEST(Hierarchy, QuietStateStaysQuietThroughTwoLevels) {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation sim(
+      root48(), p, {tn("l1", -1, 10, 20), tn("l2", 0, 10, 12)});
+  sim.run(10.0, 6);
+  EXPECT_LT(sim.root().u.interior_max_abs(), 1e-9);
+  EXPECT_LT(sim.nest(0).state().u.interior_max_abs(), 1e-9);
+  EXPECT_LT(sim.nest(1).state().u.interior_max_abs(), 1e-9);
+  EXPECT_EQ(sim.steps_taken(), 6);
+}
+
+TEST(Hierarchy, SignalReachesInnermostNest) {
+  auto root = root48(100.0);
+  root.h(5, 24) += 1.5;  // bump outside both nests
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.viscosity = 300.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation sim(
+      std::move(root), p, {tn("l1", -1, 14, 20), tn("l2", 0, 18, 16)});
+  const double dt = sim.stable_dt(0.4);
+  sim.run(dt, 80);
+  ASSERT_TRUE(s::all_finite(sim.nest(1).state()));
+  double dev = 0.0;
+  const auto& inner = sim.nest(1).state();
+  for (int j = 0; j < inner.grid.ny; ++j)
+    for (int i = 0; i < inner.grid.nx; ++i)
+      dev = std::max(dev, std::abs(inner.h(i, j) - 100.0));
+  EXPECT_GT(dev, 1e-4);
+}
+
+TEST(Hierarchy, TwoSiblingsWithInnerNestsStayStable) {
+  // The paper's §4.1.1 shape: siblings at the second level.
+  s::GridSpec g;
+  g.nx = g.ny = 64;
+  g.dx = g.dy = 13.5e3;
+  const double f = 8e-5;
+  auto root = s::depression(g, f, 0.3, 0.5, 800.0, 18.0, 250e3);
+  s::add_depression(root, f, 0.72, 0.5, 22.0, 220e3);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.viscosity = 2000.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation sim(std::move(root), p,
+                                {tn("west", -1, 8, 22), tn("east", -1, 34, 22),
+                                 tn("west-in", 0, 20, 20),
+                                 tn("east-in", 1, 20, 20)});
+  EXPECT_EQ(sim.level_of(2), 2);
+  const double dt = sim.stable_dt(0.35);
+  sim.run(dt, 25);
+  for (std::size_t k = 0; k < sim.nest_count(); ++k)
+    EXPECT_TRUE(s::all_finite(sim.nest(k).state())) << k;
+  EXPECT_TRUE(s::all_finite(sim.root()));
+}
+
+TEST(Hierarchy, FeedbackPropagatesUpTwoLevels) {
+  // Deepen the depression only via the innermost nest's better
+  // resolution; the root's minimum must remain inside the nest chain's
+  // footprint after feedback.
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 9e3;
+  const double f = 1e-4;
+  auto root = s::depression(g, f, 0.5, 0.5, 600.0, 20.0, 60e3);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation sim(
+      std::move(root), p, {tn("mid", -1, 14, 20), tn("in", 0, 20, 16)});
+  const double dt = sim.stable_dt(0.4);
+  sim.run(dt, 12);
+  const auto loc = s::find_min_eta(sim.root());
+  EXPECT_GE(loc.i, 14);
+  EXPECT_LT(loc.i, 34);
+  EXPECT_GE(loc.j, 14);
+  EXPECT_LT(loc.j, 34);
+}
+
+TEST(Hierarchy, MatchesSingleLevelSimulationWhenFlat) {
+  // With only first-level nests, HierarchicalSimulation must agree with
+  // NestedSimulation to machine precision.
+  auto root_a = root48(200.0);
+  root_a.h(24, 24) += 1.0;
+  auto root_b = root_a;
+  s::ModelParams p;
+  p.coriolis = 5e-5;
+  p.boundary = s::BoundaryKind::wall;
+  n::HierarchicalSimulation hier(std::move(root_a), p,
+                                 {tn("a", -1, 10, 16)});
+  nestwx::nest::NestedSimulation flat(
+      std::move(root_b), p,
+      {n::NestSpec{"a", 10, 10, 16, 16, 3}});
+  for (int k = 0; k < 5; ++k) {
+    hier.advance(8.0);
+    flat.advance(8.0);
+  }
+  for (int j = 0; j < 48; j += 3)
+    for (int i = 0; i < 48; i += 3)
+      EXPECT_NEAR(hier.root().h(i, j), flat.parent().h(i, j), 1e-11);
+}

@@ -1,0 +1,126 @@
+/// Parameterized sweeps of the nesting machinery over refinement ratios
+/// and nest placements: stability, boundary-coupling consistency, and
+/// accuracy of the restriction/interpolation pair.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nest/simulation.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+
+struct NestCase {
+  const char* name;
+  int ratio;
+  int anchor;
+  int cells;
+};
+
+class NestSweep : public ::testing::TestWithParam<NestCase> {
+ protected:
+  s::State parent() const {
+    s::GridSpec g;
+    g.nx = g.ny = 40;
+    g.dx = g.dy = 5e3;
+    return s::lake_at_rest(g, 400.0);
+  }
+  n::NestSpec spec() const {
+    const auto& cse = GetParam();
+    return n::NestSpec{"sweep", cse.anchor, cse.anchor, cse.cells,
+                       cse.cells, cse.ratio};
+  }
+};
+
+TEST_P(NestSweep, QuietStateRemainsQuiet) {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(parent(), p, {spec()});
+  sim.run(8.0, 8);
+  EXPECT_LT(sim.parent().u.interior_max_abs(), 1e-9);
+  EXPECT_LT(sim.sibling(0).state().u.interior_max_abs(), 1e-9);
+}
+
+TEST_P(NestSweep, WavePassesThroughNestRegionStably) {
+  auto par = parent();
+  par.h(5, 20) += 2.0;
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.viscosity = 100.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(par), p, {spec()});
+  const double dt = sim.stable_dt(0.4);
+  sim.run(dt, 60);
+  EXPECT_TRUE(s::all_finite(sim.parent())) << GetParam().name;
+  EXPECT_TRUE(s::all_finite(sim.sibling(0).state())) << GetParam().name;
+  // No spurious amplification: deviations stay bounded by the initial
+  // bump amplitude.
+  const auto d = s::diagnose(sim.parent());
+  EXPECT_LT(d.max_eta - 400.0, 2.5);
+  EXPECT_GT(d.min_eta - 400.0, -2.5);
+}
+
+TEST_P(NestSweep, FeedbackKeepsParentMassReasonable) {
+  auto par = parent();
+  par.h(20, 20) += 1.0;  // inside the nest for all cases
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(par), p, {spec()});
+  const double mass0 = s::diagnose(sim.parent()).mass;
+  const double dt = sim.stable_dt(0.4);
+  sim.run(dt, 40);
+  // Two-way feedback is not exactly conservative (the paper's WRF is not
+  // either), but drift must stay tiny.
+  EXPECT_NEAR(s::diagnose(sim.parent()).mass / mass0, 1.0, 2e-4)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, NestSweep,
+    ::testing::Values(NestCase{"r1", 1, 14, 12}, NestCase{"r2", 2, 14, 12},
+                      NestCase{"r3", 3, 14, 12}, NestCase{"r4", 4, 14, 12},
+                      NestCase{"corner", 3, 2, 10},
+                      NestCase{"large", 3, 4, 32}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(NestAccuracy, FinerNestTracksAnalyticFieldBetter) {
+  // Initialize a smooth bump; the nest's restriction back to the parent
+  // must agree with the parent's own field far better than the grid
+  // spacing would suggest (interpolation + restriction consistency).
+  s::GridSpec g;
+  g.nx = g.ny = 40;
+  g.dx = g.dy = 5e3;
+  auto parent = s::lake_at_rest(g, 300.0);
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      parent.h(i, j) +=
+          5.0 * std::exp(-0.02 * ((i - 20.0) * (i - 20.0) +
+                                  (j - 20.0) * (j - 20.0)));
+  const n::NestSpec spec{"acc", 12, 12, 16, 16, 3};
+  n::NestedDomain nest(parent, spec);
+  auto copy = parent;
+  nest.feedback(copy, 1);
+  double max_err = 0.0;
+  for (int J = 1; J < 15; ++J)
+    for (int I = 1; I < 15; ++I)
+      max_err = std::max(max_err,
+                         std::abs(copy.h(12 + I, 12 + J) -
+                                  parent.h(12 + I, 12 + J)));
+  EXPECT_LT(max_err, 0.05);  // ~1 % of the bump amplitude
+}
+
+TEST(NestCoupling, BoundaryBlendLinearInAlpha) {
+  s::GridSpec g;
+  g.nx = g.ny = 30;
+  g.dx = g.dy = 4e3;
+  const auto a = s::lake_at_rest(g, 100.0);
+  const auto b = s::lake_at_rest(g, 300.0);
+  n::NestedDomain nest(a, n::NestSpec{"blend", 8, 8, 10, 10, 2});
+  for (double alpha : {0.0, 0.3, 0.5, 1.0}) {
+    nest.force_boundary(a, b, alpha);
+    EXPECT_NEAR(nest.state().h(-1, 3), 100.0 + 200.0 * alpha, 1e-9);
+  }
+}

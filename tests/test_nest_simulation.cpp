@@ -1,0 +1,147 @@
+#include "nest/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/error.hpp"
+
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+
+namespace {
+s::State quiet_parent(int nx = 48, double depth = 400.0) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = nx;
+  g.dx = g.dy = 4e3;
+  return s::lake_at_rest(g, depth);
+}
+
+n::NestSpec center_nest(int anchor, int cells, int ratio = 3) {
+  n::NestSpec spec;
+  spec.name = "center";
+  spec.anchor_i = anchor;
+  spec.anchor_j = anchor;
+  spec.cells_x = cells;
+  spec.cells_y = cells;
+  spec.ratio = ratio;
+  return spec;
+}
+}  // namespace
+
+TEST(NestedSimulation, QuietStateStaysQuietWithNest) {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(quiet_parent(), p, {center_nest(16, 12)});
+  sim.run(10.0, 10);
+  EXPECT_LT(sim.parent().u.interior_max_abs(), 1e-9);
+  EXPECT_LT(sim.sibling(0).state().u.interior_max_abs(), 1e-9);
+  EXPECT_EQ(sim.steps_taken(), 10);
+}
+
+TEST(NestedSimulation, SignalPropagatesIntoNest) {
+  auto parent = quiet_parent(48, 100.0);
+  // Bump outside the nest footprint.
+  parent.h(6, 24) += 1.0;
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(parent), p, {center_nest(20, 10)});
+  const double before =
+      std::abs(sim.sibling(0).state().h.interior_max_abs() - 100.0);
+  const double dt = sim.stable_dt(0.5);
+  sim.run(dt, 120);
+  ASSERT_TRUE(s::all_finite(sim.sibling(0).state()));
+  double max_dev = 0.0;
+  const auto& child = sim.sibling(0).state();
+  for (int j = 0; j < child.grid.ny; ++j)
+    for (int i = 0; i < child.grid.nx; ++i)
+      max_dev = std::max(max_dev, std::abs(child.h(i, j) - 100.0));
+  EXPECT_GT(max_dev, 1e-3);  // wave reached the nest interior
+  (void)before;
+}
+
+TEST(NestedSimulation, FeedbackInfluencesParent) {
+  // A depression centered inside the nest must keep the parent's minimum
+  // eta inside the footprint (two-way feedback writes child data back).
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 4e3;
+  const double f = 1e-4;
+  auto parent = s::depression(g, f, 0.5, 0.5, 500.0, 15.0, 30e3);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(parent), p, {center_nest(16, 16)});
+  const double dt = sim.stable_dt(0.5);
+  sim.run(dt, 30);
+  ASSERT_TRUE(s::all_finite(sim.parent()));
+  const auto min_loc = s::find_min_eta(sim.parent());
+  EXPECT_GE(min_loc.i, 16);
+  EXPECT_LT(min_loc.i, 32);
+  EXPECT_GE(min_loc.j, 16);
+  EXPECT_LT(min_loc.j, 32);
+  EXPECT_LT(min_loc.eta, 495.0);
+}
+
+TEST(NestedSimulation, TwoSiblingsRunIndependently) {
+  auto parent = quiet_parent(48, 200.0);
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(parent), p,
+                          {center_nest(4, 10), center_nest(30, 10)});
+  EXPECT_EQ(sim.sibling_count(), 2u);
+  sim.run(5.0, 10);
+  EXPECT_TRUE(s::all_finite(sim.sibling(0).state()));
+  EXPECT_TRUE(s::all_finite(sim.sibling(1).state()));
+}
+
+TEST(NestedSimulation, RefinementRatioOneWorks) {
+  auto parent = quiet_parent(32, 100.0);
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(parent), p, {center_nest(8, 8, 1)});
+  sim.run(5.0, 5);
+  EXPECT_TRUE(s::all_finite(sim.sibling(0).state()));
+}
+
+TEST(NestedSimulation, HigherResolutionNestTracksSharperMinimum) {
+  // The nest resolves the depression better than the parent: its minimum
+  // eta should be at least as deep as the parent's restriction of it.
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 4e3;
+  const double f = 1e-4;
+  auto parent = s::depression(g, f, 0.5, 0.5, 500.0, 15.0, 20e3);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(std::move(parent), p, {center_nest(16, 16)});
+  const double dt = sim.stable_dt(0.5);
+  sim.run(dt, 20);
+  const auto child_min = s::find_min_eta(sim.sibling(0).state());
+  const auto parent_min = s::find_min_eta(sim.parent());
+  EXPECT_LE(child_min.eta, parent_min.eta + 0.5);
+}
+
+TEST(NestedSimulation, StableDtAccountsForChildren) {
+  auto parent = quiet_parent(48, 400.0);
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation with_nest(parent, p, {center_nest(16, 12, 3)});
+  n::NestedSimulation without(parent, p, {});
+  // The child runs r sub-steps at dx/r: its stability constraint matches
+  // the parent's, so the overall dt should be comparable.
+  EXPECT_NEAR(with_nest.stable_dt(0.5), without.stable_dt(0.5), 1.0);
+  EXPECT_GT(with_nest.stable_dt(0.5), 0.0);
+}
+
+TEST(NestedSimulation, RejectsNonPositiveDt) {
+  auto parent = quiet_parent(32, 100.0);
+  s::ModelParams p;
+  n::NestedSimulation sim(std::move(parent), p, {});
+  EXPECT_THROW(sim.advance(0.0), nestwx::util::PreconditionError);
+}

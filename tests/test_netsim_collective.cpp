@@ -1,0 +1,111 @@
+#include "netsim/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "procgrid/grid2d.hpp"
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace n = nestwx::netsim;
+namespace c = nestwx::core;
+
+namespace {
+struct Rig {
+  nestwx::topo::MachineParams machine = nestwx::workload::bluegene_l(128);
+  nestwx::procgrid::Grid2D grid =
+      nestwx::procgrid::choose_grid(128, 100, 100);
+  c::Mapping mapping = c::make_mapping(machine, grid, c::MapScheme::xyzt);
+  n::PhaseSimulator sim{machine};
+
+  std::vector<int> all_ranks() const {
+    std::vector<int> r(static_cast<std::size_t>(mapping.nranks()));
+    std::iota(r.begin(), r.end(), 0);
+    return r;
+  }
+};
+}  // namespace
+
+TEST(Allreduce, SingleRankIsFree) {
+  Rig s;
+  const std::vector<int> one{0};
+  const auto st = n::simulate_allreduce(s.sim, s.mapping, one, 64.0);
+  EXPECT_DOUBLE_EQ(st.duration, 0.0);
+  EXPECT_EQ(st.stages, 0);
+}
+
+TEST(Allreduce, StageCountIsTwiceLog2) {
+  Rig s;
+  const auto ranks = s.all_ranks();  // 128 ranks
+  const auto st = n::simulate_allreduce(s.sim, s.mapping, ranks, 64.0);
+  EXPECT_EQ(st.stages, 2 * 7);
+  EXPECT_GT(st.duration, 0.0);
+}
+
+TEST(Allreduce, DurationGrowsLogarithmically) {
+  Rig s;
+  const auto ranks = s.all_ranks();
+  const std::vector<int> quarter(ranks.begin(), ranks.begin() + 32);
+  const auto small = n::simulate_allreduce(s.sim, s.mapping, quarter, 64.0);
+  const auto big = n::simulate_allreduce(s.sim, s.mapping, ranks, 64.0);
+  EXPECT_GT(big.duration, small.duration);
+  // Logarithmic, not linear: 4x the ranks costs far less than 4x.
+  EXPECT_LT(big.duration, 2.5 * small.duration);
+}
+
+TEST(Allreduce, StragglerDelaysEveryone) {
+  Rig s;
+  const auto ranks = s.all_ranks();
+  std::vector<double> ready(static_cast<std::size_t>(s.mapping.nranks()),
+                            0.0);
+  const auto base = n::simulate_allreduce(s.sim, s.mapping, ranks, 64.0,
+                                          ready);
+  ready[77] = 1.0;  // one rank enters late
+  const auto late = n::simulate_allreduce(s.sim, s.mapping, ranks, 64.0,
+                                          ready);
+  // Everyone's completion shifts behind the straggler; its own wait is 0
+  // so the total wait grows by roughly (n-1)·1s.
+  EXPECT_GT(late.total_wait, base.total_wait + 100.0);
+  EXPECT_NEAR(late.duration, base.duration, 0.05);
+}
+
+TEST(Allreduce, BiggerPayloadCostsMore) {
+  Rig s;
+  const auto ranks = s.all_ranks();
+  const auto small = n::simulate_allreduce(s.sim, s.mapping, ranks, 8.0);
+  const auto big =
+      n::simulate_allreduce(s.sim, s.mapping, ranks, 1e6);
+  EXPECT_GT(big.duration, small.duration);
+}
+
+TEST(Allreduce, RejectsBadInput) {
+  Rig s;
+  EXPECT_THROW(n::simulate_allreduce(s.sim, s.mapping, {}, 64.0),
+               nestwx::util::PreconditionError);
+  const std::vector<int> one{0};
+  EXPECT_THROW(n::simulate_allreduce(s.sim, s.mapping, one, -1.0),
+               nestwx::util::PreconditionError);
+}
+
+TEST(Allreduce, DriverCountsReduceInSyncTime) {
+  // The driver's diagnostics allreduce must add (only) to sync_time.
+  const auto machine = nestwx::workload::bluegene_l(256);
+  const auto model = c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+      machine, c::default_basis_domains()));
+  const auto cfg = nestwx::workload::fig15_config();
+  const auto plan = c::plan_execution(machine, cfg, model,
+                                      c::Strategy::concurrent);
+  nestwx::wrfsim::RunOptions with, without;
+  with.diagnostics_reduce = true;
+  without.diagnostics_reduce = false;
+  const auto r_with = nestwx::wrfsim::simulate_run(machine, cfg, plan, with);
+  const auto r_without =
+      nestwx::wrfsim::simulate_run(machine, cfg, plan, without);
+  EXPECT_GT(r_with.sync_time, r_without.sync_time);
+  EXPECT_DOUBLE_EQ(r_with.parent_step, r_without.parent_step);
+  EXPECT_DOUBLE_EQ(r_with.nest_phase, r_without.nest_phase);
+}

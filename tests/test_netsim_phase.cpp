@@ -1,0 +1,169 @@
+#include "netsim/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "procgrid/grid2d.hpp"
+#include "util/error.hpp"
+
+namespace n = nestwx::netsim;
+namespace c = nestwx::core;
+namespace t = nestwx::topo;
+using nestwx::util::PreconditionError;
+
+namespace {
+
+t::MachineParams small_machine() {
+  t::MachineParams m;
+  m.name = "test";
+  m.torus_x = 4;
+  m.torus_y = 4;
+  m.torus_z = 2;
+  m.cores_per_node = 1;
+  m.mode = t::NodeMode::smp;
+  m.link_bandwidth = 100e6;
+  m.hop_latency = 100e-9;
+  m.software_latency = 1e-6;
+  return m;
+}
+
+c::Mapping identity_mapping(const t::MachineParams& m) {
+  const nestwx::procgrid::Grid2D grid(m.torus_x * m.torus_z, m.torus_y);
+  return c::make_mapping(m, grid, c::MapScheme::xyzt);
+}
+
+}  // namespace
+
+TEST(PhaseSim, EmptyPhaseIsFree) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  const auto stats = sim.run(map, {});
+  EXPECT_EQ(stats.duration, 0.0);
+  EXPECT_EQ(stats.total_wait, 0.0);
+}
+
+TEST(PhaseSim, SingleMessageTiming) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  // Ranks 0 and 1 are x-neighbours (1 hop).
+  const std::vector<n::Message> msgs{{0, 1, 1e6}};
+  const auto stats = sim.run(map, msgs);
+  const double expected = m.software_latency + 1 * m.hop_latency +
+                          1e6 / m.link_bandwidth +
+                          2e6 / m.pack_bandwidth;
+  EXPECT_NEAR(stats.finish[1], expected, 1e-12);
+  EXPECT_NEAR(stats.duration, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.avg_hops, 1.0);
+  EXPECT_EQ(stats.max_link_flows, 1);
+}
+
+TEST(PhaseSim, ZeroByteMessageStillPaysLatency) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  const std::vector<n::Message> msgs{{0, 1, 0.0}};
+  const auto stats = sim.run(map, msgs);
+  EXPECT_GT(stats.duration, 0.0);
+  EXPECT_NEAR(stats.duration, m.software_latency + m.hop_latency, 1e-12);
+}
+
+TEST(PhaseSim, ContentionSlowsSharedLinks) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  // Two messages with disjoint routes vs two sharing a link.
+  const std::vector<n::Message> disjoint{{0, 1, 1e6}, {4, 5, 1e6}};
+  // 0->2 and 1->2: second hop of 0->2 (1->2) shared with 1->2.
+  const std::vector<n::Message> shared{{0, 2, 1e6}, {1, 2, 1e6}};
+  const auto d = sim.run(map, disjoint);
+  const auto s = sim.run(map, shared);
+  EXPECT_EQ(d.max_link_flows, 1);
+  EXPECT_EQ(s.max_link_flows, 2);
+  EXPECT_GT(s.duration, d.duration);
+}
+
+TEST(PhaseSim, WaitIsReceiveBlockedTime) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  const std::vector<n::Message> msgs{{0, 1, 8e6}};  // 80 ms transfer
+  const auto stats = sim.run(map, msgs);
+  // Receiver waits almost the whole transfer; sender does not wait.
+  EXPECT_GT(stats.wait[1], 0.05);
+  EXPECT_DOUBLE_EQ(stats.wait[0], 0.0);
+  EXPECT_NEAR(stats.max_wait, stats.wait[1], 1e-15);
+  EXPECT_NEAR(stats.total_wait, stats.wait[1], 1e-15);
+}
+
+TEST(PhaseSim, ReadySkewPropagates) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  std::vector<double> ready(static_cast<std::size_t>(map.nranks()), 0.0);
+  ready[0] = 1.0;  // sender starts late
+  const std::vector<n::Message> msgs{{0, 1, 1e3}};
+  const auto stats = sim.run(map, msgs, ready);
+  EXPECT_GT(stats.finish[1], 1.0);
+  // Receiver's wait includes the skew.
+  EXPECT_GT(stats.wait[1], 0.9);
+}
+
+TEST(PhaseSim, IdleRanksKeepReadyTime) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  std::vector<double> ready(static_cast<std::size_t>(map.nranks()), 0.5);
+  const std::vector<n::Message> msgs{{0, 1, 1e3}};
+  const auto stats = sim.run(map, msgs, ready);
+  EXPECT_DOUBLE_EQ(stats.finish[5], 0.5);
+  EXPECT_DOUBLE_EQ(stats.wait[5], 0.0);
+}
+
+TEST(PhaseSim, FartherDestinationTakesLonger) {
+  auto m = small_machine();
+  m.hop_latency = 1e-3;  // exaggerate hop cost
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  const auto near = sim.run(map, std::vector<n::Message>{{0, 1, 1e3}});
+  const auto far = sim.run(map, std::vector<n::Message>{{0, 2, 1e3}});
+  EXPECT_GT(far.duration, near.duration);
+  EXPECT_GT(far.avg_hops, near.avg_hops);
+}
+
+TEST(PhaseSim, HaloBytesFollowMachineSettings) {
+  auto m = small_machine();
+  m.vertical_levels = 10;
+  m.halo_variables = 2;
+  m.bytes_per_element = 8;
+  const n::PhaseSimulator sim(m);
+  EXPECT_DOUBLE_EQ(sim.halo_message_bytes(5), 5.0 * 10 * 2 * 8);
+}
+
+TEST(PhaseSim, RejectsBadInputs) {
+  const auto m = small_machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = identity_mapping(m);
+  EXPECT_THROW(sim.run(map, std::vector<n::Message>{{0, 99, 1.0}}),
+               PreconditionError);
+  EXPECT_THROW(sim.run(map, std::vector<n::Message>{{0, 1, -1.0}}),
+               PreconditionError);
+  std::vector<double> short_ready{0.0};
+  EXPECT_THROW(sim.run(map, std::vector<n::Message>{{0, 1, 1.0}},
+                       short_ready),
+               PreconditionError);
+}
+
+TEST(PhaseSim, SelfColocatedRanksAreCheap) {
+  auto m = small_machine();
+  m.cores_per_node = 2;
+  m.mode = t::NodeMode::virtual_node;  // 64 ranks, 2 per node
+  const nestwx::procgrid::Grid2D grid(8, 8);
+  const auto map = c::make_mapping(m, grid, c::MapScheme::txyz);
+  const n::PhaseSimulator sim(m);
+  // Ranks 0 and 1 share a node under TXYZ: zero hops.
+  const auto stats = sim.run(map, std::vector<n::Message>{{0, 1, 1e6}});
+  EXPECT_DOUBLE_EQ(stats.avg_hops, 0.0);
+}

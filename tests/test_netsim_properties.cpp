@@ -1,0 +1,139 @@
+/// Property tests of the phase simulator: monotonicity in message size,
+/// contention, and distance; conservation of idle ranks; determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/phase.hpp"
+#include "procgrid/grid2d.hpp"
+#include "util/rng.hpp"
+#include "workload/machines.hpp"
+
+namespace n = nestwx::netsim;
+namespace c = nestwx::core;
+
+namespace {
+
+nestwx::topo::MachineParams machine() {
+  auto m = nestwx::workload::bluegene_l(128);
+  return m;
+}
+
+c::Mapping mapping(const nestwx::topo::MachineParams& m) {
+  const nestwx::procgrid::Grid2D grid =
+      nestwx::procgrid::choose_grid(m.total_ranks(), 100, 100);
+  return c::make_mapping(m, grid, c::MapScheme::xyzt);
+}
+
+std::vector<n::Message> random_messages(const c::Mapping& map, int count,
+                                        std::uint64_t seed) {
+  nestwx::util::Rng rng(seed);
+  std::vector<n::Message> msgs;
+  for (int i = 0; i < count; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(0, map.nranks() - 1));
+    int b = static_cast<int>(rng.uniform_int(0, map.nranks() - 1));
+    if (b == a) b = (a + 1) % map.nranks();
+    msgs.push_back({a, b, rng.uniform(1e3, 1e6)});
+  }
+  return msgs;
+}
+
+}  // namespace
+
+class PhaseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhaseProperty, DurationMonotoneInMessageSize) {
+  const auto m = machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  auto msgs = random_messages(map, 40, GetParam());
+  const auto base = sim.run(map, msgs);
+  for (auto& msg : msgs) msg.bytes *= 2.0;
+  const auto doubled = sim.run(map, msgs);
+  EXPECT_GE(doubled.duration, base.duration);
+  EXPECT_GE(doubled.total_wait, base.total_wait * 0.999);
+}
+
+TEST_P(PhaseProperty, AddingMessagesNeverSpeedsUp) {
+  const auto m = machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  const auto msgs = random_messages(map, 40, GetParam());
+  const auto fewer =
+      std::vector<n::Message>(msgs.begin(), msgs.begin() + 20);
+  const auto small = sim.run(map, fewer);
+  const auto big = sim.run(map, msgs);
+  EXPECT_GE(big.duration, small.duration * 0.999);
+}
+
+TEST_P(PhaseProperty, Deterministic) {
+  const auto m = machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  const auto msgs = random_messages(map, 60, GetParam());
+  const auto a = sim.run(map, msgs);
+  const auto b = sim.run(map, msgs);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.total_wait, b.total_wait);
+  EXPECT_EQ(a.max_link_flows, b.max_link_flows);
+  for (int r = 0; r < map.nranks(); ++r)
+    EXPECT_EQ(a.finish[r], b.finish[r]);
+}
+
+TEST_P(PhaseProperty, FinishNeverBeforeReady) {
+  const auto m = machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  const auto msgs = random_messages(map, 50, GetParam());
+  nestwx::util::Rng rng(GetParam() + 1);
+  std::vector<double> ready(static_cast<std::size_t>(map.nranks()));
+  for (auto& r : ready) r = rng.uniform(0.0, 0.1);
+  const auto stats = sim.run(map, msgs, ready);
+  for (int r = 0; r < map.nranks(); ++r) {
+    EXPECT_GE(stats.finish[r], ready[r]);
+    EXPECT_GE(stats.wait[r], 0.0);
+  }
+}
+
+TEST_P(PhaseProperty, WaitIsBoundedByDurationWindow) {
+  const auto m = machine();
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  const auto msgs = random_messages(map, 50, GetParam());
+  const auto stats = sim.run(map, msgs);
+  for (int r = 0; r < map.nranks(); ++r)
+    EXPECT_LE(stats.wait[r], stats.duration + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseProperty,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+TEST(PhaseContention, CapLimitsSlowdown) {
+  auto m = machine();
+  m.contention_cap = 2.0;
+  m.software_latency = 0.0;
+  m.hop_latency = 0.0;
+  m.pack_bandwidth = 1e18;
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  // Many messages converging on rank 0's node: the factor must cap at 2.
+  std::vector<n::Message> msgs;
+  for (int s = 1; s <= 20; ++s) msgs.push_back({s, 0, 1e6});
+  const auto stats = sim.run(map, msgs);
+  // The slowest message cannot exceed cap x (serial transfer time).
+  EXPECT_LE(stats.duration, 2.0 * 1e6 / m.link_bandwidth * 1.001);
+}
+
+TEST(PhaseContention, ExponentZeroMeansNoContention) {
+  auto m = machine();
+  m.contention_exponent = 0.0;
+  const n::PhaseSimulator sim(m);
+  const auto map = mapping(m);
+  const std::vector<n::Message> shared{{0, 2, 1e6}, {1, 2, 1e6}};
+  const auto stats = sim.run(map, shared);
+  // Both messages see full bandwidth; duration equals the longer solo
+  // transit.
+  const auto solo = sim.run(map, std::vector<n::Message>{{0, 2, 1e6}});
+  EXPECT_NEAR(stats.duration, solo.duration, 1e-9);
+}

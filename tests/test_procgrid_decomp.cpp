@@ -1,0 +1,107 @@
+#include "procgrid/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace p = nestwx::procgrid;
+using nestwx::util::PreconditionError;
+
+TEST(Decomposition, TilesPartitionTheDomain) {
+  const p::Grid2D g(4, 3);
+  const p::Decomposition d(10, 9, g);
+  long long covered = 0;
+  for (int r = 0; r < g.size(); ++r) covered += d.tile(r).area();
+  EXPECT_EQ(covered, 90);
+}
+
+TEST(Decomposition, RemainderSpreadToLeadingBlocks) {
+  const p::Grid2D g(3, 1);
+  const p::Decomposition d(10, 4, g);
+  EXPECT_EQ(d.tile(0).w, 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(d.tile(1).w, 3);
+  EXPECT_EQ(d.tile(2).w, 3);
+  EXPECT_EQ(d.tile(0).x0, 0);
+  EXPECT_EQ(d.tile(1).x0, 4);
+  EXPECT_EQ(d.tile(2).x0, 7);
+}
+
+TEST(Decomposition, EvenSplitExact) {
+  const p::Grid2D g(4, 4);
+  const p::Decomposition d(16, 16, g);
+  for (int r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(d.tile(r).w, 4);
+    EXPECT_EQ(d.tile(r).h, 4);
+  }
+  EXPECT_EQ(d.max_tile_area(), 16);
+}
+
+TEST(Decomposition, MaxTileAreaWithRemainder) {
+  const p::Grid2D g(3, 3);
+  const p::Decomposition d(10, 10, g);
+  EXPECT_EQ(d.max_tile_area(), 16);  // 4x4 corner block
+}
+
+TEST(Decomposition, RejectsMoreProcsThanPoints) {
+  const p::Grid2D g(8, 1);
+  EXPECT_THROW(p::Decomposition(4, 10, g), PreconditionError);
+}
+
+TEST(Decomposition, OwnerOfInvertsTiles) {
+  const p::Grid2D g(5, 4);
+  const p::Decomposition d(23, 17, g);
+  for (int r = 0; r < g.size(); ++r) {
+    const auto t = d.tile(r);
+    EXPECT_EQ(d.owner_of(t.x0, t.y0), r);
+    EXPECT_EQ(d.owner_of(t.x1() - 1, t.y1() - 1), r);
+  }
+  EXPECT_THROW(d.owner_of(23, 0), PreconditionError);
+}
+
+TEST(HaloMessages, CountMatchesInteriorTopology) {
+  // 3x3 grid: 4 corner ranks with 2 neighbours, 4 edges with 3, 1 interior
+  // with 4 => 24 messages.
+  const p::Grid2D g(3, 3);
+  const p::Decomposition d(9, 9, g);
+  EXPECT_EQ(d.halo_messages(1).size(), 24u);
+}
+
+TEST(HaloMessages, PairwiseSymmetric) {
+  const p::Grid2D g(4, 3);
+  const p::Decomposition d(16, 9, g);
+  std::map<std::pair<int, int>, int> count;
+  for (const auto& m : d.halo_messages(2)) count[{m.src_rank, m.dst_rank}]++;
+  for (const auto& [key, c] : count) {
+    EXPECT_EQ(c, 1);
+    EXPECT_EQ(count.count({key.second, key.first}), 1u);
+  }
+}
+
+TEST(HaloMessages, ElementsScaleWithEdgeAndWidth) {
+  const p::Grid2D g(2, 1);
+  const p::Decomposition d(8, 6, g);
+  const auto msgs = d.halo_messages(3);
+  ASSERT_EQ(msgs.size(), 2u);  // east/west pair
+  for (const auto& m : msgs) EXPECT_EQ(m.elements, 6 * 3);
+}
+
+TEST(HaloMessages, SingleRankHasNoMessages) {
+  const p::Grid2D g(1, 1);
+  const p::Decomposition d(10, 10, g);
+  EXPECT_TRUE(d.halo_messages(1).empty());
+}
+
+TEST(HaloMessages, RejectsNonPositiveWidth) {
+  const p::Grid2D g(2, 2);
+  const p::Decomposition d(8, 8, g);
+  EXPECT_THROW(d.halo_messages(0), PreconditionError);
+}
+
+TEST(HaloMessages, MaxEdgeElements) {
+  const p::Grid2D g(2, 2);
+  const p::Decomposition d(10, 6, g);
+  // Tiles are 5x3; x-edges have 3 elements, y-edges 5; width 2.
+  EXPECT_EQ(d.max_edge_elements(2), 10);
+}

@@ -1,0 +1,100 @@
+#include "procgrid/grid2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace p = nestwx::procgrid;
+using nestwx::util::PreconditionError;
+
+TEST(Grid2D, RowMajorRankLayout) {
+  const p::Grid2D g(4, 3);
+  EXPECT_EQ(g.rank(0, 0), 0);
+  EXPECT_EQ(g.rank(3, 0), 3);
+  EXPECT_EQ(g.rank(0, 1), 4);
+  EXPECT_EQ(g.rank(3, 2), 11);
+}
+
+TEST(Grid2D, CoordinateRoundTrip) {
+  const p::Grid2D g(5, 7);
+  for (int r = 0; r < g.size(); ++r)
+    EXPECT_EQ(g.rank(g.x_of(r), g.y_of(r)), r);
+}
+
+TEST(Grid2D, NeighborsAtInterior) {
+  const p::Grid2D g(4, 4);
+  const int r = g.rank(1, 1);
+  EXPECT_EQ(g.neighbor(r, p::Side::west), g.rank(0, 1));
+  EXPECT_EQ(g.neighbor(r, p::Side::east), g.rank(2, 1));
+  EXPECT_EQ(g.neighbor(r, p::Side::south), g.rank(1, 0));
+  EXPECT_EQ(g.neighbor(r, p::Side::north), g.rank(1, 2));
+  EXPECT_EQ(g.neighbors(r).size(), 4u);
+}
+
+TEST(Grid2D, NeighborsAtBoundaryAreAbsent) {
+  const p::Grid2D g(4, 4);
+  EXPECT_FALSE(g.neighbor(g.rank(0, 0), p::Side::west).has_value());
+  EXPECT_FALSE(g.neighbor(g.rank(0, 0), p::Side::south).has_value());
+  EXPECT_EQ(g.neighbors(g.rank(0, 0)).size(), 2u);   // corner
+  EXPECT_EQ(g.neighbors(g.rank(1, 0)).size(), 3u);   // edge
+}
+
+TEST(Grid2D, SingleColumnAndRow) {
+  const p::Grid2D col(1, 5);
+  EXPECT_FALSE(col.neighbor(2, p::Side::west).has_value());
+  EXPECT_FALSE(col.neighbor(2, p::Side::east).has_value());
+  EXPECT_TRUE(col.neighbor(2, p::Side::north).has_value());
+  const p::Grid2D row(5, 1);
+  EXPECT_EQ(row.neighbors(2).size(), 2u);
+}
+
+TEST(Grid2D, RejectsBadInputs) {
+  EXPECT_THROW(p::Grid2D(0, 3), PreconditionError);
+  const p::Grid2D g(2, 2);
+  EXPECT_THROW(g.rank(2, 0), PreconditionError);
+  EXPECT_THROW(g.x_of(4), PreconditionError);
+}
+
+TEST(FactorPairs, CompleteAndOrdered) {
+  const auto f12 = p::factor_pairs(12);
+  ASSERT_EQ(f12.size(), 6u);
+  EXPECT_EQ(f12.front()[0], 1);
+  EXPECT_EQ(f12.back()[0], 12);
+  for (const auto& [a, b] : f12) EXPECT_EQ(a * b, 12);
+}
+
+TEST(FactorPairs, PrimeHasTwo) {
+  EXPECT_EQ(p::factor_pairs(13).size(), 2u);
+}
+
+TEST(ChooseGrid, SquareCountSquareDomain) {
+  const auto g = p::choose_grid(1024, 300, 300);
+  EXPECT_EQ(g.px(), 32);
+  EXPECT_EQ(g.py(), 32);
+}
+
+TEST(ChooseGrid, MatchesDomainAspect) {
+  // Wide domain should get more columns than rows.
+  const auto g = p::choose_grid(64, 800, 200);
+  EXPECT_GT(g.px(), g.py());
+  EXPECT_EQ(g.px() * g.py(), 64);
+}
+
+TEST(ChooseGrid, PrimeRankCount) {
+  const auto g = p::choose_grid(7, 100, 100);
+  EXPECT_EQ(g.px() * g.py(), 7);
+}
+
+TEST(ChooseGrid, OneRank) {
+  const auto g = p::choose_grid(1, 50, 70);
+  EXPECT_EQ(g.px(), 1);
+  EXPECT_EQ(g.py(), 1);
+}
+
+TEST(ChooseGrid, TileAspectIsNearOne) {
+  const auto g = p::choose_grid(2048, 925, 850);
+  const double tile_aspect =
+      (925.0 / g.px()) / (850.0 / g.py());
+  EXPECT_GT(tile_aspect, 0.4);
+  EXPECT_LT(tile_aspect, 2.5);
+}

@@ -1,0 +1,68 @@
+#include "procgrid/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p = nestwx::procgrid;
+
+TEST(Rect, BasicAccessors) {
+  const p::Rect r{2, 3, 5, 4};
+  EXPECT_EQ(r.area(), 20);
+  EXPECT_EQ(r.x1(), 7);
+  EXPECT_EQ(r.y1(), 7);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((p::Rect{0, 0, 0, 5}).empty());
+  EXPECT_TRUE((p::Rect{0, 0, 5, -1}).empty());
+}
+
+TEST(Rect, ContainsPoint) {
+  const p::Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.contains(1, 1));
+  EXPECT_TRUE(r.contains(3, 3));
+  EXPECT_FALSE(r.contains(4, 1));  // x1 is exclusive
+  EXPECT_FALSE(r.contains(0, 2));
+}
+
+TEST(Rect, ContainsRect) {
+  const p::Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(p::Rect{2, 2, 3, 3}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(p::Rect{8, 8, 3, 3}));
+}
+
+TEST(Rect, AspectAndElongation) {
+  EXPECT_DOUBLE_EQ((p::Rect{0, 0, 4, 2}).aspect(), 2.0);
+  EXPECT_DOUBLE_EQ((p::Rect{0, 0, 4, 2}).elongation(), 2.0);
+  EXPECT_DOUBLE_EQ((p::Rect{0, 0, 2, 4}).elongation(), 2.0);
+  EXPECT_DOUBLE_EQ((p::Rect{0, 0, 3, 3}).elongation(), 1.0);
+}
+
+TEST(Rect, IntersectionBasic) {
+  const p::Rect a{0, 0, 4, 4};
+  const p::Rect b{2, 2, 4, 4};
+  const auto i = p::intersect(a, b);
+  EXPECT_EQ(i, (p::Rect{2, 2, 2, 2}));
+}
+
+TEST(Rect, IntersectionDisjointIsEmpty) {
+  const p::Rect a{0, 0, 2, 2};
+  const p::Rect b{5, 5, 2, 2};
+  EXPECT_TRUE(p::intersect(a, b).empty());
+  EXPECT_FALSE(p::overlaps(a, b));
+}
+
+TEST(Rect, TouchingEdgesDoNotOverlap) {
+  const p::Rect a{0, 0, 2, 2};
+  const p::Rect b{2, 0, 2, 2};  // shares the x=2 edge
+  EXPECT_FALSE(p::overlaps(a, b));
+}
+
+TEST(Rect, OverlapIsSymmetric) {
+  const p::Rect a{0, 0, 5, 5};
+  const p::Rect b{4, 4, 5, 5};
+  EXPECT_TRUE(p::overlaps(a, b));
+  EXPECT_TRUE(p::overlaps(b, a));
+}
+
+TEST(Rect, ToStringFormat) {
+  EXPECT_EQ((p::Rect{1, 2, 3, 4}).to_string(), "3x4@(1,2)");
+}

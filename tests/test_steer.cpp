@@ -1,0 +1,136 @@
+#include "steer/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/error.hpp"
+
+namespace st = nestwx::steer;
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+
+namespace {
+
+/// A depression embedded in a balanced eastward flow: it drifts east at
+/// roughly u0.
+n::NestedSimulation drifting_sim(double u0, int nest_anchor = 8) {
+  s::GridSpec g;
+  g.nx = g.ny = 64;
+  g.dx = g.dy = 10e3;
+  const double f = 1e-4;
+  auto parent = s::depression(g, f, 0.25, 0.5, 400.0, 8.0, 120e3);
+  s::add_zonal_flow(parent, f, u0);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.viscosity = 500.0;
+  p.boundary = s::BoundaryKind::channel;
+  return n::NestedSimulation(
+      std::move(parent), p,
+      {n::NestSpec{"chaser", nest_anchor, 24, 16, 16, 3}});
+}
+
+}  // namespace
+
+TEST(Steer, LocateFeatureFindsVortexInParentCoords) {
+  auto sim = drifting_sim(0.0);
+  const auto fix = st::locate_feature(sim, 0);
+  // Vortex sits at parent (16, 32); the nest covers [8,24)x[24,40).
+  EXPECT_NEAR(fix.parent_i, 16.0, 1.5);
+  EXPECT_NEAR(fix.parent_j, 32.0, 1.5);
+  EXPECT_LT(fix.eta, 395.0);
+}
+
+TEST(Steer, CenteredAnchorClampsToParent) {
+  auto sim = drifting_sim(0.0);
+  const auto [ai, aj] = st::centered_anchor(sim, 0, 16.0, 32.0);
+  EXPECT_EQ(ai, 8);
+  EXPECT_EQ(aj, 24);
+  const auto [ci, cj] = st::centered_anchor(sim, 0, 1.0, 1.0);
+  EXPECT_EQ(ci, 1);
+  EXPECT_EQ(cj, 1);
+  const auto [hi, hj] = st::centered_anchor(sim, 0, 63.0, 63.0);
+  EXPECT_EQ(hi, 64 - 16 - 1);
+  EXPECT_EQ(hj, 64 - 16 - 1);
+}
+
+TEST(Steer, StationaryVortexNeverTriggersRelocation) {
+  auto sim = drifting_sim(0.0);
+  st::MovingNestController ctrl({3, 1});
+  const double dt = sim.stable_dt(0.4);
+  for (int k = 0; k < 30; ++k) {
+    sim.advance(dt);
+    ctrl.update(sim);
+  }
+  EXPECT_TRUE(ctrl.relocations().empty());
+  EXPECT_FALSE(ctrl.track().empty());
+}
+
+TEST(Steer, DriftingVortexIsFollowed) {
+  auto sim = drifting_sim(6.0);
+  st::MovingNestController ctrl({4, 2});
+  const double dt = sim.stable_dt(0.4);
+  // Drift speed ~6 m/s; crossing half the 160 km nest takes ~3 h.
+  for (int k = 0; k < 600; ++k) {
+    sim.advance(dt);
+    ctrl.update(sim);
+  }
+  ASSERT_FALSE(ctrl.relocations().empty()) << "nest never relocated";
+  // The nest followed the vortex eastward.
+  EXPECT_GT(sim.sibling(0).spec().anchor_i, 8);
+  ASSERT_TRUE(nestwx::swm::all_finite(sim.sibling(0).state()));
+  // The feature is inside the (possibly relocated) nest footprint.
+  const auto fix = st::locate_feature(sim, 0);
+  const auto& spec = sim.sibling(0).spec();
+  EXPECT_GT(fix.parent_i - spec.anchor_i, 1.0);
+  EXPECT_GT(spec.anchor_i + spec.cells_x - fix.parent_i, 1.0);
+}
+
+TEST(Steer, RelocationPreservesSimulationHealth) {
+  auto sim = drifting_sim(6.0);
+  st::MovingNestController ctrl({4, 2});
+  const double dt = sim.stable_dt(0.4);
+  const double mass0 = s::diagnose(sim.parent()).mass;
+  for (int k = 0; k < 250; ++k) {
+    sim.advance(dt);
+    ctrl.update(sim);
+  }
+  EXPECT_TRUE(s::all_finite(sim.parent()));
+  EXPECT_TRUE(s::all_finite(sim.sibling(0).state()));
+  EXPECT_NEAR(s::diagnose(sim.parent()).mass / mass0, 1.0, 5e-3);
+}
+
+TEST(Steer, RelocateSiblingValidatesPlacement) {
+  auto sim = drifting_sim(0.0);
+  EXPECT_THROW(sim.relocate_sibling(0, 60, 60),
+               nestwx::util::PreconditionError);
+  EXPECT_THROW(sim.relocate_sibling(2, 5, 5),
+               nestwx::util::PreconditionError);
+  sim.relocate_sibling(0, 20, 20);
+  EXPECT_EQ(sim.sibling(0).spec().anchor_i, 20);
+}
+
+TEST(Steer, PolicyValidation) {
+  EXPECT_THROW(st::MovingNestController({0, 1}),
+               nestwx::util::PreconditionError);
+  EXPECT_THROW(st::MovingNestController({3, 0}),
+               nestwx::util::PreconditionError);
+}
+
+TEST(Steer, ZonalFlowIsBalanced) {
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 8e3;
+  const double f = 1e-4;
+  auto state = s::lake_at_rest(g, 500.0);
+  s::add_zonal_flow(state, f, 8.0);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.boundary = s::BoundaryKind::open;  // tilted surface: keep ghosts fixed
+  s::apply_boundary(state, s::BoundaryKind::open);
+  s::Tendency t(g);
+  s::compute_tendency(state, p, t);
+  // Interior tendencies must be tiny relative to the unbalanced case.
+  EXPECT_LT(std::abs(t.dv(24, 24)), 1e-10);
+  EXPECT_LT(std::abs(t.du(24, 24)), 1e-10);
+}

@@ -1,0 +1,123 @@
+#include "swm/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "swm/init.hpp"
+
+namespace s = nestwx::swm;
+
+namespace {
+s::State indexed_state(int nx = 6, int ny = 5) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.halo = 2;
+  s::State st(g);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) st.h(i, j) = 100.0 * i + j;
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i <= nx; ++i) st.u(i, j) = 100.0 * i + j + 0.5;
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i < nx; ++i) st.v(i, j) = 100.0 * i + j + 0.25;
+  return st;
+}
+}  // namespace
+
+TEST(PeriodicBc, CenterFieldWrapsBothAxes) {
+  auto st = indexed_state();
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  const int nx = st.grid.nx, ny = st.grid.ny;
+  for (int j = 0; j < ny; ++j) {
+    EXPECT_DOUBLE_EQ(st.h(-1, j), st.h(nx - 1, j));
+    EXPECT_DOUBLE_EQ(st.h(-2, j), st.h(nx - 2, j));
+    EXPECT_DOUBLE_EQ(st.h(nx, j), st.h(0, j));
+  }
+  for (int i = 0; i < nx; ++i) {
+    EXPECT_DOUBLE_EQ(st.h(i, -1), st.h(i, ny - 1));
+    EXPECT_DOUBLE_EQ(st.h(i, ny), st.h(i, 0));
+  }
+  // Corner ghosts wrap diagonally.
+  EXPECT_DOUBLE_EQ(st.h(-1, -1), st.h(nx - 1, ny - 1));
+}
+
+TEST(PeriodicBc, FaceFieldsIdentifyDuplicateFace) {
+  auto st = indexed_state();
+  // Make interior faces inconsistent on purpose.
+  st.u(st.grid.nx, 2) = -999.0;
+  st.v(3, st.grid.ny) = -999.0;
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  // Face nx is the same physical face as face 0.
+  for (int j = 0; j < st.grid.ny; ++j)
+    EXPECT_DOUBLE_EQ(st.u(st.grid.nx, j), st.u(0, j));
+  for (int i = 0; i < st.grid.nx; ++i)
+    EXPECT_DOUBLE_EQ(st.v(i, st.grid.ny), st.v(i, 0));
+  // Ghosts wrap with the cell period (nx), not nx+1.
+  for (int j = 0; j < st.grid.ny; ++j) {
+    EXPECT_DOUBLE_EQ(st.u(-1, j), st.u(st.grid.nx - 1, j));
+    EXPECT_DOUBLE_EQ(st.u(st.grid.nx + 1, j), st.u(1, j));
+  }
+}
+
+TEST(WallBc, NormalVelocityVanishesOnBoundaryFaces) {
+  auto st = indexed_state();
+  s::apply_boundary(st, s::BoundaryKind::wall);
+  for (int j = 0; j < st.grid.ny; ++j) {
+    EXPECT_DOUBLE_EQ(st.u(0, j), 0.0);
+    EXPECT_DOUBLE_EQ(st.u(st.grid.nx, j), 0.0);
+  }
+  for (int i = 0; i < st.grid.nx; ++i) {
+    EXPECT_DOUBLE_EQ(st.v(i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(st.v(i, st.grid.ny), 0.0);
+  }
+}
+
+TEST(WallBc, NormalVelocityMirrorsAntisymmetrically) {
+  auto st = indexed_state();
+  s::apply_boundary(st, s::BoundaryKind::wall);
+  for (int j = 0; j < st.grid.ny; ++j) {
+    EXPECT_DOUBLE_EQ(st.u(-1, j), -st.u(1, j));
+    EXPECT_DOUBLE_EQ(st.u(-2, j), -st.u(2, j));
+    EXPECT_DOUBLE_EQ(st.u(st.grid.nx + 1, j), -st.u(st.grid.nx - 1, j));
+  }
+  for (int i = 0; i < st.grid.nx; ++i) {
+    EXPECT_DOUBLE_EQ(st.v(i, -1), -st.v(i, 1));
+    EXPECT_DOUBLE_EQ(st.v(i, st.grid.ny + 1), -st.v(i, st.grid.ny - 1));
+  }
+}
+
+TEST(WallBc, DepthZeroGradient) {
+  auto st = indexed_state();
+  s::apply_boundary(st, s::BoundaryKind::wall);
+  for (int j = 0; j < st.grid.ny; ++j) {
+    EXPECT_DOUBLE_EQ(st.h(-1, j), st.h(0, j));
+    EXPECT_DOUBLE_EQ(st.h(st.grid.nx, j), st.h(st.grid.nx - 1, j));
+  }
+}
+
+TEST(OpenBc, ExtrapolatesAllFields) {
+  auto st = indexed_state();
+  s::apply_boundary(st, s::BoundaryKind::open);
+  EXPECT_DOUBLE_EQ(st.h(-1, 2), st.h(0, 2));
+  EXPECT_DOUBLE_EQ(st.u(-1, 2), st.u(0, 2));
+  EXPECT_DOUBLE_EQ(st.v(2, -1), st.v(2, 0));
+}
+
+TEST(CenterBoundary, StandaloneHelperMatchesStateBehaviour) {
+  s::Field2D f(4, 4, 1);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) f(i, j) = i + 10 * j;
+  s::apply_center_boundary(f, s::BoundaryKind::periodic);
+  EXPECT_DOUBLE_EQ(f(-1, 0), f(3, 0));
+  s::apply_center_boundary(f, s::BoundaryKind::open);
+  EXPECT_DOUBLE_EQ(f(-1, 0), f(0, 0));
+}
+
+TEST(PeriodicBc, IdempotentOnInterior) {
+  auto st = indexed_state();
+  auto before = st;
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  for (int j = 0; j < st.grid.ny; ++j)
+    for (int i = 0; i < st.grid.nx; ++i)
+      EXPECT_DOUBLE_EQ(st.h(i, j), before.h(i, j));
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "swm/diagnostics.hpp"
+#include "swm/dynamics.hpp"
+#include "swm/init.hpp"
+#include "util/rng.hpp"
+
+namespace s = nestwx::swm;
+
+namespace {
+struct Scenario {
+  const char* name;
+  double depth;
+  double dt;
+  int steps;
+  double coriolis;
+  bool nonlinear;
+};
+}  // namespace
+
+class ConservationTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ConservationTest, MassConservedWithPeriodicBoundaries) {
+  const auto sc = GetParam();
+  s::GridSpec g;
+  g.nx = 40;
+  g.ny = 40;
+  g.dx = g.dy = 2e3;
+  auto state = s::lake_at_rest(g, sc.depth);
+  nestwx::util::Rng rng(99);
+  s::perturb(state, rng, 0.01 * sc.depth);
+  s::ModelParams p;
+  p.coriolis = sc.coriolis;
+  p.nonlinear = sc.nonlinear;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  const double mass0 = s::diagnose(state).mass;
+  stepper.run(state, sc.dt, sc.steps);
+  ASSERT_TRUE(s::all_finite(state)) << sc.name;
+  EXPECT_NEAR(s::diagnose(state).mass / mass0, 1.0, 1e-10) << sc.name;
+}
+
+TEST_P(ConservationTest, EnergyBoundedOverTime) {
+  const auto sc = GetParam();
+  s::GridSpec g;
+  g.nx = 40;
+  g.ny = 40;
+  g.dx = g.dy = 2e3;
+  auto state = s::lake_at_rest(g, sc.depth);
+  nestwx::util::Rng rng(7);
+  s::perturb(state, rng, 0.01 * sc.depth);
+  s::ModelParams p;
+  p.coriolis = sc.coriolis;
+  p.nonlinear = sc.nonlinear;
+  p.viscosity = 20.0;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  const double e0 = s::diagnose(state).total_energy;
+  stepper.run(state, sc.dt, sc.steps);
+  const double e1 = s::diagnose(state).total_energy;
+  // With weak dissipation energy must not grow beyond roundoff slack.
+  EXPECT_LE(e1, e0 * (1.0 + 1e-6)) << sc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ConservationTest,
+    ::testing::Values(
+        Scenario{"shallow-linear", 50.0, 20.0, 100, 0.0, false},
+        Scenario{"deep-linear", 1000.0, 5.0, 100, 0.0, false},
+        Scenario{"rotating", 200.0, 10.0, 150, 1e-4, false},
+        Scenario{"nonlinear", 200.0, 10.0, 150, 1e-4, true},
+        Scenario{"long-run", 100.0, 15.0, 400, 5e-5, true}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (auto& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+TEST(Conservation, MassExactWithWalls) {
+  s::GridSpec g;
+  g.nx = 30;
+  g.ny = 20;
+  g.dx = g.dy = 1e3;
+  auto state = s::lake_at_rest(g, 80.0);
+  state.h(5, 5) += 2.0;
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  s::Stepper stepper(g, p);
+  const double mass0 = s::diagnose(state).mass;
+  stepper.run(state, 4.0, 200);
+  EXPECT_NEAR(s::diagnose(state).mass / mass0, 1.0, 1e-9);
+}
+
+TEST(Conservation, SymmetricInitialConditionStaysSymmetric) {
+  // x-mirror symmetry of the initial state is preserved by the scheme.
+  s::GridSpec g;
+  g.nx = 32;
+  g.ny = 32;
+  g.dx = g.dy = 1e3;
+  auto state = s::lake_at_rest(g, 100.0);
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i) {
+      const double xm = (i + 0.5) - g.nx / 2.0;
+      const double ym = (j + 0.5) - g.ny / 2.0;
+      state.h(i, j) += std::exp(-(xm * xm + ym * ym) / 10.0);
+    }
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.nonlinear = false;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  stepper.run(state, 5.0, 60);
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx / 2; ++i)
+      EXPECT_NEAR(state.h(i, j), state.h(g.nx - 1 - i, j), 1e-10)
+          << i << "," << j;
+}

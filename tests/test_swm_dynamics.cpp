@@ -1,0 +1,186 @@
+#include "swm/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace s = nestwx::swm;
+using nestwx::util::PreconditionError;
+
+namespace {
+s::GridSpec small_grid(int n = 32, double dx = 1e3) {
+  s::GridSpec g;
+  g.nx = n;
+  g.ny = n;
+  g.dx = dx;
+  g.dy = dx;
+  return g;
+}
+}  // namespace
+
+TEST(Dynamics, LakeAtRestStaysAtRest) {
+  const auto g = small_grid();
+  auto state = s::lake_at_rest(g, 500.0);
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  stepper.run(state, 5.0, 50);
+  EXPECT_LT(state.u.interior_max_abs(), 1e-12);
+  EXPECT_LT(state.v.interior_max_abs(), 1e-12);
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      EXPECT_NEAR(state.h(i, j), 500.0, 1e-10);
+}
+
+TEST(Dynamics, WellBalancedOverTerrain) {
+  // Flat free surface over a terrain bump must remain motionless.
+  const auto g = small_grid();
+  auto state = s::lake_over_terrain(g, 800.0, 150.0);
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  stepper.run(state, 2.0, 50);
+  EXPECT_LT(state.u.interior_max_abs(), 1e-9);
+  EXPECT_LT(state.v.interior_max_abs(), 1e-9);
+}
+
+TEST(Dynamics, GravityWaveSpeedIsRoughlyCorrect) {
+  // A small bump spreads at c = sqrt(g·H); after t seconds the front is
+  // near r = c·t. Track where the perturbation amplitude falls off.
+  s::GridSpec g = small_grid(128, 1e3);
+  auto state = s::lake_at_rest(g, 100.0);  // c ≈ 31.3 m/s
+  const int cx = 64, cy = 64;
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i) {
+      const double r2 = (i - cx) * (i - cx) + (j - cy) * (j - cy);
+      state.h(i, j) += 0.5 * std::exp(-r2 / 16.0);
+    }
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.nonlinear = false;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  const double dt = 10.0;
+  const int steps = 100;  // t = 1000 s → front at ~31 km ≈ 31 cells
+  stepper.run(state, dt, steps);
+  // Perturbation near the center should have radiated away…
+  EXPECT_LT(std::abs(state.h(cx, cy) - 100.0), 0.1);
+  // …and reached at least 25 cells out but not 60.
+  double amp_25 = 0.0, amp_60 = 0.0;
+  for (int i = 0; i < g.nx; ++i) {
+    const double r = std::abs(i - cx);
+    const double dev = std::abs(state.h(i, cy) - 100.0);
+    if (r > 23 && r < 35) amp_25 = std::max(amp_25, dev);
+    if (r > 55) amp_60 = std::max(amp_60, dev);
+  }
+  EXPECT_GT(amp_25, 1e-4);
+  EXPECT_LT(amp_60, 1e-4);
+}
+
+TEST(Dynamics, GeostrophicVortexPersists) {
+  // A balanced depression should survive many steps without collapsing.
+  s::GridSpec g = small_grid(64, 4e3);
+  const double f = 1e-4;
+  auto state = s::depression(g, f, 0.5, 0.5, 1000.0, 20.0, 40e3);
+  const auto before = s::find_min_eta(state);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  const double dt = stepper.stable_dt(state, 0.5);
+  stepper.run(state, dt, 200);
+  EXPECT_TRUE(s::all_finite(state));
+  const auto after = s::find_min_eta(state);
+  // Depression still present (at least half its initial depth anomaly)…
+  EXPECT_LT(after.eta, 1000.0 - 8.0);
+  // …and still near the center.
+  EXPECT_NEAR(after.i, before.i, 8);
+  EXPECT_NEAR(after.j, before.j, 8);
+}
+
+TEST(Dynamics, ViscosityDampsNoise) {
+  s::GridSpec g = small_grid(48, 1e3);
+  auto noisy = s::lake_at_rest(g, 200.0);
+  nestwx::util::Rng rng(4);
+  s::perturb(noisy, rng, 0.5);
+  auto smooth = noisy;  // same initial condition
+
+  s::ModelParams p0;
+  p0.coriolis = 0.0;
+  p0.boundary = s::BoundaryKind::periodic;
+  s::ModelParams p1 = p0;
+  p1.viscosity = 200.0;
+  s::Stepper st0(g, p0), st1(g, p1);
+  st0.run(noisy, 5.0, 40);
+  st1.run(smooth, 5.0, 40);
+  const auto d0 = s::diagnose(noisy);
+  const auto d1 = s::diagnose(smooth);
+  EXPECT_LT(d1.kinetic_energy, d0.kinetic_energy);
+}
+
+TEST(Dynamics, DragDampsMomentum) {
+  s::GridSpec g = small_grid();
+  auto state = s::lake_at_rest(g, 300.0);
+  state.u.fill(1.0);
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.drag = 1e-3;
+  p.boundary = s::BoundaryKind::periodic;
+  s::Stepper stepper(g, p);
+  stepper.run(state, 10.0, 50);  // t = 500 s, e-folding 1000 s
+  const double mean_u = state.u.interior_sum() /
+                        (static_cast<double>(g.nx + 1) * g.ny);
+  EXPECT_LT(mean_u, 0.75);
+  EXPECT_GT(mean_u, 0.45);  // ≈ exp(-0.5) = 0.61
+}
+
+TEST(Dynamics, WallsReflectInsteadOfLeaking) {
+  s::GridSpec g = small_grid(48, 1e3);
+  auto state = s::lake_at_rest(g, 100.0);
+  state.h(10, 24) += 1.0;
+  s::ModelParams p;
+  p.coriolis = 0.0;
+  p.boundary = s::BoundaryKind::wall;
+  s::Stepper stepper(g, p);
+  const double mass0 = s::diagnose(state).mass;
+  stepper.run(state, 5.0, 100);
+  EXPECT_TRUE(s::all_finite(state));
+  // Mass conserved to numerical precision with walls.
+  EXPECT_NEAR(s::diagnose(state).mass / mass0, 1.0, 1e-9);
+}
+
+TEST(Dynamics, CourantScalesWithDt) {
+  const auto g = small_grid();
+  auto state = s::lake_at_rest(g, 400.0);
+  s::ModelParams p;
+  s::Stepper stepper(g, p);
+  const double c1 = stepper.courant(state, 1.0);
+  const double c2 = stepper.courant(state, 2.0);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-12);
+  EXPECT_GT(c1, 0.0);
+}
+
+TEST(Dynamics, StableDtRespectsLimit) {
+  const auto g = small_grid();
+  auto state = s::lake_at_rest(g, 400.0);
+  s::ModelParams p;
+  s::Stepper stepper(g, p);
+  const double dt = stepper.stable_dt(state, 0.8);
+  EXPECT_NEAR(stepper.courant(state, dt), 0.8, 1e-9);
+}
+
+TEST(Dynamics, RejectsBadSteps) {
+  const auto g = small_grid();
+  auto state = s::lake_at_rest(g);
+  s::ModelParams p;
+  s::Stepper stepper(g, p);
+  EXPECT_THROW(stepper.step(state, 0.0), PreconditionError);
+  EXPECT_THROW(stepper.step(state, -1.0), PreconditionError);
+  auto wrong = s::lake_at_rest(small_grid(16));
+  EXPECT_THROW(stepper.step(wrong, 1.0), PreconditionError);
+}

@@ -1,0 +1,95 @@
+#include "swm/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace s = nestwx::swm;
+using nestwx::util::PreconditionError;
+
+TEST(Field2D, ConstructionAndFill) {
+  s::Field2D f(4, 3, 2, 7.5);
+  EXPECT_EQ(f.nx(), 4);
+  EXPECT_EQ(f.ny(), 3);
+  EXPECT_EQ(f.halo(), 2);
+  EXPECT_DOUBLE_EQ(f(0, 0), 7.5);
+  EXPECT_DOUBLE_EQ(f(-2, -2), 7.5);
+  EXPECT_DOUBLE_EQ(f(5, 4), 7.5);
+}
+
+TEST(Field2D, IndexingIsDistinct) {
+  s::Field2D f(3, 3, 1);
+  f(0, 0) = 1.0;
+  f(1, 0) = 2.0;
+  f(0, 1) = 3.0;
+  f(-1, -1) = 4.0;
+  EXPECT_DOUBLE_EQ(f(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(f(-1, -1), 4.0);
+}
+
+TEST(Field2D, OutOfRangeThrows) {
+  s::Field2D f(3, 3, 1);
+  EXPECT_THROW(f(4, 0), PreconditionError);
+  EXPECT_THROW(f(0, -2), PreconditionError);
+}
+
+TEST(Field2D, InteriorSumIgnoresGhosts) {
+  s::Field2D f(2, 2, 1, 0.0);
+  f(-1, -1) = 100.0;
+  f(0, 0) = 1.0;
+  f(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 3.0);
+}
+
+TEST(Field2D, InteriorMaxAbs) {
+  s::Field2D f(2, 2, 1, 0.0);
+  f(0, 1) = -5.0;
+  f(1, 0) = 3.0;
+  f(-1, 0) = -100.0;  // ghost ignored
+  EXPECT_DOUBLE_EQ(f.interior_max_abs(), 5.0);
+}
+
+TEST(Field2D, SampleReproducesLinearFields) {
+  s::Field2D f(8, 8, 1);
+  for (int j = -1; j < 9; ++j)
+    for (int i = -1; i < 9; ++i) f(i, j) = 2.0 * i - 3.0 * j + 1.0;
+  EXPECT_NEAR(f.sample(2.5, 3.5), 2.0 * 2.5 - 3.0 * 3.5 + 1.0, 1e-12);
+  EXPECT_NEAR(f.sample(0.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(f.sample(6.25, 1.75), 2.0 * 6.25 - 3.0 * 1.75 + 1.0, 1e-12);
+}
+
+TEST(Field2D, SampleClampsOutsideExtendedRange) {
+  s::Field2D f(4, 4, 1, 2.0);
+  EXPECT_DOUBLE_EQ(f.sample(-100.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.sample(100.0, 100.0), 2.0);
+}
+
+TEST(Field2D, RejectsBadShape) {
+  EXPECT_THROW(s::Field2D(0, 3, 1), PreconditionError);
+  EXPECT_THROW(s::Field2D(3, 3, -1), PreconditionError);
+}
+
+TEST(Axpy, AddsScaled) {
+  s::Field2D a(2, 2, 1, 1.0);
+  s::Field2D b(2, 2, 1, 2.0);
+  s::axpy(a, 0.5, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(-1, -1), 2.0);  // ghosts included
+}
+
+TEST(Axpy, ShapeMismatchRejected) {
+  s::Field2D a(2, 2, 1);
+  s::Field2D b(3, 2, 1);
+  EXPECT_THROW(s::axpy(a, 1.0, b), PreconditionError);
+}
+
+TEST(AddScaled, WritesOutOfPlace) {
+  s::Field2D a(2, 2, 1, 1.0);
+  s::Field2D b(2, 2, 1, 4.0);
+  s::Field2D out(2, 2, 1);
+  s::add_scaled(out, a, 0.25, b);
+  EXPECT_DOUBLE_EQ(out(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);  // inputs untouched
+}

@@ -1,0 +1,225 @@
+#include "swm/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "swm/diagnostics.hpp"
+#include "swm/dynamics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace s = nestwx::swm;
+
+namespace {
+s::GridSpec grid64() {
+  s::GridSpec g;
+  g.nx = g.ny = 64;
+  g.dx = g.dy = 4e3;
+  return g;
+}
+}  // namespace
+
+TEST(LakeAtRest, UniformDepthNoMotion) {
+  const auto st = s::lake_at_rest(grid64(), 750.0);
+  EXPECT_DOUBLE_EQ(st.h(10, 20), 750.0);
+  EXPECT_DOUBLE_EQ(st.u(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(st.b(5, 5), 0.0);
+  EXPECT_THROW(s::lake_at_rest(grid64(), -1.0),
+               nestwx::util::PreconditionError);
+}
+
+TEST(LakeOverTerrain, FlatFreeSurface) {
+  const auto st = s::lake_over_terrain(grid64(), 900.0, 150.0);
+  for (int j = 0; j < 64; j += 7)
+    for (int i = 0; i < 64; i += 7)
+      EXPECT_NEAR(st.eta(i, j), 900.0, 1e-12);
+  // Bump is highest at the center.
+  EXPECT_GT(st.b(32, 32), st.b(5, 5));
+  EXPECT_NEAR(st.b(32, 32), 150.0, 2.0);
+}
+
+TEST(LakeOverTerrain, RejectsPiercingBump) {
+  EXPECT_THROW(s::lake_over_terrain(grid64(), 100.0, 150.0),
+               nestwx::util::PreconditionError);
+}
+
+TEST(Depression, CenterEtaDropsByDeficit) {
+  const double f = 1e-4;
+  const auto st = s::depression(grid64(), f, 0.5, 0.5, 1000.0, 30.0, 40e3);
+  const auto loc = s::find_min_eta(st);
+  EXPECT_NEAR(loc.i, 31, 2);
+  EXPECT_NEAR(loc.j, 31, 2);
+  EXPECT_NEAR(loc.eta, 970.0, 0.5);
+}
+
+TEST(Depression, WindIsCyclonic) {
+  // Northern-hemisphere low (f > 0): counter-clockwise flow, so east of
+  // the center v > 0 (northward) and west of it v < 0.
+  const double f = 1e-4;
+  const auto st = s::depression(grid64(), f, 0.5, 0.5, 1000.0, 30.0, 60e3);
+  EXPECT_GT(st.v(44, 32), 0.0);  // east flank
+  EXPECT_LT(st.v(20, 32), 0.0);  // west flank
+  EXPECT_LT(st.u(32, 44), 0.0);  // north flank flows westward
+  EXPECT_GT(st.u(32, 20), 0.0);  // south flank flows eastward
+}
+
+TEST(Depression, GeostrophicBalanceHasSmallInitialTendency) {
+  // The initial wind should nearly cancel the pressure-gradient force:
+  // the velocity tendencies of the balanced state are far smaller than
+  // those of the same depression with no wind.
+  const double f = 1e-4;
+  const auto g = grid64();
+  auto balanced = s::depression(g, f, 0.5, 0.5, 1000.0, 20.0, 80e3);
+  auto unbalanced = balanced;
+  unbalanced.u.fill(0.0);
+  unbalanced.v.fill(0.0);
+  s::ModelParams p;
+  p.coriolis = f;
+  p.nonlinear = false;
+  s::apply_boundary(balanced, s::BoundaryKind::periodic);
+  s::apply_boundary(unbalanced, s::BoundaryKind::periodic);
+  s::Tendency tb(g), tu(g);
+  s::compute_tendency(balanced, p, tb);
+  s::compute_tendency(unbalanced, p, tu);
+  EXPECT_LT(tb.du.interior_max_abs(), 0.15 * tu.du.interior_max_abs());
+  EXPECT_LT(tb.dv.interior_max_abs(), 0.15 * tu.dv.interior_max_abs());
+}
+
+TEST(Depression, RequiresRotationAndPositiveRadius) {
+  EXPECT_THROW(s::depression(grid64(), 0.0), nestwx::util::PreconditionError);
+  EXPECT_THROW(s::depression(grid64(), 1e-4, 0.5, 0.5, 1000.0, 30.0, -5.0),
+               nestwx::util::PreconditionError);
+}
+
+TEST(AddDepression, SuperposesTwoLows) {
+  const double f = 1e-4;
+  auto st = s::depression(grid64(), f, 0.25, 0.5, 1000.0, 25.0, 40e3);
+  s::add_depression(st, f, 0.75, 0.5, 35.0, 40e3);
+  // The deeper (second) low is the global minimum.
+  const auto loc = s::find_min_eta(st);
+  EXPECT_NEAR(loc.i, 47, 2);
+  // The first low is still present.
+  EXPECT_LT(st.eta(15, 31), 990.0);
+}
+
+TEST(Perturb, DeterministicAndBounded) {
+  auto a = s::lake_at_rest(grid64(), 100.0);
+  auto b = s::lake_at_rest(grid64(), 100.0);
+  nestwx::util::Rng r1(5), r2(5);
+  s::perturb(a, r1, 0.5);
+  s::perturb(b, r2, 0.5);
+  for (int j = 0; j < 64; j += 5)
+    for (int i = 0; i < 64; i += 5) {
+      EXPECT_DOUBLE_EQ(a.h(i, j), b.h(i, j));
+      EXPECT_LE(std::abs(a.h(i, j) - 100.0), 0.5);
+    }
+}
+
+TEST(Diagnostics, LakeAtRestValues) {
+  const auto st = s::lake_at_rest(grid64(), 200.0);
+  const auto d = s::diagnose(st);
+  EXPECT_NEAR(d.mass, 200.0 * 64 * 64 * 4e3 * 4e3, 1.0);
+  EXPECT_DOUBLE_EQ(d.kinetic_energy, 0.0);
+  EXPECT_DOUBLE_EQ(d.max_speed, 0.0);
+  EXPECT_DOUBLE_EQ(d.min_depth, 200.0);
+  EXPECT_DOUBLE_EQ(d.max_eta, 200.0);
+}
+
+TEST(Diagnostics, KineticEnergyOfUniformFlow) {
+  auto st = s::lake_at_rest(grid64(), 100.0);
+  st.u.fill(2.0);
+  const auto d = s::diagnose(st);
+  // KE = ½·h·u²·area per cell = 0.5·100·4 = 200 J/m² × cell area.
+  EXPECT_NEAR(d.kinetic_energy, 200.0 * 64 * 64 * 16e6, 1e3);
+  EXPECT_NEAR(d.max_speed, 2.0, 1e-12);
+}
+
+TEST(Diagnostics, DetectsNonFinite) {
+  auto st = s::lake_at_rest(grid64(), 100.0);
+  EXPECT_TRUE(s::all_finite(st));
+  st.v(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(s::all_finite(st));
+}
+
+TEST(FindMinEta, TerrainIncluded) {
+  auto st = s::lake_at_rest(grid64(), 100.0);
+  st.b(10, 12) = -5.0;  // depression in the terrain, not the fluid
+  const auto loc = s::find_min_eta(st);
+  EXPECT_EQ(loc.i, 10);
+  EXPECT_EQ(loc.j, 12);
+  EXPECT_DOUBLE_EQ(loc.eta, 95.0);
+}
+
+TEST(Vorticity, ZeroForUniformFlow) {
+  auto st = s::lake_at_rest(grid64(), 100.0);
+  st.u.fill(3.0);
+  st.v.fill(-2.0);
+  const auto zeta = s::relative_vorticity(st);
+  for (int j = 1; j < 64; j += 7)
+    for (int i = 1; i < 64; i += 7) EXPECT_NEAR(zeta(i, j), 0.0, 1e-14);
+  EXPECT_NEAR(s::enstrophy(st), 0.0, 1e-12);
+}
+
+TEST(Vorticity, SolidBodyRotationIsUniform) {
+  // u = -Ω·(y - y0), v = Ω·(x - x0)  =>  ζ = 2Ω everywhere.
+  const double omega = 1e-5;
+  auto st = s::lake_at_rest(grid64(), 100.0);
+  const auto& g = st.grid;
+  const double x0 = 0.5 * g.nx * g.dx;
+  const double y0 = 0.5 * g.ny * g.dy;
+  for (int j = -g.halo; j < g.ny + g.halo; ++j)
+    for (int i = -g.halo; i < g.nx + 1 + g.halo; ++i)
+      st.u(i, j) = -omega * ((j + 0.5) * g.dy - y0);
+  for (int j = -g.halo; j < g.ny + 1 + g.halo; ++j)
+    for (int i = -g.halo; i < g.nx + g.halo; ++i)
+      st.v(i, j) = omega * ((i + 0.5) * g.dx - x0);
+  const auto zeta = s::relative_vorticity(st);
+  for (int j = 1; j < 64; j += 9)
+    for (int i = 1; i < 64; i += 9)
+      EXPECT_NEAR(zeta(i, j), 2.0 * omega, 1e-12) << i << "," << j;
+}
+
+TEST(Vorticity, CyclonicDepressionHasPositiveCore) {
+  // Northern-hemisphere low: counter-clockwise wind => ζ > 0 at center.
+  const double f = 1e-4;
+  const auto st = s::depression(grid64(), f, 0.5, 0.5, 1000.0, 20.0, 60e3);
+  const auto zeta = s::relative_vorticity(st);
+  EXPECT_GT(zeta(32, 32), 0.0);
+  // Far from the vortex the vorticity is negligible.
+  EXPECT_LT(std::abs(zeta(4, 4)), 0.1 * zeta(32, 32));
+  EXPECT_GT(s::enstrophy(st), 0.0);
+}
+
+TEST(Vorticity, ViscosityDiffusesAPureRotationalField) {
+  // With f = 0, linear dynamics and a flat free surface, a purely
+  // rotational velocity field evolves by du/dt = nu*lap(u) alone: its
+  // enstrophy must decay monotonically, and stay constant when nu = 0.
+  auto make = [] {
+    auto st = s::lake_at_rest(grid64(), 100.0);
+    const auto& g = st.grid;
+    for (int j = -g.halo; j < g.ny + g.halo; ++j)
+      for (int i = -g.halo; i < g.nx + 1 + g.halo; ++i) {
+        const double y = (j + 0.5) / 64.0;
+        st.u(i, j) = 0.5 * std::sin(8.0 * M_PI * y);  // shear, div-free
+      }
+    return st;
+  };
+  auto run = [&](double nu) {
+    auto st = make();
+    s::ModelParams p;
+    p.coriolis = 0.0;
+    p.nonlinear = false;
+    p.viscosity = nu;
+    p.boundary = s::BoundaryKind::periodic;
+    s::Stepper stepper(st.grid, p);
+    stepper.run(st, 20.0, 200);
+    s::apply_boundary(st, s::BoundaryKind::periodic);
+    return s::enstrophy(st);
+  };
+  const double e0 = s::enstrophy(make());
+  EXPECT_NEAR(run(0.0), e0, 1e-6 * e0);  // inviscid: conserved
+  const double viscous = run(4000.0);
+  EXPECT_LT(viscous, 0.95 * e0);  // viscous: decays
+  EXPECT_GT(viscous, 0.2 * e0);
+}

@@ -1,0 +1,45 @@
+#include "topo/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace t = nestwx::topo;
+using nestwx::util::PreconditionError;
+
+TEST(NodeMode, RanksPerNode) {
+  EXPECT_EQ(t::ranks_per_node(t::NodeMode::coprocessor, 2), 1);
+  EXPECT_EQ(t::ranks_per_node(t::NodeMode::smp, 4), 1);
+  EXPECT_EQ(t::ranks_per_node(t::NodeMode::dual, 4), 2);
+  EXPECT_EQ(t::ranks_per_node(t::NodeMode::virtual_node, 2), 2);
+  EXPECT_EQ(t::ranks_per_node(t::NodeMode::virtual_node, 4), 4);
+}
+
+TEST(NodeMode, DualNeedsTwoCores) {
+  EXPECT_THROW(t::ranks_per_node(t::NodeMode::dual, 1), PreconditionError);
+  EXPECT_THROW(t::ranks_per_node(t::NodeMode::smp, 0), PreconditionError);
+}
+
+TEST(MachineParams, TotalRanksCombinesGeometryAndMode) {
+  t::MachineParams m;
+  m.torus_x = 8;
+  m.torus_y = 8;
+  m.torus_z = 8;
+  m.cores_per_node = 2;
+  m.mode = t::NodeMode::virtual_node;
+  EXPECT_EQ(m.total_ranks(), 1024);
+  m.mode = t::NodeMode::coprocessor;
+  EXPECT_EQ(m.total_ranks(), 512);
+}
+
+TEST(MachineParams, TorusMatchesDims) {
+  t::MachineParams m;
+  m.torus_x = 4;
+  m.torus_y = 2;
+  m.torus_z = 3;
+  const auto torus = m.torus();
+  EXPECT_EQ(torus.dx(), 4);
+  EXPECT_EQ(torus.dy(), 2);
+  EXPECT_EQ(torus.dz(), 3);
+  EXPECT_EQ(torus.node_count(), 24);
+}

@@ -1,0 +1,117 @@
+#include "topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace t = nestwx::topo;
+using nestwx::util::PreconditionError;
+
+TEST(Torus, NodeIndexRoundTrip) {
+  const t::Torus torus(4, 3, 2);
+  for (int i = 0; i < torus.node_count(); ++i)
+    EXPECT_EQ(torus.node_index(torus.node_coord(i)), i);
+}
+
+TEST(Torus, IndexIsXFastest) {
+  const t::Torus torus(4, 3, 2);
+  EXPECT_EQ(torus.node_index({1, 0, 0}), 1);
+  EXPECT_EQ(torus.node_index({0, 1, 0}), 4);
+  EXPECT_EQ(torus.node_index({0, 0, 1}), 12);
+}
+
+TEST(Torus, RejectsInvalidDims) {
+  EXPECT_THROW(t::Torus(0, 1, 1), PreconditionError);
+  EXPECT_THROW(t::Torus(1, -1, 1), PreconditionError);
+}
+
+TEST(Torus, WrapDistance) {
+  EXPECT_EQ(t::Torus::wrap_dist(0, 7, 8), 1);  // wraps around
+  EXPECT_EQ(t::Torus::wrap_dist(0, 4, 8), 4);
+  EXPECT_EQ(t::Torus::wrap_dist(2, 2, 8), 0);
+  EXPECT_EQ(t::Torus::wrap_dist(1, 6, 8), 3);
+}
+
+TEST(Torus, HopDistSymmetricAndTriangle) {
+  const t::Torus torus(5, 4, 3);
+  nestwx::util::Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const auto a = torus.node_coord(
+        static_cast<int>(rng.uniform_int(0, torus.node_count() - 1)));
+    const auto b = torus.node_coord(
+        static_cast<int>(rng.uniform_int(0, torus.node_count() - 1)));
+    const auto c = torus.node_coord(
+        static_cast<int>(rng.uniform_int(0, torus.node_count() - 1)));
+    EXPECT_EQ(torus.hop_dist(a, b), torus.hop_dist(b, a));
+    EXPECT_LE(torus.hop_dist(a, c),
+              torus.hop_dist(a, b) + torus.hop_dist(b, c));
+    EXPECT_EQ(torus.hop_dist(a, a), 0);
+  }
+}
+
+TEST(Torus, NeighborWrapsAround) {
+  const t::Torus torus(4, 4, 4);
+  EXPECT_EQ(torus.neighbor({3, 0, 0}, t::LinkDir::x_plus),
+            (t::Coord3{0, 0, 0}));
+  EXPECT_EQ(torus.neighbor({0, 0, 0}, t::LinkDir::x_minus),
+            (t::Coord3{3, 0, 0}));
+  EXPECT_EQ(torus.neighbor({0, 0, 3}, t::LinkDir::z_plus),
+            (t::Coord3{0, 0, 0}));
+}
+
+TEST(Torus, RouteLengthEqualsHopDist) {
+  const t::Torus torus(6, 5, 4);
+  nestwx::util::Rng rng(5);
+  for (int k = 0; k < 300; ++k) {
+    const auto a = torus.node_coord(
+        static_cast<int>(rng.uniform_int(0, torus.node_count() - 1)));
+    const auto b = torus.node_coord(
+        static_cast<int>(rng.uniform_int(0, torus.node_count() - 1)));
+    EXPECT_EQ(static_cast<int>(torus.route(a, b).size()),
+              torus.hop_dist(a, b));
+  }
+}
+
+TEST(Torus, RouteEmptyForSameNode) {
+  const t::Torus torus(4, 4, 4);
+  EXPECT_TRUE(torus.route({1, 2, 3}, {1, 2, 3}).empty());
+}
+
+TEST(Torus, RouteTakesShortestDirectionAcrossWrap) {
+  const t::Torus torus(8, 1, 1);
+  // 0 -> 7 should be one hop in the minus direction.
+  const auto r = torus.route({0, 0, 0}, {7, 0, 0});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], torus.link_index({0, 0, 0}, t::LinkDir::x_minus));
+}
+
+TEST(Torus, RouteLinksAreConsecutive) {
+  // Each link of a route must start where the previous one ended.
+  const t::Torus torus(4, 4, 4);
+  const t::Coord3 a{0, 0, 0};
+  const t::Coord3 b{2, 3, 1};
+  t::Coord3 cur = a;
+  for (int link : torus.route(a, b)) {
+    const int node = link / 6;
+    const auto dir = static_cast<t::LinkDir>(link % 6);
+    EXPECT_EQ(node, torus.node_index(cur));
+    cur = torus.neighbor(cur, dir);
+  }
+  EXPECT_EQ(cur, b);
+}
+
+TEST(Torus, LinkIndicesUniquePerNodeDirection) {
+  const t::Torus torus(3, 3, 3);
+  EXPECT_EQ(torus.link_count(), 27 * 6);
+  EXPECT_NE(torus.link_index({0, 0, 0}, t::LinkDir::x_plus),
+            torus.link_index({0, 0, 0}, t::LinkDir::y_plus));
+  EXPECT_NE(torus.link_index({0, 0, 0}, t::LinkDir::x_plus),
+            torus.link_index({1, 0, 0}, t::LinkDir::x_plus));
+}
+
+TEST(Torus, DegenerateSingleNode) {
+  const t::Torus torus(1, 1, 1);
+  EXPECT_EQ(torus.node_count(), 1);
+  EXPECT_EQ(torus.hop_dist({0, 0, 0}, {0, 0, 0}), 0);
+}

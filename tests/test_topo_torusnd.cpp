@@ -1,0 +1,92 @@
+#include "topo/torusnd.hpp"
+#include "topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace t = nestwx::topo;
+using nestwx::util::PreconditionError;
+
+TEST(TorusND, IndexRoundTrip) {
+  const t::TorusND torus({4, 3, 2, 2});
+  EXPECT_EQ(torus.node_count(), 48);
+  for (int i = 0; i < torus.node_count(); ++i)
+    EXPECT_EQ(torus.node_index(torus.node_coord(i)), i);
+}
+
+TEST(TorusND, FirstDimensionFastest) {
+  const t::TorusND torus({4, 3, 2});
+  EXPECT_EQ(torus.node_index({1, 0, 0}), 1);
+  EXPECT_EQ(torus.node_index({0, 1, 0}), 4);
+  EXPECT_EQ(torus.node_index({0, 0, 1}), 12);
+}
+
+TEST(TorusND, MatchesTorus3DDistances) {
+  const t::TorusND nd({5, 4, 3});
+  const t::Torus t3(5, 4, 3);
+  nestwx::util::Rng rng(9);
+  for (int k = 0; k < 200; ++k) {
+    const int a = static_cast<int>(rng.uniform_int(0, nd.node_count() - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, nd.node_count() - 1));
+    EXPECT_EQ(nd.hop_dist(a, b),
+              t3.hop_dist(t3.node_coord(a), t3.node_coord(b)));
+  }
+}
+
+TEST(TorusND, FiveDimensionalWrap) {
+  const t::TorusND torus({4, 4, 4, 4, 2});
+  EXPECT_EQ(torus.node_count(), 512);
+  // Wrap in each dimension: 0 vs extent-1 is one hop.
+  EXPECT_EQ(torus.hop_dist({0, 0, 0, 0, 0}, {3, 0, 0, 0, 0}), 1);
+  EXPECT_EQ(torus.hop_dist({0, 0, 0, 0, 0}, {0, 0, 0, 0, 1}), 1);
+  EXPECT_EQ(torus.hop_dist({0, 0, 0, 0, 0}, {2, 2, 2, 2, 1}), 9);
+}
+
+TEST(TorusND, RouteLengthEqualsHopDist) {
+  const t::TorusND torus({3, 4, 2, 3});
+  nestwx::util::Rng rng(4);
+  for (int k = 0; k < 200; ++k) {
+    const int a = static_cast<int>(rng.uniform_int(0, torus.node_count() - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, torus.node_count() - 1));
+    EXPECT_EQ(static_cast<int>(torus.route(a, b).size()),
+              torus.hop_dist(a, b));
+  }
+}
+
+TEST(TorusND, LinkIndicesDisjoint) {
+  const t::TorusND torus({3, 3});
+  EXPECT_EQ(torus.link_count(), 9 * 4);
+  EXPECT_NE(torus.link_index(0, 0, 1), torus.link_index(0, 0, -1));
+  EXPECT_NE(torus.link_index(0, 0, 1), torus.link_index(0, 1, 1));
+  EXPECT_NE(torus.link_index(0, 0, 1), torus.link_index(1, 0, 1));
+  EXPECT_THROW(torus.link_index(0, 2, 1), PreconditionError);
+  EXPECT_THROW(torus.link_index(0, 0, 2), PreconditionError);
+}
+
+TEST(TorusND, RejectsBadInput) {
+  EXPECT_THROW(t::TorusND({}), PreconditionError);
+  EXPECT_THROW(t::TorusND({4, 0}), PreconditionError);
+  const t::TorusND torus({2, 2});
+  EXPECT_THROW(torus.node_index({2, 0}), PreconditionError);
+  EXPECT_THROW(torus.hop_dist({0, 0}, {0, 0, 0}), PreconditionError);
+}
+
+TEST(BlueGeneQ, MidplaneShape) {
+  const auto m = t::bluegene_q(8192);
+  EXPECT_EQ(m.total_ranks(), 8192);
+  EXPECT_EQ(m.torus_dims.size(), 5u);
+  EXPECT_EQ(m.torus_dims.back(), 2);
+  EXPECT_EQ(m.ranks_per_node, 16);
+  EXPECT_EQ(m.torus().node_count(), 512);
+}
+
+TEST(BlueGeneQ, SmallerPartitions) {
+  for (int ranks : {32, 64, 512, 2048, 16384}) {
+    const auto m = t::bluegene_q(ranks);
+    EXPECT_EQ(m.total_ranks(), ranks) << ranks;
+  }
+  EXPECT_THROW(t::bluegene_q(24), PreconditionError);
+  EXPECT_THROW(t::bluegene_q(48), PreconditionError);  // 3 nodes
+}

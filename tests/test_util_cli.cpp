@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace u = nestwx::util;
+
+namespace {
+u::Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return u::Cli(static_cast<int>(v.size()), v.data());
+}
+}  // namespace
+
+TEST(Cli, EqualsForm) {
+  const auto c = make({"--cores=1024"});
+  EXPECT_EQ(c.get_int("cores", 0), 1024);
+}
+
+TEST(Cli, SpaceForm) {
+  const auto c = make({"--machine", "bgp"});
+  EXPECT_EQ(c.get("machine", ""), "bgp");
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto c = make({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_FALSE(c.get_bool("quiet", false));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", true),
+               u::PreconditionError);
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(make({"--f=2.5"}).get_double("f", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(make({}).get_double("f", 1.25), 1.25);
+  EXPECT_THROW(make({"--f=abc"}).get_double("f", 0.0), u::PreconditionError);
+}
+
+TEST(Cli, IntRejectsGarbage) {
+  EXPECT_THROW(make({"--n=12x"}).get_int("n", 0), u::PreconditionError);
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  const auto c = make({"one", "--k=v", "two"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "one");
+  EXPECT_EQ(c.positional()[1], "two");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto c = make({});
+  EXPECT_EQ(c.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Cli, ProgramNameCaptured) {
+  const auto c = make({});
+  EXPECT_EQ(c.program(), "prog");
+}
+
+TEST(Cli, TrailingValueFlagBecomesBoolean) {
+  // "--flag" at end with no value is a boolean, not an error.
+  const auto c = make({"--flag"});
+  EXPECT_TRUE(c.has("flag"));
+  EXPECT_EQ(c.get("flag", "x"), "");
+}

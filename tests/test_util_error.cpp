@@ -1,0 +1,55 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u = nestwx::util;
+
+TEST(ErrorMacros, RequireThrowsPreconditionWithContext) {
+  try {
+    NESTWX_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected PreconditionError";
+  } catch (const u::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_util_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, AssertThrowsInvariant) {
+  EXPECT_THROW(NESTWX_ASSERT(false, "broken"), u::InvariantError);
+}
+
+TEST(ErrorMacros, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(NESTWX_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(NESTWX_ASSERT(2 + 2 == 4, "fine"));
+}
+
+TEST(ErrorMacros, MessageIsLazilyEvaluated) {
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("pricey");
+  };
+  NESTWX_REQUIRE(true, expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(NESTWX_REQUIRE(false, expensive()), u::PreconditionError);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ErrorHierarchy, BothDeriveFromError) {
+  try {
+    NESTWX_REQUIRE(false, "x");
+  } catch (const u::Error&) {
+    SUCCEED();
+  } catch (...) {
+    FAIL() << "PreconditionError must derive from Error";
+  }
+  try {
+    NESTWX_ASSERT(false, "x");
+  } catch (const u::Error&) {
+    SUCCEED();
+  } catch (...) {
+    FAIL() << "InvariantError must derive from Error";
+  }
+}

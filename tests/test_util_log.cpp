@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u = nestwx::util;
+
+TEST(Log, ParseLevelKnownNames) {
+  EXPECT_EQ(u::parse_level("debug"), u::LogLevel::debug);
+  EXPECT_EQ(u::parse_level("info"), u::LogLevel::info);
+  EXPECT_EQ(u::parse_level("warn"), u::LogLevel::warn);
+  EXPECT_EQ(u::parse_level("error"), u::LogLevel::error);
+  EXPECT_EQ(u::parse_level("off"), u::LogLevel::off);
+}
+
+TEST(Log, ParseLevelUnknownDefaultsToWarn) {
+  EXPECT_EQ(u::parse_level("chatty"), u::LogLevel::warn);
+  EXPECT_EQ(u::parse_level(""), u::LogLevel::warn);
+}
+
+TEST(Log, SetAndGetLevelRoundTrip) {
+  const auto saved = u::level();
+  u::set_level(u::LogLevel::debug);
+  EXPECT_EQ(u::level(), u::LogLevel::debug);
+  u::set_level(u::LogLevel::off);
+  EXPECT_EQ(u::level(), u::LogLevel::off);
+  u::set_level(saved);
+}
+
+TEST(Log, MacroRespectsThreshold) {
+  const auto saved = u::level();
+  u::set_level(u::LogLevel::off);
+  // Must compile and be a no-op at level off; the expression should not
+  // be evaluated.
+  int evaluations = 0;
+  NESTWX_DEBUG("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  u::set_level(saved);
+}
+
+TEST(Log, MacroEvaluatesWhenEnabled) {
+  const auto saved = u::level();
+  u::set_level(u::LogLevel::debug);
+  testing::internal::CaptureStderr();
+  int evaluations = 0;
+  NESTWX_DEBUG("value " << ++evaluations);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(out.find("value 1"), std::string::npos);
+  EXPECT_NE(out.find("DEBUG"), std::string::npos);
+  u::set_level(saved);
+}

@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace u = nestwx::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  u::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  u::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  u::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  u::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  u::Rng r(123);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBoundsAreHit) {
+  u::Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(5));
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  u::Rng r(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  u::Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  u::Rng r(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[r.uniform_int(0, 9)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(u::splitmix64(s1), u::splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(u::splitmix64(s1), u::splitmix64(s1));
+}

@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace u = nestwx::util;
+
+TEST(Summarize, EmptySampleYieldsZeros) {
+  const auto s = u::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v{4.5};
+  const auto s = u::summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = u::summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(Summarize, NegativeValues) {
+  const std::vector<double> v{-3.0, -1.0, 1.0, 3.0};
+  const auto s = u::summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(u::percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(u::percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(u::percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(u::percentile(v, 100.0), 10.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(u::percentile(v, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(u::percentile({}, 50.0), u::PreconditionError);
+  EXPECT_THROW(u::percentile(v, -1.0), u::PreconditionError);
+  EXPECT_THROW(u::percentile(v, 101.0), u::PreconditionError);
+}
+
+TEST(RelativeError, Basic) {
+  EXPECT_DOUBLE_EQ(u::relative_error_pct(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(u::relative_error_pct(90.0, 100.0), 10.0);
+  EXPECT_THROW(u::relative_error_pct(1.0, 0.0), u::PreconditionError);
+}
+
+TEST(ImprovementPct, Basic) {
+  EXPECT_DOUBLE_EQ(u::improvement_pct(2.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(u::improvement_pct(1.0, 1.0), 0.0);
+  EXPECT_LT(u::improvement_pct(1.0, 2.0), 0.0);  // regression is negative
+  EXPECT_THROW(u::improvement_pct(0.0, 1.0), u::PreconditionError);
+}
+
+TEST(Accumulator, MatchesBatchSummary) {
+  const std::vector<double> v{1.5, -2.0, 3.25, 0.0, 9.75};
+  u::Accumulator acc;
+  for (double x : v) acc.add(x);
+  const auto batch = u::summarize(v);
+  const auto stream = acc.summary();
+  EXPECT_EQ(stream.count, batch.count);
+  EXPECT_NEAR(stream.mean, batch.mean, 1e-12);
+  EXPECT_NEAR(stream.stddev, batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(stream.min, batch.min);
+  EXPECT_DOUBLE_EQ(stream.max, batch.max);
+}

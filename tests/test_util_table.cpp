@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace u = nestwx::util;
+
+TEST(Table, RequiresNonEmptyHeader) {
+  EXPECT_THROW(u::Table({}), u::PreconditionError);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  u::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), u::PreconditionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), u::PreconditionError);
+}
+
+TEST(Table, PrintAlignsColumnsAndIncludesTitle) {
+  u::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(u::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(u::Table::num(2.0, 0), "2");
+  EXPECT_EQ(u::Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, CsvRoundTripWithEscapes) {
+  u::Table t({"k", "v"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  const std::string path = ::testing::TempDir() + "nestwx_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(f, line);
+  EXPECT_EQ(line, "\"with,comma\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(Table, BenchCsvSkippedWithoutEnv) {
+  unsetenv("NESTWX_BENCH_OUT");
+  u::Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_FALSE(t.write_bench_csv("nope"));
+}
+
+TEST(Table, BenchCsvWrittenWithEnv) {
+  const std::string dir = ::testing::TempDir() + "nestwx_bench_out";
+  setenv("NESTWX_BENCH_OUT", dir.c_str(), 1);
+  u::Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_TRUE(t.write_bench_csv("yes"));
+  std::ifstream f(dir + "/yes.csv");
+  EXPECT_TRUE(f.good());
+  unsetenv("NESTWX_BENCH_OUT");
+}
+
+TEST(Table, RowCountTracksAdds) {
+  u::Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}

@@ -1,0 +1,160 @@
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace w = nestwx::workload;
+using nestwx::util::PreconditionError;
+
+TEST(Machines, BalancedTorusDims) {
+  const auto d512 = w::balanced_torus_dims(512);
+  EXPECT_EQ(d512.x * d512.y * d512.z, 512);
+  EXPECT_EQ(d512.x, 8);
+  EXPECT_EQ(d512.y, 8);
+  EXPECT_EQ(d512.z, 8);
+  const auto d1024 = w::balanced_torus_dims(1024);
+  EXPECT_EQ(d1024.x * d1024.y * d1024.z, 1024);
+  EXPECT_LE(static_cast<double>(d1024.x) / d1024.z, 2.01);
+  const auto d1 = w::balanced_torus_dims(1);
+  EXPECT_EQ(d1.x, 1);
+}
+
+TEST(Machines, BglGeometryAndRanks) {
+  const auto m = w::bluegene_l(1024);
+  EXPECT_EQ(m.total_ranks(), 1024);
+  EXPECT_EQ(m.torus_x * m.torus_y * m.torus_z, 512);  // VN: 2 ranks/node
+  EXPECT_EQ(m.cores_per_node, 2);
+}
+
+TEST(Machines, BgpGeometryAndRanks) {
+  for (int cores : {512, 1024, 2048, 4096, 8192}) {
+    const auto m = w::bluegene_p(cores);
+    EXPECT_EQ(m.total_ranks(), cores) << cores;
+    EXPECT_EQ(m.torus_x * m.torus_y * m.torus_z, cores / 4);
+  }
+}
+
+TEST(Machines, BgpFasterThanBgl) {
+  const auto l = w::bluegene_l(1024);
+  const auto p = w::bluegene_p(1024);
+  EXPECT_GT(p.flop_rate, l.flop_rate);
+  EXPECT_GT(p.link_bandwidth, l.link_bandwidth);
+}
+
+TEST(Machines, RejectBadCoreCounts) {
+  EXPECT_THROW(w::bluegene_l(1), PreconditionError);    // < 1 node
+  EXPECT_THROW(w::bluegene_p(1026), PreconditionError); // not multiple of 4
+  EXPECT_THROW(w::balanced_torus_dims(0), PreconditionError);
+}
+
+TEST(Configs, PaperParents) {
+  const auto p = w::pacific_parent();
+  EXPECT_EQ(p.nx, 286);
+  EXPECT_EQ(p.ny, 307);
+  EXPECT_DOUBLE_EQ(p.resolution_km, 24.0);
+}
+
+TEST(Configs, Fig2SingleNest) {
+  const auto cfg = w::fig2_config();
+  ASSERT_EQ(cfg.siblings.size(), 1u);
+  EXPECT_EQ(cfg.siblings[0].nx, 415);
+  EXPECT_EQ(cfg.siblings[0].ny, 445);
+  EXPECT_EQ(cfg.siblings[0].refinement_ratio, 3);
+}
+
+TEST(Configs, Table2FourSiblings) {
+  const auto cfg = w::table2_config();
+  ASSERT_EQ(cfg.siblings.size(), 4u);
+  EXPECT_EQ(cfg.siblings[0].nx, 394);
+  EXPECT_EQ(cfg.siblings[3].ny, 337);
+}
+
+TEST(Configs, NestsFitInsideParent) {
+  for (const auto& cfg :
+       {w::fig2_config(), w::table2_config(), w::fig10_config(),
+        w::table3_config_small(), w::table3_config_medium(),
+        w::table3_config_large(), w::fig15_config()}) {
+    const nestwx::procgrid::Rect parent{0, 0, cfg.parent.nx, cfg.parent.ny};
+    for (const auto& s : cfg.siblings) {
+      EXPECT_TRUE(parent.contains(s.parent_footprint()))
+          << cfg.name << " " << s.name;
+    }
+  }
+}
+
+TEST(Configs, SiblingFootprintsDisjoint) {
+  for (const auto& cfg : {w::table2_config(), w::fig10_config()}) {
+    for (std::size_t i = 0; i < cfg.siblings.size(); ++i)
+      for (std::size_t j = i + 1; j < cfg.siblings.size(); ++j)
+        EXPECT_FALSE(nestwx::procgrid::overlaps(
+            cfg.siblings[i].parent_footprint(),
+            cfg.siblings[j].parent_footprint()))
+            << cfg.name;
+  }
+}
+
+TEST(Configs, NestResolutionRefinesParent) {
+  const auto cfg = w::table2_config();
+  for (const auto& s : cfg.siblings)
+    EXPECT_DOUBLE_EQ(s.resolution_km, 8.0);  // 24 km / 3
+}
+
+TEST(Configs, RandomConfigsRespectPaperRanges) {
+  nestwx::util::Rng rng(85);
+  const auto configs = w::random_configs(rng, 85);
+  EXPECT_EQ(configs.size(), 85u);
+  for (const auto& cfg : configs) {
+    EXPECT_GE(cfg.siblings.size(), 2u);
+    EXPECT_LE(cfg.siblings.size(), 4u);
+    for (const auto& s : cfg.siblings) {
+      EXPECT_GE(s.nx, 94);
+      EXPECT_LE(s.nx, 415);
+      EXPECT_GE(s.ny, 124);
+      EXPECT_LE(s.ny, 445);
+      const nestwx::procgrid::Rect parent{0, 0, cfg.parent.nx,
+                                          cfg.parent.ny};
+      EXPECT_TRUE(parent.contains(s.parent_footprint())) << s.name;
+    }
+  }
+}
+
+TEST(Configs, RandomConfigsDeterministic) {
+  nestwx::util::Rng a(7), b(7);
+  const auto ca = w::random_configs(a, 10);
+  const auto cb = w::random_configs(b, 10);
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(ca[i].siblings.size(), cb[i].siblings.size());
+    for (std::size_t s = 0; s < ca[i].siblings.size(); ++s) {
+      EXPECT_EQ(ca[i].siblings[s].nx, cb[i].siblings[s].nx);
+      EXPECT_EQ(ca[i].siblings[s].ny, cb[i].siblings[s].ny);
+    }
+  }
+}
+
+TEST(Configs, MakeConfigRejectsOversizedNest) {
+  EXPECT_THROW(
+      w::make_config("too-big", w::pacific_parent(), {{2000, 2000}}),
+      PreconditionError);
+}
+
+TEST(Configs, EightSeaConfigurations) {
+  const auto configs = w::sea_configs();
+  ASSERT_EQ(configs.size(), 8u);
+  int with_second_level = 0;
+  for (const auto& cfg : configs) {
+    EXPECT_GE(cfg.siblings.size(), 1u);
+    const nestwx::procgrid::Rect parent{0, 0, cfg.parent.nx, cfg.parent.ny};
+    for (const auto& s : cfg.siblings)
+      EXPECT_TRUE(parent.contains(s.parent_footprint())) << cfg.name;
+    for (const auto& child : cfg.second_level) {
+      const auto& host = cfg.siblings[child.sibling];
+      const nestwx::procgrid::Rect host_rect{0, 0, host.nx, host.ny};
+      EXPECT_TRUE(host_rect.contains(child.spec.parent_footprint()))
+          << cfg.name;
+    }
+    if (!cfg.second_level.empty()) ++with_second_level;
+  }
+  EXPECT_EQ(with_second_level, 3);  // paper: three of eight
+}

@@ -1,0 +1,112 @@
+#include "workload/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace w = nestwx::workload;
+using nestwx::util::PreconditionError;
+
+namespace {
+w::PlanFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return w::parse_plan_file(in);
+}
+}  // namespace
+
+TEST(PlanFile, ParsesFullExample) {
+  const auto plan = parse(R"(
+# two typhoon nests
+machine   = bgl
+cores     = 2048
+parent    = 320x300
+ratio     = 3
+nest      = 394x418   # the big one
+nest      = 232x202
+inner     = 0: 150x150
+allocator = huffman-single
+scheme    = partition
+)");
+  EXPECT_EQ(plan.machine, "bgl");
+  EXPECT_EQ(plan.cores, 2048);
+  EXPECT_EQ(plan.parent, (std::pair{320, 300}));
+  EXPECT_EQ(plan.ratio, 3);
+  ASSERT_EQ(plan.nests.size(), 2u);
+  EXPECT_EQ(plan.nests[0], (std::pair{394, 418}));
+  ASSERT_EQ(plan.inner.size(), 1u);
+  EXPECT_EQ(plan.inner[0].first, 0);
+  EXPECT_EQ(plan.inner[0].second, (std::pair{150, 150}));
+  EXPECT_EQ(plan.allocator, "huffman-single");
+  EXPECT_EQ(plan.scheme, "partition");
+}
+
+TEST(PlanFile, DefaultsApplyWhenOmitted) {
+  const auto plan = parse("nest = 200x200\n");
+  EXPECT_EQ(plan.machine, "bgp");
+  EXPECT_EQ(plan.cores, 1024);
+  EXPECT_EQ(plan.scheme, "multilevel");
+  EXPECT_EQ(plan.ratio, 3);
+}
+
+TEST(PlanFile, CommentsAndWhitespaceIgnored) {
+  const auto plan = parse(
+      "  # full-line comment\n"
+      "\n"
+      "   nest =   100x200  # trailing comment\n"
+      "\t cores\t=\t512 \n");
+  EXPECT_EQ(plan.cores, 512);
+  ASSERT_EQ(plan.nests.size(), 1u);
+  EXPECT_EQ(plan.nests[0], (std::pair{100, 200}));
+}
+
+TEST(PlanFile, ErrorsCarryLineNumbers) {
+  try {
+    parse("nest = 100x200\nbogus line without equals\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PlanFile, RejectsMalformedValues) {
+  EXPECT_THROW(parse("nest = 100by200\n"), PreconditionError);
+  EXPECT_THROW(parse("nest = -5x200\n"), PreconditionError);
+  EXPECT_THROW(parse("cores = many\nnest = 100x100\n"),
+               PreconditionError);
+  EXPECT_THROW(parse("machine = cray\nnest = 100x100\n"),
+               PreconditionError);
+  EXPECT_THROW(parse("wibble = 3\nnest = 100x100\n"), PreconditionError);
+  EXPECT_THROW(parse("nest =\n"), PreconditionError);
+}
+
+TEST(PlanFile, RequiresAtLeastOneNest) {
+  EXPECT_THROW(parse("cores = 512\n"), PreconditionError);
+}
+
+TEST(PlanFile, ValidatesInnerSiblingReference) {
+  EXPECT_THROW(parse("nest = 100x100\ninner = 3: 50x50\n"),
+               PreconditionError);
+  EXPECT_THROW(parse("nest = 100x100\ninner = 50x50\n"),
+               PreconditionError);
+}
+
+TEST(PlanFile, ToConfigBuildsNestedConfig) {
+  const auto plan = parse(
+      "parent = 320x300\n"
+      "nest = 240x240\n"
+      "nest = 200x220\n"
+      "inner = 1: 120x120\n");
+  const auto cfg = plan.to_config("t");
+  EXPECT_EQ(cfg.parent.nx, 320);
+  ASSERT_EQ(cfg.siblings.size(), 2u);
+  ASSERT_EQ(cfg.second_level.size(), 1u);
+  EXPECT_EQ(cfg.second_level[0].sibling, 1);
+  EXPECT_EQ(cfg.second_level[0].spec.nx, 120);
+}
+
+TEST(PlanFile, LoadFromMissingFileThrows) {
+  EXPECT_THROW(w::load_plan_file("/no/such/file.plan"),
+               PreconditionError);
+}

@@ -1,0 +1,195 @@
+#include "wrfsim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+using nestwx::util::PreconditionError;
+
+namespace {
+const nestwx::topo::MachineParams& bgl256() {
+  static const auto m = w::bluegene_l(256);
+  return m;
+}
+
+const c::DelaunayPerfModel& model256() {
+  static const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(bgl256(), c::default_basis_domains()));
+  return model;
+}
+}  // namespace
+
+TEST(ProfileBasis, PositiveTimesForAllDomains) {
+  const auto pts = ws::profile_basis(bgl256(), c::default_basis_domains());
+  EXPECT_EQ(pts.size(), 13u);
+  for (const auto& p : pts) EXPECT_GT(p.time, 0.0);
+}
+
+TEST(ProfileBasis, MoreWorkTakesLonger) {
+  const auto pts = ws::profile_basis(
+      bgl256(), {{100, 100}, {200, 200}, {400, 400}});
+  EXPECT_LT(pts[0].time, pts[1].time);
+  EXPECT_LT(pts[1].time, pts[2].time);
+}
+
+TEST(SimulateRun, SequentialBaselineProducesSaneMetrics) {
+  const auto plan = c::plan_execution(
+      bgl256(), w::table2_config(), model256(), c::Strategy::sequential,
+      c::Allocator::huffman, c::MapScheme::txyz);
+  const auto res = ws::simulate_run(bgl256(), w::table2_config(), plan);
+  EXPECT_GT(res.parent_step, 0.0);
+  EXPECT_GT(res.nest_phase, 0.0);
+  EXPECT_GT(res.integration, res.parent_step);
+  EXPECT_DOUBLE_EQ(res.io_time, 0.0);
+  EXPECT_DOUBLE_EQ(res.total, res.integration);
+  EXPECT_EQ(res.sibling_blocks.size(), 4u);
+  EXPECT_GE(res.max_wait, res.avg_wait);
+  EXPECT_GT(res.avg_hops, 0.0);
+}
+
+TEST(SimulateRun, SequentialNestPhaseIsSumOfBlocks) {
+  const auto plan = c::plan_execution(
+      bgl256(), w::table2_config(), model256(), c::Strategy::sequential,
+      c::Allocator::huffman, c::MapScheme::txyz);
+  const auto res = ws::simulate_run(bgl256(), w::table2_config(), plan);
+  double sum = 0.0;
+  for (double b : res.sibling_blocks) sum += b;
+  EXPECT_NEAR(res.nest_phase, sum, 1e-12);
+}
+
+TEST(SimulateRun, ConcurrentNestPhaseIsMaxOfBlocks) {
+  const auto plan = c::plan_execution(
+      bgl256(), w::table2_config(), model256(), c::Strategy::concurrent,
+      c::Allocator::huffman, c::MapScheme::txyz);
+  const auto res = ws::simulate_run(bgl256(), w::table2_config(), plan);
+  double mx = 0.0;
+  for (double b : res.sibling_blocks) mx = std::max(mx, b);
+  EXPECT_NEAR(res.nest_phase, mx, 1e-12);
+}
+
+TEST(SimulateRun, ConcurrentBeatsSequentialOnPaperConfig) {
+  const auto cmp = ws::compare_strategies(bgl256(), w::table2_config(),
+                                          model256());
+  EXPECT_LT(cmp.concurrent_oblivious.integration,
+            cmp.sequential.integration);
+  EXPECT_LE(cmp.concurrent_aware.integration,
+            cmp.concurrent_oblivious.integration * 1.02);
+}
+
+TEST(SimulateRun, ConcurrentReducesWaitTimesAtScale) {
+  // Wait-time wins need enough processors that the sequential halo
+  // traffic dominates the concurrent strategy's sibling-imbalance idle
+  // time; the paper measures at 512+ cores (Table 1).
+  const auto machine = w::bluegene_l(1024);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  const auto cmp =
+      ws::compare_strategies(machine, w::table2_config(), model);
+  EXPECT_LT(cmp.concurrent_aware.avg_wait, cmp.sequential.avg_wait);
+}
+
+TEST(SimulateRun, AwareMappingReducesHops) {
+  const auto cmp = ws::compare_strategies(bgl256(), w::table2_config(),
+                                          model256());
+  EXPECT_LT(cmp.concurrent_aware.avg_hops,
+            cmp.concurrent_oblivious.avg_hops);
+}
+
+TEST(SimulateRun, IndividualSiblingSlowdownButOverallGain) {
+  // Fig. 9: per-sibling blocks are slower on partitions than on the full
+  // machine, yet the concurrent span beats the sequential sum.
+  const auto cmp = ws::compare_strategies(bgl256(), w::table2_config(),
+                                          model256());
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_GE(cmp.concurrent_oblivious.sibling_blocks[s],
+              cmp.sequential.sibling_blocks[s]);
+  EXPECT_LT(cmp.concurrent_oblivious.nest_phase,
+            cmp.sequential.nest_phase);
+}
+
+TEST(SimulateRun, IoIncreasesTotalAndFavoursConcurrent) {
+  ws::RunOptions opt;
+  opt.with_io = true;
+  opt.output_every = 4;
+  const auto cmp = ws::compare_strategies(bgl256(), w::table2_config(),
+                                          model256(),
+                                          c::MapScheme::multilevel, opt);
+  EXPECT_GT(cmp.sequential.io_time, 0.0);
+  EXPECT_GT(cmp.sequential.total, cmp.sequential.integration);
+  // Fewer writers per sibling file => cheaper I/O for the concurrent run.
+  EXPECT_LT(cmp.concurrent_oblivious.io_time, cmp.sequential.io_time);
+}
+
+TEST(SimulateRun, RejectsPlanWithoutMapping) {
+  c::ExecutionPlan plan;
+  plan.strategy = c::Strategy::sequential;
+  plan.parent_grid = nestwx::procgrid::Grid2D(16, 16);
+  EXPECT_THROW(ws::simulate_run(bgl256(), w::table2_config(), plan),
+               PreconditionError);
+}
+
+TEST(SimulateRun, SingleSiblingConcurrentEqualsWholeGrid) {
+  const auto cfg = w::fig2_config();
+  const auto plan_seq = c::plan_execution(
+      bgl256(), cfg, model256(), c::Strategy::sequential,
+      c::Allocator::huffman, c::MapScheme::txyz);
+  const auto plan_con = c::plan_execution(
+      bgl256(), cfg, model256(), c::Strategy::concurrent,
+      c::Allocator::huffman, c::MapScheme::txyz);
+  const auto seq = ws::simulate_run(bgl256(), cfg, plan_seq);
+  const auto con = ws::simulate_run(bgl256(), cfg, plan_con);
+  // One sibling: its partition is the whole grid, so both match.
+  EXPECT_NEAR(seq.nest_phase, con.nest_phase, 1e-9);
+}
+
+TEST(SimulateRun, MoreCoresReduceIntegrationTime) {
+  const auto cfg = w::fig15_config();
+  std::vector<double> times;
+  for (int cores : {64, 256, 1024}) {
+    const auto m = w::bluegene_l(cores);
+    const auto model = c::DelaunayPerfModel::fit(
+        ws::profile_basis(m, c::default_basis_domains()));
+    const auto plan = c::plan_execution(m, cfg, model,
+                                        c::Strategy::sequential,
+                                        c::Allocator::huffman,
+                                        c::MapScheme::txyz);
+    times.push_back(ws::simulate_run(m, cfg, plan).integration);
+  }
+  EXPECT_GT(times[0], times[1]);
+  EXPECT_GT(times[1], times[2]);
+}
+
+TEST(SimulateRun, SubLinearScalingOfNestedRun) {
+  // Fig. 2: speedup from 256 -> 1024 cores is far from 4x for the nested
+  // configuration.
+  const auto cfg = w::fig2_config();
+  double t256 = 0.0, t1024 = 0.0;
+  {
+    const auto m = w::bluegene_l(256);
+    const auto model = c::DelaunayPerfModel::fit(
+        ws::profile_basis(m, c::default_basis_domains()));
+    t256 = ws::simulate_run(
+               m, cfg,
+               c::plan_execution(m, cfg, model, c::Strategy::sequential,
+                                 c::Allocator::huffman, c::MapScheme::txyz))
+               .integration;
+  }
+  {
+    const auto m = w::bluegene_l(1024);
+    const auto model = c::DelaunayPerfModel::fit(
+        ws::profile_basis(m, c::default_basis_domains()));
+    t1024 = ws::simulate_run(
+                m, cfg,
+                c::plan_execution(m, cfg, model, c::Strategy::sequential,
+                                  c::Allocator::huffman, c::MapScheme::txyz))
+                .integration;
+  }
+  const double speedup = t256 / t1024;
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup, 3.5);
+}

@@ -1,0 +1,159 @@
+/// Additional driver coverage: I/O cadence options, oversubscription
+/// clipping, metric consistency, and machine-family comparisons.
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+
+namespace {
+const nestwx::topo::MachineParams& bgl() {
+  static const auto m = w::bluegene_l(256);
+  return m;
+}
+const c::DelaunayPerfModel& model() {
+  static const auto mod = c::DelaunayPerfModel::fit(
+      ws::profile_basis(bgl(), c::default_basis_domains()));
+  return mod;
+}
+ws::RunResult run(const c::NestedConfig& cfg, const ws::RunOptions& opt = {},
+                  c::Strategy st = c::Strategy::concurrent) {
+  const auto plan = c::plan_execution(bgl(), cfg, model(), st,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel);
+  return ws::simulate_run(bgl(), cfg, plan, opt);
+}
+}  // namespace
+
+TEST(RunMetrics, IntegrationDecomposesExactly) {
+  const auto r = run(w::table2_config());
+  EXPECT_NEAR(r.integration, r.parent_step + r.nest_phase + r.sync_time,
+              1e-12);
+  EXPECT_NEAR(r.total, r.integration + r.io_time, 1e-12);
+}
+
+TEST(RunMetrics, SiblingTimingFieldsAreConsistent) {
+  const auto r = run(w::table2_config());
+  ASSERT_EQ(r.sibling_timings.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto& t = r.sibling_timings[s];
+    EXPECT_GT(t.compute, 0.0);
+    EXPECT_GT(t.comm, 0.0);
+    EXPECT_GT(t.boundary, 0.0);
+    EXPECT_NEAR(r.sibling_blocks[s],
+                w::table2_config().siblings[s].refinement_ratio *
+                    t.substep(),
+                1e-12);
+    EXPECT_GT(t.ranks, 0);
+  }
+}
+
+TEST(RunMetrics, MoreFrequentOutputCostsMore) {
+  ws::RunOptions sparse;
+  sparse.with_io = true;
+  sparse.output_every = 16;
+  ws::RunOptions dense = sparse;
+  dense.output_every = 2;
+  const auto r_sparse = run(w::table2_config(), sparse);
+  const auto r_dense = run(w::table2_config(), dense);
+  EXPECT_GT(r_dense.io_time, r_sparse.io_time);
+  EXPECT_NEAR(r_dense.integration, r_sparse.integration, 1e-12);
+}
+
+TEST(RunMetrics, ParentOutputCadenceIsSeparate) {
+  ws::RunOptions opt;
+  opt.with_io = true;
+  opt.output_every = 4;
+  opt.parent_output_every = 4;
+  const auto both_fast = run(w::table2_config(), opt);
+  opt.parent_output_every = 400;
+  const auto parent_slow = run(w::table2_config(), opt);
+  EXPECT_GT(both_fast.io_time, parent_slow.io_time);
+}
+
+TEST(RunMetrics, SplitFilesCheaperThanCollectiveAtScale) {
+  // The collective's per-writer term only overtakes the split-file
+  // metadata cost at large rank counts, so compare on 4096 BG/P cores.
+  const auto machine = w::bluegene_p(4096);
+  const auto mod = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  ws::RunOptions coll;
+  coll.with_io = true;
+  coll.io_mode = nestwx::iosim::IoMode::pnetcdf_collective;
+  ws::RunOptions split = coll;
+  split.io_mode = nestwx::iosim::IoMode::split_files;
+  const auto plan = c::plan_execution(machine, w::table2_config(), mod,
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::txyz);
+  const auto r_coll =
+      ws::simulate_run(machine, w::table2_config(), plan, coll);
+  const auto r_split =
+      ws::simulate_run(machine, w::table2_config(), plan, split);
+  EXPECT_LT(r_split.io_time, r_coll.io_time);
+}
+
+TEST(RunMetrics, OversubscribedNestClipsAndStillRuns) {
+  // A nest narrower than the processor grid: excess columns idle.
+  const auto cfg =
+      w::make_config("tiny-nest", w::pacific_parent(), {{60, 200}});
+  const auto r = run(cfg);
+  EXPECT_GT(r.integration, 0.0);
+  EXPECT_GT(r.nest_phase, 0.0);
+  // The effective rect must have been clipped to <= 60 columns.
+  EXPECT_LE(r.sibling_timings[0].ranks, 60 * 200);
+}
+
+TEST(RunMetrics, RefinementRatioScalesNestPhase) {
+  auto cfg1 = w::make_config("r-test", w::pacific_parent(), {{240, 240}});
+  auto cfg2 = cfg1;
+  cfg1.siblings[0].refinement_ratio = 2;
+  cfg2.siblings[0].refinement_ratio = 4;
+  const auto r1 = run(cfg1);
+  const auto r2 = run(cfg2);
+  EXPECT_NEAR(r2.nest_phase / r1.nest_phase, 2.0, 0.05);
+}
+
+TEST(RunMetrics, BgpFasterThanBglSameCoreCount) {
+  const auto cfg = w::fig15_config();
+  const auto mb = w::bluegene_p(256);
+  const auto model_p = c::DelaunayPerfModel::fit(
+      ws::profile_basis(mb, c::default_basis_domains()));
+  const auto r_l = run(cfg);
+  const auto r_p = ws::simulate_run(
+      mb, cfg,
+      c::plan_execution(mb, cfg, model_p, c::Strategy::concurrent,
+                        c::Allocator::huffman, c::MapScheme::multilevel));
+  EXPECT_LT(r_p.integration, r_l.integration);
+}
+
+TEST(RunMetrics, HopsZeroOnSingleNodeMachine) {
+  nestwx::topo::MachineParams tiny;
+  tiny.name = "tiny";
+  tiny.torus_x = tiny.torus_y = tiny.torus_z = 1;
+  tiny.cores_per_node = 4;
+  tiny.mode = nestwx::topo::NodeMode::virtual_node;
+  const auto cfg = w::make_config("tiny", w::pacific_parent(), {{100, 100}});
+  const auto model_t = c::DelaunayPerfModel::fit(
+      ws::profile_basis(tiny, c::default_basis_domains()));
+  const auto plan = c::plan_execution(tiny, cfg, model_t,
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::txyz);
+  const auto r = ws::simulate_run(tiny, cfg, plan);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 0.0);
+}
+
+TEST(RunMetrics, InvalidOptionsRejected) {
+  ws::RunOptions opt;
+  opt.iterations = 0;
+  EXPECT_THROW(run(w::table2_config(), opt),
+               nestwx::util::PreconditionError);
+}

@@ -1,0 +1,120 @@
+/// Driver coverage for configurations with second-level nests
+/// (paper §4.1.1): planning, timing composition and strategy comparison.
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+
+namespace {
+const nestwx::topo::MachineParams& machine() {
+  static const auto m = w::bluegene_l(1024);
+  return m;
+}
+const c::DelaunayPerfModel& model() {
+  static const auto mod = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine(), c::default_basis_domains()));
+  return mod;
+}
+}  // namespace
+
+TEST(SecondLevelConfig, ShapeAndContainment) {
+  const auto cfg = w::sea_second_level_config();
+  EXPECT_EQ(cfg.siblings.size(), 2u);
+  ASSERT_EQ(cfg.second_level.size(), 3u);
+  EXPECT_EQ(cfg.children_of(0).size(), 2u);
+  EXPECT_EQ(cfg.children_of(1).size(), 1u);
+  for (const auto& child : cfg.second_level) {
+    const auto& host = cfg.siblings[child.sibling];
+    const nestwx::procgrid::Rect host_rect{0, 0, host.nx, host.ny};
+    EXPECT_TRUE(host_rect.contains(child.spec.parent_footprint()))
+        << child.spec.name;
+    EXPECT_DOUBLE_EQ(child.spec.resolution_km, host.resolution_km / 3.0);
+  }
+}
+
+TEST(SecondLevelConfig, AddRejectsBadInputs) {
+  auto cfg = w::fig15_config();
+  EXPECT_THROW(w::add_second_level(cfg, 5, 50, 50),
+               nestwx::util::PreconditionError);
+  EXPECT_THROW(w::add_second_level(cfg, 0, 5000, 5000),
+               nestwx::util::PreconditionError);
+}
+
+TEST(SecondLevelPlan, ChildPartitionsTileSiblingRects) {
+  const auto cfg = w::sea_second_level_config();
+  const auto plan = c::plan_execution(machine(), cfg, model(),
+                                      c::Strategy::concurrent);
+  ASSERT_EQ(plan.child_partitions.size(), 2u);
+  ASSERT_TRUE(plan.child_partitions[0].has_value());
+  ASSERT_TRUE(plan.child_partitions[1].has_value());
+  EXPECT_TRUE(plan.child_partitions[0]->is_exact_tiling());
+  EXPECT_EQ(plan.child_partitions[0]->grid, plan.partition->rects[0]);
+  EXPECT_EQ(plan.child_partitions[0]->rects.size(), 2u);
+  EXPECT_EQ(plan.child_partitions[1]->rects.size(), 1u);
+}
+
+TEST(SecondLevelPlan, SequentialPlanSkipsChildPartitions) {
+  const auto cfg = w::sea_second_level_config();
+  const auto plan = c::plan_execution(machine(), cfg, model(),
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::txyz);
+  EXPECT_TRUE(plan.child_partitions.empty());
+}
+
+TEST(SecondLevelRun, ChildrenIncreaseNestPhase) {
+  auto with_children = w::sea_second_level_config();
+  auto without = with_children;
+  without.second_level.clear();
+  const auto plan_with = c::plan_execution(machine(), with_children,
+                                           model(), c::Strategy::concurrent);
+  const auto plan_without = c::plan_execution(
+      machine(), without, model(), c::Strategy::concurrent);
+  const auto r_with =
+      ws::simulate_run(machine(), with_children, plan_with);
+  const auto r_without =
+      ws::simulate_run(machine(), without, plan_without);
+  EXPECT_GT(r_with.nest_phase, 1.5 * r_without.nest_phase);
+}
+
+TEST(SecondLevelRun, ConcurrentBeatsSequentialWithTwoLevels) {
+  const auto cfg = w::sea_second_level_config();
+  const auto cmp = ws::compare_strategies(machine(), cfg, model());
+  EXPECT_LT(cmp.concurrent_oblivious.integration,
+            cmp.sequential.integration);
+  EXPECT_LT(cmp.concurrent_aware.integration,
+            cmp.sequential.integration);
+}
+
+TEST(SecondLevelRun, InnermostOutputAddsIo) {
+  const auto cfg = w::sea_second_level_config();
+  ws::RunOptions opt;
+  opt.with_io = true;
+  const auto plan = c::plan_execution(machine(), cfg, model(),
+                                      c::Strategy::concurrent);
+  auto no_children = cfg;
+  no_children.second_level.clear();
+  const auto plan2 = c::plan_execution(machine(), no_children, model(),
+                                       c::Strategy::concurrent);
+  const auto with = ws::simulate_run(machine(), cfg, plan, opt);
+  const auto without = ws::simulate_run(machine(), no_children, plan2, opt);
+  EXPECT_GT(with.io_time, without.io_time);
+}
+
+TEST(SecondLevelRun, IntegrationStillDecomposesExactly) {
+  const auto cfg = w::sea_second_level_config();
+  const auto plan = c::plan_execution(machine(), cfg, model(),
+                                      c::Strategy::concurrent);
+  const auto r = ws::simulate_run(machine(), cfg, plan);
+  EXPECT_NEAR(r.integration, r.parent_step + r.nest_phase + r.sync_time,
+              1e-12);
+  EXPECT_GE(r.max_wait, r.avg_wait);
+}

@@ -1,0 +1,159 @@
+/// Broad invariant sweep over machines × configurations: every
+/// combination must plan and simulate cleanly, with the structural
+/// invariants holding (exact tilings, positive metrics, consistent
+/// decompositions, concurrent ≤ sequential nest phase).
+
+#include <gtest/gtest.h>
+
+#include "core/mapping_opt.hpp"
+#include "core/planner.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+
+namespace {
+
+struct SweepCase {
+  const char* name;
+  bool bgl;
+  int cores;
+  int config_seed;  ///< -1 = table2; -2 = fig15; -3 = second-level
+};
+
+c::NestedConfig config_for(const SweepCase& cse) {
+  switch (cse.config_seed) {
+    case -1: return w::table2_config();
+    case -2: return w::fig15_config();
+    case -3: return w::sea_second_level_config();
+    default: {
+      nestwx::util::Rng rng(static_cast<std::uint64_t>(cse.config_seed));
+      return w::random_configs(rng, 1)[0];
+    }
+  }
+}
+
+}  // namespace
+
+class DriverSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DriverSweep, PlanAndRunInvariantsHold) {
+  const auto& cse = GetParam();
+  const auto machine = cse.bgl ? w::bluegene_l(cse.cores)
+                               : w::bluegene_p(cse.cores);
+  const auto config = config_for(cse);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+
+  const auto seq_plan = c::plan_execution(
+      machine, config, model, c::Strategy::sequential,
+      c::Allocator::huffman, c::MapScheme::xyzt);
+  const auto conc_plan = c::plan_execution(
+      machine, config, model, c::Strategy::concurrent,
+      c::Allocator::huffman, c::MapScheme::multilevel);
+
+  // Plan invariants.
+  ASSERT_TRUE(conc_plan.partition.has_value());
+  EXPECT_TRUE(conc_plan.partition->is_exact_tiling());
+  EXPECT_EQ(conc_plan.partition->rects.size(), config.siblings.size());
+  EXPECT_TRUE(conc_plan.mapping->is_valid());
+  EXPECT_EQ(conc_plan.parent_grid.size(), machine.total_ranks());
+
+  ws::RunOptions opt;
+  opt.with_io = true;
+  const auto seq = ws::simulate_run(machine, config, seq_plan, opt);
+  const auto conc = ws::simulate_run(machine, config, conc_plan, opt);
+
+  // Metric invariants.
+  for (const auto* r : {&seq, &conc}) {
+    EXPECT_GT(r->parent_step, 0.0);
+    EXPECT_GT(r->nest_phase, 0.0);
+    EXPECT_GT(r->sync_time, 0.0);
+    EXPECT_GT(r->io_time, 0.0);
+    EXPECT_NEAR(r->integration,
+                r->parent_step + r->nest_phase + r->sync_time, 1e-12);
+    EXPECT_GE(r->max_wait, r->avg_wait);
+    EXPECT_GE(r->avg_hops, 0.0);
+    ASSERT_EQ(r->sibling_blocks.size(), config.siblings.size());
+    for (double b : r->sibling_blocks) EXPECT_GT(b, 0.0);
+  }
+
+  // Sequential nest phase is the sum of blocks; concurrent is their max.
+  double sum = 0.0, mx = 0.0;
+  for (double b : seq.sibling_blocks) sum += b;
+  for (double b : conc.sibling_blocks) mx = std::max(mx, b);
+  EXPECT_NEAR(seq.nest_phase, sum, 1e-12);
+  EXPECT_NEAR(conc.nest_phase, mx, 1e-12);
+
+  // With >= 2 siblings the concurrent nest phase never loses to the
+  // sequential one (each block only grows on fewer processors, but the
+  // max of the concurrent blocks is bounded by the sequential sum for
+  // every case in this sweep).
+  if (config.siblings.size() >= 2)
+    EXPECT_LT(conc.nest_phase, seq.nest_phase * 1.02) << cse.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndConfigs, DriverSweep,
+    ::testing::Values(SweepCase{"bgl256_table2", true, 256, -1},
+                      SweepCase{"bgl512_rand1", true, 512, 1},
+                      SweepCase{"bgl1024_rand2", true, 1024, 2},
+                      SweepCase{"bgl1024_fig15", true, 1024, -2},
+                      SweepCase{"bgp512_rand3", false, 512, 3},
+                      SweepCase{"bgp1024_table2", false, 1024, -1},
+                      SweepCase{"bgp2048_rand4", false, 2048, 4},
+                      SweepCase{"bgp4096_rand5", false, 4096, 5},
+                      SweepCase{"bgp1024_secondlevel", false, 1024, -3},
+                      SweepCase{"bgp8192_rand6", false, 8192, 6}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(PlanCommPattern, WeightsAndCoverage) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  const auto cfg = w::fig15_config();
+  const auto plan = c::plan_execution(machine, cfg, model,
+                                      c::Strategy::concurrent);
+  const auto pat = c::plan_comm_pattern(cfg, plan);
+  // Parent pairs: 2·Px·Py − Px − Py for a Px×Py grid.
+  const int px = plan.parent_grid.px();
+  const int py = plan.parent_grid.py();
+  const int parent_pairs = 2 * px * py - px - py;
+  EXPECT_GT(static_cast<int>(pat.pairs.size()), parent_pairs);
+  // Sibling pairs carry weight r = 3.
+  bool found_weighted = false;
+  for (const auto& p : pat.pairs)
+    if (p.weight == 3.0) found_weighted = true;
+  EXPECT_TRUE(found_weighted);
+}
+
+TEST(PlanOptimizeMapping, NeverWorseOnOddMachine) {
+  // A 24-core "cluster" with a 3x2x2 torus: non-foldable geometry.
+  nestwx::topo::MachineParams odd;
+  odd.name = "odd";
+  odd.torus_x = 3;
+  odd.torus_y = 2;
+  odd.torus_z = 2;
+  odd.cores_per_node = 2;
+  odd.mode = nestwx::topo::NodeMode::virtual_node;
+  const auto model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(odd, c::default_basis_domains()));
+  const auto cfg = w::make_config("odd", w::pacific_parent(),
+                                  {{150, 150}, {120, 180}});
+  const auto base = c::plan_execution(odd, cfg, model,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::xyzt, false);
+  const auto tuned = c::plan_execution(odd, cfg, model,
+                                       c::Strategy::concurrent,
+                                       c::Allocator::huffman,
+                                       c::MapScheme::xyzt, true);
+  const auto pat = c::plan_comm_pattern(cfg, base);
+  EXPECT_LE(c::hop_cost(*tuned.mapping, pat),
+            c::hop_cost(*base.mapping, pat));
+  EXPECT_TRUE(tuned.mapping->is_valid());
+}

@@ -1,0 +1,98 @@
+#include "wrfsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace ws = nestwx::wrfsim;
+
+namespace {
+struct Fixture {
+  nestwx::topo::MachineParams machine = w::bluegene_l(256);
+  c::DelaunayPerfModel model = c::DelaunayPerfModel::fit(
+      ws::profile_basis(machine, c::default_basis_domains()));
+  c::NestedConfig cfg = w::table2_config();
+
+  std::string write(c::Strategy strategy, int iterations = 2) {
+    const auto plan = c::plan_execution(machine, cfg, model, strategy,
+                                        c::Allocator::huffman,
+                                        c::MapScheme::txyz);
+    const auto result = ws::simulate_run(machine, cfg, plan);
+    const std::string path = ::testing::TempDir() + "nestwx_trace.json";
+    ws::write_trace_json(path, cfg, plan, result, iterations);
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::remove(path.c_str());
+    return ss.str();
+  }
+};
+}  // namespace
+
+TEST(Trace, ContainsLanesForParentAndEverySibling) {
+  Fixture fx;
+  const auto json = fx.write(c::Strategy::concurrent);
+  EXPECT_NE(json.find("parent 286x307"), std::string::npos);
+  for (const auto& sib : fx.cfg.siblings)
+    EXPECT_NE(json.find(sib.name), std::string::npos) << sib.name;
+}
+
+TEST(Trace, ConcurrentShowsSiblingIdleLanes) {
+  Fixture fx;
+  const auto json = fx.write(c::Strategy::concurrent);
+  EXPECT_NE(json.find("wait for siblings"), std::string::npos);
+}
+
+TEST(Trace, SequentialHasNoIdleLanes) {
+  Fixture fx;
+  const auto json = fx.write(c::Strategy::sequential);
+  EXPECT_EQ(json.find("wait for siblings"), std::string::npos);
+  EXPECT_NE(json.find("integrate"), std::string::npos);
+}
+
+TEST(Trace, EventCountScalesWithIterations) {
+  Fixture fx;
+  const auto one = fx.write(c::Strategy::concurrent, 1);
+  const auto three = fx.write(c::Strategy::concurrent, 3);
+  auto count = [](const std::string& s, const std::string& needle) {
+    int n = 0;
+    for (auto pos = s.find(needle); pos != std::string::npos;
+         pos = s.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count(three, "parent step"), 3 * count(one, "parent step"));
+}
+
+TEST(Trace, ProducesParseableJsonShape) {
+  // Not a full JSON parser — check bracket balance and the required keys.
+  Fixture fx;
+  const auto json = fx.write(c::Strategy::concurrent);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Trace, RejectsBadArguments) {
+  Fixture fx;
+  const auto plan = c::plan_execution(fx.machine, fx.cfg, fx.model,
+                                      c::Strategy::concurrent);
+  const auto result = ws::simulate_run(fx.machine, fx.cfg, plan);
+  EXPECT_THROW(ws::write_trace_json("/nonexistent-dir/x.json", fx.cfg,
+                                    plan, result),
+               nestwx::util::PreconditionError);
+  EXPECT_THROW(ws::write_trace_json(::testing::TempDir() + "t.json",
+                                    fx.cfg, plan, result, 0),
+               nestwx::util::PreconditionError);
+}

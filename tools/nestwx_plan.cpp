@@ -1,0 +1,189 @@
+/// \file nestwx_plan.cpp
+/// Command-line planner: given a machine and a nested-domain
+/// configuration, produce the processor allocation (Algorithm 1), the
+/// topology-aware mapping (optionally written as a Blue Gene-style
+/// mapfile), and the predicted per-iteration performance of the default
+/// sequential strategy versus the concurrent strategy.
+///
+///   nestwx-plan --machine=bgp --cores=4096 \
+///               --parent=286x307 --nests=394x418,232x202,313x337 \
+///               --scheme=multilevel --mapfile=run.map --io
+///
+/// Flags:
+///   --config=FILE            load a plan file (flags override it)
+///   --machine=bgl|bgp        machine family            [bgp]
+///   --cores=N                partition size            [1024]
+///   --parent=WxH             parent domain points      [286x307]
+///   --nests=WxH,WxH,...      sibling nest sizes        [394x418,232x202]
+///   --ratio=R                refinement ratio          [3]
+///   --allocator=huffman|huffman-single|strips|equal    [huffman]
+///   --scheme=multilevel|partition|txyz|xyzt            [multilevel]
+///   --io                     include I/O in the report
+///   --mapfile=PATH           write the rank placement file
+///   --csv=PATH               write the report table as CSV
+///   --trace=PATH             write a chrome://tracing timeline
+
+#include <iostream>
+#include <sstream>
+
+#include "core/planner.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/config_file.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+#include "wrfsim/trace.hpp"
+
+namespace {
+
+using namespace nestwx;
+
+std::pair<int, int> parse_size(const std::string& text) {
+  const auto x = text.find('x');
+  NESTWX_REQUIRE(x != std::string::npos && x > 0 && x + 1 < text.size(),
+                 "expected WxH, got: " + text);
+  return {std::stoi(text.substr(0, x)), std::stoi(text.substr(x + 1))};
+}
+
+std::vector<std::pair<int, int>> parse_sizes(const std::string& list) {
+  std::vector<std::pair<int, int>> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(parse_size(item));
+  NESTWX_REQUIRE(!out.empty(), "no nest sizes given");
+  return out;
+}
+
+core::Allocator parse_allocator(const std::string& name) {
+  if (name == "huffman") return core::Allocator::huffman;
+  if (name == "huffman-single") return core::Allocator::huffman_single;
+  if (name == "strips") return core::Allocator::naive_strips;
+  if (name == "equal") return core::Allocator::equal;
+  NESTWX_REQUIRE(false, "unknown allocator: " + name);
+  return core::Allocator::huffman;
+}
+
+core::MapScheme parse_scheme(const std::string& name) {
+  if (name == "multilevel") return core::MapScheme::multilevel;
+  if (name == "partition") return core::MapScheme::partition;
+  if (name == "txyz") return core::MapScheme::txyz;
+  if (name == "xyzt") return core::MapScheme::xyzt;
+  NESTWX_REQUIRE(false, "unknown mapping scheme: " + name);
+  return core::MapScheme::multilevel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    // A --config plan file provides defaults; explicit flags override it.
+    workload::PlanFile file;
+    if (cli.has("config"))
+      file = workload::load_plan_file(cli.get("config", ""));
+    else
+      file.nests = {{394, 418}, {232, 202}};
+    const int cores = static_cast<int>(cli.get_int("cores", file.cores));
+    const auto machine =
+        cli.get("machine", file.machine) == "bgl"
+            ? workload::bluegene_l(cores)
+            : workload::bluegene_p(cores);
+    const std::string default_parent =
+        std::to_string(file.parent.first) + "x" +
+        std::to_string(file.parent.second);
+    const auto [pnx, pny] = parse_size(cli.get("parent", default_parent));
+    auto nests = file.nests;
+    if (cli.has("nests")) nests = parse_sizes(cli.get("nests", ""));
+    const int ratio = static_cast<int>(cli.get_int("ratio", file.ratio));
+    const auto allocator =
+        parse_allocator(cli.get("allocator", file.allocator));
+    const auto scheme = parse_scheme(cli.get("scheme", file.scheme));
+
+    core::DomainSpec parent;
+    parent.name = "parent";
+    parent.nx = pnx;
+    parent.ny = pny;
+    parent.resolution_km = 24.0;
+    parent.refinement_ratio = 1;
+    auto config = workload::make_config("cli", parent, nests, ratio);
+    for (const auto& [sib, size] : file.inner)
+      workload::add_second_level(config, sib, size.first, size.second,
+                                 ratio);
+
+    std::cout << "nestwx-plan: " << machine.name << ", " << cores
+              << " cores (" << machine.torus_x << "x" << machine.torus_y
+              << "x" << machine.torus_z << " torus, "
+              << topo::ranks_per_node(machine.mode, machine.cores_per_node)
+              << " ranks/node)\n";
+
+    const auto model = core::DelaunayPerfModel::fit(
+        wrfsim::profile_basis(machine, core::default_basis_domains()));
+    const auto plan = core::plan_execution(
+        machine, config, model, core::Strategy::concurrent, allocator,
+        scheme);
+    std::cout << "virtual grid " << plan.parent_grid.px() << "x"
+              << plan.parent_grid.py() << ", allocator "
+              << core::to_string(allocator) << ", mapping "
+              << core::to_string(scheme) << "\n\n";
+
+    util::Table alloc({"nest", "size", "weight", "processors", "grid"});
+    for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+      const auto& rect = plan.partition->rects[s];
+      alloc.add_row(
+          {config.siblings[s].name,
+           std::to_string(config.siblings[s].nx) + "x" +
+               std::to_string(config.siblings[s].ny),
+           util::Table::num(plan.weights[s], 3),
+           std::to_string(rect.area()),
+           std::to_string(rect.w) + "x" + std::to_string(rect.h) + "@(" +
+               std::to_string(rect.x0) + "," + std::to_string(rect.y0) +
+               ")"});
+    }
+    alloc.print(std::cout, "Processor allocation");
+    std::cout << '\n';
+
+    wrfsim::RunOptions opt;
+    opt.with_io = cli.has("io");
+    const auto cmp = wrfsim::compare_strategies(machine, config, model,
+                                                scheme, opt);
+    const auto planned = wrfsim::simulate_run(machine, config, plan, opt);
+    util::Table report({"strategy", "integration (s/iter)",
+                        "I/O (s/iter)", "total (s/iter)",
+                        "avg MPI_Wait (s)", "avg hops"});
+    auto row = [&](const std::string& name, const wrfsim::RunResult& r) {
+      report.add_row({name, util::Table::num(r.integration, 3),
+                      util::Table::num(r.io_time, 3),
+                      util::Table::num(r.total, 3),
+                      util::Table::num(r.avg_wait, 3),
+                      util::Table::num(r.avg_hops, 2)});
+    };
+    row("default sequential", cmp.sequential);
+    row("concurrent, oblivious map", cmp.concurrent_oblivious);
+    row("concurrent, " + core::to_string(scheme) + " (this plan)", planned);
+    report.print(std::cout, "Predicted per-iteration performance");
+    std::cout << "\nPredicted improvement over the default strategy: "
+              << util::Table::num(util::improvement_pct(
+                     cmp.sequential.total, planned.total), 1)
+              << "%\n";
+
+    if (cli.has("mapfile")) {
+      const std::string path = cli.get("mapfile", "nestwx.map");
+      plan.mapping->write_mapfile(path);
+      std::cout << "mapfile written to " << path << "\n";
+    }
+    if (cli.has("csv")) report.write_csv(cli.get("csv", "nestwx_plan.csv"));
+    if (cli.has("trace")) {
+      const std::string path = cli.get("trace", "nestwx_trace.json");
+      wrfsim::write_trace_json(path, config, plan, planned, 3);
+      std::cout << "timeline written to " << path
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    return 0;
+  } catch (const nestwx::util::Error& e) {
+    std::cerr << "nestwx-plan: " << e.what() << "\n";
+    return 1;
+  }
+}
