@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bgq_mapping.dir/bench_bgq_mapping.cpp.o"
+  "CMakeFiles/bench_bgq_mapping.dir/bench_bgq_mapping.cpp.o.d"
+  "bench_bgq_mapping"
+  "bench_bgq_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bgq_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_models.dir/bench_comm_models.cpp.o"
+  "CMakeFiles/bench_comm_models.dir/bench_comm_models.cpp.o.d"
+  "bench_comm_models"
+  "bench_comm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_partition_shapes.dir/bench_fig04_partition_shapes.cpp.o"
+  "CMakeFiles/bench_fig04_partition_shapes.dir/bench_fig04_partition_shapes.cpp.o.d"
+  "bench_fig04_partition_shapes"
+  "bench_fig04_partition_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_partition_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

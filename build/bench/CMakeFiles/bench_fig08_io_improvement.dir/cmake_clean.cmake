@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_io_improvement.dir/bench_fig08_io_improvement.cpp.o"
+  "CMakeFiles/bench_fig08_io_improvement.dir/bench_fig08_io_improvement.cpp.o.d"
+  "bench_fig08_io_improvement"
+  "bench_fig08_io_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_io_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_large_nests.dir/bench_fig10_large_nests.cpp.o"
+  "CMakeFiles/bench_fig10_large_nests.dir/bench_fig10_large_nests.cpp.o.d"
+  "bench_fig10_large_nests"
+  "bench_fig10_large_nests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_large_nests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_large_nests.
+# This may be replaced when dependencies are built.

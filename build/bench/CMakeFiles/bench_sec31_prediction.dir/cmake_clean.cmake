@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_prediction.dir/bench_sec31_prediction.cpp.o"
+  "CMakeFiles/bench_sec31_prediction.dir/bench_sec31_prediction.cpp.o.d"
+  "bench_sec31_prediction"
+  "bench_sec31_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

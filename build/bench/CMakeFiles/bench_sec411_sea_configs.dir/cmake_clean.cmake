@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec411_sea_configs.dir/bench_sec411_sea_configs.cpp.o"
+  "CMakeFiles/bench_sec411_sea_configs.dir/bench_sec411_sea_configs.cpp.o.d"
+  "bench_sec411_sea_configs"
+  "bench_sec411_sea_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec411_sea_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec431_improvement.dir/bench_sec431_improvement.cpp.o"
+  "CMakeFiles/bench_sec431_improvement.dir/bench_sec431_improvement.cpp.o.d"
+  "bench_sec431_improvement"
+  "bench_sec431_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec431_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

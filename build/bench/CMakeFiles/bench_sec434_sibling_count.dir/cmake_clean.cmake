@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec434_sibling_count.dir/bench_sec434_sibling_count.cpp.o"
+  "CMakeFiles/bench_sec434_sibling_count.dir/bench_sec434_sibling_count.cpp.o.d"
+  "bench_sec434_sibling_count"
+  "bench_sec434_sibling_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec434_sibling_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

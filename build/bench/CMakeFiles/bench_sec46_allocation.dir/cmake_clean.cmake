@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec46_allocation.dir/bench_sec46_allocation.cpp.o"
+  "CMakeFiles/bench_sec46_allocation.dir/bench_sec46_allocation.cpp.o.d"
+  "bench_sec46_allocation"
+  "bench_sec46_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec46_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_second_level.dir/bench_second_level.cpp.o"
+  "CMakeFiles/bench_second_level.dir/bench_second_level.cpp.o.d"
+  "bench_second_level"
+  "bench_second_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_second_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_wait.dir/bench_table1_wait.cpp.o"
+  "CMakeFiles/bench_table1_wait.dir/bench_table1_wait.cpp.o.d"
+  "bench_table1_wait"
+  "bench_table1_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fig9_siblings.dir/bench_table2_fig9_siblings.cpp.o"
+  "CMakeFiles/bench_table2_fig9_siblings.dir/bench_table2_fig9_siblings.cpp.o.d"
+  "bench_table2_fig9_siblings"
+  "bench_table2_fig9_siblings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fig9_siblings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

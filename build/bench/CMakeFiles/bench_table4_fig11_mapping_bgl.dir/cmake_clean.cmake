@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fig11_mapping_bgl.dir/bench_table4_fig11_mapping_bgl.cpp.o"
+  "CMakeFiles/bench_table4_fig11_mapping_bgl.dir/bench_table4_fig11_mapping_bgl.cpp.o.d"
+  "bench_table4_fig11_mapping_bgl"
+  "bench_table4_fig11_mapping_bgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fig11_mapping_bgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig12_mapping_bgp.dir/bench_table5_fig12_mapping_bgp.cpp.o"
+  "CMakeFiles/bench_table5_fig12_mapping_bgp.dir/bench_table5_fig12_mapping_bgp.cpp.o.d"
+  "bench_table5_fig12_mapping_bgp"
+  "bench_table5_fig12_mapping_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig12_mapping_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table5_fig12_mapping_bgp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_fig12_mapping_bgp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_nest.dir/moving_nest.cpp.o"
+  "CMakeFiles/moving_nest.dir/moving_nest.cpp.o.d"
+  "moving_nest"
+  "moving_nest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

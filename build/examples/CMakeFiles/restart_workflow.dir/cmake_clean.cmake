@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_workflow.dir/restart_workflow.cpp.o"
+  "CMakeFiles/restart_workflow.dir/restart_workflow.cpp.o.d"
+  "restart_workflow"
+  "restart_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_tracking.dir/typhoon_tracking.cpp.o"
+  "CMakeFiles/typhoon_tracking.dir/typhoon_tracking.cpp.o.d"
+  "typhoon_tracking"
+  "typhoon_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--cores=256")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_typhoon]=] "/root/repo/build/examples/typhoon_tracking" "--steps=10" "--cores=256")
+set_tests_properties([=[example_typhoon]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_capacity]=] "/root/repo/build/examples/capacity_planning" "--family=small" "--min-cores=512" "--max-cores=1024")
+set_tests_properties([=[example_capacity]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_mapping]=] "/root/repo/build/examples/mapping_explorer")
+set_tests_properties([=[example_mapping]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_moving_nest]=] "/root/repo/build/examples/moving_nest" "--hours=2")
+set_tests_properties([=[example_moving_nest]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_restart]=] "/root/repo/build/examples/restart_workflow" "--segment-steps=10")
+set_tests_properties([=[example_restart]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[tool_nestwx_plan]=] "/root/repo/build/tools/nestwx-plan" "--machine=bgl" "--cores=256" "--nests=200x200,150x180")
+set_tests_properties([=[tool_nestwx_plan]=] PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("topo")
+subdirs("procgrid")
+subdirs("core")
+subdirs("netsim")
+subdirs("swm")
+subdirs("nest")
+subdirs("steer")
+subdirs("iosim")
+subdirs("workload")
+subdirs("wrfsim")

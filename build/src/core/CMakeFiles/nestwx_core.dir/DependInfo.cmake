@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/nestwx_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/huffman.cpp" "src/core/CMakeFiles/nestwx_core.dir/huffman.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/huffman.cpp.o.d"
+  "/root/repo/src/core/mapping.cpp" "src/core/CMakeFiles/nestwx_core.dir/mapping.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/mapping.cpp.o.d"
+  "/root/repo/src/core/mapping_nd.cpp" "src/core/CMakeFiles/nestwx_core.dir/mapping_nd.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/mapping_nd.cpp.o.d"
+  "/root/repo/src/core/mapping_opt.cpp" "src/core/CMakeFiles/nestwx_core.dir/mapping_opt.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/mapping_opt.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/nestwx_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/nestwx_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/nestwx_core.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nestwx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/nestwx_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/procgrid/CMakeFiles/nestwx_procgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_core.dir/allocation.cpp.o"
+  "CMakeFiles/nestwx_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/huffman.cpp.o"
+  "CMakeFiles/nestwx_core.dir/huffman.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/mapping.cpp.o"
+  "CMakeFiles/nestwx_core.dir/mapping.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/mapping_nd.cpp.o"
+  "CMakeFiles/nestwx_core.dir/mapping_nd.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/mapping_opt.cpp.o"
+  "CMakeFiles/nestwx_core.dir/mapping_opt.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/perf_model.cpp.o"
+  "CMakeFiles/nestwx_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/nestwx_core.dir/planner.cpp.o"
+  "CMakeFiles/nestwx_core.dir/planner.cpp.o.d"
+  "libnestwx_core.a"
+  "libnestwx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_geom.dir/convex_hull.cpp.o"
+  "CMakeFiles/nestwx_geom.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/nestwx_geom.dir/delaunay.cpp.o"
+  "CMakeFiles/nestwx_geom.dir/delaunay.cpp.o.d"
+  "libnestwx_geom.a"
+  "libnestwx_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosim/checkpoint.cpp" "src/iosim/CMakeFiles/nestwx_iosim.dir/checkpoint.cpp.o" "gcc" "src/iosim/CMakeFiles/nestwx_iosim.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/iosim/io_model.cpp" "src/iosim/CMakeFiles/nestwx_iosim.dir/io_model.cpp.o" "gcc" "src/iosim/CMakeFiles/nestwx_iosim.dir/io_model.cpp.o.d"
+  "/root/repo/src/iosim/writer.cpp" "src/iosim/CMakeFiles/nestwx_iosim.dir/writer.cpp.o" "gcc" "src/iosim/CMakeFiles/nestwx_iosim.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/nestwx_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/swm/CMakeFiles/nestwx_swm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_iosim.dir/checkpoint.cpp.o"
+  "CMakeFiles/nestwx_iosim.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/nestwx_iosim.dir/io_model.cpp.o"
+  "CMakeFiles/nestwx_iosim.dir/io_model.cpp.o.d"
+  "CMakeFiles/nestwx_iosim.dir/writer.cpp.o"
+  "CMakeFiles/nestwx_iosim.dir/writer.cpp.o.d"
+  "libnestwx_iosim.a"
+  "libnestwx_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnestwx_iosim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nest/hierarchy.cpp" "src/nest/CMakeFiles/nestwx_nest.dir/hierarchy.cpp.o" "gcc" "src/nest/CMakeFiles/nestwx_nest.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/nest/nested_domain.cpp" "src/nest/CMakeFiles/nestwx_nest.dir/nested_domain.cpp.o" "gcc" "src/nest/CMakeFiles/nestwx_nest.dir/nested_domain.cpp.o.d"
+  "/root/repo/src/nest/simulation.cpp" "src/nest/CMakeFiles/nestwx_nest.dir/simulation.cpp.o" "gcc" "src/nest/CMakeFiles/nestwx_nest.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/swm/CMakeFiles/nestwx_swm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

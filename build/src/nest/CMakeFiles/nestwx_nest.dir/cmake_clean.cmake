@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_nest.dir/hierarchy.cpp.o"
+  "CMakeFiles/nestwx_nest.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/nestwx_nest.dir/nested_domain.cpp.o"
+  "CMakeFiles/nestwx_nest.dir/nested_domain.cpp.o.d"
+  "CMakeFiles/nestwx_nest.dir/simulation.cpp.o"
+  "CMakeFiles/nestwx_nest.dir/simulation.cpp.o.d"
+  "libnestwx_nest.a"
+  "libnestwx_nest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

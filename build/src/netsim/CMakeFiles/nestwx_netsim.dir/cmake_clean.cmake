@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_netsim.dir/collective.cpp.o"
+  "CMakeFiles/nestwx_netsim.dir/collective.cpp.o.d"
+  "CMakeFiles/nestwx_netsim.dir/event_model.cpp.o"
+  "CMakeFiles/nestwx_netsim.dir/event_model.cpp.o.d"
+  "CMakeFiles/nestwx_netsim.dir/phase.cpp.o"
+  "CMakeFiles/nestwx_netsim.dir/phase.cpp.o.d"
+  "libnestwx_netsim.a"
+  "libnestwx_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procgrid/decomp.cpp" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/decomp.cpp.o" "gcc" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/decomp.cpp.o.d"
+  "/root/repo/src/procgrid/grid2d.cpp" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/grid2d.cpp.o" "gcc" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/grid2d.cpp.o.d"
+  "/root/repo/src/procgrid/rect.cpp" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/rect.cpp.o" "gcc" "src/procgrid/CMakeFiles/nestwx_procgrid.dir/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_procgrid.dir/decomp.cpp.o"
+  "CMakeFiles/nestwx_procgrid.dir/decomp.cpp.o.d"
+  "CMakeFiles/nestwx_procgrid.dir/grid2d.cpp.o"
+  "CMakeFiles/nestwx_procgrid.dir/grid2d.cpp.o.d"
+  "CMakeFiles/nestwx_procgrid.dir/rect.cpp.o"
+  "CMakeFiles/nestwx_procgrid.dir/rect.cpp.o.d"
+  "libnestwx_procgrid.a"
+  "libnestwx_procgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_procgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

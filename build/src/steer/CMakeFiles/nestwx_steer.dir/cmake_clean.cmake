@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_steer.dir/tracker.cpp.o"
+  "CMakeFiles/nestwx_steer.dir/tracker.cpp.o.d"
+  "libnestwx_steer.a"
+  "libnestwx_steer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swm/bc.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/bc.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/bc.cpp.o.d"
+  "/root/repo/src/swm/diagnostics.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/diagnostics.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/swm/dynamics.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/dynamics.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/dynamics.cpp.o.d"
+  "/root/repo/src/swm/field.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/field.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/field.cpp.o.d"
+  "/root/repo/src/swm/init.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/init.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/init.cpp.o.d"
+  "/root/repo/src/swm/state.cpp" "src/swm/CMakeFiles/nestwx_swm.dir/state.cpp.o" "gcc" "src/swm/CMakeFiles/nestwx_swm.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

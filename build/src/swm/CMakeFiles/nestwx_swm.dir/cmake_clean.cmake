@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_swm.dir/bc.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/bc.cpp.o.d"
+  "CMakeFiles/nestwx_swm.dir/diagnostics.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/nestwx_swm.dir/dynamics.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/dynamics.cpp.o.d"
+  "CMakeFiles/nestwx_swm.dir/field.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/field.cpp.o.d"
+  "CMakeFiles/nestwx_swm.dir/init.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/init.cpp.o.d"
+  "CMakeFiles/nestwx_swm.dir/state.cpp.o"
+  "CMakeFiles/nestwx_swm.dir/state.cpp.o.d"
+  "libnestwx_swm.a"
+  "libnestwx_swm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_swm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

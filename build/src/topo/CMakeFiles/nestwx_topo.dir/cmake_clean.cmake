@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_topo.dir/machine.cpp.o"
+  "CMakeFiles/nestwx_topo.dir/machine.cpp.o.d"
+  "CMakeFiles/nestwx_topo.dir/torus.cpp.o"
+  "CMakeFiles/nestwx_topo.dir/torus.cpp.o.d"
+  "CMakeFiles/nestwx_topo.dir/torusnd.cpp.o"
+  "CMakeFiles/nestwx_topo.dir/torusnd.cpp.o.d"
+  "libnestwx_topo.a"
+  "libnestwx_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

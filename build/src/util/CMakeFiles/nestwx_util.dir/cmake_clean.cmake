@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_util.dir/cli.cpp.o"
+  "CMakeFiles/nestwx_util.dir/cli.cpp.o.d"
+  "CMakeFiles/nestwx_util.dir/error.cpp.o"
+  "CMakeFiles/nestwx_util.dir/error.cpp.o.d"
+  "CMakeFiles/nestwx_util.dir/log.cpp.o"
+  "CMakeFiles/nestwx_util.dir/log.cpp.o.d"
+  "CMakeFiles/nestwx_util.dir/stats.cpp.o"
+  "CMakeFiles/nestwx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nestwx_util.dir/table.cpp.o"
+  "CMakeFiles/nestwx_util.dir/table.cpp.o.d"
+  "libnestwx_util.a"
+  "libnestwx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

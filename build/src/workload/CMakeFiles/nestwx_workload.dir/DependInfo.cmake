@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/config_file.cpp" "src/workload/CMakeFiles/nestwx_workload.dir/config_file.cpp.o" "gcc" "src/workload/CMakeFiles/nestwx_workload.dir/config_file.cpp.o.d"
+  "/root/repo/src/workload/configs.cpp" "src/workload/CMakeFiles/nestwx_workload.dir/configs.cpp.o" "gcc" "src/workload/CMakeFiles/nestwx_workload.dir/configs.cpp.o.d"
+  "/root/repo/src/workload/machines.cpp" "src/workload/CMakeFiles/nestwx_workload.dir/machines.cpp.o" "gcc" "src/workload/CMakeFiles/nestwx_workload.dir/machines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nestwx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/nestwx_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nestwx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/procgrid/CMakeFiles/nestwx_procgrid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_workload.dir/config_file.cpp.o"
+  "CMakeFiles/nestwx_workload.dir/config_file.cpp.o.d"
+  "CMakeFiles/nestwx_workload.dir/configs.cpp.o"
+  "CMakeFiles/nestwx_workload.dir/configs.cpp.o.d"
+  "CMakeFiles/nestwx_workload.dir/machines.cpp.o"
+  "CMakeFiles/nestwx_workload.dir/machines.cpp.o.d"
+  "libnestwx_workload.a"
+  "libnestwx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

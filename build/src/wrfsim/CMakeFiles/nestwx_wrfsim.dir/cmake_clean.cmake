@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx_wrfsim.dir/driver.cpp.o"
+  "CMakeFiles/nestwx_wrfsim.dir/driver.cpp.o.d"
+  "CMakeFiles/nestwx_wrfsim.dir/trace.cpp.o"
+  "CMakeFiles/nestwx_wrfsim.dir/trace.cpp.o.d"
+  "libnestwx_wrfsim.a"
+  "libnestwx_wrfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx_wrfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mapping_fold.dir/test_core_mapping_fold.cpp.o"
+  "CMakeFiles/test_core_mapping_fold.dir/test_core_mapping_fold.cpp.o.d"
+  "test_core_mapping_fold"
+  "test_core_mapping_fold.pdb"
+  "test_core_mapping_fold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mapping_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mapping_nd.dir/test_core_mapping_nd.cpp.o"
+  "CMakeFiles/test_core_mapping_nd.dir/test_core_mapping_nd.cpp.o.d"
+  "test_core_mapping_nd"
+  "test_core_mapping_nd.pdb"
+  "test_core_mapping_nd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mapping_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_perf_model_cv.dir/test_core_perf_model_cv.cpp.o"
+  "CMakeFiles/test_core_perf_model_cv.dir/test_core_perf_model_cv.cpp.o.d"
+  "test_core_perf_model_cv"
+  "test_core_perf_model_cv.pdb"
+  "test_core_perf_model_cv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_perf_model_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

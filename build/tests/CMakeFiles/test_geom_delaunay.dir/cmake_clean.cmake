@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_delaunay.dir/test_geom_delaunay.cpp.o"
+  "CMakeFiles/test_geom_delaunay.dir/test_geom_delaunay.cpp.o.d"
+  "test_geom_delaunay"
+  "test_geom_delaunay.pdb"
+  "test_geom_delaunay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

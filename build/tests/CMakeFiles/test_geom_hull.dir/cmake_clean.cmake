@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_hull.dir/test_geom_hull.cpp.o"
+  "CMakeFiles/test_geom_hull.dir/test_geom_hull.cpp.o.d"
+  "test_geom_hull"
+  "test_geom_hull.pdb"
+  "test_geom_hull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

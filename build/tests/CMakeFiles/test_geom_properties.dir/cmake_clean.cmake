@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_properties.dir/test_geom_properties.cpp.o"
+  "CMakeFiles/test_geom_properties.dir/test_geom_properties.cpp.o.d"
+  "test_geom_properties"
+  "test_geom_properties.pdb"
+  "test_geom_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iosim.dir/test_iosim.cpp.o"
+  "CMakeFiles/test_iosim.dir/test_iosim.cpp.o.d"
+  "test_iosim"
+  "test_iosim.pdb"
+  "test_iosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

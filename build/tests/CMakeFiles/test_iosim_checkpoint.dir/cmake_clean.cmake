@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iosim_checkpoint.dir/test_iosim_checkpoint.cpp.o"
+  "CMakeFiles/test_iosim_checkpoint.dir/test_iosim_checkpoint.cpp.o.d"
+  "test_iosim_checkpoint"
+  "test_iosim_checkpoint.pdb"
+  "test_iosim_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iosim_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nest_domain.dir/test_nest_domain.cpp.o"
+  "CMakeFiles/test_nest_domain.dir/test_nest_domain.cpp.o.d"
+  "test_nest_domain"
+  "test_nest_domain.pdb"
+  "test_nest_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nest_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nest_hierarchy.dir/test_nest_hierarchy.cpp.o"
+  "CMakeFiles/test_nest_hierarchy.dir/test_nest_hierarchy.cpp.o.d"
+  "test_nest_hierarchy"
+  "test_nest_hierarchy.pdb"
+  "test_nest_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nest_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nest_properties.dir/test_nest_properties.cpp.o"
+  "CMakeFiles/test_nest_properties.dir/test_nest_properties.cpp.o.d"
+  "test_nest_properties"
+  "test_nest_properties.pdb"
+  "test_nest_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nest_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nest_simulation.dir/test_nest_simulation.cpp.o"
+  "CMakeFiles/test_nest_simulation.dir/test_nest_simulation.cpp.o.d"
+  "test_nest_simulation"
+  "test_nest_simulation.pdb"
+  "test_nest_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nest_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_collective.dir/test_netsim_collective.cpp.o"
+  "CMakeFiles/test_netsim_collective.dir/test_netsim_collective.cpp.o.d"
+  "test_netsim_collective"
+  "test_netsim_collective.pdb"
+  "test_netsim_collective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

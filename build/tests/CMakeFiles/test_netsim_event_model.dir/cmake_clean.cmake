@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_event_model.dir/test_netsim_event_model.cpp.o"
+  "CMakeFiles/test_netsim_event_model.dir/test_netsim_event_model.cpp.o.d"
+  "test_netsim_event_model"
+  "test_netsim_event_model.pdb"
+  "test_netsim_event_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_event_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netsim_phase.cpp" "tests/CMakeFiles/test_netsim_phase.dir/test_netsim_phase.cpp.o" "gcc" "tests/CMakeFiles/test_netsim_phase.dir/test_netsim_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/steer/CMakeFiles/nestwx_steer.dir/DependInfo.cmake"
+  "/root/repo/build/src/nest/CMakeFiles/nestwx_nest.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nestwx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrfsim/CMakeFiles/nestwx_wrfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/nestwx_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nestwx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/nestwx_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/procgrid/CMakeFiles/nestwx_procgrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/nestwx_iosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/nestwx_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/swm/CMakeFiles/nestwx_swm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nestwx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

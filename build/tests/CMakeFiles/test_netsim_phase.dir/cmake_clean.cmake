@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_phase.dir/test_netsim_phase.cpp.o"
+  "CMakeFiles/test_netsim_phase.dir/test_netsim_phase.cpp.o.d"
+  "test_netsim_phase"
+  "test_netsim_phase.pdb"
+  "test_netsim_phase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim_properties.dir/test_netsim_properties.cpp.o"
+  "CMakeFiles/test_netsim_properties.dir/test_netsim_properties.cpp.o.d"
+  "test_netsim_properties"
+  "test_netsim_properties.pdb"
+  "test_netsim_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procgrid_decomp.dir/test_procgrid_decomp.cpp.o"
+  "CMakeFiles/test_procgrid_decomp.dir/test_procgrid_decomp.cpp.o.d"
+  "test_procgrid_decomp"
+  "test_procgrid_decomp.pdb"
+  "test_procgrid_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procgrid_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procgrid_grid2d.dir/test_procgrid_grid2d.cpp.o"
+  "CMakeFiles/test_procgrid_grid2d.dir/test_procgrid_grid2d.cpp.o.d"
+  "test_procgrid_grid2d"
+  "test_procgrid_grid2d.pdb"
+  "test_procgrid_grid2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procgrid_grid2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

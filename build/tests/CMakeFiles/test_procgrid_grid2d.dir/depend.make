@@ -1,0 +1,2 @@
+# Empty dependencies file for test_procgrid_grid2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procgrid_rect.dir/test_procgrid_rect.cpp.o"
+  "CMakeFiles/test_procgrid_rect.dir/test_procgrid_rect.cpp.o.d"
+  "test_procgrid_rect"
+  "test_procgrid_rect.pdb"
+  "test_procgrid_rect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procgrid_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

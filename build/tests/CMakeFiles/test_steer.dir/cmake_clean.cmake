@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steer.dir/test_steer.cpp.o"
+  "CMakeFiles/test_steer.dir/test_steer.cpp.o.d"
+  "test_steer"
+  "test_steer.pdb"
+  "test_steer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_bc.dir/test_swm_bc.cpp.o"
+  "CMakeFiles/test_swm_bc.dir/test_swm_bc.cpp.o.d"
+  "test_swm_bc"
+  "test_swm_bc.pdb"
+  "test_swm_bc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_convergence.dir/test_swm_convergence.cpp.o"
+  "CMakeFiles/test_swm_convergence.dir/test_swm_convergence.cpp.o.d"
+  "test_swm_convergence"
+  "test_swm_convergence.pdb"
+  "test_swm_convergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

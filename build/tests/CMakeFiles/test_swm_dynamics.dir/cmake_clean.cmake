@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_dynamics.dir/test_swm_dynamics.cpp.o"
+  "CMakeFiles/test_swm_dynamics.dir/test_swm_dynamics.cpp.o.d"
+  "test_swm_dynamics"
+  "test_swm_dynamics.pdb"
+  "test_swm_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_swm_dynamics.
+# This may be replaced when dependencies are built.

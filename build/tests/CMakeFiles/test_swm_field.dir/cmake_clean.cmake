@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_field.dir/test_swm_field.cpp.o"
+  "CMakeFiles/test_swm_field.dir/test_swm_field.cpp.o.d"
+  "test_swm_field"
+  "test_swm_field.pdb"
+  "test_swm_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_init.dir/test_swm_init.cpp.o"
+  "CMakeFiles/test_swm_init.dir/test_swm_init.cpp.o.d"
+  "test_swm_init"
+  "test_swm_init.pdb"
+  "test_swm_init[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

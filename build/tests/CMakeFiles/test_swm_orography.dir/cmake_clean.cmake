@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swm_orography.dir/test_swm_orography.cpp.o"
+  "CMakeFiles/test_swm_orography.dir/test_swm_orography.cpp.o.d"
+  "test_swm_orography"
+  "test_swm_orography.pdb"
+  "test_swm_orography[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swm_orography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_swm_orography.
+# This may be replaced when dependencies are built.

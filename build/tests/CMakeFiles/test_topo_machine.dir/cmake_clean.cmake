@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_machine.dir/test_topo_machine.cpp.o"
+  "CMakeFiles/test_topo_machine.dir/test_topo_machine.cpp.o.d"
+  "test_topo_machine"
+  "test_topo_machine.pdb"
+  "test_topo_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_torus.dir/test_topo_torus.cpp.o"
+  "CMakeFiles/test_topo_torus.dir/test_topo_torus.cpp.o.d"
+  "test_topo_torus"
+  "test_topo_torus.pdb"
+  "test_topo_torus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

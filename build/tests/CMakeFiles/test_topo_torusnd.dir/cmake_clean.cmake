@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_torusnd.dir/test_topo_torusnd.cpp.o"
+  "CMakeFiles/test_topo_torusnd.dir/test_topo_torusnd.cpp.o.d"
+  "test_topo_torusnd"
+  "test_topo_torusnd.pdb"
+  "test_topo_torusnd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_torusnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_error.dir/test_util_error.cpp.o"
+  "CMakeFiles/test_util_error.dir/test_util_error.cpp.o.d"
+  "test_util_error"
+  "test_util_error.pdb"
+  "test_util_error[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

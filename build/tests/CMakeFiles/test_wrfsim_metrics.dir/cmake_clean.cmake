@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrfsim_metrics.dir/test_wrfsim_metrics.cpp.o"
+  "CMakeFiles/test_wrfsim_metrics.dir/test_wrfsim_metrics.cpp.o.d"
+  "test_wrfsim_metrics"
+  "test_wrfsim_metrics.pdb"
+  "test_wrfsim_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrfsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrfsim_second_level.dir/test_wrfsim_second_level.cpp.o"
+  "CMakeFiles/test_wrfsim_second_level.dir/test_wrfsim_second_level.cpp.o.d"
+  "test_wrfsim_second_level"
+  "test_wrfsim_second_level.pdb"
+  "test_wrfsim_second_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrfsim_second_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrfsim_sweep.dir/test_wrfsim_sweep.cpp.o"
+  "CMakeFiles/test_wrfsim_sweep.dir/test_wrfsim_sweep.cpp.o.d"
+  "test_wrfsim_sweep"
+  "test_wrfsim_sweep.pdb"
+  "test_wrfsim_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrfsim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

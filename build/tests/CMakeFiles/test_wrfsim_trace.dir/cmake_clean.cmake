@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrfsim_trace.dir/test_wrfsim_trace.cpp.o"
+  "CMakeFiles/test_wrfsim_trace.dir/test_wrfsim_trace.cpp.o.d"
+  "test_wrfsim_trace"
+  "test_wrfsim_trace.pdb"
+  "test_wrfsim_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrfsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestwx-plan.dir/nestwx_plan.cpp.o"
+  "CMakeFiles/nestwx-plan.dir/nestwx_plan.cpp.o.d"
+  "nestwx-plan"
+  "nestwx-plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestwx-plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
