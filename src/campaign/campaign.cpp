@@ -1,0 +1,292 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "campaign/space_share.hpp"
+#include "core/plan_key.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nestwx::campaign {
+
+std::string to_string(Sharing sharing) {
+  return sharing == Sharing::space ? "space" : "time";
+}
+
+CampaignScheduler::CampaignScheduler(
+    topo::MachineParams machine, std::shared_ptr<const core::PerfModel> model)
+    : machine_(std::move(machine)), model_(std::move(model)) {
+  NESTWX_REQUIRE(model_ != nullptr, "campaign scheduler needs a perf model");
+}
+
+CampaignScheduler CampaignScheduler::with_profiled_model(
+    const topo::MachineParams& machine) {
+  auto model = std::make_shared<core::DelaunayPerfModel>(
+      core::DelaunayPerfModel::fit(wrfsim::profile_basis(
+          machine, core::default_basis_domains())));
+  return CampaignScheduler(machine, std::move(model));
+}
+
+namespace {
+
+/// Static per-member assignment computed up front on the calling thread,
+/// so the parallel phase is embarrassingly parallel over pure functions.
+struct Job {
+  int wave = 0;
+  SubMachine sub;
+  double weight = 0.0;
+  std::uint64_t key = 0;
+  bool cache_hit = false;  ///< deterministic attribution, see below
+};
+
+}  // namespace
+
+CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
+                                      const CampaignOptions& options) {
+  NESTWX_REQUIRE(!members.empty(), "campaign has no members");
+  NESTWX_REQUIRE(options.threads >= 1, "campaign needs at least one thread");
+  for (const auto& m : members)
+    NESTWX_REQUIRE(m.iterations >= 1,
+                   "member '" + m.name + "' has no iterations");
+  const int n = static_cast<int>(members.size());
+
+  // --- Wave layout (input order). Space sharing packs as many members
+  // per wave as requested and the torus X-Y face can host; time sharing
+  // is the degenerate one-member-per-wave, full-machine case.
+  const long long face_area =
+      static_cast<long long>(machine_.torus_x) * machine_.torus_y;
+  long long wave_cap = 1;
+  if (options.sharing == Sharing::space) {
+    wave_cap = options.max_concurrent > 0
+                   ? std::min<long long>(options.max_concurrent, face_area)
+                   : face_area;
+  }
+  std::vector<std::vector<int>> waves;
+  for (int i = 0; i < n; ++i) {
+    if (waves.empty() ||
+        static_cast<long long>(waves.back().size()) >= wave_cap)
+      waves.emplace_back();
+    waves.back().push_back(i);
+  }
+
+  // --- Second-level divide and conquer: share the machine within each
+  // wave with areas ∝ predicted whole-run times.
+  std::vector<Job> jobs(members.size());
+  for (int w = 0; w < static_cast<int>(waves.size()); ++w) {
+    std::vector<double> weights;
+    weights.reserve(waves[w].size());
+    for (int i : waves[w])
+      weights.push_back(predicted_run_weight(members[i].config, *model_,
+                                             members[i].iterations));
+    std::vector<SubMachine> subs;
+    if (options.sharing == Sharing::space) {
+      subs = share_machine(machine_, weights);
+    } else {
+      SubMachine whole;
+      whole.rect =
+          procgrid::Rect{0, 0, machine_.torus_x, machine_.torus_y};
+      whole.machine = machine_;
+      subs.assign(waves[w].size(), whole);
+    }
+    for (std::size_t j = 0; j < waves[w].size(); ++j) {
+      Job& job = jobs[waves[w][j]];
+      const MemberSpec& spec = members[waves[w][j]];
+      job.wave = w;
+      job.sub = std::move(subs[j]);
+      job.weight = weights[j];
+      job.key = core::plan_fingerprint(job.sub.machine, spec.config,
+                                       spec.strategy, spec.allocator,
+                                       spec.scheme);
+    }
+  }
+
+  // --- Deterministic cache-hit attribution: a member hits when its key
+  // was cached before this campaign started or belongs to an earlier
+  // member (input order). The single-flight cache guarantees exactly one
+  // plan computation per distinct key, so these flags agree with the
+  // cache's own counters yet never depend on scheduling.
+  if (options.use_plan_cache) {
+    std::unordered_map<std::uint64_t, int> first_owner;
+    for (int i = 0; i < n; ++i) {
+      if (cache_.peek(jobs[i].key) != nullptr) {
+        jobs[i].cache_hit = true;
+        continue;
+      }
+      auto [it, inserted] = first_owner.emplace(jobs[i].key, i);
+      jobs[i].cache_hit = !inserted;
+    }
+  }
+
+  // --- Parallel planning + virtual-time execution. Each member is a pure
+  // function of its Job; results land in pre-allocated slots, so the
+  // outcome is identical at any thread count.
+  std::vector<MemberResult> results(members.size());
+  auto run_member = [&](int i) {
+    const MemberSpec& spec = members[i];
+    const Job& job = jobs[i];
+    auto compute = [&] {
+      return core::plan_execution(job.sub.machine, spec.config, *model_,
+                                  spec.strategy, spec.allocator, spec.scheme);
+    };
+    PlanCache::PlanPtr plan;
+    if (options.use_plan_cache) {
+      plan = cache_.get_or_compute(job.key, compute);
+    } else {
+      plan = std::make_shared<const core::ExecutionPlan>(compute());
+    }
+    MemberResult& out = results[i];
+    out.name = spec.name;
+    out.wave = job.wave;
+    out.rect = job.sub.rect;
+    out.ranks = job.sub.machine.total_ranks();
+    out.weight = job.weight;
+    out.plan_key = job.key;
+    out.cache_hit = job.cache_hit;
+    out.run = wrfsim::simulate_run(job.sub.machine, spec.config, *plan,
+                                   options.run);
+    out.run_seconds = out.run.total * spec.iterations;
+  };
+  if (options.threads == 1) {
+    for (int i = 0; i < n; ++i) run_member(i);
+  } else {
+    util::ThreadPool pool(options.threads);
+    util::parallel_for(pool, n, run_member);
+  }
+
+  // --- Virtual-time schedule: waves run back to back; members of a wave
+  // start together and the wave ends with its slowest member.
+  double wave_start = 0.0;
+  for (const auto& wave : waves) {
+    double span = 0.0;
+    for (int i : wave) {
+      results[i].completion_seconds = wave_start + results[i].run_seconds;
+      span = std::max(span, results[i].run_seconds);
+    }
+    wave_start += span;
+  }
+
+  CampaignReport report;
+  report.members = std::move(results);
+  CampaignMetrics& m = report.metrics;
+  m.members = n;
+  m.waves = static_cast<int>(waves.size());
+  m.makespan = wave_start;
+  m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(report.members.size());
+  for (const auto& r : report.members)
+    latencies.push_back(r.completion_seconds);
+  m.latency_mean = util::mean(latencies);
+  m.latency_p50 = util::percentile(latencies, 50.0);
+  m.latency_p90 = util::percentile(latencies, 90.0);
+  m.latency_p99 = util::percentile(latencies, 99.0);
+  for (const auto& r : report.members) {
+    if (r.cache_hit)
+      ++m.cache_hits;
+    else
+      ++m.cache_misses;
+  }
+  m.cache_hit_rate =
+      static_cast<double>(m.cache_hits) / (m.cache_hits + m.cache_misses);
+  return report;
+}
+
+namespace {
+
+/// Shortest round-trip decimal representation, locale-independent.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string hex_key(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+std::string report_to_json(const CampaignReport& report,
+                           const topo::MachineParams& machine,
+                           const CampaignOptions& options) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": {\n";
+  os << "    \"machine\": " << quoted(machine.name) << ",\n";
+  os << "    \"torus\": [" << machine.torus_x << ", " << machine.torus_y
+     << ", " << machine.torus_z << "],\n";
+  os << "    \"ranks\": " << machine.total_ranks() << ",\n";
+  os << "    \"sharing\": " << quoted(to_string(options.sharing)) << ",\n";
+  os << "    \"plan_cache\": "
+     << (options.use_plan_cache ? "true" : "false") << "\n";
+  os << "  },\n";
+  os << "  \"members\": [\n";
+  for (std::size_t i = 0; i < report.members.size(); ++i) {
+    const MemberResult& r = report.members[i];
+    os << "    {\n";
+    os << "      \"name\": " << quoted(r.name) << ",\n";
+    os << "      \"wave\": " << r.wave << ",\n";
+    os << "      \"rect\": [" << r.rect.x0 << ", " << r.rect.y0 << ", "
+       << r.rect.w << ", " << r.rect.h << "],\n";
+    os << "      \"ranks\": " << r.ranks << ",\n";
+    os << "      \"weight\": " << num(r.weight) << ",\n";
+    os << "      \"plan_key\": " << quoted(hex_key(r.plan_key)) << ",\n";
+    os << "      \"cache_hit\": " << (r.cache_hit ? "true" : "false")
+       << ",\n";
+    os << "      \"integration\": " << num(r.run.integration) << ",\n";
+    os << "      \"io_time\": " << num(r.run.io_time) << ",\n";
+    os << "      \"iteration_total\": " << num(r.run.total) << ",\n";
+    os << "      \"avg_wait\": " << num(r.run.avg_wait) << ",\n";
+    os << "      \"avg_hops\": " << num(r.run.avg_hops) << ",\n";
+    os << "      \"run_seconds\": " << num(r.run_seconds) << ",\n";
+    os << "      \"completion_seconds\": " << num(r.completion_seconds)
+       << "\n";
+    os << "    }" << (i + 1 < report.members.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  const CampaignMetrics& m = report.metrics;
+  os << "  \"metrics\": {\n";
+  os << "    \"members\": " << m.members << ",\n";
+  os << "    \"waves\": " << m.waves << ",\n";
+  os << "    \"makespan\": " << num(m.makespan) << ",\n";
+  os << "    \"throughput\": " << num(m.throughput) << ",\n";
+  os << "    \"latency_mean\": " << num(m.latency_mean) << ",\n";
+  os << "    \"latency_p50\": " << num(m.latency_p50) << ",\n";
+  os << "    \"latency_p90\": " << num(m.latency_p90) << ",\n";
+  os << "    \"latency_p99\": " << num(m.latency_p99) << ",\n";
+  os << "    \"cache_hits\": " << m.cache_hits << ",\n";
+  os << "    \"cache_misses\": " << m.cache_misses << ",\n";
+  os << "    \"cache_hit_rate\": " << num(m.cache_hit_rate) << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_report_json(const std::string& path, const CampaignReport& report,
+                       const topo::MachineParams& machine,
+                       const CampaignOptions& options) {
+  std::ofstream out(path);
+  NESTWX_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << report_to_json(report, machine, options);
+  NESTWX_REQUIRE(out.good(), "failed writing " + path);
+}
+
+}  // namespace nestwx::campaign

@@ -1,0 +1,146 @@
+#pragma once
+/// \file campaign.hpp
+/// Campaign scheduler: plan and execute an ensemble of nested
+/// configurations concurrently on one machine.
+///
+/// This is the paper's divide and conquer applied twice. Level one (the
+/// paper): inside each run, sibling nests share the run's processor grid
+/// via the Huffman split-tree so they synchronise with the parent
+/// together. Level two (this subsystem): the *machine* is shared among
+/// ensemble members via the same allocator, with areas proportional to
+/// each member's predicted whole-run time, so concurrently scheduled
+/// members finish together and campaign makespan drops below the
+/// run-them-in-turn baseline.
+///
+/// Host-side execution is parallel (planning + virtual-time simulation of
+/// the members on a work-stealing pool) but the *results* are functions
+/// of the inputs only: reports are byte-identical at any thread count.
+/// Repeated members — ensembles re-use configurations heavily — skip
+/// re-planning through a single-flight plan cache keyed by the
+/// plan_fingerprint of (machine, config, strategy, allocator, scheme).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/plan_cache.hpp"
+#include "core/domain.hpp"
+#include "core/perf_model.hpp"
+#include "core/planner.hpp"
+#include "procgrid/rect.hpp"
+#include "topo/machine.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace nestwx::campaign {
+
+/// One ensemble member / simulation request.
+struct MemberSpec {
+  std::string name;
+  core::NestedConfig config;
+  int iterations = 100;  ///< virtual iterations of the whole run
+  core::Strategy strategy = core::Strategy::concurrent;
+  core::Allocator allocator = core::Allocator::huffman;
+  core::MapScheme scheme = core::MapScheme::multilevel;
+};
+
+/// How members share the machine.
+enum class Sharing {
+  space,  ///< waves of members on disjoint sub-tori (divide and conquer)
+  time    ///< baseline: one member after another, each on the full machine
+};
+
+std::string to_string(Sharing sharing);
+
+struct CampaignOptions {
+  int threads = 1;  ///< host worker threads for planning + simulation
+  Sharing sharing = Sharing::space;
+  /// Members simulated concurrently per wave under space sharing; 0 means
+  /// as many as the torus X-Y face can host.
+  int max_concurrent = 0;
+  bool use_plan_cache = true;
+  wrfsim::RunOptions run;  ///< per-iteration options for every member
+};
+
+/// Outcome of one member, in campaign input order.
+struct MemberResult {
+  std::string name;
+  int wave = 0;
+  procgrid::Rect rect;  ///< sub-machine footprint on the torus X-Y face
+  int ranks = 0;
+  double weight = 0.0;  ///< predicted whole-run time used by the sharer
+  std::uint64_t plan_key = 0;
+  bool cache_hit = false;
+  wrfsim::RunResult run;          ///< steady-state per-iteration metrics
+  double run_seconds = 0.0;       ///< virtual: run.total × iterations
+  double completion_seconds = 0.0;  ///< virtual: wave start + run_seconds
+};
+
+/// Campaign-level aggregates, all in deterministic virtual time.
+struct CampaignMetrics {
+  int members = 0;
+  int waves = 0;
+  double makespan = 0.0;    ///< Σ over waves of the wave's slowest member
+  double throughput = 0.0;  ///< members per virtual second
+  double latency_mean = 0.0;  ///< mean member completion time
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+};
+
+struct CampaignReport {
+  std::vector<MemberResult> members;  ///< input order
+  CampaignMetrics metrics;
+};
+
+/// Plans and executes campaigns against one machine, keeping the plan
+/// cache warm across run() calls (cyclic forecast campaigns resubmit the
+/// same configurations every few hours — the second campaign plans
+/// nothing).
+class CampaignScheduler {
+ public:
+  /// `model` predicts nest execution times for the space-sharer and the
+  /// in-run allocator (must not be null).
+  CampaignScheduler(topo::MachineParams machine,
+                    std::shared_ptr<const core::PerfModel> model);
+
+  /// Convenience: profile the default basis on `machine` and fit the
+  /// paper's Delaunay model.
+  static CampaignScheduler with_profiled_model(
+      const topo::MachineParams& machine);
+
+  /// Execute `members`. Deterministic: the report depends only on the
+  /// machine, the members, the sharing options and the cache *contents*
+  /// (a warm cache changes cache_hit flags, never plans or timings).
+  CampaignReport run(std::span<const MemberSpec> members,
+                     const CampaignOptions& options = {});
+
+  const topo::MachineParams& machine() const { return machine_; }
+  const core::PerfModel& model() const { return *model_; }
+  PlanCache& cache() { return cache_; }
+  const PlanCache& cache() const { return cache_; }
+
+ private:
+  topo::MachineParams machine_;
+  std::shared_ptr<const core::PerfModel> model_;
+  PlanCache cache_;
+};
+
+/// Serialise a report as JSON with stable key order and %.12g numbers.
+/// Contains only deterministic virtual-time quantities — no wall-clock
+/// times or thread counts — so two runs of the same campaign serialise
+/// byte-identically regardless of host parallelism.
+std::string report_to_json(const CampaignReport& report,
+                           const topo::MachineParams& machine,
+                           const CampaignOptions& options);
+
+/// report_to_json written to `path`; throws util::Error on I/O failure.
+void write_report_json(const std::string& path, const CampaignReport& report,
+                       const topo::MachineParams& machine,
+                       const CampaignOptions& options);
+
+}  // namespace nestwx::campaign

@@ -1,0 +1,88 @@
+#include "campaign/plan_cache.hpp"
+
+namespace nestwx::campaign {
+
+PlanCache::PlanPtr PlanCache::get_or_compute(
+    std::uint64_t key,
+    const std::function<core::ExecutionPlan()>& compute) {
+  {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it == entries_.end()) break;  // we become the computer
+      if (it->second.ready) {
+        ++hits_;
+        return it->second.plan;
+      }
+      // In flight elsewhere: wait for it to land (or be withdrawn on
+      // error, in which case the retry finds no entry and we compute
+      // ourselves).
+      cv_.wait(lock, [&] {
+        auto e = entries_.find(key);
+        return e == entries_.end() || e->second.ready;
+      });
+    }
+    ++misses_;
+    entries_.emplace(key, Entry{});  // reserve: not ready ⇒ in flight
+  }
+
+  PlanPtr plan;
+  try {
+    plan = std::make_shared<const core::ExecutionPlan>(compute());
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      entries_.erase(key);
+    }
+    cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard lock(mu_);
+    auto& entry = entries_[key];
+    entry.plan = plan;
+    entry.ready = true;
+  }
+  cv_.notify_all();
+  return plan;
+}
+
+PlanCache::PlanPtr PlanCache::peek(std::uint64_t key) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return nullptr;
+  return it->second.plan;
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::size_t PlanCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_)
+    if (entry.ready) ++n;
+  return n;
+}
+
+double PlanCache::hit_rate() const {
+  std::lock_guard lock(mu_);
+  const std::size_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace nestwx::campaign

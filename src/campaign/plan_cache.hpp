@@ -1,0 +1,61 @@
+#pragma once
+/// \file plan_cache.hpp
+/// Thread-safe memoisation of ExecutionPlans by input fingerprint.
+///
+/// The cache is single-flight: when several threads ask for the same key
+/// at once, exactly one computes the plan and the rest block until it is
+/// ready. That keeps hit/miss counts deterministic regardless of thread
+/// count or scheduling — for any request sequence, misses == number of
+/// distinct new keys, hits == requests − misses — which the campaign
+/// scheduler relies on for byte-identical reports at 1 vs N threads.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/planner.hpp"
+
+namespace nestwx::campaign {
+
+class PlanCache {
+ public:
+  using PlanPtr = std::shared_ptr<const core::ExecutionPlan>;
+
+  /// Return the cached plan for `key`, or run `compute` (outside the
+  /// cache lock) and cache its result. Concurrent callers with the same
+  /// key wait for the in-flight computation instead of duplicating it.
+  /// If `compute` throws, the in-flight entry is withdrawn, waiters fall
+  /// back to computing themselves, and the exception propagates.
+  PlanPtr get_or_compute(std::uint64_t key,
+                         const std::function<core::ExecutionPlan()>& compute);
+
+  /// Cached plan for `key` if present and ready; nullptr otherwise
+  /// (does not touch the hit/miss counters).
+  PlanPtr peek(std::uint64_t key) const;
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t size() const;  ///< ready entries
+  double hit_rate() const;   ///< hits / (hits + misses); 0 when unused
+
+  /// Drop all entries and reset the counters. Must not race an in-flight
+  /// get_or_compute.
+  void clear();
+
+ private:
+  struct Entry {
+    PlanPtr plan;        // null while the plan is being computed
+    bool ready = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace nestwx::campaign

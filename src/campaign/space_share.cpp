@@ -1,0 +1,50 @@
+#include "campaign/space_share.hpp"
+
+#include <string>
+
+#include "core/allocation.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::campaign {
+
+double predicted_run_weight(const core::NestedConfig& config,
+                            const core::PerfModel& model, int iterations) {
+  NESTWX_REQUIRE(iterations >= 1, "iterations must be positive");
+  double per_iteration = model.predict(config.parent);
+  for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+    const auto& sib = config.siblings[s];
+    per_iteration += sib.refinement_ratio * model.predict(sib);
+    for (int child : config.children_of(static_cast<int>(s))) {
+      const auto& nest = config.second_level[child].spec;
+      per_iteration +=
+          sib.refinement_ratio * nest.refinement_ratio * model.predict(nest);
+    }
+  }
+  return per_iteration * iterations;
+}
+
+std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
+                                      std::span<const double> weights) {
+  NESTWX_REQUIRE(!weights.empty(), "no members to share the machine among");
+  const procgrid::Rect face{0, 0, machine.torus_x, machine.torus_y};
+  NESTWX_REQUIRE(face.area() >= static_cast<long long>(weights.size()),
+                 "torus X-Y face too small for " +
+                     std::to_string(weights.size()) + " members");
+  const auto partition = core::huffman_partition(face, weights);
+
+  std::vector<SubMachine> out;
+  out.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    SubMachine sub;
+    sub.rect = partition.rects[i];
+    sub.machine = machine;
+    sub.machine.name =
+        machine.name + "/member" + std::to_string(i);
+    sub.machine.torus_x = sub.rect.w;
+    sub.machine.torus_y = sub.rect.h;
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace nestwx::campaign

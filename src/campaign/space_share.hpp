@@ -1,0 +1,52 @@
+#pragma once
+/// \file space_share.hpp
+/// Second-level divide and conquer: share one machine among campaign
+/// members.
+///
+/// The paper's Algorithm 1 carves a processor grid among the sibling
+/// nests of a *single* run so they all reach the parent synchronisation
+/// point together. A campaign faces the same shape of problem one level
+/// up: many independent runs, one machine, and the goal that concurrently
+/// scheduled members finish together (minimising the wave's makespan).
+/// We therefore reuse the Huffman split-tree allocator on the torus X-Y
+/// face: each member receives a disjoint sub-torus whose X-Y footprint is
+/// a rectangle with area proportional to the member's predicted whole-run
+/// time — a member predicted to run twice as long gets twice the
+/// processors, so both finish at roughly the same virtual time.
+
+#include <span>
+#include <vector>
+
+#include "core/domain.hpp"
+#include "core/perf_model.hpp"
+#include "procgrid/rect.hpp"
+#include "topo/machine.hpp"
+
+namespace nestwx::campaign {
+
+/// One member's slice of the machine: its rectangle on the torus X-Y face
+/// and the resulting sub-machine (rect.w × rect.h × torus_z, all other
+/// calibration parameters inherited).
+struct SubMachine {
+  procgrid::Rect rect;
+  topo::MachineParams machine;
+};
+
+/// Predicted whole-run virtual time of `config` for `iterations`
+/// iterations, from the perf model alone (no planning): parent per-step
+/// time plus r sub-steps of every sibling plus r·r' sub-steps of every
+/// second-level nest. Only relative magnitudes matter to the allocator —
+/// exactly the property the paper's model guarantees (§3.1).
+double predicted_run_weight(const core::NestedConfig& config,
+                            const core::PerfModel& model, int iterations);
+
+/// Partition `machine`'s torus X-Y face among `weights.size()` members
+/// with Algorithm 1 (areas ∝ weights), returning one SubMachine per
+/// member in input order. The rectangles are pairwise disjoint and tile
+/// the face exactly. Throws PreconditionError when the face cannot host
+/// one non-empty rectangle per member (face area < member count) or when
+/// weights is empty.
+std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
+                                      std::span<const double> weights);
+
+}  // namespace nestwx::campaign

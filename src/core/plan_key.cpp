@@ -1,0 +1,124 @@
+#include "core/plan_key.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace nestwx::core {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Type tags keep (int 1, int 2) distinct from (string "\x01\x02"), etc.
+enum class Tag : unsigned char { u64 = 1, i64, f64, str };
+}  // namespace
+
+Fingerprint& Fingerprint::mix_bytes(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= bytes[i];
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fingerprint& Fingerprint::mix(std::uint64_t v) {
+  const auto tag = static_cast<unsigned char>(Tag::u64);
+  mix_bytes(&tag, 1);
+  return mix_bytes(&v, sizeof v);
+}
+
+Fingerprint& Fingerprint::mix(std::int64_t v) {
+  const auto tag = static_cast<unsigned char>(Tag::i64);
+  mix_bytes(&tag, 1);
+  return mix_bytes(&v, sizeof v);
+}
+
+Fingerprint& Fingerprint::mix(double v) {
+  // Normalise -0.0 to +0.0 so equal values hash equally.
+  if (v == 0.0) v = 0.0;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const auto tag = static_cast<unsigned char>(Tag::f64);
+  mix_bytes(&tag, 1);
+  return mix_bytes(&bits, sizeof bits);
+}
+
+Fingerprint& Fingerprint::mix(std::string_view s) {
+  const auto tag = static_cast<unsigned char>(Tag::str);
+  mix_bytes(&tag, 1);
+  mix(static_cast<std::uint64_t>(s.size()));
+  return mix_bytes(s.data(), s.size());
+}
+
+std::uint64_t fingerprint(const topo::MachineParams& m) {
+  Fingerprint f;
+  f.mix(m.torus_x)
+      .mix(m.torus_y)
+      .mix(m.torus_z)
+      .mix(m.cores_per_node)
+      .mix(static_cast<std::int64_t>(m.mode))
+      .mix(m.flop_rate)
+      .mix(m.flops_per_point_per_level)
+      .mix(m.vertical_levels)
+      .mix(m.compute_halo_overhead)
+      .mix(m.link_bandwidth)
+      .mix(m.hop_latency)
+      .mix(m.software_latency)
+      .mix(m.pack_bandwidth)
+      .mix(m.nest_boundary_rate)
+      .mix(m.contention_exponent)
+      .mix(m.contention_cap)
+      .mix(m.halo_phases)
+      .mix(m.halo_width)
+      .mix(m.halo_variables)
+      .mix(m.bytes_per_element)
+      .mix(m.io_base_latency)
+      .mix(m.io_per_rank_overhead)
+      .mix(m.io_stream_bandwidth);
+  return f.value();
+}
+
+namespace {
+void mix_spec(Fingerprint& f, const DomainSpec& d) {
+  f.mix(d.nx)
+      .mix(d.ny)
+      .mix(d.resolution_km)
+      .mix(d.refinement_ratio)
+      .mix(d.parent_anchor_x)
+      .mix(d.parent_anchor_y);
+}
+}  // namespace
+
+std::uint64_t fingerprint(const DomainSpec& spec) {
+  Fingerprint f;
+  mix_spec(f, spec);
+  return f.value();
+}
+
+std::uint64_t fingerprint(const NestedConfig& config) {
+  Fingerprint f;
+  mix_spec(f, config.parent);
+  f.mix(static_cast<std::uint64_t>(config.siblings.size()));
+  for (const auto& s : config.siblings) mix_spec(f, s);
+  f.mix(static_cast<std::uint64_t>(config.second_level.size()));
+  for (const auto& n : config.second_level) {
+    f.mix(n.sibling);
+    mix_spec(f, n.spec);
+  }
+  return f.value();
+}
+
+std::uint64_t plan_fingerprint(const topo::MachineParams& machine,
+                               const NestedConfig& config, Strategy strategy,
+                               Allocator allocator, MapScheme scheme,
+                               bool optimize_mapping) {
+  Fingerprint f;
+  f.mix(fingerprint(machine))
+      .mix(fingerprint(config))
+      .mix(static_cast<std::int64_t>(strategy))
+      .mix(static_cast<std::int64_t>(allocator))
+      .mix(static_cast<std::int64_t>(scheme))
+      .mix(optimize_mapping);
+  return f.value();
+}
+
+}  // namespace nestwx::core

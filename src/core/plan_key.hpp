@@ -1,0 +1,58 @@
+#pragma once
+/// \file plan_key.hpp
+/// Stable 64-bit fingerprints of planning inputs.
+///
+/// plan_execution is a deterministic function of (machine, config,
+/// strategy, allocator, scheme, optimize_mapping), so two requests with
+/// equal fingerprints yield identical ExecutionPlans — which is what lets
+/// the campaign plan cache memoise plans across ensemble members and
+/// repeated campaigns. Display names (machine.name, DomainSpec::name) are
+/// deliberately excluded: they never influence the plan, and excluding
+/// them lets cosmetically-renamed requests share cache entries.
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/domain.hpp"
+#include "core/planner.hpp"
+#include "topo/machine.hpp"
+
+namespace nestwx::core {
+
+/// Incremental FNV-1a (64-bit) hasher over typed fields. Field order
+/// matters; every mix() also folds in a type tag byte so adjacent fields
+/// of different widths cannot alias.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v);
+  Fingerprint& mix(std::int64_t v);
+  Fingerprint& mix(int v) { return mix(static_cast<std::int64_t>(v)); }
+  Fingerprint& mix(bool v) { return mix(static_cast<std::int64_t>(v)); }
+  Fingerprint& mix(double v);  ///< hashes the IEEE-754 bit pattern
+  Fingerprint& mix(std::string_view s);
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  Fingerprint& mix_bytes(const void* data, std::size_t n);
+
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Everything about a machine that planning reads (geometry, node mode,
+/// calibration constants) — not its display name.
+std::uint64_t fingerprint(const topo::MachineParams& machine);
+
+/// Shape, refinement ratio and anchor of one domain — not its name.
+std::uint64_t fingerprint(const DomainSpec& spec);
+
+/// Parent + ordered siblings + ordered second-level nests.
+std::uint64_t fingerprint(const NestedConfig& config);
+
+/// Cache key for a plan_execution call with these exact arguments.
+std::uint64_t plan_fingerprint(const topo::MachineParams& machine,
+                               const NestedConfig& config, Strategy strategy,
+                               Allocator allocator, MapScheme scheme,
+                               bool optimize_mapping = false);
+
+}  // namespace nestwx::core

@@ -144,7 +144,7 @@ int Delaunay::locate(Vec2 p) const {
   // Remembering stochastic-free walk: from the last hit, step toward p
   // across the edge whose half-plane excludes p.
   const double eps = 1e-12;
-  int tri = last_located_;
+  int tri = last_located_.load(std::memory_order_relaxed);
   if (tri < 0 || tri >= static_cast<int>(triangles_.size())) tri = 0;
   for (std::size_t steps = 0; steps <= triangles_.size(); ++steps) {
     const auto& t = triangles_[tri];
@@ -158,7 +158,7 @@ int Delaunay::locate(Vec2 p) const {
       }
     }
     if (next == -2) {  // inside or on boundary of current triangle
-      last_located_ = tri;
+      last_located_.store(tri, std::memory_order_relaxed);
       return tri;
     }
     if (next == -1) break;  // walked off the hull: p may be outside
@@ -172,7 +172,7 @@ int Delaunay::locate(Vec2 p) const {
       inside = orient2d(points_[v[i]], points_[v[(i + 1) % 3]], p) >= -eps;
     }
     if (inside) {
-      last_located_ = t;
+      last_located_.store(t, std::memory_order_relaxed);
       return t;
     }
   }

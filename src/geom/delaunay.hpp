@@ -5,8 +5,10 @@
 /// prediction model (§3.1, Fig. 3a).
 
 #include <array>
+#include <atomic>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -37,12 +39,44 @@ class Delaunay {
   /// double equality) are rejected with PreconditionError.
   static Delaunay build(std::span<const Vec2> pts);
 
+  // The atomic walk-start cache is not copyable, so the value-semantic
+  // special members carry it over explicitly.
+  Delaunay(const Delaunay& o)
+      : points_(o.points_),
+        triangles_(o.triangles_),
+        hull_(o.hull_),
+        last_located_(o.last_located_.load(std::memory_order_relaxed)) {}
+  Delaunay(Delaunay&& o) noexcept
+      : points_(std::move(o.points_)),
+        triangles_(std::move(o.triangles_)),
+        hull_(std::move(o.hull_)),
+        last_located_(o.last_located_.load(std::memory_order_relaxed)) {}
+  Delaunay& operator=(const Delaunay& o) {
+    points_ = o.points_;
+    triangles_ = o.triangles_;
+    hull_ = o.hull_;
+    last_located_.store(o.last_located_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+  Delaunay& operator=(Delaunay&& o) noexcept {
+    points_ = std::move(o.points_);
+    triangles_ = std::move(o.triangles_);
+    hull_ = std::move(o.hull_);
+    last_located_.store(o.last_located_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+
   const std::vector<Vec2>& points() const { return points_; }
   const std::vector<Triangle>& triangles() const { return triangles_; }
 
   /// Index of a triangle containing p (boundary inclusive), or -1 when p
   /// lies outside the convex hull. Uses a remembering walk from the last
   /// hit with a brute-force fallback, so it is correct for any input.
+  /// Thread-safe: the walk-start cache is a relaxed atomic, so concurrent
+  /// locate() calls (e.g. the campaign scheduler planning members on a
+  /// worker pool) are race-free.
   int locate(Vec2 p) const;
 
   /// Barycentric coordinates of p within triangle `tri`.
@@ -69,7 +103,7 @@ class Delaunay {
   std::vector<Vec2> points_;
   std::vector<Triangle> triangles_;
   std::vector<int> hull_;
-  mutable int last_located_ = 0;
+  mutable std::atomic<int> last_located_{0};
 };
 
 }  // namespace nestwx::geom

@@ -1,0 +1,239 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::util {
+
+namespace {
+/// Index of the pool worker running on this thread, -1 off-pool. Set once
+/// per worker thread at startup; used to route nested submissions to the
+/// submitting worker's own deque.
+thread_local int t_worker_index = -1;
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads, std::size_t max_pending)
+    : max_pending_(max_pending) {
+  NESTWX_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  NESTWX_REQUIRE(max_pending >= 1, "queue bound must be positive");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    cv_idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  const bool from_worker =
+      t_worker_pool == this && t_worker_index >= 0 &&
+      t_worker_index < static_cast<int>(workers_.size());
+  std::size_t target;
+  {
+    std::unique_lock lock(mu_);
+    if (cancelled_) return false;
+    if (!from_worker) {
+      // Bound only external producers; a worker enqueueing follow-up work
+      // must never block on queue space it is itself responsible for
+      // draining.
+      cv_space_.wait(lock, [&] {
+        return pending_ < max_pending_ || cancelled_ || stop_;
+      });
+      if (cancelled_ || stop_) return false;
+    }
+    target = from_worker ? static_cast<std::size_t>(t_worker_index)
+                         : next_worker_++ % workers_.size();
+  }
+  {
+    std::lock_guard deque_lock(workers_[target]->mu);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  cv_work_.notify_one();
+  return true;
+}
+
+bool ThreadPool::pop_task(int self, std::function<void()>& out) {
+  // Own deque first, newest task (LIFO)…
+  {
+    auto& w = *workers_[self];
+    std::lock_guard lock(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.back());
+      w.deque.pop_back();
+      return true;
+    }
+  }
+  // …then steal the oldest task (FIFO) from the others.
+  const int n = static_cast<int>(workers_.size());
+  for (int off = 1; off < n; ++off) {
+    auto& w = *workers_[(self + off) % n];
+    std::lock_guard lock(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.front());
+      w.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int self) {
+  t_worker_index = self;
+  t_worker_pool = this;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return pending_ > 0 || stop_; });
+      if (pending_ == 0 && stop_) return;
+      // Claim one queued task; the matching deque entry is guaranteed to
+      // exist because pending_ is incremented only after the push.
+      --pending_;
+      ++active_;
+    }
+    cv_space_.notify_one();
+    std::function<void()> task;
+    bool got = false;
+    while (!(got = pop_task(self, task))) {
+      // cancel() may have dropped the task this claim was for; it records
+      // how many claims it orphaned, and we absorb one instead of
+      // spinning forever.
+      {
+        std::lock_guard lock(mu_);
+        if (orphaned_claims_ > 0) {
+          --orphaned_claims_;
+          break;
+        }
+      }
+      std::this_thread::yield();
+    }
+    if (got) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (got) ++executed_;
+      if (pending_ == 0 && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mu_);
+    cv_idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::cancel() {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lock(mu_);
+    cancelled_ = true;
+  }
+  for (auto& w : workers_) {
+    std::lock_guard lock(w->mu);
+    dropped += w->deque.size();
+    w->deque.clear();
+  }
+  {
+    std::lock_guard lock(mu_);
+    // A worker may have claimed (decremented pending_) a task we just
+    // dropped and not yet popped it; the shortfall is the number of such
+    // orphaned claims, which the workers absorb instead of spinning.
+    const std::size_t covered = std::min(pending_, dropped);
+    orphaned_claims_ += dropped - covered;
+    pending_ -= covered;
+    if (pending_ == 0 && active_ == 0) cv_idle_.notify_all();
+  }
+  cv_space_.notify_all();
+}
+
+void ThreadPool::resume() {
+  std::lock_guard lock(mu_);
+  cancelled_ = false;
+}
+
+bool ThreadPool::cancelled() const {
+  std::lock_guard lock(mu_);
+  return cancelled_;
+}
+
+std::size_t ThreadPool::executed() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+void parallel_for(ThreadPool& pool, int n,
+                  const std::function<void(int)>& fn) {
+  NESTWX_REQUIRE(n >= 0, "parallel_for needs a non-negative count");
+  if (n == 0) return;
+
+  // Private completion latch: the pool may be running unrelated tasks, so
+  // wait_idle() would over-wait (and per-iteration exceptions must be
+  // owned by this call, not the pool).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining;
+    std::exception_ptr first_error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = n;
+
+  // Each iteration counts down through a RAII ticket, so tasks dropped by
+  // cancel() — destroyed without ever running — still release the latch.
+  struct Ticket {
+    std::shared_ptr<Latch> latch;
+    ~Ticket() {
+      std::lock_guard lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    }
+  };
+
+  for (int i = 0; i < n; ++i) {
+    auto ticket = std::make_shared<Ticket>(latch);
+    pool.submit([ticket, latch, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(latch->mu);
+        if (!latch->first_error)
+          latch->first_error = std::current_exception();
+      }
+    });
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(latch->mu);
+    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+    error = latch->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace nestwx::util

@@ -1,0 +1,105 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Work-stealing thread pool for host-side parallelism (campaign planning
+/// and virtual-time execution of ensemble members).
+///
+/// Each worker owns a deque: it pops its own tasks LIFO (cache-friendly for
+/// nested submission) and steals FIFO from the other workers when its deque
+/// runs dry. External submissions are distributed round-robin and bounded:
+/// `submit` blocks once `max_pending` tasks are queued, so a fast producer
+/// cannot grow the queue without limit. `cancel` drops every not-yet-started
+/// task; tasks already running finish normally.
+///
+/// Determinism note: the pool itself makes no ordering guarantees — callers
+/// that need thread-count-independent results must write into pre-allocated
+/// per-task slots (see parallel_for), which is how the campaign scheduler
+/// keeps its reports byte-identical at any thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nestwx::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (>= 1; throws PreconditionError otherwise).
+  /// At most `max_pending` tasks may be queued before submit blocks.
+  explicit ThreadPool(int threads, std::size_t max_pending = 4096);
+
+  /// Waits for all queued and running tasks, then joins the workers.
+  /// No other thread may call submit/wait_idle concurrently with this.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Blocks while `max_pending` tasks are already queued.
+  /// Called from a worker thread, the task goes to that worker's own deque
+  /// (and is exempt from the bound, so nested submission cannot deadlock).
+  /// Returns false (dropping the task) after cancel().
+  bool submit(std::function<void()> task);
+
+  /// Block until no task is queued or running. If any task threw, the
+  /// first stored exception is rethrown here (and cleared).
+  void wait_idle();
+
+  /// Drop all queued tasks; running tasks complete. The pool remains
+  /// usable after a subsequent reset of the flag via resume().
+  void cancel();
+
+  /// Clear the cancelled flag so new submissions are accepted again.
+  void resume();
+
+  bool cancelled() const;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Tasks that have finished running (diagnostics/tests).
+  std::size_t executed() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(int self);
+  bool pop_task(int self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Global scheduling state: counts, lifecycle flags, sleeping workers.
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< queued work became available
+  std::condition_variable cv_space_;  ///< queue dropped below the bound
+  std::condition_variable cv_idle_;   ///< everything drained
+  std::size_t pending_ = 0;   ///< queued, not yet claimed by a worker
+  std::size_t active_ = 0;    ///< claimed and running
+  /// Claims whose task cancel() dropped between claim and pop; the
+  /// claiming workers absorb these instead of searching forever.
+  std::size_t orphaned_claims_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t max_pending_;
+  std::size_t next_worker_ = 0;  ///< round-robin cursor for external submit
+  bool stop_ = false;
+  bool cancelled_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Run fn(0) … fn(n-1) on the pool and block until all complete. Results
+/// must be written into per-index slots by `fn` itself; that makes the
+/// outcome independent of scheduling and thread count. Rethrows the first
+/// exception any iteration threw (the remaining iterations still run).
+/// Must not be called from one of `pool`'s own worker threads.
+void parallel_for(ThreadPool& pool, int n,
+                  const std::function<void(int)>& fn);
+
+}  // namespace nestwx::util

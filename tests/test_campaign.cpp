@@ -1,0 +1,329 @@
+#include "campaign/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "campaign/plan_cache.hpp"
+#include "campaign/space_share.hpp"
+#include "core/allocation.hpp"
+#include "core/plan_key.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace u = nestwx::util;
+using nestwx::util::PreconditionError;
+
+namespace {
+
+/// One fitted model per machine size, shared across tests (profiling is
+/// deterministic but not free).
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+std::vector<cg::MemberSpec> ensemble(int n, int iterations = 20,
+                                     int unique = 0) {
+  u::Rng rng(99);
+  if (unique <= 0) unique = n;
+  const auto configs = w::random_configs(rng, unique);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < n; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "m" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i % unique)];
+    spec.iterations = iterations;
+    members.push_back(std::move(spec));
+  }
+  return members;
+}
+
+}  // namespace
+
+// ---------- Second-level partition invariants ----------
+
+TEST(SpaceShare, RectsAreDisjointAndCoverTheFace) {
+  const auto machine = w::bluegene_l(256);
+  const std::vector<double> weights{3.0, 1.0, 2.0, 1.5, 0.5};
+  const auto subs = cg::share_machine(machine, weights);
+  ASSERT_EQ(subs.size(), weights.size());
+
+  const nestwx::procgrid::Rect face{0, 0, machine.torus_x, machine.torus_y};
+  long long covered = 0;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_FALSE(subs[i].rect.empty());
+    EXPECT_TRUE(face.contains(subs[i].rect));
+    covered += subs[i].rect.area();
+    for (std::size_t j = i + 1; j < subs.size(); ++j)
+      EXPECT_FALSE(nestwx::procgrid::overlaps(subs[i].rect, subs[j].rect))
+          << "members " << i << " and " << j << " overlap";
+  }
+  EXPECT_EQ(covered, face.area());
+}
+
+TEST(SpaceShare, AreasProportionalToPredictedRunTimes) {
+  const auto machine = w::bluegene_l(1024);  // 8x8x8 face: fine granularity
+  const std::vector<double> weights{6.0, 3.0, 2.0, 1.0};
+  const auto subs = cg::share_machine(machine, weights);
+
+  c::GridPartition partition;
+  partition.grid =
+      nestwx::procgrid::Rect{0, 0, machine.torus_x, machine.torus_y};
+  for (const auto& s : subs) partition.rects.push_back(s.rect);
+  EXPECT_TRUE(partition.is_exact_tiling());
+  // Integer rounding aside, no member may stray far from its share.
+  EXPECT_LT(partition.max_overallocation(weights), 1.5);
+}
+
+TEST(SpaceShare, SubMachinesInheritCalibration) {
+  const auto machine = w::bluegene_p(512);
+  const auto subs = cg::share_machine(machine, std::vector<double>{1.0, 1.0});
+  for (const auto& s : subs) {
+    EXPECT_EQ(s.machine.torus_x, s.rect.w);
+    EXPECT_EQ(s.machine.torus_y, s.rect.h);
+    EXPECT_EQ(s.machine.torus_z, machine.torus_z);
+    EXPECT_EQ(s.machine.link_bandwidth, machine.link_bandwidth);
+    EXPECT_EQ(s.machine.mode, machine.mode);
+  }
+}
+
+TEST(SpaceShare, RejectsImpossibleRequests) {
+  const auto machine = w::bluegene_l(128);  // small face
+  EXPECT_THROW(cg::share_machine(machine, std::vector<double>{}),
+               PreconditionError);
+  const std::vector<double> too_many(
+      static_cast<std::size_t>(machine.torus_x * machine.torus_y + 1), 1.0);
+  EXPECT_THROW(cg::share_machine(machine, too_many), PreconditionError);
+}
+
+TEST(SpaceShare, WeightGrowsWithDomainAndIterations) {
+  const auto model = shared_model(256);
+  auto members = ensemble(1);
+  const auto& config = members[0].config;
+  const double w10 = cg::predicted_run_weight(config, *model, 10);
+  const double w20 = cg::predicted_run_weight(config, *model, 20);
+  EXPECT_NEAR(w20, 2.0 * w10, 1e-9 * w20);
+
+  auto bigger = config;
+  bigger.siblings[0].nx += 120;
+  bigger.siblings[0].ny += 120;
+  EXPECT_GT(cg::predicted_run_weight(bigger, *model, 10), w10);
+}
+
+// ---------- Plan cache ----------
+
+TEST(PlanCache, HitMissCountsAreDeterministic) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(1);
+  const auto key = c::plan_fingerprint(machine, members[0].config,
+                                       c::Strategy::concurrent,
+                                       c::Allocator::huffman,
+                                       c::MapScheme::multilevel);
+  auto compute = [&] {
+    return c::plan_execution(machine, members[0].config, *model,
+                             c::Strategy::concurrent);
+  };
+
+  cg::PlanCache cache;
+  std::atomic<int> started{0};
+  u::ThreadPool pool(8);
+  u::parallel_for(pool, 16, [&](int) {
+    ++started;
+    cache.get_or_compute(key, compute);
+  });
+  EXPECT_EQ(started.load(), 16);
+  // Single flight: exactly one miss no matter how the 16 requests raced.
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 15u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, ReturnsTheSamePlanObject) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(1);
+  const auto key = c::plan_fingerprint(machine, members[0].config,
+                                       c::Strategy::concurrent,
+                                       c::Allocator::huffman,
+                                       c::MapScheme::multilevel);
+  cg::PlanCache cache;
+  auto compute = [&] {
+    return c::plan_execution(machine, members[0].config, *model,
+                             c::Strategy::concurrent);
+  };
+  const auto a = cache.get_or_compute(key, compute);
+  const auto b = cache.get_or_compute(key, compute);
+  EXPECT_EQ(a.get(), b.get());  // memoised, not recomputed
+  EXPECT_EQ(cache.peek(key).get(), a.get());
+  EXPECT_EQ(cache.peek(key ^ 1), nullptr);
+}
+
+TEST(PlanCache, FailedComputationIsWithdrawn) {
+  cg::PlanCache cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   7, []() -> c::ExecutionPlan {
+                     throw PreconditionError("planning failed");
+                   }),
+               PreconditionError);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is retryable afterwards.
+  const auto plan =
+      cache.get_or_compute(7, [] { return c::ExecutionPlan{}; });
+  EXPECT_NE(plan, nullptr);
+}
+
+// ---------- Campaign runs ----------
+
+TEST(Campaign, ReportIsByteIdenticalAtOneVsEightThreads) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(6, 10, 4);  // includes repeated configs
+
+  cg::CampaignOptions base;
+  cg::CampaignScheduler s1(machine, model);
+  cg::CampaignScheduler s8(machine, model);
+  auto opts1 = base;
+  opts1.threads = 1;
+  auto opts8 = base;
+  opts8.threads = 8;
+  const auto r1 = s1.run(members, opts1);
+  const auto r8 = s8.run(members, opts8);
+  EXPECT_EQ(cg::report_to_json(r1, machine, opts1),
+            cg::report_to_json(r8, machine, opts8));
+}
+
+TEST(Campaign, RepeatedMembersHitThePlanCache) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(6, 10, 3);  // each config used twice
+
+  cg::CampaignScheduler scheduler(machine, model);
+  const auto cold = scheduler.run(members, {});
+  // Identical configs land in different waves only if the face is tiny;
+  // here one wave holds all six, so the three duplicates hit.
+  EXPECT_EQ(cold.metrics.cache_misses, 3u);
+  EXPECT_EQ(cold.metrics.cache_hits, 3u);
+
+  const auto warm = scheduler.run(members, {});
+  EXPECT_EQ(warm.metrics.cache_misses, 0u);
+  EXPECT_EQ(warm.metrics.cache_hits, 6u);
+  EXPECT_DOUBLE_EQ(warm.metrics.cache_hit_rate, 1.0);
+  // A warm cache changes hit flags, never results.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm.members[i].run_seconds,
+                     cold.members[i].run_seconds);
+  }
+}
+
+TEST(Campaign, CacheOffStillWorks) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(4, 10, 2);
+  cg::CampaignScheduler scheduler(machine, model);
+  cg::CampaignOptions options;
+  options.use_plan_cache = false;
+  const auto report = scheduler.run(members, options);
+  EXPECT_EQ(report.metrics.cache_hits, 0u);
+  EXPECT_EQ(report.metrics.cache_misses, 4u);
+  EXPECT_EQ(scheduler.cache().size(), 0u);
+}
+
+TEST(Campaign, SpaceSharingBeatsTimeSharingOnMakespan) {
+  // The win needs a machine past the single-run saturation point (Fig. 2:
+  // nested runs stop scaling around 512 BG/L cores): a lone member cannot
+  // use 1024 cores efficiently, four quarter-machine members can.
+  const auto machine = w::bluegene_l(1024);
+  const auto model = shared_model(1024);
+  const auto members = ensemble(4, 10);
+
+  cg::CampaignScheduler scheduler(machine, model);
+  cg::CampaignOptions space;
+  const auto shared = scheduler.run(members, space);
+  cg::CampaignOptions turn;
+  turn.sharing = cg::Sharing::time;
+  const auto sequential = scheduler.run(members, turn);
+
+  EXPECT_EQ(shared.metrics.waves, 1);
+  EXPECT_EQ(sequential.metrics.waves, 4);
+  EXPECT_LT(shared.metrics.makespan, sequential.metrics.makespan);
+}
+
+TEST(Campaign, WavesRespectMaxConcurrent) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(5, 10);
+  cg::CampaignScheduler scheduler(machine, model);
+  cg::CampaignOptions options;
+  options.max_concurrent = 2;
+  const auto report = scheduler.run(members, options);
+  EXPECT_EQ(report.metrics.waves, 3);  // 2 + 2 + 1
+  // Later waves start after earlier ones finish.
+  double wave1_start = 0.0;
+  for (const auto& m : report.members)
+    if (m.wave == 0)
+      wave1_start = std::max(wave1_start, m.run_seconds);
+  for (const auto& m : report.members)
+    if (m.wave == 1)
+      EXPECT_GE(m.completion_seconds, wave1_start + m.run_seconds - 1e-12);
+  // Every member's sub-machine stays within the face and waves tile it
+  // per-wave, so rects within a wave are disjoint.
+  for (const auto& a : report.members)
+    for (const auto& b : report.members)
+      if (&a != &b && a.wave == b.wave)
+        EXPECT_FALSE(nestwx::procgrid::overlaps(a.rect, b.rect));
+}
+
+TEST(Campaign, MetricsAreInternallyConsistent) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  const auto members = ensemble(4, 10);
+  cg::CampaignScheduler scheduler(machine, model);
+  const auto report = scheduler.run(members, {});
+  const auto& m = report.metrics;
+  EXPECT_EQ(m.members, 4);
+  EXPECT_GT(m.makespan, 0.0);
+  EXPECT_NEAR(m.throughput, 4.0 / m.makespan, 1e-12);
+  double max_completion = 0.0;
+  for (const auto& r : report.members) {
+    EXPECT_GT(r.run_seconds, 0.0);
+    EXPECT_NEAR(r.run_seconds, r.run.total * members[0].iterations,
+                1e-9 * r.run_seconds);
+    max_completion = std::max(max_completion, r.completion_seconds);
+  }
+  EXPECT_DOUBLE_EQ(m.makespan, max_completion);
+  EXPECT_LE(m.latency_p50, m.latency_p90);
+  EXPECT_LE(m.latency_p90, m.latency_p99);
+  EXPECT_LE(m.latency_p99, m.makespan + 1e-12);
+}
+
+TEST(Campaign, RejectsBadInput) {
+  const auto machine = w::bluegene_l(256);
+  const auto model = shared_model(256);
+  cg::CampaignScheduler scheduler(machine, model);
+  EXPECT_THROW(scheduler.run({}, {}), PreconditionError);
+  auto members = ensemble(1);
+  members[0].iterations = 0;
+  EXPECT_THROW(scheduler.run(members, {}), PreconditionError);
+  members[0].iterations = 10;
+  cg::CampaignOptions options;
+  options.threads = 0;
+  EXPECT_THROW(scheduler.run(members, options), PreconditionError);
+}

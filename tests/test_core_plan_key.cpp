@@ -1,0 +1,107 @@
+#include "core/plan_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+
+TEST(PlanKey, StableAcrossCalls) {
+  const auto machine = w::bluegene_p(1024);
+  const auto config = w::table2_config();
+  const auto a = c::plan_fingerprint(machine, config, c::Strategy::concurrent,
+                                     c::Allocator::huffman,
+                                     c::MapScheme::multilevel);
+  const auto b = c::plan_fingerprint(machine, config, c::Strategy::concurrent,
+                                     c::Allocator::huffman,
+                                     c::MapScheme::multilevel);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlanKey, IgnoresDisplayNames) {
+  auto machine = w::bluegene_p(1024);
+  auto config = w::table2_config();
+  const auto base = c::plan_fingerprint(machine, config,
+                                        c::Strategy::concurrent,
+                                        c::Allocator::huffman,
+                                        c::MapScheme::multilevel);
+  machine.name = "renamed";
+  config.name = "renamed";
+  config.siblings[0].name = "renamed";
+  EXPECT_EQ(base, c::plan_fingerprint(machine, config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel));
+}
+
+TEST(PlanKey, SensitiveToEveryPlanningInput) {
+  const auto machine = w::bluegene_p(1024);
+  const auto config = w::table2_config();
+  const auto base = c::plan_fingerprint(machine, config,
+                                        c::Strategy::concurrent,
+                                        c::Allocator::huffman,
+                                        c::MapScheme::multilevel);
+
+  auto other_machine = machine;
+  other_machine.link_bandwidth *= 2.0;
+  EXPECT_NE(base, c::plan_fingerprint(other_machine, config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel));
+
+  auto other_config = config;
+  other_config.siblings[1].nx += 1;
+  EXPECT_NE(base, c::plan_fingerprint(machine, other_config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel));
+
+  EXPECT_NE(base, c::plan_fingerprint(machine, config,
+                                      c::Strategy::sequential,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel));
+  EXPECT_NE(base, c::plan_fingerprint(machine, config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::equal,
+                                      c::MapScheme::multilevel));
+  EXPECT_NE(base, c::plan_fingerprint(machine, config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::xyzt));
+  EXPECT_NE(base, c::plan_fingerprint(machine, config,
+                                      c::Strategy::concurrent,
+                                      c::Allocator::huffman,
+                                      c::MapScheme::multilevel, true));
+}
+
+TEST(PlanKey, SiblingOrderMatters) {
+  // Partition rects are indexed by sibling order, so permuted configs are
+  // different planning problems and must not share cache entries.
+  const auto machine = w::bluegene_p(1024);
+  auto config = w::table2_config();
+  auto swapped = config;
+  std::swap(swapped.siblings[0], swapped.siblings[1]);
+  EXPECT_NE(c::fingerprint(config), c::fingerprint(swapped));
+}
+
+TEST(PlanKey, SecondLevelNestsIncluded) {
+  const auto machine = w::bluegene_p(1024);
+  auto config = w::make_config("t", w::sea_parent(), {{300, 300}, {240, 240}});
+  const auto before = c::fingerprint(config);
+  w::add_second_level(config, 0, 90, 90);
+  EXPECT_NE(before, c::fingerprint(config));
+}
+
+TEST(PlanKey, FieldBoundariesDoNotAlias) {
+  // (nx=12, ny=3) must differ from (nx=1, ny=23)-style adjacency bugs;
+  // the typed, tagged hasher keeps field boundaries distinct.
+  c::DomainSpec a;
+  a.nx = 12;
+  a.ny = 3;
+  c::DomainSpec b;
+  b.nx = 1;
+  b.ny = 23;
+  EXPECT_NE(c::fingerprint(a), c::fingerprint(b));
+}

@@ -1,0 +1,160 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace u = nestwx::util;
+using nestwx::util::PreconditionError;
+
+TEST(ThreadPool, RejectsBadConfig) {
+  EXPECT_THROW(u::ThreadPool(0), PreconditionError);
+  EXPECT_THROW(u::ThreadPool(2, 0), PreconditionError);
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  u::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.executed(), 100u);
+}
+
+TEST(ThreadPool, ParallelForFillsEverySlot) {
+  u::ThreadPool pool(4);
+  std::vector<int> out(257, -1);
+  u::parallel_for(pool, 257, [&out](int i) { out[i] = i * i; });
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  // The contract backing the campaign's determinism claim: indexed slots
+  // make the outcome a function of the input, not the schedule.
+  auto run = [](int threads) {
+    u::ThreadPool pool(threads);
+    std::vector<double> out(64);
+    u::parallel_for(pool, 64, [&out](int i) { out[i] = 1.0 / (i + 1); });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, WorkIsSharedAcrossThreads) {
+  // With many slow-ish tasks and several workers, more than one thread
+  // must end up executing (stealing keeps everyone busy).
+  u::ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  u::parallel_for(pool, 64, [&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkers) {
+  // Workers may enqueue follow-up tasks (exempt from the queue bound);
+  // every generation must still run.
+  u::ThreadPool pool(3, 8);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      ++count;
+      for (int j = 0; j < 4; ++j)
+        pool.submit([&count] { ++count; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(ThreadPool, BoundedQueueBlocksAndDrains) {
+  // A tiny bound with a slow consumer: submit blocks rather than growing
+  // the queue, and everything still completes.
+  u::ThreadPool pool(1, 2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++count;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, CancelDropsQueuedTasks) {
+  u::ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::atomic<bool> release{false};
+  // First task blocks the single worker while we pile up queued tasks.
+  pool.submit([&release] {
+    while (!release) std::this_thread::yield();
+  });
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&count] { ++count; });
+  pool.cancel();
+  release = true;
+  pool.wait_idle();
+  EXPECT_LT(count.load(), 50);
+  EXPECT_FALSE(pool.submit([] {}));  // cancelled pool drops submissions
+  pool.resume();
+  EXPECT_TRUE(pool.submit([&count] { ++count; }));
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForSurvivesCancel) {
+  // Iterations dropped by cancel() still release the latch: the call
+  // returns instead of hanging.
+  u::ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release) std::this_thread::yield();
+  });
+  std::thread canceller([&pool, &release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pool.cancel();
+    release = true;
+  });
+  std::atomic<int> ran{0};
+  u::parallel_for(pool, 64, [&ran](int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    ++ran;
+  });
+  canceller.join();
+  EXPECT_LE(ran.load(), 64);
+  pool.resume();
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  u::ThreadPool pool(2);
+  pool.submit([] { throw PreconditionError("boom"); });
+  EXPECT_THROW(pool.wait_idle(), PreconditionError);
+  // The error is cleared once delivered.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, ParallelForPropagatesIterationError) {
+  u::ThreadPool pool(4);
+  EXPECT_THROW(u::parallel_for(pool, 32,
+                               [](int i) {
+                                 if (i == 13)
+                                   throw PreconditionError("unlucky");
+                               }),
+               PreconditionError);
+  // The pool itself stays healthy afterwards.
+  std::atomic<int> count{0};
+  u::parallel_for(pool, 8, [&count](int) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}

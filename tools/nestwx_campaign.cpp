@@ -1,0 +1,177 @@
+/// \file nestwx_campaign.cpp
+/// Command-line campaign scheduler: execute an ensemble of nested
+/// configurations concurrently on one machine, space-sharing the torus
+/// among the members (the paper's divide and conquer applied at campaign
+/// level), and report makespan, throughput, latency percentiles and plan
+/// cache effectiveness.
+///
+///   nestwx-campaign --machine=bgp --cores=2048 --members=16
+///                   --threads=4 --json=campaign.json
+///
+/// Flags:
+///   --machine=bgl|bgp        machine family                     [bgp]
+///   --cores=N                partition size                     [2048]
+///   --members=N              random ensemble size               [8]
+///   --seed=N                 ensemble generator seed            [42]
+///   --duplicates=K           repeat the ensemble K times (plan
+///                            cache exercise)                    [1]
+///   --iterations=N           virtual iterations per member      [100]
+///   --threads=N              host worker threads                [4]
+///   --sharing=space|time     machine sharing mode               [space]
+///   --max-concurrent=N       members per wave (0 = face limit)  [0]
+///   --no-cache               disable the plan cache
+///   --repeat=R               run the campaign R times against the
+///                            same scheduler (warm-cache demo)   [1]
+///   --allocator=huffman|huffman-single|strips|equal             [huffman]
+///   --scheme=multilevel|partition|txyz|xyzt                     [multilevel]
+///   --io                     include I/O in every member run
+///   --json=PATH              write the (deterministic) JSON report
+
+#include <chrono>
+#include <iostream>
+
+#include "campaign/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace {
+
+using namespace nestwx;
+
+core::Allocator parse_allocator(const std::string& name) {
+  if (name == "huffman") return core::Allocator::huffman;
+  if (name == "huffman-single") return core::Allocator::huffman_single;
+  if (name == "strips") return core::Allocator::naive_strips;
+  if (name == "equal") return core::Allocator::equal;
+  NESTWX_REQUIRE(false, "unknown allocator: " + name);
+  return core::Allocator::huffman;
+}
+
+core::MapScheme parse_scheme(const std::string& name) {
+  if (name == "multilevel") return core::MapScheme::multilevel;
+  if (name == "partition") return core::MapScheme::partition;
+  if (name == "txyz") return core::MapScheme::txyz;
+  if (name == "xyzt") return core::MapScheme::xyzt;
+  NESTWX_REQUIRE(false, "unknown mapping scheme: " + name);
+  return core::MapScheme::multilevel;
+}
+
+campaign::Sharing parse_sharing(const std::string& name) {
+  if (name == "space") return campaign::Sharing::space;
+  if (name == "time") return campaign::Sharing::time;
+  NESTWX_REQUIRE(false, "unknown sharing mode: " + name);
+  return campaign::Sharing::space;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const int cores = static_cast<int>(cli.get_int("cores", 2048));
+    const auto machine = cli.get("machine", "bgp") == "bgl"
+                             ? workload::bluegene_l(cores)
+                             : workload::bluegene_p(cores);
+    const int n_members = static_cast<int>(cli.get_int("members", 8));
+    const int duplicates = static_cast<int>(cli.get_int("duplicates", 1));
+    const int iterations = static_cast<int>(cli.get_int("iterations", 100));
+    const int repeat = static_cast<int>(cli.get_int("repeat", 1));
+    NESTWX_REQUIRE(n_members >= 1 && duplicates >= 1 && repeat >= 1,
+                   "--members, --duplicates and --repeat must be positive");
+    const auto allocator =
+        parse_allocator(cli.get("allocator", "huffman"));
+    const auto scheme = parse_scheme(cli.get("scheme", "multilevel"));
+
+    campaign::CampaignOptions options;
+    options.threads = static_cast<int>(cli.get_int("threads", 4));
+    options.sharing = parse_sharing(cli.get("sharing", "space"));
+    options.max_concurrent =
+        static_cast<int>(cli.get_int("max-concurrent", 0));
+    options.use_plan_cache = !cli.has("no-cache");
+    options.run.with_io = cli.has("io");
+
+    // Deterministic random ensemble, optionally duplicated to mimic the
+    // heavy configuration reuse of real forecast campaigns.
+    util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 42)));
+    const auto configs = workload::random_configs(rng, n_members);
+    std::vector<campaign::MemberSpec> members;
+    for (int d = 0; d < duplicates; ++d) {
+      for (int i = 0; i < n_members; ++i) {
+        campaign::MemberSpec spec;
+        spec.name = "member" + std::to_string(d * n_members + i);
+        spec.config = configs[i];
+        spec.iterations = iterations;
+        spec.allocator = allocator;
+        spec.scheme = scheme;
+        members.push_back(std::move(spec));
+      }
+    }
+
+    std::cout << "nestwx-campaign: " << machine.name << ", " << cores
+              << " cores (" << machine.torus_x << "x" << machine.torus_y
+              << "x" << machine.torus_z << " torus), "
+              << members.size() << " members, sharing="
+              << campaign::to_string(options.sharing) << ", threads="
+              << options.threads << "\n";
+    std::cout << "fitting perf model (profiling "
+              << core::default_basis_domains().size()
+              << " basis domains)...\n";
+    auto scheduler = campaign::CampaignScheduler::with_profiled_model(machine);
+
+    campaign::CampaignReport report;
+    for (int r = 0; r < repeat; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      report = scheduler.run(members, options);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::cout << "campaign run " << (r + 1) << "/" << repeat << ": wall "
+                << util::Table::num(wall, 2) << " s, host throughput "
+                << util::Table::num(members.size() / wall, 2)
+                << " members/s, cache hit rate "
+                << util::Table::num(100.0 * report.metrics.cache_hit_rate, 1)
+                << "%\n";
+    }
+    std::cout << '\n';
+
+    util::Table table({"member", "wave", "sub-torus", "ranks", "weight",
+                       "cache", "s/iter", "run (s)", "done at (s)"});
+    for (const auto& m : report.members) {
+      table.add_row(
+          {m.name, std::to_string(m.wave),
+           std::to_string(m.rect.w) + "x" + std::to_string(m.rect.h) + "@(" +
+               std::to_string(m.rect.x0) + "," + std::to_string(m.rect.y0) +
+               ")",
+           std::to_string(m.ranks), util::Table::num(m.weight, 3),
+           m.cache_hit ? "hit" : "miss", util::Table::num(m.run.total, 3),
+           util::Table::num(m.run_seconds, 1),
+           util::Table::num(m.completion_seconds, 1)});
+    }
+    table.print(std::cout, "Member schedule (virtual time)");
+
+    const auto& metrics = report.metrics;
+    std::cout << "\nmakespan " << util::Table::num(metrics.makespan, 1)
+              << " s over " << metrics.waves << " wave(s), throughput "
+              << util::Table::num(metrics.throughput * 3600.0, 2)
+              << " members/h, latency p50/p90/p99 "
+              << util::Table::num(metrics.latency_p50, 1) << "/"
+              << util::Table::num(metrics.latency_p90, 1) << "/"
+              << util::Table::num(metrics.latency_p99, 1) << " s, cache "
+              << metrics.cache_hits << " hit / " << metrics.cache_misses
+              << " miss\n";
+
+    if (cli.has("json")) {
+      const std::string path = cli.get("json", "nestwx_campaign.json");
+      campaign::write_report_json(path, report, machine, options);
+      std::cout << "report written to " << path << "\n";
+    }
+    return 0;
+  } catch (const nestwx::util::Error& e) {
+    std::cerr << "nestwx-campaign: " << e.what() << "\n";
+    return 1;
+  }
+}
