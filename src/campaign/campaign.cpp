@@ -9,6 +9,7 @@
 #include "campaign/space_share.hpp"
 #include "core/plan_key.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -196,33 +197,31 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
   return report;
 }
 
-namespace {
+using util::json_hex;
+using util::json_num;
+using util::json_quote;
 
-/// Shortest round-trip decimal representation, locale-independent.
-std::string num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  return buf;
+void member_fields_json(std::ostream& os, const MemberResult& r,
+                        const std::string& indent) {
+  os << indent << "\"name\": " << json_quote(r.name) << ",\n";
+  os << indent << "\"wave\": " << r.wave << ",\n";
+  os << indent << "\"rect\": [" << r.rect.x0 << ", " << r.rect.y0 << ", "
+     << r.rect.w << ", " << r.rect.h << "],\n";
+  os << indent << "\"ranks\": " << r.ranks << ",\n";
+  os << indent << "\"weight\": " << json_num(r.weight) << ",\n";
+  os << indent << "\"plan_key\": " << json_quote(json_hex(r.plan_key))
+     << ",\n";
+  os << indent << "\"cache_hit\": " << (r.cache_hit ? "true" : "false")
+     << ",\n";
+  os << indent << "\"integration\": " << json_num(r.run.integration) << ",\n";
+  os << indent << "\"io_time\": " << json_num(r.run.io_time) << ",\n";
+  os << indent << "\"iteration_total\": " << json_num(r.run.total) << ",\n";
+  os << indent << "\"avg_wait\": " << json_num(r.run.avg_wait) << ",\n";
+  os << indent << "\"avg_hops\": " << json_num(r.run.avg_hops) << ",\n";
+  os << indent << "\"run_seconds\": " << json_num(r.run_seconds) << ",\n";
+  os << indent
+     << "\"completion_seconds\": " << json_num(r.completion_seconds);
 }
-
-std::string quoted(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-std::string hex_key(std::uint64_t key) {
-  char buf[20];
-  std::snprintf(buf, sizeof buf, "0x%016llx",
-                static_cast<unsigned long long>(key));
-  return buf;
-}
-
-}  // namespace
 
 std::string report_to_json(const CampaignReport& report,
                            const topo::MachineParams& machine,
@@ -230,11 +229,11 @@ std::string report_to_json(const CampaignReport& report,
   std::ostringstream os;
   os << "{\n";
   os << "  \"campaign\": {\n";
-  os << "    \"machine\": " << quoted(machine.name) << ",\n";
+  os << "    \"machine\": " << json_quote(machine.name) << ",\n";
   os << "    \"torus\": [" << machine.torus_x << ", " << machine.torus_y
      << ", " << machine.torus_z << "],\n";
   os << "    \"ranks\": " << machine.total_ranks() << ",\n";
-  os << "    \"sharing\": " << quoted(to_string(options.sharing)) << ",\n";
+  os << "    \"sharing\": " << json_quote(to_string(options.sharing)) << ",\n";
   os << "    \"plan_cache\": "
      << (options.use_plan_cache ? "true" : "false") << "\n";
   os << "  },\n";
@@ -242,39 +241,23 @@ std::string report_to_json(const CampaignReport& report,
   for (std::size_t i = 0; i < report.members.size(); ++i) {
     const MemberResult& r = report.members[i];
     os << "    {\n";
-    os << "      \"name\": " << quoted(r.name) << ",\n";
-    os << "      \"wave\": " << r.wave << ",\n";
-    os << "      \"rect\": [" << r.rect.x0 << ", " << r.rect.y0 << ", "
-       << r.rect.w << ", " << r.rect.h << "],\n";
-    os << "      \"ranks\": " << r.ranks << ",\n";
-    os << "      \"weight\": " << num(r.weight) << ",\n";
-    os << "      \"plan_key\": " << quoted(hex_key(r.plan_key)) << ",\n";
-    os << "      \"cache_hit\": " << (r.cache_hit ? "true" : "false")
-       << ",\n";
-    os << "      \"integration\": " << num(r.run.integration) << ",\n";
-    os << "      \"io_time\": " << num(r.run.io_time) << ",\n";
-    os << "      \"iteration_total\": " << num(r.run.total) << ",\n";
-    os << "      \"avg_wait\": " << num(r.run.avg_wait) << ",\n";
-    os << "      \"avg_hops\": " << num(r.run.avg_hops) << ",\n";
-    os << "      \"run_seconds\": " << num(r.run_seconds) << ",\n";
-    os << "      \"completion_seconds\": " << num(r.completion_seconds)
-       << "\n";
-    os << "    }" << (i + 1 < report.members.size() ? "," : "") << "\n";
+    member_fields_json(os, r, "      ");
+    os << "\n    }" << (i + 1 < report.members.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
   const CampaignMetrics& m = report.metrics;
   os << "  \"metrics\": {\n";
   os << "    \"members\": " << m.members << ",\n";
   os << "    \"waves\": " << m.waves << ",\n";
-  os << "    \"makespan\": " << num(m.makespan) << ",\n";
-  os << "    \"throughput\": " << num(m.throughput) << ",\n";
-  os << "    \"latency_mean\": " << num(m.latency_mean) << ",\n";
-  os << "    \"latency_p50\": " << num(m.latency_p50) << ",\n";
-  os << "    \"latency_p90\": " << num(m.latency_p90) << ",\n";
-  os << "    \"latency_p99\": " << num(m.latency_p99) << ",\n";
+  os << "    \"makespan\": " << json_num(m.makespan) << ",\n";
+  os << "    \"throughput\": " << json_num(m.throughput) << ",\n";
+  os << "    \"latency_mean\": " << json_num(m.latency_mean) << ",\n";
+  os << "    \"latency_p50\": " << json_num(m.latency_p50) << ",\n";
+  os << "    \"latency_p90\": " << json_num(m.latency_p90) << ",\n";
+  os << "    \"latency_p99\": " << json_num(m.latency_p99) << ",\n";
   os << "    \"cache_hits\": " << m.cache_hits << ",\n";
   os << "    \"cache_misses\": " << m.cache_misses << ",\n";
-  os << "    \"cache_hit_rate\": " << num(m.cache_hit_rate) << "\n";
+  os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << "\n";
   os << "  }\n";
   os << "}\n";
   return os.str();

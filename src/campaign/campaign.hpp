@@ -20,6 +20,7 @@
 /// plan_fingerprint of (machine, config, strategy, allocator, scheme).
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -142,5 +143,13 @@ std::string report_to_json(const CampaignReport& report,
 void write_report_json(const std::string& path, const CampaignReport& report,
                        const topo::MachineParams& machine,
                        const CampaignOptions& options);
+
+/// Append `member`'s base report fields ("name" … "completion_seconds") to
+/// `os`, one `indent`-prefixed "key": value line each, comma-separated,
+/// ending after the last value (no trailing comma or newline). Shared by
+/// the campaign and fault-report serialisers so the two member schemas
+/// cannot drift apart.
+void member_fields_json(std::ostream& os, const MemberResult& member,
+                        const std::string& indent);
 
 }  // namespace nestwx::campaign

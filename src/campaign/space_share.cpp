@@ -25,11 +25,26 @@ double predicted_run_weight(const core::NestedConfig& config,
 
 std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
                                       std::span<const double> weights) {
+  return share_machine(
+      machine, procgrid::Rect{0, 0, machine.torus_x, machine.torus_y},
+      weights);
+}
+
+std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
+                                      const procgrid::Rect& face,
+                                      std::span<const double> weights) {
   NESTWX_REQUIRE(!weights.empty(), "no members to share the machine among");
-  const procgrid::Rect face{0, 0, machine.torus_x, machine.torus_y};
+  const procgrid::Rect whole{0, 0, machine.torus_x, machine.torus_y};
+  NESTWX_REQUIRE(whole.contains(face) && !face.empty(),
+                 "face rectangle " + face.to_string() +
+                     " does not fit the torus X-Y face");
   NESTWX_REQUIRE(face.area() >= static_cast<long long>(weights.size()),
-                 "torus X-Y face too small for " +
+                 "face " + face.to_string() + " too small for " +
                      std::to_string(weights.size()) + " members");
+  NESTWX_REQUIRE(
+      machine.health.failed_in(face.x0, face.y0, face.w, face.h) == 0,
+      "face " + face.to_string() + " contains failed nodes (" +
+          machine.health.to_string() + ")");
   const auto partition = core::huffman_partition(face, weights);
 
   std::vector<SubMachine> out;
@@ -42,6 +57,8 @@ std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
         machine.name + "/member" + std::to_string(i);
     sub.machine.torus_x = sub.rect.w;
     sub.machine.torus_y = sub.rect.h;
+    sub.machine.health = machine.health.restricted_to(
+        sub.rect.x0, sub.rect.y0, sub.rect.w, sub.rect.h);
     out.push_back(std::move(sub));
   }
   return out;

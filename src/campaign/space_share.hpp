@@ -49,4 +49,13 @@ double predicted_run_weight(const core::NestedConfig& config,
 std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
                                       std::span<const double> weights);
 
+/// Same, but partition only `face` — a sub-rectangle of the machine's X-Y
+/// face, typically the surviving face after node failures (fault/). The
+/// returned rects are in whole-face coordinates and tile `face` exactly.
+/// Every cell of `face` must be healthy under machine.health (carve the
+/// surviving rectangle first); each sub-machine is therefore all-healthy.
+std::vector<SubMachine> share_machine(const topo::MachineParams& machine,
+                                      const procgrid::Rect& face,
+                                      std::span<const double> weights);
+
 }  // namespace nestwx::campaign

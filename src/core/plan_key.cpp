@@ -49,6 +49,14 @@ Fingerprint& Fingerprint::mix(std::string_view s) {
   return mix_bytes(s.data(), s.size());
 }
 
+std::uint64_t fingerprint(const topo::HealthMask& health) {
+  Fingerprint f;
+  f.mix(static_cast<std::uint64_t>(health.failed_packed().size()));
+  for (const std::uint32_t packed : health.failed_packed())
+    f.mix(static_cast<std::uint64_t>(packed));
+  return f.value();
+}
+
 std::uint64_t fingerprint(const topo::MachineParams& m) {
   Fingerprint f;
   f.mix(m.torus_x)
@@ -73,7 +81,8 @@ std::uint64_t fingerprint(const topo::MachineParams& m) {
       .mix(m.bytes_per_element)
       .mix(m.io_base_latency)
       .mix(m.io_per_rank_overhead)
-      .mix(m.io_stream_bandwidth);
+      .mix(m.io_stream_bandwidth)
+      .mix(fingerprint(m.health));
   return f.value();
 }
 

@@ -39,8 +39,13 @@ class Fingerprint {
   std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
 };
 
+/// The sorted failed-node set of a health mask. Order-independent by
+/// construction (the mask stores failures sorted), so two machines that
+/// lost the same nodes in a different order fingerprint identically.
+std::uint64_t fingerprint(const topo::HealthMask& health);
+
 /// Everything about a machine that planning reads (geometry, node mode,
-/// calibration constants) — not its display name.
+/// calibration constants, node health) — not its display name.
 std::uint64_t fingerprint(const topo::MachineParams& machine);
 
 /// Shape, refinement ratio and anchor of one domain — not its name.

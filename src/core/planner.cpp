@@ -177,6 +177,10 @@ ExecutionPlan plan_execution(const topo::MachineParams& machine,
                              bool optimize_mapping) {
   NESTWX_REQUIRE(!config.siblings.empty(),
                  "configuration has no sibling nests");
+  NESTWX_REQUIRE(machine.health.all_healthy(),
+                 "cannot plan on a machine with failed nodes (" +
+                     machine.health.to_string() +
+                     "); carve a healthy sub-machine first");
   ExecutionPlan plan;
   plan.strategy = strategy;
   plan.scheme = scheme;

@@ -1,0 +1,145 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/plan_key.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nestwx::fault {
+
+std::string to_string(FaultKind kind) {
+  return kind == FaultKind::node ? "node" : "link";
+}
+
+namespace {
+
+bool event_order(const FaultEvent& a, const FaultEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.y != b.y) return a.y < b.y;
+  if (a.x != b.x) return a.x < b.x;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.axis < b.axis;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int count, double horizon,
+                            int face_x, int face_y, double link_fraction) {
+  NESTWX_REQUIRE(count >= 0, "fault count must be non-negative");
+  NESTWX_REQUIRE(horizon > 0.0, "fault horizon must be positive");
+  NESTWX_REQUIRE(face_x >= 1 && face_y >= 1, "face must be non-empty");
+  NESTWX_REQUIRE(link_fraction >= 0.0 && link_fraction <= 1.0,
+                 "link fraction must be in [0, 1]");
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.events.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.time = rng.uniform(0.0, horizon);
+    e.kind = rng.uniform() < link_fraction ? FaultKind::link : FaultKind::node;
+    e.x = static_cast<int>(rng.uniform_int(0, face_x - 1));
+    e.y = static_cast<int>(rng.uniform_int(0, face_y - 1));
+    e.axis = static_cast<int>(rng.uniform_int(0, 1));
+    if (e.kind == FaultKind::node) e.axis = 0;
+    plan.events.push_back(e);
+  }
+  std::sort(plan.events.begin(), plan.events.end(), event_order);
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& script) {
+  FaultPlan plan;
+  std::istringstream events(script);
+  std::string entry;
+  while (std::getline(events, entry, ';')) {
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ':')) parts.push_back(field);
+    NESTWX_REQUIRE(parts.size() == 4 || parts.size() == 5,
+                   "fault event '" + entry +
+                       "' is not time:kind:x:y[:axis]");
+    FaultEvent e;
+    try {
+      std::size_t used = 0;
+      e.time = std::stod(parts[0], &used);
+      NESTWX_REQUIRE(used == parts[0].size(), "trailing junk in time");
+      e.x = std::stoi(parts[2], &used);
+      NESTWX_REQUIRE(used == parts[2].size(), "trailing junk in x");
+      e.y = std::stoi(parts[3], &used);
+      NESTWX_REQUIRE(used == parts[3].size(), "trailing junk in y");
+    } catch (const util::PreconditionError&) {
+      throw;
+    } catch (const std::exception&) {
+      NESTWX_REQUIRE(false, "fault event '" + entry + "' has a bad number");
+    }
+    if (parts[1] == "node") {
+      e.kind = FaultKind::node;
+      NESTWX_REQUIRE(parts.size() == 4,
+                     "node fault '" + entry + "' takes no axis");
+    } else if (parts[1] == "link") {
+      e.kind = FaultKind::link;
+      NESTWX_REQUIRE(parts.size() == 5,
+                     "link fault '" + entry + "' needs an axis (x or y)");
+      NESTWX_REQUIRE(parts[4] == "x" || parts[4] == "y",
+                     "link axis must be 'x' or 'y', got '" + parts[4] + "'");
+      e.axis = parts[4] == "y" ? 1 : 0;
+    } else {
+      NESTWX_REQUIRE(false, "fault kind must be 'node' or 'link', got '" +
+                                parts[1] + "'");
+    }
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(), event_order);
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i > 0) os << ';';
+    char time[32];
+    std::snprintf(time, sizeof(time), "%.12g", e.time);
+    os << time << ':' << fault::to_string(e.kind) << ':' << e.x << ':'
+       << e.y;
+    if (e.kind == FaultKind::link) os << ':' << (e.axis == 1 ? 'y' : 'x');
+  }
+  return os.str();
+}
+
+std::uint64_t FaultPlan::fingerprint() const {
+  core::Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(events.size()));
+  for (const FaultEvent& e : events) {
+    fp.mix(e.time)
+        .mix(static_cast<int>(e.kind))
+        .mix(e.x)
+        .mix(e.y)
+        .mix(e.axis);
+  }
+  return fp.value();
+}
+
+void FaultPlan::validate(int face_x, int face_y) const {
+  NESTWX_REQUIRE(face_x >= 1 && face_y >= 1, "face must be non-empty");
+  double prev = 0.0;
+  for (const FaultEvent& e : events) {
+    NESTWX_REQUIRE(e.time >= 0.0, "fault time must be non-negative");
+    NESTWX_REQUIRE(e.time >= prev, "fault events must be time-ordered");
+    prev = e.time;
+    NESTWX_REQUIRE(e.x >= 0 && e.x < face_x && e.y >= 0 && e.y < face_y,
+                   "fault at (" + std::to_string(e.x) + "," +
+                       std::to_string(e.y) + ") outside the " +
+                       std::to_string(face_x) + "x" + std::to_string(face_y) +
+                       " face");
+    if (e.kind == FaultKind::link)
+      NESTWX_REQUIRE(e.axis == 0 || e.axis == 1, "link axis must be 0 or 1");
+  }
+}
+
+}  // namespace nestwx::fault

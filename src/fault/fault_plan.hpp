@@ -1,0 +1,72 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Deterministic fault injection: which torus nodes/links die, and when.
+///
+/// Blue Gene-class machines lose nodes over multi-day campaigns, and the
+/// ESCAPE workflow analyses put restart/recovery among the first-order
+/// costs of operational LAM workflows. A FaultPlan is the *scripted*
+/// counterpart of that attrition: a time-ordered list of node and link
+/// deaths in campaign virtual time, either written out explicitly or
+/// generated from a seed. Replaying the same plan (or the same seed)
+/// reproduces the identical failure sequence, so recovery behaviour is a
+/// pure function of (campaign inputs, fault plan) — byte-identical
+/// reports at any host thread count, like everything else in nestwx.
+///
+/// Coordinates are torus X-Y *face* coordinates: a failed node takes out
+/// the whole column of torus_z nodes behind it (the granularity at which
+/// the campaign space-sharer allocates). A failed link is modelled
+/// conservatively as the loss of both endpoint columns — dimension-order
+/// routing cannot detour around a dead link without global rerouting,
+/// which Blue Gene control systems handle by re-partitioning anyway.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nestwx::fault {
+
+enum class FaultKind { node, link };
+
+std::string to_string(FaultKind kind);
+
+struct FaultEvent {
+  double time = 0.0;  ///< virtual seconds from campaign start
+  FaultKind kind = FaultKind::node;
+  int x = 0;          ///< face coordinate (link: lower endpoint)
+  int y = 0;
+  int axis = 0;       ///< link only: 0 = +X neighbour, 1 = +Y neighbour
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< non-decreasing time
+
+  /// `count` faults at uniform times in (0, horizon), uniform face
+  /// coordinates, each independently a link fault with probability
+  /// `link_fraction`. Deterministic in `seed`; events come out sorted.
+  static FaultPlan random(std::uint64_t seed, int count, double horizon,
+                          int face_x, int face_y,
+                          double link_fraction = 0.25);
+
+  /// Parse "time:kind:x:y[:axis]" events separated by ';', e.g.
+  ///   "120.5:node:3:4;200:link:0:2:y"
+  /// Axis is "x" or "y" (links only). Events are sorted by time. Throws
+  /// PreconditionError on malformed input.
+  static FaultPlan parse(const std::string& script);
+
+  /// The script form; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+
+  /// Stable 64-bit fingerprint of the whole plan (reported in JSON so a
+  /// replayed campaign can be matched to its fault script).
+  std::uint64_t fingerprint() const;
+
+  /// Check coordinates fit a face_x × face_y face, times are >= 0 and
+  /// non-decreasing, and link axes are 0/1. Throws PreconditionError.
+  void validate(int face_x, int face_y) const;
+
+  bool empty() const { return events.empty(); }
+};
+
+}  // namespace nestwx::fault

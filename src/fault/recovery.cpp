@@ -1,0 +1,543 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "campaign/space_share.hpp"
+#include "core/plan_key.hpp"
+#include "core/planner.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace nestwx::fault {
+
+procgrid::Rect largest_healthy_rect(const procgrid::Rect& rect,
+                                    const topo::HealthMask& mask) {
+  NESTWX_REQUIRE(!rect.empty(),
+                 "cannot search empty rectangle " + rect.to_string());
+  // Max-rectangle via per-row histograms of consecutive healthy cells.
+  procgrid::Rect best{0, 0, 0, 0};
+  long long best_area = 0;
+  std::vector<int> height(static_cast<std::size_t>(rect.w), 0);
+  for (int row = 0; row < rect.h; ++row) {
+    for (int col = 0; col < rect.w; ++col) {
+      height[col] =
+          mask.healthy(rect.x0 + col, rect.y0 + row) ? height[col] + 1 : 0;
+    }
+    for (int left = 0; left < rect.w; ++left) {
+      int min_h = height[left];
+      for (int right = left; right < rect.w && min_h > 0; ++right) {
+        min_h = std::min(min_h, height[right]);
+        if (min_h == 0) break;
+        const int w = right - left + 1;
+        const long long area = static_cast<long long>(min_h) * w;
+        const procgrid::Rect cand{rect.x0 + left, rect.y0 + row - min_h + 1,
+                                  w, min_h};
+        bool better = area > best_area;
+        if (!better && area == best_area && best_area > 0) {
+          better = cand.y0 < best.y0 ||
+                   (cand.y0 == best.y0 &&
+                    (cand.x0 < best.x0 ||
+                     (cand.x0 == best.x0 && cand.w > best.w)));
+        }
+        if (better) {
+          best = cand;
+          best_area = area;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Mutable schedule of one member: the attempt currently (virtually)
+/// executing, plus accumulated fault accounting.
+struct MemberState {
+  int wave = -1;
+  double wave_start = 0.0;
+  double start = 0.0;       ///< current attempt's start time
+  int start_iteration = 0;  ///< iteration the current attempt resumed at
+  double per_iter = 0.0;
+  double end = 0.0;  ///< projected completion of the current attempt
+  procgrid::Rect rect;
+  topo::MachineParams sub;
+  double weight = 0.0;
+  std::uint64_t key = 0;
+  bool cache_hit = false;  ///< first-attempt attribution
+  wrfsim::RunResult run;
+  int attempts = 1;
+  double lost = 0.0;
+  double recovery = 0.0;
+};
+
+/// The face columns an event takes down: the node itself, plus — for a
+/// link — the neighbour across the torus-wrapped +X/+Y edge.
+std::vector<std::pair<int, int>> event_cells(const FaultEvent& e,
+                                             const topo::MachineParams& m) {
+  std::vector<std::pair<int, int>> cells{{e.x, e.y}};
+  if (e.kind == FaultKind::link) {
+    const int nx = e.axis == 0 ? (e.x + 1) % m.torus_x : e.x;
+    const int ny = e.axis == 1 ? (e.y + 1) % m.torus_y : e.y;
+    if (nx != e.x || ny != e.y) cells.emplace_back(nx, ny);
+  }
+  return cells;
+}
+
+}  // namespace
+
+FaultCampaignReport run_with_faults(
+    campaign::CampaignScheduler& scheduler,
+    std::span<const campaign::MemberSpec> members,
+    const campaign::CampaignOptions& options, const FaultOptions& faults) {
+  NESTWX_REQUIRE(!members.empty(), "campaign has no members");
+  NESTWX_REQUIRE(options.threads >= 1, "campaign needs at least one thread");
+  NESTWX_REQUIRE(faults.checkpoint_every >= 0,
+                 "checkpoint interval must be non-negative");
+  NESTWX_REQUIRE(faults.checkpoint_fields >= 1,
+                 "checkpoints need at least one field");
+  NESTWX_REQUIRE(faults.detect_seconds >= 0.0,
+                 "detection latency must be non-negative");
+  for (const auto& m : members)
+    NESTWX_REQUIRE(m.iterations >= 1,
+                   "member '" + m.name + "' has no iterations");
+
+  const topo::MachineParams& machine = scheduler.machine();
+  faults.plan.validate(machine.torus_x, machine.torus_y);
+
+  wrfsim::RunOptions run_options = options.run;
+  run_options.checkpoint_every = faults.checkpoint_every;
+  run_options.checkpoint_fields = faults.checkpoint_fields;
+
+  const int n = static_cast<int>(members.size());
+  const procgrid::Rect whole{0, 0, machine.torus_x, machine.torus_y};
+  topo::HealthMask mask = machine.health;
+
+  FaultCampaignReport report;
+  std::vector<MemberState> states(static_cast<std::size_t>(n));
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (options.threads > 1)
+    pool = std::make_unique<util::ThreadPool>(options.threads);
+
+  const auto& events = faults.plan.events;
+  std::size_t next_event = 0;
+  double wave_start = 0.0;
+  int wave_index = 0;
+  int next_member = 0;
+
+  while (next_member < n) {
+    // --- Wave layout on the surviving face as of the wave's start.
+    const procgrid::Rect face = largest_healthy_rect(whole, mask);
+    NESTWX_REQUIRE(!face.empty(),
+                   "no healthy nodes left on " + machine.name);
+    long long cap = 1;
+    if (options.sharing == campaign::Sharing::space) {
+      cap = options.max_concurrent > 0
+                ? std::min<long long>(options.max_concurrent, face.area())
+                : face.area();
+    }
+    const int wave_n =
+        static_cast<int>(std::min<long long>(cap, n - next_member));
+    std::vector<int> wave(static_cast<std::size_t>(wave_n));
+    for (int j = 0; j < wave_n; ++j) wave[j] = next_member + j;
+    next_member += wave_n;
+
+    topo::MachineParams degraded = machine;
+    degraded.health = mask;
+
+    std::vector<double> weights(static_cast<std::size_t>(wave_n));
+    for (int j = 0; j < wave_n; ++j)
+      weights[j] = campaign::predicted_run_weight(
+          members[wave[j]].config, scheduler.model(),
+          members[wave[j]].iterations);
+    auto subs = campaign::share_machine(degraded, face, weights);
+
+    // Deterministic cache-hit attribution: the previous wave's plans are
+    // all inserted by now (parallel_for is a barrier), so peek() plus
+    // first-owner-within-the-wave matches the cache's real behaviour at
+    // any thread count.
+    std::unordered_map<std::uint64_t, int> owner;
+    for (int j = 0; j < wave_n; ++j) {
+      MemberState& st = states[wave[j]];
+      const campaign::MemberSpec& spec = members[wave[j]];
+      st.wave = wave_index;
+      st.wave_start = wave_start;
+      st.rect = subs[j].rect;
+      st.sub = std::move(subs[j].machine);
+      st.weight = weights[j];
+      st.key = core::plan_fingerprint(st.sub, spec.config, spec.strategy,
+                                      spec.allocator, spec.scheme);
+      st.cache_hit = false;
+      if (options.use_plan_cache) {
+        if (scheduler.cache().peek(st.key) != nullptr) {
+          st.cache_hit = true;
+        } else {
+          auto [it, inserted] = owner.emplace(st.key, wave[j]);
+          st.cache_hit = !inserted;
+        }
+      }
+    }
+
+    // --- Parallel plan + simulate into pre-assigned slots.
+    auto run_member = [&](int j) {
+      const int i = wave[j];
+      const campaign::MemberSpec& spec = members[i];
+      MemberState& st = states[i];
+      auto compute = [&] {
+        return core::plan_execution(st.sub, spec.config, scheduler.model(),
+                                    spec.strategy, spec.allocator,
+                                    spec.scheme);
+      };
+      campaign::PlanCache::PlanPtr plan;
+      if (options.use_plan_cache) {
+        plan = scheduler.cache().get_or_compute(st.key, compute);
+      } else {
+        plan = std::make_shared<const core::ExecutionPlan>(compute());
+      }
+      st.run = wrfsim::simulate_run(st.sub, spec.config, *plan, run_options);
+      st.per_iter = st.run.total;
+    };
+    if (pool) {
+      util::parallel_for(*pool, wave_n, run_member);
+    } else {
+      for (int j = 0; j < wave_n; ++j) run_member(j);
+    }
+    for (int j = 0; j < wave_n; ++j) {
+      MemberState& st = states[wave[j]];
+      st.start = wave_start;
+      st.start_iteration = 0;
+      st.attempts = 1;
+      st.lost = 0.0;
+      st.recovery = 0.0;
+      st.end = wave_start + members[wave[j]].iterations * st.per_iter;
+    }
+
+    // --- Replay fault events that strike before this wave drains. The
+    // loop is sequential on the calling thread; recoveries re-plan one at
+    // a time, in event order, so the schedule is thread-count-invariant.
+    for (;;) {
+      double wave_end = 0.0;
+      for (int i : wave) wave_end = std::max(wave_end, states[i].end);
+      if (next_event >= events.size() ||
+          events[next_event].time >= wave_end) {
+        wave_start = wave_end;
+        break;
+      }
+      const FaultEvent e = events[next_event++];
+      const auto cells = event_cells(e, machine);
+      for (auto [cx, cy] : cells) mask.fail_node(cx, cy);
+      ++report.metrics.faults_injected;
+
+      bool hit_any = false;
+      for (int i : wave) {
+        MemberState& st = states[i];
+        if (st.end <= e.time) continue;  // member already drained
+        bool struck = false;
+        for (auto [cx, cy] : cells)
+          if (st.rect.contains(cx, cy)) struck = true;
+        if (!struck) continue;
+        hit_any = true;
+
+        const campaign::MemberSpec& spec = members[i];
+        // Roll back to the newest checkpoint at or before the fault. A
+        // fault that lands while the member is still mid-recovery (start
+        // in the future) simply restarts the same recovery elsewhere.
+        const double elapsed = std::max(0.0, e.time - st.start);
+        int completed =
+            st.per_iter > 0.0 ? static_cast<int>(elapsed / st.per_iter) : 0;
+        completed =
+            std::min(completed, spec.iterations - st.start_iteration);
+        const int k = faults.checkpoint_every;
+        const int resume =
+            k > 0 ? ((st.start_iteration + completed) / k) * k : 0;
+        const double resume_time =
+            st.start + (resume - st.start_iteration) * st.per_iter;
+        const double lost = std::max(0.0, e.time - resume_time);
+
+        const procgrid::Rect new_rect = largest_healthy_rect(st.rect, mask);
+        NESTWX_REQUIRE(!new_rect.empty(),
+                       "member '" + spec.name +
+                           "' lost every node of its sub-machine " +
+                           st.rect.to_string());
+        topo::MachineParams sub = machine;
+        sub.name = machine.name + "/" + spec.name + "/retry" +
+                   std::to_string(st.attempts);
+        sub.torus_x = new_rect.w;
+        sub.torus_y = new_rect.h;
+        sub.health = mask.restricted_to(new_rect.x0, new_rect.y0,
+                                        new_rect.w, new_rect.h);
+        NESTWX_ASSERT(sub.health.all_healthy(),
+                      "largest healthy rect contains a failed node");
+
+        const std::uint64_t key = core::plan_fingerprint(
+            sub, spec.config, spec.strategy, spec.allocator, spec.scheme);
+        auto compute = [&] {
+          return core::plan_execution(sub, spec.config, scheduler.model(),
+                                      spec.strategy, spec.allocator,
+                                      spec.scheme);
+        };
+        bool replan_hit = false;
+        campaign::PlanCache::PlanPtr plan;
+        if (options.use_plan_cache) {
+          replan_hit = scheduler.cache().peek(key) != nullptr;
+          plan = scheduler.cache().get_or_compute(key, compute);
+        } else {
+          plan = std::make_shared<const core::ExecutionPlan>(compute());
+        }
+        const wrfsim::RunResult rerun =
+            wrfsim::simulate_run(sub, spec.config, *plan, run_options);
+        const double reread =
+            resume > 0 ? wrfsim::checkpoint_read_seconds(
+                             sub, spec.config, *plan, faults.checkpoint_fields)
+                       : 0.0;
+        const double latency = faults.detect_seconds + reread;
+
+        RecoveryRecord rec;
+        rec.member = i;
+        rec.name = spec.name;
+        rec.attempt = st.attempts;
+        rec.event = e;
+        rec.old_rect = st.rect;
+        rec.new_rect = new_rect;
+        rec.ranks_before = st.sub.total_ranks();
+        rec.ranks_after = sub.total_ranks();
+        rec.replan_key = key;
+        rec.replan_cache_hit = replan_hit;
+        rec.resume_iteration = resume;
+        rec.lost_seconds = lost;
+        rec.reread_seconds = reread;
+        rec.recovery_seconds = latency;
+        report.recoveries.push_back(rec);
+
+        st.rect = new_rect;
+        st.sub = std::move(sub);
+        st.key = key;
+        st.run = rerun;
+        st.per_iter = rerun.total;
+        st.start = e.time + latency;
+        st.start_iteration = resume;
+        st.end = st.start + (spec.iterations - resume) * st.per_iter;
+        ++st.attempts;
+        st.lost += lost;
+        st.recovery += latency;
+      }
+      if (!hit_any) ++report.metrics.faults_idle;
+    }
+    ++wave_index;
+  }
+
+  // Faults scheduled past campaign end still degrade the machine.
+  while (next_event < events.size()) {
+    for (auto [cx, cy] : event_cells(events[next_event], machine))
+      mask.fail_node(cx, cy);
+    ++next_event;
+    ++report.metrics.faults_after_end;
+  }
+
+  // --- Final member results + the ordinary campaign metrics over them.
+  campaign::CampaignReport& camp = report.campaign;
+  camp.members.resize(static_cast<std::size_t>(n));
+  report.member_stats.resize(static_cast<std::size_t>(n));
+  FaultMetrics& fm = report.metrics;
+  for (int i = 0; i < n; ++i) {
+    const MemberState& st = states[i];
+    campaign::MemberResult& r = camp.members[i];
+    r.name = members[i].name;
+    r.wave = st.wave;
+    r.rect = st.rect;
+    r.ranks = st.sub.total_ranks();
+    r.weight = st.weight;
+    r.plan_key = st.key;
+    r.cache_hit = st.cache_hit;
+    r.run = st.run;
+    r.completion_seconds = st.end;
+    r.run_seconds = st.end - st.wave_start;  // includes lost + recovery
+
+    MemberFaultStats& fs = report.member_stats[i];
+    fs.attempts = st.attempts;
+    fs.lost_seconds = st.lost;
+    fs.recovery_seconds = st.recovery;
+    fs.useful_seconds = r.run_seconds - st.lost - st.recovery;
+    if (st.attempts > 1) ++fm.members_affected;
+    fm.lost_seconds += fs.lost_seconds;
+    fm.recovery_seconds += fs.recovery_seconds;
+    fm.useful_seconds += fs.useful_seconds;
+    fm.busy_seconds += r.run_seconds;
+  }
+
+  campaign::CampaignMetrics& m = camp.metrics;
+  m.members = n;
+  m.waves = wave_index;
+  m.makespan = wave_start;
+  m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(camp.members.size());
+  for (const auto& r : camp.members)
+    latencies.push_back(r.completion_seconds);
+  m.latency_mean = util::mean(latencies);
+  m.latency_p50 = util::percentile(latencies, 50.0);
+  m.latency_p90 = util::percentile(latencies, 90.0);
+  m.latency_p99 = util::percentile(latencies, 99.0);
+  for (const auto& r : camp.members) {
+    if (r.cache_hit)
+      ++m.cache_hits;
+    else
+      ++m.cache_misses;
+  }
+  m.cache_hit_rate =
+      static_cast<double>(m.cache_hits) / (m.cache_hits + m.cache_misses);
+
+  fm.recoveries = static_cast<int>(report.recoveries.size());
+  fm.failed_nodes = mask.failed_count();
+  if (!report.recoveries.empty()) {
+    double sum = 0.0;
+    for (const auto& rec : report.recoveries) sum += rec.recovery_seconds;
+    fm.recovery_latency_mean = sum / report.recoveries.size();
+  }
+  fm.goodput =
+      fm.busy_seconds > 0.0 ? fm.useful_seconds / fm.busy_seconds : 1.0;
+  report.final_health = std::move(mask);
+  return report;
+}
+
+using util::json_hex;
+using util::json_num;
+using util::json_quote;
+
+std::string report_to_json(const FaultCampaignReport& report,
+                           const topo::MachineParams& machine,
+                           const campaign::CampaignOptions& options,
+                           const FaultOptions& faults) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": {\n";
+  os << "    \"machine\": " << json_quote(machine.name) << ",\n";
+  os << "    \"torus\": [" << machine.torus_x << ", " << machine.torus_y
+     << ", " << machine.torus_z << "],\n";
+  os << "    \"ranks\": " << machine.total_ranks() << ",\n";
+  os << "    \"sharing\": " << json_quote(campaign::to_string(options.sharing))
+     << ",\n";
+  os << "    \"plan_cache\": "
+     << (options.use_plan_cache ? "true" : "false") << ",\n";
+  os << "    \"checkpoint_every\": " << faults.checkpoint_every << ",\n";
+  os << "    \"checkpoint_fields\": " << faults.checkpoint_fields << ",\n";
+  os << "    \"detect_seconds\": " << json_num(faults.detect_seconds)
+     << ",\n";
+  os << "    \"fault_plan\": " << json_quote(faults.plan.to_string())
+     << ",\n";
+  os << "    \"fault_plan_key\": "
+     << json_quote(json_hex(faults.plan.fingerprint())) << "\n";
+  os << "  },\n";
+  os << "  \"members\": [\n";
+  for (std::size_t i = 0; i < report.campaign.members.size(); ++i) {
+    const campaign::MemberResult& r = report.campaign.members[i];
+    const MemberFaultStats& fs = report.member_stats[i];
+    os << "    {\n";
+    campaign::member_fields_json(os, r, "      ");
+    os << ",\n";
+    os << "      \"attempts\": " << fs.attempts << ",\n";
+    os << "      \"lost_seconds\": " << json_num(fs.lost_seconds) << ",\n";
+    os << "      \"recovery_seconds\": " << json_num(fs.recovery_seconds)
+       << ",\n";
+    os << "      \"useful_seconds\": " << json_num(fs.useful_seconds)
+       << "\n";
+    os << "    }" << (i + 1 < report.campaign.members.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"recoveries\": [\n";
+  for (std::size_t i = 0; i < report.recoveries.size(); ++i) {
+    const RecoveryRecord& rec = report.recoveries[i];
+    os << "    {\n";
+    os << "      \"member\": " << rec.member << ",\n";
+    os << "      \"name\": " << json_quote(rec.name) << ",\n";
+    os << "      \"attempt\": " << rec.attempt << ",\n";
+    os << "      \"time\": " << json_num(rec.event.time) << ",\n";
+    os << "      \"kind\": " << json_quote(to_string(rec.event.kind))
+       << ",\n";
+    os << "      \"node\": [" << rec.event.x << ", " << rec.event.y
+       << "],\n";
+    if (rec.event.kind == FaultKind::link)
+      os << "      \"axis\": " << json_quote(rec.event.axis == 1 ? "y" : "x")
+         << ",\n";
+    os << "      \"old_rect\": [" << rec.old_rect.x0 << ", "
+       << rec.old_rect.y0 << ", " << rec.old_rect.w << ", "
+       << rec.old_rect.h << "],\n";
+    os << "      \"new_rect\": [" << rec.new_rect.x0 << ", "
+       << rec.new_rect.y0 << ", " << rec.new_rect.w << ", "
+       << rec.new_rect.h << "],\n";
+    os << "      \"ranks_before\": " << rec.ranks_before << ",\n";
+    os << "      \"ranks_after\": " << rec.ranks_after << ",\n";
+    os << "      \"replan_key\": " << json_quote(json_hex(rec.replan_key))
+       << ",\n";
+    os << "      \"replan_cache_hit\": "
+       << (rec.replan_cache_hit ? "true" : "false") << ",\n";
+    os << "      \"resume_iteration\": " << rec.resume_iteration << ",\n";
+    os << "      \"lost_seconds\": " << json_num(rec.lost_seconds) << ",\n";
+    os << "      \"reread_seconds\": " << json_num(rec.reread_seconds)
+       << ",\n";
+    os << "      \"recovery_seconds\": " << json_num(rec.recovery_seconds)
+       << "\n";
+    os << "    }" << (i + 1 < report.recoveries.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"health\": {\n";
+  os << "    \"failed_nodes\": " << report.final_health.failed_count()
+     << ",\n";
+  os << "    \"failed\": " << json_quote(report.final_health.to_string())
+     << "\n";
+  os << "  },\n";
+  const campaign::CampaignMetrics& m = report.campaign.metrics;
+  const FaultMetrics& fm = report.metrics;
+  os << "  \"metrics\": {\n";
+  os << "    \"members\": " << m.members << ",\n";
+  os << "    \"waves\": " << m.waves << ",\n";
+  os << "    \"makespan\": " << json_num(m.makespan) << ",\n";
+  os << "    \"throughput\": " << json_num(m.throughput) << ",\n";
+  os << "    \"latency_mean\": " << json_num(m.latency_mean) << ",\n";
+  os << "    \"latency_p50\": " << json_num(m.latency_p50) << ",\n";
+  os << "    \"latency_p90\": " << json_num(m.latency_p90) << ",\n";
+  os << "    \"latency_p99\": " << json_num(m.latency_p99) << ",\n";
+  os << "    \"cache_hits\": " << m.cache_hits << ",\n";
+  os << "    \"cache_misses\": " << m.cache_misses << ",\n";
+  os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << ",\n";
+  os << "    \"faults_injected\": " << fm.faults_injected << ",\n";
+  os << "    \"faults_idle\": " << fm.faults_idle << ",\n";
+  os << "    \"faults_after_end\": " << fm.faults_after_end << ",\n";
+  os << "    \"recoveries\": " << fm.recoveries << ",\n";
+  os << "    \"members_affected\": " << fm.members_affected << ",\n";
+  os << "    \"failed_nodes\": " << fm.failed_nodes << ",\n";
+  os << "    \"lost_seconds\": " << json_num(fm.lost_seconds) << ",\n";
+  os << "    \"recovery_seconds\": " << json_num(fm.recovery_seconds)
+     << ",\n";
+  os << "    \"recovery_latency_mean\": "
+     << json_num(fm.recovery_latency_mean) << ",\n";
+  os << "    \"useful_seconds\": " << json_num(fm.useful_seconds) << ",\n";
+  os << "    \"busy_seconds\": " << json_num(fm.busy_seconds) << ",\n";
+  os << "    \"goodput\": " << json_num(fm.goodput) << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_report_json(const std::string& path,
+                       const FaultCampaignReport& report,
+                       const topo::MachineParams& machine,
+                       const campaign::CampaignOptions& options,
+                       const FaultOptions& faults) {
+  std::ofstream out(path);
+  NESTWX_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << report_to_json(report, machine, options, faults);
+  NESTWX_REQUIRE(out.good(), "failed writing " + path);
+}
+
+}  // namespace nestwx::fault

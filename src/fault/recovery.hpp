@@ -1,0 +1,135 @@
+#pragma once
+/// \file recovery.hpp
+/// Elastic recovery: campaigns that survive node and link faults.
+///
+/// The campaign scheduler assumes a perfect machine; this layer removes
+/// that assumption. A FaultPlan injects node/link deaths into campaign
+/// virtual time. When a fault lands inside a running member's sub-torus,
+/// the member is rolled back to its last iosim checkpoint, the failed
+/// columns are excluded via topo::HealthMask, the largest all-healthy
+/// sub-rectangle of the member's footprint is carved out, and the member
+/// is re-planned there with the ordinary Huffman planner — through the
+/// campaign's plan cache, whose keys incorporate the health mask, so a
+/// degraded sub-machine can never alias a healthy one. Subsequent waves
+/// are laid out on the surviving face from the start.
+///
+/// The whole recovery schedule is simulated in virtual time on the
+/// calling thread; only the fault-free planning/simulation of each wave
+/// fans out across host threads (into pre-allocated slots), so the report
+/// is byte-identical at any thread count and across replays of the same
+/// fault plan or seed.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "procgrid/rect.hpp"
+#include "topo/health.hpp"
+#include "topo/machine.hpp"
+
+namespace nestwx::fault {
+
+/// Largest all-healthy sub-rectangle of `rect` under `mask`, both in face
+/// coordinates (max-rectangle-in-histogram, O(area)). Deterministic
+/// tie-break: the candidate with the smallest y0 wins, then smallest x0,
+/// then greatest width. Returns an empty rect when every cell has failed.
+procgrid::Rect largest_healthy_rect(const procgrid::Rect& rect,
+                                    const topo::HealthMask& mask);
+
+struct FaultOptions {
+  FaultPlan plan;
+  /// Iterations between member checkpoints; the amortised write cost is
+  /// folded into every iteration (wrfsim::RunOptions::checkpoint_every).
+  /// 0 disables checkpointing — a failed member restarts from iteration 0.
+  int checkpoint_every = 10;
+  int checkpoint_fields = 8;  ///< 3-D prognostic fields per checkpoint
+  /// Virtual seconds from fault to relaunch (detection heartbeat plus
+  /// scheduler round trip), charged once per recovery on top of the
+  /// checkpoint re-read.
+  double detect_seconds = 30.0;
+};
+
+/// One rollback + replan of one member, recorded in virtual-time order.
+struct RecoveryRecord {
+  int member = -1;          ///< campaign input index
+  std::string name;
+  int attempt = 0;          ///< 1-based attempt the fault killed
+  FaultEvent event;
+  procgrid::Rect old_rect;
+  procgrid::Rect new_rect;  ///< largest healthy sub-rect of old_rect
+  int ranks_before = 0;
+  int ranks_after = 0;
+  std::uint64_t replan_key = 0;
+  bool replan_cache_hit = false;
+  int resume_iteration = 0;    ///< last checkpoint at or before the fault
+  double lost_seconds = 0.0;   ///< progress past that checkpoint, discarded
+  double reread_seconds = 0.0;  ///< checkpoint restore I/O on the new rect
+  double recovery_seconds = 0.0;  ///< detect_seconds + reread_seconds
+};
+
+/// Per-member fault accounting, campaign input order.
+struct MemberFaultStats {
+  int attempts = 1;            ///< 1 + number of recoveries
+  double lost_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  double useful_seconds = 0.0;  ///< busy time minus lost minus recovery
+};
+
+struct FaultMetrics {
+  int faults_injected = 0;   ///< events applied while the campaign ran
+  int faults_idle = 0;       ///< of those, hit no running member's rect
+  int faults_after_end = 0;  ///< events past campaign end (mask only)
+  int recoveries = 0;
+  int members_affected = 0;
+  int failed_nodes = 0;      ///< face columns down when the campaign ends
+  double lost_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  double recovery_latency_mean = 0.0;  ///< mean recovery_seconds, 0 if none
+  double useful_seconds = 0.0;
+  double busy_seconds = 0.0;  ///< Σ member (completion − wave start)
+  double goodput = 0.0;       ///< useful / busy; 1.0 for a fault-free run
+};
+
+struct FaultCampaignReport {
+  /// Final member results (post-recovery rects/plans/timings; run_seconds
+  /// and completion_seconds include lost work and recovery latency) plus
+  /// the ordinary campaign metrics over those timings.
+  campaign::CampaignReport campaign;
+  std::vector<MemberFaultStats> member_stats;  ///< input order
+  std::vector<RecoveryRecord> recoveries;      ///< virtual-time order
+  FaultMetrics metrics;
+  topo::HealthMask final_health;
+};
+
+/// Execute `members` on `scheduler`'s machine under `faults`. Waves are
+/// laid out like CampaignScheduler::run but on the largest healthy
+/// rectangle of the torus X-Y face as of each wave's start; fault events
+/// are then replayed against the running wave in time order. Throws
+/// PreconditionError if the fault plan does not fit the machine face or a
+/// member's surviving footprint (or the whole face) reaches zero healthy
+/// cells. `options.run.checkpoint_every` is overridden from `faults`.
+FaultCampaignReport run_with_faults(campaign::CampaignScheduler& scheduler,
+                                    std::span<const campaign::MemberSpec> members,
+                                    const campaign::CampaignOptions& options,
+                                    const FaultOptions& faults);
+
+/// JSON superset of campaign::report_to_json: same campaign/members/
+/// metrics schema (members gain attempts/lost/recovery/useful fields)
+/// plus "fault_plan", "recoveries" and "health" sections. Deterministic
+/// virtual-time quantities only.
+std::string report_to_json(const FaultCampaignReport& report,
+                           const topo::MachineParams& machine,
+                           const campaign::CampaignOptions& options,
+                           const FaultOptions& faults);
+
+/// report_to_json written to `path`; throws util::Error on I/O failure.
+void write_report_json(const std::string& path,
+                       const FaultCampaignReport& report,
+                       const topo::MachineParams& machine,
+                       const campaign::CampaignOptions& options,
+                       const FaultOptions& faults);
+
+}  // namespace nestwx::fault

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "iosim/io_model.hpp"
 #include "util/error.hpp"
 
 namespace nestwx::iosim {
@@ -80,6 +81,29 @@ swm::State load_checkpoint(const std::string& path) {
   read_field(f, state.v, path);
   read_field(f, state.b, path);
   return state;
+}
+
+double checkpoint_bytes(int nx, int ny, int levels, int fields) {
+  NESTWX_REQUIRE(nx > 0 && ny > 0 && levels > 0 && fields > 0,
+                 "checkpoint dimensions must be positive");
+  return static_cast<double>(nx) * ny * levels * fields * 8.0;
+}
+
+double checkpoint_write_seconds(const topo::MachineParams& machine,
+                                double bytes, int writers) {
+  return IoModel(machine).write_time(bytes, writers,
+                                     IoMode::pnetcdf_collective);
+}
+
+double checkpoint_read_seconds(const topo::MachineParams& machine,
+                               double bytes, int writers) {
+  NESTWX_REQUIRE(bytes >= 0.0, "negative byte count");
+  NESTWX_REQUIRE(writers >= 1, "need at least one reader");
+  // Collective coordination as for a write, streaming unthrottled by the
+  // write-side commit (half the base latency, full stream bandwidth).
+  return 0.5 * machine.io_base_latency +
+         machine.io_per_rank_overhead * writers +
+         bytes / machine.io_stream_bandwidth;
 }
 
 }  // namespace nestwx::iosim

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "swm/state.hpp"
+#include "topo/machine.hpp"
 
 namespace nestwx::iosim {
 
@@ -18,5 +19,27 @@ void save_checkpoint(const swm::State& state, const std::string& path);
 /// Read a state back. Throws PreconditionError when the file is missing,
 /// truncated, or not a nestwx checkpoint of a compatible version.
 swm::State load_checkpoint(const std::string& path);
+
+// --- Restart cost model (virtual time) ---------------------------------
+// Periodic checkpointing is what bounds the work a node failure can
+// destroy, and its write cost is what the fault/recovery layer charges a
+// run per checkpoint interval. Checkpoints carry the full prognostic
+// state in double precision (unlike 4-byte output frames), written and
+// re-read through the machine's collective-I/O path.
+
+/// Bytes of one full-state checkpoint of an nx × ny domain: all vertical
+/// levels of `fields` prognostic variables in 8-byte reals.
+double checkpoint_bytes(int nx, int ny, int levels, int fields = 8);
+
+/// Seconds to write one checkpoint of `bytes` with `writers`
+/// participating ranks (PnetCDF-style collective).
+double checkpoint_write_seconds(const topo::MachineParams& machine,
+                                double bytes, int writers);
+
+/// Seconds to read it back on restart: the same collective coordination,
+/// but reads skip the write-side commit and stream straight from the
+/// filesystem cache of a just-written file.
+double checkpoint_read_seconds(const topo::MachineParams& machine,
+                               double bytes, int writers);
 
 }  // namespace nestwx::iosim

@@ -1,0 +1,65 @@
+#include "topo/health.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace nestwx::topo {
+
+namespace {
+
+constexpr int kCoordLimit = 1 << 16;
+
+std::uint32_t pack(int x, int y) {
+  return (static_cast<std::uint32_t>(y) << 16) |
+         static_cast<std::uint32_t>(x);
+}
+
+}  // namespace
+
+void HealthMask::fail_node(int x, int y) {
+  NESTWX_REQUIRE(x >= 0 && x < kCoordLimit && y >= 0 && y < kCoordLimit,
+                 "face coordinate out of range");
+  const std::uint32_t key = pack(x, y);
+  const auto it = std::lower_bound(failed_.begin(), failed_.end(), key);
+  if (it == failed_.end() || *it != key) failed_.insert(it, key);
+}
+
+bool HealthMask::healthy(int x, int y) const {
+  if (x < 0 || x >= kCoordLimit || y < 0 || y >= kCoordLimit) return false;
+  return !std::binary_search(failed_.begin(), failed_.end(), pack(x, y));
+}
+
+int HealthMask::failed_in(int x0, int y0, int w, int h) const {
+  int count = 0;
+  for (const std::uint32_t key : failed_) {
+    const int x = static_cast<int>(key & 0xffffu);
+    const int y = static_cast<int>(key >> 16);
+    if (x >= x0 && x < x0 + w && y >= y0 && y < y0 + h) ++count;
+  }
+  return count;
+}
+
+HealthMask HealthMask::restricted_to(int x0, int y0, int w, int h) const {
+  HealthMask out;
+  for (const std::uint32_t key : failed_) {
+    const int x = static_cast<int>(key & 0xffffu);
+    const int y = static_cast<int>(key >> 16);
+    if (x >= x0 && x < x0 + w && y >= y0 && y < y0 + h)
+      out.fail_node(x - x0, y - y0);
+  }
+  return out;
+}
+
+std::string HealthMask::to_string() const {
+  if (failed_.empty()) return "all-healthy";
+  std::string out;
+  for (const std::uint32_t key : failed_) {
+    if (!out.empty()) out += ' ';
+    out += '(' + std::to_string(key & 0xffffu) + ',' +
+           std::to_string(key >> 16) + ')';
+  }
+  return out;
+}
+
+}  // namespace nestwx::topo

@@ -1,0 +1,55 @@
+#pragma once
+/// \file health.hpp
+/// Node health of a machine's torus X-Y face.
+///
+/// Blue Gene-class machines lose nodes over multi-day campaigns; the
+/// fault-injection subsystem (src/fault) kills nodes and links at virtual
+/// times and the campaign scheduler replans around them. Failures are
+/// tracked per *face coordinate*: a failed (x, y) takes out the whole
+/// column of torus_z nodes behind it, matching how the campaign space
+///-sharer hands out X-Y rectangles. The mask is part of MachineParams, so
+/// plan fingerprints (core/plan_key) distinguish a degraded machine from
+/// a healthy one of the same geometry.
+///
+/// Representation: a sorted vector of packed coordinates. Equality,
+/// iteration order and fingerprints are therefore independent of the
+/// order in which failures were recorded — a replayed fault sequence
+/// reproduces the identical mask byte for byte.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nestwx::topo {
+
+class HealthMask {
+ public:
+  /// Mark face node (x, y) failed. Idempotent; coordinates must be in
+  /// [0, 65536) (throws PreconditionError otherwise).
+  void fail_node(int x, int y);
+
+  bool healthy(int x, int y) const;
+  bool all_healthy() const { return failed_.empty(); }
+  std::size_t failed_count() const { return failed_.size(); }
+
+  /// Failed nodes inside the half-open rectangle [x0, x0+w) × [y0, y0+h).
+  int failed_in(int x0, int y0, int w, int h) const;
+
+  /// The mask restricted to that rectangle, rebased so its origin becomes
+  /// (0, 0) — the health a carved-out sub-machine inherits.
+  HealthMask restricted_to(int x0, int y0, int w, int h) const;
+
+  /// Sorted packed (y << 16 | x) coordinates; stable input to hashing.
+  const std::vector<std::uint32_t>& failed_packed() const { return failed_; }
+
+  /// "(x,y) (x,y) …" in sorted order; "all-healthy" when empty.
+  std::string to_string() const;
+
+  friend bool operator==(const HealthMask&, const HealthMask&) = default;
+
+ private:
+  std::vector<std::uint32_t> failed_;  ///< sorted, unique
+};
+
+}  // namespace nestwx::topo

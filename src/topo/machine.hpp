@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "topo/health.hpp"
 #include "topo/torus.hpp"
 
 namespace nestwx::topo {
@@ -78,6 +79,13 @@ struct MachineParams {
   double io_base_latency = 0.05;
   double io_per_rank_overhead = 0.9e-3;
   double io_stream_bandwidth = 700e6;
+
+  /// Failed node columns on the X-Y face (default: all healthy). Planning
+  /// and simulation require an all-healthy machine — the fault/recovery
+  /// layer carves a healthy sub-machine out of the surviving face before
+  /// replanning — but the mask is part of the plan fingerprint so a
+  /// degraded machine can never alias a healthy one in the plan cache.
+  HealthMask health;
 
   int total_ranks() const {
     return torus_x * torus_y * torus_z *

@@ -1,0 +1,30 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace nestwx::util {
+
+std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_hex(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace nestwx::util

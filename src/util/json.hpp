@@ -1,0 +1,26 @@
+#pragma once
+/// \file json.hpp
+/// Minimal helpers for emitting deterministic JSON by hand.
+///
+/// nestwx reports are serialised with stable key order and fixed number
+/// formatting so two runs of the same campaign produce byte-identical
+/// files (the property the golden-file regression tests lock in). These
+/// helpers are the shared vocabulary: locale-independent %.12g numbers,
+/// escaped strings, and zero-padded hex keys.
+
+#include <cstdint>
+#include <string>
+
+namespace nestwx::util {
+
+/// Shortest round-trip decimal representation (%.12g), locale-independent.
+std::string json_num(double v);
+
+/// `s` quoted with `"` and `\` escaped (the only characters nestwx names
+/// and keys may need escaped).
+std::string json_quote(const std::string& s);
+
+/// 0x-prefixed, zero-padded 16-digit hex (for 64-bit fingerprints).
+std::string json_hex(std::uint64_t key);
+
+}  // namespace nestwx::util

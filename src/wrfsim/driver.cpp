@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "iosim/checkpoint.hpp"
 #include "netsim/collective.hpp"
 #include "netsim/phase.hpp"
 #include "procgrid/decomp.hpp"
@@ -161,6 +162,74 @@ std::vector<Message> sync_messages(const PhaseSimulator& sim,
   return msgs;
 }
 
+/// Writer-set sizes per domain, as used for output frames: under the
+/// concurrent strategy each domain writes from its own (effective)
+/// partition, otherwise every rank participates.
+struct WriterSets {
+  int parent = 0;
+  std::vector<int> siblings;
+  std::vector<int> second_level;  ///< indexed like config.second_level
+};
+
+WriterSets domain_writers(const NestedConfig& config,
+                          const ExecutionPlan& plan) {
+  WriterSets out;
+  const int nranks = plan.parent_grid.size();
+  out.parent = nranks;
+  const bool concurrent = plan.strategy == core::Strategy::concurrent &&
+                          plan.partition.has_value();
+  for (std::size_t s = 0; s < config.siblings.size(); ++s) {
+    const auto& sib = config.siblings[s];
+    out.siblings.push_back(
+        concurrent
+            ? static_cast<int>(
+                  effective_rect(plan.partition->rects[s], sib.nx, sib.ny)
+                      .area())
+            : nranks);
+  }
+  for (std::size_t k = 0; k < config.second_level.size(); ++k) {
+    const auto& child = config.second_level[k].spec;
+    const int s = config.second_level[k].sibling;
+    int writers = nranks;
+    if (concurrent) {
+      Rect host = plan.partition->rects[s];
+      if (static_cast<std::size_t>(s) < plan.child_partitions.size() &&
+          plan.child_partitions[s].has_value()) {
+        const auto kids = config.children_of(s);
+        for (std::size_t ci = 0; ci < kids.size(); ++ci)
+          if (kids[ci] == static_cast<int>(k))
+            host = plan.child_partitions[s]->rects[ci];
+      }
+      writers = static_cast<int>(
+          effective_rect(host, child.nx, child.ny).area());
+    }
+    out.second_level.push_back(writers);
+  }
+  return out;
+}
+
+double checkpoint_io_seconds(const topo::MachineParams& machine,
+                             const NestedConfig& config,
+                             const ExecutionPlan& plan, int fields,
+                             bool read) {
+  NESTWX_REQUIRE(fields >= 1, "checkpoint needs at least one field");
+  const auto writers = domain_writers(config, plan);
+  const auto cost = [&](int nx, int ny, int w) {
+    const double bytes = iosim::checkpoint_bytes(
+        nx, ny, machine.vertical_levels, fields);
+    return read ? iosim::checkpoint_read_seconds(machine, bytes, w)
+                : iosim::checkpoint_write_seconds(machine, bytes, w);
+  };
+  double total = cost(config.parent.nx, config.parent.ny, writers.parent);
+  for (std::size_t s = 0; s < config.siblings.size(); ++s)
+    total += cost(config.siblings[s].nx, config.siblings[s].ny,
+                  writers.siblings[s]);
+  for (std::size_t k = 0; k < config.second_level.size(); ++k)
+    total += cost(config.second_level[k].spec.nx,
+                  config.second_level[k].spec.ny, writers.second_level[k]);
+  return total;
+}
+
 }  // namespace
 
 RunResult simulate_run(const topo::MachineParams& machine,
@@ -169,6 +238,11 @@ RunResult simulate_run(const topo::MachineParams& machine,
   NESTWX_REQUIRE(plan.mapping.has_value(), "plan carries no mapping");
   NESTWX_REQUIRE(!config.siblings.empty(), "config has no siblings");
   NESTWX_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  NESTWX_REQUIRE(options.checkpoint_every >= 0,
+                 "checkpoint interval cannot be negative");
+  NESTWX_REQUIRE(machine.health.all_healthy(),
+                 "cannot simulate on a machine with failed nodes (" +
+                     machine.health.to_string() + ")");
   const Mapping& mapping = *plan.mapping;
   const Grid2D& grid = plan.parent_grid;
   const PhaseSimulator sim(machine);
@@ -344,48 +418,35 @@ RunResult simulate_run(const topo::MachineParams& machine,
   // --- I/O (amortised per iteration).
   if (options.with_io) {
     const iosim::IoModel io(machine);
+    const auto writers = domain_writers(config, plan);
     const auto frame = [&](int nx, int ny) {
       return iosim::IoModel::frame_bytes(nx, ny, machine.vertical_levels,
                                          options.output_fields);
     };
     result.io_time =
-        io.write_time(frame(config.parent.nx, config.parent.ny), nranks,
-                      options.io_mode) /
+        io.write_time(frame(config.parent.nx, config.parent.ny),
+                      writers.parent, options.io_mode) /
         options.parent_output_every;
     for (std::size_t s = 0; s < config.siblings.size(); ++s) {
       const auto& sib = config.siblings[s];
-      const int writers =
-          concurrent
-              ? static_cast<int>(effective_rect(plan.partition->rects[s],
-                                                sib.nx, sib.ny)
-                                     .area())
-              : nranks;
-      result.io_time +=
-          io.write_time(frame(sib.nx, sib.ny), writers, options.io_mode) /
-          options.output_every;
+      result.io_time += io.write_time(frame(sib.nx, sib.ny),
+                                      writers.siblings[s], options.io_mode) /
+                        options.output_every;
     }
     // Second-level (innermost) nests also write at the high frequency.
     for (std::size_t k = 0; k < config.second_level.size(); ++k) {
       const auto& child = config.second_level[k].spec;
-      const int s = config.second_level[k].sibling;
-      int writers = nranks;
-      if (concurrent) {
-        Rect host = plan.partition->rects[s];
-        if (static_cast<std::size_t>(s) < plan.child_partitions.size() &&
-            plan.child_partitions[s].has_value()) {
-          const auto kids = config.children_of(s);
-          for (std::size_t ci = 0; ci < kids.size(); ++ci)
-            if (kids[ci] == static_cast<int>(k))
-              host = plan.child_partitions[s]->rects[ci];
-        }
-        writers = static_cast<int>(
-            effective_rect(host, child.nx, child.ny).area());
-      }
-      result.io_time +=
-          io.write_time(frame(child.nx, child.ny), writers,
-                        options.io_mode) /
-          options.output_every;
+      result.io_time += io.write_time(frame(child.nx, child.ny),
+                                      writers.second_level[k],
+                                      options.io_mode) /
+                        options.output_every;
     }
+  }
+  if (options.checkpoint_every > 0) {
+    result.io_time += checkpoint_io_seconds(machine, config, plan,
+                                            options.checkpoint_fields,
+                                            /*read=*/false) /
+                      options.checkpoint_every;
   }
   result.total = result.integration + result.io_time;
 
@@ -398,6 +459,22 @@ RunResult simulate_run(const topo::MachineParams& machine,
   result.avg_wait = wait_sum / static_cast<double>(nranks);
   result.avg_hops = hop_weight > 0.0 ? hop_sum / hop_weight : 0.0;
   return result;
+}
+
+double checkpoint_write_seconds(const topo::MachineParams& machine,
+                                const core::NestedConfig& config,
+                                const core::ExecutionPlan& plan,
+                                int fields) {
+  return checkpoint_io_seconds(machine, config, plan, fields,
+                               /*read=*/false);
+}
+
+double checkpoint_read_seconds(const topo::MachineParams& machine,
+                               const core::NestedConfig& config,
+                               const core::ExecutionPlan& plan,
+                               int fields) {
+  return checkpoint_io_seconds(machine, config, plan, fields,
+                               /*read=*/true);
 }
 
 StrategyComparison compare_strategies(const topo::MachineParams& machine,

@@ -41,6 +41,12 @@ struct RunOptions {
   /// (WRF's CFL/extrema checks) — an O(log P) latency term counted in
   /// sync_time.
   bool diagnostics_reduce = true;
+  /// Iterations between full-state checkpoint writes (0 = never). A
+  /// checkpoint bounds the work a node failure can destroy (fault/); its
+  /// write cost is amortised into io_time like output frames, so a
+  /// checkpointing run pays the insurance premium in every iteration.
+  int checkpoint_every = 0;
+  int checkpoint_fields = 8;  ///< prognostic 3-D variables per checkpoint
 };
 
 /// Per-substep timing of one domain on its processor set.
@@ -96,6 +102,24 @@ StrategyComparison compare_strategies(
     const core::PerfModel& model,
     core::MapScheme aware_scheme = core::MapScheme::multilevel,
     const RunOptions& options = {});
+
+/// Seconds of one full-state checkpoint write of `config` under `plan`:
+/// every domain writes all vertical levels of `fields` prognostic
+/// variables in double precision through the collective-I/O model, with
+/// the same writer sets as output frames. This is the per-checkpoint cost
+/// simulate_run amortises into io_time when RunOptions::checkpoint_every
+/// is positive.
+double checkpoint_write_seconds(const topo::MachineParams& machine,
+                                const core::NestedConfig& config,
+                                const core::ExecutionPlan& plan,
+                                int fields = 8);
+
+/// Seconds to read the same checkpoint back on restart (what a recovered
+/// campaign member pays before resuming from its last checkpoint).
+double checkpoint_read_seconds(const topo::MachineParams& machine,
+                               const core::NestedConfig& config,
+                               const core::ExecutionPlan& plan,
+                               int fields = 8);
 
 /// Build a profiling database for the perf model by simulating each basis
 /// domain as a single nest on `machine` with the default plan, returning

@@ -1,0 +1,112 @@
+/// Golden-file regression tests for the nestwx-campaign JSON report, with
+/// and without fault injection. The reports are pure functions of their
+/// inputs (virtual time only, no wall clock, no thread count), so they
+/// must match the checked-in goldens byte for byte; any diff is a real
+/// schema or semantics change and the goldens must be regenerated
+/// deliberately:
+///
+///   NESTWX_REGEN_GOLDEN=1 ./test_campaign_golden
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace f = nestwx::fault;
+namespace w = nestwx::workload;
+namespace u = nestwx::util;
+
+namespace {
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+std::vector<cg::MemberSpec> golden_ensemble() {
+  u::Rng rng(99);
+  const auto configs = w::random_configs(rng, 4);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < 4; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "member" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i)];
+    spec.iterations = 20;
+    members.push_back(std::move(spec));
+  }
+  return members;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NESTWX_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compare against the golden, or rewrite it when NESTWX_REGEN_GOLDEN is
+/// set. Comparison is byte-for-byte: the reports promise determinism down
+/// to the last %.12g digit.
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "report drifted from " << path
+      << "; if intentional, regenerate with NESTWX_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+
+TEST(CampaignGolden, ReportWithoutFaults) {
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  cg::CampaignOptions options;
+  options.threads = 2;
+  const auto report = scheduler.run(golden_ensemble(), options);
+  check_golden("campaign_report.json",
+               cg::report_to_json(report, machine, options));
+}
+
+TEST(CampaignGolden, ReportWithFaults) {
+  const auto machine = w::bluegene_l(256);
+  // A fresh scheduler: cache contents influence cache_hit flags, and the
+  // golden pins the cold-cache outcome.
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  cg::CampaignOptions options;
+  options.threads = 2;
+  f::FaultOptions faults;
+  faults.checkpoint_every = 5;
+  faults.plan = f::FaultPlan::parse("30:node:0:0;45:link:5:2:y");
+  const auto report =
+      f::run_with_faults(scheduler, golden_ensemble(), options, faults);
+  check_golden("campaign_report_faults.json",
+               f::report_to_json(report, machine, options, faults));
+}

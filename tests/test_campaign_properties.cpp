@@ -1,0 +1,203 @@
+/// Property-based tests for campaign/space_share: across a seeded sweep of
+/// member counts and weight distributions, the partition must (a) be
+/// pairwise disjoint, (b) stay inside and exactly tile the requested face,
+/// (c) give every member an area within about one face row/column of its
+/// weight-proportional share, and (d) lay campaigns out in exactly the
+/// wave pattern --max-concurrent requests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/space_share.hpp"
+#include "core/perf_model.hpp"
+#include "procgrid/rect.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace u = nestwx::util;
+using nestwx::procgrid::Rect;
+using nestwx::procgrid::overlaps;
+
+namespace {
+
+struct ShareCase {
+  std::string name;
+  int cores = 256;
+  int members = 4;
+  std::uint64_t seed = 1;
+  double weight_lo = 0.5;
+  double weight_hi = 4.0;
+  Rect face;  ///< empty → the whole torus X-Y face
+};
+
+std::string case_name(const testing::TestParamInfo<ShareCase>& info) {
+  return info.param.name;
+}
+
+std::vector<double> random_weights(const ShareCase& sc) {
+  u::Rng rng(sc.seed);
+  std::vector<double> weights(static_cast<std::size_t>(sc.members));
+  for (auto& v : weights) v = rng.uniform(sc.weight_lo, sc.weight_hi);
+  return weights;
+}
+
+}  // namespace
+
+class SpaceShareProperty : public testing::TestWithParam<ShareCase> {
+ protected:
+  nestwx::topo::MachineParams machine_ = w::bluegene_l(GetParam().cores);
+  Rect face_ = GetParam().face.empty()
+                   ? Rect{0, 0, machine_.torus_x, machine_.torus_y}
+                   : GetParam().face;
+  std::vector<double> weights_ = random_weights(GetParam());
+  std::vector<cg::SubMachine> subs_ =
+      cg::share_machine(machine_, face_, weights_);
+};
+
+TEST_P(SpaceShareProperty, PartitionsAreDisjoint) {
+  ASSERT_EQ(subs_.size(), weights_.size());
+  for (std::size_t i = 0; i < subs_.size(); ++i)
+    for (std::size_t j = i + 1; j < subs_.size(); ++j)
+      EXPECT_FALSE(overlaps(subs_[i].rect, subs_[j].rect))
+          << "members " << i << " and " << j << " overlap: "
+          << subs_[i].rect.to_string() << " vs " << subs_[j].rect.to_string();
+}
+
+TEST_P(SpaceShareProperty, PartitionsStayInsideAndTileTheFace) {
+  long long covered = 0;
+  for (const auto& sub : subs_) {
+    EXPECT_FALSE(sub.rect.empty());
+    EXPECT_TRUE(face_.contains(sub.rect))
+        << sub.rect.to_string() << " escapes " << face_.to_string();
+    covered += sub.rect.area();
+  }
+  // Disjoint (previous property) + total area == face area ⇒ exact tiling,
+  // so coverage can never exceed the face.
+  EXPECT_EQ(covered, face_.area());
+}
+
+TEST_P(SpaceShareProperty, AreasTrackWeightProportions) {
+  double total_weight = 0.0;
+  for (double v : weights_) total_weight += v;
+  // Integer rectangles cannot match real-valued shares exactly; the
+  // Huffman splitter rounds each binary cut to a grid line, which costs at
+  // most about one row or column of the face at every split.
+  const double tolerance = std::max(face_.w, face_.h);
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    const double ideal = face_.area() * weights_[i] / total_weight;
+    EXPECT_NEAR(static_cast<double>(subs_[i].rect.area()), ideal, tolerance)
+        << "member " << i << " got " << subs_[i].rect.area()
+        << " cells for an ideal share of " << ideal;
+  }
+}
+
+TEST_P(SpaceShareProperty, SubMachinesMatchTheirRectangles) {
+  for (const auto& sub : subs_) {
+    EXPECT_EQ(sub.machine.torus_x, sub.rect.w);
+    EXPECT_EQ(sub.machine.torus_y, sub.rect.h);
+    EXPECT_EQ(sub.machine.torus_z, machine_.torus_z);
+    EXPECT_TRUE(sub.machine.health.all_healthy());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpaceShareProperty,
+    testing::Values(
+        ShareCase{"two_members", 256, 2, 11},
+        ShareCase{"four_members", 256, 4, 12},
+        ShareCase{"seven_members", 256, 7, 13},
+        ShareCase{"sixteen_members", 1024, 16, 14},
+        ShareCase{"skewed_weights", 1024, 8, 15, 0.1, 50.0},
+        ShareCase{"near_equal_weights", 1024, 8, 16, 0.99, 1.01},
+        // At exact face capacity every member needs a 1x1 cell, which the
+        // splitter can only realise when the weights are close to equal.
+        ShareCase{"face_capacity", 256, 32, 17, 0.9, 1.1},
+        ShareCase{"sub_face", 4096, 6, 18, 0.5, 4.0, Rect{2, 1, 10, 6}},
+        ShareCase{"narrow_face", 4096, 5, 19, 0.5, 4.0, Rect{0, 0, 16, 2}}),
+    case_name);
+
+// ---------- Wave layout vs --max-concurrent ----------
+
+namespace {
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+}  // namespace
+
+TEST(CampaignWaves, CountsMatchMaxConcurrent) {
+  const auto machine = w::bluegene_l(256);
+  u::Rng rng(7);
+  const auto configs = w::random_configs(rng, 5);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < 10; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "m" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i % 5)];
+    spec.iterations = 10;
+    members.push_back(std::move(spec));
+  }
+
+  for (int cap : {1, 2, 3, 4, 10}) {
+    cg::CampaignScheduler scheduler(machine, shared_model(256));
+    cg::CampaignOptions options;
+    options.threads = 1;
+    options.max_concurrent = cap;
+    const auto report = scheduler.run(members, options);
+
+    const int expected_waves =
+        (static_cast<int>(members.size()) + cap - 1) / cap;
+    EXPECT_EQ(report.metrics.waves, expected_waves) << "cap " << cap;
+
+    std::vector<int> per_wave(static_cast<std::size_t>(expected_waves), 0);
+    for (std::size_t i = 0; i < report.members.size(); ++i) {
+      const auto& m = report.members[i];
+      ASSERT_GE(m.wave, 0);
+      ASSERT_LT(m.wave, expected_waves);
+      // Input order maps onto waves greedily.
+      EXPECT_EQ(m.wave, static_cast<int>(i) / cap);
+      ++per_wave[static_cast<std::size_t>(m.wave)];
+    }
+    for (int count : per_wave) EXPECT_LE(count, cap);
+  }
+}
+
+TEST(CampaignWaves, ZeroMeansFaceLimited) {
+  const auto machine = w::bluegene_l(256);  // 8x4 face: 32 slots
+  u::Rng rng(9);
+  const auto configs = w::random_configs(rng, 3);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < 6; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "m" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i % 3)];
+    spec.iterations = 10;
+    members.push_back(std::move(spec));
+  }
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  cg::CampaignOptions options;
+  options.threads = 1;
+  options.max_concurrent = 0;
+  const auto report = scheduler.run(members, options);
+  EXPECT_EQ(report.metrics.waves, 1);
+  for (const auto& m : report.members) EXPECT_EQ(m.wave, 0);
+}

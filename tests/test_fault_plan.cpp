@@ -1,0 +1,109 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace f = nestwx::fault;
+using nestwx::util::PreconditionError;
+
+TEST(FaultPlan, ParsesNodeAndLinkEvents) {
+  const auto plan = f::FaultPlan::parse("120.5:node:3:4;200:link:0:2:y");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 120.5);
+  EXPECT_EQ(plan.events[0].kind, f::FaultKind::node);
+  EXPECT_EQ(plan.events[0].x, 3);
+  EXPECT_EQ(plan.events[0].y, 4);
+  EXPECT_EQ(plan.events[1].kind, f::FaultKind::link);
+  EXPECT_EQ(plan.events[1].axis, 1);
+}
+
+TEST(FaultPlan, ParseSortsByTime) {
+  const auto plan = f::FaultPlan::parse("300:node:1:1;100:node:2:2");
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].time, 300.0);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const auto plan = f::FaultPlan::parse("50:node:1:2;75.25:link:3:0:x");
+  const auto replayed = f::FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(plan.events, replayed.events);
+  EXPECT_EQ(plan.fingerprint(), replayed.fingerprint());
+}
+
+TEST(FaultPlan, RejectsMalformedScripts) {
+  EXPECT_THROW(f::FaultPlan::parse("abc"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:node:1"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:melt:1:2"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:node:1:2:x"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:link:1:2"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:link:1:2:z"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10:node:one:2"), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::parse("10x:node:1:2"), PreconditionError);
+}
+
+TEST(FaultPlan, EmptyScriptIsEmptyPlan) {
+  EXPECT_TRUE(f::FaultPlan::parse("").empty());
+  EXPECT_EQ(f::FaultPlan{}.to_string(), "");
+}
+
+TEST(FaultPlan, ValidateChecksFaceBounds) {
+  const auto plan = f::FaultPlan::parse("10:node:7:3");
+  EXPECT_NO_THROW(plan.validate(8, 4));
+  EXPECT_THROW(plan.validate(7, 4), PreconditionError);
+  EXPECT_THROW(plan.validate(8, 3), PreconditionError);
+
+  const auto negative = f::FaultPlan::parse("-5:node:0:0");
+  EXPECT_THROW(negative.validate(8, 4), PreconditionError);
+}
+
+TEST(FaultPlan, RandomIsDeterministicInTheSeed) {
+  const auto a = f::FaultPlan::random(42, 16, 1000.0, 8, 8);
+  const auto b = f::FaultPlan::random(42, 16, 1000.0, 8, 8);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  const auto c = f::FaultPlan::random(43, 16, 1000.0, 8, 8);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(FaultPlan, RandomRespectsBoundsAndOrdering) {
+  const auto plan = f::FaultPlan::random(7, 64, 500.0, 8, 4);
+  ASSERT_EQ(plan.events.size(), 64u);
+  EXPECT_NO_THROW(plan.validate(8, 4));
+  EXPECT_TRUE(std::is_sorted(
+      plan.events.begin(), plan.events.end(),
+      [](const auto& a, const auto& b) { return a.time < b.time; }));
+  for (const auto& e : plan.events) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, 500.0);
+    if (e.kind == f::FaultKind::node) EXPECT_EQ(e.axis, 0);
+  }
+}
+
+TEST(FaultPlan, RandomLinkFractionExtremes) {
+  const auto nodes = f::FaultPlan::random(1, 32, 100.0, 8, 8, 0.0);
+  for (const auto& e : nodes.events) EXPECT_EQ(e.kind, f::FaultKind::node);
+  const auto links = f::FaultPlan::random(1, 32, 100.0, 8, 8, 1.0);
+  for (const auto& e : links.events) EXPECT_EQ(e.kind, f::FaultKind::link);
+}
+
+TEST(FaultPlan, RandomRejectsBadArguments) {
+  EXPECT_THROW(f::FaultPlan::random(1, -1, 100.0, 8, 8), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::random(1, 4, 0.0, 8, 8), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::random(1, 4, 100.0, 0, 8), PreconditionError);
+  EXPECT_THROW(f::FaultPlan::random(1, 4, 100.0, 8, 8, 1.5),
+               PreconditionError);
+}
+
+TEST(FaultPlan, FingerprintDiscriminates) {
+  const auto a = f::FaultPlan::parse("10:node:1:2");
+  const auto b = f::FaultPlan::parse("10:node:2:1");
+  const auto c = f::FaultPlan::parse("10:link:1:2:x");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_NE(a.fingerprint(), f::FaultPlan{}.fingerprint());
+}

@@ -1,0 +1,291 @@
+#include "fault/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace f = nestwx::fault;
+namespace t = nestwx::topo;
+namespace w = nestwx::workload;
+namespace u = nestwx::util;
+using nestwx::procgrid::Rect;
+using nestwx::util::PreconditionError;
+
+namespace {
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+std::vector<cg::MemberSpec> ensemble(int n, int iterations = 20) {
+  u::Rng rng(99);
+  const auto configs = w::random_configs(rng, n);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < n; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "m" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i)];
+    spec.iterations = iterations;
+    members.push_back(std::move(spec));
+  }
+  return members;
+}
+
+}  // namespace
+
+// ---------- largest_healthy_rect ----------
+
+TEST(LargestHealthyRect, FullyHealthyReturnsTheWholeRect) {
+  const Rect rect{2, 1, 6, 4};
+  EXPECT_EQ(f::largest_healthy_rect(rect, t::HealthMask{}), rect);
+}
+
+TEST(LargestHealthyRect, AvoidsTheFailedColumn) {
+  // 8x4 face with column x=2 fully failed: best survivor is 5x4@(3,0).
+  t::HealthMask mask;
+  for (int y = 0; y < 4; ++y) mask.fail_node(2, y);
+  const Rect best = f::largest_healthy_rect(Rect{0, 0, 8, 4}, mask);
+  EXPECT_EQ(best, (Rect{3, 0, 5, 4}));
+}
+
+TEST(LargestHealthyRect, SingleFailureCostsOneRowOrColumn) {
+  t::HealthMask mask;
+  mask.fail_node(0, 0);
+  const Rect best = f::largest_healthy_rect(Rect{0, 0, 4, 4}, mask);
+  EXPECT_EQ(best.area(), 12);  // 4x3 or 3x4
+}
+
+TEST(LargestHealthyRect, AllFailedReturnsEmpty) {
+  t::HealthMask mask;
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x) mask.fail_node(x, y);
+  EXPECT_TRUE(f::largest_healthy_rect(Rect{0, 0, 2, 2}, mask).empty());
+}
+
+TEST(LargestHealthyRect, TieBreakIsDeterministic) {
+  // Centre failure of a 3x3: four 3-cell candidates tie on area; the
+  // smallest y0, then x0, then widest rule picks the top row.
+  t::HealthMask mask;
+  mask.fail_node(1, 1);
+  const Rect best = f::largest_healthy_rect(Rect{0, 0, 3, 3}, mask);
+  EXPECT_EQ(best, (Rect{0, 0, 3, 1}));
+}
+
+TEST(LargestHealthyRect, RejectsEmptyInput) {
+  EXPECT_THROW(f::largest_healthy_rect(Rect{0, 0, 0, 4}, t::HealthMask{}),
+               PreconditionError);
+}
+
+// ---------- run_with_faults ----------
+
+TEST(FaultRecovery, EmptyPlanMatchesTheOrdinaryCampaign) {
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(4);
+  cg::CampaignOptions options;
+  options.threads = 1;
+
+  f::FaultOptions faults;
+  faults.checkpoint_every = 0;  // no checkpoint premium either
+  const auto report =
+      f::run_with_faults(scheduler, members, options, faults);
+
+  cg::CampaignScheduler plain(machine, shared_model(256));
+  const auto expected = plain.run(members, options);
+
+  ASSERT_EQ(report.campaign.members.size(), expected.members.size());
+  for (std::size_t i = 0; i < expected.members.size(); ++i) {
+    EXPECT_EQ(report.campaign.members[i].rect, expected.members[i].rect);
+    EXPECT_EQ(report.campaign.members[i].plan_key,
+              expected.members[i].plan_key);
+    EXPECT_DOUBLE_EQ(report.campaign.members[i].completion_seconds,
+                     expected.members[i].completion_seconds);
+  }
+  EXPECT_DOUBLE_EQ(report.campaign.metrics.makespan,
+                   expected.metrics.makespan);
+  EXPECT_EQ(report.metrics.recoveries, 0);
+  EXPECT_DOUBLE_EQ(report.metrics.goodput, 1.0);
+  EXPECT_TRUE(report.final_health.all_healthy());
+}
+
+TEST(FaultRecovery, CheckpointingChargesAWritePremium) {
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(2);
+  cg::CampaignOptions options;
+  options.threads = 1;
+
+  f::FaultOptions no_ckpt;
+  no_ckpt.checkpoint_every = 0;
+  f::FaultOptions ckpt;
+  ckpt.checkpoint_every = 5;
+
+  const auto fast = f::run_with_faults(scheduler, members, options, no_ckpt);
+  const auto slow = f::run_with_faults(scheduler, members, options, ckpt);
+  EXPECT_GT(slow.campaign.metrics.makespan, fast.campaign.metrics.makespan)
+      << "periodic checkpoints must cost virtual time";
+  // Different checkpoint cadences still plan identically (same machine),
+  // so the plan keys agree while the timings differ.
+  EXPECT_EQ(fast.campaign.members[0].plan_key,
+            slow.campaign.members[0].plan_key);
+}
+
+TEST(FaultRecovery, MidCampaignFaultRecoversTheStruckMemberOnly) {
+  // The acceptance scenario: 4 members, one scripted node fault at t=50%
+  // of the fault-free campaign, aimed at the first member's rectangle.
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(4);
+  cg::CampaignOptions options;
+  options.threads = 1;
+
+  const auto baseline = scheduler.run(members, options);
+  const auto& victim = baseline.members.front();
+  const double t_fault = 0.5 * baseline.metrics.makespan;
+
+  f::FaultOptions faults;
+  faults.checkpoint_every = 5;
+  faults.plan = f::FaultPlan::parse(
+      std::to_string(t_fault) + ":node:" + std::to_string(victim.rect.x0) +
+      ":" + std::to_string(victim.rect.y0));
+
+  const auto report =
+      f::run_with_faults(scheduler, members, options, faults);
+  ASSERT_EQ(report.metrics.recoveries, 1);
+  EXPECT_EQ(report.metrics.faults_injected, 1);
+  EXPECT_EQ(report.metrics.members_affected, 1);
+  EXPECT_EQ(report.metrics.failed_nodes, 1);
+
+  const auto& rec = report.recoveries.front();
+  EXPECT_EQ(rec.member, 0);
+  EXPECT_EQ(rec.old_rect, victim.rect);
+  EXPECT_TRUE(victim.rect.contains(rec.new_rect));
+  EXPECT_LT(rec.new_rect.area(), victim.rect.area());
+  EXPECT_FALSE(rec.new_rect.contains(rec.event.x, rec.event.y));
+  EXPECT_NE(rec.replan_key, victim.plan_key)
+      << "the replanned sub-machine must have a distinct cache key";
+  EXPECT_GT(rec.recovery_seconds, 0.0);
+  EXPECT_GE(rec.lost_seconds, 0.0);
+  EXPECT_GT(rec.resume_iteration, 0)
+      << "a mid-run fault with checkpoints must not restart from zero";
+  EXPECT_EQ(rec.resume_iteration % faults.checkpoint_every, 0);
+
+  // The struck member pays; the untouched members do not.
+  EXPECT_EQ(report.member_stats[0].attempts, 2);
+  EXPECT_GT(report.campaign.members[0].completion_seconds,
+            victim.completion_seconds);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(report.member_stats[i].attempts, 1);
+    EXPECT_DOUBLE_EQ(report.member_stats[i].lost_seconds, 0.0);
+    EXPECT_EQ(report.campaign.members[i].rect, baseline.members[i].rect);
+  }
+  EXPECT_LT(report.metrics.goodput, 1.0);
+  EXPECT_GT(report.metrics.goodput, 0.0);
+  EXPECT_EQ(report.final_health.failed_count(), 1);
+}
+
+TEST(FaultRecovery, ReportIsIdenticalAcrossThreadCountsAndReplays) {
+  const auto machine = w::bluegene_l(256);
+  const auto members = ensemble(4);
+  f::FaultOptions faults;
+  faults.checkpoint_every = 5;
+  faults.plan =
+      f::FaultPlan::random(21, 4, 400.0, machine.torus_x, machine.torus_y);
+
+  auto run_at = [&](int threads) {
+    cg::CampaignScheduler scheduler(machine, shared_model(256));
+    cg::CampaignOptions options;
+    options.threads = threads;
+    const auto report =
+        f::run_with_faults(scheduler, members, options, faults);
+    return f::report_to_json(report, machine, options, faults);
+  };
+  const std::string one = run_at(1);
+  EXPECT_EQ(one, run_at(8)) << "fault reports must not depend on threads";
+  EXPECT_EQ(one, run_at(1)) << "fault-plan replay must reproduce exactly";
+}
+
+TEST(FaultRecovery, LaterWavesAvoidFailedNodes) {
+  // Single-member waves (max_concurrent=1): a fault during wave 0 must
+  // shrink the face that waves 1+ are laid out on.
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(3);
+  cg::CampaignOptions options;
+  options.threads = 1;
+  options.max_concurrent = 1;
+
+  f::FaultOptions faults;
+  faults.checkpoint_every = 5;
+  faults.plan = f::FaultPlan::parse("1:node:0:0");
+
+  const auto report =
+      f::run_with_faults(scheduler, members, options, faults);
+  EXPECT_EQ(report.campaign.metrics.waves, 3);
+  for (const auto& m : report.campaign.members)
+    EXPECT_FALSE(m.rect.contains(0, 0))
+        << m.name << " was laid out over the failed node";
+}
+
+TEST(FaultRecovery, FaultsAfterTheCampaignOnlyDegradeTheMask) {
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(2);
+  cg::CampaignOptions options;
+  options.threads = 1;
+
+  f::FaultOptions faults;
+  faults.plan = f::FaultPlan::parse("1e9:node:1:1");
+  const auto report =
+      f::run_with_faults(scheduler, members, options, faults);
+  EXPECT_EQ(report.metrics.faults_injected, 0);
+  EXPECT_EQ(report.metrics.faults_after_end, 1);
+  EXPECT_EQ(report.metrics.recoveries, 0);
+  EXPECT_EQ(report.final_health.failed_count(), 1);
+  EXPECT_DOUBLE_EQ(report.metrics.goodput, 1.0);
+}
+
+TEST(FaultRecovery, RejectsPlansOutsideTheFace) {
+  const auto machine = w::bluegene_l(256);  // 8x4x4 torus
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(1);
+  f::FaultOptions faults;
+  faults.plan = f::FaultPlan::parse("10:node:8:0");
+  EXPECT_THROW(f::run_with_faults(scheduler, members, {}, faults),
+               PreconditionError);
+}
+
+TEST(FaultRecovery, LinkFaultKillsBothEndpointColumns) {
+  const auto machine = w::bluegene_l(256);
+  cg::CampaignScheduler scheduler(machine, shared_model(256));
+  const auto members = ensemble(2);
+  cg::CampaignOptions options;
+  options.threads = 1;
+
+  f::FaultOptions faults;
+  faults.checkpoint_every = 5;
+  faults.plan = f::FaultPlan::parse("1:link:2:1:x");
+  const auto report =
+      f::run_with_faults(scheduler, members, options, faults);
+  EXPECT_EQ(report.final_health.failed_count(), 2);
+  EXPECT_FALSE(report.final_health.healthy(2, 1));
+  EXPECT_FALSE(report.final_health.healthy(3, 1));
+}

@@ -1,0 +1,125 @@
+#include "topo/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/plan_key.hpp"
+#include "topo/machine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+
+namespace t = nestwx::topo;
+namespace c = nestwx::core;
+using nestwx::util::PreconditionError;
+
+TEST(HealthMask, DefaultIsAllHealthy) {
+  t::HealthMask mask;
+  EXPECT_TRUE(mask.all_healthy());
+  EXPECT_EQ(mask.failed_count(), 0);
+  EXPECT_TRUE(mask.healthy(0, 0));
+  EXPECT_TRUE(mask.healthy(1234, 5678));
+  EXPECT_EQ(mask.to_string(), "all-healthy");
+}
+
+TEST(HealthMask, FailNodeIsIdempotent) {
+  t::HealthMask mask;
+  mask.fail_node(3, 4);
+  mask.fail_node(3, 4);
+  EXPECT_EQ(mask.failed_count(), 1);
+  EXPECT_FALSE(mask.healthy(3, 4));
+  EXPECT_TRUE(mask.healthy(4, 3));
+  EXPECT_FALSE(mask.all_healthy());
+}
+
+TEST(HealthMask, EqualityIsOrderIndependent) {
+  t::HealthMask a;
+  a.fail_node(1, 2);
+  a.fail_node(5, 0);
+  t::HealthMask b;
+  b.fail_node(5, 0);
+  b.fail_node(1, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failed_packed(), b.failed_packed());
+
+  b.fail_node(0, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(HealthMask, FailedPackedIsSorted) {
+  t::HealthMask mask;
+  mask.fail_node(7, 1);
+  mask.fail_node(0, 3);
+  mask.fail_node(2, 1);
+  const auto packed = mask.failed_packed();
+  ASSERT_EQ(packed.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(packed.begin(), packed.end()));
+}
+
+TEST(HealthMask, FailedInCountsOnlyTheRectangle) {
+  t::HealthMask mask;
+  mask.fail_node(1, 1);
+  mask.fail_node(5, 5);
+  mask.fail_node(2, 3);
+  EXPECT_EQ(mask.failed_in(0, 0, 4, 4), 2);  // (1,1) and (2,3)
+  EXPECT_EQ(mask.failed_in(4, 4, 4, 4), 1);  // (5,5)
+  EXPECT_EQ(mask.failed_in(0, 0, 1, 1), 0);
+}
+
+TEST(HealthMask, RestrictedToRebasesCoordinates) {
+  t::HealthMask mask;
+  mask.fail_node(3, 4);
+  mask.fail_node(0, 0);
+  const auto sub = mask.restricted_to(2, 3, 4, 4);
+  EXPECT_EQ(sub.failed_count(), 1);
+  EXPECT_FALSE(sub.healthy(1, 1));  // (3,4) rebased by (-2,-3)
+  EXPECT_TRUE(sub.healthy(0, 0));   // (0,0) lies outside the window
+
+  const auto empty = mask.restricted_to(10, 10, 2, 2);
+  EXPECT_TRUE(empty.all_healthy());
+}
+
+TEST(HealthMask, RejectsOutOfRangeCoordinates) {
+  t::HealthMask mask;
+  EXPECT_THROW(mask.fail_node(-1, 0), PreconditionError);
+  EXPECT_THROW(mask.fail_node(0, 1 << 16), PreconditionError);
+}
+
+TEST(HealthMask, FingerprintIsOrderIndependentAndDiscriminating) {
+  t::HealthMask a;
+  a.fail_node(1, 2);
+  a.fail_node(5, 0);
+  t::HealthMask b;
+  b.fail_node(5, 0);
+  b.fail_node(1, 2);
+  EXPECT_EQ(c::fingerprint(a), c::fingerprint(b));
+  EXPECT_NE(c::fingerprint(a), c::fingerprint(t::HealthMask{}));
+
+  // Swapping x and y must not alias.
+  t::HealthMask xy, yx;
+  xy.fail_node(1, 2);
+  yx.fail_node(2, 1);
+  EXPECT_NE(c::fingerprint(xy), c::fingerprint(yx));
+}
+
+TEST(HealthMask, MachineFingerprintIncorporatesHealth) {
+  auto machine = nestwx::workload::bluegene_l(256);
+  const auto healthy_fp = c::fingerprint(machine);
+  machine.health.fail_node(0, 0);
+  const auto degraded_fp = c::fingerprint(machine);
+  EXPECT_NE(healthy_fp, degraded_fp)
+      << "a degraded machine must never alias a healthy one in the cache";
+
+  // plan_fingerprint inherits the distinction.
+  auto healthy = nestwx::workload::bluegene_l(256);
+  nestwx::util::Rng rng(3);
+  const auto config = nestwx::workload::random_configs(rng, 1)[0];
+  EXPECT_NE(c::plan_fingerprint(machine, config, c::Strategy::concurrent,
+                                c::Allocator::huffman,
+                                c::MapScheme::multilevel),
+            c::plan_fingerprint(healthy, config, c::Strategy::concurrent,
+                                c::Allocator::huffman,
+                                c::MapScheme::multilevel));
+}

@@ -26,11 +26,22 @@
 ///   --scheme=multilevel|partition|txyz|xyzt                     [multilevel]
 ///   --io                     include I/O in every member run
 ///   --json=PATH              write the (deterministic) JSON report
+///
+/// Fault injection (enables the elastic-recovery scheduler):
+///   --faults=SCRIPT          explicit plan "t:kind:x:y[:axis];..."
+///   --fault-count=N          random faults (with --fault-seed)     [0]
+///   --fault-seed=N           fault plan generator seed             [1]
+///   --fault-horizon=S        random fault window; 0 = measure the
+///                            fault-free makespan and use that      [0]
+///   --fault-link-fraction=F  link share of random faults           [0.25]
+///   --checkpoint-every=K     iterations between checkpoints        [10]
+///   --detect-seconds=S       fault detection + relaunch latency    [30]
 
 #include <chrono>
 #include <iostream>
 
 #include "campaign/campaign.hpp"
+#include "fault/recovery.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -122,19 +133,61 @@ int main(int argc, char** argv) {
               << " basis domains)...\n";
     auto scheduler = campaign::CampaignScheduler::with_profiled_model(machine);
 
+    // --- Fault plan, when requested: explicit script or seeded random.
+    fault::FaultOptions fault_options;
+    bool with_faults = false;
+    if (cli.has("faults")) {
+      fault_options.plan = fault::FaultPlan::parse(cli.get("faults", ""));
+      with_faults = true;
+    } else if (cli.get_int("fault-count", 0) > 0) {
+      double horizon = cli.get_double("fault-horizon", 0.0);
+      if (horizon <= 0.0) {
+        // No window given: measure the fault-free makespan and spread the
+        // faults across it (the dry run also pre-warms the plan cache).
+        horizon = scheduler.run(members, options).metrics.makespan;
+        std::cout << "fault horizon from fault-free makespan: "
+                  << util::Table::num(horizon, 1) << " s\n";
+      }
+      fault_options.plan = fault::FaultPlan::random(
+          static_cast<std::uint64_t>(cli.get_int("fault-seed", 1)),
+          static_cast<int>(cli.get_int("fault-count", 0)), horizon,
+          machine.torus_x, machine.torus_y,
+          cli.get_double("fault-link-fraction", 0.25));
+      with_faults = true;
+    }
+    fault_options.checkpoint_every =
+        static_cast<int>(cli.get_int("checkpoint-every", 10));
+    fault_options.detect_seconds = cli.get_double("detect-seconds", 30.0);
+
     campaign::CampaignReport report;
-    for (int r = 0; r < repeat; ++r) {
+    fault::FaultCampaignReport fault_report;
+    if (with_faults) {
       const auto t0 = std::chrono::steady_clock::now();
-      report = scheduler.run(members, options);
+      fault_report =
+          fault::run_with_faults(scheduler, members, options, fault_options);
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      std::cout << "campaign run " << (r + 1) << "/" << repeat << ": wall "
-                << util::Table::num(wall, 2) << " s, host throughput "
-                << util::Table::num(members.size() / wall, 2)
-                << " members/s, cache hit rate "
-                << util::Table::num(100.0 * report.metrics.cache_hit_rate, 1)
-                << "%\n";
+      report = fault_report.campaign;
+      std::cout << "fault campaign: wall " << util::Table::num(wall, 2)
+                << " s, " << fault_options.plan.events.size()
+                << " scripted fault(s)\n";
+    } else {
+      for (int r = 0; r < repeat; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        report = scheduler.run(members, options);
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        std::cout << "campaign run " << (r + 1) << "/" << repeat << ": wall "
+                  << util::Table::num(wall, 2) << " s, host throughput "
+                  << util::Table::num(members.size() / wall, 2)
+                  << " members/s, cache hit rate "
+                  << util::Table::num(100.0 * report.metrics.cache_hit_rate,
+                                      1)
+                  << "%\n";
+      }
     }
     std::cout << '\n';
 
@@ -164,9 +217,44 @@ int main(int argc, char** argv) {
               << metrics.cache_hits << " hit / " << metrics.cache_misses
               << " miss\n";
 
+    if (with_faults) {
+      if (!fault_report.recoveries.empty()) {
+        util::Table recoveries({"member", "t (s)", "fault", "old rect",
+                                "new rect", "resume", "lost (s)",
+                                "recovery (s)"});
+        for (const auto& rec : fault_report.recoveries) {
+          recoveries.add_row(
+              {rec.name, util::Table::num(rec.event.time, 1),
+               fault::to_string(rec.event.kind) + "(" +
+                   std::to_string(rec.event.x) + "," +
+                   std::to_string(rec.event.y) + ")",
+               rec.old_rect.to_string(), rec.new_rect.to_string(),
+               std::to_string(rec.resume_iteration),
+               util::Table::num(rec.lost_seconds, 1),
+               util::Table::num(rec.recovery_seconds, 1)});
+        }
+        std::cout << '\n';
+        recoveries.print(std::cout, "Recoveries (virtual time)");
+      }
+      const auto& fm = fault_report.metrics;
+      std::cout << "\nfaults " << fm.faults_injected << " injected ("
+                << fm.faults_idle << " idle, " << fm.faults_after_end
+                << " after end), " << fm.recoveries << " recoveries over "
+                << fm.members_affected << " member(s), "
+                << fm.failed_nodes << " node(s) down, lost "
+                << util::Table::num(fm.lost_seconds, 1) << " s, recovery "
+                << util::Table::num(fm.recovery_seconds, 1) << " s, goodput "
+                << util::Table::num(100.0 * fm.goodput, 1) << "%\n";
+    }
+
     if (cli.has("json")) {
       const std::string path = cli.get("json", "nestwx_campaign.json");
-      campaign::write_report_json(path, report, machine, options);
+      if (with_faults) {
+        fault::write_report_json(path, fault_report, machine, options,
+                                 fault_options);
+      } else {
+        campaign::write_report_json(path, report, machine, options);
+      }
       std::cout << "report written to " << path << "\n";
     }
     return 0;
