@@ -1,0 +1,389 @@
+/// \file bench_swm_kernels.cpp
+/// Cell-update throughput of the SWM dynamical core fast path.
+///
+/// Three sections:
+///  1. tendency kernels — the library's dispatched `compute_tendency`
+///     (branch-hoisted, row-streamed, unchecked) versus a `reference`
+///     kernel kept in this file that reproduces the pre-fast-path
+///     implementation: out-of-line bounds-checked element access and the
+///     nonlinear/viscosity branches inside the inner loops;
+///  2. RK3 — whole `Stepper::step` throughput (fused stage loops);
+///  3. siblings — sequential versus thread-pool-concurrent integration of
+///     a 4-sibling nested simulation.
+///
+/// Emits a human table plus a machine-readable JSON report so the perf
+/// trajectory is trackable across PRs (`BENCH_*.json` / CI artifact):
+///
+///   bench_swm_kernels [--quick] [--json=PATH] [--threads=N]
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nest/simulation.hpp"
+#include "swm/bc.hpp"
+#include "swm/dynamics.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+namespace u = nestwx::util;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference kernel: the pre-fast-path formulation, frozen here so every
+// future run still measures the same baseline. Element access goes through
+// an out-of-line bounds-checked helper exactly like the original
+// Field2D::index, and the p.nonlinear / p.viscosity branches sit inside
+// the per-cell loops.
+
+[[gnu::noinline]] double checked_at(const s::Field2D& f, int i, int j) {
+  NESTWX_REQUIRE(i >= -f.halo() && i < f.nx() + f.halo() && j >= -f.halo() &&
+                     j < f.ny() + f.halo(),
+                 "field index out of range");
+  return f.raw()[static_cast<std::size_t>(j + f.halo()) *
+                     (f.nx() + 2 * f.halo()) +
+                 (i + f.halo())];
+}
+
+void reference_tendency(const s::State& st, const s::ModelParams& p,
+                        s::Tendency& out) {
+  const int nx = st.grid.nx;
+  const int ny = st.grid.ny;
+  const double dx = st.grid.dx;
+  const double dy = st.grid.dy;
+  const double g = p.gravity;
+  const double f = p.coriolis;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double hw = 0.5 * (checked_at(st.h, i - 1, j) + checked_at(st.h, i, j));
+      const double he = 0.5 * (checked_at(st.h, i, j) + checked_at(st.h, i + 1, j));
+      const double hs = 0.5 * (checked_at(st.h, i, j - 1) + checked_at(st.h, i, j));
+      const double hn = 0.5 * (checked_at(st.h, i, j) + checked_at(st.h, i, j + 1));
+      const double flux_w = hw * checked_at(st.u, i, j);
+      const double flux_e = he * checked_at(st.u, i + 1, j);
+      const double flux_s = hs * checked_at(st.v, i, j);
+      const double flux_n = hn * checked_at(st.v, i, j + 1);
+      out.dh(i, j) = -(flux_e - flux_w) / dx - (flux_n - flux_s) / dy;
+    }
+  }
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i <= nx; ++i) {
+      const double eta_e = checked_at(st.h, i, j) + checked_at(st.b, i, j);
+      const double eta_w = checked_at(st.h, i - 1, j) + checked_at(st.b, i - 1, j);
+      const double pgrad = -g * (eta_e - eta_w) / dx;
+      const double vbar =
+          0.25 * (checked_at(st.v, i - 1, j) + checked_at(st.v, i, j) +
+                  checked_at(st.v, i - 1, j + 1) + checked_at(st.v, i, j + 1));
+      double adv = 0.0;
+      if (p.nonlinear) {
+        const double dudx =
+            (checked_at(st.u, i + 1, j) - checked_at(st.u, i - 1, j)) / (2.0 * dx);
+        const double dudy =
+            (checked_at(st.u, i, j + 1) - checked_at(st.u, i, j - 1)) / (2.0 * dy);
+        adv = checked_at(st.u, i, j) * dudx + vbar * dudy;
+      }
+      double diff = 0.0;
+      if (p.viscosity > 0.0) {
+        diff = p.viscosity *
+               ((checked_at(st.u, i + 1, j) - 2.0 * checked_at(st.u, i, j) +
+                 checked_at(st.u, i - 1, j)) / (dx * dx) +
+                (checked_at(st.u, i, j + 1) - 2.0 * checked_at(st.u, i, j) +
+                 checked_at(st.u, i, j - 1)) / (dy * dy));
+      }
+      out.du(i, j) = pgrad + f * vbar - adv + diff - p.drag * checked_at(st.u, i, j);
+    }
+  }
+  for (int j = 0; j <= ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double eta_n = checked_at(st.h, i, j) + checked_at(st.b, i, j);
+      const double eta_s = checked_at(st.h, i, j - 1) + checked_at(st.b, i, j - 1);
+      const double pgrad = -g * (eta_n - eta_s) / dy;
+      const double ubar =
+          0.25 * (checked_at(st.u, i, j - 1) + checked_at(st.u, i + 1, j - 1) +
+                  checked_at(st.u, i, j) + checked_at(st.u, i + 1, j));
+      double adv = 0.0;
+      if (p.nonlinear) {
+        const double dvdx =
+            (checked_at(st.v, i + 1, j) - checked_at(st.v, i - 1, j)) / (2.0 * dx);
+        const double dvdy =
+            (checked_at(st.v, i, j + 1) - checked_at(st.v, i, j - 1)) / (2.0 * dy);
+        adv = ubar * dvdx + checked_at(st.v, i, j) * dvdy;
+      }
+      double diff = 0.0;
+      if (p.viscosity > 0.0) {
+        diff = p.viscosity *
+               ((checked_at(st.v, i + 1, j) - 2.0 * checked_at(st.v, i, j) +
+                 checked_at(st.v, i - 1, j)) / (dx * dx) +
+                (checked_at(st.v, i, j + 1) - 2.0 * checked_at(st.v, i, j) +
+                 checked_at(st.v, i, j - 1)) / (dy * dy));
+      }
+      out.dv(i, j) = pgrad - f * ubar - adv + diff - p.drag * checked_at(st.v, i, j);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Smooth polynomial state (no transcendentals, nothing blows up).
+s::State bench_state(int nx, int ny) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 1000.0;
+  s::State st(g);
+  auto fx = [](int i, int nd) {
+    const double x = (static_cast<double>(i) + 0.5) / nd;
+    return x * (1.0 - x);
+  };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      st.h(i, j) = 500.0 + 300.0 * fx(i, nx) * fx(j, ny);
+      st.b(i, j) = 10.0 * fx(i, nx);
+    }
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i <= nx; ++i) st.u(i, j) = 0.7 * fx(j, ny);
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i < nx; ++i) st.v(i, j) = -0.5 * fx(i, nx);
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  return st;
+}
+
+/// Points updated by one tendency evaluation.
+double cells_per_call(int nx, int ny) {
+  return static_cast<double>(nx) * ny + static_cast<double>(nx + 1) * ny +
+         static_cast<double>(nx) * (ny + 1);
+}
+
+/// Call `fn` until `min_seconds` elapses; return calls per second.
+template <class Fn>
+double rate_of(Fn&& fn, double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (touch all pages)
+  int calls = 0;
+  const auto t0 = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++calls;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < min_seconds);
+  return calls / elapsed;
+}
+
+struct Variant {
+  const char* name;
+  bool nonlinear;
+  double viscosity;
+};
+constexpr Variant kVariants[] = {
+    {"nonlinear_viscous", true, 80.0},
+    {"nonlinear_inviscid", true, 0.0},
+    {"linear_viscous", false, 80.0},
+    {"linear_inviscid", false, 0.0},
+};
+
+s::ModelParams variant_params(const Variant& v) {
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.drag = 1e-5;
+  p.nonlinear = v.nonlinear;
+  p.viscosity = v.viscosity;
+  p.boundary = s::BoundaryKind::periodic;
+  return p;
+}
+
+struct KernelRow {
+  int nx = 0, ny = 0;
+  std::string variant;
+  double ref_rate = 0.0;   ///< reference cell-updates/s
+  double fast_rate = 0.0;  ///< library kernel cell-updates/s
+};
+
+struct StepRow {
+  int nx = 0, ny = 0;
+  double steps_per_s = 0.0;
+  double cell_rate = 0.0;  ///< cell-updates/s counting the 3 RK3 stages
+};
+
+struct SiblingRow {
+  int threads = 0;  ///< 0 = sequential (no pool)
+  double advances_per_s = 0.0;
+};
+
+/// 4 well-separated siblings on a 96×96 parent (the paper's §4.3-style
+/// multi-region configuration, shrunk to bench scale). Each sibling
+/// refines 24×24 parent cells at ratio 3 (72×72 child grid, 3 sub-steps),
+/// so — as in the paper's configurations — nest integration dominates the
+/// parent step and concurrent sibling execution has something to win.
+n::NestedSimulation make_sibling_sim() {
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.viscosity = 40.0;
+  p.boundary = s::BoundaryKind::wall;
+  return n::NestedSimulation(bench_state(96, 96), p,
+                             {n::NestSpec{"sw", 4, 4, 24, 24, 3},
+                              n::NestSpec{"se", 66, 4, 24, 24, 3},
+                              n::NestSpec{"nw", 4, 66, 24, 24, 3},
+                              n::NestSpec{"ne", 66, 66, 24, 24, 3}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::string json_path = cli.get("json", "bench_swm_kernels.json");
+  const int max_threads = static_cast<int>(cli.get_int("threads", 4));
+  const double min_seconds = quick ? 0.1 : 0.5;
+
+  const std::vector<std::pair<int, int>> grids =
+      quick ? std::vector<std::pair<int, int>>{{64, 64}, {128, 128}}
+            : std::vector<std::pair<int, int>>{{64, 64}, {128, 128}, {256, 256}};
+
+  // --- Section 1: tendency kernels --------------------------------------
+  std::vector<KernelRow> kernels;
+  for (const auto& [nx, ny] : grids) {
+    s::State st = bench_state(nx, ny);
+    s::Tendency tend(st.grid);
+    for (const auto& variant : kVariants) {
+      const s::ModelParams p = variant_params(variant);
+      KernelRow row;
+      row.nx = nx;
+      row.ny = ny;
+      row.variant = variant.name;
+      const double cells = cells_per_call(nx, ny);
+      row.ref_rate =
+          cells * rate_of([&] { reference_tendency(st, p, tend); }, min_seconds);
+      row.fast_rate =
+          cells * rate_of([&] { s::compute_tendency(st, p, tend); }, min_seconds);
+      kernels.push_back(row);
+    }
+  }
+
+  // --- Section 2: RK3 step ----------------------------------------------
+  std::vector<StepRow> steps;
+  for (const auto& [nx, ny] : grids) {
+    s::State st = bench_state(nx, ny);
+    s::Stepper stepper(st.grid, variant_params(kVariants[0]));
+    const double dt = 0.25 * stepper.stable_dt(st);
+    StepRow row;
+    row.nx = nx;
+    row.ny = ny;
+    // Step a copy so the measured state never drifts toward instability.
+    s::State work = st;
+    int k = 0;
+    row.steps_per_s = rate_of(
+        [&] {
+          if (++k % 512 == 0) work = st;
+          stepper.step(work, dt);
+        },
+        min_seconds);
+    row.cell_rate = 3.0 * cells_per_call(nx, ny) * row.steps_per_s;
+    steps.push_back(row);
+  }
+
+  // --- Section 3: sequential vs concurrent siblings ----------------------
+  std::vector<SiblingRow> siblings;
+  {
+    const int advance_block = quick ? 2 : 4;
+    for (int threads = 0; threads <= max_threads;
+         threads = threads == 0 ? 1 : threads * 2) {
+      n::NestedSimulation sim = make_sibling_sim();
+      std::unique_ptr<u::ThreadPool> pool;
+      if (threads > 0) {
+        pool = std::make_unique<u::ThreadPool>(threads);
+        sim.set_thread_pool(pool.get());
+      }
+      const double dt = 0.5 * sim.stable_dt(0.4);
+      SiblingRow row;
+      row.threads = threads;
+      row.advances_per_s =
+          advance_block *
+          rate_of([&] { sim.run(dt, advance_block); }, min_seconds);
+      siblings.push_back(row);
+    }
+  }
+
+  // --- Report -------------------------------------------------------------
+  u::Table tk({"grid", "variant", "ref Mcell/s", "fast Mcell/s", "speedup"});
+  for (const auto& r : kernels)
+    tk.add_row({std::to_string(r.nx) + "x" + std::to_string(r.ny), r.variant,
+                u::Table::num(r.ref_rate / 1e6, 1),
+                u::Table::num(r.fast_rate / 1e6, 1),
+                u::Table::num(r.fast_rate / r.ref_rate, 2)});
+  std::cout << "\n###### bench_swm_kernels — tendency kernels ######\n";
+  tk.print(std::cout);
+
+  u::Table ts({"grid", "steps/s", "Mcell/s"});
+  for (const auto& r : steps)
+    ts.add_row({std::to_string(r.nx) + "x" + std::to_string(r.ny),
+                u::Table::num(r.steps_per_s, 1),
+                u::Table::num(r.cell_rate / 1e6, 1)});
+  std::cout << "\n###### bench_swm_kernels — RK3 step ######\n";
+  ts.print(std::cout);
+
+  u::Table tc({"threads", "advances/s", "speedup vs seq"});
+  for (const auto& r : siblings)
+    tc.add_row({r.threads == 0 ? "seq" : std::to_string(r.threads),
+                u::Table::num(r.advances_per_s, 2),
+                u::Table::num(r.advances_per_s / siblings[0].advances_per_s, 2)});
+  std::cout << "\n###### bench_swm_kernels — 4-sibling integration ######\n";
+  tc.print(std::cout);
+  const int hw_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  if (hw_threads < max_threads) {
+    std::cout << "note: only " << hw_threads
+              << " hardware thread(s) available — concurrent rows measure "
+                 "pool overhead, not scaling\n";
+  }
+
+  // --- JSON ---------------------------------------------------------------
+  std::string j = "{\n  \"bench\": \"swm_kernels\",\n  \"quick\": ";
+  j += quick ? "true" : "false";
+  j += ",\n  \"hardware_concurrency\": " + std::to_string(hw_threads);
+  j += ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& r = kernels[i];
+    j += "    {\"grid\": \"" + std::to_string(r.nx) + "x" +
+         std::to_string(r.ny) + "\", \"variant\": " + u::json_quote(r.variant) +
+         ", \"reference_cells_per_s\": " + u::json_num(r.ref_rate) +
+         ", \"fast_cells_per_s\": " + u::json_num(r.fast_rate) +
+         ", \"speedup\": " + u::json_num(r.fast_rate / r.ref_rate) + "}";
+    j += (i + 1 < kernels.size()) ? ",\n" : "\n";
+  }
+  j += "  ],\n  \"rk3\": [\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const auto& r = steps[i];
+    j += "    {\"grid\": \"" + std::to_string(r.nx) + "x" +
+         std::to_string(r.ny) +
+         "\", \"steps_per_s\": " + u::json_num(r.steps_per_s) +
+         ", \"cells_per_s\": " + u::json_num(r.cell_rate) + "}";
+    j += (i + 1 < steps.size()) ? ",\n" : "\n";
+  }
+  j += "  ],\n  \"siblings\": [\n";
+  for (std::size_t i = 0; i < siblings.size(); ++i) {
+    const auto& r = siblings[i];
+    j += "    {\"threads\": " + std::to_string(r.threads) +
+         ", \"advances_per_s\": " + u::json_num(r.advances_per_s) +
+         ", \"speedup_vs_sequential\": " +
+         u::json_num(r.advances_per_s / siblings[0].advances_per_s) + "}";
+    j += (i + 1 < siblings.size()) ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+
+  std::ofstream out(json_path, std::ios::binary);
+  NESTWX_REQUIRE(out.good(), "cannot open --json output path");
+  out << j;
+  std::cout << "\nJSON report written to " << json_path << "\n";
+  return 0;
+}

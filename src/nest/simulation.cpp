@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nestwx::nest {
 
@@ -12,6 +13,7 @@ NestedSimulation::NestedSimulation(swm::State parent_initial,
     : params_(params),
       parent_(std::move(parent_initial)),
       parent_prev_(parent_),
+      parent_post_(parent_),
       parent_stepper_(parent_.grid, params) {
   swm::apply_boundary(parent_, params_.boundary);
   for (const auto& spec : nests) {
@@ -27,23 +29,42 @@ NestedSimulation::NestedSimulation(swm::State parent_initial,
   }
 }
 
+void NestedSimulation::integrate_sibling(std::size_t k, double parent_dt) {
+  NestedDomain& nest = *siblings_[k];
+  const int r = nest.spec().ratio;
+  const double child_dt = parent_dt / r;
+  for (int sub = 0; sub < r; ++sub) {
+    // Ghost values held at the sub-step midpoint time, interpolated from
+    // the immutable (pre-step, post-step-pre-feedback) parent bracket.
+    const double alpha = (static_cast<double>(sub) + 0.5) / r;
+    nest.force_boundary(parent_prev_, parent_post_, alpha);
+    child_steppers_[k]->step(nest.state(), child_dt);
+  }
+}
+
 void NestedSimulation::advance(double parent_dt) {
   NESTWX_REQUIRE(parent_dt > 0.0, "parent dt must be positive");
   parent_prev_ = parent_;
   parent_stepper_.step(parent_, parent_dt);
+  // Freeze the post-step parent before any feedback: every sibling forces
+  // its ghosts from the same immutable snapshot, so sibling integrations
+  // are independent of each other and of execution order.
+  parent_post_ = parent_;
 
-  for (std::size_t k = 0; k < siblings_.size(); ++k) {
-    NestedDomain& nest = *siblings_[k];
-    const int r = nest.spec().ratio;
-    const double child_dt = parent_dt / r;
-    for (int sub = 0; sub < r; ++sub) {
-      // Ghost values held at the sub-step midpoint time.
-      const double alpha = (static_cast<double>(sub) + 0.5) / r;
-      nest.force_boundary(parent_prev_, parent_, alpha);
-      child_steppers_[k]->step(nest.state(), child_dt);
-    }
-    nest.feedback(parent_);
+  if (pool_ != nullptr && siblings_.size() > 1) {
+    util::parallel_for(*pool_, static_cast<int>(siblings_.size()),
+                       [&](int k) {
+                         integrate_sibling(static_cast<std::size_t>(k),
+                                           parent_dt);
+                       });
+  } else {
+    for (std::size_t k = 0; k < siblings_.size(); ++k)
+      integrate_sibling(k, parent_dt);
   }
+
+  // Two-way feedback, applied in fixed sibling order so the result is
+  // deterministic (and byte-identical to sequential execution).
+  for (const auto& nest : siblings_) nest->feedback(parent_);
   // Feedback overwrote parent interior values; refresh parent ghosts.
   swm::apply_boundary(parent_, params_.boundary);
   ++steps_;

@@ -1,16 +1,29 @@
 #pragma once
 /// \file simulation.hpp
-/// Serial driver for a parent domain with multiple sibling nests: the
-/// numerical ground truth the performance experiments schedule. One call
-/// to advance() performs one parent step and, for every sibling, the r
-/// child sub-steps plus two-way feedback — the work unit whose *parallel
+/// Driver for a parent domain with multiple sibling nests: the numerical
+/// ground truth the performance experiments schedule. One call to
+/// advance() performs one parent step and, for every sibling, the r child
+/// sub-steps plus two-way feedback — the work unit whose *parallel
 /// execution order* the paper optimises.
+///
+/// Sibling integrations are independent by construction: every sibling's
+/// ghost forcing reads the immutable pair (parent at t, parent at t+Δt
+/// pre-feedback), each sibling sub-steps only its own state, and the
+/// restriction feedback is applied afterwards in fixed sibling order.
+/// That makes the result identical whether siblings run sequentially or
+/// concurrently on a thread pool (set_thread_pool) — the code-level
+/// analogue of the paper's concurrent sibling execution — byte for byte
+/// at any thread count.
 
 #include <memory>
 #include <vector>
 
 #include "nest/nested_domain.hpp"
 #include "swm/dynamics.hpp"
+
+namespace nestwx::util {
+class ThreadPool;
+}
 
 namespace nestwx::nest {
 
@@ -31,9 +44,19 @@ class NestedSimulation {
 
   const swm::ModelParams& params() const { return params_; }
 
+  /// Integrate sibling sub-step blocks on `pool` (nullptr restores
+  /// sequential execution). The pool is borrowed, not owned, and must
+  /// outlive this simulation or the next set_thread_pool call. advance()
+  /// must not itself be called from one of `pool`'s worker threads
+  /// (parallel_for's precondition). Results are byte-identical to
+  /// sequential execution at any thread count.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
   /// One parent step of size `parent_dt` plus each sibling's r sub-steps
   /// and feedback. Sibling order of execution does not affect the result
-  /// (siblings are disjoint and only talk to the parent).
+  /// (siblings are disjoint and only talk to the parent through the
+  /// pre-feedback snapshot).
   void advance(double parent_dt);
 
   /// Advance n parent steps.
@@ -54,12 +77,19 @@ class NestedSimulation {
   int steps_taken() const { return steps_; }
 
  private:
+  /// Sibling k's r sub-steps, forced from the immutable
+  /// (parent_prev_, parent_post_) bracket. Touches only sibling state —
+  /// safe to run concurrently for distinct k.
+  void integrate_sibling(std::size_t k, double parent_dt);
+
   swm::ModelParams params_;
   swm::State parent_;
-  swm::State parent_prev_;
+  swm::State parent_prev_;  ///< parent at t (pre-step)
+  swm::State parent_post_;  ///< parent at t+Δt, before any feedback
   swm::Stepper parent_stepper_;
   std::vector<std::unique_ptr<NestedDomain>> siblings_;
   std::vector<std::unique_ptr<swm::Stepper>> child_steppers_;
+  util::ThreadPool* pool_ = nullptr;  ///< borrowed; nullptr = sequential
   int steps_ = 0;
 };
 

@@ -31,16 +31,19 @@ FeatureFix locate_feature(const nest::NestedSimulation& sim,
   double best = 0.0;
   bool first = true;
   for (int j = j0; j < st.grid.ny - j0; ++j) {
+    const double* hr = st.h.row(j);
+    const double* br = st.b.row(j);
     double row_mean = 0.0;
-    for (int i = i0; i < st.grid.nx - i0; ++i) row_mean += st.eta(i, j);
+    for (int i = i0; i < st.grid.nx - i0; ++i) row_mean += hr[i] + br[i];
     row_mean /= static_cast<double>(st.grid.nx - 2 * i0);
     for (int i = i0; i < st.grid.nx - i0; ++i) {
-      const double anomaly = st.eta(i, j) - row_mean;
+      const double eta = hr[i] + br[i];
+      const double anomaly = eta - row_mean;
       if (first || anomaly < best) {
         best = anomaly;
         loc.i = i;
         loc.j = j;
-        loc.eta = st.eta(i, j);
+        loc.eta = eta;
         first = false;
       }
     }

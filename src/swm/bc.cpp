@@ -1,27 +1,52 @@
 #include "swm/bc.hpp"
 
+#include <cstring>
+
 namespace nestwx::swm {
 
 namespace {
+
+// Every fill below works edge-wise on the raw row-major layout: the
+// boundary kind is dispatched once per field (apply_boundary), each edge
+// is handled by one loop with hoisted row pointers, and whole-row ghost
+// bands (south/north, corners included) are plain memcpys. No per-cell
+// dispatch and no bounds-checked element access on the hot path. The
+// values written are identical to the straightforward per-cell
+// formulation — fills are pure copies/negations, so the order of writes
+// cannot change a bit.
+
+/// Copy one full extended row (interior plus both halos, corners
+/// included) from src_j to dst_j. Rows are distinct, so memcpy is safe.
+void copy_row(Field2D& f, int dst_j, int src_j) {
+  const int halo = f.halo();
+  std::memcpy(f.row(dst_j) - halo, f.row(src_j) - halo,
+              static_cast<std::size_t>(f.stride()) * sizeof(double));
+}
+
+/// Copy only the interior span [0, nx) of row src_j into row dst_j.
+void copy_row_interior(Field2D& f, int dst_j, int src_j) {
+  std::memcpy(f.row(dst_j), f.row(src_j),
+              static_cast<std::size_t>(f.nx()) * sizeof(double));
+}
 
 /// Periodic wrap of ghost cells for any field shape.
 void periodic_fill(Field2D& f) {
   const int nx = f.nx();
   const int ny = f.ny();
   const int halo = f.halo();
-  // x-direction (including corner ghosts via full j range afterwards).
+  // West/east wrap, one row at a time.
   for (int j = 0; j < ny; ++j) {
+    double* r = f.row(j);
     for (int g = 1; g <= halo; ++g) {
-      f(-g, j) = f(nx - g, j);
-      f(nx - 1 + g, j) = f(g - 1, j);
+      r[-g] = r[nx - g];
+      r[nx - 1 + g] = r[g - 1];
     }
   }
-  // y-direction over the full extended i range (fills corners).
-  for (int i = -halo; i < nx + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      f(i, -g) = f(i, ny - g);
-      f(i, ny - 1 + g) = f(i, g - 1);
-    }
+  // South/north wrap: whole extended rows (fills corners) after the
+  // x-ghosts of the source rows are in place.
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(f, -g, ny - g);
+    copy_row(f, ny - 1 + g, g - 1);
   }
 }
 
@@ -33,17 +58,16 @@ void periodic_fill_xface(Field2D& u) {
   const int ny = u.ny();
   const int halo = u.halo();
   for (int j = 0; j < ny; ++j) {
-    u(nxc, j) = u(0, j);
+    double* r = u.row(j);
+    r[nxc] = r[0];
     for (int g = 1; g <= halo; ++g) {
-      u(-g, j) = u(nxc - g, j);
-      u(nxc + g, j) = u(g, j);
+      r[-g] = r[nxc - g];
+      r[nxc + g] = r[g];
     }
   }
-  for (int i = -halo; i < u.nx() + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      u(i, -g) = u(i, ny - g);
-      u(i, ny - 1 + g) = u(i, g - 1);
-    }
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(u, -g, ny - g);
+    copy_row(u, ny - 1 + g, g - 1);
   }
 }
 
@@ -52,17 +76,19 @@ void periodic_fill_yface(Field2D& v) {
   const int nx = v.nx();
   const int nyc = v.ny() - 1;
   const int halo = v.halo();
-  for (int i = 0; i < nx; ++i) {
-    v(i, nyc) = v(i, 0);
-    for (int g = 1; g <= halo; ++g) {
-      v(i, -g) = v(i, nyc - g);
-      v(i, nyc + g) = v(i, g);
-    }
+  // South/north wrap of the interior columns: face rows 0 and nyc are the
+  // same physical point; ghost rows copy interior spans with period nyc.
+  copy_row_interior(v, nyc, 0);
+  for (int g = 1; g <= halo; ++g) {
+    copy_row_interior(v, -g, nyc - g);
+    copy_row_interior(v, nyc + g, g);
   }
+  // West/east wrap over the full extended j range (fills corners).
   for (int j = -halo; j < v.ny() + halo; ++j) {
+    double* r = v.row(j);
     for (int g = 1; g <= halo; ++g) {
-      v(-g, j) = v(nx - g, j);
-      v(nx - 1 + g, j) = v(g - 1, j);
+      r[-g] = r[nx - g];
+      r[nx - 1 + g] = r[g - 1];
     }
   }
 }
@@ -73,16 +99,17 @@ void extrapolate_fill(Field2D& f) {
   const int ny = f.ny();
   const int halo = f.halo();
   for (int j = 0; j < ny; ++j) {
+    double* r = f.row(j);
+    const double west = r[0];
+    const double east = r[nx - 1];
     for (int g = 1; g <= halo; ++g) {
-      f(-g, j) = f(0, j);
-      f(nx - 1 + g, j) = f(nx - 1, j);
+      r[-g] = west;
+      r[nx - 1 + g] = east;
     }
   }
-  for (int i = -halo; i < nx + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      f(i, -g) = f(i, 0);
-      f(i, ny - 1 + g) = f(i, ny - 1);
-    }
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(f, -g, 0);
+    copy_row(f, ny - 1 + g, ny - 1);
   }
 }
 
@@ -93,18 +120,17 @@ void wall_normal_x(Field2D& u) {
   const int ny = u.ny();
   const int halo = u.halo();
   for (int j = 0; j < ny; ++j) {
-    u(0, j) = 0.0;
-    u(nx - 1, j) = 0.0;
+    double* r = u.row(j);
+    r[0] = 0.0;
+    r[nx - 1] = 0.0;
     for (int g = 1; g <= halo; ++g) {
-      u(-g, j) = -u(g, j);
-      u(nx - 1 + g, j) = -u(nx - 1 - g, j);
+      r[-g] = -r[g];
+      r[nx - 1 + g] = -r[nx - 1 - g];
     }
   }
-  for (int i = -halo; i < nx + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      u(i, -g) = u(i, 0);
-      u(i, ny - 1 + g) = u(i, ny - 1);
-    }
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(u, -g, 0);
+    copy_row(u, ny - 1 + g, ny - 1);
   }
 }
 
@@ -112,18 +138,31 @@ void wall_normal_y(Field2D& v) {
   const int nx = v.nx();
   const int ny = v.ny();  // ny_cells + 1 faces
   const int halo = v.halo();
-  for (int i = 0; i < nx; ++i) {
-    v(i, 0) = 0.0;
-    v(i, ny - 1) = 0.0;
-    for (int g = 1; g <= halo; ++g) {
-      v(i, -g) = -v(i, g);
-      v(i, ny - 1 + g) = -v(i, ny - 1 - g);
+  {
+    double* south = v.row(0);
+    double* north = v.row(ny - 1);
+    for (int i = 0; i < nx; ++i) {
+      south[i] = 0.0;
+      north[i] = 0.0;
+    }
+  }
+  for (int g = 1; g <= halo; ++g) {
+    double* sg = v.row(-g);
+    const double* si = v.row(g);
+    double* ng = v.row(ny - 1 + g);
+    const double* ni = v.row(ny - 1 - g);
+    for (int i = 0; i < nx; ++i) {
+      sg[i] = -si[i];
+      ng[i] = -ni[i];
     }
   }
   for (int j = -halo; j < ny + halo; ++j) {
+    double* r = v.row(j);
+    const double west = r[0];
+    const double east = r[nx - 1];
     for (int g = 1; g <= halo; ++g) {
-      v(-g, j) = v(0, j);
-      v(nx - 1 + g, j) = v(nx - 1, j);
+      r[-g] = west;
+      r[nx - 1 + g] = east;
     }
   }
 }
@@ -134,16 +173,15 @@ void channel_fill_center(Field2D& f) {
   const int ny = f.ny();
   const int halo = f.halo();
   for (int j = 0; j < ny; ++j) {
+    double* r = f.row(j);
     for (int g = 1; g <= halo; ++g) {
-      f(-g, j) = f(nx - g, j);
-      f(nx - 1 + g, j) = f(g - 1, j);
+      r[-g] = r[nx - g];
+      r[nx - 1 + g] = r[g - 1];
     }
   }
-  for (int i = -halo; i < nx + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      f(i, -g) = f(i, 0);
-      f(i, ny - 1 + g) = f(i, ny - 1);
-    }
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(f, -g, 0);
+    copy_row(f, ny - 1 + g, ny - 1);
   }
 }
 
@@ -152,17 +190,16 @@ void channel_fill_u(Field2D& u) {
   const int ny = u.ny();
   const int halo = u.halo();
   for (int j = 0; j < ny; ++j) {
-    u(nxc, j) = u(0, j);
+    double* r = u.row(j);
+    r[nxc] = r[0];
     for (int g = 1; g <= halo; ++g) {
-      u(-g, j) = u(nxc - g, j);
-      u(nxc + g, j) = u(g, j);
+      r[-g] = r[nxc - g];
+      r[nxc + g] = r[g];
     }
   }
-  for (int i = -halo; i < u.nx() + halo; ++i) {
-    for (int g = 1; g <= halo; ++g) {
-      u(i, -g) = u(i, 0);
-      u(i, ny - 1 + g) = u(i, ny - 1);
-    }
+  for (int g = 1; g <= halo; ++g) {
+    copy_row(u, -g, 0);
+    copy_row(u, ny - 1 + g, ny - 1);
   }
 }
 
@@ -170,18 +207,29 @@ void channel_fill_v(Field2D& v) {
   const int nx = v.nx();
   const int nyf = v.ny();  // cells + 1 faces
   const int halo = v.halo();
-  for (int i = 0; i < nx; ++i) {
-    v(i, 0) = 0.0;
-    v(i, nyf - 1) = 0.0;
-    for (int g = 1; g <= halo; ++g) {
-      v(i, -g) = -v(i, g);
-      v(i, nyf - 1 + g) = -v(i, nyf - 1 - g);
+  {
+    double* south = v.row(0);
+    double* north = v.row(nyf - 1);
+    for (int i = 0; i < nx; ++i) {
+      south[i] = 0.0;
+      north[i] = 0.0;
+    }
+  }
+  for (int g = 1; g <= halo; ++g) {
+    double* sg = v.row(-g);
+    const double* si = v.row(g);
+    double* ng = v.row(nyf - 1 + g);
+    const double* ni = v.row(nyf - 1 - g);
+    for (int i = 0; i < nx; ++i) {
+      sg[i] = -si[i];
+      ng[i] = -ni[i];
     }
   }
   for (int j = -halo; j < nyf + halo; ++j) {
+    double* r = v.row(j);
     for (int g = 1; g <= halo; ++g) {
-      v(-g, j) = v(nx - g, j);
-      v(nx - 1 + g, j) = v(g - 1, j);
+      r[-g] = r[nx - g];
+      r[nx - 1 + g] = r[g - 1];
     }
   }
 }

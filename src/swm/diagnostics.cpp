@@ -10,12 +10,17 @@ Diagnostics diagnose(const State& s, double gravity) {
   const double area = s.grid.dx * s.grid.dy;
   bool first = true;
   for (int j = 0; j < s.grid.ny; ++j) {
+    const double* hr = s.h.row(j);
+    const double* br = s.b.row(j);
+    const double* ur = s.u.row(j);
+    const double* vr = s.v.row(j);
+    const double* vn = s.v.row(j + 1);
     for (int i = 0; i < s.grid.nx; ++i) {
-      const double h = s.h(i, j);
-      const double eta = s.eta(i, j);
-      const double b = s.b(i, j);
-      const double uc = 0.5 * (s.u(i, j) + s.u(i + 1, j));
-      const double vc = 0.5 * (s.v(i, j) + s.v(i, j + 1));
+      const double h = hr[i];
+      const double b = br[i];
+      const double eta = h + b;
+      const double uc = 0.5 * (ur[i] + ur[i + 1]);
+      const double vc = 0.5 * (vr[i] + vn[i]);
       const double speed = std::sqrt(uc * uc + vc * vc);
       d.mass += h * area;
       d.kinetic_energy += 0.5 * h * (uc * uc + vc * vc) * area;
@@ -41,16 +46,17 @@ Field2D relative_vorticity(const State& s) {
   const int ny = s.grid.ny;
   Field2D zeta(nx + 1, ny + 1, 0);
   for (int j = 0; j <= ny; ++j) {
+    // Corner (i, j): v faces to its east/west, u faces to its
+    // north/south (clamped at the domain edges).
+    const double* vrow = s.v.row(j);
+    const double* us = s.u.row(std::max(j - 1, 0));
+    const double* un = s.u.row(std::min(j, ny - 1));
+    double* zr = zeta.row(j);
     for (int i = 0; i <= nx; ++i) {
-      // Corner (i, j): v faces to its east/west, u faces to its
-      // north/south.
-      const double dvdx = (s.v(std::min(i, nx - 1), j) -
-                           s.v(std::max(i - 1, 0), j)) /
-                          s.grid.dx;
-      const double dudy = (s.u(i, std::min(j, ny - 1)) -
-                           s.u(i, std::max(j - 1, 0))) /
-                          s.grid.dy;
-      zeta(i, j) = dvdx - dudy;
+      const double dvdx =
+          (vrow[std::min(i, nx - 1)] - vrow[std::max(i - 1, 0)]) / s.grid.dx;
+      const double dudy = (un[i] - us[i]) / s.grid.dy;
+      zr[i] = dvdx - dudy;
     }
   }
   return zeta;
@@ -59,9 +65,10 @@ Field2D relative_vorticity(const State& s) {
 double enstrophy(const State& s) {
   const auto zeta = relative_vorticity(s);
   double acc = 0.0;
-  for (int j = 1; j < s.grid.ny; ++j)
-    for (int i = 1; i < s.grid.nx; ++i)
-      acc += 0.5 * zeta(i, j) * zeta(i, j);
+  for (int j = 1; j < s.grid.ny; ++j) {
+    const double* zr = zeta.row(j);
+    for (int i = 1; i < s.grid.nx; ++i) acc += 0.5 * zr[i] * zr[i];
+  }
   return acc * s.grid.dx * s.grid.dy;
 }
 

@@ -2,128 +2,219 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/error.hpp"
 
 namespace nestwx::swm {
 
-void compute_tendency(const State& s, const ModelParams& p, Tendency& out) {
-  const int nx = s.grid.nx;
-  const int ny = s.grid.ny;
-  const double dx = s.grid.dx;
-  const double dy = s.grid.dy;
+namespace {
+
+/// Row-streamed stencil kernels, specialized at compile time on the
+/// (nonlinear, viscous) parameter branches and on whether the result is a
+/// raw tendency (out = R(eval)) or the fused RK3 stage update
+/// (out = base + w·R(eval)).
+///
+/// Bit-exactness contract: every arithmetic expression below, including
+/// its evaluation order, matches the plain reference formulation (kept in
+/// bench_swm_kernels.cpp and locked in by test_swm_golden). Hoisting the
+/// row pointers and the parameter branches changes which instructions run,
+/// never the sequence of floating-point operations per value.
+///
+/// Aliasing contract: `out` fields may alias `base` fields (the final RK3
+/// stage writes Φⁿ⁺¹ over Φⁿ): `base` is only ever read at the point being
+/// written. `out` must not alias `eval` or `terrain`.
+template <bool NL, bool VISC, bool FUSED>
+void stage_pass(const State& eval, const Field2D& terrain,
+                const ModelParams& p, Field2D& oh, Field2D& ou, Field2D& ov,
+                const State* base, double w) {
+  const int nx = eval.grid.nx;
+  const int ny = eval.grid.ny;
+  const double dx = eval.grid.dx;
+  const double dy = eval.grid.dy;
   const double g = p.gravity;
   const double f = p.coriolis;
+  const double visc = p.viscosity;
+  const double drag = p.drag;
+  const int hstr = eval.h.stride();
+  const int ustr = eval.u.stride();
+  const int vstr = eval.v.stride();
 
   // Mass: dh/dt = -div(H u). Face depths are two-cell averages.
   for (int j = 0; j < ny; ++j) {
+    const double* hc = eval.h.row(j);
+    const double* hsr = hc - hstr;
+    const double* hnr = hc + hstr;
+    const double* uc = eval.u.row(j);
+    const double* vc = eval.v.row(j);
+    const double* vn = vc + vstr;
+    double* out = oh.row(j);
+    [[maybe_unused]] const double* bh = FUSED ? base->h.row(j) : nullptr;
     for (int i = 0; i < nx; ++i) {
-      const double hw = 0.5 * (s.h(i - 1, j) + s.h(i, j));
-      const double he = 0.5 * (s.h(i, j) + s.h(i + 1, j));
-      const double hs = 0.5 * (s.h(i, j - 1) + s.h(i, j));
-      const double hn = 0.5 * (s.h(i, j) + s.h(i, j + 1));
-      const double flux_w = hw * s.u(i, j);
-      const double flux_e = he * s.u(i + 1, j);
-      const double flux_s = hs * s.v(i, j);
-      const double flux_n = hn * s.v(i, j + 1);
-      out.dh(i, j) = -(flux_e - flux_w) / dx - (flux_n - flux_s) / dy;
+      const double hw = 0.5 * (hc[i - 1] + hc[i]);
+      const double he = 0.5 * (hc[i] + hc[i + 1]);
+      const double hs = 0.5 * (hsr[i] + hc[i]);
+      const double hn = 0.5 * (hc[i] + hnr[i]);
+      const double flux_w = hw * uc[i];
+      const double flux_e = he * uc[i + 1];
+      const double flux_s = hs * vc[i];
+      const double flux_n = hn * vn[i];
+      const double dh = -(flux_e - flux_w) / dx - (flux_n - flux_s) / dy;
+      if constexpr (FUSED)
+        out[i] = bh[i] + w * dh;
+      else
+        out[i] = dh;
     }
   }
 
   // u-momentum at x-faces i = 0..nx (tendency on every face; wall BCs
   // re-zero the boundary faces afterwards).
   for (int j = 0; j < ny; ++j) {
+    const double* hc = eval.h.row(j);
+    const double* bc = terrain.row(j);
+    const double* uc = eval.u.row(j);
+    const double* usr = uc - ustr;
+    const double* unr = uc + ustr;
+    const double* vc = eval.v.row(j);
+    const double* vn = vc + vstr;
+    double* out = ou.row(j);
+    [[maybe_unused]] const double* bu = FUSED ? base->u.row(j) : nullptr;
     for (int i = 0; i <= nx; ++i) {
-      const double eta_e = s.h(i, j) + s.b(i, j);
-      const double eta_w = s.h(i - 1, j) + s.b(i - 1, j);
+      const double eta_e = hc[i] + bc[i];
+      const double eta_w = hc[i - 1] + bc[i - 1];
       const double pgrad = -g * (eta_e - eta_w) / dx;
       // v averaged to the u-point (4 surrounding v-faces).
-      const double vbar = 0.25 * (s.v(i - 1, j) + s.v(i, j) +
-                                  s.v(i - 1, j + 1) + s.v(i, j + 1));
+      const double vbar = 0.25 * (vc[i - 1] + vc[i] + vn[i - 1] + vn[i]);
       double adv = 0.0;
-      if (p.nonlinear) {
-        const double dudx = (s.u(i + 1, j) - s.u(i - 1, j)) / (2.0 * dx);
-        const double dudy = (s.u(i, j + 1) - s.u(i, j - 1)) / (2.0 * dy);
-        adv = s.u(i, j) * dudx + vbar * dudy;
+      if constexpr (NL) {
+        const double dudx = (uc[i + 1] - uc[i - 1]) / (2.0 * dx);
+        const double dudy = (unr[i] - usr[i]) / (2.0 * dy);
+        adv = uc[i] * dudx + vbar * dudy;
       }
       double diff = 0.0;
-      if (p.viscosity > 0.0) {
-        diff = p.viscosity *
-               ((s.u(i + 1, j) - 2.0 * s.u(i, j) + s.u(i - 1, j)) / (dx * dx) +
-                (s.u(i, j + 1) - 2.0 * s.u(i, j) + s.u(i, j - 1)) / (dy * dy));
+      if constexpr (VISC) {
+        diff = visc * ((uc[i + 1] - 2.0 * uc[i] + uc[i - 1]) / (dx * dx) +
+                       (unr[i] - 2.0 * uc[i] + usr[i]) / (dy * dy));
       }
-      out.du(i, j) = pgrad + f * vbar - adv + diff - p.drag * s.u(i, j);
+      const double du = pgrad + f * vbar - adv + diff - drag * uc[i];
+      if constexpr (FUSED)
+        out[i] = bu[i] + w * du;
+      else
+        out[i] = du;
     }
   }
 
   // v-momentum at y-faces j = 0..ny.
   for (int j = 0; j <= ny; ++j) {
+    const double* hc = eval.h.row(j);
+    const double* hsr = hc - hstr;
+    const double* bc = terrain.row(j);
+    const double* bsr = bc - terrain.stride();
+    const double* uc = eval.u.row(j);
+    const double* usr = uc - ustr;
+    const double* vc = eval.v.row(j);
+    const double* vsr = vc - vstr;
+    const double* vnr = vc + vstr;
+    double* out = ov.row(j);
+    [[maybe_unused]] const double* bv = FUSED ? base->v.row(j) : nullptr;
     for (int i = 0; i < nx; ++i) {
-      const double eta_n = s.h(i, j) + s.b(i, j);
-      const double eta_s = s.h(i, j - 1) + s.b(i, j - 1);
+      const double eta_n = hc[i] + bc[i];
+      const double eta_s = hsr[i] + bsr[i];
       const double pgrad = -g * (eta_n - eta_s) / dy;
-      const double ubar = 0.25 * (s.u(i, j - 1) + s.u(i + 1, j - 1) +
-                                  s.u(i, j) + s.u(i + 1, j));
+      const double ubar = 0.25 * (usr[i] + usr[i + 1] + uc[i] + uc[i + 1]);
       double adv = 0.0;
-      if (p.nonlinear) {
-        const double dvdx = (s.v(i + 1, j) - s.v(i - 1, j)) / (2.0 * dx);
-        const double dvdy = (s.v(i, j + 1) - s.v(i, j - 1)) / (2.0 * dy);
-        adv = ubar * dvdx + s.v(i, j) * dvdy;
+      if constexpr (NL) {
+        const double dvdx = (vc[i + 1] - vc[i - 1]) / (2.0 * dx);
+        const double dvdy = (vnr[i] - vsr[i]) / (2.0 * dy);
+        adv = ubar * dvdx + vc[i] * dvdy;
       }
       double diff = 0.0;
-      if (p.viscosity > 0.0) {
-        diff = p.viscosity *
-               ((s.v(i + 1, j) - 2.0 * s.v(i, j) + s.v(i - 1, j)) / (dx * dx) +
-                (s.v(i, j + 1) - 2.0 * s.v(i, j) + s.v(i, j - 1)) / (dy * dy));
+      if constexpr (VISC) {
+        diff = visc * ((vc[i + 1] - 2.0 * vc[i] + vc[i - 1]) / (dx * dx) +
+                       (vnr[i] - 2.0 * vc[i] + vsr[i]) / (dy * dy));
       }
-      out.dv(i, j) = pgrad - f * ubar - adv + diff - p.drag * s.v(i, j);
+      const double dv = pgrad - f * ubar - adv + diff - drag * vc[i];
+      if constexpr (FUSED)
+        out[i] = bv[i] + w * dv;
+      else
+        out[i] = dv;
     }
   }
 }
 
-Stepper::Stepper(const GridSpec& grid, ModelParams params)
-    : params_(params), stage_(grid), tend_(grid) {}
+using StagePass = void (*)(const State&, const Field2D&, const ModelParams&,
+                           Field2D&, Field2D&, Field2D&, const State*,
+                           double);
 
-namespace {
-/// stage = base + w * tend for the three prognostic fields (interior),
-/// then refresh ghosts.
-void blend(State& stage, const State& base, double w, const Tendency& t,
-           BoundaryKind bc) {
-  const int nx = base.grid.nx;
-  const int ny = base.grid.ny;
-  for (int j = 0; j < ny; ++j)
-    for (int i = 0; i < nx; ++i)
-      stage.h(i, j) = base.h(i, j) + w * t.dh(i, j);
-  for (int j = 0; j < ny; ++j)
-    for (int i = 0; i <= nx; ++i)
-      stage.u(i, j) = base.u(i, j) + w * t.du(i, j);
-  for (int j = 0; j <= ny; ++j)
-    for (int i = 0; i < nx; ++i)
-      stage.v(i, j) = base.v(i, j) + w * t.dv(i, j);
-  // With open boundaries the ghost cells are prescribed by the nesting
-  // machinery and must stay fixed through the RK3 stages.
-  if (bc != BoundaryKind::open) apply_boundary(stage, bc);
+/// Pick the specialized kernel once per evaluation: the p.nonlinear and
+/// p.viscosity branches never reach the inner loops.
+template <bool FUSED>
+StagePass select_pass(const ModelParams& p) {
+  if (p.nonlinear)
+    return p.viscosity > 0.0 ? &stage_pass<true, true, FUSED>
+                             : &stage_pass<true, false, FUSED>;
+  return p.viscosity > 0.0 ? &stage_pass<false, true, FUSED>
+                           : &stage_pass<false, false, FUSED>;
 }
+
+/// Copy the ghost frame (all halo rings) of src into dst: with open
+/// boundaries the ghosts are prescribed by the nesting machinery and must
+/// carry into the stage buffers unchanged.
+void copy_ghost_frame(Field2D& dst, const Field2D& src) {
+  const int halo = src.halo();
+  const int nx = src.nx();
+  const int ny = src.ny();
+  const std::size_t full = static_cast<std::size_t>(src.stride());
+  const std::size_t band = static_cast<std::size_t>(halo);
+  for (int j = -halo; j < 0; ++j)
+    std::memcpy(dst.row(j) - halo, src.row(j) - halo, full * sizeof(double));
+  for (int j = ny; j < ny + halo; ++j)
+    std::memcpy(dst.row(j) - halo, src.row(j) - halo, full * sizeof(double));
+  for (int j = 0; j < ny; ++j) {
+    std::memcpy(dst.row(j) - halo, src.row(j) - halo, band * sizeof(double));
+    std::memcpy(dst.row(j) + nx, src.row(j) + nx, band * sizeof(double));
+  }
+}
+
 }  // namespace
+
+void compute_tendency(const State& s, const ModelParams& p, Tendency& out) {
+  select_pass<false>(p)(s, s.b, p, out.dh, out.du, out.dv, nullptr, 0.0);
+}
+
+Stepper::Stepper(const GridSpec& grid, ModelParams params)
+    : params_(params), stage_(grid), stage2_(grid) {}
 
 void Stepper::step(State& s, double dt) {
   NESTWX_REQUIRE(dt > 0.0, "time step must be positive");
   NESTWX_REQUIRE(s.grid.nx == stage_.grid.nx && s.grid.ny == stage_.grid.ny,
                  "state shape does not match stepper grid");
-  // Full copy so prescribed (open-boundary) ghost cells carry into the
-  // stage state; interiors are overwritten by blend().
-  stage_ = s;
-  if (params_.boundary != BoundaryKind::open)
-    apply_boundary(s, params_.boundary);
+  const bool open = params_.boundary == BoundaryKind::open;
+  if (!open) apply_boundary(s, params_.boundary);
+  // With open boundaries the ghost cells are prescribed by the nesting
+  // machinery and must stay fixed through the RK3 stages; otherwise the
+  // per-stage apply_boundary below recomputes them from the interior.
+  if (open) {
+    copy_ghost_frame(stage_.h, s.h);
+    copy_ghost_frame(stage_.u, s.u);
+    copy_ghost_frame(stage_.v, s.v);
+    copy_ghost_frame(stage2_.h, s.h);
+    copy_ghost_frame(stage2_.u, s.u);
+    copy_ghost_frame(stage2_.v, s.v);
+  }
 
-  compute_tendency(s, params_, tend_);
-  blend(stage_, s, dt / 3.0, tend_, params_.boundary);
+  // Fused stages: out = base + w·R(eval), terrain always read from s.b
+  // (static through the step). The final stage writes Φⁿ⁺¹ in place over
+  // Φⁿ, which the kernel's aliasing contract permits.
+  const auto pass = select_pass<true>(params_);
+  pass(s, s.b, params_, stage_.h, stage_.u, stage_.v, &s, dt / 3.0);
+  if (!open) apply_boundary(stage_, params_.boundary);
 
-  compute_tendency(stage_, params_, tend_);
-  blend(stage_, s, dt / 2.0, tend_, params_.boundary);
+  pass(stage_, s.b, params_, stage2_.h, stage2_.u, stage2_.v, &s, dt / 2.0);
+  if (!open) apply_boundary(stage2_, params_.boundary);
 
-  compute_tendency(stage_, params_, tend_);
-  blend(s, s, dt, tend_, params_.boundary);
+  pass(stage2_, s.b, params_, s.h, s.u, s.v, &s, dt);
+  if (!open) apply_boundary(s, params_.boundary);
 }
 
 void Stepper::run(State& s, double dt, int n) {
@@ -133,14 +224,17 @@ void Stepper::run(State& s, double dt, int n) {
 
 double Stepper::courant(const State& s, double dt) const {
   double worst = 0.0;
+  const int vstr = s.v.stride();
   for (int j = 0; j < s.grid.ny; ++j) {
+    const double* hc = s.h.row(j);
+    const double* uc = s.u.row(j);
+    const double* vc = s.v.row(j);
+    const double* vn = vc + vstr;
     for (int i = 0; i < s.grid.nx; ++i) {
-      const double depth = std::max(s.h(i, j), 0.0);
+      const double depth = std::max(hc[i], 0.0);
       const double c = std::sqrt(params_.gravity * depth);
-      const double uu =
-          0.5 * std::abs(s.u(i, j) + s.u(i + 1, j));
-      const double vv =
-          0.5 * std::abs(s.v(i, j) + s.v(i, j + 1));
+      const double uu = 0.5 * std::abs(uc[i] + uc[i + 1]);
+      const double vv = 0.5 * std::abs(vc[i] + vn[i]);
       worst = std::max(worst, (uu + c) * dt / s.grid.dx +
                                   (vv + c) * dt / s.grid.dy);
     }

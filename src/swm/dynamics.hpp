@@ -13,6 +13,17 @@
 ///   Φ** = Φⁿ + Δt/2 · R(Φ*)
 ///   Φⁿ⁺¹= Φⁿ + Δt  · R(Φ**)
 /// with boundary conditions applied after every stage.
+///
+/// Fast path (see docs/architecture.md, "SWM fast path"): the kernels are
+/// compiled as four specialized variants — (nonlinear × viscous) chosen
+/// once per evaluation by function-pointer dispatch, so those branches
+/// never appear in the inner loops — and stream contiguous rows through
+/// Field2D::row() pointers with the north/south neighbour rows hoisted
+/// out of the i-loop. Inside Stepper::step each RK3 stage fuses the
+/// tendency evaluation with the stage update (out = base + w·R(eval)),
+/// eliminating the intermediate Tendency store/reload. Every variant and
+/// the fused path are bit-identical to the plain reference formulation
+/// (locked in by test_swm_golden).
 
 #include "swm/bc.hpp"
 #include "swm/state.hpp"
@@ -31,11 +42,12 @@ struct ModelParams {
 
 /// Evaluate tendencies R(s) into `out`. Ghost cells of `s` must be current
 /// (call apply_boundary first); only interior tendencies are written.
+/// Dispatches to the (nonlinear × viscous) specialized kernel.
 void compute_tendency(const State& s, const ModelParams& p, Tendency& out);
 
 /// Advance `s` by one RK3 step of size dt (seconds), applying `p.boundary`
-/// after each stage. Scratch state/tendencies are managed by the Stepper
-/// so repeated stepping allocates nothing.
+/// after each stage. Scratch states are managed by the Stepper so repeated
+/// stepping allocates nothing.
 class Stepper {
  public:
   Stepper(const GridSpec& grid, ModelParams params);
@@ -57,8 +69,8 @@ class Stepper {
 
  private:
   ModelParams params_;
-  State stage_;
-  Tendency tend_;
+  State stage_;   ///< Φ*  buffer
+  State stage2_;  ///< Φ** buffer
 };
 
 }  // namespace nestwx::swm

@@ -15,29 +15,25 @@ Field2D::Field2D(int nx, int ny, int halo, double fill_value)
                fill_value);
 }
 
-std::size_t Field2D::index(int i, int j) const {
-  NESTWX_REQUIRE(i >= -halo_ && i < nx_ + halo_ && j >= -halo_ &&
-                     j < ny_ + halo_,
-                 "field index out of range");
-  return static_cast<std::size_t>(j + halo_) * stride_ + (i + halo_);
-}
-
 void Field2D::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
 double Field2D::interior_sum() const {
   double total = 0.0;
-  for (int j = 0; j < ny_; ++j)
-    for (int i = 0; i < nx_; ++i) total += (*this)(i, j);
+  for (int j = 0; j < ny_; ++j) {
+    const double* r = row(j);
+    for (int i = 0; i < nx_; ++i) total += r[i];
+  }
   return total;
 }
 
 double Field2D::interior_max_abs() const {
   double best = 0.0;
-  for (int j = 0; j < ny_; ++j)
-    for (int i = 0; i < nx_; ++i)
-      best = std::max(best, std::abs((*this)(i, j)));
+  for (int j = 0; j < ny_; ++j) {
+    const double* r = row(j);
+    for (int i = 0; i < nx_; ++i) best = std::max(best, std::abs(r[i]));
+  }
   return best;
 }
 
@@ -52,18 +48,19 @@ double Field2D::sample(double x, double y) const {
   const int j0 = std::min(static_cast<int>(std::floor(y)), ny_ + halo_ - 2);
   const double fx = x - i0;
   const double fy = y - j0;
-  return (1.0 - fx) * (1.0 - fy) * (*this)(i0, j0) +
-         fx * (1.0 - fy) * (*this)(i0 + 1, j0) +
-         (1.0 - fx) * fy * (*this)(i0, j0 + 1) +
-         fx * fy * (*this)(i0 + 1, j0 + 1);
+  const double* south = row(j0) + i0;
+  const double* north = south + stride_;
+  return (1.0 - fx) * (1.0 - fy) * south[0] + fx * (1.0 - fy) * south[1] +
+         (1.0 - fx) * fy * north[0] + fx * fy * north[1];
 }
 
 void axpy(Field2D& a, double s, const Field2D& b) {
   NESTWX_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.halo() == b.halo(),
                  "field shape mismatch in axpy");
-  auto pa = a.raw();
-  auto pb = b.raw();
-  for (std::size_t k = 0; k < pa.size(); ++k) pa[k] += s * pb[k];
+  double* pa = a.raw().data();
+  const double* pb = b.raw().data();
+  const std::size_t n = a.raw().size();
+  for (std::size_t k = 0; k < n; ++k) pa[k] += s * pb[k];
 }
 
 void add_scaled(Field2D& out, const Field2D& a, double s, const Field2D& b) {
@@ -72,10 +69,11 @@ void add_scaled(Field2D& out, const Field2D& a, double s, const Field2D& b) {
   NESTWX_REQUIRE(out.nx() == a.nx() && out.ny() == a.ny() &&
                      out.halo() == a.halo(),
                  "output shape mismatch in add_scaled");
-  auto po = out.raw();
-  auto pa = a.raw();
-  auto pb = b.raw();
-  for (std::size_t k = 0; k < po.size(); ++k) po[k] = pa[k] + s * pb[k];
+  double* po = out.raw().data();
+  const double* pa = a.raw().data();
+  const double* pb = b.raw().data();
+  const std::size_t n = out.raw().size();
+  for (std::size_t k = 0; k < n; ++k) po[k] = pa[k] + s * pb[k];
 }
 
 }  // namespace nestwx::swm

@@ -2,9 +2,22 @@
 /// \file field.hpp
 /// 2-D scalar fields with ghost (halo) cells, the storage unit of the
 /// shallow-water dynamical core.
+///
+/// Element access is the innermost operation of every stencil kernel
+/// (~20 reads per cell per RK3 stage), so `index` is an inlined,
+/// branch-free multiply-add. Bounds are verified only in
+/// NESTWX_CHECK_BOUNDS builds (enabled automatically by the sanitizer
+/// presets, see CONTRIBUTING.md); Release builds compile element access
+/// down to a single indexed load. Hot kernels should not even pay the
+/// per-element index arithmetic: iterate contiguous rows through `row()`.
 
+#include <cstddef>
 #include <span>
 #include <vector>
+
+#ifdef NESTWX_CHECK_BOUNDS
+#include "util/error.hpp"
+#endif
 
 namespace nestwx::swm {
 
@@ -19,16 +32,29 @@ class Field2D {
   int ny() const { return ny_; }
   int halo() const { return halo_; }
 
+  /// Distance in elements between vertically adjacent points
+  /// (= nx + 2·halo); rows are contiguous.
+  int stride() const { return stride_; }
+
   double& operator()(int i, int j) { return data_[index(i, j)]; }
   double operator()(int i, int j) const { return data_[index(i, j)]; }
+
+  /// Pointer to interior element (0, j); valid offsets span
+  /// [-halo, nx+halo). row(j+1) == row(j) + stride(). The j argument is
+  /// bounds-checked in NESTWX_CHECK_BOUNDS builds; offsets applied to the
+  /// returned pointer are the caller's responsibility.
+  double* row(int j) { return data_.data() + index(0, j); }
+  const double* row(int j) const { return data_.data() + index(0, j); }
 
   /// Set every value (including ghosts).
   void fill(double value);
 
-  /// Sum over interior points only.
+  /// Sum over interior points, in a fixed deterministic order: rows from
+  /// j = 0 upward, i ascending within each row. The result is therefore
+  /// bit-identical across builds, kernel variants and thread counts.
   double interior_sum() const;
 
-  /// max |value| over interior points.
+  /// max |value| over interior points (same fixed traversal order).
   double interior_max_abs() const;
 
   /// Bilinear sample at fractional interior coordinates (x, y) measured in
@@ -39,8 +65,17 @@ class Field2D {
   std::span<double> raw() { return data_; }
   std::span<const double> raw() const { return data_; }
 
-  /// Linearised index of (i, j); bounds-checked.
-  std::size_t index(int i, int j) const;
+  /// Linearised index of (i, j): inlined branch-free arithmetic.
+  /// Bounds-checked only under NESTWX_CHECK_BOUNDS.
+  std::size_t index(int i, int j) const {
+#ifdef NESTWX_CHECK_BOUNDS
+    NESTWX_REQUIRE(i >= -halo_ && i < nx_ + halo_ && j >= -halo_ &&
+                       j < ny_ + halo_,
+                   "field index out of range");
+#endif
+    return static_cast<std::size_t>(j + halo_) * stride_ +
+           static_cast<std::size_t>(i + halo_);
+  }
 
  private:
   int nx_ = 0;

@@ -1,0 +1,171 @@
+/// Golden bit-exactness tests for the shallow-water dynamical core.
+///
+/// The fast-path kernels (specialized tendency variants, the fused RK3
+/// stage loops, edge-wise ghost fills) promise *bit-identical* results to
+/// the straightforward reference formulation: same expressions, same
+/// evaluation order, no reassociation. These tests lock that promise in
+/// with FNV-1a fingerprints of the raw h/u/v buffers (interior + ghosts)
+/// after N steps, for every (nonlinear × viscous) variant under every
+/// boundary kind, plus a two-sibling nested run.
+///
+/// The goldens were generated from the pre-fast-path scalar implementation
+/// and must never drift; regenerate only for a deliberate numerics change:
+///
+///   NESTWX_REGEN_GOLDEN=1 ./test_swm_golden
+///
+/// Initial conditions use only polynomial arithmetic (no libm
+/// transcendentals) so the fingerprints are portable across libm versions.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/plan_key.hpp"
+#include "nest/simulation.hpp"
+#include "swm/bc.hpp"
+#include "swm/dynamics.hpp"
+#include "util/json.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+
+namespace {
+
+/// Smooth, fully portable initial state: polynomial bumps in h/u/v and a
+/// gentle terrain ridge. Ghosts are seeded too (the `open` scenario keeps
+/// them prescribed through the run).
+s::State poly_state(int nx, int ny) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 1000.0;
+  s::State st(g);
+  const int halo = g.halo;
+  auto fx = [&](int i, int n) {
+    const double x = (static_cast<double>(i) + 0.5) / n;
+    return x * (1.0 - x);
+  };
+  for (int j = -halo; j < ny + halo; ++j) {
+    for (int i = -halo; i < nx + halo; ++i) {
+      const double wx = fx(i, nx);
+      const double wy = fx(j, ny);
+      st.h(i, j) = 500.0 + 320.0 * wx * wy + 0.25 * ((i * 7 + j * 3) % 5);
+      st.b(i, j) = 12.0 * wx * wx * (1.0 + 0.5 * wy);
+    }
+  }
+  for (int j = -halo; j < ny + halo; ++j)
+    for (int i = -halo; i < nx + 1 + halo; ++i)
+      st.u(i, j) = 0.8 * fx(j, ny) * (1.0 - 2.0 * fx(i, nx + 1));
+  for (int j = -halo; j < ny + 1 + halo; ++j)
+    for (int i = -halo; i < nx + halo; ++i)
+      st.v(i, j) = -0.6 * fx(i, nx) * (1.0 - 2.0 * fx(j, ny + 1));
+  return st;
+}
+
+std::uint64_t field_hash(const s::Field2D& f) {
+  nestwx::core::Fingerprint fp;
+  for (double v : f.raw()) fp.mix(v);
+  return fp.value();
+}
+
+std::string state_line(const std::string& name, const s::State& st) {
+  return name + " h=" + nestwx::util::json_hex(field_hash(st.h)) +
+         " u=" + nestwx::util::json_hex(field_hash(st.u)) +
+         " v=" + nestwx::util::json_hex(field_hash(st.v)) +
+         " hsum=" + nestwx::util::json_num(st.h.interior_sum()) + "\n";
+}
+
+/// The four (nonlinear × viscous) kernel variants.
+struct Variant {
+  const char* name;
+  bool nonlinear;
+  double viscosity;
+};
+constexpr Variant kVariants[] = {
+    {"nonlinear_viscous", true, 80.0},
+    {"nonlinear_inviscid", true, 0.0},
+    {"linear_viscous", false, 80.0},
+    {"linear_inviscid", false, 0.0},
+};
+
+/// Run all four variants under one boundary kind and report fingerprints.
+std::string run_variants(s::BoundaryKind bc) {
+  std::string report;
+  for (const auto& variant : kVariants) {
+    s::ModelParams p;
+    p.coriolis = 1e-4;
+    p.drag = 1e-5;
+    p.nonlinear = variant.nonlinear;
+    p.viscosity = variant.viscosity;
+    p.boundary = bc;
+    s::State st = poly_state(40, 32);
+    if (bc != s::BoundaryKind::open) s::apply_boundary(st, bc);
+    s::Stepper stepper(st.grid, p);
+    stepper.run(st, 2.0, 10);
+    report += state_line(variant.name, st);
+  }
+  return report;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NESTWX_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "state drifted from " << path << "; the kernels are required to be"
+      << " bit-identical to the pre-fast-path reference";
+}
+
+}  // namespace
+
+TEST(SwmGolden, PeriodicVariants) {
+  check_golden("swm_steps_periodic.txt", run_variants(s::BoundaryKind::periodic));
+}
+
+TEST(SwmGolden, WallVariants) {
+  check_golden("swm_steps_wall.txt", run_variants(s::BoundaryKind::wall));
+}
+
+TEST(SwmGolden, ChannelVariants) {
+  check_golden("swm_steps_channel.txt", run_variants(s::BoundaryKind::channel));
+}
+
+TEST(SwmGolden, OpenVariants) {
+  // Outermost-domain `open` boundary: ghosts stay prescribed (their
+  // initial values) through every RK3 stage.
+  check_golden("swm_steps_open.txt", run_variants(s::BoundaryKind::open));
+}
+
+TEST(SwmGolden, NestedTwoSiblings) {
+  // Two well-separated siblings: sibling integration order (and, post
+  // fast-path, sequential-vs-concurrent execution) must not change a bit.
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.viscosity = 40.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(poly_state(48, 40), p,
+                          {n::NestSpec{"west", 6, 6, 10, 8, 2},
+                           n::NestSpec{"east", 30, 24, 10, 10, 3}});
+  sim.run(2.0, 4);
+  std::string report = state_line("parent", sim.parent());
+  report += state_line("west", sim.sibling(0).state());
+  report += state_line("east", sim.sibling(1).state());
+  check_golden("swm_nested.txt", report);
+}
