@@ -1,0 +1,95 @@
+/// \file guarded_run.cpp
+/// Numerical resilience demo: a three-nest forecast in which one nest is
+/// seeded with a violently unstable free-surface spike. A plain advance()
+/// loop NaN-poisons the whole simulation within a few steps (the garbage
+/// reaches the parent through two-way feedback); the GuardedRunner
+/// detects the blow-up with the stability monitor, rolls back to an
+/// in-memory snapshot, retries at halved dt, and — when the same nest
+/// keeps striking out — quarantines it on parent-interpolated state so
+/// the parent and the healthy nests finish exactly as if the bad nest
+/// never existed.
+///
+/// Usage: guarded_run [--steps=12] [--incident-log=PATH]
+
+#include <iostream>
+
+#include "nest/simulation.hpp"
+#include "resilience/guarded_run.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestwx;
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_int("steps", 12));
+  const double dt = 40.0;
+
+  auto make_sim = [] {
+    swm::GridSpec g;
+    g.nx = g.ny = 48;
+    g.dx = g.dy = 8e3;
+    auto parent = swm::lake_at_rest(g, 500.0);
+    util::Rng rng(11);
+    swm::perturb(parent, rng, 0.1);
+    swm::apply_boundary(parent, swm::BoundaryKind::wall);
+    swm::ModelParams p;
+    p.boundary = swm::BoundaryKind::wall;
+    return nest::NestedSimulation(
+        std::move(parent), p,
+        {nest::NestSpec{"west", 4, 4, 10, 10, 2},
+         nest::NestSpec{"east", 30, 4, 10, 10, 2},
+         nest::NestSpec{"north", 18, 30, 10, 10, 2}});
+  };
+  auto poison = [](nest::NestedSimulation& sim) {
+    auto& child = sim.sibling(2).state();
+    for (int j = 8; j < 12; ++j)
+      for (int i = 8; i < 12; ++i) child.h(i, j) += 2e4;
+  };
+
+  // --- Without the guard: the spike destroys everything.
+  {
+    auto sim = make_sim();
+    poison(sim);
+    int died_at = -1;
+    for (int s = 0; s < steps && died_at < 0; ++s) {
+      sim.advance(dt);
+      if (!swm::all_finite(sim.parent())) died_at = s + 1;
+    }
+    std::cout << "unguarded run: parent NaN-poisoned after "
+              << (died_at < 0 ? std::string("> ") + std::to_string(steps)
+                              : std::to_string(died_at))
+              << " step(s)\n\n";
+  }
+
+  // --- With the guard: contained.
+  auto sim = make_sim();
+  poison(sim);
+  resilience::GuardPolicy policy;
+  policy.incident_log = cli.get("incident-log", "");
+  resilience::GuardedRunner guard(sim, policy);
+  const auto report = guard.run(dt, steps);
+
+  util::Table incidents({"kind", "step", "sibling", "dt", "reason"});
+  for (const auto& e : report.incidents)
+    incidents.add_row({resilience::to_string(e.kind),
+                       std::to_string(e.step), std::to_string(e.sibling),
+                       util::Table::num(e.dt, 1), e.reason});
+  incidents.print(std::cout, "Incident log");
+
+  std::cout << "\nguarded run: " << report.steps << " steps completed, "
+            << report.rollbacks << " rollback(s), " << report.dt_halvings
+            << " dt halving(s), " << report.quarantined.size()
+            << " nest(s) quarantined, final dt "
+            << util::Table::num(report.final_dt, 1) << " s\n";
+  const bool healthy = swm::all_finite(sim.parent()) &&
+                       swm::all_finite(sim.sibling(0).state()) &&
+                       swm::all_finite(sim.sibling(1).state());
+  std::cout << "parent and healthy nests finite: " << (healthy ? "yes" : "NO")
+            << "\n";
+  if (!policy.incident_log.empty())
+    std::cout << "incident log written to " << policy.incident_log << "\n";
+  return healthy && report.steps == steps ? 0 : 1;
+}

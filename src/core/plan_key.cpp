@@ -3,21 +3,17 @@
 #include <bit>
 #include <cstring>
 
+#include "util/hash.hpp"
+
 namespace nestwx::core {
 
 namespace {
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
 // Type tags keep (int 1, int 2) distinct from (string "\x01\x02"), etc.
 enum class Tag : unsigned char { u64 = 1, i64, f64, str };
 }  // namespace
 
 Fingerprint& Fingerprint::mix_bytes(const void* data, std::size_t n) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    state_ ^= bytes[i];
-    state_ *= kFnvPrime;
-  }
+  state_ = util::fnv1a(data, n, state_);
   return *this;
 }
 

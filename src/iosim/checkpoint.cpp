@@ -1,74 +1,150 @@
 #include "iosim/checkpoint.hpp"
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "iosim/io_model.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace nestwx::iosim {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4E575843;  // "NWXC"
-constexpr std::uint32_t kVersion = 1;
 
+// v2 header: v1's magic/version/geometry plus the payload byte count and
+// an FNV-1a checksum of the header prefix (every header byte before the
+// checksum field itself) followed by the payload stream (h, u, v, b raw
+// buffers in write order) — so a flipped bit anywhere in the file, header
+// geometry included, fails verification. `reserved` makes the alignment
+// padding before `dx` explicit so no indeterminate bytes reach the file.
 struct Header {
   std::uint32_t magic = kMagic;
-  std::uint32_t version = kVersion;
+  std::uint32_t version = kCheckpointVersion;
   std::int32_t nx = 0;
   std::int32_t ny = 0;
   std::int32_t halo = 0;
+  std::uint32_t reserved = 0;
   double dx = 0.0;
   double dy = 0.0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
 };
+static_assert(sizeof(Header) == 56, "checkpoint header layout drifted");
+
+/// Bytes of the header covered by the checksum: everything before the
+/// checksum field.
+constexpr std::size_t kChecksummedHeaderBytes =
+    sizeof(Header) - sizeof(std::uint64_t);
+static_assert(offsetof(Header, checksum) == kChecksummedHeaderBytes,
+              "checksum must be the last header field");
+
+std::size_t field_bytes(const swm::Field2D& f) {
+  return f.raw().size() * sizeof(double);
+}
 
 void write_field(std::ofstream& f, const swm::Field2D& field) {
   const auto data = field.raw();
   f.write(reinterpret_cast<const char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(double)));
+          static_cast<std::streamsize>(field_bytes(field)));
 }
 
-void read_field(std::ifstream& f, swm::Field2D& field,
+void read_field(std::ifstream& f, swm::Field2D& field, std::uint64_t& sum,
                 const std::string& path) {
   auto data = field.raw();
   f.read(reinterpret_cast<char*>(data.data()),
-         static_cast<std::streamsize>(data.size() * sizeof(double)));
-  NESTWX_REQUIRE(f.good(), "checkpoint truncated: " + path);
+         static_cast<std::streamsize>(field_bytes(field)));
+  if (!f.good())
+    throw CheckpointTruncatedError("checkpoint truncated (payload): " + path);
+  sum = util::fnv1a(data.data(), field_bytes(field), sum);
 }
 
 }  // namespace
 
 void save_checkpoint(const swm::State& state, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  NESTWX_REQUIRE(f.good(), "cannot open checkpoint for writing: " + path);
-  Header h;
-  h.nx = state.grid.nx;
-  h.ny = state.grid.ny;
-  h.halo = state.grid.halo;
-  h.dx = state.grid.dx;
-  h.dy = state.grid.dy;
-  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  write_field(f, state.h);
-  write_field(f, state.u);
-  write_field(f, state.v);
-  write_field(f, state.b);
-  NESTWX_REQUIRE(f.good(), "checkpoint write failed: " + path);
+  // Stream to a sibling temp file first; rename into place only after a
+  // clean close so `path` always holds either the old checkpoint or the
+  // complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good())
+      throw CheckpointMissingError("cannot open checkpoint for writing: " +
+                                   tmp);
+    Header h;
+    h.nx = state.grid.nx;
+    h.ny = state.grid.ny;
+    h.halo = state.grid.halo;
+    h.dx = state.grid.dx;
+    h.dy = state.grid.dy;
+    std::uint64_t bytes = 0;
+    for (const swm::Field2D* field :
+         {&state.h, &state.u, &state.v, &state.b})
+      bytes += field_bytes(*field);
+    h.payload_bytes = bytes;
+    std::uint64_t sum =
+        util::fnv1a(&h, kChecksummedHeaderBytes);  // header prefix first
+    for (const swm::Field2D* field :
+         {&state.h, &state.u, &state.v, &state.b})
+      sum = util::fnv1a(field->raw().data(), field_bytes(*field), sum);
+    h.checksum = sum;
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    write_field(f, state.h);
+    write_field(f, state.u);
+    write_field(f, state.v);
+    write_field(f, state.b);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw CheckpointError("checkpoint write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("cannot move checkpoint into place: " + path);
+  }
 }
 
 swm::State load_checkpoint(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  NESTWX_REQUIRE(f.good(), "cannot open checkpoint: " + path);
+  if (!f.good())
+    throw CheckpointMissingError("cannot open checkpoint: " + path);
   Header h;
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
-  NESTWX_REQUIRE(f.good(), "checkpoint truncated (header): " + path);
-  NESTWX_REQUIRE(h.magic == kMagic, "not a nestwx checkpoint: " + path);
-  NESTWX_REQUIRE(h.version == kVersion,
-                 "unsupported checkpoint version in " + path);
-  NESTWX_REQUIRE(h.nx >= 1 && h.ny >= 1 && h.halo >= 1 && h.dx > 0.0 &&
-                     h.dy > 0.0,
-                 "corrupt checkpoint geometry in " + path);
+  if (!f.good())
+    throw CheckpointTruncatedError("checkpoint truncated (header): " + path);
+  if (h.magic != kMagic)
+    throw CheckpointCorruptError("not a nestwx checkpoint: " + path);
+  if (h.version != kCheckpointVersion)
+    throw CheckpointCorruptError(
+        "unsupported checkpoint version " + std::to_string(h.version) +
+        " (expected " + std::to_string(kCheckpointVersion) + ") in " + path);
+  // Bound the geometry before touching it: a corrupt header must fail
+  // cleanly, not drive a multi-gigabyte allocation.
+  constexpr std::int32_t kMaxExtent = 1 << 20;
+  if (!(h.nx >= 1 && h.ny >= 1 && h.halo >= 1 && h.nx <= kMaxExtent &&
+        h.ny <= kMaxExtent && h.halo <= kMaxExtent && h.dx > 0.0 &&
+        h.dy > 0.0))
+    throw CheckpointCorruptError("corrupt checkpoint geometry in " + path);
+  // Cross-check the declared payload size against the geometry *before*
+  // allocating the state (pure arithmetic, no allocation).
+  const auto padded = [&](std::int32_t nx, std::int32_t ny) {
+    return (static_cast<std::uint64_t>(nx) + 2 * h.halo) *
+           (static_cast<std::uint64_t>(ny) + 2 * h.halo) * sizeof(double);
+  };
+  const std::uint64_t expected_bytes =
+      padded(h.nx, h.ny) + padded(h.nx + 1, h.ny) + padded(h.nx, h.ny + 1) +
+      padded(h.nx, h.ny);
+  if (h.payload_bytes != expected_bytes)
+    throw CheckpointCorruptError(
+        "checkpoint payload size mismatch (header says " +
+        std::to_string(h.payload_bytes) + " bytes, geometry implies " +
+        std::to_string(expected_bytes) + "): " + path);
   swm::GridSpec g;
   g.nx = h.nx;
   g.ny = h.ny;
@@ -76,10 +152,13 @@ swm::State load_checkpoint(const std::string& path) {
   g.dx = h.dx;
   g.dy = h.dy;
   swm::State state(g);
-  read_field(f, state.h, path);
-  read_field(f, state.u, path);
-  read_field(f, state.v, path);
-  read_field(f, state.b, path);
+  std::uint64_t sum = util::fnv1a(&h, kChecksummedHeaderBytes);
+  read_field(f, state.h, sum, path);
+  read_field(f, state.u, sum, path);
+  read_field(f, state.v, sum, path);
+  read_field(f, state.b, sum, path);
+  if (sum != h.checksum)
+    throw CheckpointCorruptError("checkpoint checksum mismatch: " + path);
   return state;
 }
 

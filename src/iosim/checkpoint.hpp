@@ -1,23 +1,70 @@
 #pragma once
 /// \file checkpoint.hpp
 /// Binary checkpoint/restart for shallow-water states — the operational
-/// counterpart of WRF's restart files. The format is a small
-/// header (magic, version, grid geometry) followed by the raw field
-/// payloads (including ghost cells, so a restarted run is bit-identical
-/// to an uninterrupted one).
+/// counterpart of WRF's restart files. Format v2 is a small header
+/// (magic, version, grid geometry, payload byte count, FNV-1a checksum
+/// covering the rest of the header and the whole payload) followed by the
+/// raw field payloads (including ghost cells, so a restarted run is
+/// bit-identical to an uninterrupted one).
+///
+/// Writes are atomic: the state is streamed to `path + ".tmp"` and
+/// renamed into place only after a successful close, so a reader never
+/// observes a half-written checkpoint and a crash mid-write leaves any
+/// previous checkpoint at `path` intact. Loads verify the checksum, so a
+/// file whose header survived but whose payload was truncated, bit-flipped
+/// or spliced is rejected instead of silently seeding a restart with
+/// garbage. Failures are reported through typed errors (below) so callers
+/// — the guarded driver, campaign recovery — can distinguish "no
+/// checkpoint yet" from "checkpoint damaged".
 
 #include <string>
 
 #include "swm/state.hpp"
 #include "topo/machine.hpp"
+#include "util/error.hpp"
 
 namespace nestwx::iosim {
 
-/// Write `state` to `path`. Throws PreconditionError on I/O failure.
+/// Base of all checkpoint load/store failures.
+class CheckpointError : public util::Error {
+ public:
+  explicit CheckpointError(const std::string& what) : util::Error(what) {}
+};
+
+/// The file does not exist or cannot be opened at all.
+class CheckpointMissingError : public CheckpointError {
+ public:
+  explicit CheckpointMissingError(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// The file ends before the declared payload does (interrupted write on
+/// a filesystem without atomic rename, torn copy, …).
+class CheckpointTruncatedError : public CheckpointError {
+ public:
+  explicit CheckpointTruncatedError(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// The bytes are not a well-formed v2 checkpoint: bad magic, unsupported
+/// version, nonsensical geometry, payload size mismatch, or checksum
+/// failure.
+class CheckpointCorruptError : public CheckpointError {
+ public:
+  explicit CheckpointCorruptError(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// Current on-disk format version.
+constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Write `state` to `path` atomically (temp file + rename). Throws
+/// CheckpointError on I/O failure; on failure `path` is left untouched.
 void save_checkpoint(const swm::State& state, const std::string& path);
 
-/// Read a state back. Throws PreconditionError when the file is missing,
-/// truncated, or not a nestwx checkpoint of a compatible version.
+/// Read a state back, verifying the payload checksum. Throws
+/// CheckpointMissingError / CheckpointTruncatedError /
+/// CheckpointCorruptError (all CheckpointError) as appropriate.
 swm::State load_checkpoint(const std::string& path);
 
 // --- Restart cost model (virtual time) ---------------------------------

@@ -27,9 +27,45 @@ NestedSimulation::NestedSimulation(swm::State parent_initial,
     child_steppers_.push_back(std::make_unique<swm::Stepper>(
         siblings_.back()->state().grid, child_params));
   }
+  quarantined_.assign(siblings_.size(), 0);
+}
+
+void NestedSimulation::set_sibling_quarantined(std::size_t k,
+                                               bool quarantined) {
+  NESTWX_REQUIRE(k < siblings_.size(), "sibling index out of range");
+  quarantined_[k] = quarantined ? 1 : 0;
+  // Entering quarantine replaces whatever the sibling diverged to with
+  // parent-interpolated data immediately, so its state is sane even
+  // before the next advance().
+  if (quarantined) siblings_[k]->initialize_from_parent(parent_);
+}
+
+bool NestedSimulation::sibling_quarantined(std::size_t k) const {
+  NESTWX_REQUIRE(k < siblings_.size(), "sibling index out of range");
+  return quarantined_[k] != 0;
+}
+
+std::size_t NestedSimulation::quarantined_count() const {
+  std::size_t n = 0;
+  for (const char q : quarantined_) n += q != 0;
+  return n;
+}
+
+void NestedSimulation::set_viscosity(double nu) {
+  NESTWX_REQUIRE(nu >= 0.0, "viscosity must be non-negative");
+  params_.viscosity = nu;
+  parent_stepper_ = swm::Stepper(parent_.grid, params_);
+  for (std::size_t k = 0; k < siblings_.size(); ++k) {
+    swm::ModelParams child_params = params_;
+    child_params.boundary = swm::BoundaryKind::open;
+    child_params.viscosity = nu / siblings_[k]->spec().ratio;
+    child_steppers_[k] = std::make_unique<swm::Stepper>(
+        siblings_[k]->state().grid, child_params);
+  }
 }
 
 void NestedSimulation::integrate_sibling(std::size_t k, double parent_dt) {
+  if (quarantined_[k]) return;  // frozen: refreshed after feedback instead
   NestedDomain& nest = *siblings_[k];
   const int r = nest.spec().ratio;
   const double child_dt = parent_dt / r;
@@ -64,9 +100,16 @@ void NestedSimulation::advance(double parent_dt) {
 
   // Two-way feedback, applied in fixed sibling order so the result is
   // deterministic (and byte-identical to sequential execution).
-  for (const auto& nest : siblings_) nest->feedback(parent_);
+  // Quarantined siblings contribute nothing: the parent evolves exactly
+  // as if they did not exist.
+  for (std::size_t k = 0; k < siblings_.size(); ++k)
+    if (!quarantined_[k]) siblings_[k]->feedback(parent_);
   // Feedback overwrote parent interior values; refresh parent ghosts.
   swm::apply_boundary(parent_, params_.boundary);
+  // Quarantined siblings track the parent solution instead of running
+  // their own dynamics: re-interpolate them from the fresh parent.
+  for (std::size_t k = 0; k < siblings_.size(); ++k)
+    if (quarantined_[k]) siblings_[k]->initialize_from_parent(parent_);
   ++steps_;
 }
 
@@ -94,6 +137,8 @@ double NestedSimulation::stable_dt(double safety) const {
   NESTWX_REQUIRE(dt > 0.0, "parent has no signal speed");
   double best = safety / dt;
   for (std::size_t k = 0; k < siblings_.size(); ++k) {
+    // A quarantined sibling is not integrated, so it cannot constrain dt.
+    if (quarantined_[k]) continue;
     const double c1 =
         child_steppers_[k]->courant(siblings_[k]->state(), 1.0);
     if (c1 > 0.0) {

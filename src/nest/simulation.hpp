@@ -66,6 +66,29 @@ class NestedSimulation {
   /// children.
   double stable_dt(double safety = 0.8) const;
 
+  /// Quarantine or release sibling `k`. A quarantined sibling takes no
+  /// part in the integration: it is not sub-stepped, contributes no
+  /// feedback to the parent, and after every parent step its state is
+  /// re-interpolated from the parent — frozen on parent-interpolated
+  /// data. The parent and the healthy siblings therefore evolve exactly
+  /// (bit for bit) as if the quarantined sibling did not exist. Used by
+  /// the resilience layer to contain a repeatedly diverging nest without
+  /// killing the run.
+  void set_sibling_quarantined(std::size_t k, bool quarantined);
+  bool sibling_quarantined(std::size_t k) const;
+  std::size_t quarantined_count() const;
+
+  /// Replace the horizontal viscosity with `nu` (parent value; children
+  /// keep the resolution scaling nu/r) and rebuild the steppers. The
+  /// resilience layer's graceful-degradation path: raised diffusion damps
+  /// a marginally unstable run that dt halving alone cannot save.
+  void set_viscosity(double nu);
+
+  /// Overwrite the step counter. Rollback support for drivers that
+  /// restore earlier parent/sibling states (resilience::GuardedRunner):
+  /// the counter must travel with the state it counts.
+  void set_steps_taken(int n) { steps_ = n; }
+
   /// Move sibling `k` so its south-west corner sits at parent cell
   /// (anchor_i, anchor_j) — the "moving nest" primitive used by the
   /// steering controller. The nest's dimensions and ratio are kept; its
@@ -89,6 +112,7 @@ class NestedSimulation {
   swm::Stepper parent_stepper_;
   std::vector<std::unique_ptr<NestedDomain>> siblings_;
   std::vector<std::unique_ptr<swm::Stepper>> child_steppers_;
+  std::vector<char> quarantined_;  ///< per-sibling; char avoids vector<bool>
   util::ThreadPool* pool_ = nullptr;  ///< borrowed; nullptr = sequential
   int steps_ = 0;
 };

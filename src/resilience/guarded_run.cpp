@@ -1,0 +1,322 @@
+#include "resilience/guarded_run.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "iosim/checkpoint.hpp"
+#include "swm/diagnostics.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace nestwx::resilience {
+
+namespace {
+
+std::string incident_json(const Incident& e) {
+  std::ostringstream os;
+  os << "{\"kind\": " << util::json_quote(to_string(e.kind))
+     << ", \"step\": " << e.step << ", \"sibling\": " << e.sibling
+     << ", \"dt\": " << util::json_num(e.dt) << ", \"detail\": " << e.detail
+     << ", \"reason\": " << util::json_quote(e.reason) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::preflight_quarantine: return "preflight_quarantine";
+    case IncidentKind::blowup: return "blowup";
+    case IncidentKind::rollback: return "rollback";
+    case IncidentKind::dt_halved: return "dt_halved";
+    case IncidentKind::dt_restored: return "dt_restored";
+    case IncidentKind::viscosity_raised: return "viscosity_raised";
+    case IncidentKind::quarantine: return "quarantine";
+    case IncidentKind::checkpoint: return "checkpoint";
+  }
+  return "?";
+}
+
+std::string report_to_json(const GuardReport& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"nestwx-guard-report-v1\",\n";
+  os << "  \"nominal_dt\": " << util::json_num(r.nominal_dt) << ",\n";
+  os << "  \"steps\": " << r.steps << ",\n";
+  os << "  \"final_dt\": " << util::json_num(r.final_dt) << ",\n";
+  os << "  \"final_viscosity\": " << util::json_num(r.final_viscosity)
+     << ",\n";
+  os << "  \"rollbacks\": " << r.rollbacks << ",\n";
+  os << "  \"dt_halvings\": " << r.dt_halvings << ",\n";
+  os << "  \"dt_restorations\": " << r.dt_restorations << ",\n";
+  os << "  \"escalations\": " << r.escalations << ",\n";
+  os << "  \"checkpoints\": " << r.checkpoints << ",\n";
+  os << "  \"quarantined\": [";
+  for (std::size_t i = 0; i < r.quarantined.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << r.quarantined[i];
+  }
+  os << "],\n";
+  os << "  \"incidents\": [";
+  for (std::size_t i = 0; i < r.incidents.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << incident_json(r.incidents[i]);
+  }
+  os << (r.incidents.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+void write_incident_log(const std::string& path, const GuardReport& report) {
+  std::ofstream f(path, std::ios::trunc);
+  NESTWX_REQUIRE(f.good(), "cannot open incident log for writing: " + path);
+  f << report_to_json(report);
+  f.flush();
+  NESTWX_REQUIRE(f.good(), "incident log write failed: " + path);
+}
+
+GuardedRunner::GuardedRunner(nest::NestedSimulation& sim, GuardPolicy policy)
+    : sim_(sim), policy_(std::move(policy)) {
+  NESTWX_REQUIRE(policy_.snapshot_every >= 1,
+                 "snapshot interval must be >= 1");
+  NESTWX_REQUIRE(policy_.snapshot_ring >= 1, "snapshot ring must hold >= 1");
+  NESTWX_REQUIRE(policy_.max_retries >= 1, "need at least one retry");
+  NESTWX_REQUIRE(policy_.max_backoff >= 0, "negative backoff bound");
+  NESTWX_REQUIRE(policy_.restore_streak >= 1, "restore streak must be >= 1");
+  NESTWX_REQUIRE(policy_.quarantine_after >= 1,
+                 "quarantine threshold must be >= 1");
+  NESTWX_REQUIRE(policy_.viscosity_boost > 1.0,
+                 "viscosity boost must exceed 1");
+}
+
+void GuardedRunner::record(IncidentKind kind, int step, int sibling,
+                           double dt, int detail, const std::string& reason) {
+  Incident e;
+  e.kind = kind;
+  e.step = step;
+  e.sibling = sibling;
+  e.dt = dt;
+  e.detail = detail;
+  e.reason = reason;
+  // Structured one-line JSON through the shared logger so campaigns and
+  // tools surface guard activity without parsing the report file.
+  if (kind == IncidentKind::dt_restored || kind == IncidentKind::checkpoint) {
+    NESTWX_INFO("guard: " << incident_json(e));
+  } else {
+    NESTWX_WARN("guard: " << incident_json(e));
+  }
+  report_.incidents.push_back(std::move(e));
+}
+
+void GuardedRunner::push_snapshot(int step) {
+  // After a rollback the loop re-enters the snapshot step with the ring
+  // already holding that exact state — don't duplicate it.
+  if (!ring_.empty() && ring_.back().step == step) return;
+  Snapshot snap;
+  snap.step = step;
+  snap.sim_steps = sim_.steps_taken();
+  snap.parent = sim_.parent();
+  snap.siblings.reserve(sim_.sibling_count());
+  for (std::size_t k = 0; k < sim_.sibling_count(); ++k)
+    snap.siblings.push_back(sim_.sibling(k).state());
+  ring_.push_back(std::move(snap));
+  if (static_cast<int>(ring_.size()) > policy_.snapshot_ring)
+    ring_.erase(ring_.begin());
+}
+
+void GuardedRunner::restore_snapshot(const Snapshot& snap) {
+  sim_.parent() = snap.parent;
+  for (std::size_t k = 0; k < sim_.sibling_count(); ++k)
+    sim_.sibling(k).state() = snap.siblings[k];
+  sim_.set_steps_taken(snap.sim_steps);
+}
+
+GuardedRunner::Blame GuardedRunner::inspect(double active_dt) const {
+  Blame blame;
+  const auto& params = sim_.params();
+  for (std::size_t k = 0; k < sim_.sibling_count(); ++k) {
+    if (sim_.sibling_quarantined(k)) continue;
+    const auto& nest = sim_.sibling(k);
+    const auto r =
+        swm::check_stability(nest.state(), params,
+                             active_dt / nest.spec().ratio,
+                             policy_.thresholds);
+    if (!r.healthy()) blame.siblings.emplace_back(k, r.reason);
+  }
+  const auto pr = swm::check_stability(sim_.parent(), params, active_dt,
+                                       policy_.thresholds);
+  if (!pr.healthy()) {
+    // An unhealthy sibling poisons the parent through feedback; only
+    // blame the parent's own dynamics when every sibling looks fine.
+    blame.parent = blame.siblings.empty();
+    blame.parent_reason = pr.reason;
+  }
+  return blame;
+}
+
+bool GuardedRunner::attempt_step(int step, double active_dt, int substeps,
+                                 Blame& blame) {
+  (void)step;
+  for (int sub = 0; sub < substeps; ++sub) {
+    sim_.advance(active_dt);
+    blame = inspect(active_dt);
+    if (blame.any()) return false;  // stop early; rollback erases this
+  }
+  return true;
+}
+
+void GuardedRunner::write_checkpoints(int step) {
+  (void)step;
+  iosim::save_checkpoint(sim_.parent(),
+                         policy_.checkpoint_prefix + "_parent.ckpt");
+  for (std::size_t k = 0; k < sim_.sibling_count(); ++k)
+    iosim::save_checkpoint(sim_.sibling(k).state(),
+                           policy_.checkpoint_prefix + "_s" +
+                               std::to_string(k) + ".ckpt");
+}
+
+GuardReport GuardedRunner::run(double dt, int steps) {
+  NESTWX_REQUIRE(dt > 0.0, "nominal dt must be positive");
+  NESTWX_REQUIRE(steps >= 0, "negative step count");
+  report_ = GuardReport{};
+  report_.nominal_dt = dt;
+  ring_.clear();
+  strikes_.assign(sim_.sibling_count(), 0);
+
+  auto fail = [&](const std::string& why) -> void {
+    report_.final_dt = dt;
+    report_.final_viscosity = sim_.params().viscosity;
+    if (!policy_.incident_log.empty())
+      write_incident_log(policy_.incident_log, report_);
+    throw BlowupError("guarded run failed at step " +
+                      std::to_string(report_.steps) + ": " + why);
+  };
+
+  // Pre-flight: a non-finite parent is hopeless (there is nothing to roll
+  // back to); a non-finite sibling is quarantined outright — CFL or
+  // extrema violations, being dt-dependent, are left to the step
+  // machinery.
+  if (!swm::all_finite(sim_.parent())) {
+    record(IncidentKind::blowup, 0, -1, dt, 0,
+           "parent initial state non-finite");
+    fail("parent initial state non-finite");
+  }
+  for (std::size_t k = 0; k < sim_.sibling_count(); ++k) {
+    if (sim_.sibling_quarantined(k)) continue;
+    if (!swm::all_finite(sim_.sibling(k).state())) {
+      strikes_[k] = policy_.quarantine_after;
+      sim_.set_sibling_quarantined(k, true);
+      report_.quarantined.push_back(k);
+      record(IncidentKind::preflight_quarantine, 0, static_cast<int>(k), dt,
+             strikes_[k], "sibling initial state non-finite");
+    }
+  }
+
+  int backoff = 0;            // dt level: active dt = dt / 2^backoff
+  int healthy_streak = 0;     // nominal steps since the last incident
+  int consecutive_retries = 0;
+  int s = 0;
+  while (s < steps) {
+    if (s % policy_.snapshot_every == 0) push_snapshot(s);
+    const int substeps = 1 << backoff;
+    const double active_dt = dt / substeps;
+    Blame blame;
+    if (attempt_step(s, active_dt, substeps, blame)) {
+      healthy_streak += 1;
+      consecutive_retries = 0;
+      s += 1;
+      report_.steps = s;
+      if (backoff > 0 && healthy_streak >= policy_.restore_streak) {
+        backoff -= 1;
+        healthy_streak = 0;
+        report_.dt_restorations += 1;
+        record(IncidentKind::dt_restored, s, -1, dt / (1 << backoff), backoff,
+               "healthy streak; dt restored one level");
+      }
+      if (policy_.checkpoint_every > 0 && !policy_.checkpoint_prefix.empty()
+          && s % policy_.checkpoint_every == 0) {
+        write_checkpoints(s);
+        report_.checkpoints += 1;
+        record(IncidentKind::checkpoint, s, -1, dt / (1 << backoff), 0,
+               "checkpoint written");
+      }
+      continue;
+    }
+
+    // --- Blow-up detected at nominal step s. Log blame, roll back,
+    // then decide: quarantine, halve dt, or escalate.
+    if (blame.parent)
+      record(IncidentKind::blowup, s, -1, active_dt, 0, blame.parent_reason);
+    for (const auto& [k, reason] : blame.siblings) {
+      strikes_[k] += 1;
+      record(IncidentKind::blowup, s, static_cast<int>(k), active_dt,
+             strikes_[k], reason);
+    }
+
+    // Repeated failures from the same snapshot roll deeper into the ring:
+    // the newest snapshot may already carry the seed of the blow-up.
+    const int depth = std::min<int>(consecutive_retries,
+                                    static_cast<int>(ring_.size()) - 1);
+    const std::size_t idx = ring_.size() - 1 - static_cast<std::size_t>(depth);
+    const int restored_step = ring_[idx].step;
+    restore_snapshot(ring_[idx]);
+    ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                ring_.end());
+    report_.rollbacks += 1;
+    record(IncidentKind::rollback, s, -1, active_dt, restored_step,
+           "rolled back to snapshot");
+    s = restored_step;
+    report_.steps = s;
+    healthy_streak = 0;
+
+    bool quarantined_now = false;
+    for (const auto& [k, reason] : blame.siblings) {
+      (void)reason;
+      if (strikes_[k] >= policy_.quarantine_after &&
+          !sim_.sibling_quarantined(k)) {
+        sim_.set_sibling_quarantined(k, true);
+        report_.quarantined.push_back(k);
+        record(IncidentKind::quarantine, s, static_cast<int>(k), dt,
+               strikes_[k], "sibling quarantined after repeated blow-ups");
+        quarantined_now = true;
+      }
+    }
+    if (quarantined_now) {
+      // The diverging nest is gone; resume at the nominal dt.
+      backoff = 0;
+      consecutive_retries = 0;
+      continue;
+    }
+
+    consecutive_retries += 1;
+    if (consecutive_retries > policy_.max_retries)
+      fail("retry budget exhausted (" + std::to_string(policy_.max_retries) +
+           " consecutive rollbacks)");
+    if (backoff < policy_.max_backoff) {
+      backoff += 1;
+      report_.dt_halvings += 1;
+      record(IncidentKind::dt_halved, s, -1, dt / (1 << backoff),
+             consecutive_retries, "retrying at halved dt");
+    } else if (report_.escalations < policy_.max_escalations) {
+      const double nu = sim_.params().viscosity > 0.0
+                            ? sim_.params().viscosity * policy_.viscosity_boost
+                            : policy_.viscosity_floor;
+      sim_.set_viscosity(nu);
+      report_.escalations += 1;
+      record(IncidentKind::viscosity_raised, s, -1, active_dt,
+             report_.escalations, "raised horizontal viscosity");
+    } else {
+      fail("dt halvings and viscosity escalations exhausted");
+    }
+  }
+
+  std::sort(report_.quarantined.begin(), report_.quarantined.end());
+  report_.final_dt = dt / (1 << backoff);
+  report_.final_viscosity = sim_.params().viscosity;
+  if (!policy_.incident_log.empty())
+    write_incident_log(policy_.incident_log, report_);
+  return report_;
+}
+
+}  // namespace nestwx::resilience

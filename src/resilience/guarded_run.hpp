@@ -1,0 +1,162 @@
+#pragma once
+/// \file guarded_run.hpp
+/// In-situ safety net around nest::NestedSimulation — the numerical
+/// counterpart of the campaign layer's elastic fault recovery. A plain
+/// advance() dies (or silently NaN-poisons the whole run) the moment one
+/// nest goes unstable; the GuardedRunner instead:
+///
+///  1. monitors every parent step with the swm stability monitor (NaN
+///     scan, gravity-wave CFL, extrema thresholds), checking the parent
+///     and each live sibling separately so blame lands on the domain
+///     that actually diverged;
+///  2. keeps a ring of in-memory full-state snapshots (plus optional
+///     on-disk checkpoints through the hardened iosim format) and, on a
+///     detected blow-up, rolls parent and siblings back to the most
+///     recent snapshot — rolling deeper into the ring on repeated
+///     failures from the same point;
+///  3. retries with halved dt (bounded halvings, original dt restored
+///     after a configurable healthy streak), escalating to raised
+///     horizontal viscosity as graceful degradation;
+///  4. quarantines a sibling that diverges repeatedly: the nest is
+///     frozen on parent-interpolated state while the parent and healthy
+///     siblings keep integrating — bit-identical to a run in which the
+///     bad sibling never existed — instead of killing the run.
+///
+/// Every decision is a pure function of the simulation state, which is
+/// itself byte-identical at any thread count, so retries, quarantines and
+/// the structured incident log are deterministic whether siblings are
+/// integrated sequentially or on a thread pool.
+
+#include <string>
+#include <vector>
+
+#include "nest/simulation.hpp"
+#include "swm/stability.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::resilience {
+
+/// The run could not be saved: retries/halvings/escalations exhausted, or
+/// the parent's initial state was already hopeless.
+class BlowupError : public util::Error {
+ public:
+  explicit BlowupError(const std::string& what) : util::Error(what) {}
+};
+
+/// Rollback / retry / quarantine policy. Defaults are deliberately
+/// conservative; the knobs exist so tests can drive each path.
+struct GuardPolicy {
+  swm::StabilityThresholds thresholds;
+  int snapshot_every = 1;   ///< nominal steps between ring snapshots
+  int snapshot_ring = 3;    ///< in-memory snapshots kept (>= 1)
+  int max_retries = 8;      ///< consecutive rollbacks before giving up
+  int max_backoff = 3;      ///< dt halvings allowed (floor dt/2^max)
+  int restore_streak = 16;  ///< healthy nominal steps to undo one halving
+  int quarantine_after = 2; ///< blow-ups blamed on a sibling before
+                            ///< it is quarantined
+  double viscosity_boost = 4.0;  ///< escalation: viscosity multiplier
+  double viscosity_floor = 1.0;  ///< m²/s, when current viscosity is 0
+  int max_escalations = 1;       ///< viscosity raises allowed
+  int checkpoint_every = 0;      ///< nominal steps; 0 = no disk checkpoints
+  std::string checkpoint_prefix; ///< path prefix for on-disk checkpoints
+  std::string incident_log;      ///< when set, the JSON incident log is
+                                 ///< written here — also on failure
+};
+
+enum class IncidentKind {
+  preflight_quarantine,  ///< sibling initial state non-finite
+  blowup,                ///< monitor tripped on a domain
+  rollback,              ///< state restored from the snapshot ring
+  dt_halved,             ///< retry at half the current dt
+  dt_restored,           ///< one halving undone after a healthy streak
+  viscosity_raised,      ///< graceful degradation engaged
+  quarantine,            ///< sibling frozen on parent-interpolated state
+  checkpoint             ///< on-disk checkpoint written
+};
+
+const char* to_string(IncidentKind kind);
+
+/// One entry of the structured incident log. Every field is a
+/// deterministic function of the simulation inputs.
+struct Incident {
+  IncidentKind kind = IncidentKind::blowup;
+  int step = 0;      ///< nominal step index the event refers to
+  int sibling = -1;  ///< offending sibling, or -1 for parent / whole run
+  double dt = 0.0;   ///< active dt after the event
+  int detail = 0;    ///< kind-specific: restored-to step (rollback),
+                     ///< strike count (blowup/quarantine), retry count
+                     ///< (dt_halved), …
+  std::string reason;
+};
+
+/// What a guarded run did, incident by incident plus summary counters.
+struct GuardReport {
+  int steps = 0;            ///< nominal steps completed
+  double nominal_dt = 0.0;
+  double final_dt = 0.0;
+  double final_viscosity = 0.0;
+  int rollbacks = 0;
+  int dt_halvings = 0;
+  int dt_restorations = 0;
+  int escalations = 0;
+  int checkpoints = 0;
+  std::vector<std::size_t> quarantined;  ///< ascending sibling indices
+  std::vector<Incident> incidents;       ///< chronological
+};
+
+/// Deterministic JSON serialisation (stable key order, %.12g numbers) of
+/// the incident log — golden-file comparable across thread counts.
+std::string report_to_json(const GuardReport& report);
+
+/// report_to_json written to `path`; throws util::Error on I/O failure.
+void write_incident_log(const std::string& path, const GuardReport& report);
+
+/// Wraps a borrowed NestedSimulation (which must outlive the runner) in
+/// the rollback-and-retry safety net. The runner drives nominal steps of
+/// the requested dt; under backoff each nominal step is executed as
+/// 2^level sub-advances of dt/2^level, so simulated time per nominal step
+/// is invariant and the step count the caller asked for is the step
+/// count it gets.
+class GuardedRunner {
+ public:
+  explicit GuardedRunner(nest::NestedSimulation& sim, GuardPolicy policy = {});
+
+  /// Run `steps` nominal parent steps of size `dt` under the guard.
+  /// Returns the incident report on success. Throws BlowupError when the
+  /// policy's retry/escalation budget is exhausted (after writing
+  /// `policy.incident_log`, when set).
+  GuardReport run(double dt, int steps);
+
+  const GuardPolicy& policy() const { return policy_; }
+
+ private:
+  struct Snapshot {
+    int step = 0;       ///< nominal step the states belong to (pre-step)
+    int sim_steps = 0;  ///< sim_.steps_taken() at capture (advance count)
+    swm::State parent;
+    std::vector<swm::State> siblings;
+  };
+  struct Blame {
+    bool parent = false;  ///< parent's own dynamics diverged (no sibling
+                          ///< was unhealthy, so feedback is not to blame)
+    std::string parent_reason;
+    std::vector<std::pair<std::size_t, std::string>> siblings;
+    bool any() const { return parent || !siblings.empty(); }
+  };
+
+  void push_snapshot(int step);
+  void restore_snapshot(const Snapshot& snap);
+  bool attempt_step(int step, double active_dt, int substeps, Blame& blame);
+  Blame inspect(double active_dt) const;
+  void record(IncidentKind kind, int step, int sibling, double dt,
+              int detail, const std::string& reason);
+  void write_checkpoints(int step);
+
+  nest::NestedSimulation& sim_;
+  GuardPolicy policy_;
+  std::vector<Snapshot> ring_;  ///< oldest first, newest last
+  std::vector<int> strikes_;    ///< per-sibling blow-up count
+  GuardReport report_;
+};
+
+}  // namespace nestwx::resilience

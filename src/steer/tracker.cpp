@@ -78,6 +78,10 @@ int MovingNestController::update(nest::NestedSimulation& sim) {
   if (sim.steps_taken() % policy_.check_every != 0) return 0;
   int moved = 0;
   for (std::size_t k = 0; k < sim.sibling_count(); ++k) {
+    // A quarantined nest carries parent-interpolated data, not a feature
+    // of its own; tracking it would chase noise and relocating it would
+    // be pointless churn. Skip until it is released.
+    if (sim.sibling_quarantined(k)) continue;
     const auto fix = locate_feature(sim, k);
     track_.push_back(fix);
     const auto& spec = sim.sibling(k).spec();

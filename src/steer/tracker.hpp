@@ -49,7 +49,9 @@ class MovingNestController {
   explicit MovingNestController(SteeringPolicy policy = {});
 
   /// Inspect (and possibly steer) after a sim.advance(). Returns the
-  /// number of nests relocated this call.
+  /// number of nests relocated this call. Quarantined siblings (see
+  /// NestedSimulation::set_sibling_quarantined) are skipped: they carry
+  /// parent-interpolated data with no feature of their own.
   int update(nest::NestedSimulation& sim);
 
   const std::vector<Relocation>& relocations() const { return relocations_; }

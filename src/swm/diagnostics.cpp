@@ -72,13 +72,15 @@ double enstrophy(const State& s) {
   return acc * s.grid.dx * s.grid.dy;
 }
 
+bool all_finite(const Field2D& f) {
+  for (double v : f.raw())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 bool all_finite(const State& s) {
-  auto check = [](const Field2D& f) {
-    for (double v : f.raw())
-      if (!std::isfinite(v)) return false;
-    return true;
-  };
-  return check(s.h) && check(s.u) && check(s.v) && check(s.b);
+  return all_finite(s.h) && all_finite(s.u) && all_finite(s.v) &&
+         all_finite(s.b);
 }
 
 }  // namespace nestwx::swm

@@ -27,7 +27,14 @@ Field2D relative_vorticity(const State& s);
 /// Domain-integrated enstrophy ½ ∫ ζ² dA over the interior corners.
 double enstrophy(const State& s);
 
-/// True when every value of every prognostic field is finite.
+/// True when every value of `f` (ghosts included — they feed the stencil
+/// kernels) is finite. Early-exits on the first NaN/Inf, streaming the
+/// contiguous raw buffer.
+bool all_finite(const Field2D& f);
+
+/// True when every value of every prognostic field is finite. The
+/// stability monitor (swm/stability.hpp) runs this every parent step, so
+/// it is the early-exit raw-buffer scan rather than a diagnose() pass.
 bool all_finite(const State& s);
 
 }  // namespace nestwx::swm

@@ -1,0 +1,85 @@
+#include "swm/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "swm/diagnostics.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+double gravity_wave_courant(const State& s, double gravity, double dt) {
+  double worst = 0.0;
+  const int vstr = s.v.stride();
+  for (int j = 0; j < s.grid.ny; ++j) {
+    const double* hc = s.h.row(j);
+    const double* uc = s.u.row(j);
+    const double* vc = s.v.row(j);
+    const double* vn = vc + vstr;
+    for (int i = 0; i < s.grid.nx; ++i) {
+      const double depth = std::max(hc[i], 0.0);
+      const double c = std::sqrt(gravity * depth);
+      const double uu = 0.5 * std::abs(uc[i] + uc[i + 1]);
+      const double vv = 0.5 * std::abs(vc[i] + vn[i]);
+      worst = std::max(worst, (uu + c) * dt / s.grid.dx +
+                                  (vv + c) * dt / s.grid.dy);
+    }
+  }
+  return worst;
+}
+
+HealthReport check_stability(const State& s, const ModelParams& params,
+                             double dt, const StabilityThresholds& t) {
+  NESTWX_REQUIRE(dt > 0.0, "stability check needs a positive dt");
+  HealthReport r;
+  // Finiteness first: with NaNs in the field every other metric is
+  // meaningless (and comparisons against NaN silently fail).
+  if (!all_finite(s)) {
+    r.finite = false;
+    r.reason = "non-finite field value";
+    return r;
+  }
+  // One row-wise pass for extrema; the courant scan shares its traversal
+  // but is kept as the standalone helper so Stepper-free callers (tests,
+  // tools) can reuse it.
+  bool first = true;
+  const int vstr = s.v.stride();
+  for (int j = 0; j < s.grid.ny; ++j) {
+    const double* hc = s.h.row(j);
+    const double* bc = s.b.row(j);
+    const double* uc = s.u.row(j);
+    const double* vc = s.v.row(j);
+    const double* vn = vc + vstr;
+    for (int i = 0; i < s.grid.nx; ++i) {
+      const double h = hc[i];
+      const double eta = h + bc[i];
+      const double uu = 0.5 * std::abs(uc[i] + uc[i + 1]);
+      const double vv = 0.5 * std::abs(vc[i] + vn[i]);
+      const double speed = uu + vv;
+      if (first) {
+        r.min_depth = h;
+        r.max_abs_eta = std::abs(eta);
+        r.max_speed = speed;
+        first = false;
+      } else {
+        r.min_depth = std::min(r.min_depth, h);
+        r.max_abs_eta = std::max(r.max_abs_eta, std::abs(eta));
+        r.max_speed = std::max(r.max_speed, speed);
+      }
+    }
+  }
+  r.courant = gravity_wave_courant(s, params.gravity, dt);
+  // Guard order is fixed (CFL, depth, speed, eta) so `reason` is
+  // deterministic when several trip at once.
+  if (r.courant > t.max_courant)
+    r.reason = "CFL exceeded";
+  else if (r.min_depth <= t.min_depth)
+    r.reason = "depth below minimum";
+  else if (r.max_speed > t.max_speed)
+    r.reason = "velocity above maximum";
+  else if (r.max_abs_eta > t.max_abs_eta)
+    r.reason = "free surface out of range";
+  return r;
+}
+
+}  // namespace nestwx::swm

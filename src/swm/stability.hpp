@@ -1,0 +1,66 @@
+#pragma once
+/// \file stability.hpp
+/// Per-step numerical health monitoring of a shallow-water state — the
+/// sensor half of the resilience layer (src/resilience). One check()
+/// call scans a state once and classifies it against configurable
+/// thresholds:
+///
+///  * finiteness — NaN/Inf anywhere in the prognostic fields (ghosts
+///    included), via the early-exit all_finite scan;
+///  * CFL — the gravity-wave Courant number max(|u|+√(gh))·dt/dx summed
+///    over both axes, the same quantity Stepper::courant reports;
+///  * extrema — min depth, max |velocity|, max |free surface| against
+///    physical sanity bounds.
+///
+/// The scan is row-wise over contiguous rows (the PR 3 fast-path idiom),
+/// single-threaded and in fixed traversal order, so the verdict is a pure
+/// function of the state bytes — identical at any thread count, which is
+/// what lets the guarded driver make bit-reproducible rollback decisions.
+
+#include <string>
+
+#include "swm/dynamics.hpp"
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+/// Sanity bounds for a healthy integration. Defaults suit the idealised
+/// "weather" scenes (km-scale grids, ~10²–10³ m depths, ~10–10² m/s
+/// winds); campaigns with exotic regimes should widen them.
+struct StabilityThresholds {
+  double max_courant = 1.0;   ///< RK3 practical gravity-wave CFL limit
+  double min_depth = 1e-2;    ///< m; h at or below this counts as drying
+  double max_speed = 300.0;   ///< m/s; supersonic winds are a blow-up
+  double max_abs_eta = 1e4;   ///< m; |η| beyond this is unphysical
+};
+
+/// What the monitor found. `healthy()` is the one-bit verdict; the rest
+/// diagnoses which guard tripped first (the `reason` string is
+/// deterministic — it names the check, not values that could differ in
+/// formatting across platforms).
+struct HealthReport {
+  bool finite = true;
+  double courant = 0.0;    ///< 0 when !finite (not meaningful)
+  double max_speed = 0.0;  ///< max face-averaged |velocity| component sum
+  double min_depth = 0.0;
+  double max_abs_eta = 0.0;
+  std::string reason;  ///< empty when healthy; first tripped guard else
+
+  bool healthy() const { return reason.empty(); }
+};
+
+/// Gravity-wave Courant number of `s` for step size `dt`: max over cells
+/// of (|u|+√(gh))·dt/dx + (|v|+√(gh))·dt/dy. Matches Stepper::courant
+/// bit for bit (same traversal, same arithmetic) without needing a
+/// Stepper instance. `s` must be finite.
+double gravity_wave_courant(const State& s, double gravity, double dt);
+
+/// Scan `s` once and classify. `dt` is the step size the state is about
+/// to be (or was just) integrated with — for a nested child, pass the
+/// child dt. Cheap enough to run every parent step: one early-exit
+/// finiteness pass plus one row-wise extrema/CFL pass.
+HealthReport check_stability(const State& s, const ModelParams& params,
+                             double dt,
+                             const StabilityThresholds& thresholds = {});
+
+}  // namespace nestwx::swm

@@ -1,0 +1,14 @@
+#include "util/hash.hpp"
+
+namespace nestwx::util {
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace nestwx::util

@@ -1,0 +1,22 @@
+#pragma once
+/// \file hash.hpp
+/// FNV-1a (64-bit) over raw bytes — the one hash nestwx uses everywhere a
+/// stable, portable digest is needed: plan-cache fingerprints
+/// (core::Fingerprint), golden-file fingerprints, and the checkpoint
+/// payload checksum. Centralising the byte loop keeps every digest in the
+/// repository bit-compatible with every other.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nestwx::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Fold `n` bytes at `data` into `state` (chainable: pass the previous
+/// return value to hash discontiguous buffers as one stream).
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t state = kFnvOffsetBasis);
+
+}  // namespace nestwx::util

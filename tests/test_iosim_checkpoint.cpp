@@ -1,20 +1,27 @@
+/// Checkpoint format v2 regression tests: bit-exact round trip and
+/// restart, plus the hardening guarantees — every corruption mode
+/// (missing, truncated at any section boundary, byte-flipped anywhere,
+/// garbled payload of the right length) is rejected with the matching
+/// typed error instead of silently seeding a restart with garbage.
+
 #include "iosim/checkpoint.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "swm/dynamics.hpp"
 #include "swm/init.hpp"
-#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace io = nestwx::iosim;
 namespace s = nestwx::swm;
-using nestwx::util::PreconditionError;
 
 namespace {
+
 std::string tmp_path(const char* name) {
   return ::testing::TempDir() + name;
 }
@@ -31,6 +38,22 @@ s::State busy_state() {
   s::apply_boundary(st, s::BoundaryKind::periodic);
   return st;
 }
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_bytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+std::size_t padded_doubles(int nx, int ny, int halo) {
+  return static_cast<std::size_t>(nx + 2 * halo) *
+         static_cast<std::size_t>(ny + 2 * halo);
+}
+
 }  // namespace
 
 TEST(Checkpoint, RoundTripIsBitExact) {
@@ -75,38 +98,139 @@ TEST(Checkpoint, RestartContinuesBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, WriteLeavesNoTempFile) {
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_atomic.bin");
+  io::save_checkpoint(st, path);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, OverwriteIsAtomic) {
+  // Overwriting an existing checkpoint goes through the temp file too, so
+  // the destination is always a complete checkpoint.
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_overwrite.bin");
+  io::save_checkpoint(st, path);
+  io::save_checkpoint(st, path);
+  EXPECT_NO_THROW(io::load_checkpoint(path));
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, RejectsMissingFile) {
   EXPECT_THROW(io::load_checkpoint("/no/such/ckpt.bin"),
-               PreconditionError);
+               io::CheckpointMissingError);
 }
 
 TEST(Checkpoint, RejectsGarbageFile) {
   const auto path = tmp_path("nestwx_garbage.bin");
-  {
-    std::ofstream f(path, std::ios::binary);
-    f << "this is not a checkpoint at all";
-  }
-  EXPECT_THROW(io::load_checkpoint(path), PreconditionError);
+  // Long enough to parse as a header; wrong magic.
+  write_bytes(path, std::string(200, 'x'));
+  EXPECT_THROW(io::load_checkpoint(path), io::CheckpointCorruptError);
   std::remove(path.c_str());
 }
 
-TEST(Checkpoint, RejectsTruncatedFile) {
+TEST(Checkpoint, RejectsShortHeader) {
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_shorthdr.bin");
+  io::save_checkpoint(st, path);
+  write_bytes(path, read_bytes(path).substr(0, 20));
+  EXPECT_THROW(io::load_checkpoint(path), io::CheckpointTruncatedError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncationAtEverySectionBoundary) {
+  // A file cut exactly at a section boundary is the nastiest truncation:
+  // the header parses, the geometry is valid, and pre-v2 loading could
+  // read right up to the cut. Every boundary must now be rejected.
   const auto st = busy_state();
   const auto path = tmp_path("nestwx_trunc.bin");
   io::save_checkpoint(st, path);
-  // Truncate to half size.
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  const auto size = static_cast<long>(in.tellg());
-  in.close();
-  std::string data(static_cast<std::size_t>(size / 2), '\0');
-  {
-    std::ifstream re(path, std::ios::binary);
-    re.read(data.data(), size / 2);
+  const std::string bytes = read_bytes(path);
+
+  const std::size_t header = 56;
+  const std::size_t h_bytes =
+      padded_doubles(st.grid.nx, st.grid.ny, st.grid.halo) * 8;
+  const std::size_t u_bytes =
+      padded_doubles(st.grid.nx + 1, st.grid.ny, st.grid.halo) * 8;
+  const std::size_t v_bytes =
+      padded_doubles(st.grid.nx, st.grid.ny + 1, st.grid.halo) * 8;
+  const std::size_t b_bytes = h_bytes;
+  ASSERT_EQ(bytes.size(), header + h_bytes + u_bytes + v_bytes + b_bytes);
+
+  const std::vector<std::size_t> boundaries = {
+      header,                              // header only, no payload
+      header + h_bytes,                    // after h
+      header + h_bytes + u_bytes,          // after u
+      header + h_bytes + u_bytes + v_bytes,  // after v, b missing
+      bytes.size() - 8,                    // one double short of complete
+  };
+  for (const std::size_t cut : boundaries) {
+    write_bytes(path, bytes.substr(0, cut));
+    EXPECT_THROW(io::load_checkpoint(path), io::CheckpointTruncatedError)
+        << "file truncated at byte " << cut << " must be rejected";
   }
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(data.data(), size / 2);
-  }
-  EXPECT_THROW(io::load_checkpoint(path), PreconditionError);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbledPayloadOfCorrectLength) {
+  // Right length, valid header, scrambled field bytes — only the checksum
+  // can catch this, and it must.
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_garbled.bin");
+  io::save_checkpoint(st, path);
+  std::string bytes = read_bytes(path);
+  for (std::size_t i = 200; i < 300; ++i) bytes[i] = 'z';
+  write_bytes(path, bytes);
+  EXPECT_THROW(io::load_checkpoint(path), io::CheckpointCorruptError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsEveryByteFlip) {
+  // Exhaustive single-bit-flip sweep over a small checkpoint: the
+  // checksum covers the header prefix and the payload, and the checksum
+  // field itself is compared, so no byte in the file may flip silently.
+  s::GridSpec g;
+  g.nx = 4;
+  g.ny = 3;
+  g.dx = g.dy = 1e3;
+  auto st = s::lake_at_rest(g, 10.0);
+  nestwx::util::Rng rng(7);
+  s::perturb(st, rng, 0.5);
+  const auto path = tmp_path("nestwx_flip.bin");
+  const auto flipped = tmp_path("nestwx_flip_mut.bin");
+  io::save_checkpoint(st, path);
+  const std::string bytes = read_bytes(path);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mut = bytes;
+    mut[i] = static_cast<char>(mut[i] ^ 0x40);
+    write_bytes(flipped, mut);
+    EXPECT_THROW(io::load_checkpoint(flipped), io::CheckpointError)
+        << "flip at byte " << i << " loaded silently";
+  }
+  std::remove(path.c_str());
+  std::remove(flipped.c_str());
+}
+
+TEST(Checkpoint, RejectsVersion1Files) {
+  // A v1 file (40-byte header, no checksum) must be refused, not
+  // misparsed: its version field reads 1.
+  const auto st = busy_state();
+  const auto path = tmp_path("nestwx_v1.bin");
+  io::save_checkpoint(st, path);
+  std::string bytes = read_bytes(path);
+  bytes[4] = 1;  // version field low byte (little-endian)
+  write_bytes(path, bytes);
+  EXPECT_THROW(io::load_checkpoint(path), io::CheckpointCorruptError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TypedErrorsShareTheCheckpointBase) {
+  // Callers that don't care which failure it was can catch the base.
+  try {
+    io::load_checkpoint("/no/such/ckpt.bin");
+    FAIL() << "expected a throw";
+  } catch (const io::CheckpointError&) {
+  }
 }

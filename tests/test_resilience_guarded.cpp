@@ -1,0 +1,324 @@
+/// Guarded-run tests: the resilience layer must turn a run that plain
+/// advance() NaN-poisons into a completed run (rollback + halved-dt
+/// retries, sibling quarantine), leave the healthy domains bit-identical
+/// to a run in which the bad sibling never existed, and produce
+/// byte-identical states and incident logs at any thread count. The
+/// incident log of the canonical blow-up scenario is locked in as a
+/// golden file (regenerate with NESTWX_REGEN_GOLDEN=1).
+///
+/// Initial conditions avoid libm transcendentals (flat lake + integer-RNG
+/// perturbation + additive spike) so the golden decisions are portable.
+
+#include "resilience/guarded_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/plan_key.hpp"
+#include "iosim/checkpoint.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace r = nestwx::resilience;
+namespace n = nestwx::nest;
+namespace s = nestwx::swm;
+
+namespace {
+
+constexpr double kDt = 40.0;  // ambient Courant ~0.7 on the 8 km parent
+constexpr int kSteps = 12;
+
+s::State flat_parent() {
+  s::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 8e3;
+  auto st = s::lake_at_rest(g, 500.0);
+  nestwx::util::Rng rng(11);
+  s::perturb(st, rng, 0.1);
+  s::apply_boundary(st, s::BoundaryKind::wall);
+  return st;
+}
+
+s::ModelParams wall_params() {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  return p;
+}
+
+std::vector<n::NestSpec> three_nests() {
+  return {n::NestSpec{"west", 4, 4, 10, 10, 2},
+          n::NestSpec{"east", 30, 4, 10, 10, 2},
+          n::NestSpec{"north", 18, 30, 10, 10, 2}};
+}
+
+/// A finite but violently unstable free-surface spike: CFL at the nominal
+/// dt and at dt/2 are both far above 1, so the offending domain strikes
+/// out deterministically.
+void inject_spike(s::State& st, double amplitude = 2e4) {
+  for (int j = 8; j < 12; ++j)
+    for (int i = 8; i < 12; ++i) st.h(i, j) += amplitude;
+}
+
+std::uint64_t field_hash(const s::Field2D& f) {
+  nestwx::core::Fingerprint fp;
+  for (double v : f.raw()) fp.mix(v);
+  return fp.value();
+}
+
+std::uint64_t state_hash(const s::State& st) {
+  nestwx::core::Fingerprint fp;
+  fp.mix(static_cast<double>(field_hash(st.h)));
+  fp.mix(static_cast<double>(field_hash(st.u)));
+  fp.mix(static_cast<double>(field_hash(st.v)));
+  return fp.value();
+}
+
+void expect_states_equal(const s::State& a, const s::State& b,
+                         const char* what) {
+  ASSERT_EQ(a.grid.nx, b.grid.nx) << what;
+  EXPECT_EQ(field_hash(a.h), field_hash(b.h)) << what << " h drifted";
+  EXPECT_EQ(field_hash(a.u), field_hash(b.u)) << what << " u drifted";
+  EXPECT_EQ(field_hash(a.v), field_hash(b.v)) << what << " v drifted";
+}
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+}  // namespace
+
+TEST(GuardedRun, PlainAdvanceIsNaNPoisonedByTheSpike) {
+  // The justification for the whole layer: without the guard the spike
+  // destroys the entire simulation, parent included, via feedback.
+  n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
+  inject_spike(sim.sibling(2).state());
+  bool poisoned = false;
+  for (int i = 0; i < 30 && !poisoned; ++i) {
+    sim.advance(kDt);
+    poisoned = !s::all_finite(sim.parent());
+  }
+  EXPECT_TRUE(poisoned) << "spike was expected to NaN-poison the parent";
+}
+
+TEST(GuardedRun, QuarantineMatchesRunWithoutBadSibling) {
+  // Acceptance: the guarded run completes, quarantines the bad sibling,
+  // and parent + healthy siblings finish bit-identical to a run where the
+  // bad sibling never existed.
+  n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
+  inject_spike(sim.sibling(2).state());
+  r::GuardedRunner guard(sim);
+  const auto report = guard.run(kDt, kSteps);
+
+  EXPECT_EQ(report.steps, kSteps);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 2u);
+  EXPECT_TRUE(sim.sibling_quarantined(2));
+  EXPECT_EQ(report.dt_halvings, 1);   // strike 1 at dt, strike 2 at dt/2
+  EXPECT_EQ(report.rollbacks, 2);
+  EXPECT_DOUBLE_EQ(report.final_dt, kDt);  // quarantine resets the backoff
+  EXPECT_TRUE(s::all_finite(sim.parent()));
+
+  auto specs = three_nests();
+  specs.pop_back();  // the bad sibling never existed
+  n::NestedSimulation ref(flat_parent(), wall_params(), specs);
+  ref.run(kDt, kSteps);
+  expect_states_equal(sim.parent(), ref.parent(), "parent");
+  expect_states_equal(sim.sibling(0).state(), ref.sibling(0).state(), "west");
+  expect_states_equal(sim.sibling(1).state(), ref.sibling(1).state(), "east");
+}
+
+TEST(GuardedRun, IncidentLogIsGolden) {
+  // Lock the full decision sequence in: blowup at dt, rollback, halve,
+  // blowup at dt/2, rollback, quarantine — then 12 clean steps.
+  n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
+  inject_spike(sim.sibling(2).state());
+  r::GuardedRunner guard(sim);
+  const std::string actual = r::report_to_json(guard.run(kDt, kSteps));
+
+  const std::string path =
+      std::string(NESTWX_GOLDEN_DIR) + "/guard_incidents.json";
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "guard decisions drifted from the golden incident log";
+}
+
+TEST(GuardedRun, DeterministicAcrossThreadCounts) {
+  // Acceptance: same states, same incident log, whether siblings run
+  // sequentially or on 2 or 8 threads.
+  struct Outcome {
+    std::string log;
+    std::uint64_t parent, s0, s1;
+  };
+  auto run_with = [&](int threads) {
+    n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
+    inject_spike(sim.sibling(2).state());
+    std::unique_ptr<nestwx::util::ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<nestwx::util::ThreadPool>(threads);
+      sim.set_thread_pool(pool.get());
+    }
+    r::GuardedRunner guard(sim);
+    const auto report = guard.run(kDt, kSteps);
+    Outcome o;
+    o.log = r::report_to_json(report);
+    o.parent = state_hash(sim.parent());
+    o.s0 = state_hash(sim.sibling(0).state());
+    o.s1 = state_hash(sim.sibling(1).state());
+    sim.set_thread_pool(nullptr);
+    return o;
+  };
+  const auto seq = run_with(1);
+  for (int threads : {2, 8}) {
+    const auto par = run_with(threads);
+    EXPECT_EQ(par.log, seq.log) << threads << " threads";
+    EXPECT_EQ(par.parent, seq.parent) << threads << " threads";
+    EXPECT_EQ(par.s0, seq.s0) << threads << " threads";
+    EXPECT_EQ(par.s1, seq.s1) << threads << " threads";
+  }
+}
+
+TEST(GuardedRun, HalvedDtRescuesMarginallyUnstableRun) {
+  // Parent-only run at a dt the monitor rejects (Courant ~1.1): one
+  // rollback + one halving, then clean sailing at dt/2.
+  n::NestedSimulation sim(flat_parent(), wall_params(), {});
+  r::GuardPolicy policy;
+  policy.restore_streak = 1000;  // keep the halving for the whole run
+  r::GuardedRunner guard(sim, policy);
+  const double hot_dt = 63.0;  // 2*c*dt/dx ~ 1.10 for c = sqrt(9.81*500)
+  const auto report = guard.run(hot_dt, 10);
+  EXPECT_EQ(report.steps, 10);
+  EXPECT_EQ(report.dt_halvings, 1);
+  EXPECT_EQ(report.rollbacks, 1);
+  EXPECT_EQ(report.dt_restorations, 0);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_DOUBLE_EQ(report.final_dt, hot_dt / 2.0);
+  EXPECT_TRUE(s::all_finite(sim.parent()));
+}
+
+TEST(GuardedRun, HealthyStreakRestoresDt) {
+  // With a short restore streak the guard keeps probing the nominal dt:
+  // halve, run the streak, restore, trip again, halve again.
+  n::NestedSimulation sim(flat_parent(), wall_params(), {});
+  r::GuardPolicy policy;
+  policy.restore_streak = 3;
+  r::GuardedRunner guard(sim, policy);
+  const auto report = guard.run(63.0, 12);
+  EXPECT_EQ(report.steps, 12);
+  EXPECT_GE(report.dt_restorations, 1);
+  EXPECT_GE(report.dt_halvings, 2);
+  EXPECT_TRUE(s::all_finite(sim.parent()));
+}
+
+TEST(GuardedRun, PreflightQuarantinesNonFiniteSibling) {
+  n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
+  sim.sibling(1).state().h(5, 5) = std::numeric_limits<double>::quiet_NaN();
+  r::GuardedRunner guard(sim);
+  const auto report = guard.run(kDt, kSteps);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 1u);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, r::IncidentKind::preflight_quarantine);
+  EXPECT_EQ(report.rollbacks, 0);  // caught before any stepping
+
+  auto specs = three_nests();
+  specs.erase(specs.begin() + 1);
+  n::NestedSimulation ref(flat_parent(), wall_params(), specs);
+  ref.run(kDt, kSteps);
+  expect_states_equal(sim.parent(), ref.parent(), "parent");
+}
+
+TEST(GuardedRun, HopelessParentExhaustsRetriesAndWritesLog) {
+  // A parent spike with no halvings or escalations allowed: the retry
+  // budget runs out and the incident log is still flushed to disk.
+  auto parent = flat_parent();
+  inject_spike(parent);
+  n::NestedSimulation sim(std::move(parent), wall_params(), {});
+  r::GuardPolicy policy;
+  policy.max_backoff = 0;
+  policy.max_escalations = 0;
+  policy.max_retries = 2;
+  policy.incident_log = tmp_path("nestwx_guard_fail.json");
+  r::GuardedRunner guard(sim, policy);
+  EXPECT_THROW(guard.run(kDt, kSteps), r::BlowupError);
+  std::ifstream in(policy.incident_log);
+  ASSERT_TRUE(in.good()) << "incident log must be written on failure too";
+  std::ostringstream log;
+  log << in.rdbuf();
+  EXPECT_NE(log.str().find("\"kind\": \"blowup\""), std::string::npos);
+  EXPECT_NE(log.str().find("\"kind\": \"rollback\""), std::string::npos);
+  std::remove(policy.incident_log.c_str());
+}
+
+TEST(GuardedRun, ViscosityEscalationEngagesWhenHalvingIsExhausted) {
+  auto parent = flat_parent();
+  inject_spike(parent);
+  n::NestedSimulation sim(std::move(parent), wall_params(), {});
+  r::GuardPolicy policy;
+  policy.max_backoff = 0;       // no halvings: escalation is the only move
+  policy.max_escalations = 1;
+  policy.max_retries = 3;
+  policy.viscosity_floor = 50.0;
+  policy.incident_log = tmp_path("nestwx_guard_visc.json");
+  r::GuardedRunner guard(sim, policy);
+  EXPECT_THROW(guard.run(kDt, kSteps), r::BlowupError);
+  EXPECT_DOUBLE_EQ(sim.params().viscosity, 50.0);
+  std::ifstream in(policy.incident_log);
+  ASSERT_TRUE(in.good());
+  std::ostringstream log;
+  log << in.rdbuf();
+  EXPECT_NE(log.str().find("\"kind\": \"viscosity_raised\""),
+            std::string::npos);
+  std::remove(policy.incident_log.c_str());
+}
+
+TEST(GuardedRun, OnDiskCheckpointsUseTheHardenedFormat) {
+  n::NestedSimulation sim(flat_parent(), wall_params(),
+                          {three_nests().front()});
+  r::GuardPolicy policy;
+  policy.checkpoint_every = 4;
+  policy.checkpoint_prefix = tmp_path("nestwx_guard_ckpt");
+  r::GuardedRunner guard(sim, policy);
+  const auto report = guard.run(kDt, 8);
+  EXPECT_EQ(report.checkpoints, 2);  // steps 4 and 8
+  // The final checkpoint is the final state, loadable and checksummed.
+  const auto parent_back =
+      nestwx::iosim::load_checkpoint(policy.checkpoint_prefix +
+                                     "_parent.ckpt");
+  expect_states_equal(parent_back, sim.parent(), "parent checkpoint");
+  const auto child_back = nestwx::iosim::load_checkpoint(
+      policy.checkpoint_prefix + "_s0.ckpt");
+  expect_states_equal(child_back, sim.sibling(0).state(), "child checkpoint");
+  std::remove((policy.checkpoint_prefix + "_parent.ckpt").c_str());
+  std::remove((policy.checkpoint_prefix + "_s0.ckpt").c_str());
+}
+
+TEST(GuardedRun, RejectsBadPolicy) {
+  n::NestedSimulation sim(flat_parent(), wall_params(), {});
+  r::GuardPolicy policy;
+  policy.snapshot_ring = 0;
+  EXPECT_THROW(r::GuardedRunner(sim, policy), nestwx::util::PreconditionError);
+  policy = {};
+  policy.viscosity_boost = 0.5;
+  EXPECT_THROW(r::GuardedRunner(sim, policy), nestwx::util::PreconditionError);
+}

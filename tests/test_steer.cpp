@@ -110,6 +110,28 @@ TEST(Steer, RelocateSiblingValidatesPlacement) {
   EXPECT_EQ(sim.sibling(0).spec().anchor_i, 20);
 }
 
+TEST(Steer, QuarantinedSiblingIsNotTracked) {
+  // A quarantined nest carries parent-interpolated data with no feature
+  // of its own: the controller must skip it entirely — no fixes, no
+  // relocations — and resume tracking when it is released.
+  auto sim = drifting_sim(6.0);
+  sim.set_sibling_quarantined(0, true);
+  st::MovingNestController ctrl({4, 1});
+  const double dt = sim.stable_dt(0.4);
+  const int anchor_before = sim.sibling(0).spec().anchor_i;
+  for (int k = 0; k < 20; ++k) {
+    sim.advance(dt);
+    ctrl.update(sim);
+  }
+  EXPECT_TRUE(ctrl.track().empty());
+  EXPECT_TRUE(ctrl.relocations().empty());
+  EXPECT_EQ(sim.sibling(0).spec().anchor_i, anchor_before);
+  sim.set_sibling_quarantined(0, false);
+  sim.advance(dt);
+  ctrl.update(sim);
+  EXPECT_FALSE(ctrl.track().empty());
+}
+
 TEST(Steer, PolicyValidation) {
   EXPECT_THROW(st::MovingNestController({0, 1}),
                nestwx::util::PreconditionError);

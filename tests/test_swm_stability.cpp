@@ -1,0 +1,138 @@
+/// Stability monitor tests: the health report must agree with the
+/// Stepper's own CFL arithmetic bit for bit, trip each guard on the
+/// state that violates it (in the documented order), and early-exit
+/// finiteness scans must see NaN/Inf anywhere in a field.
+
+#include "swm/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "swm/diagnostics.hpp"
+#include "swm/dynamics.hpp"
+#include "swm/init.hpp"
+
+namespace s = nestwx::swm;
+
+namespace {
+
+s::State vortex_state() {
+  s::GridSpec g;
+  g.nx = 48;
+  g.ny = 40;
+  g.dx = g.dy = 10e3;
+  auto st = s::depression(g, 1e-4, 0.5, 0.5, 500.0, 15.0, 80e3);
+  s::apply_boundary(st, s::BoundaryKind::wall);
+  return st;
+}
+
+}  // namespace
+
+TEST(AllFinite, FieldOverloadSeesNaNAnywhere) {
+  s::Field2D f(8, 6, 2, 1.0);
+  EXPECT_TRUE(s::all_finite(f));
+  f(7, 5) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(s::all_finite(f));
+  f(7, 5) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(s::all_finite(f));
+  f(7, 5) = 0.0;
+  // Ghost cells feed the stencils, so they count too.
+  f(-2, -2) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(s::all_finite(f));
+}
+
+TEST(AllFinite, StateChecksEveryPrognosticField) {
+  auto st = vortex_state();
+  EXPECT_TRUE(s::all_finite(st));
+  st.v(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(s::all_finite(st));
+}
+
+TEST(Stability, CourantMatchesStepperBitForBit) {
+  const auto st = vortex_state();
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.boundary = s::BoundaryKind::wall;
+  s::Stepper stepper(st.grid, p);
+  for (const double dt : {1.0, 25.0, 80.0}) {
+    EXPECT_EQ(s::gravity_wave_courant(st, p.gravity, dt),
+              stepper.courant(st, dt));
+  }
+}
+
+TEST(Stability, HealthyStateReportsHealthy) {
+  const auto st = vortex_state();
+  s::ModelParams p;
+  const double dt = s::Stepper(st.grid, p).stable_dt(st, 0.5);
+  const auto r = s::check_stability(st, p, dt);
+  EXPECT_TRUE(r.healthy());
+  EXPECT_TRUE(r.finite);
+  EXPECT_TRUE(r.reason.empty());
+  EXPECT_GT(r.courant, 0.0);
+  EXPECT_LE(r.courant, 1.0);
+  EXPECT_GT(r.min_depth, 0.0);
+}
+
+TEST(Stability, NonFiniteShortCircuits) {
+  auto st = vortex_state();
+  st.h(10, 10) = std::numeric_limits<double>::quiet_NaN();
+  const auto r = s::check_stability(st, s::ModelParams{}, 10.0);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_FALSE(r.finite);
+  EXPECT_EQ(r.reason, "non-finite field value");
+  EXPECT_EQ(r.courant, 0.0);  // not computed on a NaN state
+}
+
+TEST(Stability, CflGuardTrips) {
+  const auto st = vortex_state();
+  s::ModelParams p;
+  const double dt_ok = s::Stepper(st.grid, p).stable_dt(st, 0.5);
+  const auto r = s::check_stability(st, p, 10.0 * dt_ok);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_EQ(r.reason, "CFL exceeded");
+  EXPECT_GT(r.courant, 1.0);
+}
+
+TEST(Stability, DryingGuardTrips) {
+  auto st = vortex_state();
+  st.h(5, 5) = 1e-3;  // below the 1e-2 m drying threshold
+  const auto r = s::check_stability(st, s::ModelParams{}, 1.0);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_EQ(r.reason, "depth below minimum");
+  EXPECT_DOUBLE_EQ(r.min_depth, 1e-3);
+}
+
+TEST(Stability, SpeedGuardTrips) {
+  auto st = vortex_state();
+  // f = 0: no geostrophic surface tilt, so depth stays healthy and the
+  // speed guard is the one that trips; dt is tiny so CFL stays quiet.
+  s::add_zonal_flow(st, 0.0, 400.0);
+  s::apply_boundary(st, s::BoundaryKind::channel);
+  const auto r = s::check_stability(st, s::ModelParams{}, 0.5);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_EQ(r.reason, "velocity above maximum");
+  EXPECT_GT(r.max_speed, 300.0);
+}
+
+TEST(Stability, EtaGuardUsesThreshold) {
+  const auto st = vortex_state();
+  s::StabilityThresholds t;
+  t.max_abs_eta = 400.0;  // ambient eta is ~500 m
+  const auto r = s::check_stability(st, s::ModelParams{}, 0.5, t);
+  EXPECT_FALSE(r.healthy());
+  EXPECT_EQ(r.reason, "free surface out of range");
+  // Default thresholds accept the same state.
+  EXPECT_TRUE(s::check_stability(st, s::ModelParams{}, 0.5).healthy());
+}
+
+TEST(Stability, ReportIsDeterministic) {
+  const auto a = s::check_stability(vortex_state(), s::ModelParams{}, 30.0);
+  const auto b = s::check_stability(vortex_state(), s::ModelParams{}, 30.0);
+  EXPECT_EQ(a.courant, b.courant);
+  EXPECT_EQ(a.max_speed, b.max_speed);
+  EXPECT_EQ(a.min_depth, b.min_depth);
+  EXPECT_EQ(a.max_abs_eta, b.max_abs_eta);
+  EXPECT_EQ(a.reason, b.reason);
+}

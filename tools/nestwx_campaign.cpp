@@ -36,14 +36,35 @@
 ///   --fault-link-fraction=F  link share of random faults           [0.25]
 ///   --checkpoint-every=K     iterations between checkpoints        [10]
 ///   --detect-seconds=S       fault detection + relaunch latency    [30]
+///
+/// Numerical guard (real shallow-water proxy integrations):
+///   --guard                  run a small guarded SWM proxy of every
+///                            member (blow-up monitor, rollback + halved
+///                            dt retries, sibling quarantine); a member
+///                            that still blows up is reported failed
+///                            without aborting the campaign
+///   --guard-steps=N          parent steps per guarded proxy run    [12]
+///   --inject-blowup          seed a blow-up spike in member 0's last
+///                            nest (deterministic guard demo)
+///   --incident-log=PATH      write the merged per-member guard incident
+///                            log (deterministic JSON); also enables
+///                            hardened on-disk checkpoints every
+///                            --checkpoint-every guarded steps, at
+///                            PATH-derived prefixes
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "campaign/campaign.hpp"
 #include "fault/recovery.hpp"
+#include "nest/simulation.hpp"
+#include "resilience/guarded_run.hpp"
+#include "swm/init.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/configs.hpp"
@@ -76,6 +97,42 @@ campaign::Sharing parse_sharing(const std::string& name) {
   if (name == "time") return campaign::Sharing::time;
   NESTWX_REQUIRE(false, "unknown sharing mode: " + name);
   return campaign::Sharing::space;
+}
+
+/// Parent of a guarded proxy run: a fixed 48 x 48 / 8 km wall-bounded
+/// lake with a per-member seeded perturbation, so every member's real
+/// integration is deterministic and distinct.
+swm::State guard_proxy_parent(std::uint64_t seed) {
+  swm::GridSpec g;
+  g.nx = g.ny = 48;
+  g.dx = g.dy = 8e3;
+  auto parent = swm::lake_at_rest(g, 500.0);
+  util::Rng rng(seed);
+  swm::perturb(parent, rng, 0.1);
+  swm::apply_boundary(parent, swm::BoundaryKind::wall);
+  return parent;
+}
+
+/// One 10 x 10-cell r=2 nest per configured sibling (capped at four), in
+/// the corners of the proxy parent — the member's nest multiplicity at a
+/// resolution cheap enough to integrate for real.
+std::vector<nest::NestSpec> guard_proxy_nests(
+    const core::NestedConfig& config) {
+  static constexpr int kAnchors[4][2] = {{4, 4}, {30, 4}, {4, 30}, {30, 30}};
+  std::vector<nest::NestSpec> specs;
+  const std::size_t count = std::min<std::size_t>(config.siblings.size(), 4);
+  for (std::size_t k = 0; k < count; ++k)
+    specs.push_back(nest::NestSpec{"nest" + std::to_string(k),
+                                   kAnchors[k][0], kAnchors[k][1], 10, 10,
+                                   2});
+  return specs;
+}
+
+/// Strip the trailing newline of report_to_json for embedding in the
+/// merged per-member log.
+std::string chomp(std::string text) {
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
 }
 
 }  // namespace
@@ -245,6 +302,82 @@ int main(int argc, char** argv) {
                 << util::Table::num(fm.lost_seconds, 1) << " s, recovery "
                 << util::Table::num(fm.recovery_seconds, 1) << " s, goodput "
                 << util::Table::num(100.0 * fm.goodput, 1) << "%\n";
+    }
+
+    if (cli.has("guard")) {
+      // Real guarded shallow-water proxy of every member: the numerical
+      // resilience layer applied at campaign scale. A blow-up in one
+      // member is contained (rollback, halved dt, quarantine) or, at
+      // worst, fails that member alone.
+      const int guard_steps =
+          static_cast<int>(cli.get_int("guard-steps", 12));
+      NESTWX_REQUIRE(guard_steps >= 1, "--guard-steps must be positive");
+      const std::string incident_path = cli.get("incident-log", "");
+      const std::string ckpt_stem =
+          incident_path.substr(0, incident_path.find_last_of('.'));
+      const double guard_dt = 40.0;  // ambient Courant ~0.7 on the proxy
+      util::Table guard_table({"member", "steps", "rollbacks", "halvings",
+                               "escalations", "quarantined", "final dt",
+                               "status"});
+      std::ostringstream merged;
+      merged << "{\n  \"schema\": \"nestwx-guard-campaign-v1\",\n"
+             << "  \"members\": [";
+      int failed = 0, quarantined = 0, rollbacks = 0;
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        swm::ModelParams proxy_params;
+        proxy_params.boundary = swm::BoundaryKind::wall;
+        nest::NestedSimulation sim(guard_proxy_parent(m), proxy_params,
+                                   guard_proxy_nests(members[m].config));
+        if (cli.has("inject-blowup") && m == 0 && sim.sibling_count() > 0) {
+          auto& child = sim.sibling(sim.sibling_count() - 1).state();
+          for (int j = 8; j < 12; ++j)
+            for (int i = 8; i < 12; ++i) child.h(i, j) += 2e4;
+        }
+        resilience::GuardPolicy guard_policy;
+        if (!incident_path.empty() &&
+            fault_options.checkpoint_every > 0) {
+          guard_policy.checkpoint_every = fault_options.checkpoint_every;
+          guard_policy.checkpoint_prefix =
+              ckpt_stem + "_" + members[m].name;
+        }
+        std::string status = "completed";
+        resilience::GuardReport guard_report;
+        try {
+          resilience::GuardedRunner runner(sim, guard_policy);
+          guard_report = runner.run(guard_dt, guard_steps);
+        } catch (const resilience::BlowupError& blowup) {
+          status = "failed";
+          failed += 1;
+          (void)blowup;
+        }
+        quarantined += static_cast<int>(guard_report.quarantined.size());
+        rollbacks += guard_report.rollbacks;
+        guard_table.add_row(
+            {members[m].name, std::to_string(guard_report.steps),
+             std::to_string(guard_report.rollbacks),
+             std::to_string(guard_report.dt_halvings),
+             std::to_string(guard_report.escalations),
+             std::to_string(guard_report.quarantined.size()),
+             util::Table::num(guard_report.final_dt, 2), status});
+        merged << (m == 0 ? "\n" : ",\n") << "    {\"name\": "
+               << util::json_quote(members[m].name) << ", \"status\": "
+               << util::json_quote(status) << ", \"report\": "
+               << chomp(resilience::report_to_json(guard_report)) << "}";
+      }
+      merged << (members.empty() ? "" : "\n  ") << "]\n}\n";
+      std::cout << '\n';
+      guard_table.print(std::cout, "Guarded proxy runs (real SWM)");
+      std::cout << "\nguard: " << (members.size() - failed) << "/"
+                << members.size() << " members completed, " << rollbacks
+                << " rollback(s), " << quarantined
+                << " sibling(s) quarantined\n";
+      if (!incident_path.empty()) {
+        std::ofstream log(incident_path, std::ios::trunc);
+        NESTWX_REQUIRE(log.good(),
+                       "cannot open incident log: " + incident_path);
+        log << merged.str();
+        std::cout << "incident log written to " << incident_path << "\n";
+      }
     }
 
     if (cli.has("json")) {
