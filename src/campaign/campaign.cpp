@@ -21,8 +21,17 @@ std::string to_string(Sharing sharing) {
 
 CampaignScheduler::CampaignScheduler(
     topo::MachineParams machine, std::shared_ptr<const core::PerfModel> model)
-    : machine_(std::move(machine)), model_(std::move(model)) {
+    : CampaignScheduler(std::move(machine), std::move(model),
+                        std::make_shared<PlanCache>()) {}
+
+CampaignScheduler::CampaignScheduler(topo::MachineParams machine,
+                                     std::shared_ptr<const core::PerfModel> model,
+                                     std::shared_ptr<PlanCacheBase> cache)
+    : machine_(std::move(machine)),
+      model_(std::move(model)),
+      cache_(std::move(cache)) {
   NESTWX_REQUIRE(model_ != nullptr, "campaign scheduler needs a perf model");
+  NESTWX_REQUIRE(cache_ != nullptr, "campaign scheduler needs a plan cache");
 }
 
 CampaignScheduler CampaignScheduler::with_profiled_model(
@@ -110,16 +119,20 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
   // was cached before this campaign started or belongs to an earlier
   // member (input order). The single-flight cache guarantees exactly one
   // plan computation per distinct key, so these flags agree with the
-  // cache's own counters yet never depend on scheduling.
+  // cache's own counters yet never depend on scheduling. Members that hit
+  // an *earlier member of this campaign* are the single-flight joins —
+  // the deterministic count of cross-member plan coalescing.
+  std::size_t single_flight_joins = 0;
   if (options.use_plan_cache) {
     std::unordered_map<std::uint64_t, int> first_owner;
     for (int i = 0; i < n; ++i) {
-      if (cache_.peek(jobs[i].key) != nullptr) {
+      if (cache_->peek(jobs[i].key) != nullptr) {
         jobs[i].cache_hit = true;
         continue;
       }
       auto [it, inserted] = first_owner.emplace(jobs[i].key, i);
       jobs[i].cache_hit = !inserted;
+      if (!inserted) ++single_flight_joins;
     }
   }
 
@@ -127,6 +140,13 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
   // function of its Job; results land in pre-allocated slots, so the
   // outcome is identical at any thread count.
   std::vector<MemberResult> results(members.size());
+  // Recency stamps in input order: member i's accesses carry stamp
+  // base + i, so LRU eviction order is a function of the request
+  // sequence, not of host scheduling.
+  const std::uint64_t stamp_base =
+      options.use_plan_cache ? cache_->reserve_stamps(
+                                   static_cast<std::uint64_t>(n))
+                             : 0;
   auto run_member = [&](int i) {
     const MemberSpec& spec = members[i];
     const Job& job = jobs[i];
@@ -136,7 +156,8 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
     };
     PlanCache::PlanPtr plan;
     if (options.use_plan_cache) {
-      plan = cache_.get_or_compute(job.key, compute);
+      plan = cache_->get_or_compute(
+          job.key, stamp_base + static_cast<std::uint64_t>(i), compute);
     } else {
       plan = std::make_shared<const core::ExecutionPlan>(compute());
     }
@@ -194,6 +215,9 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
   }
   m.cache_hit_rate =
       static_cast<double>(m.cache_hits) / (m.cache_hits + m.cache_misses);
+  m.single_flight_joins = single_flight_joins;
+  if (options.use_plan_cache) cache_->trim();
+  report.cache = cache_->stats();
   return report;
 }
 
@@ -257,7 +281,14 @@ std::string report_to_json(const CampaignReport& report,
   os << "    \"latency_p99\": " << json_num(m.latency_p99) << ",\n";
   os << "    \"cache_hits\": " << m.cache_hits << ",\n";
   os << "    \"cache_misses\": " << m.cache_misses << ",\n";
-  os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << "\n";
+  os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << ",\n";
+  os << "    \"single_flight_joins\": " << m.single_flight_joins << ",\n";
+  // One line on purpose: eviction-invariance tests strip this line and
+  // byte-compare the rest of the report across cache capacities.
+  const PlanCacheStats& c = report.cache;
+  os << "    \"plan_cache\": {\"hits\": " << c.hits << ", \"misses\": "
+     << c.misses << ", \"evictions\": " << c.evictions << ", \"size\": "
+     << c.size << ", \"capacity\": " << c.capacity << "}\n";
   os << "  }\n";
   os << "}\n";
   return os.str();

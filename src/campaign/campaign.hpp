@@ -91,11 +91,21 @@ struct CampaignMetrics {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   double cache_hit_rate = 0.0;
+  /// Members whose plan was computed by an *earlier member of the same
+  /// campaign* (deterministic attribution of single-flight coalescing:
+  /// at high thread counts these members would have blocked on the
+  /// in-flight computation instead of duplicating it). The cache's own
+  /// waits counter is the scheduling-dependent measurement of the same
+  /// event and is deliberately kept out of the report.
+  std::size_t single_flight_joins = 0;
 };
 
 struct CampaignReport {
   std::vector<MemberResult> members;  ///< input order
   CampaignMetrics metrics;
+  /// Snapshot of the scheduler's plan cache counters after this run
+  /// (cumulative across runs of the same scheduler; deterministic).
+  PlanCacheStats cache;
 };
 
 /// Plans and executes campaigns against one machine, keeping the plan
@@ -105,9 +115,17 @@ struct CampaignReport {
 class CampaignScheduler {
  public:
   /// `model` predicts nest execution times for the space-sharer and the
-  /// in-run allocator (must not be null).
+  /// in-run allocator (must not be null). The scheduler owns a private
+  /// PlanCache.
   CampaignScheduler(topo::MachineParams machine,
                     std::shared_ptr<const core::PerfModel> model);
+
+  /// Same, but share `cache` (must not be null) — the serve layer passes
+  /// one ShardedPlanCache to every campaign it executes so plans are
+  /// reused across requests.
+  CampaignScheduler(topo::MachineParams machine,
+                    std::shared_ptr<const core::PerfModel> model,
+                    std::shared_ptr<PlanCacheBase> cache);
 
   /// Convenience: profile the default basis on `machine` and fit the
   /// paper's Delaunay model.
@@ -122,13 +140,14 @@ class CampaignScheduler {
 
   const topo::MachineParams& machine() const { return machine_; }
   const core::PerfModel& model() const { return *model_; }
-  PlanCache& cache() { return cache_; }
-  const PlanCache& cache() const { return cache_; }
+  PlanCacheBase& cache() { return *cache_; }
+  const PlanCacheBase& cache() const { return *cache_; }
+  std::shared_ptr<PlanCacheBase> shared_cache() const { return cache_; }
 
  private:
   topo::MachineParams machine_;
   std::shared_ptr<const core::PerfModel> model_;
-  PlanCache cache_;
+  std::shared_ptr<PlanCacheBase> cache_;
 };
 
 /// Serialise a report as JSON with stable key order and %.12g numbers.

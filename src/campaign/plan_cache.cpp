@@ -1,29 +1,39 @@
 #include "campaign/plan_cache.hpp"
 
+#include <algorithm>
+
 namespace nestwx::campaign {
 
-PlanCache::PlanPtr PlanCache::get_or_compute(
-    std::uint64_t key,
-    const std::function<core::ExecutionPlan()>& compute) {
+PlanCache::PlanPtr PlanCache::get_or_compute(std::uint64_t key,
+                                             std::uint64_t stamp,
+                                             const Compute& compute) {
   {
     std::unique_lock lock(mu_);
+    bool counted_wait = false;
     for (;;) {
       auto it = entries_.find(key);
       if (it == entries_.end()) break;  // we become the computer
       if (it->second.ready) {
         ++hits_;
+        it->second.last_used = std::max(it->second.last_used, stamp);
         return it->second.plan;
       }
       // In flight elsewhere: wait for it to land (or be withdrawn on
       // error, in which case the retry finds no entry and we compute
-      // ourselves).
+      // ourselves). Counted once per call, however often we re-check.
+      if (!counted_wait) {
+        ++waits_;
+        counted_wait = true;
+      }
       cv_.wait(lock, [&] {
         auto e = entries_.find(key);
         return e == entries_.end() || e->second.ready;
       });
     }
     ++misses_;
-    entries_.emplace(key, Entry{});  // reserve: not ready ⇒ in flight
+    Entry reserved;  // not ready ⇒ in flight
+    reserved.last_used = stamp;
+    entries_.emplace(key, std::move(reserved));
   }
 
   PlanPtr plan;
@@ -42,6 +52,7 @@ PlanCache::PlanPtr PlanCache::get_or_compute(
     auto& entry = entries_[key];
     entry.plan = plan;
     entry.ready = true;
+    entry.last_used = std::max(entry.last_used, stamp);
   }
   cv_.notify_all();
   return plan;
@@ -54,28 +65,63 @@ PlanCache::PlanPtr PlanCache::peek(std::uint64_t key) const {
   return it->second.plan;
 }
 
-std::size_t PlanCache::hits() const {
+std::uint64_t PlanCache::reserve_stamps(std::uint64_t n) {
   std::lock_guard lock(mu_);
-  return hits_;
+  const std::uint64_t base = next_stamp_;
+  next_stamp_ += n;
+  return base;
 }
 
-std::size_t PlanCache::misses() const {
+void PlanCache::set_capacity(std::size_t capacity) {
   std::lock_guard lock(mu_);
-  return misses_;
+  capacity_ = capacity;
 }
 
-std::size_t PlanCache::size() const {
+std::size_t PlanCache::trim() { return trim_to_capacity().size(); }
+
+std::vector<std::pair<std::uint64_t, PlanCache::PlanPtr>>
+PlanCache::trim_to_capacity() {
   std::lock_guard lock(mu_);
-  std::size_t n = 0;
+  std::vector<std::pair<std::uint64_t, PlanPtr>> evicted;
+  if (capacity_ == 0) return evicted;
+  // Candidates are the ready entries; in-flight computations are pinned
+  // (the quiescence contract means there normally are none).
+  struct Candidate {
+    std::uint64_t last_used;
+    std::uint64_t key;
+  };
+  std::vector<Candidate> ready;
+  ready.reserve(entries_.size());
   for (const auto& [key, entry] : entries_)
-    if (entry.ready) ++n;
-  return n;
+    if (entry.ready) ready.push_back({entry.last_used, key});
+  if (ready.size() <= capacity_) return evicted;
+  std::sort(ready.begin(), ready.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    return a.last_used != b.last_used ? a.last_used < b.last_used
+                                      : a.key < b.key;
+  });
+  const std::size_t excess = ready.size() - capacity_;
+  evicted.reserve(excess);
+  for (std::size_t i = 0; i < excess; ++i) {
+    auto it = entries_.find(ready[i].key);
+    evicted.emplace_back(ready[i].key, std::move(it->second.plan));
+    entries_.erase(it);
+  }
+  evictions_ += excess;
+  return evicted;
 }
 
-double PlanCache::hit_rate() const {
+PlanCacheStats PlanCache::stats() const {
   std::lock_guard lock(mu_);
-  const std::size_t total = hits_ + misses_;
-  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.waits = waits_;
+  s.evictions = evictions_;
+  s.capacity = capacity_;
+  for (const auto& [key, entry] : entries_)
+    if (entry.ready) ++s.size;
+  return s;
 }
 
 void PlanCache::clear() {
@@ -83,6 +129,8 @@ void PlanCache::clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  waits_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace nestwx::campaign

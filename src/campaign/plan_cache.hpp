@@ -8,6 +8,20 @@
 /// count or scheduling — for any request sequence, misses == number of
 /// distinct new keys, hits == requests − misses — which the campaign
 /// scheduler relies on for byte-identical reports at 1 vs N threads.
+///
+/// PlanCacheBase is the seam the serve layer shards through: the campaign
+/// scheduler and the fault-recovery replanner talk to the interface, so
+/// one process-wide ShardedPlanCache (src/serve) can back every campaign
+/// a service executes, giving cross-request plan reuse for free.
+///
+/// Eviction is deterministic LRU on *caller-supplied* recency stamps, not
+/// wall-clock access order: concurrent accesses would otherwise race for
+/// "most recent" and make the eviction set scheduling-dependent. Callers
+/// reserve a block of stamps up front (reserve_stamps) and assign them in
+/// input order; trimming to capacity happens only at quiescent points
+/// (end of a campaign run, between service completions), so the in-run
+/// high-water mark is capacity + distinct keys in flight and the evicted
+/// set is a pure function of the request sequence.
 
 #include <condition_variable>
 #include <cstdint>
@@ -15,40 +29,123 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/planner.hpp"
 
 namespace nestwx::campaign {
 
-class PlanCache {
+/// Counter snapshot of a plan cache (or an aggregate over shards).
+/// hits/misses/evictions/size are deterministic (single-flight plus
+/// quiescent-point trimming); `waits` counts calls that actually blocked
+/// on another thread's in-flight computation and is therefore
+/// scheduling-dependent — surface it on stdout or in tests, never in a
+/// byte-identical JSON report (the deterministic counterpart is the
+/// campaign metric single_flight_joins).
+struct PlanCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t waits = 0;
+  std::size_t evictions = 0;
+  std::size_t size = 0;      ///< ready entries
+  std::size_t capacity = 0;  ///< 0 = unbounded
+};
+
+/// Interface shared by the single PlanCache and the serve layer's sharded
+/// form, so campaign/fault code works against either.
+class PlanCacheBase {
  public:
   using PlanPtr = std::shared_ptr<const core::ExecutionPlan>;
+  using Compute = std::function<core::ExecutionPlan()>;
+
+  virtual ~PlanCacheBase() = default;
 
   /// Return the cached plan for `key`, or run `compute` (outside the
   /// cache lock) and cache its result. Concurrent callers with the same
   /// key wait for the in-flight computation instead of duplicating it.
   /// If `compute` throws, the in-flight entry is withdrawn, waiters fall
   /// back to computing themselves, and the exception propagates.
-  PlanPtr get_or_compute(std::uint64_t key,
-                         const std::function<core::ExecutionPlan()>& compute);
+  /// `stamp` is the access's recency for LRU eviction; pass deterministic
+  /// values (reserve_stamps + input order) when eviction determinism
+  /// matters. An entry's recency is the max stamp that touched it.
+  virtual PlanPtr get_or_compute(std::uint64_t key, std::uint64_t stamp,
+                                 const Compute& compute) = 0;
 
   /// Cached plan for `key` if present and ready; nullptr otherwise
-  /// (does not touch the hit/miss counters).
-  PlanPtr peek(std::uint64_t key) const;
+  /// (does not touch the counters or recency).
+  virtual PlanPtr peek(std::uint64_t key) const = 0;
 
-  std::size_t hits() const;
-  std::size_t misses() const;
-  std::size_t size() const;  ///< ready entries
-  double hit_rate() const;   ///< hits / (hits + misses); 0 when unused
+  /// Reserve `n` consecutive recency stamps; returns the first. Called
+  /// once per batch on one thread, this yields scheduling-independent
+  /// stamps for the batch's accesses.
+  virtual std::uint64_t reserve_stamps(std::uint64_t n) = 0;
+
+  /// Set the ready-entry capacity enforced by trim(); 0 = unbounded.
+  /// For a sharded cache this is the per-shard capacity.
+  virtual void set_capacity(std::size_t capacity) = 0;
+
+  /// Evict least-recently-stamped ready entries down to capacity (a
+  /// sharded cache also spills them to its disk tier). Must be called at
+  /// a quiescent point — no in-flight get_or_compute. Returns the number
+  /// of entries evicted.
+  virtual std::size_t trim() = 0;
+
+  virtual PlanCacheStats stats() const = 0;
 
   /// Drop all entries and reset the counters. Must not race an in-flight
   /// get_or_compute.
-  void clear();
+  virtual void clear() = 0;
+
+  /// Convenience: auto-stamped access (reserves one stamp). Recency is
+  /// then call-order-dependent, which is fine for unbounded caches and
+  /// single-threaded callers.
+  PlanPtr get_or_compute(std::uint64_t key, const Compute& compute) {
+    return get_or_compute(key, reserve_stamps(1), compute);
+  }
+
+  std::size_t hits() const { return stats().hits; }
+  std::size_t misses() const { return stats().misses; }
+  std::size_t waits() const { return stats().waits; }
+  std::size_t evictions() const { return stats().evictions; }
+  std::size_t size() const { return stats().size; }
+  std::size_t capacity() const { return stats().capacity; }
+
+  /// hits / (hits + misses); 0 when unused.
+  double hit_rate() const {
+    const PlanCacheStats s = stats();
+    const std::size_t total = s.hits + s.misses;
+    return total == 0 ? 0.0 : static_cast<double>(s.hits) / total;
+  }
+};
+
+/// The concrete single-map cache (one shard of the sharded form).
+class PlanCache : public PlanCacheBase {
+ public:
+  PlanCache() = default;
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  PlanPtr get_or_compute(std::uint64_t key, std::uint64_t stamp,
+                         const Compute& compute) override;
+  using PlanCacheBase::get_or_compute;  // the auto-stamped convenience
+
+  PlanPtr peek(std::uint64_t key) const override;
+  std::uint64_t reserve_stamps(std::uint64_t n) override;
+  void set_capacity(std::size_t capacity) override;
+  std::size_t trim() override;
+  PlanCacheStats stats() const override;
+  void clear() override;
+
+  /// trim(), but hand back the evicted entries in eviction order
+  /// (ascending recency stamp, then key) so a caller can spill them to a
+  /// persistence tier. Same quiescence requirement as trim().
+  std::vector<std::pair<std::uint64_t, PlanPtr>> trim_to_capacity();
 
  private:
   struct Entry {
-    PlanPtr plan;        // null while the plan is being computed
+    PlanPtr plan;  // null while the plan is being computed
     bool ready = false;
+    std::uint64_t last_used = 0;  ///< max recency stamp that touched it
   };
 
   mutable std::mutex mu_;
@@ -56,6 +153,10 @@ class PlanCache {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t waits_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t next_stamp_ = 0;
 };
 
 }  // namespace nestwx::campaign

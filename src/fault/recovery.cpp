@@ -123,6 +123,7 @@ FaultCampaignReport run_with_faults(
 
   FaultCampaignReport report;
   std::vector<MemberState> states(static_cast<std::size_t>(n));
+  std::size_t single_flight_joins = 0;
 
   std::unique_ptr<util::ThreadPool> pool;
   if (options.threads > 1)
@@ -183,6 +184,7 @@ FaultCampaignReport run_with_faults(
         } else {
           auto [it, inserted] = owner.emplace(st.key, wave[j]);
           st.cache_hit = !inserted;
+          if (!inserted) ++single_flight_joins;
         }
       }
     }
@@ -395,6 +397,9 @@ FaultCampaignReport run_with_faults(
   }
   m.cache_hit_rate =
       static_cast<double>(m.cache_hits) / (m.cache_hits + m.cache_misses);
+  m.single_flight_joins = single_flight_joins;
+  if (options.use_plan_cache) scheduler.cache().trim();
+  camp.cache = scheduler.cache().stats();
 
   fm.recoveries = static_cast<int>(report.recoveries.size());
   fm.failed_nodes = mask.failed_count();
@@ -510,6 +515,12 @@ std::string report_to_json(const FaultCampaignReport& report,
   os << "    \"cache_hits\": " << m.cache_hits << ",\n";
   os << "    \"cache_misses\": " << m.cache_misses << ",\n";
   os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << ",\n";
+  os << "    \"single_flight_joins\": " << m.single_flight_joins << ",\n";
+  // One line, matching the campaign serialiser (strippable in tests).
+  const campaign::PlanCacheStats& c = report.campaign.cache;
+  os << "    \"plan_cache\": {\"hits\": " << c.hits << ", \"misses\": "
+     << c.misses << ", \"evictions\": " << c.evictions << ", \"size\": "
+     << c.size << ", \"capacity\": " << c.capacity << "},\n";
   os << "    \"faults_injected\": " << fm.faults_injected << ",\n";
   os << "    \"faults_idle\": " << fm.faults_idle << ",\n";
   os << "    \"faults_after_end\": " << fm.faults_after_end << ",\n";

@@ -1,0 +1,303 @@
+#include "iosim/plan_store.hpp"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace nestwx::iosim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E575850;  // "NWXP"
+
+// Same layout discipline as the checkpoint header: checksum last, an
+// explicit reserved word instead of silent padding, and a static_assert
+// pinning the byte layout.
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kPlanStoreVersion;
+  std::uint64_t plan_key = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(Header) == 32, "plan store header layout drifted");
+
+constexpr std::size_t kChecksummedHeaderBytes =
+    sizeof(Header) - sizeof(std::uint64_t);
+static_assert(offsetof(Header, checksum) == kChecksummedHeaderBytes,
+              "checksum must be the last header field");
+
+/// Any count in a sane plan is far below this; a corrupt length field must
+/// fail cleanly, not drive a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxCount = 1u << 24;
+
+// --- Flat byte-stream serialisation ------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void rect(const procgrid::Rect& r) {
+    i32(r.x0);
+    i32(r.y0);
+    i32(r.w);
+    i32(r.h);
+  }
+  void partition(const core::GridPartition& p) {
+    rect(p.grid);
+    u32(static_cast<std::uint32_t>(p.rects.size()));
+    for (const auto& r : p.rects) rect(r);
+  }
+  const std::vector<char>& bytes() const { return bytes_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    bytes_.insert(bytes_.end(), c, c + n);
+  }
+  std::vector<char> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const std::vector<char>& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::int32_t i32() { return get<std::int32_t>(); }
+  double f64() { return get<double>(); }
+  procgrid::Rect rect() {
+    procgrid::Rect r;
+    r.x0 = i32();
+    r.y0 = i32();
+    r.w = i32();
+    r.h = i32();
+    return r;
+  }
+  std::uint32_t count(const char* what) {
+    const std::uint32_t n = u32();
+    if (n > kMaxCount)
+      throw CheckpointCorruptError("plan store " + std::string(what) +
+                                   " count " + std::to_string(n) +
+                                   " out of bounds: " + path_);
+    return n;
+  }
+  core::GridPartition partition() {
+    core::GridPartition p;
+    p.grid = rect();
+    const std::uint32_t n = count("partition rect");
+    p.rects.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) p.rects.push_back(rect());
+    return p;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <class T>
+  T get() {
+    if (pos_ + sizeof(T) > bytes_.size())
+      throw CheckpointCorruptError("plan store payload ends mid-field: " +
+                                   path_);
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  const std::vector<char>& bytes_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<char> serialize(const core::ExecutionPlan& plan) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(plan.strategy));
+  w.u32(static_cast<std::uint32_t>(plan.scheme));
+  w.i32(plan.parent_grid.px());
+  w.i32(plan.parent_grid.py());
+  w.u8(plan.partition.has_value() ? 1 : 0);
+  if (plan.partition) w.partition(*plan.partition);
+  w.u32(static_cast<std::uint32_t>(plan.weights.size()));
+  for (double v : plan.weights) w.f64(v);
+  w.u32(static_cast<std::uint32_t>(plan.child_partitions.size()));
+  for (const auto& cp : plan.child_partitions) {
+    w.u8(cp.has_value() ? 1 : 0);
+    if (cp) w.partition(*cp);
+  }
+  w.u8(plan.mapping.has_value() ? 1 : 0);
+  if (plan.mapping) {
+    const core::Mapping& m = *plan.mapping;
+    w.i32(m.torus().dx());
+    w.i32(m.torus().dy());
+    w.i32(m.torus().dz());
+    w.i32(m.cores_per_node());
+    w.u32(static_cast<std::uint32_t>(m.placements().size()));
+    for (const auto& p : m.placements()) {
+      w.i32(p.node.x);
+      w.i32(p.node.y);
+      w.i32(p.node.z);
+      w.i32(p.core);
+    }
+  }
+  return w.bytes();
+}
+
+core::ExecutionPlan deserialize(const std::vector<char>& bytes,
+                                const std::string& path) {
+  Reader r(bytes, path);
+  core::ExecutionPlan plan;
+  const std::uint32_t strategy = r.u32();
+  const std::uint32_t scheme = r.u32();
+  if (strategy > static_cast<std::uint32_t>(core::Strategy::concurrent))
+    throw CheckpointCorruptError("plan store strategy out of range: " + path);
+  if (scheme > static_cast<std::uint32_t>(core::MapScheme::multilevel))
+    throw CheckpointCorruptError("plan store map scheme out of range: " +
+                                 path);
+  plan.strategy = static_cast<core::Strategy>(strategy);
+  plan.scheme = static_cast<core::MapScheme>(scheme);
+  const std::int32_t px = r.i32();
+  const std::int32_t py = r.i32();
+  if (px < 1 || py < 1 || px > static_cast<std::int32_t>(kMaxCount) ||
+      py > static_cast<std::int32_t>(kMaxCount))
+    throw CheckpointCorruptError("plan store grid out of bounds: " + path);
+  plan.parent_grid = procgrid::Grid2D(px, py);
+  if (r.u8()) plan.partition = r.partition();
+  const std::uint32_t nweights = r.count("weight");
+  plan.weights.reserve(nweights);
+  for (std::uint32_t i = 0; i < nweights; ++i)
+    plan.weights.push_back(r.f64());
+  const std::uint32_t nchild = r.count("child partition");
+  plan.child_partitions.reserve(nchild);
+  for (std::uint32_t i = 0; i < nchild; ++i) {
+    if (r.u8())
+      plan.child_partitions.emplace_back(r.partition());
+    else
+      plan.child_partitions.emplace_back(std::nullopt);
+  }
+  if (r.u8()) {
+    const std::int32_t tx = r.i32();
+    const std::int32_t ty = r.i32();
+    const std::int32_t tz = r.i32();
+    const std::int32_t cores = r.i32();
+    constexpr std::int32_t kMaxDim = 1 << 16;
+    if (tx < 1 || ty < 1 || tz < 1 || cores < 1 || tx > kMaxDim ||
+        ty > kMaxDim || tz > kMaxDim || cores > kMaxDim)
+      throw CheckpointCorruptError("plan store torus out of bounds: " + path);
+    const std::uint32_t nslots = r.count("placement");
+    std::vector<core::Placement> slots;
+    slots.reserve(nslots);
+    for (std::uint32_t i = 0; i < nslots; ++i) {
+      core::Placement p;
+      p.node.x = r.i32();
+      p.node.y = r.i32();
+      p.node.z = r.i32();
+      p.core = r.i32();
+      slots.push_back(p);
+    }
+    // Reconstruct through a virtual-node machine with the serialised
+    // ranks-per-node: the Mapping constructor only consumes the torus
+    // dimensions and the rank count per node, and re-validates that the
+    // slots are an injective in-bounds assignment — a free structural
+    // integrity check on top of the checksum.
+    topo::MachineParams m;
+    m.torus_x = tx;
+    m.torus_y = ty;
+    m.torus_z = tz;
+    m.mode = topo::NodeMode::virtual_node;
+    m.cores_per_node = cores;
+    try {
+      plan.mapping.emplace(m, std::move(slots));
+    } catch (const util::Error& e) {
+      throw CheckpointCorruptError("plan store mapping invalid (" +
+                                   std::string(e.what()) + "): " + path);
+    }
+  }
+  if (!r.exhausted())
+    throw CheckpointCorruptError("plan store payload has trailing bytes: " +
+                                 path);
+  return plan;
+}
+
+}  // namespace
+
+void save_plan(const core::ExecutionPlan& plan, std::uint64_t key,
+               const std::string& path) {
+  const std::vector<char> payload = serialize(plan);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good())
+      throw CheckpointMissingError("cannot open plan store for writing: " +
+                                   tmp);
+    Header h;
+    h.plan_key = key;
+    h.payload_bytes = payload.size();
+    std::uint64_t sum = util::fnv1a(&h, kChecksummedHeaderBytes);
+    sum = util::fnv1a(payload.data(), payload.size(), sum);
+    h.checksum = sum;
+    f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw CheckpointError("plan store write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("cannot move plan store into place: " + path);
+  }
+}
+
+core::ExecutionPlan load_plan(const std::string& path,
+                              std::uint64_t expected_key) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good())
+    throw CheckpointMissingError("cannot open plan store: " + path);
+  Header h;
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!f.good())
+    throw CheckpointTruncatedError("plan store truncated (header): " + path);
+  if (h.magic != kMagic)
+    throw CheckpointCorruptError("not a nestwx plan store: " + path);
+  if (h.version != kPlanStoreVersion)
+    throw CheckpointCorruptError(
+        "unsupported plan store version " + std::to_string(h.version) +
+        " (expected " + std::to_string(kPlanStoreVersion) + ") in " + path);
+  if (h.plan_key != expected_key)
+    throw CheckpointCorruptError(
+        "plan store key mismatch (file holds " + util::json_hex(h.plan_key) +
+        ", expected " + util::json_hex(expected_key) + "): " + path);
+  if (h.payload_bytes > (1ull << 32))
+    throw CheckpointCorruptError("plan store payload size out of bounds: " +
+                                 path);
+  std::vector<char> payload(static_cast<std::size_t>(h.payload_bytes));
+  f.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!f.good())
+    throw CheckpointTruncatedError("plan store truncated (payload): " + path);
+  // The container is exactly header + payload: bytes past the declared
+  // payload mean a spliced or doubly-written file, not a longer plan.
+  if (f.peek() != std::ifstream::traits_type::eof())
+    throw CheckpointCorruptError("plan store has trailing bytes: " + path);
+  std::uint64_t sum = util::fnv1a(&h, kChecksummedHeaderBytes);
+  sum = util::fnv1a(payload.data(), payload.size(), sum);
+  if (sum != h.checksum)
+    throw CheckpointCorruptError("plan store checksum mismatch: " + path);
+  return deserialize(payload, path);
+}
+
+std::string plan_store_path(const std::string& dir, std::uint64_t key) {
+  // json_hex gives "0x" + 16 digits; strip the prefix for the file name.
+  return dir + "/plan-" + util::json_hex(key).substr(2) + ".bin";
+}
+
+}  // namespace nestwx::iosim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file plan_store.hpp
+/// Binary persistence of ExecutionPlans — the disk tier behind the serve
+/// layer's sharded plan cache. When the in-memory LRU tier trims an entry,
+/// its plan is spilled here under its 64-bit fingerprint; a later request
+/// with the same fingerprint reloads it instead of re-planning.
+///
+/// The container reuses the hardened v2 checkpoint pattern
+/// (iosim/checkpoint.cpp): a fixed header — magic, version, the plan's
+/// fingerprint, payload byte count, and an FNV-1a checksum covering the
+/// rest of the header and the whole payload — followed by the serialised
+/// plan. Writes are atomic (temp file + rename), loads validate every
+/// count before allocating and verify the checksum, and failures are the
+/// same typed errors the checkpoint reader throws
+/// (CheckpointMissingError / CheckpointTruncatedError /
+/// CheckpointCorruptError), so cache code distinguishes "never spilled"
+/// from "spill file damaged — recompute".
+
+#include <cstdint>
+#include <string>
+
+#include "core/planner.hpp"
+#include "iosim/checkpoint.hpp"
+
+namespace nestwx::iosim {
+
+/// Current on-disk plan container version.
+constexpr std::uint32_t kPlanStoreVersion = 2;
+
+/// Write `plan` to `path` atomically, tagged with its cache fingerprint
+/// `key`. Throws CheckpointError on I/O failure; `path` is untouched on
+/// failure.
+void save_plan(const core::ExecutionPlan& plan, std::uint64_t key,
+               const std::string& path);
+
+/// Read a plan back, verifying the checksum and that the stored
+/// fingerprint equals `expected_key` (a spill directory is keyed by
+/// fingerprint — a renamed or spliced file must not satisfy the wrong
+/// request). Throws CheckpointMissingError / CheckpointTruncatedError /
+/// CheckpointCorruptError.
+core::ExecutionPlan load_plan(const std::string& path,
+                              std::uint64_t expected_key);
+
+/// Canonical spill file name for `key` inside `dir`:
+/// dir + "/plan-" + 16-hex-digits + ".bin".
+std::string plan_store_path(const std::string& dir, std::uint64_t key);
+
+}  // namespace nestwx::iosim

@@ -1,0 +1,288 @@
+#include "serve/request.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace nestwx::serve {
+
+std::string to_string(RequestKind kind) {
+  return kind == RequestKind::submit ? "submit" : "amend";
+}
+
+namespace {
+
+// --- Strict flat-JSON scanner ------------------------------------------
+// Accepts exactly one object of "key": scalar pairs (string, number,
+// true/false). No nesting, no arrays, no duplicate keys: a request that
+// needs structure is a schema bug, and a file that does not scan is
+// corruption to surface, not repair.
+
+struct Scanner {
+  const std::string& text;
+  const std::string& origin;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RequestParseError("bad request (" + why + ") in " + origin);
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) fail("dangling escape");
+        const char esc = text[pos++];
+        if (esc != '"' && esc != '\\') fail("unsupported escape");
+        c = esc;
+      }
+      out.push_back(c);
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+  std::string scalar_token(bool& quoted) {
+    if (peek() == '"') {
+      quoted = true;
+      return string_token();
+    }
+    quoted = false;
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+    if (pos == start) fail("empty value");
+    return text.substr(start, pos - start);
+  }
+};
+
+struct Field {
+  std::string value;
+  bool quoted = false;
+};
+
+std::map<std::string, Field> scan_object(const std::string& text,
+                                         const std::string& origin) {
+  Scanner s{text, origin};
+  std::map<std::string, Field> fields;
+  s.expect('{');
+  if (s.peek() != '}') {
+    for (;;) {
+      const std::string key = s.string_token();
+      s.expect(':');
+      Field f;
+      f.value = s.scalar_token(f.quoted);
+      if (!fields.emplace(key, std::move(f)).second)
+        s.fail("duplicate key \"" + key + "\"");
+      const char next = s.peek();
+      if (next == ',') {
+        ++s.pos;
+        continue;
+      }
+      if (next == '}') break;
+      s.fail("expected ',' or '}'");
+    }
+  }
+  s.expect('}');
+  s.skip_ws();
+  if (s.pos != text.size()) s.fail("trailing content after object");
+  return fields;
+}
+
+/// Typed field access with take-and-check semantics: every consumed key is
+/// erased, and whatever remains at the end is an unknown-key error.
+class Fields {
+ public:
+  Fields(std::map<std::string, Field> fields, const std::string& origin)
+      : fields_(std::move(fields)), origin_(origin) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RequestParseError("bad request (" + why + ") in " + origin_);
+  }
+
+  bool has(const std::string& key) const { return fields_.count(key) > 0; }
+
+  std::string take_string(const std::string& key) {
+    const Field f = take(key);
+    if (!f.quoted) fail("\"" + key + "\" must be a string");
+    return f.value;
+  }
+  double take_number(const std::string& key) {
+    const Field f = take(key);
+    if (f.quoted) fail("\"" + key + "\" must be a number");
+    char* end = nullptr;
+    const double v = std::strtod(f.value.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+      fail("\"" + key + "\" is not a number");
+    return v;
+  }
+  long long take_integer(const std::string& key) {
+    const double v = take_number(key);
+    const long long i = static_cast<long long>(v);
+    if (static_cast<double>(i) != v) fail("\"" + key + "\" must be integral");
+    return i;
+  }
+  std::string take_string_or(const std::string& key,
+                             const std::string& fallback) {
+    return has(key) ? take_string(key) : fallback;
+  }
+  long long take_integer_or(const std::string& key, long long fallback) {
+    return has(key) ? take_integer(key) : fallback;
+  }
+
+  void finish() const {
+    if (!fields_.empty())
+      fail("unknown key \"" + fields_.begin()->first + "\"");
+  }
+
+ private:
+  Field take(const std::string& key) {
+    auto it = fields_.find(key);
+    if (it == fields_.end()) fail("missing key \"" + key + "\"");
+    Field f = std::move(it->second);
+    fields_.erase(it);
+    return f;
+  }
+  std::map<std::string, Field> fields_;
+  std::string origin_;
+};
+
+core::Strategy parse_strategy(Fields& f, const std::string& name) {
+  if (name == "concurrent") return core::Strategy::concurrent;
+  if (name == "sequential") return core::Strategy::sequential;
+  f.fail("unknown strategy \"" + name + "\"");
+}
+
+core::Allocator parse_allocator(Fields& f, const std::string& name) {
+  if (name == "huffman") return core::Allocator::huffman;
+  if (name == "huffman-single") return core::Allocator::huffman_single;
+  if (name == "naive-strips") return core::Allocator::naive_strips;
+  if (name == "equal") return core::Allocator::equal;
+  f.fail("unknown allocator \"" + name + "\"");
+}
+
+core::MapScheme parse_scheme(Fields& f, const std::string& name) {
+  if (name == "multilevel") return core::MapScheme::multilevel;
+  if (name == "partition") return core::MapScheme::partition;
+  if (name == "txyz") return core::MapScheme::txyz;
+  if (name == "xyzt") return core::MapScheme::xyzt;
+  f.fail("unknown map scheme \"" + name + "\"");
+}
+
+campaign::Sharing parse_sharing(Fields& f, const std::string& name) {
+  if (name == "space") return campaign::Sharing::space;
+  if (name == "time") return campaign::Sharing::time;
+  f.fail("unknown sharing \"" + name + "\"");
+}
+
+}  // namespace
+
+Request parse_request(const std::string& text, const std::string& origin) {
+  Fields f(scan_object(text, origin), origin);
+  Request r;
+  const std::string kind = f.take_string("kind");
+  if (kind == "submit")
+    r.kind = RequestKind::submit;
+  else if (kind == "amend")
+    r.kind = RequestKind::amend;
+  else
+    f.fail("unknown kind \"" + kind + "\"");
+  r.id = f.take_string("id");
+  if (r.id.empty()) f.fail("\"id\" must be non-empty");
+  r.arrival = f.take_number("arrival");
+  if (!(r.arrival >= 0.0)) f.fail("\"arrival\" must be >= 0");
+  r.priority = static_cast<int>(f.take_integer_or("priority", 0));
+
+  if (r.kind == RequestKind::submit) {
+    r.seed = static_cast<std::uint64_t>(f.take_integer_or("seed", 42));
+    r.members = static_cast<int>(f.take_integer_or("members", 4));
+    if (r.members < 1) f.fail("\"members\" must be >= 1");
+    r.iterations = static_cast<int>(f.take_integer_or("iterations", 50));
+    if (r.iterations < 1) f.fail("\"iterations\" must be >= 1");
+    r.strategy =
+        parse_strategy(f, f.take_string_or("strategy", "concurrent"));
+    r.allocator =
+        parse_allocator(f, f.take_string_or("allocator", "huffman"));
+    r.scheme = parse_scheme(f, f.take_string_or("scheme", "multilevel"));
+    r.sharing = parse_sharing(f, f.take_string_or("sharing", "space"));
+    r.max_concurrent =
+        static_cast<int>(f.take_integer_or("max_concurrent", 0));
+    if (r.max_concurrent < 0) f.fail("\"max_concurrent\" must be >= 0");
+  } else {
+    r.target = f.take_string("target");
+    if (r.target.empty()) f.fail("\"target\" must be non-empty");
+    r.add_members = static_cast<int>(f.take_integer_or("add_members", 0));
+    r.remove_members =
+        static_cast<int>(f.take_integer_or("remove_members", 0));
+    if (r.add_members < 0 || r.remove_members < 0)
+      f.fail("member deltas must be >= 0");
+    if (r.add_members == 0 && r.remove_members == 0)
+      f.fail("amend must add or remove members");
+  }
+  f.finish();
+  return r;
+}
+
+std::uint64_t submit_fingerprint(const Request& r) {
+  // Work-defining scalars only, hashed as fixed-width values in a fixed
+  // order (no identity fields: two ids asking for the same campaign must
+  // collide — that collision *is* the dedup).
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto fold = [&h](std::uint64_t v) { h = util::fnv1a(&v, sizeof(v), h); };
+  fold(r.seed);
+  fold(static_cast<std::uint64_t>(r.members));
+  fold(static_cast<std::uint64_t>(r.iterations));
+  fold(static_cast<std::uint64_t>(r.strategy));
+  fold(static_cast<std::uint64_t>(r.allocator));
+  fold(static_cast<std::uint64_t>(r.scheme));
+  fold(static_cast<std::uint64_t>(r.sharing));
+  fold(static_cast<std::uint64_t>(r.max_concurrent));
+  return h;
+}
+
+std::string to_json(const Request& r) {
+  std::ostringstream os;
+  os << "{\"kind\": " << util::json_quote(to_string(r.kind))
+     << ", \"id\": " << util::json_quote(r.id)
+     << ", \"priority\": " << r.priority
+     << ", \"arrival\": " << util::json_num(r.arrival);
+  if (r.kind == RequestKind::submit) {
+    os << ", \"seed\": " << r.seed << ", \"members\": " << r.members
+       << ", \"iterations\": " << r.iterations
+       << ", \"strategy\": " << util::json_quote(core::to_string(r.strategy))
+       << ", \"allocator\": "
+       << util::json_quote(core::to_string(r.allocator))
+       << ", \"scheme\": " << util::json_quote(core::to_string(r.scheme))
+       << ", \"sharing\": "
+       << util::json_quote(campaign::to_string(r.sharing))
+       << ", \"max_concurrent\": " << r.max_concurrent;
+  } else {
+    os << ", \"target\": " << util::json_quote(r.target)
+       << ", \"add_members\": " << r.add_members
+       << ", \"remove_members\": " << r.remove_members;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nestwx::serve

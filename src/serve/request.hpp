@@ -1,0 +1,81 @@
+#pragma once
+/// \file request.hpp
+/// Campaign service requests: the wire schema of the file-backed request
+/// queue (one flat JSON object per .req spool file).
+///
+/// A request never carries configurations by value — an ensemble is a
+/// pure function of (seed, members) through workload::random_configs, so
+/// the payload is a handful of scalars and two requests with equal
+/// payloads are *provably* the same work. That is what makes cross-request
+/// dedup sound: the service coalesces identical-fingerprint requests onto
+/// one execution instead of re-running the campaign.
+///
+/// Two kinds:
+///  * submit — run an ensemble campaign (seed, members, iterations,
+///    strategy/allocator/scheme, sharing, priority, virtual arrival).
+///  * amend  — members join or leave an earlier request's ensemble; the
+///    service splices the target in place while it is still queued, or
+///    synthesises an incremental re-plan (same seed ⇒ unchanged members
+///    hit the plan cache) once it is in service or done.
+///
+/// Parsing is strict: unknown keys, malformed JSON, or out-of-range
+/// values throw RequestParseError, and the daemon moves the offending
+/// spool file to rejected/ instead of guessing — the queue-crash-safety
+/// counterpart of the checkpoint reader's typed corruption errors.
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "core/planner.hpp"
+#include "util/error.hpp"
+
+namespace nestwx::serve {
+
+/// A spool file that is not a well-formed request.
+class RequestParseError : public util::Error {
+ public:
+  explicit RequestParseError(const std::string& what) : util::Error(what) {}
+};
+
+enum class RequestKind { submit, amend };
+
+std::string to_string(RequestKind kind);
+
+struct Request {
+  RequestKind kind = RequestKind::submit;
+  std::string id;        ///< unique request identifier (required)
+  int priority = 0;      ///< higher serves first (with aging)
+  double arrival = 0.0;  ///< virtual arrival time, seconds (required)
+
+  // submit payload — the ensemble as a pure function of these scalars.
+  std::uint64_t seed = 42;
+  int members = 4;
+  int iterations = 50;
+  core::Strategy strategy = core::Strategy::concurrent;
+  core::Allocator allocator = core::Allocator::huffman;
+  core::MapScheme scheme = core::MapScheme::multilevel;
+  campaign::Sharing sharing = campaign::Sharing::space;
+  int max_concurrent = 0;  ///< members per wave; 0 = face limit
+
+  // amend payload.
+  std::string target;      ///< id of the request being amended
+  int add_members = 0;     ///< members joining (appended to the ensemble)
+  int remove_members = 0;  ///< members leaving (dropped from the tail)
+};
+
+/// Fingerprint of a submit request's *work* — every payload field that
+/// determines the campaign outcome, excluding identity (id, priority,
+/// arrival). Equal fingerprints ⇒ byte-identical campaign reports, the
+/// invariant cross-request coalescing relies on.
+std::uint64_t submit_fingerprint(const Request& r);
+
+/// Parse one flat JSON request object. `origin` names the source (file
+/// path) in error messages. Throws RequestParseError.
+Request parse_request(const std::string& text, const std::string& origin);
+
+/// Serialise a request as the flat JSON object parse_request accepts
+/// (stable key order; round-trips exactly).
+std::string to_json(const Request& r);
+
+}  // namespace nestwx::serve

@@ -1,0 +1,478 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/perf_model.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/virtual_clock.hpp"
+#include "workload/configs.hpp"
+
+namespace nestwx::serve {
+
+std::string to_string(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::completed: return "completed";
+    case OutcomeStatus::coalesced: return "coalesced";
+    case OutcomeStatus::rejected: return "rejected";
+    case OutcomeStatus::evicted: return "evicted";
+    case OutcomeStatus::amend_applied: return "amend-applied";
+    case OutcomeStatus::amend_replanned: return "amend-replanned";
+    case OutcomeStatus::amend_invalid: return "amend-invalid";
+  }
+  return "?";
+}
+
+CampaignServer::CampaignServer(topo::MachineParams machine,
+                               std::shared_ptr<const core::PerfModel> model,
+                               ServeOptions options)
+    : machine_(std::move(machine)),
+      options_(std::move(options)),
+      cache_(std::make_shared<ShardedPlanCache>(options_.cache)),
+      scheduler_(machine_, std::move(model), cache_) {
+  NESTWX_REQUIRE(options_.threads >= 1, "server needs at least one thread");
+  NESTWX_REQUIRE(options_.queue_depth >= 1,
+                 "admission queue needs at least one slot");
+  NESTWX_REQUIRE(options_.aging_rate >= 0.0,
+                 "aging rate must be non-negative");
+}
+
+CampaignServer CampaignServer::with_profiled_model(
+    const topo::MachineParams& machine, ServeOptions options) {
+  auto model = std::make_shared<core::DelaunayPerfModel>(
+      core::DelaunayPerfModel::fit(wrfsim::profile_basis(
+          machine, core::default_basis_domains())));
+  return CampaignServer(machine, std::move(model), std::move(options));
+}
+
+namespace {
+
+/// A queued (admitted, not yet serving) primary request.
+struct Pending {
+  std::size_t outcome = 0;  ///< index into the outcomes vector
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seq = 0;  ///< admission order, FIFO tie-break
+  std::vector<std::size_t> followers;  ///< coalesced outcome indices
+};
+
+struct EventRef {
+  bool completion = false;
+  std::size_t outcome = 0;
+};
+
+constexpr int kCompletionTier = 0;  ///< completions before equal-time
+constexpr int kArrivalTier = 1;     ///< arrivals free the machine first
+
+}  // namespace
+
+ServeReport CampaignServer::execute(std::span<const Request> requests) {
+  ServeReport report;
+  report.outcomes.reserve(requests.size());
+  for (const Request& r : requests) {
+    RequestOutcome outcome;
+    outcome.request = r;
+    outcome.members = r.members;
+    if (r.kind == RequestKind::submit)
+      outcome.fingerprint = submit_fingerprint(r);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  report.metrics.submitted = requests.size();
+
+  // First registration of an id wins target lookup; amends can only aim
+  // at requests that existed before them.
+  std::unordered_map<std::string, std::size_t> by_id;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i)
+    by_id.emplace(report.outcomes[i].request.id, i);
+
+  util::VirtualClock clock;
+  util::EventQueue<EventRef> events;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i)
+    events.push(report.outcomes[i].request.arrival, kArrivalTier,
+                EventRef{false, i});
+
+  std::vector<Pending> queued;
+  std::optional<Pending> serving;
+  std::uint64_t next_seq = 0;
+  ServeMetrics& m = report.metrics;
+  std::vector<double> waits;
+
+  const auto effective = [&](const Pending& p, double now) {
+    const Request& r = report.outcomes[p.outcome].request;
+    return r.priority + options_.aging_rate * (now - r.arrival);
+  };
+
+  // Serve one campaign: build the ensemble from the request's scalars and
+  // run it through the shared scheduler/cache. Sequential in virtual time
+  // (one machine); parallel on the host inside the campaign.
+  const auto start_service = [&](Pending p) {
+    RequestOutcome& out = report.outcomes[p.outcome];
+    const Request& r = out.request;
+    campaign::CampaignOptions copt;
+    copt.threads = options_.threads;
+    copt.sharing = r.sharing;
+    copt.max_concurrent = r.max_concurrent;
+    copt.use_plan_cache = true;
+    copt.run = options_.run;
+    util::Rng rng(r.seed);
+    const auto configs = workload::random_configs(rng, out.members);
+    std::vector<campaign::MemberSpec> members;
+    members.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      campaign::MemberSpec spec;
+      spec.name = "m" + std::to_string(i);
+      spec.config = configs[i];
+      spec.iterations = r.iterations;
+      spec.strategy = r.strategy;
+      spec.allocator = r.allocator;
+      spec.scheme = r.scheme;
+      members.push_back(std::move(spec));
+    }
+    const campaign::CampaignReport rep = scheduler_.run(members, copt);
+    out.start = clock.now();
+    out.queue_wait = clock.now() - r.arrival;
+    out.service_seconds = rep.metrics.makespan;
+    out.finish = clock.now() + out.service_seconds;
+    out.campaign = rep.metrics;
+    out.executed = true;
+    m.busy_seconds += out.service_seconds;
+    events.push(out.finish, kCompletionTier, EventRef{true, p.outcome});
+    serving = std::move(p);
+  };
+
+  const auto start_next = [&] {
+    if (serving.has_value() || queued.empty()) return;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queued.size(); ++i) {
+      const double a = effective(queued[i], clock.now());
+      const double b = effective(queued[best], clock.now());
+      if (a > b || (a == b && queued[i].seq < queued[best].seq)) best = i;
+    }
+    Pending p = std::move(queued[best]);
+    queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(best));
+    start_service(std::move(p));
+  };
+
+  const auto handle_submit = [&](std::size_t index) {
+    RequestOutcome& out = report.outcomes[index];
+    // Cross-request dedup: identical work already in service or queued?
+    if (serving.has_value() &&
+        serving->fingerprint == out.fingerprint) {
+      serving->followers.push_back(index);
+      return;
+    }
+    for (Pending& p : queued) {
+      if (p.fingerprint == out.fingerprint) {
+        p.followers.push_back(index);
+        return;
+      }
+    }
+    Pending p;
+    p.outcome = index;
+    p.fingerprint = out.fingerprint;
+    p.seq = next_seq++;
+    if (queued.size() < options_.queue_depth) {
+      queued.push_back(std::move(p));
+      return;
+    }
+    // Queue full: fight the weakest follower-free queued entry. Entries
+    // with followers are immune — evicting one would orphan coalesced
+    // requests that already hold a response promise.
+    std::size_t victim = queued.size();
+    for (std::size_t i = 0; i < queued.size(); ++i) {
+      if (!queued[i].followers.empty()) continue;
+      if (victim == queued.size()) {
+        victim = i;
+        continue;
+      }
+      const double a = effective(queued[i], clock.now());
+      const double b = effective(queued[victim], clock.now());
+      // Weakest effective priority; among equals the youngest admission
+      // loses (FIFO fairness for equal priorities).
+      if (a < b || (a == b && queued[i].seq > queued[victim].seq))
+        victim = i;
+    }
+    if (victim == queued.size() ||
+        effective(p, clock.now()) <= effective(queued[victim], clock.now())) {
+      out.status = OutcomeStatus::rejected;
+      out.detail = "queue full";
+      ++m.rejected;
+      return;
+    }
+    RequestOutcome& evicted = report.outcomes[queued[victim].outcome];
+    evicted.status = OutcomeStatus::evicted;
+    evicted.detail = "displaced by " + out.request.id;
+    ++m.evicted;
+    queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(victim));
+    queued.push_back(std::move(p));
+  };
+
+  const auto handle_amend = [&](std::size_t index) {
+    RequestOutcome& out = report.outcomes[index];
+    const Request& r = out.request;
+    const auto target_it = by_id.find(r.target);
+    if (target_it == by_id.end()) {
+      out.status = OutcomeStatus::amend_invalid;
+      out.detail = "unknown target " + r.target;
+      ++m.amends_invalid;
+      return;
+    }
+    RequestOutcome& target = report.outcomes[target_it->second];
+    if (target.request.kind != RequestKind::submit) {
+      out.status = OutcomeStatus::amend_invalid;
+      out.detail = "target " + r.target + " is not a submit";
+      ++m.amends_invalid;
+      return;
+    }
+    const int new_members =
+        target.members + r.add_members - r.remove_members;
+    if (new_members < 1) {
+      out.status = OutcomeStatus::amend_invalid;
+      out.detail = "target " + r.target + " would drop below one member";
+      ++m.amends_invalid;
+      return;
+    }
+    // Still queued and un-coalesced: splice the ensemble in place.
+    for (Pending& p : queued) {
+      if (p.outcome != target_it->second) continue;
+      if (p.followers.empty()) {
+        target.members = new_members;
+        Request amended = target.request;
+        amended.members = new_members;
+        target.fingerprint = submit_fingerprint(amended);
+        p.fingerprint = target.fingerprint;
+        out.status = OutcomeStatus::amend_applied;
+        out.detail = "spliced into queued " + r.target;
+        ++m.amends_applied;
+        return;
+      }
+      break;  // coalesced target: fall through to a re-plan
+    }
+    // In service, done, or pinned by followers: synthesise an incremental
+    // re-plan. Same ensemble seed, new member count — every unchanged
+    // member's plan is already in the shared cache.
+    Request replan = target.request;
+    replan.id = r.target + "-replan" + std::to_string(index);
+    replan.members = new_members;
+    replan.priority = std::max(r.priority, target.request.priority);
+    replan.arrival = clock.now();
+    RequestOutcome synth;
+    synth.request = replan;
+    synth.members = replan.members;
+    synth.fingerprint = submit_fingerprint(replan);
+    const std::size_t synth_index = report.outcomes.size();
+    report.outcomes.push_back(std::move(synth));
+    by_id.emplace(replan.id, synth_index);
+    events.push(clock.now(), kArrivalTier, EventRef{false, synth_index});
+    // push_back may have reallocated: `out` and `target` are dead here.
+    RequestOutcome& amend_out = report.outcomes[index];
+    amend_out.status = OutcomeStatus::amend_replanned;
+    amend_out.detail = "re-plan " + replan.id;
+    ++m.amends_replanned;
+  };
+
+  const auto complete = [&] {
+    NESTWX_ASSERT(serving.has_value(), "completion event with idle server");
+    RequestOutcome& primary = report.outcomes[serving->outcome];
+    primary.status = OutcomeStatus::completed;
+    ++m.completed;
+    waits.push_back(primary.queue_wait);
+    for (std::size_t follower_index : serving->followers) {
+      RequestOutcome& follower = report.outcomes[follower_index];
+      follower.status = OutcomeStatus::coalesced;
+      follower.detail = "shared " + primary.request.id;
+      follower.members = primary.members;
+      follower.start = std::max(follower.request.arrival, primary.start);
+      follower.finish = primary.finish;
+      follower.queue_wait = follower.start - follower.request.arrival;
+      follower.service_seconds = primary.service_seconds;
+      follower.campaign = primary.campaign;
+      ++m.coalesced;
+      waits.push_back(follower.queue_wait);
+    }
+    m.drain_makespan = clock.now();
+    serving.reset();
+  };
+
+  while (!events.empty()) {
+    const auto event = events.pop();
+    clock.advance_to(event.time);
+    if (event.payload.completion) {
+      complete();
+    } else {
+      const RequestOutcome& out = report.outcomes[event.payload.outcome];
+      if (out.request.kind == RequestKind::submit)
+        handle_submit(event.payload.outcome);
+      else
+        handle_amend(event.payload.outcome);
+    }
+    start_next();
+  }
+  NESTWX_ASSERT(!serving.has_value() && queued.empty(),
+                "drain left work behind");
+
+  m.utilization =
+      m.drain_makespan > 0.0 ? m.busy_seconds / m.drain_makespan : 0.0;
+  m.wait_mean = util::mean(waits);
+  m.wait_p50 = util::percentile(waits, 50.0);
+  m.wait_p99 = util::percentile(waits, 99.0);
+  const double served = static_cast<double>(m.completed + m.coalesced);
+  m.sustained_per_hour =
+      m.drain_makespan > 0.0 ? served * 3600.0 / m.drain_makespan : 0.0;
+  report.cache = cache_->sharded_stats();
+  return report;
+}
+
+std::vector<Request> generate_requests(std::uint64_t seed, int count,
+                                       double mean_gap) {
+  NESTWX_REQUIRE(count >= 1, "need at least one request");
+  NESTWX_REQUIRE(mean_gap > 0.0, "mean inter-arrival gap must be positive");
+  util::Rng rng(seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::vector<std::size_t> submits;
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    // Uniform jitter, not exponential: std::log is not bit-portable
+    // across libm implementations and these arrivals feed golden files.
+    t += mean_gap * (0.2 + 1.6 * rng.uniform());
+    char name[16];
+    std::snprintf(name, sizeof(name), "req-%04d", i);
+    Request r;
+    r.id = name;
+    r.arrival = t;
+    r.priority = static_cast<int>(rng.uniform_int(0, 4));
+    const bool amend = !submits.empty() && rng.uniform() < 0.08;
+    if (amend) {
+      r.kind = RequestKind::amend;
+      r.target =
+          out[submits[static_cast<std::size_t>(rng.uniform_int(
+                 0, static_cast<std::int64_t>(submits.size()) - 1))]]
+              .id;
+      if (rng.uniform() < 0.5)
+        r.add_members = static_cast<int>(rng.uniform_int(1, 2));
+      else
+        r.remove_members = 1;
+    } else {
+      r.kind = RequestKind::submit;
+      // A small seed pool: real forecast services resubmit the same few
+      // configurations all day — this is what the dedup layer feeds on.
+      r.seed = 100 + static_cast<std::uint64_t>(rng.uniform_int(0, 11));
+      r.members = static_cast<int>(rng.uniform_int(2, 4));
+      r.iterations = 10 * static_cast<int>(rng.uniform_int(2, 5));
+      r.sharing = rng.uniform() < 0.25 ? campaign::Sharing::time
+                                       : campaign::Sharing::space;
+      submits.push_back(out.size());
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+using util::json_hex;
+using util::json_num;
+using util::json_quote;
+
+std::string outcome_to_json(const RequestOutcome& o) {
+  std::ostringstream os;
+  os << "{\"id\": " << json_quote(o.request.id)
+     << ", \"kind\": " << json_quote(to_string(o.request.kind))
+     << ", \"status\": " << json_quote(to_string(o.status))
+     << ", \"detail\": " << json_quote(o.detail)
+     << ", \"priority\": " << o.request.priority
+     << ", \"arrival\": " << json_num(o.request.arrival);
+  if (o.request.kind == RequestKind::submit)
+    os << ", \"fingerprint\": " << json_quote(json_hex(o.fingerprint));
+  os << ", \"members\": " << o.members
+     << ", \"start\": " << json_num(o.start)
+     << ", \"finish\": " << json_num(o.finish)
+     << ", \"queue_wait\": " << json_num(o.queue_wait)
+     << ", \"service_seconds\": " << json_num(o.service_seconds);
+  if (o.executed) {
+    const campaign::CampaignMetrics& c = o.campaign;
+    os << ", \"campaign\": {\"members\": " << c.members
+       << ", \"waves\": " << c.waves
+       << ", \"makespan\": " << json_num(c.makespan)
+       << ", \"throughput\": " << json_num(c.throughput)
+       << ", \"cache_hits\": " << c.cache_hits
+       << ", \"cache_misses\": " << c.cache_misses
+       << ", \"single_flight_joins\": " << c.single_flight_joins << "}";
+  } else {
+    os << ", \"campaign\": null";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string report_to_json(const ServeReport& report,
+                           const topo::MachineParams& machine,
+                           const ServeOptions& options) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"service\": {\n";
+  os << "    \"machine\": " << json_quote(machine.name) << ",\n";
+  os << "    \"torus\": [" << machine.torus_x << ", " << machine.torus_y
+     << ", " << machine.torus_z << "],\n";
+  os << "    \"ranks\": " << machine.total_ranks() << ",\n";
+  // No thread count here on purpose: the report must be byte-identical
+  // at any host parallelism.
+  os << "    \"queue_depth\": " << options.queue_depth << ",\n";
+  os << "    \"aging_rate\": " << json_num(options.aging_rate) << ",\n";
+  os << "    \"shards\": " << options.cache.shards << ",\n";
+  os << "    \"shard_capacity\": " << options.cache.shard_capacity << ",\n";
+  os << "    \"spill\": "
+     << (options.cache.spill_dir.empty() ? "false" : "true") << "\n";
+  os << "  },\n";
+  os << "  \"requests\": [\n";
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i)
+    os << "    " << outcome_to_json(report.outcomes[i])
+       << (i + 1 < report.outcomes.size() ? "," : "") << "\n";
+  os << "  ],\n";
+  const ServeMetrics& m = report.metrics;
+  os << "  \"metrics\": {\n";
+  os << "    \"submitted\": " << m.submitted << ",\n";
+  os << "    \"completed\": " << m.completed << ",\n";
+  os << "    \"coalesced\": " << m.coalesced << ",\n";
+  os << "    \"rejected\": " << m.rejected << ",\n";
+  os << "    \"evicted\": " << m.evicted << ",\n";
+  os << "    \"amends_applied\": " << m.amends_applied << ",\n";
+  os << "    \"amends_replanned\": " << m.amends_replanned << ",\n";
+  os << "    \"amends_invalid\": " << m.amends_invalid << ",\n";
+  os << "    \"drain_makespan\": " << json_num(m.drain_makespan) << ",\n";
+  os << "    \"busy_seconds\": " << json_num(m.busy_seconds) << ",\n";
+  os << "    \"utilization\": " << json_num(m.utilization) << ",\n";
+  os << "    \"wait_mean\": " << json_num(m.wait_mean) << ",\n";
+  os << "    \"wait_p50\": " << json_num(m.wait_p50) << ",\n";
+  os << "    \"wait_p99\": " << json_num(m.wait_p99) << ",\n";
+  os << "    \"sustained_per_hour\": " << json_num(m.sustained_per_hour)
+     << "\n";
+  os << "  },\n";
+  const ShardedCacheStats& c = report.cache;
+  os << "  \"plan_cache\": {\n";
+  os << "    \"hits\": " << c.total.hits << ",\n";
+  os << "    \"misses\": " << c.total.misses << ",\n";
+  os << "    \"evictions\": " << c.total.evictions << ",\n";
+  os << "    \"spills\": " << c.spills << ",\n";
+  os << "    \"reloads\": " << c.reloads << ",\n";
+  os << "    \"spill_failures\": " << c.spill_failures << ",\n";
+  os << "    \"size\": " << c.total.size << ",\n";
+  os << "    \"capacity\": " << c.total.capacity << ",\n";
+  os << "    \"shards\": [\n";
+  for (std::size_t i = 0; i < c.shards.size(); ++i) {
+    const campaign::PlanCacheStats& s = c.shards[i];
+    os << "      {\"hits\": " << s.hits << ", \"misses\": " << s.misses
+       << ", \"evictions\": " << s.evictions << ", \"size\": " << s.size
+       << "}" << (i + 1 < c.shards.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nestwx::serve

@@ -1,0 +1,169 @@
+#pragma once
+/// \file server.hpp
+/// Campaign-as-a-service: an event-driven executor that drains campaign
+/// requests against one machine, with admission control, priority aging,
+/// cross-request dedup, and a process-wide sharded plan cache.
+///
+/// The service is a deterministic discrete-event simulation in *virtual*
+/// time: arrival stamps come from the requests, service durations are the
+/// campaigns' virtual makespans, and the executor serves one campaign at
+/// a time (it schedules one machine). Host threads parallelise the work
+/// *inside* a campaign — planning and member simulation — which the
+/// campaign layer already guarantees is thread-count-invariant, so a
+/// drain of the same spool produces byte-identical reports at 1, 2 or 8
+/// worker threads. That is the property the golden tests and the CI smoke
+/// job pin.
+///
+/// Policies:
+///  * Admission — at most `queue_depth` requests queue. An arrival that
+///    finds the queue full either evicts the queued request with the
+///    lowest effective priority (if strictly lower than its own and not
+///    coalesced with anyone) or is rejected.
+///  * Aging — effective priority = priority + aging_rate × wait, so
+///    starvation-prone low-priority requests eventually win; ties break
+///    by admission order (FIFO).
+///  * Dedup — an arrival whose work fingerprint matches a queued or
+///    in-service request coalesces onto it: no queue slot, no second
+///    execution, same response (fingerprint equality provably implies
+///    identical campaigns — see request.hpp).
+///  * Amend — members join/leave an earlier request. While the target is
+///    still queued (and un-coalesced) it is spliced in place; once it is
+///    in service or done, the service synthesises an incremental re-plan
+///    request — same ensemble seed, so every unchanged member's plan
+///    comes from the shared cache (fully so under time sharing, where
+///    member sub-machines do not depend on wave composition).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "serve/request.hpp"
+#include "serve/sharded_cache.hpp"
+#include "topo/machine.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace nestwx::serve {
+
+struct ServeOptions {
+  /// Host worker threads inside each campaign execution. Never affects
+  /// report bytes.
+  int threads = 1;
+  /// Admission bound: queued (not yet serving) request limit.
+  std::size_t queue_depth = 16;
+  /// Effective-priority gain per virtual second of queue wait.
+  double aging_rate = 0.0;
+  ShardedPlanCache::Options cache;
+  wrfsim::RunOptions run;  ///< per-member run options for every campaign
+};
+
+/// Terminal status of one request.
+enum class OutcomeStatus {
+  completed,       ///< executed its own campaign
+  coalesced,       ///< shared an identical-fingerprint execution
+  rejected,        ///< arrived to a full queue and lost the priority fight
+  evicted,         ///< was queued, displaced by a higher-priority arrival
+  amend_applied,   ///< amend spliced into its queued target
+  amend_replanned, ///< amend synthesised an incremental re-plan request
+  amend_invalid    ///< amend target unknown or delta infeasible
+};
+
+std::string to_string(OutcomeStatus status);
+
+/// What happened to one request, in input order.
+struct RequestOutcome {
+  Request request;
+  std::uint64_t fingerprint = 0;  ///< submit work fingerprint (0 for amend)
+  OutcomeStatus status = OutcomeStatus::rejected;
+  /// Context: primary id for coalesced, synthesised id for
+  /// amend_replanned, reason for amend_invalid/rejected/evicted.
+  std::string detail;
+  int members = 0;        ///< final ensemble size (after amends)
+  double start = -1.0;    ///< service start (virtual s; -1 = never served)
+  double finish = -1.0;   ///< response time (virtual s; -1 = never served)
+  double queue_wait = -1.0;
+  double service_seconds = 0.0;  ///< campaign makespan (primaries only)
+  bool executed = false;  ///< true for completed primaries
+  campaign::CampaignMetrics campaign;  ///< valid when executed
+};
+
+struct ServeMetrics {
+  std::size_t submitted = 0;   ///< requests presented to the executor
+  std::size_t completed = 0;
+  std::size_t coalesced = 0;
+  std::size_t rejected = 0;
+  std::size_t evicted = 0;
+  std::size_t amends_applied = 0;
+  std::size_t amends_replanned = 0;
+  std::size_t amends_invalid = 0;
+  double drain_makespan = 0.0;  ///< virtual time of the last completion
+  double busy_seconds = 0.0;    ///< Σ campaign service time
+  double utilization = 0.0;     ///< busy / drain
+  /// Queue-wait distribution over served (completed + coalesced)
+  /// requests, virtual seconds.
+  double wait_mean = 0.0;
+  double wait_p50 = 0.0;
+  double wait_p99 = 0.0;
+  /// Served requests per virtual hour of drain.
+  double sustained_per_hour = 0.0;
+};
+
+struct ServeReport {
+  std::vector<RequestOutcome> outcomes;  ///< input order, then synthesised
+  ServeMetrics metrics;
+  ShardedCacheStats cache;
+};
+
+/// The executor. One instance serves one machine and keeps its sharded
+/// plan cache warm across execute() calls.
+class CampaignServer {
+ public:
+  CampaignServer(topo::MachineParams machine,
+                 std::shared_ptr<const core::PerfModel> model,
+                 ServeOptions options);
+
+  /// Convenience: profile the default basis on `machine` and fit the
+  /// paper's Delaunay model.
+  static CampaignServer with_profiled_model(
+      const topo::MachineParams& machine, ServeOptions options);
+
+  /// Drain `requests` (spool claim order) to empty: replay arrivals in
+  /// virtual time, serve by effective priority, and return every
+  /// request's outcome. Deterministic: the report is a pure function of
+  /// the requests, the machine, the options (minus threads) and the
+  /// cache/spill state.
+  ServeReport execute(std::span<const Request> requests);
+
+  const topo::MachineParams& machine() const { return machine_; }
+  const ServeOptions& options() const { return options_; }
+  ShardedPlanCache& cache() { return *cache_; }
+
+ private:
+  topo::MachineParams machine_;
+  ServeOptions options_;
+  std::shared_ptr<ShardedPlanCache> cache_;
+  campaign::CampaignScheduler scheduler_;
+};
+
+/// Deterministic mixed-priority request generator for benches, tests and
+/// the CI smoke spool: `count` requests with uniform-jitter inter-arrival
+/// times of mean `mean_gap` virtual seconds, priorities 0–4, ensemble
+/// seeds drawn from a small pool (heavy cross-request dedup), and an
+/// occasional amend targeting an earlier submit. Pure function of the
+/// arguments.
+std::vector<Request> generate_requests(std::uint64_t seed, int count,
+                                       double mean_gap);
+
+/// One request's response object (flat JSON, one line, deterministic).
+std::string outcome_to_json(const RequestOutcome& outcome);
+
+/// The merged drain report: service configuration (threads excluded on
+/// purpose), every outcome, aggregate metrics, and the sharded cache
+/// counters (waits excluded on purpose — scheduling-dependent).
+std::string report_to_json(const ServeReport& report,
+                           const topo::MachineParams& machine,
+                           const ServeOptions& options);
+
+}  // namespace nestwx::serve

@@ -1,0 +1,137 @@
+#include "serve/sharded_cache.hpp"
+
+#include <filesystem>
+
+#include "iosim/plan_store.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace nestwx::serve {
+
+ShardedPlanCache::ShardedPlanCache(Options options)
+    : options_(std::move(options)) {
+  NESTWX_REQUIRE(options_.shards >= 1, "sharded cache needs >= 1 shard");
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i)
+    shards_.push_back(
+        std::make_unique<campaign::PlanCache>(options_.shard_capacity));
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    NESTWX_REQUIRE(!ec, "cannot create spill directory " +
+                            options_.spill_dir + " (" + ec.message() + ")");
+  }
+}
+
+std::size_t ShardedPlanCache::shard_of(std::uint64_t key) const {
+  // Rehash before the modulo: plan fingerprints are FNV digests already,
+  // but folding the bytes again decorrelates the low bits from any
+  // structure a particular fingerprint population has.
+  return static_cast<std::size_t>(util::fnv1a(&key, sizeof(key)) %
+                                  shards_.size());
+}
+
+ShardedPlanCache::PlanPtr ShardedPlanCache::get_or_compute(
+    std::uint64_t key, std::uint64_t stamp, const Compute& compute) {
+  campaign::PlanCache& shard = *shards_[shard_of(key)];
+  if (options_.spill_dir.empty())
+    return shard.get_or_compute(key, stamp, compute);
+  // Wrap the compute with a disk-tier probe. The probe runs inside the
+  // shard's single-flight slot, so however many threads miss on `key`
+  // simultaneously, the spill file is read (or found damaged) exactly
+  // once — which keeps the reload counters deterministic.
+  const std::string path =
+      iosim::plan_store_path(options_.spill_dir, key);
+  auto probe_then_compute = [&]() -> core::ExecutionPlan {
+    try {
+      core::ExecutionPlan plan = iosim::load_plan(path, key);
+      std::lock_guard lock(mu_);
+      ++reloads_;
+      return plan;
+    } catch (const iosim::CheckpointMissingError&) {
+      // Never spilled (or already consumed): plain miss.
+    } catch (const iosim::CheckpointError&) {
+      // Damaged spill file: count it, drop it, recompute. The disk tier
+      // must never turn corruption into a wrong plan or a failed request.
+      {
+        std::lock_guard lock(mu_);
+        ++spill_failures_;
+      }
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+    return compute();
+  };
+  return shard.get_or_compute(key, stamp, probe_then_compute);
+}
+
+ShardedPlanCache::PlanPtr ShardedPlanCache::peek(std::uint64_t key) const {
+  return shards_[shard_of(key)]->peek(key);
+}
+
+std::uint64_t ShardedPlanCache::reserve_stamps(std::uint64_t n) {
+  // One global stamp stream across shards so recency is totally ordered
+  // cache-wide, whatever shard a key lands in.
+  std::lock_guard lock(mu_);
+  const std::uint64_t base = next_stamp_;
+  next_stamp_ += n;
+  return base;
+}
+
+void ShardedPlanCache::set_capacity(std::size_t per_shard_capacity) {
+  options_.shard_capacity = per_shard_capacity;
+  for (auto& shard : shards_) shard->set_capacity(per_shard_capacity);
+}
+
+std::size_t ShardedPlanCache::trim() {
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) {
+    const auto victims = shard->trim_to_capacity();
+    evicted += victims.size();
+    if (options_.spill_dir.empty()) continue;
+    for (const auto& [key, plan] : victims) {
+      iosim::save_plan(*plan,
+                       key, iosim::plan_store_path(options_.spill_dir, key));
+      std::lock_guard lock(mu_);
+      ++spills_;
+    }
+  }
+  return evicted;
+}
+
+campaign::PlanCacheStats ShardedPlanCache::stats() const {
+  campaign::PlanCacheStats total;
+  for (const auto& shard : shards_) {
+    const campaign::PlanCacheStats s = shard->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.waits += s.waits;
+    total.evictions += s.evictions;
+    total.size += s.size;
+  }
+  // Report the cache-wide bound, not the per-shard one.
+  total.capacity = options_.shard_capacity * shards_.size();
+  return total;
+}
+
+void ShardedPlanCache::clear() {
+  for (auto& shard : shards_) shard->clear();
+  std::lock_guard lock(mu_);
+  spills_ = 0;
+  reloads_ = 0;
+  spill_failures_ = 0;
+}
+
+ShardedCacheStats ShardedPlanCache::sharded_stats() const {
+  ShardedCacheStats out;
+  out.total = stats();
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) out.shards.push_back(shard->stats());
+  std::lock_guard lock(mu_);
+  out.spills = spills_;
+  out.reloads = reloads_;
+  out.spill_failures = spill_failures_;
+  return out;
+}
+
+}  // namespace nestwx::serve

@@ -1,0 +1,87 @@
+#pragma once
+/// \file sharded_cache.hpp
+/// Process-wide plan cache for the campaign service: FNV-1a-sharded
+/// single-flight shards with a bounded in-memory LRU tier and an optional
+/// spill-to-disk tier.
+///
+/// Sharding rehashes the 64-bit plan fingerprint (FNV-1a over its bytes)
+/// and takes it modulo the shard count, so keys spread evenly however the
+/// fingerprint space clusters, and contention on the hot path is 1/shards
+/// of a single-mutex cache. Each shard is an ordinary campaign::PlanCache,
+/// so all single-flight and deterministic-LRU guarantees carry over
+/// per shard.
+///
+/// The disk tier reuses the hardened plan-store container
+/// (iosim/plan_store.hpp): trim() spills each evicted plan to
+/// `spill_dir/plan-<key>.bin` before dropping it, and a later miss on
+/// that key reloads the file *inside the single-flight compute slot* —
+/// concurrent requesters of a spilled key still trigger exactly one
+/// disk read. A spill file that fails verification (truncated,
+/// bit-flipped, wrong key) is counted and silently recomputed: the disk
+/// tier is an optimisation, never a correctness dependency.
+///
+/// Deterministic by the same discipline as PlanCache: stamps come from
+/// the caller (one global stamp counter across shards), trims happen at
+/// quiescent points, and spill/reload counts are functions of the request
+/// sequence — fit for byte-identical reports. `waits` remains
+/// scheduling-dependent and stays out of reports.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/plan_cache.hpp"
+
+namespace nestwx::serve {
+
+/// Aggregate + per-shard + disk-tier counters.
+struct ShardedCacheStats {
+  campaign::PlanCacheStats total;  ///< summed over shards
+  std::vector<campaign::PlanCacheStats> shards;
+  std::size_t spills = 0;          ///< evicted plans written to disk
+  std::size_t reloads = 0;         ///< misses satisfied from disk
+  std::size_t spill_failures = 0;  ///< damaged spill files (recomputed)
+};
+
+class ShardedPlanCache : public campaign::PlanCacheBase {
+ public:
+  struct Options {
+    std::size_t shards = 4;
+    /// Ready-entry capacity per shard; 0 = unbounded (no eviction).
+    std::size_t shard_capacity = 0;
+    /// Directory for the disk tier; empty = evictions just drop.
+    std::string spill_dir;
+  };
+
+  explicit ShardedPlanCache(Options options);
+
+  PlanPtr get_or_compute(std::uint64_t key, std::uint64_t stamp,
+                         const Compute& compute) override;
+  using campaign::PlanCacheBase::get_or_compute;
+
+  PlanPtr peek(std::uint64_t key) const override;
+  std::uint64_t reserve_stamps(std::uint64_t n) override;
+  void set_capacity(std::size_t per_shard_capacity) override;
+  std::size_t trim() override;
+  campaign::PlanCacheStats stats() const override;
+  void clear() override;
+
+  ShardedCacheStats sharded_stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Which shard `key` routes to (exposed so tests can target shards).
+  std::size_t shard_of(std::uint64_t key) const;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<campaign::PlanCache>> shards_;
+  mutable std::mutex mu_;       ///< stamp counter + disk-tier counters
+  std::uint64_t next_stamp_ = 0;
+  std::size_t spills_ = 0;
+  std::size_t reloads_ = 0;
+  std::size_t spill_failures_ = 0;
+};
+
+}  // namespace nestwx::serve

@@ -1,0 +1,151 @@
+#include "serve/spool.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace nestwx::serve {
+
+namespace {
+
+constexpr const char* kReqSuffix = ".req";
+constexpr const char* kClaimedSuffix = ".req.claimed";
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void write_file_atomic(const fs::path& path, const std::string& text) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good())
+      throw SpoolError("cannot open for writing: " + tmp.string());
+    f << text;
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      fs::remove(tmp);
+      throw SpoolError("write failed: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp);
+    throw SpoolError("cannot move into place: " + path.string() + " (" +
+                     ec.message() + ")");
+  }
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) throw SpoolError("cannot open: " + path.string());
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad()) throw SpoolError("read failed: " + path.string());
+  return os.str();
+}
+
+void move_file(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec)
+    throw SpoolError("cannot move " + from.string() + " to " + to.string() +
+                     " (" + ec.message() + ")");
+}
+
+}  // namespace
+
+Spool::Spool(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "done", ec);
+  if (!ec) fs::create_directories(fs::path(dir_) / "rejected", ec);
+  if (ec)
+    throw SpoolError("cannot create spool at " + dir_ + " (" + ec.message() +
+                     ")");
+}
+
+std::string Spool::submit(const std::string& dir, const std::string& name,
+                          const std::string& text) {
+  if (name.empty() || name.find('/') != std::string::npos)
+    throw SpoolError("bad spool request name: \"" + name + "\"");
+  const fs::path path = fs::path(dir) / (name + kReqSuffix);
+  write_file_atomic(path, text);
+  return path.string();
+}
+
+std::size_t Spool::recover() {
+  std::vector<fs::path> claimed;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (ends_with(file, kClaimedSuffix)) claimed.push_back(entry.path());
+  }
+  std::sort(claimed.begin(), claimed.end());
+  for (const auto& path : claimed) {
+    std::string name = path.filename().string();
+    name.resize(name.size() - std::string(kClaimedSuffix).size());
+    move_file(path, fs::path(dir_) / (name + kReqSuffix));
+  }
+  return claimed.size();
+}
+
+std::vector<ClaimedRequest> Spool::claim_pending() {
+  std::vector<fs::path> pending;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (ends_with(file, kReqSuffix) && !ends_with(file, kClaimedSuffix))
+      pending.push_back(entry.path());
+  }
+  std::sort(pending.begin(), pending.end());
+
+  std::vector<ClaimedRequest> out;
+  out.reserve(pending.size());
+  for (const auto& path : pending) {
+    ClaimedRequest claimed;
+    claimed.name = path.filename().string();
+    claimed.name.resize(claimed.name.size() -
+                        std::string(kReqSuffix).size());
+    claimed.claimed_path = path.string() + ".claimed";
+    // The claim itself: atomic rename. If another process claimed the
+    // file between the scan and here, skip it — it is owned elsewhere.
+    std::error_code ec;
+    fs::rename(path, claimed.claimed_path, ec);
+    if (ec) continue;
+    claimed.text = read_file(claimed.claimed_path);
+    out.push_back(std::move(claimed));
+  }
+  return out;
+}
+
+void Spool::complete(const ClaimedRequest& claimed,
+                     const std::string& response_json) {
+  const fs::path done = fs::path(dir_) / "done";
+  write_file_atomic(done / (claimed.name + ".json"), response_json);
+  move_file(claimed.claimed_path, done / (claimed.name + kReqSuffix));
+}
+
+void Spool::reject(const ClaimedRequest& claimed, const std::string& reason) {
+  const fs::path rejected = fs::path(dir_) / "rejected";
+  write_file_atomic(rejected / (claimed.name + ".error"), reason + "\n");
+  move_file(claimed.claimed_path, rejected / (claimed.name + kReqSuffix));
+}
+
+std::size_t Spool::pending() const {
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (ends_with(file, kReqSuffix) && !ends_with(file, kClaimedSuffix))
+      ++count;
+  }
+  return count;
+}
+
+}  // namespace nestwx::serve

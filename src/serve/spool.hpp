@@ -1,0 +1,87 @@
+#pragma once
+/// \file spool.hpp
+/// File-backed request queue: the campaign service's ingress, built on
+/// nothing but a directory and atomic renames (no sockets — submissions
+/// survive daemon restarts and are inspectable with ls and cat).
+///
+/// Protocol:
+///  * Submitters write `<name>.req` files into the spool directory
+///    atomically (temp file + rename, like every nestwx on-disk write),
+///    one flat-JSON request per file.
+///  * The daemon claims a pending file by renaming it to
+///    `<name>.req.claimed` — rename is atomic, so two daemons (or one
+///    daemon racing a resubmission) can never both own a request.
+///  * A drained request's claimed file moves to `done/<name>.req` next to
+///    its response (`done/<name>.json`); a malformed one moves to
+///    `rejected/<name>.req` with the parse error in
+///    `rejected/<name>.error`.
+///  * Crash safety: a daemon that dies after claiming leaves
+///    `*.req.claimed` behind; recover() renames them back to `*.req` so
+///    the next daemon re-queues exactly the unfinished work.
+///
+/// Claim order is lexicographic by file name, which makes a drain replay
+/// deterministic for a fixed spool content.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace nestwx::serve {
+
+/// Spool directory manipulation failure (I/O, not request content).
+class SpoolError : public util::Error {
+ public:
+  explicit SpoolError(const std::string& what) : util::Error(what) {}
+};
+
+/// A claimed request file: its spool name (without directories or the
+/// ".req" suffix), the claimed path it currently lives at, and its raw
+/// text.
+struct ClaimedRequest {
+  std::string name;
+  std::string claimed_path;
+  std::string text;
+};
+
+class Spool {
+ public:
+  /// Open (creating if needed) the spool at `dir`, with its done/ and
+  /// rejected/ subdirectories.
+  explicit Spool(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically write `text` as `<dir>/<name>.req`. `name` must be a
+  /// plain file stem (no '/', non-empty). Usable without a Spool instance
+  /// so generators and tests can fill a spool the daemon hasn't opened.
+  static std::string submit(const std::string& dir, const std::string& name,
+                            const std::string& text);
+
+  /// Re-queue requests a crashed daemon left claimed: every
+  /// `*.req.claimed` is renamed back to `*.req`. Returns how many were
+  /// recovered.
+  std::size_t recover();
+
+  /// Claim every pending `*.req` in lexicographic name order and read it.
+  /// Unreadable files throw SpoolError; content is not parsed here.
+  std::vector<ClaimedRequest> claim_pending();
+
+  /// Retire a claimed request as drained: move the request file to
+  /// done/<name>.req and write `response_json` to done/<name>.json.
+  void complete(const ClaimedRequest& claimed,
+                const std::string& response_json);
+
+  /// Retire a claimed request as malformed: move the request file to
+  /// rejected/<name>.req and write `reason` to rejected/<name>.error.
+  void reject(const ClaimedRequest& claimed, const std::string& reason);
+
+  /// Pending (unclaimed) request count — cheap poll for the daemon loop.
+  std::size_t pending() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace nestwx::serve

@@ -1,0 +1,12 @@
+#include "util/virtual_clock.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::util {
+
+void VirtualClock::advance_to(double t) {
+  NESTWX_ASSERT(t >= now_, "virtual clock moved backwards");
+  now_ = t;
+}
+
+}  // namespace nestwx::util

@@ -1,0 +1,107 @@
+#pragma once
+/// \file virtual_clock.hpp
+/// Deterministic virtual time for event-driven subsystems.
+///
+/// The campaign service (src/serve) and the steady-state throughput bench
+/// schedule work in *virtual* seconds: request arrival stamps come from
+/// the requests themselves and service durations from the campaign
+/// virtual-time simulator, so a drain replay is a pure function of its
+/// inputs — byte-identical at any host thread count. These two small
+/// pieces are the vocabulary: a monotonic clock that refuses to move
+/// backwards, and a stable event queue whose pop order is a total order
+/// over (time, tier, insertion sequence) with no dependence on heap
+/// internals or scheduling.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nestwx::util {
+
+/// Monotonic virtual clock. advance_to() enforces that event processing
+/// never travels backwards in time — a violated invariant here means the
+/// event queue ordering (and with it report determinism) is broken.
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Move the clock forward to `t` (>= now(); throws InvariantError
+  /// otherwise). Equal times are allowed: simultaneous events all observe
+  /// the same now().
+  void advance_to(double t);
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Min-queue of timed events with a deterministic total order: earlier
+/// time first, then lower tier (e.g. completions before arrivals at the
+/// same instant), then insertion order. A binary heap keyed by
+/// (time, tier, seq); since the key is unique per event, the pop sequence
+/// is independent of heap layout history.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time = 0.0;
+    int tier = 0;
+    std::uint64_t seq = 0;  ///< insertion order, ties broken FIFO
+    Payload payload{};
+  };
+
+  void push(double time, int tier, Payload payload) {
+    heap_.push_back(Event{time, tier, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Event& top() const { return heap_.front(); }
+
+  Event pop() {
+    Event out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+ private:
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.tier != b.tier) return a.tier < b.tier;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < heap_.size() && before(heap_[left], heap_[best])) best = left;
+      if (right < heap_.size() && before(heap_[right], heap_[best]))
+        best = right;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nestwx::util

@@ -1,0 +1,278 @@
+/// PlanCache counter and bounded-LRU semantics, and their campaign-level
+/// guarantees: hit/miss/eviction counts are deterministic (single-flight
+/// plus quiescent-point trimming on caller-supplied recency stamps), the
+/// scheduling-dependent `waits` counter stays observable through the
+/// accessors but out of reports, and a capacity bound changes *only* the
+/// report's one-line "plan_cache" entry — every plan, timing and member
+/// field is byte-identical with and without eviction pressure, at any
+/// thread count.
+
+#include "campaign/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/perf_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+namespace u = nestwx::util;
+
+namespace {
+
+/// A distinguishable dummy plan (the cache never inspects plans).
+c::ExecutionPlan tagged_plan(double tag) {
+  c::ExecutionPlan plan;
+  plan.weights = {tag};
+  return plan;
+}
+
+double tag_of(const cg::PlanCacheBase::PlanPtr& plan) {
+  return plan->weights.at(0);
+}
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+std::vector<cg::MemberSpec> test_ensemble(int count) {
+  u::Rng rng(31);
+  const auto configs = w::random_configs(rng, count);
+  std::vector<cg::MemberSpec> members;
+  for (int i = 0; i < count; ++i) {
+    cg::MemberSpec spec;
+    spec.name = "member" + std::to_string(i);
+    spec.config = configs[static_cast<std::size_t>(i)];
+    spec.iterations = 10;
+    members.push_back(std::move(spec));
+  }
+  return members;
+}
+
+/// Drop every line mentioning the plan-cache entry — deliberately a
+/// single line in the report so this strip is exact.
+std::string without_plan_cache_line(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find("\"plan_cache\"") == std::string::npos) out << line << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+TEST(PlanCacheCounters, HitsAndMissesAreDeterministic) {
+  cg::PlanCache cache;
+  const auto compute = [] { return tagged_plan(1.0); };
+  // Six requests over three distinct keys: misses == distinct keys,
+  // hits == requests − misses, whatever the order.
+  for (const std::uint64_t key : {7u, 8u, 7u, 9u, 8u, 7u})
+    cache.get_or_compute(key, compute);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.waits(), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PlanCacheCounters, WaitsCountsBlockedCallsUnderContention) {
+  // Deterministic contention, no sleeps: the owner's compute refuses to
+  // finish until the second thread has actually blocked on the in-flight
+  // entry (observable as waits() — the waiter increments it under the
+  // cache mutex before releasing it in the condition wait).
+  cg::PlanCache cache;
+  std::atomic<bool> computing{false};
+  cg::PlanCacheBase::PlanPtr from_owner, from_waiter;
+  std::thread owner([&] {
+    from_owner = cache.get_or_compute(1, [&] {
+      computing.store(true);
+      while (cache.waits() == 0) std::this_thread::yield();
+      return tagged_plan(5.0);
+    });
+  });
+  std::thread waiter([&] {
+    while (!computing.load()) std::this_thread::yield();
+    from_waiter = cache.get_or_compute(1, [] { return tagged_plan(-1.0); });
+  });
+  owner.join();
+  waiter.join();
+  // The waiter blocked once, then took the owner's result as a hit; its
+  // own compute never ran.
+  EXPECT_EQ(cache.waits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(from_owner.get(), from_waiter.get());
+  EXPECT_DOUBLE_EQ(tag_of(from_waiter), 5.0);
+}
+
+TEST(PlanCacheCounters, ThrowingComputeWithdrawsTheEntry) {
+  cg::PlanCache cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   3, []() -> c::ExecutionPlan { throw u::Error("boom"); }),
+               u::Error);
+  EXPECT_EQ(cache.peek(3), nullptr);
+  // The key is computable again afterwards; both attempts were misses.
+  const auto plan = cache.get_or_compute(3, [] { return tagged_plan(2.0); });
+  EXPECT_DOUBLE_EQ(tag_of(plan), 2.0);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PlanCacheCounters, ClearResetsCountersButNotTheStampStream) {
+  cg::PlanCache cache;
+  cache.get_or_compute(1, [] { return tagged_plan(1.0); });
+  EXPECT_EQ(cache.reserve_stamps(4), 1u);  // the auto-stamp consumed 0
+  cache.clear();
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Stamps stay monotonic across clear(): recency from before the clear
+  // can never outrank accesses after it.
+  EXPECT_EQ(cache.reserve_stamps(1), 5u);
+}
+
+TEST(PlanCacheLru, EvictsLeastRecentlyStampedFirst) {
+  cg::PlanCache cache(/*capacity=*/2);
+  cache.get_or_compute(5, 10, [] { return tagged_plan(5.0); });
+  cache.get_or_compute(1, 3, [] { return tagged_plan(1.0); });
+  cache.get_or_compute(9, 7, [] { return tagged_plan(9.0); });
+  const auto evicted = cache.trim_to_capacity();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 1u);  // stamp 3 is the oldest
+  EXPECT_DOUBLE_EQ(tag_of(evicted[0].second), 1.0);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_NE(cache.peek(5), nullptr);
+  EXPECT_NE(cache.peek(9), nullptr);
+}
+
+TEST(PlanCacheLru, EvictionOrderIsAscendingStampThenKey) {
+  cg::PlanCache cache(/*capacity=*/1);
+  cache.get_or_compute(7, 2, [] { return tagged_plan(7.0); });
+  cache.get_or_compute(3, 2, [] { return tagged_plan(3.0); });  // stamp tie
+  cache.get_or_compute(9, 5, [] { return tagged_plan(9.0); });
+  const auto evicted = cache.trim_to_capacity();
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].first, 3u);  // stamp 2, lower key first
+  EXPECT_EQ(evicted[1].first, 7u);  // stamp 2, higher key
+  EXPECT_NE(cache.peek(9), nullptr);
+}
+
+TEST(PlanCacheLru, HitRefreshesRecency) {
+  cg::PlanCache cache(/*capacity=*/1);
+  cache.get_or_compute(1, 1, [] { return tagged_plan(1.0); });
+  cache.get_or_compute(2, 2, [] { return tagged_plan(2.0); });
+  cache.get_or_compute(1, 3, [] { return tagged_plan(-1.0); });  // hit
+  const auto evicted = cache.trim_to_capacity();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 2u);  // the hit promoted key 1 past key 2
+}
+
+TEST(PlanCacheLru, TrimIsANoopWithoutPressure) {
+  cg::PlanCache cache;
+  cache.get_or_compute(1, [] { return tagged_plan(1.0); });
+  EXPECT_EQ(cache.trim(), 0u);  // unbounded
+  cache.set_capacity(4);
+  EXPECT_EQ(cache.trim(), 0u);  // under capacity
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(PlanCacheLru, EvictedKeyIsRecomputedAsAMiss) {
+  cg::PlanCache cache(/*capacity=*/1);
+  cache.get_or_compute(1, 1, [] { return tagged_plan(1.0); });
+  cache.get_or_compute(2, 2, [] { return tagged_plan(2.0); });
+  cache.trim();
+  EXPECT_EQ(cache.misses(), 2u);
+  cache.get_or_compute(1, 3, [] { return tagged_plan(1.5); });
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CampaignCacheReport, CountersReachTheCampaignReport) {
+  const auto machine = w::bluegene_l(64);
+  cg::CampaignScheduler scheduler(machine, shared_model(64));
+  cg::CampaignOptions options;
+  const auto members = test_ensemble(4);
+  const auto report = scheduler.run(members, options);
+  EXPECT_EQ(report.cache.misses, report.metrics.cache_misses);
+  EXPECT_EQ(report.cache.hits, report.metrics.cache_hits);
+  EXPECT_EQ(report.cache.hits + report.cache.misses, members.size());
+  EXPECT_EQ(report.cache.capacity, 0u);
+  const std::string json = cg::report_to_json(report, machine, options);
+  EXPECT_NE(json.find("\"plan_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"single_flight_joins\""), std::string::npos);
+  // `waits` is scheduling-dependent and must never leak into the report.
+  EXPECT_EQ(json.find("\"waits\""), std::string::npos);
+}
+
+TEST(CampaignCacheReport, EvictionPressureOnlyChangesThePlanCacheLine) {
+  // Satellite guarantee: a capacity bound trims only at the end-of-run
+  // quiescent point, so a cold run's plans, timings and member fields are
+  // byte-identical with and without eviction pressure — the reports may
+  // differ in the one-line "plan_cache" entry and nowhere else.
+  const auto machine = w::bluegene_l(64);
+  const auto members = test_ensemble(6);
+  cg::CampaignOptions options;
+
+  cg::CampaignScheduler unbounded(machine, shared_model(64));
+  const std::string full = cg::report_to_json(
+      unbounded.run(members, options), machine, options);
+
+  cg::CampaignScheduler bounded(machine, shared_model(64));
+  bounded.cache().set_capacity(1);
+  const std::string squeezed = cg::report_to_json(
+      bounded.run(members, options), machine, options);
+
+  EXPECT_GE(bounded.cache().evictions(), 1u);
+  EXPECT_NE(full, squeezed);  // the plan_cache line does differ...
+  EXPECT_EQ(without_plan_cache_line(full), without_plan_cache_line(squeezed))
+      << "eviction pressure must not change anything but the cache line";
+}
+
+TEST(CampaignCacheReport, ByteIdenticalAtOneVsEightThreadsUnderEviction) {
+  // Determinism under pressure: stamps are reserved per run and assigned
+  // by input order, trims happen when quiescent, so even the eviction
+  // counters are thread-count-invariant and the *full* report matches.
+  const auto machine = w::bluegene_l(64);
+  const auto members = test_ensemble(6);
+
+  cg::CampaignOptions serial;
+  serial.threads = 1;
+  cg::CampaignScheduler a(machine, shared_model(64));
+  a.cache().set_capacity(2);
+  const std::string one = cg::report_to_json(
+      a.run(members, serial), machine, serial);
+
+  cg::CampaignOptions wide;
+  wide.threads = 8;
+  cg::CampaignScheduler b(machine, shared_model(64));
+  b.cache().set_capacity(2);
+  const std::string eight = cg::report_to_json(
+      b.run(members, wide), machine, wide);
+
+  EXPECT_GE(a.cache().evictions(), 1u);
+  EXPECT_EQ(one, eight);
+}

@@ -1,0 +1,359 @@
+/// The plan persistence tier and the sharded plan cache on top of it:
+/// bit-exact ExecutionPlan round trips through the hardened container,
+/// typed rejection of every corruption mode (mirroring the checkpoint
+/// tests), and the spill-on-evict / reload-on-miss / recompute-on-damage
+/// behaviour of ShardedPlanCache.
+
+#include "serve/sharded_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "core/planner.hpp"
+#include "iosim/plan_store.hpp"
+#include "util/rng.hpp"
+#include "workload/configs.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace sv = nestwx::serve;
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace io = nestwx::iosim;
+namespace w = nestwx::workload;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_bytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+/// A fully-populated plan: concurrent strategy, sibling partition,
+/// weights and a rank placement — everything the container serialises.
+const c::ExecutionPlan& busy_plan() {
+  static const c::ExecutionPlan plan = [] {
+    const auto machine = w::bluegene_l(64);
+    nestwx::util::Rng rng(11);
+    const auto config = w::random_configs(rng, 1).at(0);
+    return c::plan_execution(machine, config, *shared_model(64),
+                             c::Strategy::concurrent, c::Allocator::huffman,
+                             c::MapScheme::multilevel);
+  }();
+  return plan;
+}
+
+void expect_plans_equal(const c::ExecutionPlan& a, const c::ExecutionPlan& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.parent_grid.px(), b.parent_grid.px());
+  EXPECT_EQ(a.parent_grid.py(), b.parent_grid.py());
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i)
+    EXPECT_EQ(a.weights[i], b.weights[i]) << "weight " << i;
+  ASSERT_EQ(a.partition.has_value(), b.partition.has_value());
+  if (a.partition.has_value()) {
+    ASSERT_EQ(a.partition->rects.size(), b.partition->rects.size());
+    for (std::size_t i = 0; i < a.partition->rects.size(); ++i) {
+      EXPECT_EQ(a.partition->rects[i].x0, b.partition->rects[i].x0);
+      EXPECT_EQ(a.partition->rects[i].y0, b.partition->rects[i].y0);
+      EXPECT_EQ(a.partition->rects[i].w, b.partition->rects[i].w);
+      EXPECT_EQ(a.partition->rects[i].h, b.partition->rects[i].h);
+    }
+  }
+  ASSERT_EQ(a.child_partitions.size(), b.child_partitions.size());
+  ASSERT_EQ(a.mapping.has_value(), b.mapping.has_value());
+  if (a.mapping.has_value()) {
+    EXPECT_EQ(a.mapping->torus().dx(), b.mapping->torus().dx());
+    EXPECT_EQ(a.mapping->torus().dy(), b.mapping->torus().dy());
+    EXPECT_EQ(a.mapping->torus().dz(), b.mapping->torus().dz());
+    EXPECT_EQ(a.mapping->cores_per_node(), b.mapping->cores_per_node());
+    EXPECT_EQ(a.mapping->placements(), b.mapping->placements());
+    EXPECT_TRUE(b.mapping->is_valid());
+  }
+}
+
+c::ExecutionPlan tagged_plan(double tag) {
+  c::ExecutionPlan plan;
+  plan.weights = {tag};
+  return plan;
+}
+
+double tag_of(const cg::PlanCacheBase::PlanPtr& plan) {
+  return plan->weights.at(0);
+}
+
+}  // namespace
+
+// --- Plan store: the hardened on-disk container -------------------------
+
+TEST(PlanStore, RoundTripsABusyPlanBitExactly) {
+  const std::string dir = fresh_dir("plan_store_rt");
+  const std::string path = io::plan_store_path(dir, 0xABCDEF12u);
+  io::save_plan(busy_plan(), 0xABCDEF12u, path);
+  const c::ExecutionPlan back = io::load_plan(path, 0xABCDEF12u);
+  expect_plans_equal(busy_plan(), back);
+}
+
+TEST(PlanStore, RoundTripsAMinimalPlan) {
+  // Sequential plans carry no partition and no mapping; every optional
+  // must survive as absent.
+  c::ExecutionPlan plan;
+  plan.strategy = c::Strategy::sequential;
+  plan.scheme = c::MapScheme::xyzt;
+  const std::string dir = fresh_dir("plan_store_min");
+  const std::string path = io::plan_store_path(dir, 1);
+  io::save_plan(plan, 1, path);
+  const c::ExecutionPlan back = io::load_plan(path, 1);
+  EXPECT_EQ(back.strategy, c::Strategy::sequential);
+  EXPECT_FALSE(back.partition.has_value());
+  EXPECT_FALSE(back.mapping.has_value());
+  EXPECT_TRUE(back.weights.empty());
+}
+
+TEST(PlanStore, PathIsKeyedBySixteenHexDigits) {
+  EXPECT_EQ(io::plan_store_path("/spill", 0x1234abcdu),
+            "/spill/plan-000000001234abcd.bin");
+}
+
+TEST(PlanStore, WriteIsAtomic) {
+  const std::string dir = fresh_dir("plan_store_atomic");
+  const std::string path = io::plan_store_path(dir, 2);
+  io::save_plan(busy_plan(), 2, path);
+  io::save_plan(busy_plan(), 2, path);  // overwrite goes through the tmp too
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_NO_THROW(io::load_plan(path, 2));
+}
+
+TEST(PlanStore, RejectsMissingFile) {
+  EXPECT_THROW(io::load_plan("/no/such/plan.bin", 1),
+               io::CheckpointMissingError);
+}
+
+TEST(PlanStore, RejectsWrongKey) {
+  // A renamed or spliced spill file must not satisfy the wrong request:
+  // the stored fingerprint is part of the verified header.
+  const std::string dir = fresh_dir("plan_store_key");
+  const std::string path = io::plan_store_path(dir, 77);
+  io::save_plan(busy_plan(), 77, path);
+  EXPECT_THROW(io::load_plan(path, 78), io::CheckpointCorruptError);
+  EXPECT_NO_THROW(io::load_plan(path, 77));
+}
+
+TEST(PlanStore, RejectsGarbageAndShortFiles) {
+  const std::string dir = fresh_dir("plan_store_junk");
+  const std::string path = dir + "/junk.bin";
+  write_bytes(path, std::string(200, 'x'));  // header-sized, wrong magic
+  EXPECT_THROW(io::load_plan(path, 1), io::CheckpointCorruptError);
+  write_bytes(path, "abc");  // shorter than any header
+  EXPECT_THROW(io::load_plan(path, 1), io::CheckpointTruncatedError);
+}
+
+TEST(PlanStore, RejectsTruncationAtEveryLength) {
+  // Cut the container after every byte; each prefix must be rejected
+  // (truncated or corrupt, depending on where the cut lands relative to
+  // the declared payload size), never loaded.
+  const std::string dir = fresh_dir("plan_store_trunc");
+  const std::string path = io::plan_store_path(dir, 5);
+  io::save_plan(busy_plan(), 5, path);
+  const std::string bytes = read_bytes(path);
+  const std::string cut_path = dir + "/cut.bin";
+  ASSERT_GT(bytes.size(), 32u);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    write_bytes(cut_path, bytes.substr(0, cut));
+    EXPECT_THROW(io::load_plan(cut_path, 5), io::CheckpointError)
+        << "prefix of " << cut << " bytes loaded silently";
+  }
+}
+
+TEST(PlanStore, RejectsTrailingBytes) {
+  const std::string dir = fresh_dir("plan_store_trail");
+  const std::string path = io::plan_store_path(dir, 6);
+  io::save_plan(busy_plan(), 6, path);
+  write_bytes(path, read_bytes(path) + "x");
+  EXPECT_THROW(io::load_plan(path, 6), io::CheckpointCorruptError);
+}
+
+TEST(PlanStore, RejectsEveryByteFlip) {
+  // Exhaustive single-byte-flip sweep, exactly like the checkpoint
+  // container's test: no byte of the file may flip silently.
+  const std::string dir = fresh_dir("plan_store_flip");
+  const std::string path = io::plan_store_path(dir, 9);
+  io::save_plan(busy_plan(), 9, path);
+  const std::string bytes = read_bytes(path);
+  const std::string flip_path = dir + "/flip.bin";
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mut = bytes;
+    mut[i] = static_cast<char>(mut[i] ^ 0x40);
+    write_bytes(flip_path, mut);
+    EXPECT_THROW(io::load_plan(flip_path, 9), io::CheckpointError)
+        << "flip at byte " << i << " loaded silently";
+  }
+}
+
+// --- Sharded cache: routing, spill, reload, damage ----------------------
+
+TEST(ShardedCache, RoutesKeysToStableShardsAndAggregatesStats) {
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 4;
+  sv::ShardedPlanCache cache(opt);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const std::size_t shard = cache.shard_of(key);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, cache.shard_of(key));  // stable
+    cache.get_or_compute(key, [key] {
+      return tagged_plan(static_cast<double>(key));
+    });
+  }
+  for (std::uint64_t key = 0; key < 64; ++key)
+    cache.get_or_compute(key, [] { return tagged_plan(-1.0); });
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.total.misses, 64u);
+  EXPECT_EQ(stats.total.hits, 64u);
+  EXPECT_EQ(stats.total.size, 64u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  std::size_t sum = 0;
+  for (const auto& s : stats.shards) sum += s.misses;
+  EXPECT_EQ(sum, 64u);
+  // The rehash spreads this key population over every shard.
+  for (const auto& s : stats.shards) EXPECT_GT(s.misses, 0u);
+}
+
+TEST(ShardedCache, GlobalStampStreamIsConsecutive) {
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 3;
+  sv::ShardedPlanCache cache(opt);
+  EXPECT_EQ(cache.reserve_stamps(5), 0u);
+  EXPECT_EQ(cache.reserve_stamps(2), 5u);
+  EXPECT_EQ(cache.reserve_stamps(1), 7u);
+}
+
+TEST(ShardedCache, TrimSpillsEvictionsAndMissesReloadThem) {
+  const std::string spill = fresh_dir("sharded_spill");
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 1;  // one shard makes the LRU order exact
+  opt.shard_capacity = 1;
+  opt.spill_dir = spill;
+  sv::ShardedPlanCache cache(opt);
+
+  const std::uint64_t base = cache.reserve_stamps(2);
+  cache.get_or_compute(10, base + 0, [] { return tagged_plan(10.0); });
+  cache.get_or_compute(20, base + 1, [] { return tagged_plan(20.0); });
+  EXPECT_EQ(cache.trim(), 1u);  // key 10 is least recent → spilled
+  EXPECT_TRUE(fs::exists(io::plan_store_path(spill, 10)));
+  EXPECT_EQ(cache.peek(10), nullptr);
+
+  // A miss on the spilled key reloads from disk: the sentinel compute
+  // must NOT run, and the reloaded plan carries the original payload.
+  const auto reloaded = cache.get_or_compute(10, [] {
+    ADD_FAILURE() << "reload fell through to recompute";
+    return tagged_plan(-1.0);
+  });
+  EXPECT_DOUBLE_EQ(tag_of(reloaded), 10.0);
+
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.spills, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.spill_failures, 0u);
+  EXPECT_EQ(stats.total.evictions, 1u);
+  // The reload is still a shard-level miss (the entry was evicted).
+  EXPECT_EQ(stats.total.misses, 3u);
+  EXPECT_EQ(stats.total.capacity, 1u);
+}
+
+TEST(ShardedCache, DamagedSpillFileIsCountedRemovedAndRecomputed) {
+  const std::string spill = fresh_dir("sharded_damage");
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 1;
+  opt.shard_capacity = 1;
+  opt.spill_dir = spill;
+  sv::ShardedPlanCache cache(opt);
+
+  const std::uint64_t base = cache.reserve_stamps(2);
+  cache.get_or_compute(10, base + 0, [] { return tagged_plan(10.0); });
+  cache.get_or_compute(20, base + 1, [] { return tagged_plan(20.0); });
+  cache.trim();
+  const std::string path = io::plan_store_path(spill, 10);
+  ASSERT_TRUE(fs::exists(path));
+  std::string bytes = read_bytes(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_bytes(path, bytes);
+
+  // Corruption must never surface as an error or a wrong plan: the cache
+  // counts it, removes the file, and recomputes.
+  const auto plan =
+      cache.get_or_compute(10, [] { return tagged_plan(99.0); });
+  EXPECT_DOUBLE_EQ(tag_of(plan), 99.0);
+  EXPECT_FALSE(fs::exists(path)) << "damaged spill file must be removed";
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.spill_failures, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+}
+
+TEST(ShardedCache, EvictionsJustDropWithoutASpillDirectory) {
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 1;
+  opt.shard_capacity = 1;
+  sv::ShardedPlanCache cache(opt);
+  const std::uint64_t base = cache.reserve_stamps(2);
+  cache.get_or_compute(10, base + 0, [] { return tagged_plan(10.0); });
+  cache.get_or_compute(20, base + 1, [] { return tagged_plan(20.0); });
+  EXPECT_EQ(cache.trim(), 1u);
+  // No disk tier: the evicted key is recomputed from scratch.
+  const auto plan =
+      cache.get_or_compute(10, [] { return tagged_plan(11.0); });
+  EXPECT_DOUBLE_EQ(tag_of(plan), 11.0);
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.spills, 0u);
+  EXPECT_EQ(stats.reloads, 0u);
+}
+
+TEST(ShardedCache, ClearDropsEntriesAndDiskCounters) {
+  const std::string spill = fresh_dir("sharded_clear");
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 2;
+  opt.shard_capacity = 1;
+  opt.spill_dir = spill;
+  sv::ShardedPlanCache cache(opt);
+  for (std::uint64_t key = 0; key < 8; ++key)
+    cache.get_or_compute(key, [] { return tagged_plan(0.0); });
+  cache.trim();
+  cache.clear();
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.total.size, 0u);
+  EXPECT_EQ(stats.total.misses, 0u);
+  EXPECT_EQ(stats.spills, 0u);
+}

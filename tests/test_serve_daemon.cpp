@@ -1,0 +1,352 @@
+/// Campaign-service executor semantics: admission control, priority
+/// aging, cross-request coalescing, amend splice/re-plan, and the
+/// headline determinism guarantee — a 200-request mixed-priority drain
+/// produces byte-identical merged reports at 1, 2 and 8 worker threads,
+/// pinned against a golden file (regenerate deliberately with
+/// NESTWX_REGEN_GOLDEN=1).
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace sv = nestwx::serve;
+namespace cg = nestwx::campaign;
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+
+namespace {
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+sv::CampaignServer make_server(sv::ServeOptions options) {
+  return sv::CampaignServer(w::bluegene_l(64), shared_model(64),
+                            std::move(options));
+}
+
+/// A small submit: 2 members × 10 iterations keeps policy tests quick.
+sv::Request submit(const std::string& id, double arrival, int priority,
+                   std::uint64_t seed) {
+  sv::Request r;
+  r.kind = sv::RequestKind::submit;
+  r.id = id;
+  r.arrival = arrival;
+  r.priority = priority;
+  r.seed = seed;
+  r.members = 2;
+  r.iterations = 10;
+  return r;
+}
+
+sv::Request amend(const std::string& id, double arrival,
+                  const std::string& target, int add, int remove) {
+  sv::Request r;
+  r.kind = sv::RequestKind::amend;
+  r.id = id;
+  r.arrival = arrival;
+  r.target = target;
+  r.add_members = add;
+  r.remove_members = remove;
+  return r;
+}
+
+const sv::RequestOutcome& outcome_of(const sv::ServeReport& report,
+                                     const std::string& id) {
+  for (const auto& o : report.outcomes)
+    if (o.request.id == id) return o;
+  throw std::runtime_error("no outcome for " + id);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NESTWX_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "report drifted from " << path
+      << "; if intentional, regenerate with NESTWX_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+
+TEST(ServeAdmission, BoundedQueueRejectsEqualAndEvictsWeaker) {
+  sv::ServeOptions options;
+  options.queue_depth = 1;
+  auto server = make_server(options);
+  // r0 is in service when the others arrive; the queue holds one.
+  const std::vector<sv::Request> requests = {
+      submit("r0", 0.0, 0, 100),
+      submit("r1", 1e-3, 1, 101),  // takes the queue slot
+      submit("r2", 2e-3, 1, 102),  // equal priority: not strictly weaker
+      submit("r3", 3e-3, 3, 103),  // strictly stronger: displaces r1
+  };
+  const auto report = server.execute(requests);
+  EXPECT_EQ(outcome_of(report, "r0").status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(outcome_of(report, "r1").status, sv::OutcomeStatus::evicted);
+  EXPECT_EQ(outcome_of(report, "r1").detail, "displaced by r3");
+  EXPECT_EQ(outcome_of(report, "r2").status, sv::OutcomeStatus::rejected);
+  EXPECT_EQ(outcome_of(report, "r2").detail, "queue full");
+  EXPECT_EQ(outcome_of(report, "r3").status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(report.metrics.completed, 2u);
+  EXPECT_EQ(report.metrics.rejected, 1u);
+  EXPECT_EQ(report.metrics.evicted, 1u);
+  // Never-served requests carry the sentinel times.
+  EXPECT_EQ(outcome_of(report, "r2").start, -1.0);
+  EXPECT_EQ(outcome_of(report, "r2").finish, -1.0);
+}
+
+TEST(ServeAging, StarvedLowPriorityEventuallyOutranksHighPriority) {
+  // The low-priority request arrives 0.01 virtual seconds before the
+  // high-priority one. With aging_rate 1000 its head start is worth 10
+  // effective-priority points — more than the priority gap of 4 — so it
+  // must serve first. With aging off, raw priority wins.
+  const std::vector<sv::Request> requests = {
+      submit("first", 0.0, 0, 100),
+      submit("low", 1e-3, 0, 101),
+      submit("high", 11e-3, 4, 102),
+  };
+  sv::ServeOptions aged;
+  aged.aging_rate = 1000.0;
+  auto aged_server = make_server(aged);
+  const auto aged_report = aged_server.execute(requests);
+  EXPECT_LT(outcome_of(aged_report, "low").start,
+            outcome_of(aged_report, "high").start);
+
+  sv::ServeOptions raw;
+  raw.aging_rate = 0.0;
+  auto raw_server = make_server(raw);
+  const auto raw_report = raw_server.execute(requests);
+  EXPECT_LT(outcome_of(raw_report, "high").start,
+            outcome_of(raw_report, "low").start);
+  // Everyone is served either way; aging only reorders.
+  EXPECT_EQ(aged_report.metrics.completed, 3u);
+  EXPECT_EQ(raw_report.metrics.completed, 3u);
+}
+
+TEST(ServeDedup, IdenticalFingerprintsCoalesceOntoOneExecution) {
+  sv::ServeOptions options;
+  options.queue_depth = 1;  // followers must not consume queue slots
+  auto server = make_server(options);
+  sv::Request rb = submit("rB", 2e-3, 3, 101);  // same work as rA, new id
+  const std::vector<sv::Request> requests = {
+      submit("r0", 0.0, 0, 100),
+      submit("rA", 1e-3, 0, 101),
+      rb,
+      submit("rC", 3e-3, 0, 100),  // same work as the in-service r0
+  };
+  const auto report = server.execute(requests);
+  const auto& ra = outcome_of(report, "rA");
+  const auto& rbo = outcome_of(report, "rB");
+  const auto& rc = outcome_of(report, "rC");
+  EXPECT_EQ(ra.status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(rbo.status, sv::OutcomeStatus::coalesced);
+  EXPECT_EQ(rbo.detail, "shared rA");
+  EXPECT_EQ(rbo.finish, ra.finish);
+  EXPECT_EQ(rbo.members, ra.members);
+  EXPECT_FALSE(rbo.executed);  // one execution, shared result
+  EXPECT_EQ(rc.status, sv::OutcomeStatus::coalesced);
+  EXPECT_EQ(rc.detail, "shared r0");
+  EXPECT_EQ(rc.finish, outcome_of(report, "r0").finish);
+  EXPECT_EQ(report.metrics.completed, 2u);
+  EXPECT_EQ(report.metrics.coalesced, 2u);
+  // A follower that arrived after service began waited zero virtual time.
+  EXPECT_EQ(rc.queue_wait, 0.0);
+}
+
+TEST(ServeDedup, FollowersMakeTheirPrimaryEvictionImmune) {
+  sv::ServeOptions options;
+  options.queue_depth = 1;
+  auto server = make_server(options);
+  const std::vector<sv::Request> requests = {
+      submit("r0", 0.0, 0, 100),
+      submit("rA", 1e-3, 0, 101),
+      submit("rB", 2e-3, 0, 101),  // coalesces onto queued rA
+      submit("rD", 3e-3, 4, 102),  // stronger, but rA now has a follower
+  };
+  const auto report = server.execute(requests);
+  // Evicting rA would orphan rB's promised response, so rD is rejected
+  // even though its priority is strictly higher.
+  EXPECT_EQ(outcome_of(report, "rA").status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(outcome_of(report, "rB").status, sv::OutcomeStatus::coalesced);
+  EXPECT_EQ(outcome_of(report, "rD").status, sv::OutcomeStatus::rejected);
+  EXPECT_EQ(report.metrics.evicted, 0u);
+}
+
+TEST(ServeAmend, SplicesIntoAQueuedTargetAndUpdatesItsFingerprint) {
+  auto server = make_server(sv::ServeOptions{});
+  sv::Request grown = submit("r2", 3e-3, 0, 101);
+  grown.members = 3;  // identical to r1 *after* its amend
+  const std::vector<sv::Request> requests = {
+      submit("r0", 0.0, 0, 100),
+      submit("r1", 1e-3, 0, 101),
+      amend("a1", 2e-3, "r1", /*add=*/1, /*remove=*/0),
+      grown,
+  };
+  const auto report = server.execute(requests);
+  const auto& a1 = outcome_of(report, "a1");
+  EXPECT_EQ(a1.status, sv::OutcomeStatus::amend_applied);
+  EXPECT_EQ(a1.detail, "spliced into queued r1");
+  const auto& r1 = outcome_of(report, "r1");
+  EXPECT_EQ(r1.status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(r1.members, 3);
+  EXPECT_EQ(r1.campaign.members, 3);
+  // The splice recomputed r1's fingerprint: a later submit asking for the
+  // amended ensemble coalesces onto it.
+  EXPECT_EQ(outcome_of(report, "r2").status, sv::OutcomeStatus::coalesced);
+  EXPECT_EQ(outcome_of(report, "r2").detail, "shared r1");
+  EXPECT_EQ(report.metrics.amends_applied, 1u);
+  EXPECT_EQ(report.metrics.submitted, 4u);
+}
+
+TEST(ServeAmend, InServiceTargetGetsAnIncrementalReplanFromTheCache) {
+  // Amend lands while the target is serving: the service synthesises a
+  // re-plan request with the same ensemble seed. Under time sharing a
+  // member's plan is independent of wave composition, so every unchanged
+  // member's plan must come straight from the shared cache.
+  auto server = make_server(sv::ServeOptions{});
+  sv::Request r0 = submit("r0", 0.0, 0, 100);
+  r0.members = 3;
+  r0.sharing = nestwx::campaign::Sharing::time;
+  const std::vector<sv::Request> requests = {
+      r0,
+      amend("a1", 1e-3, "r0", /*add=*/1, /*remove=*/0),
+  };
+  const auto report = server.execute(requests);
+  const auto& a1 = outcome_of(report, "a1");
+  EXPECT_EQ(a1.status, sv::OutcomeStatus::amend_replanned);
+  ASSERT_EQ(report.outcomes.size(), 3u);  // the synthesised re-plan appends
+  const auto& synth = report.outcomes[2];
+  EXPECT_EQ(a1.detail, "re-plan " + synth.request.id);
+  EXPECT_EQ(synth.request.id, "r0-replan1");
+  EXPECT_EQ(synth.status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(synth.members, 4);
+  EXPECT_EQ(synth.request.sharing, nestwx::campaign::Sharing::time);
+  // 3 unchanged members hit the cache; only the joiner plans from scratch.
+  EXPECT_EQ(synth.campaign.cache_hits, 3u);
+  EXPECT_EQ(synth.campaign.cache_misses, 1u);
+  EXPECT_EQ(report.metrics.amends_replanned, 1u);
+  EXPECT_EQ(report.metrics.completed, 2u);
+}
+
+TEST(ServeAmend, InvalidAmendsGetTypedOutcomes) {
+  auto server = make_server(sv::ServeOptions{});
+  const std::vector<sv::Request> requests = {
+      submit("r0", 0.0, 0, 100),  // 2 members
+      amend("a-lost", 1e-3, "nope", 1, 0),
+      amend("a-drop", 2e-3, "r0", 0, 2),    // would leave 0 members
+      amend("a-meta", 3e-3, "a-lost", 1, 0),  // target is not a submit
+  };
+  const auto report = server.execute(requests);
+  EXPECT_EQ(outcome_of(report, "a-lost").status,
+            sv::OutcomeStatus::amend_invalid);
+  EXPECT_EQ(outcome_of(report, "a-lost").detail, "unknown target nope");
+  EXPECT_EQ(outcome_of(report, "a-drop").status,
+            sv::OutcomeStatus::amend_invalid);
+  EXPECT_EQ(outcome_of(report, "a-meta").status,
+            sv::OutcomeStatus::amend_invalid);
+  EXPECT_EQ(report.metrics.amends_invalid, 3u);
+  // The mangled amends never disturbed the target.
+  EXPECT_EQ(outcome_of(report, "r0").status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(outcome_of(report, "r0").members, 2);
+}
+
+TEST(ServeDrain, TwoHundredRequestsAreByteIdenticalAtAnyThreadCount) {
+  // The acceptance property: a 200-request mixed-priority drain — with
+  // coalescing, eviction, spill-to-disk and reload all firing — produces
+  // byte-identical merged reports at 1, 2 and 8 worker threads, and the
+  // 1-thread report matches the checked-in golden.
+  const auto requests = sv::generate_requests(/*seed=*/7, /*count=*/200,
+                                              /*mean_gap=*/30.0);
+  ASSERT_EQ(requests.size(), 200u);
+
+  std::vector<std::string> reports;
+  std::vector<sv::ServeReport> raw;
+  for (const int threads : {1, 2, 8}) {
+    sv::ServeOptions options;
+    options.threads = threads;
+    options.queue_depth = 16;
+    options.aging_rate = 0.01;
+    options.cache.shards = 4;
+    options.cache.shard_capacity = 2;
+    options.cache.spill_dir =
+        fresh_dir("serve_drain_spill_t" + std::to_string(threads));
+    auto server = make_server(options);
+    sv::ServeReport report = server.execute(requests);
+    reports.push_back(
+        sv::report_to_json(report, server.machine(), server.options()));
+    raw.push_back(std::move(report));
+  }
+  EXPECT_EQ(reports[0], reports[1]) << "1-thread vs 2-thread drain differs";
+  EXPECT_EQ(reports[0], reports[2]) << "1-thread vs 8-thread drain differs";
+
+  // The drain must actually exercise the interesting machinery.
+  const sv::ServeReport& r = raw[0];
+  EXPECT_GE(r.metrics.coalesced, 1u) << "no cross-request coalesce fired";
+  EXPECT_GE(r.cache.spills, 1u) << "no LRU spill-to-disk fired";
+  EXPECT_GE(r.cache.reloads, 1u) << "no spill reload fired";
+  EXPECT_GE(r.metrics.completed, 10u);
+  EXPECT_EQ(r.metrics.submitted, 200u);
+  // `waits` is scheduling-dependent and must never appear in the report.
+  EXPECT_EQ(reports[0].find("\"waits\""), std::string::npos);
+
+  check_golden("serve_report.json", reports[0]);
+}
+
+TEST(ServeDrain, FiftyRequestSmokeMatchesGolden) {
+  // The CI smoke job's workload, pinned here too so a drift shows up in
+  // ctest before it shows up in CI.
+  const auto requests = sv::generate_requests(/*seed=*/11, /*count=*/50,
+                                              /*mean_gap=*/40.0);
+  sv::ServeOptions options;
+  options.queue_depth = 8;
+  options.aging_rate = 0.01;
+  options.cache.shards = 2;
+  options.cache.shard_capacity = 2;
+  options.cache.spill_dir = fresh_dir("serve_smoke_spill");
+  auto server = make_server(options);
+  const auto report = server.execute(requests);
+  check_golden("serve_smoke_report.json",
+               sv::report_to_json(report, server.machine(),
+                                  server.options()));
+}

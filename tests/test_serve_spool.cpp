@@ -1,0 +1,278 @@
+/// Request-queue crash safety and strict request parsing: spool files are
+/// claimed by atomic rename, claimed-but-unfinished files are re-queued on
+/// restart, and partial or corrupt spool files are rejected with typed
+/// errors and quarantined in rejected/ — the ingress counterpart of the
+/// checkpoint reader's hardened loading.
+
+#include "serve/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace sv = nestwx::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh spool directory per test.
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+const char* kGoodSubmit =
+    "{\"kind\": \"submit\", \"id\": \"r1\", \"arrival\": 5.0, "
+    "\"seed\": 7, \"members\": 3}";
+
+}  // namespace
+
+// --- Parsing: the strict flat-JSON request schema -----------------------
+
+TEST(RequestParse, SubmitRoundTripsThroughJson) {
+  sv::Request r;
+  r.kind = sv::RequestKind::submit;
+  r.id = "fc-eu-06z";
+  r.priority = 3;
+  r.arrival = 120.5;
+  r.seed = 101;
+  r.members = 3;
+  r.iterations = 40;
+  r.strategy = nestwx::core::Strategy::concurrent;
+  r.allocator = nestwx::core::Allocator::huffman_single;
+  r.scheme = nestwx::core::MapScheme::partition;
+  r.sharing = nestwx::campaign::Sharing::time;
+  r.max_concurrent = 2;
+  const sv::Request back = sv::parse_request(sv::to_json(r), "round-trip");
+  EXPECT_EQ(sv::to_json(back), sv::to_json(r));
+  EXPECT_EQ(sv::submit_fingerprint(back), sv::submit_fingerprint(r));
+}
+
+TEST(RequestParse, AmendRoundTripsThroughJson) {
+  sv::Request r;
+  r.kind = sv::RequestKind::amend;
+  r.id = "grow-1";
+  r.arrival = 9.25;
+  r.target = "fc-eu-06z";
+  r.add_members = 2;
+  const sv::Request back = sv::parse_request(sv::to_json(r), "round-trip");
+  EXPECT_EQ(sv::to_json(back), sv::to_json(r));
+}
+
+TEST(RequestParse, DefaultsApplyToOmittedSubmitKeys) {
+  const sv::Request r = sv::parse_request(
+      "{\"kind\": \"submit\", \"id\": \"d\", \"arrival\": 0}", "defaults");
+  EXPECT_EQ(r.priority, 0);
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(r.members, 4);
+  EXPECT_EQ(r.iterations, 50);
+  EXPECT_EQ(r.strategy, nestwx::core::Strategy::concurrent);
+  EXPECT_EQ(r.allocator, nestwx::core::Allocator::huffman);
+  EXPECT_EQ(r.scheme, nestwx::core::MapScheme::multilevel);
+  EXPECT_EQ(r.sharing, nestwx::campaign::Sharing::space);
+}
+
+TEST(RequestParse, FingerprintIgnoresIdentityFields) {
+  // Two ids asking for the same work must collide — the collision is the
+  // cross-request dedup.
+  sv::Request a = sv::parse_request(kGoodSubmit, "a");
+  sv::Request b = a;
+  b.id = "another-id";
+  b.priority = 4;
+  b.arrival = 99.0;
+  EXPECT_EQ(sv::submit_fingerprint(a), sv::submit_fingerprint(b));
+  b.iterations += 1;  // any work-defining scalar breaks the collision
+  EXPECT_NE(sv::submit_fingerprint(a), sv::submit_fingerprint(b));
+}
+
+TEST(RequestParse, RejectsMalformedRequestsWithTypedErrors) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(sv::parse_request(text, "t"), sv::RequestParseError)
+        << "accepted: " << text;
+  };
+  reject("");                                                // empty file
+  reject("not json at all");
+  reject("{\"kind\": \"submit\", \"id\": \"x\"");            // truncated
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0} trailing");
+  reject("{\"kind\": \"launch\", \"id\": \"x\", \"arrival\": 0}");
+  reject("{\"kind\": \"submit\", \"arrival\": 0}");          // missing id
+  reject("{\"kind\": \"submit\", \"id\": \"\", \"arrival\": 0}");
+  reject("{\"kind\": \"submit\", \"id\": \"x\"}");           // no arrival
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": -1}");
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"id\": \"x\"}");                                  // duplicate key
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"surprise\": 1}");                                // unknown key
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"members\": 0}");
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"members\": 2.5}");                               // non-integral
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"allocator\": \"magic\"}");
+  reject("{\"kind\": \"submit\", \"id\": \"x\", \"arrival\": 0, "
+         "\"members\": \"3\"}");                             // quoted number
+  reject("{\"kind\": \"amend\", \"id\": \"x\", \"arrival\": 0}");  // no target
+  reject("{\"kind\": \"amend\", \"id\": \"x\", \"arrival\": 0, "
+         "\"target\": \"y\"}");                              // zero delta
+  reject("{\"kind\": \"amend\", \"id\": \"x\", \"arrival\": 0, "
+         "\"target\": \"y\", \"add_members\": -1}");
+}
+
+TEST(RequestParse, ErrorsNameTheOriginFile) {
+  try {
+    sv::parse_request("{", "spool/evil.req");
+    FAIL() << "expected a throw";
+  } catch (const sv::RequestParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("spool/evil.req"),
+              std::string::npos);
+  }
+}
+
+TEST(RequestParse, ParseErrorsShareTheUtilErrorBase) {
+  EXPECT_THROW(sv::parse_request("{", "t"), nestwx::util::Error);
+}
+
+// --- Spool mechanics ----------------------------------------------------
+
+TEST(Spool, SubmitClaimCompleteLifecycle) {
+  const std::string dir = fresh_dir("spool_lifecycle");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "r1", kGoodSubmit);
+  EXPECT_EQ(spool.pending(), 1u);
+
+  const auto claimed = spool.claim_pending();
+  ASSERT_EQ(claimed.size(), 1u);
+  EXPECT_EQ(claimed[0].name, "r1");
+  EXPECT_EQ(claimed[0].text, kGoodSubmit);
+  EXPECT_EQ(spool.pending(), 0u);
+  // The claim renamed the file: no .req left, a .claimed in its place.
+  EXPECT_FALSE(fs::exists(dir + "/r1.req"));
+  EXPECT_TRUE(fs::exists(claimed[0].claimed_path));
+
+  spool.complete(claimed[0], "{\"status\": \"completed\"}\n");
+  EXPECT_FALSE(fs::exists(claimed[0].claimed_path));
+  EXPECT_EQ(read_file(dir + "/done/r1.req"), kGoodSubmit);
+  EXPECT_EQ(read_file(dir + "/done/r1.json"), "{\"status\": \"completed\"}\n");
+}
+
+TEST(Spool, ClaimsInLexicographicNameOrder) {
+  const std::string dir = fresh_dir("spool_order");
+  sv::Spool spool(dir);
+  // Submission order deliberately scrambled; claim order must not follow it.
+  for (const char* name : {"req-0010", "req-0002", "req-0001", "abc"})
+    sv::Spool::submit(dir, name, kGoodSubmit);
+  const auto claimed = spool.claim_pending();
+  ASSERT_EQ(claimed.size(), 4u);
+  EXPECT_EQ(claimed[0].name, "abc");
+  EXPECT_EQ(claimed[1].name, "req-0001");
+  EXPECT_EQ(claimed[2].name, "req-0002");
+  EXPECT_EQ(claimed[3].name, "req-0010");
+}
+
+TEST(Spool, SubmitIsAtomicAndValidatesNames) {
+  const std::string dir = fresh_dir("spool_atomic");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "ok", kGoodSubmit);
+  // No temp file may remain next to the submitted request.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_regular_file()) ++entries;
+  EXPECT_EQ(entries, 1u);
+  EXPECT_THROW(sv::Spool::submit(dir, "", kGoodSubmit), sv::SpoolError);
+  EXPECT_THROW(sv::Spool::submit(dir, "../escape", kGoodSubmit),
+               sv::SpoolError);
+}
+
+TEST(Spool, RejectQuarantinesTheFileWithItsReason) {
+  const std::string dir = fresh_dir("spool_reject");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "bad", "this is not a request");
+  const auto claimed = spool.claim_pending();
+  ASSERT_EQ(claimed.size(), 1u);
+
+  // The daemon's flow: parse fails with a typed error, the file and the
+  // reason land in rejected/.
+  std::string reason;
+  try {
+    sv::parse_request(claimed[0].text, claimed[0].name);
+    FAIL() << "expected a parse error";
+  } catch (const sv::RequestParseError& e) {
+    reason = e.what();
+  }
+  spool.reject(claimed[0], reason);
+  EXPECT_FALSE(fs::exists(claimed[0].claimed_path));
+  EXPECT_EQ(read_file(dir + "/rejected/bad.req"), "this is not a request");
+  EXPECT_EQ(read_file(dir + "/rejected/bad.error"), reason + "\n");
+  EXPECT_EQ(spool.pending(), 0u);
+}
+
+TEST(Spool, RecoverRequeuesClaimedButUnfinishedRequests) {
+  // Crash safety: a daemon claims two requests, completes one, and dies.
+  // The next daemon's recover() must re-queue exactly the unfinished one.
+  const std::string dir = fresh_dir("spool_crash");
+  {
+    sv::Spool daemon1(dir);
+    sv::Spool::submit(dir, "r1", kGoodSubmit);
+    sv::Spool::submit(dir, "r2", kGoodSubmit);
+    const auto claimed = daemon1.claim_pending();
+    ASSERT_EQ(claimed.size(), 2u);
+    daemon1.complete(claimed[0], "{\"status\": \"completed\"}\n");
+    // ...daemon1 dies here with r2 still claimed.
+  }
+  sv::Spool daemon2(dir);
+  EXPECT_EQ(daemon2.pending(), 0u);  // r2 is claimed, not pending
+  EXPECT_EQ(daemon2.recover(), 1u);
+  EXPECT_EQ(daemon2.pending(), 1u);
+  const auto reclaimed = daemon2.claim_pending();
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed[0].name, "r2");
+  EXPECT_EQ(reclaimed[0].text, kGoodSubmit);
+  // r1's results were untouched by the recovery.
+  EXPECT_TRUE(fs::exists(dir + "/done/r1.json"));
+}
+
+TEST(Spool, RecoverOnACleanSpoolIsANoop) {
+  const std::string dir = fresh_dir("spool_clean");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "r1", kGoodSubmit);
+  EXPECT_EQ(spool.recover(), 0u);
+  EXPECT_EQ(spool.pending(), 1u);
+}
+
+TEST(Spool, CorruptSpoolFileSurvivesTheCrashLoop) {
+  // The nastiest combination: a daemon claims a *corrupt* request, dies
+  // before rejecting it, and the next daemon recovers, reclaims, and
+  // rejects it properly. The bad file must end up quarantined, never
+  // lost, and never looping forever.
+  const std::string dir = fresh_dir("spool_corrupt_crash");
+  const std::string corrupt =
+      "{\"kind\": \"submit\", \"id\": \"x\", \"arr";  // truncated mid-key
+  {
+    sv::Spool daemon1(dir);
+    sv::Spool::submit(dir, "evil", corrupt);
+    const auto claimed = daemon1.claim_pending();
+    ASSERT_EQ(claimed.size(), 1u);
+    // daemon1 dies before parsing.
+  }
+  sv::Spool daemon2(dir);
+  EXPECT_EQ(daemon2.recover(), 1u);
+  const auto claimed = daemon2.claim_pending();
+  ASSERT_EQ(claimed.size(), 1u);
+  EXPECT_THROW(sv::parse_request(claimed[0].text, claimed[0].name),
+               sv::RequestParseError);
+  daemon2.reject(claimed[0], "truncated request");
+  EXPECT_EQ(read_file(dir + "/rejected/evil.req"), corrupt);
+  EXPECT_EQ(daemon2.pending(), 0u);
+  EXPECT_EQ(daemon2.claim_pending().size(), 0u);
+}

@@ -20,6 +20,8 @@
 ///   --sharing=space|time     machine sharing mode               [space]
 ///   --max-concurrent=N       members per wave (0 = face limit)  [0]
 ///   --no-cache               disable the plan cache
+///   --cache-capacity=N       bound the plan cache to N ready plans
+///                            (deterministic LRU eviction; 0 = unbounded)
 ///   --repeat=R               run the campaign R times against the
 ///                            same scheduler (warm-cache demo)   [1]
 ///   --allocator=huffman|huffman-single|strips|equal             [huffman]
@@ -189,6 +191,9 @@ int main(int argc, char** argv) {
               << core::default_basis_domains().size()
               << " basis domains)...\n";
     auto scheduler = campaign::CampaignScheduler::with_profiled_model(machine);
+    const auto cache_capacity =
+        static_cast<std::size_t>(cli.get_int("cache-capacity", 0));
+    if (cache_capacity > 0) scheduler.cache().set_capacity(cache_capacity);
 
     // --- Fault plan, when requested: explicit script or seeded random.
     fault::FaultOptions fault_options;
@@ -273,6 +278,21 @@ int main(int argc, char** argv) {
               << util::Table::num(metrics.latency_p99, 1) << " s, cache "
               << metrics.cache_hits << " hit / " << metrics.cache_misses
               << " miss\n";
+    // Cumulative plan-cache counters across every run of this scheduler.
+    // `waits` (calls that actually blocked on an in-flight computation) is
+    // scheduling-dependent, so it appears here on stdout only — the JSON
+    // report carries the deterministic single_flight_joins instead.
+    const campaign::PlanCacheStats cache_stats = scheduler.cache().stats();
+    std::cout << "plan cache: " << cache_stats.hits << " hit / "
+              << cache_stats.misses << " miss ("
+              << cache_stats.waits << " single-flight wait(s)), "
+              << cache_stats.evictions << " evicted, " << cache_stats.size
+              << " resident"
+              << (cache_stats.capacity > 0
+                      ? " / capacity " + std::to_string(cache_stats.capacity)
+                      : std::string())
+              << ", " << report.metrics.single_flight_joins
+              << " join(s)\n";
 
     if (with_faults) {
       if (!fault_report.recoveries.empty()) {

@@ -1,0 +1,188 @@
+/// \file nestwx_serve.cpp
+/// Campaign-service daemon: drain a file-backed spool of campaign
+/// requests against one machine, with admission control, priority aging,
+/// cross-request dedup and a sharded spill-to-disk plan cache.
+///
+///   # fill a spool with a deterministic mixed-priority workload
+///   nestwx-serve --spool=/tmp/spool --generate=200 --gen-seed=7
+///
+///   # drain it: one pass claims, executes, and retires every request
+///   nestwx-serve --spool=/tmp/spool --threads=8 --json=serve.json
+///
+/// Flags:
+///   --spool=DIR              spool directory (required)
+///   --machine=bgl|bgp        machine family                     [bgl]
+///   --cores=N                partition size                     [64]
+///   --threads=N              host worker threads per campaign   [4]
+///   --queue-depth=N          admission bound                    [16]
+///   --aging-rate=R           priority gain per virtual second   [0.01]
+///   --shards=N               plan cache shards                  [4]
+///   --shard-capacity=N       ready plans per shard (0 = all)    [0]
+///   --spill-dir=DIR          plan spill directory ("" = none)
+///   --json=PATH              write the merged drain report
+///   --watch                  poll the spool until interrupted (one
+///                            drain pass per non-empty poll)
+///   --generate=N             write N generated requests into the spool
+///                            and exit (no drain)
+///   --gen-seed=S             request generator seed             [7]
+///   --gen-gap=G              mean inter-arrival gap, virtual s  [50]
+///
+/// The merged report and every per-request response in done/ are
+/// deterministic: byte-identical for the same spool content at any
+/// --threads value.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/spool.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/machines.hpp"
+
+namespace {
+
+using namespace nestwx;
+
+/// One claim-parse-execute-retire pass. Returns how many spool files it
+/// consumed (including rejected ones).
+std::size_t drain_once(serve::Spool& spool, serve::CampaignServer& server,
+                       const std::string& json_path) {
+  std::vector<serve::ClaimedRequest> claimed = spool.claim_pending();
+  if (claimed.empty()) return 0;
+
+  std::vector<serve::Request> requests;
+  std::vector<const serve::ClaimedRequest*> sources;
+  requests.reserve(claimed.size());
+  std::size_t parse_rejected = 0;
+  for (const auto& file : claimed) {
+    try {
+      requests.push_back(serve::parse_request(file.text, file.name));
+      sources.push_back(&file);
+    } catch (const serve::RequestParseError& e) {
+      spool.reject(file, e.what());
+      ++parse_rejected;
+    }
+  }
+  std::cout << "claimed " << claimed.size() << " request file(s)";
+  if (parse_rejected > 0)
+    std::cout << ", rejected " << parse_rejected << " malformed";
+  std::cout << "\n";
+  if (requests.empty()) return claimed.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const serve::ServeReport report = server.execute(requests);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Retire the spool files with their responses. Outcomes [0, n) are the
+  // claimed requests in claim order; synthesised re-plans follow and have
+  // no spool file of their own.
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    spool.complete(*sources[i],
+                   serve::outcome_to_json(report.outcomes[i]) + "\n");
+
+  const serve::ServeMetrics& m = report.metrics;
+  std::cout << "drain: " << m.submitted << " submitted, " << m.completed
+            << " completed, " << m.coalesced << " coalesced, " << m.rejected
+            << " rejected, " << m.evicted << " evicted, "
+            << (m.amends_applied + m.amends_replanned + m.amends_invalid)
+            << " amend(s)\n";
+  std::cout << "virtual: makespan " << util::Table::num(m.drain_makespan, 1)
+            << " s, utilization "
+            << util::Table::num(100.0 * m.utilization, 1)
+            << "%, wait p50/p99 " << util::Table::num(m.wait_p50, 1) << "/"
+            << util::Table::num(m.wait_p99, 1) << " s, sustained "
+            << util::Table::num(m.sustained_per_hour, 2)
+            << " requests/h\n";
+  const serve::ShardedCacheStats& c = report.cache;
+  // `waits` is scheduling-dependent and deliberately appears only here on
+  // stdout, never in the JSON report.
+  std::cout << "plan cache: " << c.total.hits << " hit / " << c.total.misses
+            << " miss (" << c.total.waits << " single-flight wait(s)), "
+            << c.total.evictions << " evicted, " << c.spills << " spilled, "
+            << c.reloads << " reloaded, " << c.spill_failures
+            << " damaged spill(s), " << c.total.size << " resident\n";
+  std::cout << "wall: " << util::Table::num(wall, 2) << " s\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    NESTWX_REQUIRE(out.good(), "cannot open " + json_path + " for writing");
+    out << serve::report_to_json(report, server.machine(),
+                                 server.options());
+    NESTWX_REQUIRE(out.good(), "failed writing " + json_path);
+    std::cout << "report written to " << json_path << "\n";
+  }
+  return claimed.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    NESTWX_REQUIRE(cli.has("spool"), "--spool=DIR is required");
+    const std::string spool_dir = cli.get("spool", "");
+
+    if (cli.has("generate")) {
+      const int count = static_cast<int>(cli.get_int("generate", 0));
+      const auto requests = serve::generate_requests(
+          static_cast<std::uint64_t>(cli.get_int("gen-seed", 7)), count,
+          cli.get_double("gen-gap", 50.0));
+      serve::Spool spool(spool_dir);  // creates the directory tree
+      for (const auto& r : requests)
+        serve::Spool::submit(spool_dir, r.id, serve::to_json(r) + "\n");
+      std::cout << "generated " << requests.size() << " request(s) in "
+                << spool_dir << "\n";
+      return 0;
+    }
+
+    const int cores = static_cast<int>(cli.get_int("cores", 64));
+    const auto machine = cli.get("machine", "bgl") == "bgp"
+                             ? workload::bluegene_p(cores)
+                             : workload::bluegene_l(cores);
+    serve::ServeOptions options;
+    options.threads = static_cast<int>(cli.get_int("threads", 4));
+    options.queue_depth =
+        static_cast<std::size_t>(cli.get_int("queue-depth", 16));
+    options.aging_rate = cli.get_double("aging-rate", 0.01);
+    options.cache.shards =
+        static_cast<std::size_t>(cli.get_int("shards", 4));
+    options.cache.shard_capacity =
+        static_cast<std::size_t>(cli.get_int("shard-capacity", 0));
+    options.cache.spill_dir = cli.get("spill-dir", "");
+
+    serve::Spool spool(spool_dir);
+    const std::size_t recovered = spool.recover();
+    if (recovered > 0)
+      std::cout << "recovered " << recovered
+                << " claimed-but-unfinished request(s)\n";
+
+    std::cout << "nestwx-serve: " << machine.name << ", " << cores
+              << " cores, spool " << spool_dir << ", queue depth "
+              << options.queue_depth << ", " << options.cache.shards
+              << " cache shard(s)"
+              << (options.cache.spill_dir.empty()
+                      ? std::string()
+                      : ", spill " + options.cache.spill_dir)
+              << "\n";
+    std::cout << "fitting perf model...\n";
+    auto server = serve::CampaignServer::with_profiled_model(machine, options);
+
+    const std::string json_path = cli.get("json", "");
+    drain_once(spool, server, json_path);
+    while (cli.has("watch")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (spool.pending() > 0) drain_once(spool, server, json_path);
+    }
+    return 0;
+  } catch (const nestwx::util::Error& e) {
+    std::cerr << "nestwx-serve: " << e.what() << "\n";
+    return 1;
+  }
+}
