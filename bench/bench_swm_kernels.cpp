@@ -1,18 +1,30 @@
 /// \file bench_swm_kernels.cpp
 /// Cell-update throughput of the SWM dynamical core fast path.
 ///
-/// Three sections:
+/// Sections:
+///  0. validation — the dispatched kernels are compared against the
+///     frozen reference with the shared tolerance utility
+///     (swm/compare.hpp): exact tiers must agree bit for bit, the
+///     fast-math tier within a documented relative bound. A bench that
+///     measures a wrong kernel measures nothing;
 ///  1. tendency kernels — the library's dispatched `compute_tendency`
-///     (branch-hoisted, row-streamed, unchecked) versus a `reference`
-///     kernel kept in this file that reproduces the pre-fast-path
-///     implementation: out-of-line bounds-checked element access and the
-///     nonlinear/viscosity branches inside the inner loops;
-///  2. RK3 — whole `Stepper::step` throughput (fused stage loops);
-///  3. siblings — sequential versus thread-pool-concurrent integration of
-///     a 4-sibling nested simulation.
+///     (branch-hoisted, row-streamed, unchecked, SIMD in NESTWX_SIMD
+///     builds) versus a `reference` kernel kept in this file that
+///     reproduces the pre-fast-path implementation: out-of-line
+///     bounds-checked element access and the nonlinear/viscosity branches
+///     inside the inner loops;
+///  2. per-loop roofline — each fused tendency loop (mass/u/v) measured
+///     separately with nominal FLOP and byte counts, reporting GF/s and
+///     bytes/FLOP so the memory- vs compute-bound balance is visible;
+///  3. RK3 — whole `Stepper::step` throughput (fused stage loops), plus a
+///     cache-tile sweep (tile_rows ∈ {8, 16, 32, full});
+///  4. siblings — sequential versus thread-pool-concurrent integration of
+///     a 4-sibling nested simulation (with compute/exchange overlap when
+///     a pool is attached).
 ///
-/// Emits a human table plus a machine-readable JSON report so the perf
-/// trajectory is trackable across PRs (`BENCH_*.json` / CI artifact):
+/// Emits a human table plus a machine-readable JSON report (including the
+/// build tier, see swm/simd.hpp) so the perf trajectory is trackable
+/// across PRs and build tiers (`BENCH_*.json` / CI artifact):
 ///
 ///   bench_swm_kernels [--quick] [--json=PATH] [--threads=N]
 
@@ -26,7 +38,9 @@
 
 #include "nest/simulation.hpp"
 #include "swm/bc.hpp"
+#include "swm/compare.hpp"
 #include "swm/dynamics.hpp"
+#include "swm/simd.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -209,10 +223,46 @@ struct KernelRow {
   double fast_rate = 0.0;  ///< library kernel cell-updates/s
 };
 
+/// Nominal per-point work of each fused tendency loop in the
+/// nonlinear-viscous variant (hand-counted from the kernel expressions;
+/// bytes assume every distinct stencil read misses registers — an upper
+/// bound, since rows are reused across j). Used for roofline-style GF/s
+/// and bytes/FLOP, not for timing.
+struct LoopSpec {
+  const char* name;
+  double flops_per_point;
+  double bytes_per_point;
+};
+constexpr LoopSpec kLoops[] = {
+    {"mass", 17.0, 80.0},  // 9 reads + 1 write of 8 B
+    {"u", 32.0, 112.0},    // 13 reads + 1 write
+    {"v", 32.0, 112.0},
+};
+
+struct LoopRow {
+  int nx = 0, ny = 0;
+  std::string loop;
+  double points_per_s = 0.0;
+  double gflops = 0.0;          ///< nominal GFLOP/s
+  double bytes_per_flop = 0.0;  ///< arithmetic intensity (inverse)
+};
+
+struct ValidationRow {
+  std::string variant;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  bool ok = false;
+};
+
 struct StepRow {
   int nx = 0, ny = 0;
   double steps_per_s = 0.0;
   double cell_rate = 0.0;  ///< cell-updates/s counting the 3 RK3 stages
+};
+
+struct TileRow {
+  int tile = 0;  ///< 0 = full sweep
+  double steps_per_s = 0.0;
 };
 
 struct SiblingRow {
@@ -250,6 +300,39 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::pair<int, int>>{{64, 64}, {128, 128}}
             : std::vector<std::pair<int, int>>{{64, 64}, {128, 128}, {256, 256}};
 
+  std::cout << "build tier: " << s::build_tier_name() << "\n";
+
+  // --- Section 0: kernel validation ---------------------------------------
+  // Exact tiers must reproduce the reference bit for bit; the fast-math
+  // tier is held to the same relative bound the fast-math goldens use.
+  constexpr double kFastmathRelBound = 1e-7;
+  std::vector<ValidationRow> validation;
+  {
+    const s::State st = bench_state(128, 128);
+    s::Tendency ref(st.grid);
+    s::Tendency fast(st.grid);
+    for (const auto& variant : kVariants) {
+      const s::ModelParams p = variant_params(variant);
+      reference_tendency(st, p, ref);
+      s::compute_tendency(st, p, fast);
+      ValidationRow row;
+      row.variant = variant.name;
+      const s::Field2D* ref_fields[] = {&ref.dh, &ref.du, &ref.dv};
+      const s::Field2D* fast_fields[] = {&fast.dh, &fast.du, &fast.dv};
+      for (int f = 0; f < 3; ++f) {
+        const s::FieldDiff d =
+            s::field_diff(*ref_fields[f], *fast_fields[f]);
+        row.max_abs_err = std::max(row.max_abs_err, d.max_abs_err);
+        row.max_rel_err = std::max(row.max_rel_err, d.max_rel_err);
+      }
+      row.ok = s::build_tier().fastmath
+                   ? row.max_rel_err <= kFastmathRelBound
+                   : row.max_abs_err == 0.0;
+      validation.push_back(row);
+      NESTWX_REQUIRE(row.ok, "dispatched kernel disagrees with reference");
+    }
+  }
+
   // --- Section 1: tendency kernels --------------------------------------
   std::vector<KernelRow> kernels;
   for (const auto& [nx, ny] : grids) {
@@ -270,7 +353,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- Section 2: RK3 step ----------------------------------------------
+  // --- Section 2: per-loop roofline ---------------------------------------
+  // Each fused tendency loop timed in isolation (nonlinear-viscous variant,
+  // the full-cost stencil) with nominal FLOP/byte counts.
+  std::vector<LoopRow> loops;
+  for (const auto& [nx, ny] : grids) {
+    s::State st = bench_state(nx, ny);
+    s::Tendency tend(st.grid);
+    const s::ModelParams p = variant_params(kVariants[0]);
+    const double points[] = {
+        static_cast<double>(nx) * ny,          // mass: cell centers
+        static_cast<double>(nx + 1) * ny,      // u: x-faces
+        static_cast<double>(nx) * (ny + 1)};   // v: y-faces
+    for (int l = 0; l < 3; ++l) {
+      const auto run_loop = [&] {
+        switch (l) {
+          case 0: s::tendency_mass(st, p, tend.dh); break;
+          case 1: s::tendency_u(st, p, tend.du); break;
+          default: s::tendency_v(st, p, tend.dv); break;
+        }
+      };
+      LoopRow row;
+      row.nx = nx;
+      row.ny = ny;
+      row.loop = kLoops[l].name;
+      row.points_per_s = points[l] * rate_of(run_loop, min_seconds);
+      row.gflops = row.points_per_s * kLoops[l].flops_per_point / 1e9;
+      row.bytes_per_flop =
+          kLoops[l].bytes_per_point / kLoops[l].flops_per_point;
+      loops.push_back(row);
+    }
+  }
+
+  // --- Section 3: RK3 step ----------------------------------------------
   std::vector<StepRow> steps;
   for (const auto& [nx, ny] : grids) {
     s::State st = bench_state(nx, ny);
@@ -292,7 +407,33 @@ int main(int argc, char** argv) {
     steps.push_back(row);
   }
 
-  // --- Section 3: sequential vs concurrent siblings ----------------------
+  // --- Section 3b: cache-tile sweep ---------------------------------------
+  // Stepper::step on the largest grid at each tile_rows setting. The
+  // result is bit-identical across tiles (test_swm_tiling); only the
+  // cache behaviour — and therefore this table — may differ.
+  std::vector<TileRow> tiles;
+  {
+    const auto [nx, ny] = grids.back();
+    s::State st = bench_state(nx, ny);
+    s::Stepper stepper(st.grid, variant_params(kVariants[0]));
+    const double dt = 0.25 * stepper.stable_dt(st);
+    for (const int tile : {8, 16, 32, 0}) {
+      stepper.set_tile_rows(tile);
+      s::State work = st;
+      int k = 0;
+      TileRow row;
+      row.tile = tile;
+      row.steps_per_s = rate_of(
+          [&] {
+            if (++k % 512 == 0) work = st;
+            stepper.step(work, dt);
+          },
+          min_seconds);
+      tiles.push_back(row);
+    }
+  }
+
+  // --- Section 4: sequential vs concurrent siblings ----------------------
   std::vector<SiblingRow> siblings;
   {
     const int advance_block = quick ? 2 : 4;
@@ -315,6 +456,15 @@ int main(int argc, char** argv) {
   }
 
   // --- Report -------------------------------------------------------------
+  u::Table tv({"variant", "max abs err", "max rel err", "verdict"});
+  for (const auto& r : validation)
+    tv.add_row({r.variant, u::Table::num(r.max_abs_err, 3),
+                u::Table::num(r.max_rel_err, 3), r.ok ? "ok" : "FAIL"});
+  std::cout << "\n###### bench_swm_kernels — kernel validation ("
+            << (s::build_tier().fastmath ? "tolerance" : "bit-exact")
+            << ") ######\n";
+  tv.print(std::cout);
+
   u::Table tk({"grid", "variant", "ref Mcell/s", "fast Mcell/s", "speedup"});
   for (const auto& r : kernels)
     tk.add_row({std::to_string(r.nx) + "x" + std::to_string(r.ny), r.variant,
@@ -324,6 +474,15 @@ int main(int argc, char** argv) {
   std::cout << "\n###### bench_swm_kernels — tendency kernels ######\n";
   tk.print(std::cout);
 
+  u::Table tl({"grid", "loop", "Mpoint/s", "GF/s (nominal)", "bytes/FLOP"});
+  for (const auto& r : loops)
+    tl.add_row({std::to_string(r.nx) + "x" + std::to_string(r.ny), r.loop,
+                u::Table::num(r.points_per_s / 1e6, 1),
+                u::Table::num(r.gflops, 2),
+                u::Table::num(r.bytes_per_flop, 2)});
+  std::cout << "\n###### bench_swm_kernels — per-loop roofline ######\n";
+  tl.print(std::cout);
+
   u::Table ts({"grid", "steps/s", "Mcell/s"});
   for (const auto& r : steps)
     ts.add_row({std::to_string(r.nx) + "x" + std::to_string(r.ny),
@@ -331,6 +490,16 @@ int main(int argc, char** argv) {
                 u::Table::num(r.cell_rate / 1e6, 1)});
   std::cout << "\n###### bench_swm_kernels — RK3 step ######\n";
   ts.print(std::cout);
+
+  u::Table tt({"tile rows", "steps/s", "vs full sweep"});
+  for (const auto& r : tiles)
+    tt.add_row({r.tile == 0 ? "full" : std::to_string(r.tile),
+                u::Table::num(r.steps_per_s, 1),
+                u::Table::num(r.steps_per_s / tiles.back().steps_per_s, 2)});
+  std::cout << "\n###### bench_swm_kernels — cache-tile sweep ("
+            << grids.back().first << "x" << grids.back().second
+            << ") ######\n";
+  tt.print(std::cout);
 
   u::Table tc({"threads", "advances/s", "speedup vs seq"});
   for (const auto& r : siblings)
@@ -348,10 +517,30 @@ int main(int argc, char** argv) {
   }
 
   // --- JSON ---------------------------------------------------------------
+  const s::BuildTier tier = s::build_tier();
   std::string j = "{\n  \"bench\": \"swm_kernels\",\n  \"quick\": ";
   j += quick ? "true" : "false";
   j += ",\n  \"hardware_concurrency\": " + std::to_string(hw_threads);
-  j += ",\n  \"kernels\": [\n";
+  j += ",\n  \"tier\": " + u::json_quote(s::build_tier_name());
+  j += ",\n  \"tier_flags\": {\"simd_compiled\": ";
+  j += tier.simd_compiled ? "true" : "false";
+  j += ", \"vector_loops\": ";
+  j += tier.vector_loops ? "true" : "false";
+  j += ", \"check_bounds\": ";
+  j += tier.check_bounds ? "true" : "false";
+  j += ", \"fastmath\": ";
+  j += tier.fastmath ? "true" : "false";
+  j += "}";
+  j += ",\n  \"validation\": [\n";
+  for (std::size_t i = 0; i < validation.size(); ++i) {
+    const auto& r = validation[i];
+    j += "    {\"variant\": " + u::json_quote(r.variant) +
+         ", \"max_abs_err\": " + u::json_num(r.max_abs_err) +
+         ", \"max_rel_err\": " + u::json_num(r.max_rel_err) +
+         ", \"ok\": " + (r.ok ? "true" : "false") + "}";
+    j += (i + 1 < validation.size()) ? ",\n" : "\n";
+  }
+  j += "  ],\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     const auto& r = kernels[i];
     j += "    {\"grid\": \"" + std::to_string(r.nx) + "x" +
@@ -361,6 +550,16 @@ int main(int argc, char** argv) {
          ", \"speedup\": " + u::json_num(r.fast_rate / r.ref_rate) + "}";
     j += (i + 1 < kernels.size()) ? ",\n" : "\n";
   }
+  j += "  ],\n  \"loops\": [\n";
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const auto& r = loops[i];
+    j += "    {\"grid\": \"" + std::to_string(r.nx) + "x" +
+         std::to_string(r.ny) + "\", \"loop\": " + u::json_quote(r.loop) +
+         ", \"points_per_s\": " + u::json_num(r.points_per_s) +
+         ", \"gflops_nominal\": " + u::json_num(r.gflops) +
+         ", \"bytes_per_flop\": " + u::json_num(r.bytes_per_flop) + "}";
+    j += (i + 1 < loops.size()) ? ",\n" : "\n";
+  }
   j += "  ],\n  \"rk3\": [\n";
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const auto& r = steps[i];
@@ -369,6 +568,13 @@ int main(int argc, char** argv) {
          "\", \"steps_per_s\": " + u::json_num(r.steps_per_s) +
          ", \"cells_per_s\": " + u::json_num(r.cell_rate) + "}";
     j += (i + 1 < steps.size()) ? ",\n" : "\n";
+  }
+  j += "  ],\n  \"tiles\": [\n";
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const auto& r = tiles[i];
+    j += "    {\"tile_rows\": " + std::to_string(r.tile) +
+         ", \"steps_per_s\": " + u::json_num(r.steps_per_s) + "}";
+    j += (i + 1 < tiles.size()) ? ",\n" : "\n";
   }
   j += "  ],\n  \"siblings\": [\n";
   for (std::size_t i = 0; i < siblings.size(); ++i) {

@@ -41,6 +41,31 @@ void interp_region(const swm::Field2D& prev, const swm::Field2D& next,
   }
 }
 
+/// Sample a single parent time level into a rectangle of `dst` — the
+/// staging half of the overlap path. Stores the raw bilinear samples
+/// (no blend arithmetic) so a later (1−α)·a + α·b over two staged levels
+/// reproduces interp_region's values bit for bit.
+void sample_region(const swm::Field2D& src, swm::Field2D& dst,
+                   const AxisMap& mx, const AxisMap& my, int i0, int i1,
+                   int j0, int j1) {
+  for (int j = j0; j < j1; ++j) {
+    const double py = my.parent_index(j);
+    for (int i = i0; i < i1; ++i) dst(i, j) = src.sample(mx.parent_index(i), py);
+  }
+}
+
+/// The four ghost bands of a cnx × cny child field with `halo` rings:
+/// west, east, south, north (corners are covered by the south/north bands
+/// spanning the extended i range) — the band geometry force_boundary and
+/// the staged exchange share.
+template <class Fn>
+void for_each_ghost_band(int cnx, int cny, int halo, Fn&& band) {
+  band(-halo, 0, 0, cny);                   // W
+  band(cnx, cnx + halo, 0, cny);            // E
+  band(-halo, cnx + halo, -halo, 0);        // S
+  band(-halo, cnx + halo, cny, cny + halo); // N
+}
+
 }  // namespace
 
 NestedDomain::NestedDomain(const swm::State& parent, const NestSpec& spec)
@@ -93,26 +118,108 @@ void NestedDomain::force_boundary(const swm::State& prev,
   const int nx = state_.grid.nx;
   const int ny = state_.grid.ny;
 
-  // Four ghost bands per field: west, east, south, north (corners are
-  // covered by the south/north bands spanning the extended i range).
   auto fill = [&](const swm::Field2D& p, const swm::Field2D& n,
                   swm::Field2D& c, const AxisMap& ax, const AxisMap& ay,
                   int cnx, int cny) {
-    interp_region(p, n, alpha, c, ax, ay, -halo, 0, 0, cny);          // W
-    interp_region(p, n, alpha, c, ax, ay, cnx, cnx + halo, 0, cny);   // E
-    interp_region(p, n, alpha, c, ax, ay, -halo, cnx + halo, -halo, 0);  // S
-    interp_region(p, n, alpha, c, ax, ay, -halo, cnx + halo, cny,
-                  cny + halo);  // N
+    for_each_ghost_band(cnx, cny, halo, [&](int i0, int i1, int j0, int j1) {
+      interp_region(p, n, alpha, c, ax, ay, i0, i1, j0, j1);
+    });
   };
   fill(prev.h, next.h, state_.h, cx, cy, nx, ny);
   fill(prev.u, next.u, state_.u, fx, cy, nx + 1, ny);
   fill(prev.v, next.v, state_.v, cx, fy, nx, ny + 1);
 }
 
+void NestedDomain::ensure_staging() {
+  if (staging_ready_) return;
+  const swm::GridSpec& g = state_.grid;
+  stage_prev_h_ = swm::Field2D(g.nx, g.ny, g.halo);
+  stage_prev_u_ = swm::Field2D(g.nx + 1, g.ny, g.halo);
+  stage_prev_v_ = swm::Field2D(g.nx, g.ny + 1, g.halo);
+  stage_next_h_ = swm::Field2D(g.nx, g.ny, g.halo);
+  stage_next_u_ = swm::Field2D(g.nx + 1, g.ny, g.halo);
+  stage_next_v_ = swm::Field2D(g.nx, g.ny + 1, g.halo);
+  staging_ready_ = true;
+}
+
+void NestedDomain::stage_ghosts_prev(const swm::State& prev) {
+  ensure_staging();
+  const int r = spec_.ratio;
+  const AxisMap cx{spec_.anchor_i, r, 0.5, 0.5};
+  const AxisMap cy{spec_.anchor_j, r, 0.5, 0.5};
+  const AxisMap fx{spec_.anchor_i, r, 0.0, 0.0};
+  const AxisMap fy{spec_.anchor_j, r, 0.0, 0.0};
+  const int halo = state_.grid.halo;
+  auto stage = [&](const swm::Field2D& src, swm::Field2D& dst,
+                   const AxisMap& ax, const AxisMap& ay, int cnx, int cny) {
+    for_each_ghost_band(cnx, cny, halo, [&](int i0, int i1, int j0, int j1) {
+      sample_region(src, dst, ax, ay, i0, i1, j0, j1);
+    });
+  };
+  stage(prev.h, stage_prev_h_, cx, cy, state_.grid.nx, state_.grid.ny);
+  stage(prev.u, stage_prev_u_, fx, cy, state_.grid.nx + 1, state_.grid.ny);
+  stage(prev.v, stage_prev_v_, cx, fy, state_.grid.nx, state_.grid.ny + 1);
+}
+
+void NestedDomain::stage_ghosts_next(const swm::State& next) {
+  ensure_staging();
+  const int r = spec_.ratio;
+  const AxisMap cx{spec_.anchor_i, r, 0.5, 0.5};
+  const AxisMap cy{spec_.anchor_j, r, 0.5, 0.5};
+  const AxisMap fx{spec_.anchor_i, r, 0.0, 0.0};
+  const AxisMap fy{spec_.anchor_j, r, 0.0, 0.0};
+  const int halo = state_.grid.halo;
+  auto stage = [&](const swm::Field2D& src, swm::Field2D& dst,
+                   const AxisMap& ax, const AxisMap& ay, int cnx, int cny) {
+    for_each_ghost_band(cnx, cny, halo, [&](int i0, int i1, int j0, int j1) {
+      sample_region(src, dst, ax, ay, i0, i1, j0, j1);
+    });
+  };
+  stage(next.h, stage_next_h_, cx, cy, state_.grid.nx, state_.grid.ny);
+  stage(next.u, stage_next_u_, fx, cy, state_.grid.nx + 1, state_.grid.ny);
+  stage(next.v, stage_next_v_, cx, fy, state_.grid.nx, state_.grid.ny + 1);
+}
+
+void NestedDomain::blend_staged_ghosts(double alpha) {
+  NESTWX_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  NESTWX_REQUIRE(staging_ready_,
+                 "blend_staged_ghosts needs stage_ghosts_prev/next first");
+  const int halo = state_.grid.halo;
+  auto blend = [&](const swm::Field2D& pa, const swm::Field2D& pb,
+                   swm::Field2D& c, int cnx, int cny) {
+    for_each_ghost_band(cnx, cny, halo, [&](int i0, int i1, int j0, int j1) {
+      for (int j = j0; j < j1; ++j) {
+        for (int i = i0; i < i1; ++i) {
+          const double a = pa(i, j);
+          const double b = pb(i, j);
+          // Same expression as interp_region: bit-identical ghosts.
+          c(i, j) = (1.0 - alpha) * a + alpha * b;
+        }
+      }
+    });
+  };
+  blend(stage_prev_h_, stage_next_h_, state_.h, state_.grid.nx,
+        state_.grid.ny);
+  blend(stage_prev_u_, stage_next_u_, state_.u, state_.grid.nx + 1,
+        state_.grid.ny);
+  blend(stage_prev_v_, stage_next_v_, state_.v, state_.grid.nx,
+        state_.grid.ny + 1);
+}
+
 void NestedDomain::feedback(swm::State& parent, int margin) const {
+  FeedbackPatch patch;
+  feedback_compute(patch, margin);
+  feedback_apply(parent, patch);
+}
+
+void NestedDomain::feedback_compute(FeedbackPatch& patch, int margin) const {
   NESTWX_REQUIRE(margin >= 0, "margin must be non-negative");
+  patch.margin = margin;
   const int r = spec_.ratio;
   const double inv_r2 = 1.0 / (static_cast<double>(r) * r);
+  patch.h.clear();
+  patch.u.clear();
+  patch.v.clear();
   // Depth: parent cell (I,J) <- mean of its r×r child cells.
   for (int J = margin; J < spec_.cells_y - margin; ++J) {
     for (int I = margin; I < spec_.cells_x - margin; ++I) {
@@ -120,7 +227,7 @@ void NestedDomain::feedback(swm::State& parent, int margin) const {
       for (int cj = 0; cj < r; ++cj)
         for (int ci = 0; ci < r; ++ci)
           acc += state_.h(I * r + ci, J * r + cj);
-      parent.h(spec_.anchor_i + I, spec_.anchor_j + J) = acc * inv_r2;
+      patch.h.push_back(acc * inv_r2);
     }
   }
   // u: parent x-face (I,J) at x = I (cell units) <- mean of the r child
@@ -129,8 +236,7 @@ void NestedDomain::feedback(swm::State& parent, int margin) const {
     for (int I = margin; I <= spec_.cells_x - margin; ++I) {
       double acc = 0.0;
       for (int cj = 0; cj < r; ++cj) acc += state_.u(I * r, J * r + cj);
-      parent.u(spec_.anchor_i + I, spec_.anchor_j + J) =
-          acc / static_cast<double>(r);
+      patch.u.push_back(acc / static_cast<double>(r));
     }
   }
   // v: parent y-face (I,J) at y = J <- mean of r child v-faces.
@@ -138,10 +244,29 @@ void NestedDomain::feedback(swm::State& parent, int margin) const {
     for (int I = margin; I < spec_.cells_x - margin; ++I) {
       double acc = 0.0;
       for (int ci = 0; ci < r; ++ci) acc += state_.v(I * r + ci, J * r);
-      parent.v(spec_.anchor_i + I, spec_.anchor_j + J) =
-          acc / static_cast<double>(r);
+      patch.v.push_back(acc / static_cast<double>(r));
     }
   }
+}
+
+void NestedDomain::feedback_apply(swm::State& parent,
+                                  const FeedbackPatch& patch) const {
+  const int margin = patch.margin;
+  std::size_t n = 0;
+  for (int J = margin; J < spec_.cells_y - margin; ++J)
+    for (int I = margin; I < spec_.cells_x - margin; ++I)
+      parent.h(spec_.anchor_i + I, spec_.anchor_j + J) = patch.h[n++];
+  NESTWX_REQUIRE(n == patch.h.size(), "feedback patch h shape mismatch");
+  n = 0;
+  for (int J = margin; J < spec_.cells_y - margin; ++J)
+    for (int I = margin; I <= spec_.cells_x - margin; ++I)
+      parent.u(spec_.anchor_i + I, spec_.anchor_j + J) = patch.u[n++];
+  NESTWX_REQUIRE(n == patch.u.size(), "feedback patch u shape mismatch");
+  n = 0;
+  for (int J = margin; J <= spec_.cells_y - margin; ++J)
+    for (int I = margin; I < spec_.cells_x - margin; ++I)
+      parent.v(spec_.anchor_i + I, spec_.anchor_j + J) = patch.v[n++];
+  NESTWX_REQUIRE(n == patch.v.size(), "feedback patch v shape mismatch");
 }
 
 }  // namespace nestwx::nest

@@ -14,10 +14,22 @@
 ///    communicated to the parent region".
 
 #include <string>
+#include <vector>
 
 #include "swm/state.hpp"
 
 namespace nestwx::nest {
+
+/// Restriction-averaged feedback values of one sibling, computed away
+/// from the parent so siblings can prepare their feedback concurrently
+/// and the parent is patched afterwards in deterministic sibling order.
+/// Values are bit-identical to NestedDomain::feedback writing directly.
+struct FeedbackPatch {
+  int margin = 1;
+  std::vector<double> h;  ///< row-major, (cells_x−2m) × (cells_y−2m)
+  std::vector<double> u;  ///< (cells_x−2m+1) × (cells_y−2m)
+  std::vector<double> v;  ///< (cells_x−2m) × (cells_y−2m+1)
+};
 
 /// Placement of a nest within its parent.
 struct NestSpec {
@@ -52,14 +64,43 @@ class NestedDomain {
   void force_boundary(const swm::State& prev, const swm::State& next,
                       double alpha);
 
+  /// Staged boundary exchange — the compute/exchange-overlap split of
+  /// force_boundary. stage_ghosts_prev interpolates the t-level parent
+  /// into private staging buffers (it can run on a worker thread while
+  /// the parent's t+Δt step is still integrating); stage_ghosts_next does
+  /// the same for the post-step parent; blend_staged_ghosts then fills
+  /// the child's ghost bands as (1−α)·prev + α·next for each sub-step α.
+  /// Staging once and blending r times is bit-identical to calling
+  /// force_boundary(prev, next, α) r times — the staged values are the
+  /// raw bilinear samples and the blend is the same expression.
+  void stage_ghosts_prev(const swm::State& prev);
+  void stage_ghosts_next(const swm::State& next);
+  void blend_staged_ghosts(double alpha);
+
   /// Restriction-average the child interior back onto the covered parent
   /// cells (two-way feedback). The outermost `margin` parent cells of the
   /// nest footprint are skipped to avoid re-injecting boundary blending.
   void feedback(swm::State& parent, int margin = 1) const;
 
+  /// Feedback split into compute (no parent access — safe concurrently
+  /// for distinct siblings) and apply (cheap copy, run in fixed sibling
+  /// order). feedback(parent, m) ≡ feedback_compute(p, m) then
+  /// feedback_apply(parent, p), bit for bit.
+  void feedback_compute(FeedbackPatch& patch, int margin = 1) const;
+  void feedback_apply(swm::State& parent, const FeedbackPatch& patch) const;
+
  private:
+  void ensure_staging();
+
   NestSpec spec_;
   swm::State state_;
+
+  /// Ghost staging buffers (bands only are written): prev-/next-level
+  /// bilinear samples awaiting the per-sub-step blend. Allocated on first
+  /// use so the sequential path pays nothing.
+  swm::Field2D stage_prev_h_, stage_prev_u_, stage_prev_v_;
+  swm::Field2D stage_next_h_, stage_next_u_, stage_next_v_;
+  bool staging_ready_ = false;
 };
 
 }  // namespace nestwx::nest

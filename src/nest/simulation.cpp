@@ -51,16 +51,24 @@ std::size_t NestedSimulation::quarantined_count() const {
   return n;
 }
 
+void NestedSimulation::set_tile_rows(int rows) {
+  tile_rows_ = rows;
+  parent_stepper_.set_tile_rows(rows);
+  for (auto& stepper : child_steppers_) stepper->set_tile_rows(rows);
+}
+
 void NestedSimulation::set_viscosity(double nu) {
   NESTWX_REQUIRE(nu >= 0.0, "viscosity must be non-negative");
   params_.viscosity = nu;
   parent_stepper_ = swm::Stepper(parent_.grid, params_);
+  parent_stepper_.set_tile_rows(tile_rows_);
   for (std::size_t k = 0; k < siblings_.size(); ++k) {
     swm::ModelParams child_params = params_;
     child_params.boundary = swm::BoundaryKind::open;
     child_params.viscosity = nu / siblings_[k]->spec().ratio;
     child_steppers_[k] = std::make_unique<swm::Stepper>(
         siblings_[k]->state().grid, child_params);
+    child_steppers_[k]->set_tile_rows(tile_rows_);
   }
 }
 
@@ -78,20 +86,59 @@ void NestedSimulation::integrate_sibling(std::size_t k, double parent_dt) {
   }
 }
 
+void NestedSimulation::integrate_sibling_staged(std::size_t k,
+                                                double parent_dt) {
+  // Overlap-path variant of integrate_sibling: the prev-level ghost
+  // samples were already staged (concurrently with the parent step); stage
+  // the post-level once, then blend per sub-step. Bit-identical to the
+  // force_boundary path, so sequential and overlapped runs agree byte for
+  // byte (test_swm_overlap pins this at threads 1/2/8).
+  NestedDomain& nest = *siblings_[k];
+  const int r = nest.spec().ratio;
+  const double child_dt = parent_dt / r;
+  nest.stage_ghosts_next(parent_post_);
+  for (int sub = 0; sub < r; ++sub) {
+    const double alpha = (static_cast<double>(sub) + 0.5) / r;
+    nest.blend_staged_ghosts(alpha);
+    child_steppers_[k]->step(nest.state(), child_dt);
+  }
+  nest.feedback_compute(feedback_patches_[k]);
+}
+
 void NestedSimulation::advance(double parent_dt) {
   NESTWX_REQUIRE(parent_dt > 0.0, "parent dt must be positive");
+  const bool overlap = pool_ != nullptr && !siblings_.empty();
   parent_prev_ = parent_;
-  parent_stepper_.step(parent_, parent_dt);
+
+  if (overlap) {
+    // Compute/exchange overlap (the miniWeather pattern, lifted to
+    // nesting): the prev-level half of every sibling's boundary exchange
+    // depends only on the frozen pre-step parent, so it interpolates on
+    // the pool while this thread integrates the parent interior tiles.
+    util::TaskGroup exchange(*pool_);
+    for (std::size_t k = 0; k < siblings_.size(); ++k) {
+      if (quarantined_[k]) continue;
+      exchange.submit(
+          [this, k] { siblings_[k]->stage_ghosts_prev(parent_prev_); });
+    }
+    parent_stepper_.step(parent_, parent_dt);
+    exchange.wait();
+  } else {
+    parent_stepper_.step(parent_, parent_dt);
+  }
   // Freeze the post-step parent before any feedback: every sibling forces
   // its ghosts from the same immutable snapshot, so sibling integrations
   // are independent of each other and of execution order.
   parent_post_ = parent_;
 
-  if (pool_ != nullptr && siblings_.size() > 1) {
+  if (overlap) {
+    feedback_patches_.resize(siblings_.size());
     util::parallel_for(*pool_, static_cast<int>(siblings_.size()),
                        [&](int k) {
-                         integrate_sibling(static_cast<std::size_t>(k),
-                                           parent_dt);
+                         if (quarantined_[static_cast<std::size_t>(k)])
+                           return;
+                         integrate_sibling_staged(
+                             static_cast<std::size_t>(k), parent_dt);
                        });
   } else {
     for (std::size_t k = 0; k < siblings_.size(); ++k)
@@ -101,9 +148,16 @@ void NestedSimulation::advance(double parent_dt) {
   // Two-way feedback, applied in fixed sibling order so the result is
   // deterministic (and byte-identical to sequential execution).
   // Quarantined siblings contribute nothing: the parent evolves exactly
-  // as if they did not exist.
-  for (std::size_t k = 0; k < siblings_.size(); ++k)
-    if (!quarantined_[k]) siblings_[k]->feedback(parent_);
+  // as if they did not exist. In overlap mode the restriction averages
+  // were already computed inside each sibling's task; only the ordered
+  // patch writes remain.
+  for (std::size_t k = 0; k < siblings_.size(); ++k) {
+    if (quarantined_[k]) continue;
+    if (overlap)
+      siblings_[k]->feedback_apply(parent_, feedback_patches_[k]);
+    else
+      siblings_[k]->feedback(parent_);
+  }
   // Feedback overwrote parent interior values; refresh parent ghosts.
   swm::apply_boundary(parent_, params_.boundary);
   // Quarantined siblings track the parent solution instead of running
@@ -129,6 +183,7 @@ void NestedSimulation::relocate_sibling(std::size_t k, int anchor_i,
   child_params.viscosity = params_.viscosity / spec.ratio;
   child_steppers_[k] =
       std::make_unique<swm::Stepper>(moved->state().grid, child_params);
+  child_steppers_[k]->set_tile_rows(tile_rows_);
   siblings_[k] = std::move(moved);
 }
 

@@ -45,13 +45,24 @@ class NestedSimulation {
   const swm::ModelParams& params() const { return params_; }
 
   /// Integrate sibling sub-step blocks on `pool` (nullptr restores
-  /// sequential execution). The pool is borrowed, not owned, and must
-  /// outlive this simulation or the next set_thread_pool call. advance()
-  /// must not itself be called from one of `pool`'s worker threads
-  /// (parallel_for's precondition). Results are byte-identical to
-  /// sequential execution at any thread count.
+  /// sequential execution). With a pool attached, advance() also overlaps
+  /// compute with boundary exchange: sibling prev-level ghost staging runs
+  /// on the pool while the calling thread integrates the parent interior,
+  /// and each sibling's restriction feedback is pre-computed inside its
+  /// task (applied afterwards in fixed sibling order). The pool is
+  /// borrowed, not owned, and must outlive this simulation or the next
+  /// set_thread_pool call. advance() must not itself be called from one
+  /// of `pool`'s worker threads (parallel_for's precondition). Results
+  /// are byte-identical to sequential execution at any thread count.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Cache-tile row count for the parent and child steppers (see
+  /// swm::Stepper::set_tile_rows; 0 = full sweep). Survives the stepper
+  /// rebuilds done by set_viscosity and relocate_sibling. Bit-identical
+  /// at any tile size.
+  void set_tile_rows(int rows);
+  int tile_rows() const { return tile_rows_; }
 
   /// One parent step of size `parent_dt` plus each sibling's r sub-steps
   /// and feedback. Sibling order of execution does not affect the result
@@ -105,6 +116,11 @@ class NestedSimulation {
   /// safe to run concurrently for distinct k.
   void integrate_sibling(std::size_t k, double parent_dt);
 
+  /// Overlap-path variant: blends pre-staged ghost samples instead of
+  /// re-interpolating per sub-step and leaves the feedback averages in
+  /// feedback_patches_[k]. Must not be called for quarantined siblings.
+  void integrate_sibling_staged(std::size_t k, double parent_dt);
+
   swm::ModelParams params_;
   swm::State parent_;
   swm::State parent_prev_;  ///< parent at t (pre-step)
@@ -113,7 +129,9 @@ class NestedSimulation {
   std::vector<std::unique_ptr<NestedDomain>> siblings_;
   std::vector<std::unique_ptr<swm::Stepper>> child_steppers_;
   std::vector<char> quarantined_;  ///< per-sibling; char avoids vector<bool>
+  std::vector<FeedbackPatch> feedback_patches_;  ///< overlap-path staging
   util::ThreadPool* pool_ = nullptr;  ///< borrowed; nullptr = sequential
+  int tile_rows_ = swm::Stepper::kDefaultTileRows;
   int steps_ = 0;
 };
 

@@ -1,0 +1,54 @@
+#include "swm/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace nestwx::swm {
+
+FieldDiff field_diff(const Field2D& a, const Field2D& b) {
+  NESTWX_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny(),
+                 "field shapes must match to diff");
+  FieldDiff d;
+  double sq_sum = 0.0;
+  for (int j = 0; j < a.ny(); ++j) {
+    const double* ra = a.row(j);
+    const double* rb = b.row(j);
+    for (int i = 0; i < a.nx(); ++i) {
+      const double err = std::abs(ra[i] - rb[i]);
+      sq_sum += err * err;
+      if (err > d.max_abs_err) {
+        d.max_abs_err = err;
+        d.worst_i = i;
+        d.worst_j = j;
+      }
+      const double scale = std::max(std::abs(ra[i]), std::abs(rb[i]));
+      if (scale > 0.0) d.max_rel_err = std::max(d.max_rel_err, err / scale);
+    }
+  }
+  const double n = static_cast<double>(a.nx()) * a.ny();
+  d.rms_err = n > 0.0 ? std::sqrt(sq_sum / n) : 0.0;
+  return d;
+}
+
+double StateDiff::max_abs_err() const {
+  return std::max({h.max_abs_err, u.max_abs_err, v.max_abs_err});
+}
+
+double StateDiff::max_rel_err() const {
+  return std::max({h.max_rel_err, u.max_rel_err, v.max_rel_err});
+}
+
+StateDiff state_diff(const State& a, const State& b) {
+  StateDiff d;
+  d.h = field_diff(a.h, b.h);
+  d.u = field_diff(a.u, b.u);
+  d.v = field_diff(a.v, b.v);
+  const double ma = a.h.interior_sum();
+  const double mb = b.h.interior_sum();
+  d.mass_drift_rel = std::abs(ma - mb) / std::max(std::abs(ma), 1.0);
+  return d;
+}
+
+}  // namespace nestwx::swm

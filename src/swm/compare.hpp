@@ -1,0 +1,53 @@
+#pragma once
+/// \file compare.hpp
+/// Tolerance-based field and state comparison, shared by the fast-math
+/// golden tests and bench_swm_kernels' kernel validation pass.
+///
+/// The bit-exact tiers never need this — they compare FNV fingerprints —
+/// but the NESTWX_FASTMATH tier reassociates floating point, so its
+/// results are gated on max absolute/relative error and conserved-mass
+/// drift instead (documented tolerances live with the goldens,
+/// tests/golden/swm_fastmath_*).
+
+#include "swm/state.hpp"
+
+namespace nestwx::swm {
+
+/// Elementwise difference summary over the interior of two same-shape
+/// fields (fixed traversal order: rows south→north, cells west→east).
+struct FieldDiff {
+  double max_abs_err = 0.0;  ///< max |a-b|
+  double max_rel_err = 0.0;  ///< max |a-b| / max(|a|,|b|), 0 when both 0
+  double rms_err = 0.0;      ///< sqrt(mean (a-b)²)
+  int worst_i = 0;           ///< interior coordinates of max_abs_err
+  int worst_j = 0;
+
+  /// True when both error measures are within the given bounds.
+  bool within(double max_abs, double max_rel) const {
+    return max_abs_err <= max_abs && max_rel_err <= max_rel;
+  }
+};
+
+/// Interior difference of two fields; shapes must match.
+FieldDiff field_diff(const Field2D& a, const Field2D& b);
+
+/// Per-field differences of two states plus the relative drift of the
+/// conserved mass integral (|Σh_a − Σh_b| / max(|Σh_a|, 1)).
+struct StateDiff {
+  FieldDiff h;
+  FieldDiff u;
+  FieldDiff v;
+  double mass_drift_rel = 0.0;
+
+  /// Worst per-field error measures across h/u/v.
+  double max_abs_err() const;
+  double max_rel_err() const;
+  bool within(double max_abs, double max_rel, double max_mass_drift) const {
+    return max_abs_err() <= max_abs && max_rel_err() <= max_rel &&
+           mass_drift_rel <= max_mass_drift;
+  }
+};
+
+StateDiff state_diff(const State& a, const State& b);
+
+}  // namespace nestwx::swm

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "swm/simd.hpp"
 #include "util/error.hpp"
 
 namespace nestwx::swm {
@@ -13,43 +14,45 @@ namespace {
 /// Row-streamed stencil kernels, specialized at compile time on the
 /// (nonlinear, viscous) parameter branches and on whether the result is a
 /// raw tendency (out = R(eval)) or the fused RK3 stage update
-/// (out = base + w·R(eval)).
+/// (out = base + w·R(eval)). Each equation is its own row-range kernel so
+/// the cache-tiled driver (stage_pass) can interleave them per row tile
+/// and the benchmark can measure them per loop.
 ///
 /// Bit-exactness contract: every arithmetic expression below, including
 /// its evaluation order, matches the plain reference formulation (kept in
 /// bench_swm_kernels.cpp and locked in by test_swm_golden). Hoisting the
 /// row pointers and the parameter branches changes which instructions run,
-/// never the sequence of floating-point operations per value.
+/// never the sequence of floating-point operations per value — and so do
+/// the NESTWX_SIMD vector loops: the same IEEE operations run in wider
+/// lanes (FMA contraction is pinned off by the build, see simd.hpp).
 ///
 /// Aliasing contract: `out` fields may alias `base` fields (the final RK3
 /// stage writes Φⁿ⁺¹ over Φⁿ): `base` is only ever read at the point being
-/// written. `out` must not alias `eval` or `terrain`.
-template <bool NL, bool VISC, bool FUSED>
-void stage_pass(const State& eval, const Field2D& terrain,
-                const ModelParams& p, Field2D& oh, Field2D& ou, Field2D& ov,
-                const State* base, double w) {
+/// written, which also holds lane-wise in a vectorized loop. `out` must
+/// not alias `eval` or `terrain`; the read-only eval/terrain row pointers
+/// are restrict-qualified on the strength of that contract (`base` and
+/// `out` deliberately are not).
+
+/// Mass rows j ∈ [j0, j1): dh/dt = -div(H u). Face depths are two-cell
+/// averages. (No nonlinear/viscous branch in the mass equation.)
+template <bool FUSED>
+void mass_rows(const State& eval, Field2D& oh, const State* base, double w,
+               int j0, int j1) {
   const int nx = eval.grid.nx;
-  const int ny = eval.grid.ny;
   const double dx = eval.grid.dx;
   const double dy = eval.grid.dy;
-  const double g = p.gravity;
-  const double f = p.coriolis;
-  const double visc = p.viscosity;
-  const double drag = p.drag;
   const int hstr = eval.h.stride();
-  const int ustr = eval.u.stride();
   const int vstr = eval.v.stride();
-
-  // Mass: dh/dt = -div(H u). Face depths are two-cell averages.
-  for (int j = 0; j < ny; ++j) {
-    const double* hc = eval.h.row(j);
-    const double* hsr = hc - hstr;
-    const double* hnr = hc + hstr;
-    const double* uc = eval.u.row(j);
-    const double* vc = eval.v.row(j);
-    const double* vn = vc + vstr;
+  for (int j = j0; j < j1; ++j) {
+    const double* NESTWX_RESTRICT hc = eval.h.row(j);
+    const double* NESTWX_RESTRICT hsr = hc - hstr;
+    const double* NESTWX_RESTRICT hnr = hc + hstr;
+    const double* NESTWX_RESTRICT uc = eval.u.row(j);
+    const double* NESTWX_RESTRICT vc = eval.v.row(j);
+    const double* NESTWX_RESTRICT vn = vc + vstr;
     double* out = oh.row(j);
     [[maybe_unused]] const double* bh = FUSED ? base->h.row(j) : nullptr;
+    NESTWX_PRAGMA_SIMD
     for (int i = 0; i < nx; ++i) {
       const double hw = 0.5 * (hc[i - 1] + hc[i]);
       const double he = 0.5 * (hc[i] + hc[i + 1]);
@@ -66,19 +69,33 @@ void stage_pass(const State& eval, const Field2D& terrain,
         out[i] = dh;
     }
   }
+}
 
-  // u-momentum at x-faces i = 0..nx (tendency on every face; wall BCs
-  // re-zero the boundary faces afterwards).
-  for (int j = 0; j < ny; ++j) {
-    const double* hc = eval.h.row(j);
-    const double* bc = terrain.row(j);
-    const double* uc = eval.u.row(j);
-    const double* usr = uc - ustr;
-    const double* unr = uc + ustr;
-    const double* vc = eval.v.row(j);
-    const double* vn = vc + vstr;
+/// u-momentum rows j ∈ [j0, j1) at x-faces i = 0..nx (tendency on every
+/// face; wall BCs re-zero the boundary faces afterwards).
+template <bool NL, bool VISC, bool FUSED>
+void u_rows(const State& eval, const Field2D& terrain, const ModelParams& p,
+            Field2D& ou, const State* base, double w, int j0, int j1) {
+  const int nx = eval.grid.nx;
+  const double dx = eval.grid.dx;
+  const double dy = eval.grid.dy;
+  const double g = p.gravity;
+  const double f = p.coriolis;
+  const double visc = p.viscosity;
+  const double drag = p.drag;
+  const int ustr = eval.u.stride();
+  const int vstr = eval.v.stride();
+  for (int j = j0; j < j1; ++j) {
+    const double* NESTWX_RESTRICT hc = eval.h.row(j);
+    const double* NESTWX_RESTRICT bc = terrain.row(j);
+    const double* NESTWX_RESTRICT uc = eval.u.row(j);
+    const double* NESTWX_RESTRICT usr = uc - ustr;
+    const double* NESTWX_RESTRICT unr = uc + ustr;
+    const double* NESTWX_RESTRICT vc = eval.v.row(j);
+    const double* NESTWX_RESTRICT vn = vc + vstr;
     double* out = ou.row(j);
     [[maybe_unused]] const double* bu = FUSED ? base->u.row(j) : nullptr;
+    NESTWX_PRAGMA_SIMD
     for (int i = 0; i <= nx; ++i) {
       const double eta_e = hc[i] + bc[i];
       const double eta_w = hc[i - 1] + bc[i - 1];
@@ -103,20 +120,35 @@ void stage_pass(const State& eval, const Field2D& terrain,
         out[i] = du;
     }
   }
+}
 
-  // v-momentum at y-faces j = 0..ny.
-  for (int j = 0; j <= ny; ++j) {
-    const double* hc = eval.h.row(j);
-    const double* hsr = hc - hstr;
-    const double* bc = terrain.row(j);
-    const double* bsr = bc - terrain.stride();
-    const double* uc = eval.u.row(j);
-    const double* usr = uc - ustr;
-    const double* vc = eval.v.row(j);
-    const double* vsr = vc - vstr;
-    const double* vnr = vc + vstr;
+/// v-momentum rows j ∈ [j0, j1) at y-faces (full range is j = 0..ny).
+template <bool NL, bool VISC, bool FUSED>
+void v_rows(const State& eval, const Field2D& terrain, const ModelParams& p,
+            Field2D& ov, const State* base, double w, int j0, int j1) {
+  const int nx = eval.grid.nx;
+  const double dx = eval.grid.dx;
+  const double dy = eval.grid.dy;
+  const double g = p.gravity;
+  const double f = p.coriolis;
+  const double visc = p.viscosity;
+  const double drag = p.drag;
+  const int hstr = eval.h.stride();
+  const int ustr = eval.u.stride();
+  const int vstr = eval.v.stride();
+  for (int j = j0; j < j1; ++j) {
+    const double* NESTWX_RESTRICT hc = eval.h.row(j);
+    const double* NESTWX_RESTRICT hsr = hc - hstr;
+    const double* NESTWX_RESTRICT bc = terrain.row(j);
+    const double* NESTWX_RESTRICT bsr = bc - terrain.stride();
+    const double* NESTWX_RESTRICT uc = eval.u.row(j);
+    const double* NESTWX_RESTRICT usr = uc - ustr;
+    const double* NESTWX_RESTRICT vc = eval.v.row(j);
+    const double* NESTWX_RESTRICT vsr = vc - vstr;
+    const double* NESTWX_RESTRICT vnr = vc + vstr;
     double* out = ov.row(j);
     [[maybe_unused]] const double* bv = FUSED ? base->v.row(j) : nullptr;
+    NESTWX_PRAGMA_SIMD
     for (int i = 0; i < nx; ++i) {
       const double eta_n = hc[i] + bc[i];
       const double eta_s = hsr[i] + bsr[i];
@@ -142,9 +174,30 @@ void stage_pass(const State& eval, const Field2D& terrain,
   }
 }
 
+/// Cache-tiled driver: sweep the three equations in blocks of `tile` rows
+/// so the eval rows a block touches stay cache-hot across all three
+/// stencils instead of being streamed through three full passes.
+/// tile <= 0 means one full sweep. Tiling only reorders writes of
+/// independent output values — every computed value is bit-identical at
+/// any tile size (locked in by test_swm_tiling).
+template <bool NL, bool VISC, bool FUSED>
+void stage_pass(const State& eval, const Field2D& terrain,
+                const ModelParams& p, Field2D& oh, Field2D& ou, Field2D& ov,
+                const State* base, double w, int tile) {
+  const int ny = eval.grid.ny;
+  const int step = tile > 0 ? tile : ny + 1;
+  for (int j0 = 0; j0 <= ny; j0 += step) {
+    const int j1 = std::min(j0 + step, ny + 1);
+    mass_rows<FUSED>(eval, oh, base, w, j0, std::min(j1, ny));
+    u_rows<NL, VISC, FUSED>(eval, terrain, p, ou, base, w, j0,
+                            std::min(j1, ny));
+    v_rows<NL, VISC, FUSED>(eval, terrain, p, ov, base, w, j0, j1);
+  }
+}
+
 using StagePass = void (*)(const State&, const Field2D&, const ModelParams&,
                            Field2D&, Field2D&, Field2D&, const State*,
-                           double);
+                           double, int);
 
 /// Pick the specialized kernel once per evaluation: the p.nonlinear and
 /// p.viscosity branches never reach the inner loops.
@@ -179,11 +232,48 @@ void copy_ghost_frame(Field2D& dst, const Field2D& src) {
 }  // namespace
 
 void compute_tendency(const State& s, const ModelParams& p, Tendency& out) {
-  select_pass<false>(p)(s, s.b, p, out.dh, out.du, out.dv, nullptr, 0.0);
+  select_pass<false>(p)(s, s.b, p, out.dh, out.du, out.dv, nullptr, 0.0, 0);
+}
+
+void tendency_mass(const State& s, const ModelParams& p, Field2D& dh) {
+  (void)p;  // the mass equation has no nonlinear/viscous branch
+  mass_rows<false>(s, dh, nullptr, 0.0, 0, s.grid.ny);
+}
+
+void tendency_u(const State& s, const ModelParams& p, Field2D& du) {
+  if (p.nonlinear) {
+    if (p.viscosity > 0.0)
+      u_rows<true, true, false>(s, s.b, p, du, nullptr, 0.0, 0, s.grid.ny);
+    else
+      u_rows<true, false, false>(s, s.b, p, du, nullptr, 0.0, 0, s.grid.ny);
+  } else if (p.viscosity > 0.0) {
+    u_rows<false, true, false>(s, s.b, p, du, nullptr, 0.0, 0, s.grid.ny);
+  } else {
+    u_rows<false, false, false>(s, s.b, p, du, nullptr, 0.0, 0, s.grid.ny);
+  }
+}
+
+void tendency_v(const State& s, const ModelParams& p, Field2D& dv) {
+  const int j1 = s.grid.ny + 1;
+  if (p.nonlinear) {
+    if (p.viscosity > 0.0)
+      v_rows<true, true, false>(s, s.b, p, dv, nullptr, 0.0, 0, j1);
+    else
+      v_rows<true, false, false>(s, s.b, p, dv, nullptr, 0.0, 0, j1);
+  } else if (p.viscosity > 0.0) {
+    v_rows<false, true, false>(s, s.b, p, dv, nullptr, 0.0, 0, j1);
+  } else {
+    v_rows<false, false, false>(s, s.b, p, dv, nullptr, 0.0, 0, j1);
+  }
 }
 
 Stepper::Stepper(const GridSpec& grid, ModelParams params)
     : params_(params), stage_(grid), stage2_(grid) {}
+
+void Stepper::set_tile_rows(int rows) {
+  NESTWX_REQUIRE(rows >= 0, "tile row count must be non-negative");
+  tile_rows_ = rows;
+}
 
 void Stepper::step(State& s, double dt) {
   NESTWX_REQUIRE(dt > 0.0, "time step must be positive");
@@ -207,13 +297,15 @@ void Stepper::step(State& s, double dt) {
   // (static through the step). The final stage writes Φⁿ⁺¹ in place over
   // Φⁿ, which the kernel's aliasing contract permits.
   const auto pass = select_pass<true>(params_);
-  pass(s, s.b, params_, stage_.h, stage_.u, stage_.v, &s, dt / 3.0);
+  const int tile = tile_rows_;
+  pass(s, s.b, params_, stage_.h, stage_.u, stage_.v, &s, dt / 3.0, tile);
   if (!open) apply_boundary(stage_, params_.boundary);
 
-  pass(stage_, s.b, params_, stage2_.h, stage2_.u, stage2_.v, &s, dt / 2.0);
+  pass(stage_, s.b, params_, stage2_.h, stage2_.u, stage2_.v, &s, dt / 2.0,
+       tile);
   if (!open) apply_boundary(stage2_, params_.boundary);
 
-  pass(stage2_, s.b, params_, s.h, s.u, s.v, &s, dt);
+  pass(stage2_, s.b, params_, s.h, s.u, s.v, &s, dt, tile);
   if (!open) apply_boundary(s, params_.boundary);
 }
 

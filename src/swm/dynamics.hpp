@@ -24,6 +24,15 @@
 /// eliminating the intermediate Tendency store/reload. Every variant and
 /// the fused path are bit-identical to the plain reference formulation
 /// (locked in by test_swm_golden).
+///
+/// On top of that sit the build tiers of swm/simd.hpp (see
+/// docs/architecture.md, "Vectorized fast path and determinism tiers"):
+/// the stage loops are split into restrict-qualified row kernels whose
+/// inner loops vectorize under NESTWX_SIMD while remaining bit-identical
+/// (-ffp-contract=off pins the IEEE operation sequence), and the stage
+/// driver walks them in cache tiles of Stepper::set_tile_rows rows —
+/// tiling only reorders independent writes, so any tile size produces
+/// the same bits (test_swm_tiling).
 
 #include "swm/bc.hpp"
 #include "swm/state.hpp"
@@ -45,6 +54,13 @@ struct ModelParams {
 /// Dispatches to the (nonlinear × viscous) specialized kernel.
 void compute_tendency(const State& s, const ModelParams& p, Tendency& out);
 
+/// Single-equation tendency evaluations — the three inner loops of
+/// compute_tendency exposed individually so bench_swm_kernels can measure
+/// per-loop GF/s (roofline-style). Same kernels, same bit patterns.
+void tendency_mass(const State& s, const ModelParams& p, Field2D& dh);
+void tendency_u(const State& s, const ModelParams& p, Field2D& du);
+void tendency_v(const State& s, const ModelParams& p, Field2D& dv);
+
 /// Advance `s` by one RK3 step of size dt (seconds), applying `p.boundary`
 /// after each stage. Scratch states are managed by the Stepper so repeated
 /// stepping allocates nothing.
@@ -59,6 +75,19 @@ class Stepper {
   /// Advance n steps.
   void run(State& s, double dt, int n);
 
+  /// Sweep the RK3 stage kernels in blocks of `rows` grid rows so the
+  /// evaluated fields stay cache-hot across the three equation stencils
+  /// (0 = one full sweep per equation). Any tile size produces
+  /// bit-identical states — tiling only reorders independent writes —
+  /// which tests/test_swm_tiling.cpp locks in.
+  void set_tile_rows(int rows);
+  int tile_rows() const { return tile_rows_; }
+
+  /// Default row-tile: sized so a tile's working set (three prognostic
+  /// fields plus terrain and the stage output rows) stays L2-resident for
+  /// grids up to ~1k cells wide.
+  static constexpr int kDefaultTileRows = 16;
+
   /// Largest gravity-wave Courant number of the current state for dt:
   /// max over cells of (|u|+√(g·h)) dt/dx + (|v|+√(g·h)) dt/dy.
   double courant(const State& s, double dt) const;
@@ -71,6 +100,7 @@ class Stepper {
   ModelParams params_;
   State stage_;   ///< Φ*  buffer
   State stage2_;  ///< Φ** buffer
+  int tile_rows_ = kDefaultTileRows;
 };
 
 }  // namespace nestwx::swm

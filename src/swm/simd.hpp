@@ -1,0 +1,82 @@
+#pragma once
+/// \file simd.hpp
+/// Vectorization tier of the SWM fast path: build-time knobs plus a
+/// runtime-queryable description of which tier this binary was compiled
+/// in (see docs/architecture.md, "Vectorized fast path and determinism
+/// tiers").
+///
+/// Three tiers, two axes:
+///
+///  * default            — scalar kernels, bit-exact goldens.
+///  * NESTWX_SIMD        — restrict-qualified row pointers, `omp simd`
+///                         inner loops and native-ISA codegen for the
+///                         swm/nest modules. Still bit-exact: the same
+///                         IEEE operations run in wider lanes, and the
+///                         build pins -ffp-contract=off so no FMA
+///                         contraction can reassociate a*b+c.
+///  * NESTWX_FASTMATH    — implies NESTWX_SIMD, adds -ffast-math
+///                         (minus -ffinite-math-only, which the blow-up
+///                         guards need). NOT bit-exact; gated by the
+///                         tolerance goldens tests/golden/swm_fastmath_*.
+///
+/// Composition with NESTWX_CHECK_BOUNDS (forced on by sanitizer builds):
+/// the checked tier keeps the restrict kernels but downgrades the vector
+/// pragmas to scalar loops, so a bounds violation fires on the exact
+/// offending iteration rather than inside a widened vector body. The
+/// combination must always build and pass the golden suite
+/// (tests/test_swm_tiling.cpp pins the expected tier wiring).
+
+#if defined(_MSC_VER)
+#define NESTWX_RESTRICT __restrict
+#else
+#define NESTWX_RESTRICT __restrict__
+#endif
+
+#if defined(NESTWX_SIMD) && !defined(NESTWX_CHECK_BOUNDS)
+#define NESTWX_HAS_VECTOR_LOOPS 1
+#define NESTWX_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define NESTWX_HAS_VECTOR_LOOPS 0
+#define NESTWX_PRAGMA_SIMD
+#endif
+
+namespace nestwx::swm {
+
+/// Which kernel tier this binary was compiled in.
+struct BuildTier {
+  bool simd_compiled;  ///< NESTWX_SIMD kernels (restrict + native codegen)
+  bool vector_loops;   ///< `omp simd` pragmas active on the inner loops
+  bool check_bounds;   ///< Field2D accesses bounds-checked
+  bool fastmath;       ///< fast-math tier (tolerance goldens, not bit-exact)
+};
+
+constexpr BuildTier build_tier() {
+  return BuildTier{
+#ifdef NESTWX_SIMD
+      true,
+#else
+      false,
+#endif
+      NESTWX_HAS_VECTOR_LOOPS == 1,
+#ifdef NESTWX_CHECK_BOUNDS
+      true,
+#else
+      false,
+#endif
+#ifdef NESTWX_FASTMATH
+      true,
+#else
+      false,
+#endif
+  };
+}
+
+/// Short tier label for reports and bench JSON.
+constexpr const char* build_tier_name() {
+  return build_tier().fastmath        ? "simd-fastmath"
+         : build_tier().vector_loops  ? "simd-exact"
+         : build_tier().simd_compiled ? "simd-checked"
+                                       : "scalar-exact";
+}
+
+}  // namespace nestwx::swm

@@ -187,6 +187,52 @@ std::size_t ThreadPool::executed() const {
   return executed_;
 }
 
+TaskGroup::~TaskGroup() {
+  std::unique_lock lock(latch_->mu);
+  latch_->cv.wait(lock, [&] { return latch_->outstanding == 0; });
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(latch_->mu);
+    ++latch_->outstanding;
+  }
+  // The ticket releases the latch from the task wrapper's destructor, so
+  // a task dropped by cancel() — destroyed unrun — still counts down.
+  struct Ticket {
+    std::shared_ptr<Latch> latch;
+    ~Ticket() {
+      std::lock_guard lock(latch->mu);
+      if (--latch->outstanding == 0) latch->cv.notify_all();
+    }
+  };
+  // In-place construction: a Ticket temporary would fire the release
+  // from its own destructor.
+  auto ticket = std::make_shared<Ticket>(latch_);
+  auto latch = latch_;
+  const bool accepted =
+      pool_.submit([ticket, latch, fn = std::move(task)] {
+        try {
+          fn();
+        } catch (...) {
+          std::lock_guard lock(latch->mu);
+          if (!latch->first_error) latch->first_error = std::current_exception();
+        }
+      });
+  (void)accepted;  // rejected (cancelled pool): the ticket already ran down
+}
+
+void TaskGroup::wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(latch_->mu);
+    latch_->cv.wait(lock, [&] { return latch_->outstanding == 0; });
+    error = latch_->first_error;
+    latch_->first_error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 void parallel_for(ThreadPool& pool, int n,
                   const std::function<void(int)>& fn) {
   NESTWX_REQUIRE(n >= 0, "parallel_for needs a non-negative count");

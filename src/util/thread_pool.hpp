@@ -102,4 +102,45 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, int n,
                   const std::function<void(int)>& fn);
 
+/// Fork/join over a borrowed pool with work on the forking thread in
+/// between: submit tasks, keep computing on the caller, then wait().
+/// This is the compute/exchange-overlap primitive — NestedSimulation
+/// stages sibling ghost interpolation on the pool while the calling
+/// thread integrates the parent interior.
+///
+/// Unlike ThreadPool::wait_idle, wait() blocks only on this group's tasks
+/// (the pool may be shared with unrelated work) and owns its tasks'
+/// exceptions: the first one thrown is rethrown by wait(), never parked in
+/// the pool. Tasks dropped by ThreadPool::cancel() — destroyed without
+/// running — still release the wait. Must not be used from one of the
+/// pool's own worker threads (same precondition as parallel_for).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Blocks until every submitted task has finished (exceptions are
+  /// swallowed here — call wait() first if you care about them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue one task on the pool (may block on the pool's queue bound).
+  void submit(std::function<void()> task);
+
+  /// Block until all tasks submitted so far completed; rethrows the first
+  /// stored exception (and clears it). The group is reusable afterwards.
+  void wait();
+
+ private:
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+    std::exception_ptr first_error;
+  };
+  ThreadPool& pool_;
+  std::shared_ptr<Latch> latch_ = std::make_shared<Latch>();
+};
+
 }  // namespace nestwx::util

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "swm/simd.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -140,6 +142,11 @@ TEST(GuardedRun, QuarantineMatchesRunWithoutBadSibling) {
 TEST(GuardedRun, IncidentLogIsGolden) {
   // Lock the full decision sequence in: blowup at dt, rollback, halve,
   // blowup at dt/2, rollback, quarantine — then 12 clean steps.
+  // The log embeds %.17g state digests, so byte-exact comparison only
+  // holds in the bit-exact tiers; fast-math is tolerance-gated elsewhere
+  // (test_swm_fastmath_golden).
+  if (nestwx::swm::build_tier().fastmath)
+    GTEST_SKIP() << "fast-math tier reassociates FP; golden is exact-tier";
   n::NestedSimulation sim(flat_parent(), wall_params(), three_nests());
   inject_spike(sim.sibling(2).state());
   r::GuardedRunner guard(sim);

@@ -1,0 +1,301 @@
+/// Tolerance-gated golden coverage for the NESTWX_FASTMATH tier.
+///
+/// The fast-math tier (-ffast-math, NaN handling kept via
+/// -fno-finite-math-only) licenses the compiler to reassociate floating
+/// point, so its results cannot be gated on bit-exact fingerprints like
+/// tests/golden/swm_steps_*. Instead the goldens here
+/// (tests/golden/swm_fastmath_*.txt) store actual field values — per-field
+/// interior sum, max|.|, and an 8×6 sample lattice, printed with %.17g so
+/// every double round-trips exactly — and the fast-math tier is compared
+/// against them with the shared tolerance utility (swm/compare.hpp).
+///
+/// Tier behaviour:
+///  * exact tiers (scalar / NESTWX_SIMD without fast-math): the report
+///    must match the golden byte for byte. Since %.17g is injective on
+///    doubles this is a bit-exactness check, and it keeps the fast-math
+///    goldens in lockstep with the exact goldens — regenerating one suite
+///    without the other fails here.
+///  * NESTWX_FASTMATH: values are parsed back and compared with the
+///    documented tolerances below.
+///
+/// Tolerances (empirical headroom ~100× over observed GCC 12 -ffast-math
+/// drift on these 10-step smooth runs; revisit if a compiler change needs
+/// more):
+///   max |a−b|        <= 1e-5   (h is O(800) m, u/v are O(1) m/s)
+///   max rel err      <= 1e-7
+///   mass-drift (rel) <= 1e-10  (Σh is a conserved integral)
+///
+/// Regenerate (from an EXACT-tier build only — regenerating from a
+/// fast-math build would bake reassociated values into the reference):
+///
+///   NESTWX_REGEN_GOLDEN=1 ./test_swm_fastmath_golden
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nest/simulation.hpp"
+#include "swm/bc.hpp"
+#include "swm/compare.hpp"
+#include "swm/dynamics.hpp"
+#include "swm/simd.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+
+namespace {
+
+constexpr double kMaxAbsErr = 1e-5;
+constexpr double kMaxRelErr = 1e-7;
+constexpr double kMaxMassDrift = 1e-10;
+
+// Sample lattice per field (row-major in the golden line).
+constexpr int kSampleNx = 8;
+constexpr int kSampleNy = 6;
+
+/// Same portable polynomial initial state as test_swm_golden.
+s::State poly_state(int nx, int ny) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 1000.0;
+  s::State st(g);
+  const int halo = g.halo;
+  auto fx = [&](int i, int nd) {
+    const double x = (static_cast<double>(i) + 0.5) / nd;
+    return x * (1.0 - x);
+  };
+  for (int j = -halo; j < ny + halo; ++j) {
+    for (int i = -halo; i < nx + halo; ++i) {
+      const double wx = fx(i, nx);
+      const double wy = fx(j, ny);
+      st.h(i, j) = 500.0 + 320.0 * wx * wy + 0.25 * ((i * 7 + j * 3) % 5);
+      st.b(i, j) = 12.0 * wx * wx * (1.0 + 0.5 * wy);
+    }
+  }
+  for (int j = -halo; j < ny + halo; ++j)
+    for (int i = -halo; i < nx + 1 + halo; ++i)
+      st.u(i, j) = 0.8 * fx(j, ny) * (1.0 - 2.0 * fx(i, nx + 1));
+  for (int j = -halo; j < ny + 1 + halo; ++j)
+    for (int i = -halo; i < nx + halo; ++i)
+      st.v(i, j) = -0.6 * fx(i, nx) * (1.0 - 2.0 * fx(j, ny + 1));
+  return st;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// One golden line: "<tag> <sum> <maxabs> <48 lattice samples>".
+std::string field_line(const std::string& tag, const s::Field2D& f) {
+  std::string line = tag + " " + num(f.interior_sum()) + " " +
+                     num(f.interior_max_abs());
+  for (int sj = 0; sj < kSampleNy; ++sj) {
+    for (int si = 0; si < kSampleNx; ++si) {
+      const int i = si * (f.nx() - 1) / (kSampleNx - 1);
+      const int j = sj * (f.ny() - 1) / (kSampleNy - 1);
+      line += " " + num(f(i, j));
+    }
+  }
+  return line + "\n";
+}
+
+std::string state_lines(const std::string& name, const s::State& st) {
+  return field_line(name + ".h", st.h) + field_line(name + ".u", st.u) +
+         field_line(name + ".v", st.v);
+}
+
+struct Variant {
+  const char* name;
+  bool nonlinear;
+  double viscosity;
+};
+constexpr Variant kVariants[] = {
+    {"nonlinear_viscous", true, 80.0},
+    {"nonlinear_inviscid", true, 0.0},
+    {"linear_viscous", false, 80.0},
+    {"linear_inviscid", false, 0.0},
+};
+
+std::string run_variants(s::BoundaryKind bc) {
+  std::string report;
+  for (const auto& variant : kVariants) {
+    s::ModelParams p;
+    p.coriolis = 1e-4;
+    p.drag = 1e-5;
+    p.nonlinear = variant.nonlinear;
+    p.viscosity = variant.viscosity;
+    p.boundary = bc;
+    s::State st = poly_state(40, 32);
+    if (bc != s::BoundaryKind::open) s::apply_boundary(st, bc);
+    s::Stepper stepper(st.grid, p);
+    stepper.run(st, 2.0, 10);
+    report += state_lines(variant.name, st);
+  }
+  return report;
+}
+
+std::string run_nested() {
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.viscosity = 40.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(poly_state(48, 40), p,
+                          {n::NestSpec{"west", 6, 6, 10, 8, 2},
+                           n::NestSpec{"east", 30, 24, 10, 10, 3}});
+  sim.run(2.0, 4);
+  return state_lines("parent", sim.parent()) +
+         state_lines("west", sim.sibling(0).state()) +
+         state_lines("east", sim.sibling(1).state());
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NESTWX_GOLDEN_DIR) + "/" + name;
+}
+
+/// Parse a report into tag → values (sum, maxabs, then lattice samples).
+std::map<std::string, std::vector<double>> parse(const std::string& text) {
+  std::map<std::string, std::vector<double>> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    std::vector<double> values;
+    double v = 0.0;
+    while (fields >> v) values.push_back(v);
+    out[tag] = std::move(values);
+  }
+  return out;
+}
+
+/// Pack the lattice samples of one parsed line into a Field2D so the
+/// shared tolerance utility (field_diff) does the comparison.
+s::Field2D lattice_field(const std::vector<double>& values) {
+  s::Field2D f(kSampleNx, kSampleNy, 1, 0.0);
+  std::size_t idx = 2;  // skip sum, maxabs
+  for (int j = 0; j < kSampleNy; ++j)
+    for (int i = 0; i < kSampleNx; ++i) f(i, j) = values.at(idx++);
+  return f;
+}
+
+void compare_with_tolerance(const std::string& actual,
+                            const std::string& golden,
+                            const std::string& name) {
+  const auto got = parse(actual);
+  const auto want = parse(golden);
+  ASSERT_EQ(got.size(), want.size()) << name << ": line set changed";
+  for (const auto& [tag, want_vals] : want) {
+    const auto it = got.find(tag);
+    ASSERT_NE(it, got.end()) << name << ": missing line " << tag;
+    ASSERT_EQ(it->second.size(), want_vals.size()) << name << ":" << tag;
+    ASSERT_EQ(want_vals.size(),
+              std::size_t{2} + kSampleNx * kSampleNy);
+
+    const s::FieldDiff diff =
+        s::field_diff(lattice_field(it->second), lattice_field(want_vals));
+    EXPECT_TRUE(diff.within(kMaxAbsErr, kMaxRelErr))
+        << name << ":" << tag << " max_abs_err=" << diff.max_abs_err
+        << " max_rel_err=" << diff.max_rel_err << " rms=" << diff.rms_err
+        << " at sample (" << diff.worst_i << "," << diff.worst_j << ")";
+
+    // interior_sum doubles as the conserved-mass integral for .h lines;
+    // hold every field's sum to the mass-drift tolerance.
+    const double sum_got = it->second[0];
+    const double sum_want = want_vals[0];
+    const double drift = std::abs(sum_got - sum_want) /
+                         std::max(std::abs(sum_want), 1.0);
+    EXPECT_LE(drift, kMaxMassDrift) << name << ":" << tag << " sum drift";
+
+    const double maxabs_rel =
+        std::abs(it->second[1] - want_vals[1]) /
+        std::max({std::abs(it->second[1]), std::abs(want_vals[1]), 1e-30});
+    EXPECT_LE(maxabs_rel, kMaxRelErr) << name << ":" << tag << " maxabs";
+  }
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    ASSERT_FALSE(s::build_tier().fastmath)
+        << "refusing to regenerate fast-math goldens from a fast-math "
+           "build; use an exact-tier build";
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run an exact-tier build with "
+                            "NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  if (s::build_tier().fastmath) {
+    compare_with_tolerance(actual, expected.str(), name);
+  } else {
+    // Exact tiers reproduce the reference values bit for bit (%.17g is
+    // injective on doubles), which also keeps this suite in lockstep
+    // with the fingerprint goldens of test_swm_golden.
+    EXPECT_EQ(actual, expected.str())
+        << "exact-tier state drifted from " << path;
+  }
+}
+
+}  // namespace
+
+TEST(SwmFastmathGolden, Periodic) {
+  check_golden("swm_fastmath_periodic.txt",
+               run_variants(s::BoundaryKind::periodic));
+}
+
+TEST(SwmFastmathGolden, Wall) {
+  check_golden("swm_fastmath_wall.txt", run_variants(s::BoundaryKind::wall));
+}
+
+TEST(SwmFastmathGolden, Channel) {
+  check_golden("swm_fastmath_channel.txt",
+               run_variants(s::BoundaryKind::channel));
+}
+
+TEST(SwmFastmathGolden, Open) {
+  check_golden("swm_fastmath_open.txt", run_variants(s::BoundaryKind::open));
+}
+
+TEST(SwmFastmathGolden, Nested) {
+  check_golden("swm_fastmath_nested.txt", run_nested());
+}
+
+TEST(SwmFastmathGolden, CompareUtilitySelfTest) {
+  // The tolerance gate itself must be trustworthy: identical states diff
+  // to zero, a perturbed state is flagged with the right location.
+  s::State a = poly_state(20, 16);
+  const s::StateDiff zero = s::state_diff(a, a);
+  EXPECT_EQ(zero.max_abs_err(), 0.0);
+  EXPECT_EQ(zero.max_rel_err(), 0.0);
+  EXPECT_EQ(zero.mass_drift_rel, 0.0);
+  EXPECT_TRUE(zero.within(0.0, 0.0, 0.0));
+
+  s::State b = a;
+  b.h(7, 5) += 1e-3;
+  const s::StateDiff d = s::state_diff(a, b);
+  EXPECT_NEAR(d.h.max_abs_err, 1e-3, 1e-12);
+  EXPECT_EQ(d.h.worst_i, 7);
+  EXPECT_EQ(d.h.worst_j, 5);
+  EXPECT_GT(d.mass_drift_rel, 0.0);
+  EXPECT_FALSE(d.within(1e-6, 1e-12, 0.0));
+  EXPECT_TRUE(d.within(1e-2, 1.0, 1.0));
+}

@@ -1,0 +1,163 @@
+/// Determinism stress test for the compute/exchange overlap path.
+///
+/// With a thread pool attached, NestedSimulation overlaps sibling ghost
+/// staging with the parent step and integrates siblings concurrently,
+/// computing feedback into per-sibling patches applied in fixed order.
+/// The contract: results are byte-identical to sequential execution at
+/// any thread count. These tests integrate the same configuration
+/// sequentially and on pools of 1, 2 and 8 threads and require identical
+/// raw-buffer hashes AND bitwise-identical swm::diagnose outputs.
+///
+/// The binary is registered in the TSan CI preset, so the staging/latch
+/// handshake (TaskGroup, parallel_for, per-sibling patches) is also
+/// exercised under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/plan_key.hpp"
+#include "nest/simulation.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/init.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+using nestwx::util::ThreadPool;
+
+namespace {
+
+s::State make_parent() {
+  s::GridSpec g;
+  g.nx = 56;
+  g.ny = 48;
+  g.dx = g.dy = 1000.0;
+  s::State st = s::depression(g, 1e-4, 0.45, 0.55, 600.0, 25.0, 12e3);
+  s::add_depression(st, 1e-4, 0.75, 0.3, 18.0, 9e3);
+  return st;
+}
+
+std::vector<n::NestSpec> make_specs() {
+  return {n::NestSpec{"sw", 4, 4, 12, 10, 2},
+          n::NestSpec{"mid", 22, 18, 14, 12, 3},
+          n::NestSpec{"ne", 40, 34, 10, 10, 2}};
+}
+
+std::uint64_t field_hash(const s::Field2D& f) {
+  nestwx::core::Fingerprint fp;
+  for (double v : f.raw()) fp.mix(v);
+  return fp.value();
+}
+
+struct RunResult {
+  std::vector<std::uint64_t> hashes;
+  std::vector<s::Diagnostics> diags;  // parent + each sibling
+};
+
+bool diag_bits_equal(const s::Diagnostics& a, const s::Diagnostics& b) {
+  return std::memcmp(&a, &b, sizeof(s::Diagnostics)) == 0;
+}
+
+/// Integrate `steps` parent steps; quarantine sibling `quarantine_k`
+/// midway when >= 0 (exercises the skip paths in staging/feedback).
+RunResult run_case(ThreadPool* pool, int steps, int quarantine_k) {
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.drag = 2e-6;
+  p.nonlinear = true;
+  p.viscosity = 50.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(make_parent(), p, make_specs());
+  sim.set_thread_pool(pool);
+
+  const double dt = 0.5 * sim.stable_dt();
+  for (int i = 0; i < steps; ++i) {
+    if (quarantine_k >= 0 && i == steps / 2)
+      sim.set_sibling_quarantined(static_cast<std::size_t>(quarantine_k),
+                                  true);
+    sim.advance(dt);
+  }
+
+  RunResult r;
+  r.hashes = {field_hash(sim.parent().h), field_hash(sim.parent().u),
+              field_hash(sim.parent().v)};
+  r.diags.push_back(s::diagnose(sim.parent()));
+  for (std::size_t k = 0; k < sim.sibling_count(); ++k) {
+    const s::State& c = sim.sibling(k).state();
+    r.hashes.push_back(field_hash(c.h));
+    r.hashes.push_back(field_hash(c.u));
+    r.hashes.push_back(field_hash(c.v));
+    r.diags.push_back(s::diagnose(c));
+  }
+  return r;
+}
+
+void expect_identical(const RunResult& got, const RunResult& want,
+                      const char* label) {
+  EXPECT_EQ(got.hashes, want.hashes) << label;
+  ASSERT_EQ(got.diags.size(), want.diags.size());
+  for (std::size_t i = 0; i < got.diags.size(); ++i)
+    EXPECT_TRUE(diag_bits_equal(got.diags[i], want.diags[i]))
+        << label << ": diagnostics of domain " << i
+        << " are not bitwise identical";
+}
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+}  // namespace
+
+TEST(SwmOverlap, ByteIdenticalToSequentialAtAnyThreadCount) {
+  const RunResult sequential = run_case(nullptr, 8, -1);
+  for (const int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const RunResult overlapped = run_case(&pool, 8, -1);
+    expect_identical(overlapped, sequential,
+                     ("threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(SwmOverlap, QuarantinedSiblingSkippedIdentically) {
+  // Quarantining mid-run must not perturb determinism: the quarantined
+  // sibling contributes no staging task and no feedback patch.
+  const RunResult sequential = run_case(nullptr, 8, 1);
+  for (const int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const RunResult overlapped = run_case(&pool, 8, 1);
+    expect_identical(overlapped, sequential,
+                     ("quarantine threads=" + std::to_string(threads))
+                         .c_str());
+  }
+}
+
+TEST(SwmOverlap, SharedPoolAcrossRepeatedRuns) {
+  // One pool reused for several simulations back to back: TaskGroup's
+  // private latch must not leak state between advance() calls or runs.
+  ThreadPool pool(2);
+  const RunResult first = run_case(&pool, 6, -1);
+  const RunResult second = run_case(&pool, 6, -1);
+  expect_identical(second, first, "repeat on shared pool");
+  const RunResult sequential = run_case(nullptr, 6, -1);
+  expect_identical(first, sequential, "shared pool vs sequential");
+}
+
+TEST(SwmOverlap, DetachReattachPool) {
+  // Switching between sequential and overlapped execution mid-run keeps
+  // the trajectory: both paths advance the same state machine.
+  s::ModelParams p;
+  p.viscosity = 50.0;
+  p.boundary = s::BoundaryKind::wall;
+  auto run_mixed = [&](ThreadPool* pool, bool toggle) {
+    n::NestedSimulation sim(make_parent(), p, make_specs());
+    const double dt = 0.5 * sim.stable_dt();
+    for (int i = 0; i < 6; ++i) {
+      if (toggle) sim.set_thread_pool(i % 2 ? pool : nullptr);
+      sim.advance(dt);
+    }
+    return field_hash(sim.parent().h);
+  };
+  ThreadPool pool(2);
+  EXPECT_EQ(run_mixed(&pool, true), run_mixed(nullptr, false));
+}

@@ -1,0 +1,185 @@
+/// Tile-size invariance property tests and build-tier wiring checks.
+///
+/// The cache-tiled RK3 driver promises that the tile size is a pure
+/// performance knob: tiling only reorders writes of independent output
+/// values, so integrating with tile sizes {8, 16, 32, full-row} must
+/// produce bit-identical state — in every tier, fast-math included
+/// (the same machine code runs per row regardless of the runtime tile
+/// bound). These tests hash the raw buffers to lock that in.
+///
+/// The SimdTier tests pin the NESTWX_SIMD × NESTWX_CHECK_BOUNDS
+/// composition contract: checked builds must keep the restrict kernels
+/// but drop the vector pragmas (see swm/simd.hpp), and the combination
+/// must build and pass — which this binary existing and running proves.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/plan_key.hpp"
+#include "nest/simulation.hpp"
+#include "swm/bc.hpp"
+#include "swm/dynamics.hpp"
+#include "swm/simd.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+
+namespace {
+
+/// Smooth polynomial state (portable: no libm transcendentals).
+s::State poly_state(int nx, int ny) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 1000.0;
+  s::State st(g);
+  auto fx = [](int i, int nd) {
+    const double x = (static_cast<double>(i) + 0.5) / nd;
+    return x * (1.0 - x);
+  };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      st.h(i, j) = 500.0 + 290.0 * fx(i, nx) * fx(j, ny) +
+                   0.3 * ((i * 3 + j * 13) % 6);
+      st.b(i, j) = 9.0 * fx(i, nx) * (1.0 + 0.4 * fx(j, ny));
+    }
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i <= nx; ++i) st.u(i, j) = 0.5 * fx(j, ny);
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i < nx; ++i) st.v(i, j) = -0.45 * fx(i, nx);
+  return st;
+}
+
+std::uint64_t field_hash(const s::Field2D& f) {
+  nestwx::core::Fingerprint fp;
+  for (double v : f.raw()) fp.mix(v);
+  return fp.value();
+}
+
+std::vector<std::uint64_t> state_hashes(const s::State& st) {
+  return {field_hash(st.h), field_hash(st.u), field_hash(st.v)};
+}
+
+// Tile sizes the property quantifies over; 0 = one full-row sweep.
+constexpr int kTiles[] = {8, 16, 32, 0};
+
+}  // namespace
+
+TEST(SwmTiling, StepperBitIdenticalAcrossTileSizes) {
+  for (const bool nonlinear : {true, false}) {
+    for (const double viscosity : {0.0, 60.0}) {
+      s::ModelParams p;
+      p.coriolis = 1e-4;
+      p.drag = 1e-5;
+      p.nonlinear = nonlinear;
+      p.viscosity = viscosity;
+      p.boundary = s::BoundaryKind::periodic;
+
+      std::vector<std::uint64_t> expected;
+      for (const int tile : kTiles) {
+        s::State st = poly_state(50, 37);  // deliberately not tile-aligned
+        s::apply_boundary(st, p.boundary);
+        s::Stepper stepper(st.grid, p);
+        stepper.set_tile_rows(tile);
+        ASSERT_EQ(stepper.tile_rows(), tile);
+        stepper.run(st, 2.0, 8);
+        const auto hashes = state_hashes(st);
+        if (expected.empty())
+          expected = hashes;
+        else
+          EXPECT_EQ(hashes, expected)
+              << "tile=" << tile << " nonlinear=" << nonlinear
+              << " viscosity=" << viscosity
+              << " drifted from the first tile size";
+      }
+    }
+  }
+}
+
+TEST(SwmTiling, NestedSimulationBitIdenticalAcrossTileSizes) {
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (const int tile : kTiles) {
+    s::ModelParams p;
+    p.coriolis = 1e-4;
+    p.viscosity = 40.0;
+    p.boundary = s::BoundaryKind::wall;
+    n::NestedSimulation sim(poly_state(48, 40), p,
+                            {n::NestSpec{"west", 6, 6, 10, 8, 2},
+                             n::NestSpec{"east", 30, 24, 10, 10, 3}});
+    sim.set_tile_rows(tile);
+    EXPECT_EQ(sim.tile_rows(), tile);
+    sim.run(2.0, 4);
+    std::vector<std::uint64_t> hashes = state_hashes(sim.parent());
+    for (std::size_t k = 0; k < sim.sibling_count(); ++k)
+      for (std::uint64_t h : state_hashes(sim.sibling(k).state()))
+        hashes.push_back(h);
+    runs.push_back(std::move(hashes));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i)
+    EXPECT_EQ(runs[i], runs[0]) << "tile=" << kTiles[i];
+}
+
+TEST(SwmTiling, TileSurvivesViscosityRebuild) {
+  // set_viscosity rebuilds every stepper; the tile choice must ride along.
+  s::ModelParams p;
+  p.viscosity = 40.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(poly_state(32, 32), p,
+                          {n::NestSpec{"c", 8, 8, 8, 8, 2}});
+  sim.set_tile_rows(8);
+  sim.set_viscosity(80.0);
+  EXPECT_EQ(sim.tile_rows(), 8);
+}
+
+TEST(SimdTier, CheckBoundsDowngradesVectorLoops) {
+  constexpr s::BuildTier tier = s::build_tier();
+  // The composition contract: vector pragmas are active exactly when the
+  // SIMD kernels are compiled in AND bounds checking is off. A
+  // bounds-checked SIMD build (the sanitizer presets) must still build and
+  // run — this whole binary is that test — but with scalar inner loops.
+  EXPECT_EQ(tier.vector_loops, tier.simd_compiled && !tier.check_bounds);
+#ifdef NESTWX_CHECK_BOUNDS
+  EXPECT_TRUE(tier.check_bounds);
+  EXPECT_FALSE(tier.vector_loops);
+#endif
+#ifdef NESTWX_FASTMATH
+  // Fast-math implies the SIMD kernels (enforced at configure time).
+  EXPECT_TRUE(tier.simd_compiled);
+  EXPECT_TRUE(tier.fastmath);
+#endif
+  // The tier name must reflect the same wiring.
+  const std::string name = s::build_tier_name();
+  if (tier.fastmath)
+    EXPECT_EQ(name, "simd-fastmath");
+  else if (tier.vector_loops)
+    EXPECT_EQ(name, "simd-exact");
+  else if (tier.simd_compiled)
+    EXPECT_EQ(name, "simd-checked");
+  else
+    EXPECT_EQ(name, "scalar-exact");
+}
+
+TEST(SimdTier, PerLoopHooksMatchFusedKernels) {
+  // tendency_mass/u/v are the same row kernels compute_tendency drives;
+  // their outputs must agree bit for bit in every tier.
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.drag = 1e-5;
+  p.nonlinear = true;
+  p.viscosity = 70.0;
+  p.boundary = s::BoundaryKind::periodic;
+  s::State st = poly_state(33, 29);
+  s::apply_boundary(st, p.boundary);
+
+  s::Tendency whole(st.grid);
+  s::compute_tendency(st, p, whole);
+  s::Tendency loops(st.grid);
+  s::tendency_mass(st, p, loops.dh);
+  s::tendency_u(st, p, loops.du);
+  s::tendency_v(st, p, loops.dv);
+
+  EXPECT_EQ(field_hash(whole.dh), field_hash(loops.dh));
+  EXPECT_EQ(field_hash(whole.du), field_hash(loops.du));
+  EXPECT_EQ(field_hash(whole.dv), field_hash(loops.dv));
+}

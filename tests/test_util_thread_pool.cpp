@@ -158,3 +158,88 @@ TEST(ThreadPool, ParallelForPropagatesIterationError) {
   u::parallel_for(pool, 8, [&count](int) { ++count; });
   EXPECT_EQ(count.load(), 8);
 }
+
+TEST(TaskGroup, ForkJoinWithWorkInBetween) {
+  // The compute/exchange-overlap shape: submit, compute on the caller,
+  // wait. The group's wait() must see every submitted task complete.
+  u::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  u::TaskGroup group(pool);
+  for (int i = 0; i < 16; ++i)
+    group.submit([&done] { ++done; });
+  int local = 0;  // the "parent interior integration" stand-in
+  for (int i = 0; i < 1000; ++i) local += i;
+  group.wait();
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_EQ(local, 499500);
+}
+
+TEST(TaskGroup, WaitOnlyBlocksOnOwnTasks) {
+  // A slow unrelated task on the shared pool must not delay the group:
+  // this is the reason TaskGroup exists instead of wait_idle().
+  u::ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> slow_done{false};
+  pool.submit([&] {
+    while (!release) std::this_thread::yield();
+    slow_done = true;
+  });
+  u::TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    group.submit([&done] { ++done; });
+  group.wait();  // returns while the unrelated task is still spinning
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_FALSE(slow_done.load());
+  release = true;
+  pool.wait_idle();
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(TaskGroup, WaitRethrowsFirstErrorAndIsReusable) {
+  u::ThreadPool pool(2);
+  u::TaskGroup group(pool);
+  group.submit([] { throw PreconditionError("stage failed"); });
+  EXPECT_THROW(group.wait(), PreconditionError);
+  // Cleared after delivery; the group (and pool) remain usable.
+  std::atomic<int> done{0};
+  group.submit([&done] { ++done; });
+  EXPECT_NO_THROW(group.wait());
+  EXPECT_EQ(done.load(), 1);
+  // The group's exception never leaks into the pool's wait_idle path.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(TaskGroup, SurvivesPoolCancelDroppingTasks) {
+  // Tasks dropped by cancel() are destroyed without running; the RAII
+  // ticket must still release the group's latch or wait() hangs.
+  u::ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release) std::this_thread::yield();
+  });
+  u::TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i)
+    group.submit([&ran] { ++ran; });
+  pool.cancel();
+  release = true;
+  group.wait();  // must return even though most tasks were dropped
+  EXPECT_LE(ran.load(), 32);
+  pool.resume();
+}
+
+TEST(TaskGroup, DestructorDrainsOutstandingTasks) {
+  u::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    u::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i)
+      group.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++done;
+      });
+    // No wait(): the destructor must block until all 8 ran.
+  }
+  EXPECT_EQ(done.load(), 8);
+}
