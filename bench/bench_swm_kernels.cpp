@@ -20,7 +20,13 @@
 ///     cache-tile sweep (tile_rows ∈ {8, 16, 32, full});
 ///  4. siblings — sequential versus thread-pool-concurrent integration of
 ///     a 4-sibling nested simulation (with compute/exchange overlap when
-///     a pool is attached).
+///     a pool is attached);
+///  5. strong scaling — row-band-parallel fused tendency on the largest
+///     grid at 1/2/4/… threads (speedup and parallel efficiency vs the
+///     serial sweep, which is bit-identical by construction), plus a
+///     band-parallel crossover sweep over domain heights: the smallest
+///     ny where banding at the full thread count beats the serial sweep
+///     is the measured analogue of ThreadBudget::band_crossover_rows.
 ///
 /// Emits a human table plus a machine-readable JSON report (including the
 /// build tier, see swm/simd.hpp) so the perf trajectory is trackable
@@ -270,6 +276,19 @@ struct SiblingRow {
   double advances_per_s = 0.0;
 };
 
+struct ScalingRow {
+  int threads = 0;  ///< 0 = serial sweep (no pool)
+  double cells_per_s = 0.0;
+  double speedup = 0.0;     ///< vs the serial sweep
+  double efficiency = 0.0;  ///< speedup / threads
+};
+
+struct CrossoverRow {
+  int ny = 0;
+  double serial_cells_per_s = 0.0;
+  double banded_cells_per_s = 0.0;
+};
+
 /// 4 well-separated siblings on a 96×96 parent (the paper's §4.3-style
 /// multi-region configuration, shrunk to bench scale). Each sibling
 /// refines 24×24 parent cells at ratio 3 (72×72 child grid, 3 sub-steps),
@@ -455,6 +474,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Section 5: strong scaling + band crossover -------------------------
+  // Fused tendency (nonlinear-viscous) on the largest grid, row-band
+  // parallel at 1/2/4/… threads. The banded sweep is bit-identical to the
+  // serial one (test_swm_parallel / test_swm_golden), so only the rate may
+  // move.
+  std::vector<ScalingRow> scaling;
+  std::vector<CrossoverRow> crossover;
+  int crossover_rows = 0;  // 0 = banding never won within the sweep
+  {
+    const auto [snx, sny] = grids.back();
+    s::State st = bench_state(snx, sny);
+    s::Tendency tend(st.grid);
+    const s::ModelParams p = variant_params(kVariants[0]);
+    const double cells = cells_per_call(snx, sny);
+    ScalingRow serial;
+    serial.threads = 0;
+    serial.cells_per_s =
+        cells * rate_of([&] { s::compute_tendency(st, p, tend); }, min_seconds);
+    serial.speedup = serial.efficiency = 1.0;
+    scaling.push_back(serial);
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      u::ThreadPool pool(threads);
+      ScalingRow row;
+      row.threads = threads;
+      row.cells_per_s =
+          cells *
+          rate_of([&] { s::compute_tendency(st, p, tend, &pool); }, min_seconds);
+      row.speedup = row.cells_per_s / serial.cells_per_s;
+      row.efficiency = row.speedup / threads;
+      scaling.push_back(row);
+    }
+
+    // Crossover sweep: same nx, shrinking ny. Small domains lose to the
+    // fork/join overhead; the first height where banding wins is the
+    // empirical ThreadBudget::band_crossover_rows for this machine.
+    u::ThreadPool pool(max_threads);
+    const std::vector<int> heights =
+        quick ? std::vector<int>{16, 48, 128} : std::vector<int>{8, 16, 32, 48, 64, 128, 256};
+    for (const int ny : heights) {
+      s::State small = bench_state(snx, ny);
+      s::Tendency small_tend(small.grid);
+      const double small_cells = cells_per_call(snx, ny);
+      CrossoverRow row;
+      row.ny = ny;
+      row.serial_cells_per_s =
+          small_cells *
+          rate_of([&] { s::compute_tendency(small, p, small_tend); }, min_seconds);
+      row.banded_cells_per_s =
+          small_cells *
+          rate_of([&] { s::compute_tendency(small, p, small_tend, &pool); },
+                  min_seconds);
+      crossover.push_back(row);
+      if (crossover_rows == 0 &&
+          row.banded_cells_per_s > row.serial_cells_per_s)
+        crossover_rows = ny;
+    }
+  }
+
   // --- Report -------------------------------------------------------------
   u::Table tv({"variant", "max abs err", "max rel err", "verdict"});
   for (const auto& r : validation)
@@ -515,6 +592,33 @@ int main(int argc, char** argv) {
               << " hardware thread(s) available — concurrent rows measure "
                  "pool overhead, not scaling\n";
   }
+
+  u::Table tsc({"threads", "Mcell/s", "speedup", "efficiency"});
+  for (const auto& r : scaling)
+    tsc.add_row({r.threads == 0 ? "serial" : std::to_string(r.threads),
+                 u::Table::num(r.cells_per_s / 1e6, 1),
+                 u::Table::num(r.speedup, 2), u::Table::num(r.efficiency, 2)});
+  std::cout << "\n###### bench_swm_kernels — fused-tendency strong scaling ("
+            << grids.back().first << "x" << grids.back().second
+            << ") ######\n";
+  tsc.print(std::cout);
+
+  u::Table tx({"ny", "serial Mcell/s", "banded Mcell/s", "banding wins"});
+  for (const auto& r : crossover)
+    tx.add_row({std::to_string(r.ny),
+                u::Table::num(r.serial_cells_per_s / 1e6, 1),
+                u::Table::num(r.banded_cells_per_s / 1e6, 1),
+                r.banded_cells_per_s > r.serial_cells_per_s ? "yes" : "no"});
+  std::cout << "\n###### bench_swm_kernels — band-parallel crossover ("
+            << grids.back().first << " cols, " << max_threads
+            << " threads) ######\n";
+  tx.print(std::cout);
+  std::cout << "measured crossover: "
+            << (crossover_rows > 0
+                    ? "ny >= " + std::to_string(crossover_rows)
+                    : std::string("banding never won (see hardware note)"))
+            << "  (ThreadBudget default: "
+            << n::NestedSimulation::kDefaultBandCrossoverRows << " rows)\n";
 
   // --- JSON ---------------------------------------------------------------
   const s::BuildTier tier = s::build_tier();
@@ -585,7 +689,27 @@ int main(int argc, char** argv) {
          u::json_num(r.advances_per_s / siblings[0].advances_per_s) + "}";
     j += (i + 1 < siblings.size()) ? ",\n" : "\n";
   }
-  j += "  ]\n}\n";
+  j += "  ],\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& r = scaling[i];
+    j += "    {\"threads\": " + std::to_string(r.threads) +
+         ", \"cells_per_s\": " + u::json_num(r.cells_per_s) +
+         ", \"speedup\": " + u::json_num(r.speedup) +
+         ", \"parallel_efficiency\": " + u::json_num(r.efficiency) + "}";
+    j += (i + 1 < scaling.size()) ? ",\n" : "\n";
+  }
+  j += "  ],\n  \"crossover\": {\"rows\": " + std::to_string(crossover_rows) +
+       ", \"budget_default_rows\": " +
+       std::to_string(n::NestedSimulation::kDefaultBandCrossoverRows) +
+       ", \"sweep\": [\n";
+  for (std::size_t i = 0; i < crossover.size(); ++i) {
+    const auto& r = crossover[i];
+    j += "    {\"ny\": " + std::to_string(r.ny) +
+         ", \"serial_cells_per_s\": " + u::json_num(r.serial_cells_per_s) +
+         ", \"banded_cells_per_s\": " + u::json_num(r.banded_cells_per_s) + "}";
+    j += (i + 1 < crossover.size()) ? ",\n" : "\n";
+  }
+  j += "  ]}\n}\n";
 
   std::ofstream out(json_path, std::ios::binary);
   NESTWX_REQUIRE(out.good(), "cannot open --json output path");

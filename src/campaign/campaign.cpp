@@ -216,6 +216,16 @@ CampaignReport CampaignScheduler::run(std::span<const MemberSpec> members,
   m.cache_hit_rate =
       static_cast<double>(m.cache_hits) / (m.cache_hits + m.cache_misses);
   m.single_flight_joins = single_flight_joins;
+  // Host-execution facts (stdout-only; see the field comment): the
+  // per-member budget splits the worker threads across the widest wave's
+  // concurrent members.
+  std::size_t widest_wave = 1;
+  for (const auto& wave : waves)
+    widest_wave = std::max(widest_wave, wave.size());
+  m.threads_used = options.threads;
+  m.member_thread_budget = std::max(
+      1, options.threads / std::min(static_cast<int>(widest_wave),
+                                    options.threads));
   if (options.use_plan_cache) cache_->trim();
   report.cache = cache_->stats();
   return report;
@@ -283,6 +293,10 @@ std::string report_to_json(const CampaignReport& report,
   os << "    \"cache_misses\": " << m.cache_misses << ",\n";
   os << "    \"cache_hit_rate\": " << json_num(m.cache_hit_rate) << ",\n";
   os << "    \"single_flight_joins\": " << m.single_flight_joins << ",\n";
+  // threads_used / member_thread_budget stay off the report on purpose
+  // (host facts, not virtual-time results — the PlanCache `waits`
+  // convention): serialising them would break byte-identity across
+  // thread counts. CLIs print them on stdout.
   // One line on purpose: eviction-invariance tests strip this line and
   // byte-compare the rest of the report across cache capacities.
   const PlanCacheStats& c = report.cache;

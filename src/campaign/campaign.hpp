@@ -98,6 +98,17 @@ struct CampaignMetrics {
   /// waits counter is the scheduling-dependent measurement of the same
   /// event and is deliberately kept out of the report.
   std::size_t single_flight_joins = 0;
+  /// Host-execution facts: worker threads the parallel phase ran on and
+  /// the per-member thread budget implied by the widest wave (threads
+  /// divided across that wave's concurrent members, at least 1) — what a
+  /// member integrating real states should pass as
+  /// nest::NestedSimulation::ThreadBudget::threads so concurrent members
+  /// do not oversubscribe the pool. Like the PlanCache `waits` counter
+  /// these are host quantities, not virtual-time results: report_to_json
+  /// excludes them so reports stay byte-identical at any thread count —
+  /// CLIs print them on stdout instead.
+  int threads_used = 0;
+  int member_thread_budget = 0;
 };
 
 struct CampaignReport {

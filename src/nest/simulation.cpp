@@ -51,25 +51,72 @@ std::size_t NestedSimulation::quarantined_count() const {
   return n;
 }
 
+void NestedSimulation::set_thread_pool(util::ThreadPool* pool) {
+  pool_ = pool;
+  apply_stepper_tuning();
+}
+
+void NestedSimulation::set_thread_budget(const ThreadBudget& budget) {
+  budget_ = budget;
+  apply_stepper_tuning();
+}
+
+int NestedSimulation::sibling_band_count(std::size_t k) const {
+  NESTWX_REQUIRE(k < siblings_.size(), "sibling index out of range");
+  return child_steppers_[k]->band_count();
+}
+
+void NestedSimulation::apply_stepper_tuning() {
+  parent_stepper_.set_tile_rows(tile_rows_);
+  for (auto& stepper : child_steppers_) stepper->set_tile_rows(tile_rows_);
+
+  // Split the budget across the two parallelism levels. Band counts are
+  // a pure performance dial — banding never changes bits — so any split
+  // here is determinism-safe.
+  const int threads =
+      pool_ == nullptr
+          ? 1
+          : (budget_.threads > 0 ? budget_.threads : pool_->thread_count());
+  // Parent: the calling thread integrates it while sibling ghost staging
+  // runs on the pool, so a large parent may fan its sweep out across the
+  // whole budget. Below the crossover the fork/join overhead wins.
+  const bool parent_bands =
+      pool_ != nullptr && threads > 1 &&
+      parent_.grid.ny >= budget_.band_crossover_rows;
+  parent_stepper_.set_thread_pool(parent_bands ? pool_ : nullptr, threads);
+  // Siblings: sibling-level tasks already occupy one thread each, so each
+  // sibling's intra-domain share is the budget divided across concurrent
+  // siblings (nested parallel_for help-runs, so over-subscription degrades
+  // gracefully rather than deadlocking).
+  const int nsib = static_cast<int>(siblings_.size());
+  const int share =
+      nsib > 0 ? std::max(1, threads / std::min(nsib, threads)) : 1;
+  for (std::size_t k = 0; k < siblings_.size(); ++k) {
+    const bool child_bands =
+        pool_ != nullptr && share > 1 &&
+        siblings_[k]->state().grid.ny >= budget_.band_crossover_rows;
+    child_steppers_[k]->set_thread_pool(child_bands ? pool_ : nullptr,
+                                        share);
+  }
+}
+
 void NestedSimulation::set_tile_rows(int rows) {
   tile_rows_ = rows;
-  parent_stepper_.set_tile_rows(rows);
-  for (auto& stepper : child_steppers_) stepper->set_tile_rows(rows);
+  apply_stepper_tuning();
 }
 
 void NestedSimulation::set_viscosity(double nu) {
   NESTWX_REQUIRE(nu >= 0.0, "viscosity must be non-negative");
   params_.viscosity = nu;
   parent_stepper_ = swm::Stepper(parent_.grid, params_);
-  parent_stepper_.set_tile_rows(tile_rows_);
   for (std::size_t k = 0; k < siblings_.size(); ++k) {
     swm::ModelParams child_params = params_;
     child_params.boundary = swm::BoundaryKind::open;
     child_params.viscosity = nu / siblings_[k]->spec().ratio;
     child_steppers_[k] = std::make_unique<swm::Stepper>(
         siblings_[k]->state().grid, child_params);
-    child_steppers_[k]->set_tile_rows(tile_rows_);
   }
+  apply_stepper_tuning();
 }
 
 void NestedSimulation::integrate_sibling(std::size_t k, double parent_dt) {
@@ -183,8 +230,8 @@ void NestedSimulation::relocate_sibling(std::size_t k, int anchor_i,
   child_params.viscosity = params_.viscosity / spec.ratio;
   child_steppers_[k] =
       std::make_unique<swm::Stepper>(moved->state().grid, child_params);
-  child_steppers_[k]->set_tile_rows(tile_rows_);
   siblings_[k] = std::move(moved);
+  apply_stepper_tuning();
 }
 
 double NestedSimulation::stable_dt(double safety) const {

@@ -44,18 +44,50 @@ class NestedSimulation {
 
   const swm::ModelParams& params() const { return params_; }
 
+  /// How advance() splits its pool between the two levels of
+  /// parallelism: sibling-level tasks (ghost staging, sibling sub-step
+  /// blocks) and intra-domain row bands inside each Stepper sweep.
+  /// Determinism is unconditional — band counts never affect bits — so
+  /// the budget is purely a performance dial.
+  struct ThreadBudget {
+    /// Threads this simulation may occupy; 0 = the whole pool. Campaigns
+    /// running concurrent members set this to the per-member share so
+    /// members do not oversubscribe the shared pool.
+    int threads = 0;
+    /// Domains with fewer interior rows than this integrate serially —
+    /// below the crossover the fork/join overhead outweighs the
+    /// bandwidth gain (measured by bench_swm_kernels' crossover
+    /// section; see EXPERIMENTS.md).
+    int band_crossover_rows = kDefaultBandCrossoverRows;
+  };
+  static constexpr int kDefaultBandCrossoverRows = 48;
+
   /// Integrate sibling sub-step blocks on `pool` (nullptr restores
   /// sequential execution). With a pool attached, advance() also overlaps
   /// compute with boundary exchange: sibling prev-level ghost staging runs
   /// on the pool while the calling thread integrates the parent interior,
   /// and each sibling's restriction feedback is pre-computed inside its
-  /// task (applied afterwards in fixed sibling order). The pool is
-  /// borrowed, not owned, and must outlive this simulation or the next
-  /// set_thread_pool call. advance() must not itself be called from one
-  /// of `pool`'s worker threads (parallel_for's precondition). Results
+  /// task (applied afterwards in fixed sibling order) — and the steppers
+  /// are tuned per the thread budget: the parent sweeps in row bands when
+  /// it is past the crossover, each sibling gets its share of the pool
+  /// for its own bands (nested parallel_for help-runs, so sibling tasks
+  /// fan out further without deadlock). The pool is borrowed, not owned,
+  /// and must outlive this simulation or the next set_thread_pool call.
+  /// advance() must not itself be called from one of `pool`'s worker
+  /// threads (it waits on a TaskGroup, which does not help-run). Results
   /// are byte-identical to sequential execution at any thread count.
-  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  void set_thread_pool(util::ThreadPool* pool);
   util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Replace the thread budget (and retune the steppers). The default
+  /// budget uses the whole pool with the default crossover.
+  void set_thread_budget(const ThreadBudget& budget);
+  const ThreadBudget& thread_budget() const { return budget_; }
+
+  /// Row bands the parent / sibling `k` stepper will sweep with under
+  /// the current pool + budget (1 = serial). Report plumbing only.
+  int parent_band_count() const { return parent_stepper_.band_count(); }
+  int sibling_band_count(std::size_t k) const;
 
   /// Cache-tile row count for the parent and child steppers (see
   /// swm::Stepper::set_tile_rows; 0 = full sweep). Survives the stepper
@@ -121,6 +153,11 @@ class NestedSimulation {
   /// feedback_patches_[k]. Must not be called for quarantined siblings.
   void integrate_sibling_staged(std::size_t k, double parent_dt);
 
+  /// Re-apply tile rows, pool and band budget to every stepper. Called
+  /// after anything that rebuilds steppers (set_viscosity,
+  /// relocate_sibling) or changes the pool/budget.
+  void apply_stepper_tuning();
+
   swm::ModelParams params_;
   swm::State parent_;
   swm::State parent_prev_;  ///< parent at t (pre-step)
@@ -131,6 +168,7 @@ class NestedSimulation {
   std::vector<char> quarantined_;  ///< per-sibling; char avoids vector<bool>
   std::vector<FeedbackPatch> feedback_patches_;  ///< overlap-path staging
   util::ThreadPool* pool_ = nullptr;  ///< borrowed; nullptr = sequential
+  ThreadBudget budget_;
   int tile_rows_ = swm::Stepper::kDefaultTileRows;
   int steps_ = 0;
 };

@@ -135,17 +135,21 @@ void GuardedRunner::restore_snapshot(const Snapshot& snap) {
 GuardedRunner::Blame GuardedRunner::inspect(double active_dt) const {
   Blame blame;
   const auto& params = sim_.params();
+  // Band-parallel scans on the simulation's own pool: every reduction in
+  // check_stability is order-invariant, so the verdicts — and therefore
+  // every rollback decision — are bit-identical to the serial scan.
+  util::ThreadPool* pool = sim_.thread_pool();
   for (std::size_t k = 0; k < sim_.sibling_count(); ++k) {
     if (sim_.sibling_quarantined(k)) continue;
     const auto& nest = sim_.sibling(k);
     const auto r =
         swm::check_stability(nest.state(), params,
                              active_dt / nest.spec().ratio,
-                             policy_.thresholds);
+                             policy_.thresholds, pool);
     if (!r.healthy()) blame.siblings.emplace_back(k, r.reason);
   }
   const auto pr = swm::check_stability(sim_.parent(), params, active_dt,
-                                       policy_.thresholds);
+                                       policy_.thresholds, pool);
   if (!pr.healthy()) {
     // An unhealthy sibling poisons the parent through feedback; only
     // blame the parent's own dynamics when every sibling looks fine.

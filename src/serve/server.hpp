@@ -49,7 +49,10 @@ namespace nestwx::serve {
 
 struct ServeOptions {
   /// Host worker threads inside each campaign execution. Never affects
-  /// report bytes.
+  /// report bytes. Passed through as the campaign thread budget: the
+  /// campaign layer derives each member's share from it
+  /// (CampaignMetrics::threads_used / member_thread_budget — stdout-only
+  /// host facts, excluded from every JSON report).
   int threads = 1;
   /// Admission bound: queued (not yet serving) request limit.
   std::size_t queue_depth = 16;

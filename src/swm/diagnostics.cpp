@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace nestwx::swm {
 
-Diagnostics diagnose(const State& s, double gravity) {
+namespace {
+
+/// Partial diagnose over rows [j0, j1): same loop body as the serial
+/// scan, accumulated locally. `any` reports whether the range held at
+/// least one cell (empty bands must not poison the extrema combine).
+Diagnostics diagnose_rows(const State& s, double gravity, int j0, int j1,
+                          bool& any) {
   Diagnostics d;
   const double area = s.grid.dx * s.grid.dy;
   bool first = true;
-  for (int j = 0; j < s.grid.ny; ++j) {
+  for (int j = j0; j < j1; ++j) {
     const double* hr = s.h.row(j);
     const double* br = s.b.row(j);
     const double* ur = s.u.row(j);
@@ -35,6 +44,65 @@ Diagnostics diagnose(const State& s, double gravity) {
         d.max_eta = std::max(d.max_eta, eta);
         d.min_eta = std::min(d.min_eta, eta);
       }
+    }
+  }
+  any = !first;
+  return d;
+}
+
+/// Finiteness of n doubles starting at p (no early exit needed: callers
+/// AND the chunk verdicts).
+bool finite_span(const double* p, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k)
+    if (!std::isfinite(p[k])) return false;
+  return true;
+}
+
+}  // namespace
+
+Diagnostics diagnose(const State& s, double gravity) {
+  bool any = false;
+  Diagnostics d = diagnose_rows(s, gravity, 0, s.grid.ny, any);
+  d.total_energy = d.kinetic_energy + d.potential_energy;
+  return d;
+}
+
+Diagnostics diagnose(const State& s, double gravity, util::ThreadPool* pool,
+                     int bands) {
+  const int ny = s.grid.ny;
+  const int nb = util::resolve_bands(pool, bands, ny);
+  if (nb <= 1) return diagnose(s, gravity);
+
+  std::vector<Diagnostics> part(static_cast<std::size_t>(nb));
+  std::vector<char> any(static_cast<std::size_t>(nb), 0);
+  util::parallel_for(*pool, nb, [&](int b) {
+    bool a = false;
+    part[static_cast<std::size_t>(b)] =
+        diagnose_rows(s, gravity, b * ny / nb, (b + 1) * ny / nb, a);
+    any[static_cast<std::size_t>(b)] = a ? 1 : 0;
+  });
+
+  // Combine in fixed band order: the sums are ordered per-band partials
+  // (deterministic at any thread count for this band count); the min/max
+  // fields are order-invariant and so bit-equal to the serial scan.
+  Diagnostics d;
+  bool first = true;
+  for (int b = 0; b < nb; ++b) {
+    const Diagnostics& p = part[static_cast<std::size_t>(b)];
+    d.mass += p.mass;
+    d.kinetic_energy += p.kinetic_energy;
+    d.potential_energy += p.potential_energy;
+    d.max_speed = std::max(d.max_speed, p.max_speed);
+    if (!any[static_cast<std::size_t>(b)]) continue;
+    if (first) {
+      d.min_depth = p.min_depth;
+      d.max_eta = p.max_eta;
+      d.min_eta = p.min_eta;
+      first = false;
+    } else {
+      d.min_depth = std::min(d.min_depth, p.min_depth);
+      d.max_eta = std::max(d.max_eta, p.max_eta);
+      d.min_eta = std::min(d.min_eta, p.min_eta);
     }
   }
   d.total_energy = d.kinetic_energy + d.potential_energy;
@@ -81,6 +149,31 @@ bool all_finite(const Field2D& f) {
 bool all_finite(const State& s) {
   return all_finite(s.h) && all_finite(s.u) && all_finite(s.v) &&
          all_finite(s.b);
+}
+
+bool all_finite(const State& s, util::ThreadPool* pool, int bands) {
+  const Field2D* fields[4] = {&s.h, &s.u, &s.v, &s.b};
+  // One chunk per band per field; the AND of chunk verdicts is
+  // order-invariant, so any decomposition yields the serial verdict.
+  const int nb = util::resolve_bands(pool, bands, s.grid.ny);
+  if (nb <= 1) return all_finite(s);
+
+  std::vector<char> ok(static_cast<std::size_t>(4 * nb), 1);
+  util::parallel_for(*pool, 4 * nb, [&](int t) {
+    const int f = t / nb;
+    const int c = t % nb;
+    const auto raw = fields[f]->raw();
+    const std::size_t n = raw.size();
+    const std::size_t b0 = n * static_cast<std::size_t>(c) /
+                           static_cast<std::size_t>(nb);
+    const std::size_t b1 = n * static_cast<std::size_t>(c + 1) /
+                           static_cast<std::size_t>(nb);
+    ok[static_cast<std::size_t>(t)] =
+        finite_span(raw.data() + b0, b1 - b0) ? 1 : 0;
+  });
+  for (const char v : ok)
+    if (!v) return false;
+  return true;
 }
 
 }  // namespace nestwx::swm

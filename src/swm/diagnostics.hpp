@@ -5,6 +5,10 @@
 
 #include "swm/state.hpp"
 
+namespace nestwx::util {
+class ThreadPool;
+}
+
 namespace nestwx::swm {
 
 struct Diagnostics {
@@ -19,6 +23,18 @@ struct Diagnostics {
 };
 
 Diagnostics diagnose(const State& s, double gravity = 9.81);
+
+/// Row-band-parallel diagnose: the scan is split into `bands` contiguous
+/// row bands (0 = one per pool thread) whose partials are combined in
+/// fixed band order. Determinism contract: min/max fields are
+/// bit-identical to the serial scan (order-invariant reductions); the
+/// sums are ordered per-band partials, so they are byte-identical at any
+/// *thread count* for a fixed band count, and equal to the serial sums
+/// whenever the resolved band count is 1 (null pool, one-thread pool, or
+/// bands explicitly 1) — which is why report-critical paths pin bands
+/// rather than inherit the pool width. Null pool = the serial scan.
+Diagnostics diagnose(const State& s, double gravity, util::ThreadPool* pool,
+                     int bands = 0);
 
 /// Relative vorticity ζ = ∂v/∂x − ∂u/∂y on the C-grid's cell corners
 /// ((nx+1) × (ny+1) field, no halo). Ghost cells of `s` must be current.
@@ -36,5 +52,12 @@ bool all_finite(const Field2D& f);
 /// stability monitor (swm/stability.hpp) runs this every parent step, so
 /// it is the early-exit raw-buffer scan rather than a diagnose() pass.
 bool all_finite(const State& s);
+
+/// Band-parallel finiteness scan: each field's raw buffer is split into
+/// `bands` chunks (0 = one per pool thread) checked concurrently and
+/// AND-combined — order-invariant, so the verdict is bit-identical to
+/// the serial scan at any thread/band count. Trades the serial early
+/// exit for aggregated memory bandwidth. Null pool = the serial scan.
+bool all_finite(const State& s, util::ThreadPool* pool, int bands = 0);
 
 }  // namespace nestwx::swm

@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "swm/simd.hpp"
+#include "swm/stability.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nestwx::swm {
 
@@ -174,22 +176,23 @@ void v_rows(const State& eval, const Field2D& terrain, const ModelParams& p,
   }
 }
 
-/// Cache-tiled driver: sweep the three equations in blocks of `tile` rows
-/// so the eval rows a block touches stay cache-hot across all three
-/// stencils instead of being streamed through three full passes.
-/// tile <= 0 means one full sweep. Tiling only reorders writes of
-/// independent output values — every computed value is bit-identical at
-/// any tile size (locked in by test_swm_tiling).
+/// Cache-tiled sweep over the row range [j_begin, j_end) in blocks of
+/// `step` rows, so the eval rows a block touches stay cache-hot across
+/// all three stencils instead of being streamed through three full
+/// passes. The full sweep is [0, ny+1) — v has one extra row of y-faces;
+/// mass/u tiles clamp to ny. Tiling only reorders writes of independent
+/// output values — every computed value is bit-identical at any tile
+/// size (locked in by test_swm_tiling).
 template <bool NL, bool VISC, bool FUSED>
 void stage_pass(const State& eval, const Field2D& terrain,
                 const ModelParams& p, Field2D& oh, Field2D& ou, Field2D& ov,
-                const State* base, double w, int tile) {
+                const State* base, double w, int step, int j_begin,
+                int j_end) {
   const int ny = eval.grid.ny;
-  const int step = tile > 0 ? tile : ny + 1;
-  for (int j0 = 0; j0 <= ny; j0 += step) {
-    const int j1 = std::min(j0 + step, ny + 1);
-    mass_rows<FUSED>(eval, oh, base, w, j0, std::min(j1, ny));
-    u_rows<NL, VISC, FUSED>(eval, terrain, p, ou, base, w, j0,
+  for (int j0 = j_begin; j0 < j_end; j0 += step) {
+    const int j1 = std::min(j0 + step, j_end);
+    mass_rows<FUSED>(eval, oh, base, w, std::min(j0, ny), std::min(j1, ny));
+    u_rows<NL, VISC, FUSED>(eval, terrain, p, ou, base, w, std::min(j0, ny),
                             std::min(j1, ny));
     v_rows<NL, VISC, FUSED>(eval, terrain, p, ov, base, w, j0, j1);
   }
@@ -197,7 +200,35 @@ void stage_pass(const State& eval, const Field2D& terrain,
 
 using StagePass = void (*)(const State&, const Field2D&, const ModelParams&,
                            Field2D&, Field2D&, Field2D&, const State*,
-                           double, int);
+                           double, int, int, int);
+
+/// Band-parallel driver around stage_pass: partition the tile blocks of
+/// the full sweep [0, ny+1) into `bands` contiguous row bands (resolved
+/// against the pool; see util::resolve_bands) and run them concurrently
+/// via parallel_for. Band boundaries land on tile-block boundaries, so a
+/// banded sweep performs exactly the serial sweep's tiles, merely
+/// reordered across independent rows — bit-identical at any thread count
+/// and any band count (test_swm_parallel, goldens at 1/2/8 threads).
+/// Null pool or a single resolved band runs serially on the caller.
+void run_pass(StagePass pass, const State& eval, const Field2D& terrain,
+              const ModelParams& p, Field2D& oh, Field2D& ou, Field2D& ov,
+              const State* base, double w, int tile, util::ThreadPool* pool,
+              int bands) {
+  const int total = eval.grid.ny + 1;  // v sweeps one extra row of y-faces
+  const int step = tile > 0 ? tile : total;
+  const int nblocks = (total + step - 1) / step;
+  const int nb = util::resolve_bands(pool, bands, nblocks);
+  if (nb <= 1) {
+    pass(eval, terrain, p, oh, ou, ov, base, w, step, 0, total);
+    return;
+  }
+  util::parallel_for(*pool, nb, [&](int b) {
+    const int b0 = b * nblocks / nb;
+    const int b1 = (b + 1) * nblocks / nb;
+    pass(eval, terrain, p, oh, ou, ov, base, w, step, b0 * step,
+         std::min(b1 * step, total));
+  });
+}
 
 /// Pick the specialized kernel once per evaluation: the p.nonlinear and
 /// p.viscosity branches never reach the inner loops.
@@ -232,7 +263,14 @@ void copy_ghost_frame(Field2D& dst, const Field2D& src) {
 }  // namespace
 
 void compute_tendency(const State& s, const ModelParams& p, Tendency& out) {
-  select_pass<false>(p)(s, s.b, p, out.dh, out.du, out.dv, nullptr, 0.0, 0);
+  run_pass(select_pass<false>(p), s, s.b, p, out.dh, out.du, out.dv, nullptr,
+           0.0, 0, nullptr, 0);
+}
+
+void compute_tendency(const State& s, const ModelParams& p, Tendency& out,
+                      util::ThreadPool* pool, int bands) {
+  run_pass(select_pass<false>(p), s, s.b, p, out.dh, out.du, out.dv, nullptr,
+           0.0, Stepper::kDefaultTileRows, pool, bands);
 }
 
 void tendency_mass(const State& s, const ModelParams& p, Field2D& dh) {
@@ -271,8 +309,21 @@ Stepper::Stepper(const GridSpec& grid, ModelParams params)
     : params_(params), stage_(grid), stage2_(grid) {}
 
 void Stepper::set_tile_rows(int rows) {
-  NESTWX_REQUIRE(rows >= 0, "tile row count must be non-negative");
-  tile_rows_ = rows;
+  // Documented clamp: any int is accepted; non-positive values select the
+  // untiled full-sweep path (stored as 0 so tile_rows() reports it).
+  tile_rows_ = rows > 0 ? rows : 0;
+}
+
+void Stepper::set_thread_pool(util::ThreadPool* pool, int bands) {
+  pool_ = pool;
+  bands_ = bands > 0 ? bands : 0;
+}
+
+int Stepper::band_count() const {
+  const int total = stage_.grid.ny + 1;
+  const int step = tile_rows_ > 0 ? tile_rows_ : total;
+  const int nblocks = (total + step - 1) / step;
+  return util::resolve_bands(pool_, bands_, nblocks);
 }
 
 void Stepper::step(State& s, double dt) {
@@ -298,14 +349,16 @@ void Stepper::step(State& s, double dt) {
   // Φⁿ, which the kernel's aliasing contract permits.
   const auto pass = select_pass<true>(params_);
   const int tile = tile_rows_;
-  pass(s, s.b, params_, stage_.h, stage_.u, stage_.v, &s, dt / 3.0, tile);
+  run_pass(pass, s, s.b, params_, stage_.h, stage_.u, stage_.v, &s, dt / 3.0,
+           tile, pool_, bands_);
   if (!open) apply_boundary(stage_, params_.boundary);
 
-  pass(stage_, s.b, params_, stage2_.h, stage2_.u, stage2_.v, &s, dt / 2.0,
-       tile);
+  run_pass(pass, stage_, s.b, params_, stage2_.h, stage2_.u, stage2_.v, &s,
+           dt / 2.0, tile, pool_, bands_);
   if (!open) apply_boundary(stage2_, params_.boundary);
 
-  pass(stage2_, s.b, params_, s.h, s.u, s.v, &s, dt, tile);
+  run_pass(pass, stage2_, s.b, params_, s.h, s.u, s.v, &s, dt, tile, pool_,
+           bands_);
   if (!open) apply_boundary(s, params_.boundary);
 }
 
@@ -315,23 +368,9 @@ void Stepper::run(State& s, double dt, int n) {
 }
 
 double Stepper::courant(const State& s, double dt) const {
-  double worst = 0.0;
-  const int vstr = s.v.stride();
-  for (int j = 0; j < s.grid.ny; ++j) {
-    const double* hc = s.h.row(j);
-    const double* uc = s.u.row(j);
-    const double* vc = s.v.row(j);
-    const double* vn = vc + vstr;
-    for (int i = 0; i < s.grid.nx; ++i) {
-      const double depth = std::max(hc[i], 0.0);
-      const double c = std::sqrt(params_.gravity * depth);
-      const double uu = 0.5 * std::abs(uc[i] + uc[i + 1]);
-      const double vv = 0.5 * std::abs(vc[i] + vn[i]);
-      worst = std::max(worst, (uu + c) * dt / s.grid.dx +
-                                  (vv + c) * dt / s.grid.dy);
-    }
-  }
-  return worst;
+  // Delegates to the banded scan: max is order-invariant, so the result
+  // is bit-identical to the serial traversal at any band count.
+  return gravity_wave_courant(s, params_.gravity, dt, pool_, bands_);
 }
 
 double Stepper::stable_dt(const State& s, double limit) const {

@@ -33,9 +33,22 @@
 /// driver walks them in cache tiles of Stepper::set_tile_rows rows —
 /// tiling only reorders independent writes, so any tile size produces
 /// the same bits (test_swm_tiling).
+///
+/// Row-band parallelism (docs/architecture.md, "Intra-domain parallelism
+/// and the thread budget"): with a util::ThreadPool attached
+/// (Stepper::set_thread_pool), each stage sweep splits its cache tiles
+/// into contiguous row bands executed concurrently via parallel_for.
+/// Every output value is computed by exactly one band with the exact
+/// serial expression, so — like tiling — bands only reorder independent
+/// writes and the integration is bit-identical at any thread count and
+/// any band count (test_swm_parallel, goldens at 1/2/8 threads).
 
 #include "swm/bc.hpp"
 #include "swm/state.hpp"
+
+namespace nestwx::util {
+class ThreadPool;
+}
 
 namespace nestwx::swm {
 
@@ -53,6 +66,13 @@ struct ModelParams {
 /// (call apply_boundary first); only interior tendencies are written.
 /// Dispatches to the (nonlinear × viscous) specialized kernel.
 void compute_tendency(const State& s, const ModelParams& p, Tendency& out);
+
+/// Row-band-parallel tendency evaluation: the sweep is split into `bands`
+/// contiguous row bands (0 = one per pool thread) run via parallel_for.
+/// Bit-identical to the serial overload — every value is computed once,
+/// by the same expression. Null pool falls back to the serial sweep.
+void compute_tendency(const State& s, const ModelParams& p, Tendency& out,
+                      util::ThreadPool* pool, int bands = 0);
 
 /// Single-equation tendency evaluations — the three inner loops of
 /// compute_tendency exposed individually so bench_swm_kernels can measure
@@ -76,12 +96,30 @@ class Stepper {
   void run(State& s, double dt, int n);
 
   /// Sweep the RK3 stage kernels in blocks of `rows` grid rows so the
-  /// evaluated fields stay cache-hot across the three equation stencils
-  /// (0 = one full sweep per equation). Any tile size produces
-  /// bit-identical states — tiling only reorders independent writes —
-  /// which tests/test_swm_tiling.cpp locks in.
+  /// evaluated fields stay cache-hot across the three equation stencils.
+  /// Contract: any int is accepted; `rows <= 0` is clamped to 0, meaning
+  /// "one full sweep per equation" (and a single band regardless of the
+  /// attached pool). Any tile size produces bit-identical states — tiling
+  /// only reorders independent writes — which tests/test_swm_tiling.cpp
+  /// locks in.
   void set_tile_rows(int rows);
   int tile_rows() const { return tile_rows_; }
+
+  /// Attach a thread pool for row-band-parallel stage sweeps: each RK3
+  /// stage pass partitions its cache tiles into `bands` contiguous bands
+  /// (0 = one per pool thread) run concurrently via util::parallel_for.
+  /// Null pool (the default) restores the serial sweep. Determinism: band
+  /// decomposition only reorders independent writes, so the integration
+  /// is bit-identical at any thread count and any band count. Safe to
+  /// call from a task already running on `pool` — nested parallel_for
+  /// help-runs instead of deadlocking.
+  void set_thread_pool(util::ThreadPool* pool, int bands = 0);
+  util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Number of bands a stage sweep over this grid will actually use,
+  /// after clamping to the pool size and the tile-block count (1 when no
+  /// pool is attached or tiling is off).
+  int band_count() const;
 
   /// Default row-tile: sized so a tile's working set (three prognostic
   /// fields plus terrain and the stage output rows) stays L2-resident for
@@ -101,6 +139,8 @@ class Stepper {
   State stage_;   ///< Φ*  buffer
   State stage2_;  ///< Φ** buffer
   int tile_rows_ = kDefaultTileRows;
+  util::ThreadPool* pool_ = nullptr;  ///< borrowed; null = serial sweeps
+  int bands_ = 0;                     ///< requested bands (0 = pool size)
 };
 
 }  // namespace nestwx::swm

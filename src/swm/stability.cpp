@@ -2,16 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "swm/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nestwx::swm {
 
-double gravity_wave_courant(const State& s, double gravity, double dt) {
+namespace {
+
+/// Courant partial over rows [j0, j1): the serial loop body verbatim.
+double courant_rows(const State& s, double gravity, double dt, int j0,
+                    int j1) {
   double worst = 0.0;
   const int vstr = s.v.stride();
-  for (int j = 0; j < s.grid.ny; ++j) {
+  for (int j = j0; j < j1; ++j) {
     const double* hc = s.h.row(j);
     const double* uc = s.u.row(j);
     const double* vc = s.v.row(j);
@@ -28,23 +34,20 @@ double gravity_wave_courant(const State& s, double gravity, double dt) {
   return worst;
 }
 
-HealthReport check_stability(const State& s, const ModelParams& params,
-                             double dt, const StabilityThresholds& t) {
-  NESTWX_REQUIRE(dt > 0.0, "stability check needs a positive dt");
-  HealthReport r;
-  // Finiteness first: with NaNs in the field every other metric is
-  // meaningless (and comparisons against NaN silently fail).
-  if (!all_finite(s)) {
-    r.finite = false;
-    r.reason = "non-finite field value";
-    return r;
-  }
-  // One row-wise pass for extrema; the courant scan shares its traversal
-  // but is kept as the standalone helper so Stepper-free callers (tests,
-  // tools) can reuse it.
+/// Extrema partial over rows [j0, j1). `any` is false for an empty range
+/// so the combiner can skip it instead of folding in the zero defaults.
+struct Extrema {
+  double min_depth = 0.0;
+  double max_abs_eta = 0.0;
+  double max_speed = 0.0;
+  bool any = false;
+};
+
+Extrema extrema_rows(const State& s, int j0, int j1) {
+  Extrema e;
   bool first = true;
   const int vstr = s.v.stride();
-  for (int j = 0; j < s.grid.ny; ++j) {
+  for (int j = j0; j < j1; ++j) {
     const double* hc = s.h.row(j);
     const double* bc = s.b.row(j);
     const double* uc = s.u.row(j);
@@ -57,18 +60,95 @@ HealthReport check_stability(const State& s, const ModelParams& params,
       const double vv = 0.5 * std::abs(vc[i] + vn[i]);
       const double speed = uu + vv;
       if (first) {
-        r.min_depth = h;
-        r.max_abs_eta = std::abs(eta);
-        r.max_speed = speed;
+        e.min_depth = h;
+        e.max_abs_eta = std::abs(eta);
+        e.max_speed = speed;
         first = false;
       } else {
-        r.min_depth = std::min(r.min_depth, h);
-        r.max_abs_eta = std::max(r.max_abs_eta, std::abs(eta));
-        r.max_speed = std::max(r.max_speed, speed);
+        e.min_depth = std::min(e.min_depth, h);
+        e.max_abs_eta = std::max(e.max_abs_eta, std::abs(eta));
+        e.max_speed = std::max(e.max_speed, speed);
       }
     }
   }
-  r.courant = gravity_wave_courant(s, params.gravity, dt);
+  e.any = !first;
+  return e;
+}
+
+}  // namespace
+
+double gravity_wave_courant(const State& s, double gravity, double dt) {
+  return courant_rows(s, gravity, dt, 0, s.grid.ny);
+}
+
+double gravity_wave_courant(const State& s, double gravity, double dt,
+                            util::ThreadPool* pool, int bands) {
+  const int ny = s.grid.ny;
+  const int nb = util::resolve_bands(pool, bands, ny);
+  if (nb <= 1) return courant_rows(s, gravity, dt, 0, ny);
+
+  std::vector<double> part(static_cast<std::size_t>(nb), 0.0);
+  util::parallel_for(*pool, nb, [&](int b) {
+    part[static_cast<std::size_t>(b)] =
+        courant_rows(s, gravity, dt, b * ny / nb, (b + 1) * ny / nb);
+  });
+  // Fixed band order; max is order-invariant so this equals the serial
+  // traversal bit for bit.
+  double worst = 0.0;
+  for (const double p : part) worst = std::max(worst, p);
+  return worst;
+}
+
+HealthReport check_stability(const State& s, const ModelParams& params,
+                             double dt, const StabilityThresholds& t) {
+  return check_stability(s, params, dt, t, nullptr, 0);
+}
+
+HealthReport check_stability(const State& s, const ModelParams& params,
+                             double dt, const StabilityThresholds& t,
+                             util::ThreadPool* pool, int bands) {
+  NESTWX_REQUIRE(dt > 0.0, "stability check needs a positive dt");
+  HealthReport r;
+  // Finiteness first: with NaNs in the field every other metric is
+  // meaningless (and comparisons against NaN silently fail).
+  if (!all_finite(s, pool, bands)) {
+    r.finite = false;
+    r.reason = "non-finite field value";
+    return r;
+  }
+  // One row-wise pass for extrema; the courant scan shares its traversal
+  // but is kept as the standalone helper so Stepper-free callers (tests,
+  // tools) can reuse it.
+  const int ny = s.grid.ny;
+  const int nb = util::resolve_bands(pool, bands, ny);
+  Extrema total;
+  if (nb <= 1) {
+    total = extrema_rows(s, 0, ny);
+  } else {
+    std::vector<Extrema> part(static_cast<std::size_t>(nb));
+    util::parallel_for(*pool, nb, [&](int b) {
+      part[static_cast<std::size_t>(b)] =
+          extrema_rows(s, b * ny / nb, (b + 1) * ny / nb);
+    });
+    // Fixed band order; min/max are order-invariant, so the fold equals
+    // the serial traversal bit for bit.
+    for (const Extrema& e : part) {
+      if (!e.any) continue;
+      if (!total.any) {
+        total = e;
+      } else {
+        total.min_depth = std::min(total.min_depth, e.min_depth);
+        total.max_abs_eta = std::max(total.max_abs_eta, e.max_abs_eta);
+        total.max_speed = std::max(total.max_speed, e.max_speed);
+      }
+    }
+  }
+  if (total.any) {
+    r.min_depth = total.min_depth;
+    r.max_abs_eta = total.max_abs_eta;
+    r.max_speed = total.max_speed;
+  }
+  r.courant = gravity_wave_courant(s, params.gravity, dt, pool, bands);
   // Guard order is fixed (CFL, depth, speed, eta) so `reason` is
   // deterministic when several trip at once.
   if (r.courant > t.max_courant)

@@ -12,10 +12,14 @@
 ///  * extrema — min depth, max |velocity|, max |free surface| against
 ///    physical sanity bounds.
 ///
-/// The scan is row-wise over contiguous rows (the PR 3 fast-path idiom),
-/// single-threaded and in fixed traversal order, so the verdict is a pure
-/// function of the state bytes — identical at any thread count, which is
-/// what lets the guarded driver make bit-reproducible rollback decisions.
+/// The scan is row-wise over contiguous rows (the PR 3 fast-path idiom)
+/// and the verdict is a pure function of the state bytes — identical at
+/// any thread count, which is what lets the guarded driver make
+/// bit-reproducible rollback decisions. The band-parallel overloads keep
+/// that guarantee without a caveat: every reduction here (min, max,
+/// finiteness AND) is order-invariant, so per-band partials combined in
+/// fixed band order are bit-identical to the serial traversal at any
+/// thread count AND any band count.
 
 #include <string>
 
@@ -55,6 +59,13 @@ struct HealthReport {
 /// Stepper instance. `s` must be finite.
 double gravity_wave_courant(const State& s, double gravity, double dt);
 
+/// Band-parallel Courant scan: `bands` contiguous row bands (0 = one per
+/// pool thread) reduced by max in fixed band order. Max is
+/// order-invariant, so the result is bit-identical to the serial scan at
+/// any thread/band count. Null pool = the serial scan.
+double gravity_wave_courant(const State& s, double gravity, double dt,
+                            util::ThreadPool* pool, int bands = 0);
+
 /// Scan `s` once and classify. `dt` is the step size the state is about
 /// to be (or was just) integrated with — for a nested child, pass the
 /// child dt. Cheap enough to run every parent step: one early-exit
@@ -62,5 +73,15 @@ double gravity_wave_courant(const State& s, double gravity, double dt);
 HealthReport check_stability(const State& s, const ModelParams& params,
                              double dt,
                              const StabilityThresholds& thresholds = {});
+
+/// Band-parallel stability scan: the finiteness, extrema and CFL passes
+/// each run as per-band partials combined in fixed band order. All three
+/// are order-invariant reductions, so the report is bit-identical to the
+/// serial scan at any thread/band count — safe to wire into the guarded
+/// runner without changing a single rollback decision. Null pool = the
+/// serial scan.
+HealthReport check_stability(const State& s, const ModelParams& params,
+                             double dt, const StabilityThresholds& thresholds,
+                             util::ThreadPool* pool, int bands = 0);
 
 }  // namespace nestwx::swm

@@ -1,5 +1,8 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/error.hpp"
 
 namespace nestwx::util {
@@ -91,6 +94,41 @@ bool ThreadPool::pop_task(int self, std::function<void()>& out) {
   return false;
 }
 
+/// Pop and execute one task after a successful claim (pending_ already
+/// decremented, active_ incremented by the caller). Shared by the worker
+/// loop and the help-running path of nested parallel_for.
+void ThreadPool::run_claimed(int self) {
+  std::function<void()> task;
+  bool got = false;
+  while (!(got = pop_task(self, task))) {
+    // cancel() may have dropped the task this claim was for; it records
+    // how many claims it orphaned, and we absorb one instead of
+    // spinning forever.
+    {
+      std::lock_guard lock(mu_);
+      if (orphaned_claims_ > 0) {
+        --orphaned_claims_;
+        break;
+      }
+    }
+    std::this_thread::yield();
+  }
+  if (got) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    --active_;
+    if (got) ++executed_;
+    if (pending_ == 0 && active_ == 0) cv_idle_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(int self) {
   t_worker_index = self;
   t_worker_pool = this;
@@ -105,36 +143,27 @@ void ThreadPool::worker_loop(int self) {
       ++active_;
     }
     cv_space_.notify_one();
-    std::function<void()> task;
-    bool got = false;
-    while (!(got = pop_task(self, task))) {
-      // cancel() may have dropped the task this claim was for; it records
-      // how many claims it orphaned, and we absorb one instead of
-      // spinning forever.
-      {
-        std::lock_guard lock(mu_);
-        if (orphaned_claims_ > 0) {
-          --orphaned_claims_;
-          break;
-        }
-      }
-      std::this_thread::yield();
-    }
-    if (got) {
-      try {
-        task();
-      } catch (...) {
-        std::lock_guard lock(mu_);
-        if (!first_error_) first_error_ = std::current_exception();
-      }
-    }
-    {
-      std::lock_guard lock(mu_);
-      --active_;
-      if (got) ++executed_;
-      if (pending_ == 0 && active_ == 0) cv_idle_.notify_all();
-    }
+    run_claimed(self);
   }
+}
+
+bool ThreadPool::on_worker_thread() const {
+  return t_worker_pool == this && t_worker_index >= 0 &&
+         t_worker_index < static_cast<int>(workers_.size());
+}
+
+bool ThreadPool::help_run_one() {
+  if (!on_worker_thread()) return false;
+  {
+    std::lock_guard lock(mu_);
+    if (pending_ == 0) return false;
+    // Same claim protocol as worker_loop, run on the caller's stack.
+    --pending_;
+    ++active_;
+  }
+  cv_space_.notify_one();
+  run_claimed(t_worker_index);
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -274,12 +303,35 @@ void parallel_for(ThreadPool& pool, int n,
   }
 
   std::exception_ptr error;
-  {
+  if (pool.on_worker_thread()) {
+    // Nested call from one of the pool's own workers: parking on the
+    // latch would deadlock a single-worker pool (the iterations sit in
+    // this worker's deque) and waste a core on any pool. Help-run
+    // claimable tasks instead — our own iterations first (LIFO deque
+    // discipline), stolen work when those are gone — with brief timed
+    // waits covering the tail where the last iterations finish on other
+    // workers.
+    std::unique_lock lock(latch->mu);
+    while (latch->remaining > 0) {
+      lock.unlock();
+      const bool ran = pool.help_run_one();
+      lock.lock();
+      if (!ran && latch->remaining > 0)
+        latch->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    error = latch->first_error;
+  } else {
     std::unique_lock lock(latch->mu);
     latch->cv.wait(lock, [&] { return latch->remaining == 0; });
     error = latch->first_error;
   }
   if (error) std::rethrow_exception(error);
+}
+
+int resolve_bands(const ThreadPool* pool, int requested, int limit) {
+  if (pool == nullptr || limit < 1) return 1;
+  const int want = requested > 0 ? requested : pool->thread_count();
+  return std::max(1, std::min(want, limit));
 }
 
 }  // namespace nestwx::util

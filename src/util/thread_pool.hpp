@@ -61,6 +61,18 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Claim and run one queued task inline, returning true, or return
+  /// false when nothing is claimable (or the caller is not one of this
+  /// pool's worker threads). This is the help-running primitive that
+  /// keeps nested parallel_for deadlock-free: a worker waiting on
+  /// sub-tasks drains the queue itself instead of parking. The task run
+  /// may be an unrelated one (work stealing) — callers must tolerate
+  /// arbitrary pool work executing on their stack.
+  bool help_run_one();
+
   /// Tasks that have finished running (diagnostics/tests).
   std::size_t executed() const;
 
@@ -72,6 +84,7 @@ class ThreadPool {
 
   void worker_loop(int self);
   bool pop_task(int self, std::function<void()>& out);
+  void run_claimed(int self);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -98,9 +111,21 @@ class ThreadPool {
 /// must be written into per-index slots by `fn` itself; that makes the
 /// outcome independent of scheduling and thread count. Rethrows the first
 /// exception any iteration threw (the remaining iterations still run).
-/// Must not be called from one of `pool`'s own worker threads.
+///
+/// Safe to call from one of `pool`'s own worker threads: the calling
+/// worker help-runs claimable tasks (its own iterations first, LIFO)
+/// instead of parking on the completion latch, so nested submission can
+/// never deadlock — a single-worker pool simply runs the range inline.
+/// This is what lets a sibling-integration task fan its domain sweep out
+/// into row bands on the same pool (see swm::Stepper::set_thread_pool).
 void parallel_for(ThreadPool& pool, int n,
                   const std::function<void(int)>& fn);
+
+/// Resolve a band/worker-count request against a pool: `requested` <= 0
+/// means "one per pool thread"; the result is clamped to [1, limit].
+/// With no pool there is exactly one band. Shared by every subsystem
+/// that splits a sweep into bands so the clamping policy cannot drift.
+int resolve_bands(const ThreadPool* pool, int requested, int limit);
 
 /// Fork/join over a borrowed pool with work on the forking thread in
 /// between: submit tasks, keep computing on the caller, then wait().
@@ -112,8 +137,9 @@ void parallel_for(ThreadPool& pool, int n,
 /// (the pool may be shared with unrelated work) and owns its tasks'
 /// exceptions: the first one thrown is rethrown by wait(), never parked in
 /// the pool. Tasks dropped by ThreadPool::cancel() — destroyed without
-/// running — still release the wait. Must not be used from one of the
-/// pool's own worker threads (same precondition as parallel_for).
+/// running — still release the wait. Unlike parallel_for, wait() does not
+/// help-run, so a TaskGroup must not be waited on from one of the pool's
+/// own worker threads (worker-side fan-out goes through parallel_for).
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}

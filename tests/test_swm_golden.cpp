@@ -20,6 +20,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -29,6 +30,7 @@
 #include "swm/dynamics.hpp"
 #include "swm/simd.hpp"
 #include "util/json.hpp"
+#include "util/thread_pool.hpp"
 
 namespace s = nestwx::swm;
 namespace n = nestwx::nest;
@@ -92,8 +94,22 @@ constexpr Variant kVariants[] = {
     {"linear_inviscid", false, 0.0},
 };
 
+/// NESTWX_TEST_THREADS=N (N >= 1) runs every integration in this file
+/// row-band-parallel on an N-thread pool; the goldens must not move a
+/// bit. The simd CI job exercises the whole suite this way at 2 threads;
+/// SwmGoldenParallel below pins 1/2/8 in-process.
+int env_threads() {
+  const char* env = std::getenv("NESTWX_TEST_THREADS");
+  return env != nullptr ? std::atoi(env) : 0;
+}
+
 /// Run all four variants under one boundary kind and report fingerprints.
-std::string run_variants(s::BoundaryKind bc) {
+/// `threads` < 0 defers to NESTWX_TEST_THREADS; 0 = serial sweeps.
+std::string run_variants(s::BoundaryKind bc, int threads = -1) {
+  if (threads < 0) threads = env_threads();
+  std::unique_ptr<nestwx::util::ThreadPool> pool;
+  if (threads > 0)
+    pool = std::make_unique<nestwx::util::ThreadPool>(threads);
   std::string report;
   for (const auto& variant : kVariants) {
     s::ModelParams p;
@@ -105,9 +121,38 @@ std::string run_variants(s::BoundaryKind bc) {
     s::State st = poly_state(40, 32);
     if (bc != s::BoundaryKind::open) s::apply_boundary(st, bc);
     s::Stepper stepper(st.grid, p);
+    if (pool) stepper.set_thread_pool(pool.get());
     stepper.run(st, 2.0, 10);
     report += state_line(variant.name, st);
   }
+  return report;
+}
+
+/// The two-sibling nested scenario, optionally with pool + band budget
+/// (crossover 1 forces row bands even on the small proxy domains, mixing
+/// sibling-level and band-level parallelism).
+std::string run_nested(int threads = -1) {
+  if (threads < 0) threads = env_threads();
+  std::unique_ptr<nestwx::util::ThreadPool> pool;
+  if (threads > 0)
+    pool = std::make_unique<nestwx::util::ThreadPool>(threads);
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.viscosity = 40.0;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(poly_state(48, 40), p,
+                          {n::NestSpec{"west", 6, 6, 10, 8, 2},
+                           n::NestSpec{"east", 30, 24, 10, 10, 3}});
+  if (pool) {
+    sim.set_thread_pool(pool.get());
+    n::NestedSimulation::ThreadBudget budget;
+    budget.band_crossover_rows = 1;
+    sim.set_thread_budget(budget);
+  }
+  sim.run(2.0, 4);
+  std::string report = state_line("parent", sim.parent());
+  report += state_line("west", sim.sibling(0).state());
+  report += state_line("east", sim.sibling(1).state());
   return report;
 }
 
@@ -163,16 +208,26 @@ TEST(SwmGolden, OpenVariants) {
 TEST(SwmGolden, NestedTwoSiblings) {
   // Two well-separated siblings: sibling integration order (and, post
   // fast-path, sequential-vs-concurrent execution) must not change a bit.
-  s::ModelParams p;
-  p.coriolis = 1e-4;
-  p.viscosity = 40.0;
-  p.boundary = s::BoundaryKind::wall;
-  n::NestedSimulation sim(poly_state(48, 40), p,
-                          {n::NestSpec{"west", 6, 6, 10, 8, 2},
-                           n::NestSpec{"east", 30, 24, 10, 10, 3}});
-  sim.run(2.0, 4);
-  std::string report = state_line("parent", sim.parent());
-  report += state_line("west", sim.sibling(0).state());
-  report += state_line("east", sim.sibling(1).state());
-  check_golden("swm_nested.txt", report);
+  check_golden("swm_nested.txt", run_nested());
+}
+
+/// Row-band-parallel stepping against the same goldens at 1, 2 and 8
+/// threads, across all five scenarios (four outer boundary kinds + the
+/// two-sibling nested run, which also mixes sibling-level with
+/// band-level parallelism via a crossover-1 budget). Band decomposition
+/// only reorders independent writes, so every fingerprint must match the
+/// serial goldens exactly.
+TEST(SwmGoldenParallel, AllScenariosBitIdenticalAt128Threads) {
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    check_golden("swm_steps_periodic.txt",
+                 run_variants(s::BoundaryKind::periodic, threads));
+    check_golden("swm_steps_wall.txt",
+                 run_variants(s::BoundaryKind::wall, threads));
+    check_golden("swm_steps_channel.txt",
+                 run_variants(s::BoundaryKind::channel, threads));
+    check_golden("swm_steps_open.txt",
+                 run_variants(s::BoundaryKind::open, threads));
+    check_golden("swm_nested.txt", run_nested(threads));
+  }
 }

@@ -1,0 +1,280 @@
+/// Row-band parallel stepping and ordered-reduction determinism tests.
+///
+/// The band-parallel driver promises that band decomposition — like
+/// tiling — only reorders writes of independent output values, so the
+/// integration is bit-identical at any thread count and any band count.
+/// The reduction scans promise: min/max/finiteness reductions are
+/// order-invariant (banded == serial, bit for bit), while diagnose()'s
+/// sums are ordered per-band partials — byte-identical at any thread
+/// count for a fixed band count, and equal to the serial scan when the
+/// resolved band count is 1.
+///
+/// The mixed-parallelism stress (sibling-level tasks fanning out into
+/// band-level parallel_for on the same pool) runs under the TSan CI
+/// preset; it is the data-race canary for the help-running scheduler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/plan_key.hpp"
+#include "nest/simulation.hpp"
+#include "swm/bc.hpp"
+#include "swm/diagnostics.hpp"
+#include "swm/dynamics.hpp"
+#include "swm/stability.hpp"
+#include "util/thread_pool.hpp"
+
+namespace s = nestwx::swm;
+namespace n = nestwx::nest;
+namespace u = nestwx::util;
+
+namespace {
+
+/// Smooth polynomial state (portable: no libm transcendentals).
+s::State poly_state(int nx, int ny) {
+  s::GridSpec g;
+  g.nx = nx;
+  g.ny = ny;
+  g.dx = g.dy = 1000.0;
+  s::State st(g);
+  auto fx = [](int i, int nd) {
+    const double x = (static_cast<double>(i) + 0.5) / nd;
+    return x * (1.0 - x);
+  };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      st.h(i, j) = 500.0 + 290.0 * fx(i, nx) * fx(j, ny) +
+                   0.3 * ((i * 3 + j * 13) % 6);
+      st.b(i, j) = 9.0 * fx(i, nx) * (1.0 + 0.4 * fx(j, ny));
+    }
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i <= nx; ++i) st.u(i, j) = 0.5 * fx(j, ny);
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i < nx; ++i) st.v(i, j) = -0.45 * fx(i, nx);
+  return st;
+}
+
+std::uint64_t field_hash(const s::Field2D& f) {
+  nestwx::core::Fingerprint fp;
+  for (double v : f.raw()) fp.mix(v);
+  return fp.value();
+}
+
+std::vector<std::uint64_t> state_hashes(const s::State& st) {
+  return {field_hash(st.h), field_hash(st.u), field_hash(st.v)};
+}
+
+s::ModelParams test_params(s::BoundaryKind bc) {
+  s::ModelParams p;
+  p.coriolis = 1e-4;
+  p.drag = 1e-5;
+  p.viscosity = 60.0;
+  p.boundary = bc;
+  return p;
+}
+
+}  // namespace
+
+TEST(SwmParallel, StepperBitIdenticalAcrossThreadAndBandCounts) {
+  const auto p = test_params(s::BoundaryKind::periodic);
+  // Serial reference, then every (threads, bands) combination including
+  // band counts that neither divide the tile blocks nor match the pool.
+  auto run = [&](u::ThreadPool* pool, int bands) {
+    s::State st = poly_state(50, 37);  // deliberately not tile-aligned
+    s::apply_boundary(st, p.boundary);
+    s::Stepper stepper(st.grid, p);
+    stepper.set_thread_pool(pool, bands);
+    stepper.run(st, 2.0, 8);
+    return state_hashes(st);
+  };
+  const auto expected = run(nullptr, 0);
+  for (const int threads : {1, 2, 8}) {
+    u::ThreadPool pool(threads);
+    for (const int bands : {0, 1, 2, 3, 5}) {
+      EXPECT_EQ(run(&pool, bands), expected)
+          << "threads=" << threads << " bands=" << bands
+          << " drifted from the serial sweep";
+    }
+  }
+}
+
+TEST(SwmParallel, BandCountReportsResolvedBands) {
+  const auto p = test_params(s::BoundaryKind::periodic);
+  s::State st = poly_state(40, 64);
+  s::Stepper stepper(st.grid, p);
+  EXPECT_EQ(stepper.band_count(), 1);  // no pool: serial
+  u::ThreadPool pool(4);
+  stepper.set_thread_pool(&pool);
+  // 64+1 rows in 16-row tiles = 5 blocks; 4 threads -> 4 bands.
+  EXPECT_EQ(stepper.band_count(), 4);
+  stepper.set_thread_pool(&pool, 2);
+  EXPECT_EQ(stepper.band_count(), 2);
+  stepper.set_thread_pool(&pool, 99);  // clamped to the tile-block count
+  EXPECT_EQ(stepper.band_count(), 5);
+  stepper.set_tile_rows(0);  // untiled: a single block, a single band
+  EXPECT_EQ(stepper.band_count(), 1);
+  stepper.set_thread_pool(nullptr);
+  stepper.set_tile_rows(16);
+  EXPECT_EQ(stepper.band_count(), 1);
+}
+
+TEST(SwmParallel, ComputeTendencyPoolOverloadMatchesSerial) {
+  const auto p = test_params(s::BoundaryKind::periodic);
+  s::State st = poly_state(33, 29);
+  s::apply_boundary(st, p.boundary);
+  s::Tendency serial(st.grid);
+  s::compute_tendency(st, p, serial);
+  u::ThreadPool pool(4);
+  for (const int bands : {0, 2, 3}) {
+    s::Tendency banded(st.grid);
+    s::compute_tendency(st, p, banded, &pool, bands);
+    EXPECT_EQ(field_hash(banded.dh), field_hash(serial.dh)) << bands;
+    EXPECT_EQ(field_hash(banded.du), field_hash(serial.du)) << bands;
+    EXPECT_EQ(field_hash(banded.dv), field_hash(serial.dv)) << bands;
+  }
+}
+
+TEST(SwmParallel, OrderInvariantReductionsMatchSerialBitForBit) {
+  // max/min/AND reductions are order-invariant: the banded scans must
+  // reproduce the serial results exactly, at any thread and band count.
+  const auto p = test_params(s::BoundaryKind::wall);
+  s::State st = poly_state(47, 41);
+  s::apply_boundary(st, p.boundary);
+  const double serial_courant = s::gravity_wave_courant(st, p.gravity, 2.0);
+  const auto serial_health = s::check_stability(st, p, 2.0);
+  for (const int threads : {1, 2, 8}) {
+    u::ThreadPool pool(threads);
+    for (const int bands : {0, 1, 3, 7}) {
+      EXPECT_EQ(s::gravity_wave_courant(st, p.gravity, 2.0, &pool, bands),
+                serial_courant);
+      EXPECT_TRUE(s::all_finite(st, &pool, bands));
+      const auto h = s::check_stability(st, p, 2.0, {}, &pool, bands);
+      EXPECT_EQ(h.courant, serial_health.courant);
+      EXPECT_EQ(h.min_depth, serial_health.min_depth);
+      EXPECT_EQ(h.max_speed, serial_health.max_speed);
+      EXPECT_EQ(h.max_abs_eta, serial_health.max_abs_eta);
+      EXPECT_EQ(h.reason, serial_health.reason);
+    }
+  }
+}
+
+TEST(SwmParallel, BandedAllFiniteDetectsNaN) {
+  s::State st = poly_state(40, 32);
+  st.u(17, 20) = std::numeric_limits<double>::quiet_NaN();
+  u::ThreadPool pool(4);
+  EXPECT_FALSE(s::all_finite(st));
+  EXPECT_FALSE(s::all_finite(st, &pool));
+  EXPECT_FALSE(s::all_finite(st, &pool, 3));
+}
+
+TEST(SwmParallel, BandedDiagnoseThreadInvariantAtFixedBandCount) {
+  s::State st = poly_state(44, 36);
+  s::apply_boundary(st, s::BoundaryKind::periodic);
+  const auto serial = s::diagnose(st, 9.81);
+
+  // Fixed band count, varying thread count: byte-identical sums (each
+  // band's partial is a fixed row range; the combine is in band order).
+  auto run = [&](int threads, int bands) {
+    u::ThreadPool pool(threads);
+    return s::diagnose(st, 9.81, &pool, bands);
+  };
+  const auto four_a = run(2, 4);
+  const auto four_b = run(8, 4);
+  EXPECT_EQ(four_a.mass, four_b.mass);
+  EXPECT_EQ(four_a.kinetic_energy, four_b.kinetic_energy);
+  EXPECT_EQ(four_a.potential_energy, four_b.potential_energy);
+  EXPECT_EQ(four_a.total_energy, four_b.total_energy);
+
+  // min/max fields are order-invariant: equal to serial at any banding.
+  EXPECT_EQ(four_a.max_speed, serial.max_speed);
+  EXPECT_EQ(four_a.min_depth, serial.min_depth);
+  EXPECT_EQ(four_a.max_eta, serial.max_eta);
+  EXPECT_EQ(four_a.min_eta, serial.min_eta);
+
+  // A resolved band count of 1 (explicit, or a one-thread pool) is the
+  // serial scan, sums included.
+  const auto one_band = run(8, 1);
+  EXPECT_EQ(one_band.mass, serial.mass);
+  EXPECT_EQ(one_band.total_energy, serial.total_energy);
+  const auto one_thread = run(1, 0);
+  EXPECT_EQ(one_thread.mass, serial.mass);
+  EXPECT_EQ(one_thread.total_energy, serial.total_energy);
+
+  // Null pool is the serial scan by definition.
+  const auto null_pool = s::diagnose(st, 9.81, nullptr, 4);
+  EXPECT_EQ(null_pool.mass, serial.mass);
+}
+
+TEST(SwmParallel, MixedSiblingAndBandParallelismBitIdentical) {
+  // The TSan stress: sibling-level tasks (ghost staging TaskGroup +
+  // sibling parallel_for) fan out into band-level nested parallel_for on
+  // the same pool — crossover 1 forces bands even on the small nests.
+  // Results must match the fully serial run byte for byte.
+  auto run = [&](u::ThreadPool* pool, int budget_threads) {
+    s::ModelParams p;
+    p.coriolis = 1e-4;
+    p.viscosity = 40.0;
+    p.boundary = s::BoundaryKind::wall;
+    n::NestedSimulation sim(poly_state(64, 56), p,
+                            {n::NestSpec{"sw", 4, 4, 12, 10, 2},
+                             n::NestSpec{"ne", 40, 36, 10, 10, 3},
+                             n::NestSpec{"se", 44, 6, 8, 8, 2}});
+    if (pool != nullptr) {
+      sim.set_thread_pool(pool);
+      n::NestedSimulation::ThreadBudget budget;
+      budget.threads = budget_threads;
+      budget.band_crossover_rows = 1;  // force bands everywhere
+      sim.set_thread_budget(budget);
+      // An effective budget of one thread resolves to serial sweeps; any
+      // wider budget must give the parent bands (crossover is 1).
+      const int effective =
+          budget_threads > 0 ? budget_threads : pool->thread_count();
+      if (effective > 1) EXPECT_GT(sim.parent_band_count(), 1);
+      for (std::size_t k = 0; k < sim.sibling_count(); ++k)
+        EXPECT_GE(sim.sibling_band_count(k), 1);
+    }
+    sim.run(2.0, 6);
+    std::vector<std::uint64_t> hashes = state_hashes(sim.parent());
+    for (std::size_t k = 0; k < sim.sibling_count(); ++k)
+      for (std::uint64_t h : state_hashes(sim.sibling(k).state()))
+        hashes.push_back(h);
+    return hashes;
+  };
+  const auto expected = run(nullptr, 0);
+  for (const int threads : {1, 2, 8}) {
+    u::ThreadPool pool(threads);
+    EXPECT_EQ(run(&pool, 0), expected) << "threads=" << threads;
+  }
+  // An explicit sub-pool budget must not change bits either.
+  u::ThreadPool pool(8);
+  EXPECT_EQ(run(&pool, 3), expected);
+}
+
+TEST(SwmParallel, BudgetCrossoverKeepsSmallDomainsSerial) {
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::wall;
+  n::NestedSimulation sim(poly_state(64, 56), p,
+                          {n::NestSpec{"c", 8, 8, 10, 10, 2}});
+  u::ThreadPool pool(4);
+  sim.set_thread_pool(&pool);
+  // Default crossover (48 rows): the 56-row parent gets bands, the
+  // 20-row child stays serial.
+  EXPECT_GT(sim.parent_band_count(), 1);
+  EXPECT_EQ(sim.sibling_band_count(0), 1);
+  // Raising the crossover past the parent size turns bands off entirely.
+  n::NestedSimulation::ThreadBudget budget;
+  budget.band_crossover_rows = 1000;
+  sim.set_thread_budget(budget);
+  EXPECT_EQ(sim.parent_band_count(), 1);
+  // Budget survives the stepper rebuilds of set_viscosity.
+  budget.band_crossover_rows = 1;
+  sim.set_thread_budget(budget);
+  EXPECT_GT(sim.parent_band_count(), 1);
+  sim.set_viscosity(80.0);
+  EXPECT_GT(sim.parent_band_count(), 1);
+  EXPECT_EQ(sim.thread_budget().band_crossover_rows, 1);
+}

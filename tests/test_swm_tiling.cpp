@@ -120,6 +120,34 @@ TEST(SwmTiling, NestedSimulationBitIdenticalAcrossTileSizes) {
     EXPECT_EQ(runs[i], runs[0]) << "tile=" << kTiles[i];
 }
 
+TEST(SwmTiling, SetTileRowsClampsNonPositiveValues) {
+  // Documented contract: any int is accepted; rows <= 0 is clamped to 0,
+  // selecting the untiled full-sweep path. Integration with a clamped
+  // negative request must match the explicit full sweep bit for bit.
+  s::ModelParams p;
+  p.boundary = s::BoundaryKind::periodic;
+  s::GridSpec g;
+  g.nx = g.ny = 16;
+  g.dx = g.dy = 1000.0;
+  s::Stepper stepper(g, p);
+  stepper.set_tile_rows(-7);
+  EXPECT_EQ(stepper.tile_rows(), 0);
+  stepper.set_tile_rows(0);
+  EXPECT_EQ(stepper.tile_rows(), 0);
+  stepper.set_tile_rows(5);
+  EXPECT_EQ(stepper.tile_rows(), 5);
+
+  auto run_with = [&](int rows) {
+    s::State st = poly_state(30, 22);
+    s::apply_boundary(st, p.boundary);
+    s::Stepper stp(st.grid, p);
+    stp.set_tile_rows(rows);
+    stp.run(st, 2.0, 4);
+    return state_hashes(st);
+  };
+  EXPECT_EQ(run_with(-3), run_with(0));
+}
+
 TEST(SwmTiling, TileSurvivesViscosityRebuild) {
   // set_viscosity rebuilds every stepper; the tile choice must ride along.
   s::ModelParams p;

@@ -78,6 +78,74 @@ TEST(ThreadPool, NestedSubmissionFromWorkers) {
   EXPECT_EQ(count.load(), 8 + 8 * 4);
 }
 
+TEST(ThreadPool, NestedParallelForFromSingleWorkerDoesNotDeadlock) {
+  // Regression: parallel_for called from one of the pool's own workers
+  // used to park on the completion latch while the iterations sat in the
+  // caller's own deque — a guaranteed deadlock on a one-worker pool. The
+  // help-running path must drain them inline.
+  u::ThreadPool pool(1);
+  std::vector<int> out(16, -1);
+  pool.submit([&pool, &out] {
+    u::parallel_for(pool, 16, [&out](int i) { out[i] = i; });
+  });
+  pool.wait_idle();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, NestedParallelForTwoLevels) {
+  // The sibling-then-bands shape: an outer parallel_for whose iterations
+  // each fan out an inner parallel_for on the same pool. Every inner
+  // iteration must run exactly once at any pool width.
+  for (const int threads : {1, 2, 4}) {
+    u::ThreadPool pool(threads);
+    std::vector<std::vector<int>> out(6, std::vector<int>(9, -1));
+    u::parallel_for(pool, 6, [&pool, &out](int k) {
+      u::parallel_for(pool, 9, [&out, k](int b) { out[k][b] = k * 100 + b; });
+    });
+    for (int k = 0; k < 6; ++k)
+      for (int b = 0; b < 9; ++b) EXPECT_EQ(out[k][b], k * 100 + b);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerError) {
+  u::ThreadPool pool(2);
+  std::atomic<bool> caught{false};
+  u::parallel_for(pool, 4, [&pool, &caught](int) {
+    try {
+      u::parallel_for(pool, 4, [](int i) {
+        if (i == 2) throw PreconditionError("inner");
+      });
+    } catch (const PreconditionError&) {
+      caught = true;
+    }
+  });
+  EXPECT_TRUE(caught.load());
+  // The pool stays healthy for subsequent work.
+  std::atomic<int> count{0};
+  u::parallel_for(pool, 8, [&count](int) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, HelpRunOneOffWorkerIsANoOp) {
+  u::ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_FALSE(pool.help_run_one());  // external threads never claim
+  std::atomic<bool> on_worker{false};
+  pool.submit([&pool, &on_worker] { on_worker = pool.on_worker_thread(); });
+  pool.wait_idle();
+  EXPECT_TRUE(on_worker.load());
+}
+
+TEST(ThreadPool, ResolveBandsClampsToPoolAndLimit) {
+  u::ThreadPool pool(4);
+  EXPECT_EQ(u::resolve_bands(nullptr, 0, 100), 1);   // no pool: serial
+  EXPECT_EQ(u::resolve_bands(&pool, 0, 100), 4);     // default: pool width
+  EXPECT_EQ(u::resolve_bands(&pool, 2, 100), 2);     // explicit request
+  EXPECT_EQ(u::resolve_bands(&pool, 99, 3), 3);      // clamped to limit
+  EXPECT_EQ(u::resolve_bands(&pool, -5, 100), 4);    // <=0 means pool width
+  EXPECT_EQ(u::resolve_bands(&pool, 0, 0), 1);       // empty range: one band
+}
+
 TEST(ThreadPool, BoundedQueueBlocksAndDrains) {
   // A tiny bound with a slow consumer: submit blocks rather than growing
   // the queue, and everything still completes.

@@ -57,6 +57,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "campaign/campaign.hpp"
@@ -69,6 +70,7 @@
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/configs.hpp"
 #include "workload/machines.hpp"
 
@@ -293,6 +295,12 @@ int main(int argc, char** argv) {
                       : std::string())
               << ", " << report.metrics.single_flight_joins
               << " join(s)\n";
+    // Host-execution facts, stdout-only like the `waits` counter above:
+    // serialising thread counts would break the report's byte-identity
+    // across --threads values.
+    std::cout << "host threads: " << metrics.threads_used
+              << ", per-member budget " << metrics.member_thread_budget
+              << " thread(s)\n";
 
     if (with_faults) {
       if (!fault_report.recoveries.empty()) {
@@ -336,6 +344,14 @@ int main(int argc, char** argv) {
       const std::string ckpt_stem =
           incident_path.substr(0, incident_path.find_last_of('.'));
       const double guard_dt = 40.0;  // ambient Courant ~0.7 on the proxy
+      // Guarded proxies integrate one member at a time, so each member
+      // gets the whole host budget for its row bands. Band counts never
+      // affect bits, so the incident log stays byte-identical at any
+      // --threads value.
+      std::unique_ptr<util::ThreadPool> guard_pool;
+      if (options.threads > 1)
+        guard_pool = std::make_unique<util::ThreadPool>(options.threads);
+      int guard_parent_bands = 1;
       util::Table guard_table({"member", "steps", "rollbacks", "halvings",
                                "escalations", "quarantined", "final dt",
                                "status"});
@@ -348,6 +364,13 @@ int main(int argc, char** argv) {
         proxy_params.boundary = swm::BoundaryKind::wall;
         nest::NestedSimulation sim(guard_proxy_parent(m), proxy_params,
                                    guard_proxy_nests(members[m].config));
+        if (guard_pool) {
+          sim.set_thread_pool(guard_pool.get());
+          nest::NestedSimulation::ThreadBudget budget;
+          budget.threads = options.threads;
+          sim.set_thread_budget(budget);
+        }
+        guard_parent_bands = sim.parent_band_count();
         if (cli.has("inject-blowup") && m == 0 && sim.sibling_count() > 0) {
           auto& child = sim.sibling(sim.sibling_count() - 1).state();
           for (int j = 8; j < 12; ++j)
@@ -390,7 +413,9 @@ int main(int argc, char** argv) {
       std::cout << "\nguard: " << (members.size() - failed) << "/"
                 << members.size() << " members completed, " << rollbacks
                 << " rollback(s), " << quarantined
-                << " sibling(s) quarantined\n";
+                << " sibling(s) quarantined (host threads "
+                << (guard_pool ? options.threads : 1) << ", parent bands "
+                << guard_parent_bands << ")\n";
       if (!incident_path.empty()) {
         std::ofstream log(incident_path, std::ios::trunc);
         NESTWX_REQUIRE(log.good(),
