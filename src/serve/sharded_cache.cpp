@@ -5,8 +5,11 @@
 #include "iosim/plan_store.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/mutex.hpp"
 
 namespace nestwx::serve {
+
+using util::MutexLock;
 
 ShardedPlanCache::ShardedPlanCache(Options options)
     : options_(std::move(options)) {
@@ -45,7 +48,7 @@ ShardedPlanCache::PlanPtr ShardedPlanCache::get_or_compute(
   auto probe_then_compute = [&]() -> core::ExecutionPlan {
     try {
       core::ExecutionPlan plan = iosim::load_plan(path, key);
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++reloads_;
       return plan;
     } catch (const iosim::CheckpointMissingError&) {
@@ -54,7 +57,7 @@ ShardedPlanCache::PlanPtr ShardedPlanCache::get_or_compute(
       // Damaged spill file: count it, drop it, recompute. The disk tier
       // must never turn corruption into a wrong plan or a failed request.
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         ++spill_failures_;
       }
       std::error_code ec;
@@ -72,7 +75,7 @@ ShardedPlanCache::PlanPtr ShardedPlanCache::peek(std::uint64_t key) const {
 std::uint64_t ShardedPlanCache::reserve_stamps(std::uint64_t n) {
   // One global stamp stream across shards so recency is totally ordered
   // cache-wide, whatever shard a key lands in.
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t base = next_stamp_;
   next_stamp_ += n;
   return base;
@@ -92,7 +95,7 @@ std::size_t ShardedPlanCache::trim() {
     for (const auto& [key, plan] : victims) {
       iosim::save_plan(*plan,
                        key, iosim::plan_store_path(options_.spill_dir, key));
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ++spills_;
     }
   }
@@ -116,7 +119,7 @@ campaign::PlanCacheStats ShardedPlanCache::stats() const {
 
 void ShardedPlanCache::clear() {
   for (auto& shard : shards_) shard->clear();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   spills_ = 0;
   reloads_ = 0;
   spill_failures_ = 0;
@@ -127,7 +130,7 @@ ShardedCacheStats ShardedPlanCache::sharded_stats() const {
   out.total = stats();
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) out.shards.push_back(shard->stats());
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   out.spills = spills_;
   out.reloads = reloads_;
   out.spill_failures = spill_failures_;

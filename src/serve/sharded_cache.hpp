@@ -28,11 +28,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "campaign/plan_cache.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nestwx::serve {
 
@@ -77,11 +78,11 @@ class ShardedPlanCache : public campaign::PlanCacheBase {
  private:
   Options options_;
   std::vector<std::unique_ptr<campaign::PlanCache>> shards_;
-  mutable std::mutex mu_;       ///< stamp counter + disk-tier counters
-  std::uint64_t next_stamp_ = 0;
-  std::size_t spills_ = 0;
-  std::size_t reloads_ = 0;
-  std::size_t spill_failures_ = 0;
+  mutable util::Mutex mu_;  ///< stamp counter + disk-tier counters
+  std::uint64_t next_stamp_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t spills_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t reloads_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t spill_failures_ NESTWX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nestwx::serve

@@ -3,15 +3,20 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace nestwx::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::warn};
-std::mutex g_emit_mutex;
+/// Serialises whole-line emission so concurrent workers cannot interleave
+/// characters on std::clog (the stream itself is the guarded resource).
+Mutex g_emit_mutex;
 
 LogLevel initial_level() {
+  // Read once during static init, before any worker threads exist.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("NESTWX_LOG")) return parse_level(env);
   return LogLevel::warn;
 }
@@ -48,7 +53,7 @@ LogLevel parse_level(const std::string& name) {
 namespace detail {
 void emit(LogLevel lvl, const std::string& message) {
   (void)g_initialized;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::clog << "[nestwx " << level_name(lvl) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -1,0 +1,87 @@
+#pragma once
+/// \file mutex.hpp
+/// Annotated mutex / condition-variable wrappers for Clang Thread Safety
+/// Analysis (thread_annotations.hpp).
+///
+/// libstdc++'s `std::mutex`/`std::lock_guard` carry no thread-safety
+/// attributes, so code locking through them cannot participate in the
+/// `-Wthread-safety` analysis: every `NESTWX_GUARDED_BY` member would
+/// warn even when the locking is correct. These wrappers are the thinnest
+/// possible annotated shims — a `Mutex` is exactly a `std::mutex`, a
+/// `MutexLock` is exactly a `std::lock_guard`, and `CondVar` is a
+/// `std::condition_variable_any` waiting on the `Mutex` directly.
+///
+/// Usage rules (enforced by the static-analysis CI job):
+///  - Guard shared members with `NESTWX_GUARDED_BY(mu_)`.
+///  - Lock with `MutexLock lock(mu_);` — scoped, non-copyable.
+///  - Wait with an explicit re-check loop, not a lambda predicate:
+///        while (!condition_over_guarded_members) cv_.wait(mu_);
+///    (a lambda body is analyzed as a separate function that does not
+///    hold the lock, so predicates over guarded members would warn).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace nestwx::util {
+
+/// A `std::mutex` that is a capability for Clang Thread Safety Analysis.
+class NESTWX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NESTWX_ACQUIRE() { m_.lock(); }
+  void unlock() NESTWX_RELEASE() { m_.unlock(); }
+  bool try_lock() NESTWX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock of a `Mutex` (the annotated `std::lock_guard`).
+class NESTWX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NESTWX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() NESTWX_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a `Mutex` directly. Built on
+/// `std::condition_variable_any`, so the wait releases/reacquires the
+/// annotated mutex itself and the analysis can see the caller holds it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, reacquire. Spurious wakeups happen:
+  /// always wait inside an explicit condition re-check loop.
+  void wait(Mutex& mu) NESTWX_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a timeout; returns after `rel_time` even if not
+  /// notified. The caller's re-check loop handles both wake reasons.
+  template <class Rep, class Period>
+  void wait_for(Mutex& mu,
+                const std::chrono::duration<Rep, Period>& rel_time)
+      NESTWX_REQUIRES(mu) {
+    cv_.wait_for(mu, rel_time);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nestwx::util

@@ -29,8 +29,8 @@ ThreadPool::ThreadPool(int threads, std::size_t max_pending)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(mu_);
-    cv_idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    MutexLock lock(mu_);
+    while (!(pending_ == 0 && active_ == 0)) cv_idle_.wait(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -43,26 +43,25 @@ bool ThreadPool::submit(std::function<void()> task) {
       t_worker_index < static_cast<int>(workers_.size());
   std::size_t target;
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (cancelled_) return false;
     if (!from_worker) {
       // Bound only external producers; a worker enqueueing follow-up work
       // must never block on queue space it is itself responsible for
       // draining.
-      cv_space_.wait(lock, [&] {
-        return pending_ < max_pending_ || cancelled_ || stop_;
-      });
+      while (!(pending_ < max_pending_ || cancelled_ || stop_))
+        cv_space_.wait(mu_);
       if (cancelled_ || stop_) return false;
     }
     target = from_worker ? static_cast<std::size_t>(t_worker_index)
                          : next_worker_++ % workers_.size();
   }
   {
-    std::lock_guard deque_lock(workers_[target]->mu);
+    MutexLock deque_lock(workers_[target]->mu);
     workers_[target]->deque.push_back(std::move(task));
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   cv_work_.notify_one();
@@ -73,7 +72,7 @@ bool ThreadPool::pop_task(int self, std::function<void()>& out) {
   // Own deque first, newest task (LIFO)…
   {
     auto& w = *workers_[self];
-    std::lock_guard lock(w.mu);
+    MutexLock lock(w.mu);
     if (!w.deque.empty()) {
       out = std::move(w.deque.back());
       w.deque.pop_back();
@@ -84,7 +83,7 @@ bool ThreadPool::pop_task(int self, std::function<void()>& out) {
   const int n = static_cast<int>(workers_.size());
   for (int off = 1; off < n; ++off) {
     auto& w = *workers_[(self + off) % n];
-    std::lock_guard lock(w.mu);
+    MutexLock lock(w.mu);
     if (!w.deque.empty()) {
       out = std::move(w.deque.front());
       w.deque.pop_front();
@@ -105,7 +104,7 @@ void ThreadPool::run_claimed(int self) {
     // how many claims it orphaned, and we absorb one instead of
     // spinning forever.
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (orphaned_claims_ > 0) {
         --orphaned_claims_;
         break;
@@ -117,12 +116,12 @@ void ThreadPool::run_claimed(int self) {
     try {
       task();
     } catch (...) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     --active_;
     if (got) ++executed_;
     if (pending_ == 0 && active_ == 0) cv_idle_.notify_all();
@@ -134,8 +133,8 @@ void ThreadPool::worker_loop(int self) {
   t_worker_pool = this;
   for (;;) {
     {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [&] { return pending_ > 0 || stop_; });
+      MutexLock lock(mu_);
+      while (!(pending_ > 0 || stop_)) cv_work_.wait(mu_);
       if (pending_ == 0 && stop_) return;
       // Claim one queued task; the matching deque entry is guaranteed to
       // exist because pending_ is incremented only after the push.
@@ -155,7 +154,7 @@ bool ThreadPool::on_worker_thread() const {
 bool ThreadPool::help_run_one() {
   if (!on_worker_thread()) return false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (pending_ == 0) return false;
     // Same claim protocol as worker_loop, run on the caller's stack.
     --pending_;
@@ -169,8 +168,8 @@ bool ThreadPool::help_run_one() {
 void ThreadPool::wait_idle() {
   std::exception_ptr error;
   {
-    std::unique_lock lock(mu_);
-    cv_idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    MutexLock lock(mu_);
+    while (!(pending_ == 0 && active_ == 0)) cv_idle_.wait(mu_);
     error = first_error_;
     first_error_ = nullptr;
   }
@@ -180,16 +179,16 @@ void ThreadPool::wait_idle() {
 void ThreadPool::cancel() {
   std::size_t dropped = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     cancelled_ = true;
   }
   for (auto& w : workers_) {
-    std::lock_guard lock(w->mu);
+    MutexLock lock(w->mu);
     dropped += w->deque.size();
     w->deque.clear();
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     // A worker may have claimed (decremented pending_) a task we just
     // dropped and not yet popped it; the shortfall is the number of such
     // orphaned claims, which the workers absorb instead of spinning.
@@ -202,28 +201,28 @@ void ThreadPool::cancel() {
 }
 
 void ThreadPool::resume() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   cancelled_ = false;
 }
 
 bool ThreadPool::cancelled() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return cancelled_;
 }
 
 std::size_t ThreadPool::executed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return executed_;
 }
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock lock(latch_->mu);
-  latch_->cv.wait(lock, [&] { return latch_->outstanding == 0; });
+  MutexLock lock(latch_->mu);
+  while (latch_->outstanding != 0) latch_->cv.wait(latch_->mu);
 }
 
 void TaskGroup::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(latch_->mu);
+    MutexLock lock(latch_->mu);
     ++latch_->outstanding;
   }
   // The ticket releases the latch from the task wrapper's destructor, so
@@ -231,7 +230,7 @@ void TaskGroup::submit(std::function<void()> task) {
   struct Ticket {
     std::shared_ptr<Latch> latch;
     ~Ticket() {
-      std::lock_guard lock(latch->mu);
+      MutexLock lock(latch->mu);
       if (--latch->outstanding == 0) latch->cv.notify_all();
     }
   };
@@ -244,7 +243,7 @@ void TaskGroup::submit(std::function<void()> task) {
         try {
           fn();
         } catch (...) {
-          std::lock_guard lock(latch->mu);
+          MutexLock lock(latch->mu);
           if (!latch->first_error) latch->first_error = std::current_exception();
         }
       });
@@ -254,8 +253,8 @@ void TaskGroup::submit(std::function<void()> task) {
 void TaskGroup::wait() {
   std::exception_ptr error;
   {
-    std::unique_lock lock(latch_->mu);
-    latch_->cv.wait(lock, [&] { return latch_->outstanding == 0; });
+    MutexLock lock(latch_->mu);
+    while (latch_->outstanding != 0) latch_->cv.wait(latch_->mu);
     error = latch_->first_error;
     latch_->first_error = nullptr;
   }
@@ -271,20 +270,23 @@ void parallel_for(ThreadPool& pool, int n,
   // wait_idle() would over-wait (and per-iteration exceptions must be
   // owned by this call, not the pool).
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    int remaining;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar cv;
+    int remaining NESTWX_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error NESTWX_GUARDED_BY(mu);
   };
   auto latch = std::make_shared<Latch>();
-  latch->remaining = n;
+  {
+    MutexLock lock(latch->mu);
+    latch->remaining = n;
+  }
 
   // Each iteration counts down through a RAII ticket, so tasks dropped by
   // cancel() — destroyed without ever running — still release the latch.
   struct Ticket {
     std::shared_ptr<Latch> latch;
     ~Ticket() {
-      std::lock_guard lock(latch->mu);
+      MutexLock lock(latch->mu);
       if (--latch->remaining == 0) latch->cv.notify_all();
     }
   };
@@ -295,7 +297,7 @@ void parallel_for(ThreadPool& pool, int n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(latch->mu);
+        MutexLock lock(latch->mu);
         if (!latch->first_error)
           latch->first_error = std::current_exception();
       }
@@ -311,18 +313,23 @@ void parallel_for(ThreadPool& pool, int n,
     // discipline), stolen work when those are gone — with brief timed
     // waits covering the tail where the last iterations finish on other
     // workers.
-    std::unique_lock lock(latch->mu);
-    while (latch->remaining > 0) {
-      lock.unlock();
-      const bool ran = pool.help_run_one();
-      lock.lock();
-      if (!ran && latch->remaining > 0)
-        latch->cv.wait_for(lock, std::chrono::milliseconds(1));
+    for (;;) {
+      {
+        MutexLock lock(latch->mu);
+        if (latch->remaining == 0) {
+          error = latch->first_error;
+          break;
+        }
+      }
+      if (!pool.help_run_one()) {
+        MutexLock lock(latch->mu);
+        if (latch->remaining > 0)
+          latch->cv.wait_for(latch->mu, std::chrono::milliseconds(1));
+      }
     }
-    error = latch->first_error;
   } else {
-    std::unique_lock lock(latch->mu);
-    latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+    MutexLock lock(latch->mu);
+    while (latch->remaining != 0) latch->cv.wait(latch->mu);
     error = latch->first_error;
   }
   if (error) std::rethrow_exception(error);

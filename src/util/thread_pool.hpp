@@ -15,15 +15,16 @@
 /// per-task slots (see parallel_for), which is how the campaign scheduler
 /// keeps its reports byte-identical at any thread count.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nestwx::util {
 
@@ -78,8 +79,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> deque;
+    Mutex mu;
+    std::deque<std::function<void()>> deque NESTWX_GUARDED_BY(mu);
   };
 
   void worker_loop(int self);
@@ -90,21 +91,24 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 
   // Global scheduling state: counts, lifecycle flags, sleeping workers.
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   ///< queued work became available
-  std::condition_variable cv_space_;  ///< queue dropped below the bound
-  std::condition_variable cv_idle_;   ///< everything drained
-  std::size_t pending_ = 0;   ///< queued, not yet claimed by a worker
-  std::size_t active_ = 0;    ///< claimed and running
+  mutable Mutex mu_;
+  CondVar cv_work_;   ///< queued work became available
+  CondVar cv_space_;  ///< queue dropped below the bound
+  CondVar cv_idle_;   ///< everything drained
+  /// Queued, not yet claimed by a worker.
+  std::size_t pending_ NESTWX_GUARDED_BY(mu_) = 0;
+  /// Claimed and running.
+  std::size_t active_ NESTWX_GUARDED_BY(mu_) = 0;
   /// Claims whose task cancel() dropped between claim and pop; the
   /// claiming workers absorb these instead of searching forever.
-  std::size_t orphaned_claims_ = 0;
-  std::size_t executed_ = 0;
-  std::size_t max_pending_;
-  std::size_t next_worker_ = 0;  ///< round-robin cursor for external submit
-  bool stop_ = false;
-  bool cancelled_ = false;
-  std::exception_ptr first_error_;
+  std::size_t orphaned_claims_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t executed_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t max_pending_;  ///< set once in the constructor
+  /// Round-robin cursor for external submit.
+  std::size_t next_worker_ NESTWX_GUARDED_BY(mu_) = 0;
+  bool stop_ NESTWX_GUARDED_BY(mu_) = false;
+  bool cancelled_ NESTWX_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ NESTWX_GUARDED_BY(mu_);
 };
 
 /// Run fn(0) … fn(n-1) on the pool and block until all complete. Results
@@ -160,10 +164,10 @@ class TaskGroup {
 
  private:
   struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    int outstanding = 0;
-    std::exception_ptr first_error;
+    Mutex mu;
+    CondVar cv;
+    int outstanding NESTWX_GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error NESTWX_GUARDED_BY(mu);
   };
   ThreadPool& pool_;
   std::shared_ptr<Latch> latch_ = std::make_shared<Latch>();
