@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "util/mutex.hpp"
+
 namespace nestwx::campaign {
+
+using util::MutexLock;
 
 PlanCache::PlanPtr PlanCache::get_or_compute(std::uint64_t key,
                                              std::uint64_t stamp,
                                              const Compute& compute) {
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     bool counted_wait = false;
     for (;;) {
       auto it = entries_.find(key);
@@ -21,14 +25,12 @@ PlanCache::PlanPtr PlanCache::get_or_compute(std::uint64_t key,
       // In flight elsewhere: wait for it to land (or be withdrawn on
       // error, in which case the retry finds no entry and we compute
       // ourselves). Counted once per call, however often we re-check.
+      // Spurious wakeups only re-run the find() above.
       if (!counted_wait) {
         ++waits_;
         counted_wait = true;
       }
-      cv_.wait(lock, [&] {
-        auto e = entries_.find(key);
-        return e == entries_.end() || e->second.ready;
-      });
+      cv_.wait(mu_);
     }
     ++misses_;
     Entry reserved;  // not ready ⇒ in flight
@@ -41,17 +43,18 @@ PlanCache::PlanPtr PlanCache::get_or_compute(std::uint64_t key,
     plan = std::make_shared<const core::ExecutionPlan>(compute());
   } catch (...) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       entries_.erase(key);
     }
     cv_.notify_all();
     throw;
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto& entry = entries_[key];
     entry.plan = plan;
     entry.ready = true;
+    ++ready_;
     entry.last_used = std::max(entry.last_used, stamp);
   }
   cv_.notify_all();
@@ -59,21 +62,21 @@ PlanCache::PlanPtr PlanCache::get_or_compute(std::uint64_t key,
 }
 
 PlanCache::PlanPtr PlanCache::peek(std::uint64_t key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.ready) return nullptr;
   return it->second.plan;
 }
 
 std::uint64_t PlanCache::reserve_stamps(std::uint64_t n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t base = next_stamp_;
   next_stamp_ += n;
   return base;
 }
 
 void PlanCache::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity;
 }
 
@@ -81,7 +84,7 @@ std::size_t PlanCache::trim() { return trim_to_capacity().size(); }
 
 std::vector<std::pair<std::uint64_t, PlanCache::PlanPtr>>
 PlanCache::trim_to_capacity() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::uint64_t, PlanPtr>> evicted;
   if (capacity_ == 0) return evicted;
   // Candidates are the ready entries; in-flight computations are pinned
@@ -92,6 +95,9 @@ PlanCache::trim_to_capacity() {
   };
   std::vector<Candidate> ready;
   ready.reserve(entries_.size());
+  // Candidate collection order is irrelevant: the vector is fully sorted
+  // by (stamp, key) before any eviction decision.
+  // nestwx-lint: allow(unordered-iteration) -- sorted before use
   for (const auto& [key, entry] : entries_)
     if (entry.ready) ready.push_back({entry.last_used, key});
   if (ready.size() <= capacity_) return evicted;
@@ -106,27 +112,28 @@ PlanCache::trim_to_capacity() {
     auto it = entries_.find(ready[i].key);
     evicted.emplace_back(ready[i].key, std::move(it->second.plan));
     entries_.erase(it);
+    --ready_;
   }
   evictions_ += excess;
   return evicted;
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   PlanCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
   s.waits = waits_;
   s.evictions = evictions_;
   s.capacity = capacity_;
-  for (const auto& [key, entry] : entries_)
-    if (entry.ready) ++s.size;
+  s.size = ready_;
   return s;
 }
 
 void PlanCache::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
+  ready_ = 0;
   hits_ = 0;
   misses_ = 0;
   waits_ = 0;

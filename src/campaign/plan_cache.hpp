@@ -23,16 +23,16 @@
 /// high-water mark is capacity + distinct keys in flight and the evicted
 /// set is a pure function of the request sequence.
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/planner.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nestwx::campaign {
 
@@ -148,15 +148,16 @@ class PlanCache : public PlanCacheBase {
     std::uint64_t last_used = 0;  ///< max recency stamp that touched it
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t waits_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t capacity_ = 0;
-  std::uint64_t next_stamp_ = 0;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;  ///< signalled when an in-flight entry lands/withdraws
+  std::unordered_map<std::uint64_t, Entry> entries_ NESTWX_GUARDED_BY(mu_);
+  std::size_t ready_ NESTWX_GUARDED_BY(mu_) = 0;  ///< ready entries_
+  std::size_t hits_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t waits_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t evictions_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t capacity_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_stamp_ NESTWX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nestwx::campaign
