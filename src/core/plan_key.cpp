@@ -5,6 +5,20 @@
 
 #include "util/hash.hpp"
 
+// Planning-input manifest, checked by nestwx-lint's plan-key-fields rule:
+// every struct below must have exactly the recorded field count. If a
+// build fails here, a planning-input struct gained (or lost) a field —
+// extend the matching fingerprint() below so the new input is mixed into
+// the cache key (silently omitting it would alias cache entries across
+// genuinely different plans), then update the count. Field counts come
+// from `nestwx-lint --count-fields=<header>:<Struct>`.
+//
+// nestwx-lint: plan-key-fields(src/topo/machine.hpp:MachineParams=25)
+// nestwx-lint: plan-key-fields(src/topo/health.hpp:HealthMask=1)
+// nestwx-lint: plan-key-fields(src/core/domain.hpp:DomainSpec=7)
+// nestwx-lint: plan-key-fields(src/core/domain.hpp:SecondLevelNest=2)
+// nestwx-lint: plan-key-fields(src/core/domain.hpp:NestedConfig=4)
+
 namespace nestwx::core {
 
 namespace {

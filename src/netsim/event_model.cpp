@@ -101,6 +101,7 @@ EventPhaseStats EventPhaseSimulator::run(
   stats.duration = any ? max_finish - max_ready : 0.0;
   if (stats.duration > 0.0) {
     double busiest = 0.0;
+    // nestwx-lint: allow(unordered-iteration) -- order-independent max-reduction
     for (const auto& [link, busy] : link_busy) {
       (void)link;
       busiest = std::max(busiest, busy);

@@ -53,6 +53,7 @@ PhaseStats PhaseSimulator::run(const core::Mapping& mapping,
   }
   stats.avg_hops =
       static_cast<double>(total_hops) / static_cast<double>(messages.size());
+  // nestwx-lint: allow(unordered-iteration) -- order-independent max-reduction
   for (const auto& [link, flows] : link_flows) {
     (void)link;
     stats.max_link_flows = std::max(stats.max_link_flows, flows);

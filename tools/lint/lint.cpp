@@ -1,0 +1,570 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace nestwx::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so rule patterns never fire inside them. (Raw strings are
+/// not handled; the codebase does not use them.)
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { code, line_comment, block_comment, string, chr };
+  State state = State::code;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::string;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::chr;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::line_comment:
+        if (c == '\n') {
+          state = State::code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::string:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::code;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::code;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Parsed suppression pragmas of one file.
+struct Suppressions {
+  /// line (1-based) -> rules allowed on that line and the next.
+  std::map<int, std::set<std::string>> by_line;
+  std::set<std::string> file_wide;
+  std::vector<Finding> bad_pragmas;
+};
+
+Suppressions parse_pragmas(const std::string& rel_path,
+                           const std::vector<std::string>& raw_lines) {
+  static const std::regex pragma_re(
+      R"(nestwx-lint:\s*(allow|allow-file)\(([^)]*)\))");
+  Suppressions sup;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, pragma_re)) continue;
+    const int line = static_cast<int>(i) + 1;
+    // The justification is mandatory: "... allow(rule) -- because X".
+    const std::string after = m.suffix().str();
+    const std::size_t dashes = after.find("--");
+    if (dashes == std::string::npos ||
+        trim(after.substr(dashes + 2)).empty()) {
+      sup.bad_pragmas.push_back(
+          {rel_path, line, "bad-pragma",
+           "suppression without a justification; write "
+           "\"nestwx-lint: allow(rule) -- why this is safe\""});
+      continue;
+    }
+    std::set<std::string>& target = m[1] == "allow-file"
+                                        ? sup.file_wide
+                                        : sup.by_line[line];
+    std::stringstream rules(m[2].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule = trim(rule);
+      if (!rule.empty()) target.insert(rule);
+    }
+  }
+  return sup;
+}
+
+bool suppressed(const Suppressions& sup, const std::string& rule, int line) {
+  if (sup.file_wide.count(rule)) return true;
+  for (int probe : {line, line - 1}) {
+    auto it = sup.by_line.find(probe);
+    if (it != sup.by_line.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+/// Remove NESTWX_* annotation macros (with or without an argument list)
+/// so they never perturb declaration classification.
+std::string strip_nestwx_macros(const std::string& s) {
+  static const std::regex macro_re(R"(NESTWX_[A-Z_0-9]+(\s*\([^()]*\))?)");
+  return std::regex_replace(s, macro_re, "");
+}
+
+/// Remove balanced template argument lists so '(' inside e.g.
+/// std::function<void()> does not read as a function declarator.
+std::string strip_template_args(const std::string& s) {
+  std::string out;
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    // Heuristic: a '<' directly after an identifier opens template args.
+    if (c == '<' &&
+        (depth > 0 ||
+         (i > 0 && (std::isalnum(static_cast<unsigned char>(s[i - 1])) ||
+                    s[i - 1] == '_' || s[i - 1] == ':')))) {
+      ++depth;
+      continue;
+    }
+    if (depth > 0) {
+      if (c == '>') --depth;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Identifiers appearing in an expression (for range-for targets).
+std::vector<std::string> identifiers_in(const std::string& expr) {
+  std::vector<std::string> ids;
+  std::string current;
+  for (char c : expr) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      current += c;
+    } else if (!current.empty()) {
+      ids.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) ids.push_back(current);
+  return ids;
+}
+
+/// Names declared (or aliased) in this file with an unordered container
+/// type. Covers `std::unordered_map<...> name`, `using Alias =
+/// std::unordered_set<...>` plus declarations through such aliases.
+std::set<std::string> unordered_names(const std::string& stripped) {
+  std::set<std::string> names;
+  std::set<std::string> alias_types;
+  static const std::regex use_re(
+      R"(\bstd\s*::\s*unordered_(?:multi)?(?:map|set)\s*<)");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), use_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Walk past the balanced <...> to find what is being declared.
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    int depth = 1;
+    while (pos < stripped.size() && depth > 0) {
+      if (stripped[pos] == '<') ++depth;
+      if (stripped[pos] == '>') --depth;
+      ++pos;
+    }
+    while (pos < stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '&' || stripped[pos] == '*'))
+      ++pos;
+    std::string ident;
+    while (pos < stripped.size() &&
+           (std::isalnum(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '_'))
+      ident += stripped[pos++];
+    // `using Alias = std::unordered_map<...>;` names the alias *before*
+    // the type (nothing follows it), so check the statement prefix first.
+    const std::size_t stmt_begin =
+        stripped.rfind(';', static_cast<std::size_t>(it->position()));
+    const std::string prefix = stripped.substr(
+        stmt_begin == std::string::npos ? 0 : stmt_begin + 1,
+        static_cast<std::size_t>(it->position()) -
+            (stmt_begin == std::string::npos ? 0 : stmt_begin + 1));
+    std::smatch am;
+    static const std::regex alias_re(R"(\busing\s+(\w+)\s*=\s*$)");
+    if (std::regex_search(prefix, am, alias_re))
+      alias_types.insert(am[1].str());
+    else if (!ident.empty())
+      names.insert(ident);
+  }
+  // Declarations through an alias: `Alias name;` / `const Alias& name`.
+  for (const std::string& alias : alias_types) {
+    const std::regex decl_re("\\b" + alias + R"(\b\s*[&*]?\s*(\w+))");
+    auto dbegin =
+        std::sregex_iterator(stripped.begin(), stripped.end(), decl_re);
+    for (auto it = dbegin; it != std::sregex_iterator(); ++it)
+      names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+/// The expression after the top-level ':' of a range-for, or empty.
+std::string range_for_expr(const std::string& line) {
+  const std::size_t for_pos = line.find("for");
+  if (for_pos == std::string::npos) return "";
+  const std::size_t open = line.find('(', for_pos);
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '(') ++depth;
+    if (line[i] == ')' && --depth == 0) {
+      const std::string inside = line.substr(open + 1, i - open - 1);
+      // A top-level ':' that is not part of '::' makes it a range-for.
+      for (std::size_t j = 0; j < inside.size(); ++j) {
+        if (inside[j] != ':') continue;
+        if (j + 1 < inside.size() && inside[j + 1] == ':') {
+          ++j;
+          continue;
+        }
+        if (j > 0 && inside[j - 1] == ':') continue;
+        return inside.substr(j + 1);
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+void check_unordered_iteration(const std::string& rel_path,
+                               const std::vector<std::string>& lines,
+                               const std::set<std::string>& names,
+                               const Suppressions& sup,
+                               std::vector<Finding>& out) {
+  if (names.empty()) return;
+  // `.begin()` is what starts an iteration; a bare `.end()` is almost
+  // always the sentinel of a find() lookup, which is order-safe.
+  static const std::regex begin_re(R"((\w+)\s*\.\s*c?r?begin\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    std::string hit;
+    const std::string expr = range_for_expr(lines[i]);
+    for (const std::string& id : identifiers_in(expr))
+      if (names.count(id)) hit = id;
+    if (hit.empty()) {
+      std::smatch m;
+      std::string rest = lines[i];
+      while (std::regex_search(rest, m, begin_re)) {
+        if (names.count(m[1].str())) {
+          hit = m[1].str();
+          break;
+        }
+        rest = m.suffix().str();
+      }
+    }
+    if (hit.empty() || suppressed(sup, "unordered-iteration", lineno))
+      continue;
+    out.push_back({rel_path, lineno, "unordered-iteration",
+                   "iterating unordered container '" + hit +
+                       "': iteration order is not deterministic; iterate "
+                       "a sorted copy or keep ordered state alongside"});
+  }
+}
+
+struct Pattern {
+  std::regex re;
+  std::string what;
+};
+
+void check_patterns(const std::string& rel_path,
+                    const std::vector<std::string>& lines,
+                    const std::vector<Pattern>& patterns,
+                    const std::string& rule, const std::string& advice,
+                    const Suppressions& sup, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i) + 1;
+    for (const Pattern& p : patterns) {
+      if (!std::regex_search(lines[i], p.re)) continue;
+      if (!suppressed(sup, rule, lineno))
+        out.push_back({rel_path, lineno, rule, p.what + "; " + advice});
+      break;
+    }
+  }
+}
+
+const std::vector<Pattern>& wall_clock_patterns() {
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"(\bsystem_clock\b)"), "wall-clock std::chrono::system_clock"},
+      {std::regex(R"(\bsteady_clock\b)"), "wall-clock std::chrono::steady_clock"},
+      {std::regex(R"(\bhigh_resolution_clock\b)"),
+       "wall-clock std::chrono::high_resolution_clock"},
+      {std::regex(R"(\bgettimeofday\s*\()"), "wall-clock gettimeofday()"},
+      {std::regex(R"(\bclock_gettime\s*\()"), "wall-clock clock_gettime()"},
+      {std::regex(R"(\bstd\s*::\s*time\b)"), "wall-clock std::time"},
+  };
+  return patterns;
+}
+
+const std::vector<Pattern>& raw_rng_patterns() {
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"(\bstd\s*::\s*rand\b|\brand\s*\(\s*\))"), "rand()"},
+      {std::regex(R"(\bsrand\s*\()"), "srand()"},
+      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+  };
+  return patterns;
+}
+
+const std::vector<Pattern>& raw_alloc_patterns() {
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"(\bnew\s+[^;({]*\[)"), "raw array new[]"},
+      {std::regex(R"(\bmalloc\s*\()"), "malloc()"},
+      {std::regex(R"(\bcalloc\s*\()"), "calloc()"},
+      {std::regex(R"(\brealloc\s*\()"), "realloc()"},
+      {std::regex(R"(\bfree\s*\()"), "free()"},
+  };
+  return patterns;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int count_struct_fields(const std::string& header_content,
+                        const std::string& struct_name) {
+  const std::string stripped = strip_comments_and_strings(header_content);
+  static const std::string kinds[] = {"struct", "class"};
+  std::size_t body = std::string::npos;
+  for (const std::string& kind : kinds) {
+    const std::regex head_re("\\b" + kind + "\\s+" + struct_name +
+                             R"(\b[^;{]*\{)");
+    std::smatch m;
+    if (std::regex_search(stripped, m, head_re)) {
+      body = static_cast<std::size_t>(m.position()) +
+             static_cast<std::size_t>(m.length());
+      break;
+    }
+  }
+  if (body == std::string::npos) return -1;
+
+  int fields = 0;
+  int depth = 1;
+  std::string stmt;
+  auto classify = [&]() {
+    std::string s = trim(strip_template_args(strip_nestwx_macros(stmt)));
+    stmt.clear();
+    if (s.empty()) return;
+    static const std::regex skip_re(
+        R"(^(using|typedef|static|friend|template|struct|class|enum|union|public|private|protected)\b)");
+    if (std::regex_search(s, skip_re)) return;
+    // A '(' before any '=' marks a function declarator; after an '=' it
+    // is just a call in a default member initializer.
+    const std::size_t paren = s.find('(');
+    const std::size_t eq = s.find('=');
+    if (paren != std::string::npos &&
+        (eq == std::string::npos || paren < eq))
+      return;
+    ++fields;
+  };
+  for (std::size_t i = body; i < stripped.size() && depth > 0; ++i) {
+    const char c = stripped[i];
+    if (c == '{') {
+      // A body at member scope (inline function / nested type): whatever
+      // introduced it is not a plain field statement. Discard and skip.
+      if (depth == 1) stmt.clear();
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    } else if (depth == 1) {
+      if (c == ';') {
+        classify();
+      } else if (c == ':') {
+        // Access specifiers terminate with ':' rather than ';'.
+        const std::string t = trim(stmt);
+        if (t == "public" || t == "private" || t == "protected")
+          stmt.clear();
+        else
+          stmt += c;
+      } else {
+        stmt += c;
+      }
+    }
+  }
+  return fields;
+}
+
+void lint_source(const std::string& rel_path, const std::string& content,
+                 std::vector<Finding>& out) {
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const Suppressions sup = parse_pragmas(rel_path, raw_lines);
+  for (const Finding& f : sup.bad_pragmas) out.push_back(f);
+
+  const std::string stripped = strip_comments_and_strings(content);
+  const std::vector<std::string> lines = split_lines(stripped);
+
+  const bool in_src = starts_with(rel_path, "src/");
+  const bool in_util = starts_with(rel_path, "src/util/");
+  const bool in_swm = starts_with(rel_path, "src/swm/");
+
+  if (in_src)
+    check_unordered_iteration(rel_path, lines, unordered_names(stripped),
+                              sup, out);
+  if (in_src && !in_util) {
+    check_patterns(rel_path, lines, wall_clock_patterns(), "wall-clock",
+                   "library code runs on util::VirtualClock virtual time; "
+                   "wall-clock measurement belongs in bench/",
+                   sup, out);
+    check_patterns(rel_path, lines, raw_rng_patterns(), "raw-rng",
+                   "draw from the seeded util::Rng so runs replay exactly",
+                   sup, out);
+  }
+  if (in_swm)
+    check_patterns(rel_path, lines, raw_alloc_patterns(), "raw-alloc",
+                   "kernel buffers are Field2D or std::vector so the "
+                   "bounds-checked and sanitizer tiers see every access",
+                   sup, out);
+}
+
+void lint_plan_key(const std::string& root, std::vector<Finding>& out) {
+  const std::string manifest_rel = "src/core/plan_key.cpp";
+  const fs::path manifest_path = fs::path(root) / manifest_rel;
+  if (!fs::exists(manifest_path)) return;  // fixture trees without one
+  const std::string content = read_file(manifest_path);
+
+  static const std::regex entry_re(
+      R"(nestwx-lint:\s*plan-key-fields\(\s*([^:()\s]+)\s*:\s*(\w+)\s*=\s*(\d+)\s*\))");
+  const std::vector<std::string> lines = split_lines(content);
+  bool any = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, entry_re)) continue;
+    any = true;
+    const int lineno = static_cast<int>(i) + 1;
+    const std::string header_rel = m[1].str();
+    const std::string struct_name = m[2].str();
+    const int expected = std::stoi(m[3].str());
+    const fs::path header_path = fs::path(root) / header_rel;
+    if (!fs::exists(header_path)) {
+      out.push_back({manifest_rel, lineno, "plan-key-fields",
+                     "manifest names missing header " + header_rel});
+      continue;
+    }
+    const int actual =
+        count_struct_fields(read_file(header_path), struct_name);
+    if (actual < 0) {
+      out.push_back({manifest_rel, lineno, "plan-key-fields",
+                     "struct " + struct_name + " not found in " +
+                         header_rel});
+      continue;
+    }
+    if (actual != expected)
+      out.push_back(
+          {manifest_rel, lineno, "plan-key-fields",
+           struct_name + " in " + header_rel + " has " +
+               std::to_string(actual) + " fields but the manifest says " +
+               std::to_string(expected) +
+               ": if you added a planning input, extend fingerprint() in " +
+               manifest_rel + " to mix it, then update the manifest count"});
+  }
+  if (!any)
+    out.push_back({manifest_rel, 0, "plan-key-fields",
+                   "no plan-key-fields manifest found; planning-input "
+                   "structs must be registered so fingerprint coverage "
+                   "is checked"});
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<Finding> out;
+  std::vector<fs::path> files;
+  const fs::path src = fs::path(root) / "src";
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+  for (const fs::path& file : files) {
+    const std::string rel =
+        fs::relative(file, fs::path(root)).generic_string();
+    lint_source(rel, read_file(file), out);
+  }
+  lint_plan_key(root, out);
+  return out;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file;
+    if (f.line > 0) os << ':' << f.line;
+    os << ": [" << f.rule << "] " << f.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace nestwx::lint

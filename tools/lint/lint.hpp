@@ -1,0 +1,81 @@
+#pragma once
+/// \file lint.hpp
+/// nestwx-lint: project-specific static checks for the determinism and
+/// thread-count-invariance contracts (see CONTRIBUTING.md, "Static
+/// analysis gates").
+///
+/// Generic tools (clang-tidy, -Wthread-safety) cannot know this
+/// codebase's invariants: reports must be byte-identical at any thread
+/// count, simulated time is virtual, randomness is seeded, and plan-cache
+/// fingerprints must cover every planning input. nestwx-lint encodes
+/// those rules as fast, dependency-free source scans that run in CI and
+/// via `cmake --build build --target lint`.
+///
+/// Rules (rule ids in brackets):
+///  [unordered-iteration]  No iteration over std::unordered_map/set
+///       anywhere under src/: iteration order is libstdc++-version- and
+///       hash-seed-dependent, so anything derived from it (reports, JSON,
+///       goldens) silently loses byte-identity. Look ups are fine; iterate
+///       a sorted copy, or suppress where order provably cannot escape.
+///  [wall-clock]   No std::chrono::{system,steady,high_resolution}_clock,
+///       ::time(), gettimeofday or clock_gettime outside src/util/:
+///       simulated time comes from util::VirtualClock, and wall-clock
+///       timings belong in bench/, never in library code paths.
+///  [raw-rng]      No rand()/srand()/std::random_device outside
+///       src/util/: all randomness draws from the seeded util::Rng so
+///       every experiment replays exactly.
+///  [raw-alloc]    No raw new[]/malloc/calloc/realloc/free in src/swm/:
+///       kernel buffers are Field2D or std::vector, so sanitizer builds
+///       and the bounds-checked tier see every access.
+///  [plan-key-fields]  Planning-input structs listed in the manifest in
+///       src/core/plan_key.cpp must have exactly the field count the
+///       manifest records. Adding a field to MachineParams without
+///       extending fingerprint() would alias cache entries across
+///       genuinely different inputs — this rule turns that silent
+///       corruption into a build failure.
+///  [bad-pragma]   A nestwx-lint suppression without a justification.
+///
+/// Suppressions: a comment anywhere on the offending line or the line
+/// directly above it —
+///     // nestwx-lint: allow(rule-id[, rule-id...]) -- <justification>
+/// The ` -- justification` part is mandatory. A file-wide variant
+/// `allow-file(...)` exists for fixtures and generated code.
+
+#include <string>
+#include <vector>
+
+namespace nestwx::lint {
+
+struct Finding {
+  std::string file;  ///< path as given to the linter
+  int line = 0;      ///< 1-based; 0 for file-level findings
+  std::string rule;
+  std::string message;
+};
+
+/// Lint one translation unit. `rel_path` is the path relative to the
+/// repository root (with '/' separators) — it drives rule scoping
+/// (e.g. wall-clock is exempt under src/util/). Appends to `out`.
+void lint_source(const std::string& rel_path, const std::string& content,
+                 std::vector<Finding>& out);
+
+/// Check the plan-key field-count manifest in src/core/plan_key.cpp
+/// against the struct definitions it names. `root` is the repository
+/// root. Appends to `out`.
+void lint_plan_key(const std::string& root, std::vector<Finding>& out);
+
+/// Lint every .hpp/.cpp under `root`/src plus the plan-key manifest.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// Count the data members of `struct_name` inside `header_content`.
+/// Returns -1 when the struct is not found. Counts `;`-terminated
+/// declarations at brace depth 1 that are not functions, usings, access
+/// specifiers, friends or nested types (exposed for the manifest check
+/// and its tests).
+int count_struct_fields(const std::string& header_content,
+                        const std::string& struct_name);
+
+/// Render findings as "file:line: [rule] message" lines.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace nestwx::lint

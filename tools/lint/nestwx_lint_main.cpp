@@ -1,0 +1,83 @@
+/// \file nestwx_lint_main.cpp
+/// CLI for nestwx-lint (see lint.hpp for the rule catalogue).
+///
+/// Usage:
+///   nestwx-lint [--root=DIR]
+///   nestwx-lint [--root=DIR] --count-fields=src/path/hdr.hpp:Struct
+///
+/// The second form prints the field count the plan-key-fields rule would
+/// compute for one struct — use it to fill in the manifest in
+/// src/core/plan_key.cpp after changing a planning-input struct.
+///
+/// Lints every C++ source under DIR/src (default: the current directory)
+/// plus the plan-key fingerprint manifest, printing findings as
+/// `file:line: [rule] message`. Exits 1 when there are findings, 0 when
+/// clean — fit for CI and the `lint` build target.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string count_target;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(std::strlen("--root="));
+    } else if (arg.rfind("--count-fields=", 0) == 0) {
+      count_target = arg.substr(std::strlen("--count-fields="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nestwx-lint [--root=DIR]\n"
+                << "Project-specific determinism/concurrency lints over "
+                   "DIR/src (see CONTRIBUTING.md).\n"
+                << "Rules: unordered-iteration, wall-clock, raw-rng, "
+                   "raw-alloc, plan-key-fields, bad-pragma.\n"
+                << "Suppress with: // nestwx-lint: allow(rule) -- why\n";
+      return 0;
+    } else {
+      std::cerr << "nestwx-lint: unknown argument " << arg << '\n';
+      return 2;
+    }
+  }
+
+  if (!count_target.empty()) {
+    const std::size_t colon = count_target.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "nestwx-lint: --count-fields wants path:Struct\n";
+      return 2;
+    }
+    std::ifstream in(root + "/" + count_target.substr(0, colon),
+                     std::ios::binary);
+    if (!in) {
+      std::cerr << "nestwx-lint: cannot read "
+                << count_target.substr(0, colon) << '\n';
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const int n = nestwx::lint::count_struct_fields(
+        ss.str(), count_target.substr(colon + 1));
+    if (n < 0) {
+      std::cerr << "nestwx-lint: struct " << count_target.substr(colon + 1)
+                << " not found\n";
+      return 2;
+    }
+    std::cout << n << '\n';
+    return 0;
+  }
+
+  const auto findings = nestwx::lint::lint_tree(root);
+  std::cout << nestwx::lint::format_findings(findings);
+  if (findings.empty()) {
+    std::cout << "nestwx-lint: clean\n";
+    return 0;
+  }
+  std::cout << "nestwx-lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << '\n';
+  return 1;
+}
