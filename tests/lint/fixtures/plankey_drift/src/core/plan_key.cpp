@@ -1,0 +1,5 @@
+// Fixture mini-tree: the struct gained a field the manifest (and thus
+// the fingerprint) does not know about — the rule must flag it.
+// nestwx-lint: plan-key-fields(src/inputs.hpp:PlanInputs=3)
+// nestwx-lint: plan-key-fields(src/inputs.hpp:MissingStruct=1)
+int fixture_plan_key = 0;

@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: four data members, but the manifest still says three.
+#include <string>
+
+struct PlanInputs {
+  std::string name;
+  int width = 0;
+  double aspect = 1.0;
+  int refinement = 3;  // the new field nobody fingerprinted
+};

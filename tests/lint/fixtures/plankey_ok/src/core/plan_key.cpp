@@ -1,0 +1,3 @@
+// Fixture mini-tree: manifest matches the struct below.
+// nestwx-lint: plan-key-fields(src/inputs.hpp:PlanInputs=3)
+int fixture_plan_key = 0;

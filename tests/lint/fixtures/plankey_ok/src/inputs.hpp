@@ -1,0 +1,25 @@
+#pragma once
+// Fixture planning-input struct: exactly 3 data members. Methods, nested
+// types, statics, usings and access specifiers must not be counted.
+#include <string>
+#include <vector>
+
+struct PlanInputs {
+  using Row = std::vector<int>;
+
+  std::string name;
+  int width = compute_default(2);
+  double aspect = 1.0;
+
+  static int instances;
+
+  struct Nested {
+    int ignored = 0;
+  };
+
+  int area() const { return width * 2; }
+  static int compute_default(int scale);
+
+ private:
+  friend struct Other;
+};

@@ -1,0 +1,18 @@
+// Fixture: pragma handling. Not compiled — test data.
+// nestwx-lint: allow-file(wall-clock) -- test fixture: file-wide suppression under test
+#include <chrono>
+#include <unordered_set>
+
+double now() {
+  // Covered by the allow-file(wall-clock) above: no finding.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int bad_pragma_missing_reason(const std::unordered_set<int>& s) {
+  int n = 0;
+  // nestwx-lint: allow(unordered-iteration)
+  for (int v : s) n += v;  // still flagged: the pragma above is invalid
+  return n;
+}

@@ -1,0 +1,25 @@
+// Fixture: raw-alloc rule. Not compiled — test data. Linted once under a
+// virtual src/swm/ path (rule applies) and once under src/campaign/
+// (out of scope: the rule protects the bounds-checked kernel tier).
+#include <cstdlib>
+#include <vector>
+
+double* bad_buffers(int n) {
+  double* a = new double[static_cast<unsigned>(n)];          // BAD (line 8)
+  void* b = std::malloc(sizeof(double) * 4);                 // BAD (line 9)
+  b = std::realloc(b, sizeof(double) * 8);                   // BAD (line 10)
+  std::free(b);                                              // BAD (line 11)
+  return a;
+}
+
+std::vector<double> good_buffer(int n) {
+  // Placement syntax `new Foo` without brackets is fine (not array new),
+  // and std::vector is the sanctioned buffer type.
+  std::vector<double> v(static_cast<std::size_t>(n), 0.0);
+  return v;
+}
+
+double* suppressed_alloc(int n) {
+  // nestwx-lint: allow(raw-alloc) -- test fixture exercising suppression
+  return new double[static_cast<unsigned>(n)];
+}

@@ -1,0 +1,50 @@
+// Fixture: unordered-iteration rule. Not compiled — test data for
+// tests/test_lint.cpp, which lints it under a virtual src/ path.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, double>;
+
+struct Report {
+  std::unordered_map<std::string, int> counters;
+  std::unordered_set<int> seen;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [name, value] : counters)  // BAD: range-for (line 15)
+      sum += value;
+    return sum;
+  }
+
+  bool contains(int key) const {
+    return seen.find(key) != seen.end();  // OK: lookup, not iteration
+  }
+};
+
+int explicit_begin(const Report& r) {
+  int n = 0;
+  for (auto it = r.seen.begin(); it != r.seen.end(); ++it)  // BAD (line 27)
+    ++n;
+  return n;
+}
+
+double alias_iteration(const Index& index) {
+  double sum = 0.0;
+  for (const auto& [k, v] : index)  // BAD via alias (line 34)
+    sum += v;
+  return sum;
+}
+
+int suppressed_same_line(const Report& r) {
+  int n = 0;
+  for (int v : r.seen) n += v;  // nestwx-lint: allow(unordered-iteration) -- test fixture, order does not escape
+  return n;
+}
+
+int suppressed_line_above(const Report& r) {
+  int n = 0;
+  // nestwx-lint: allow(unordered-iteration) -- test fixture, order does not escape
+  for (int v : r.seen) n += v;
+  return n;
+}

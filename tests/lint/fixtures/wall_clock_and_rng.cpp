@@ -1,0 +1,29 @@
+// Fixture: wall-clock and raw-rng rules. Not compiled — test data.
+// Linted once under a virtual src/campaign/ path (rules apply) and once
+// under src/util/ (exempt: util owns the clock/RNG wrappers).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double wall_clock_timing() {
+  const auto t0 = std::chrono::steady_clock::now();    // BAD (line 9)
+  const auto t1 = std::chrono::system_clock::now();    // BAD (line 10)
+  (void)t1;
+  const auto dt = std::chrono::steady_clock::now() - t0;  // BAD (line 12)
+  return std::chrono::duration<double>(dt).count();
+}
+
+int raw_random() {
+  std::random_device rd;       // BAD (line 17)
+  std::srand(rd());            // BAD (line 18)
+  return std::rand();          // BAD (line 19)
+}
+
+// Durations and virtual time are fine: no clock is consulted.
+constexpr std::chrono::milliseconds kTick{1};
+
+int suppressed_clock() {
+  // nestwx-lint: allow(wall-clock) -- test fixture exercising suppression
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() > 0 ? 1 : 0;
+}

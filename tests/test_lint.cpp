@@ -1,0 +1,181 @@
+// Tests for tools/lint (nestwx-lint): every rule against the fixtures in
+// tests/lint/fixtures/, the field counter on inline headers, the plan-key
+// manifest check on two mini-trees, and — the gate that matters — the real
+// repository tree linting clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#endif
+
+#include "lint.hpp"
+
+namespace {
+
+using nestwx::lint::Finding;
+using nestwx::lint::count_struct_fields;
+using nestwx::lint::format_findings;
+using nestwx::lint::lint_plan_key;
+using nestwx::lint::lint_source;
+using nestwx::lint::lint_tree;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(NESTWX_LINT_FIXTURES) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lint a fixture file as if it lived at `virtual_path` inside the repo.
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& virtual_path) {
+  std::vector<Finding> out;
+  lint_source(virtual_path, read_file(fixture_path(name)), out);
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> rule_lines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) out.emplace_back(f.rule, f.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using RL = std::vector<std::pair<std::string, int>>;
+
+TEST(LintUnorderedIteration, FlagsIterationNotLookup) {
+  const auto got =
+      rule_lines(lint_fixture("unordered_iteration.cpp", "src/campaign/f.cpp"));
+  const RL want = {{"unordered-iteration", 15},
+                   {"unordered-iteration", 27},
+                   {"unordered-iteration", 34}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintWallClockAndRng, FlagsOutsideUtil) {
+  const auto got =
+      rule_lines(lint_fixture("wall_clock_and_rng.cpp", "src/campaign/f.cpp"));
+  const RL want = {{"raw-rng", 17},   {"raw-rng", 18},   {"raw-rng", 19},
+                   {"wall-clock", 9}, {"wall-clock", 10}, {"wall-clock", 12}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintWallClockAndRng, UtilIsExempt) {
+  EXPECT_TRUE(lint_fixture("wall_clock_and_rng.cpp", "src/util/f.cpp").empty());
+}
+
+TEST(LintWallClockAndRng, OutsideSrcIsOutOfScope) {
+  EXPECT_TRUE(lint_fixture("wall_clock_and_rng.cpp", "bench/f.cpp").empty());
+}
+
+TEST(LintRawAlloc, FlagsInsideSwmOnly) {
+  const auto got = rule_lines(lint_fixture("raw_alloc.cpp", "src/swm/f.cpp"));
+  const RL want = {{"raw-alloc", 8},
+                   {"raw-alloc", 9},
+                   {"raw-alloc", 10},
+                   {"raw-alloc", 11}};
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(lint_fixture("raw_alloc.cpp", "src/campaign/f.cpp").empty());
+}
+
+TEST(LintPragmas, FileWideAllowAndMissingJustification) {
+  const auto got = rule_lines(lint_fixture("pragmas.cpp", "src/serve/f.cpp"));
+  // The file-wide wall-clock allow suppresses steady_clock at line 9; the
+  // justification-free pragma at 15 is itself a finding AND fails to
+  // suppress the iteration on line 16.
+  const RL want = {{"bad-pragma", 15}, {"unordered-iteration", 16}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintFieldCount, CountsDataMembersOnly) {
+  EXPECT_EQ(count_struct_fields(read_file(fixture_path("plankey_ok/src/inputs.hpp")),
+                                "PlanInputs"),
+            3);
+}
+
+TEST(LintFieldCount, InlineEdgeCases) {
+  const std::string header = R"(
+    struct Other { int unrelated; };
+    struct Probe {
+      std::array<double, 3> origin;      // template comma must not split
+      std::map<int, std::vector<int>> m;
+      int count NESTWX_GUARDED_BY(mu_) = 0;  // annotation macro stripped
+      util::Mutex mu_;
+      void tick() { ++count; }
+      bool empty() const;
+    };
+  )";
+  EXPECT_EQ(count_struct_fields(header, "Probe"), 4);
+  EXPECT_EQ(count_struct_fields(header, "Other"), 1);
+  EXPECT_EQ(count_struct_fields(header, "Absent"), -1);
+}
+
+TEST(LintPlanKey, ManifestMatchesTree) {
+  std::vector<Finding> out;
+  lint_plan_key(fixture_path("plankey_ok"), out);
+  EXPECT_TRUE(out.empty()) << format_findings(out);
+  EXPECT_TRUE(lint_tree(fixture_path("plankey_ok")).empty());
+}
+
+TEST(LintPlanKey, DriftAndMissingStructAreFindings) {
+  const auto got = rule_lines(lint_tree(fixture_path("plankey_drift")));
+  const RL want = {{"plan-key-fields", 3}, {"plan-key-fields", 4}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(LintRepo, TreeIsClean) {
+  const auto findings = lint_tree(NESTWX_SOURCE_DIR);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(LintFormat, FileLineRuleMessage) {
+  const std::vector<Finding> fs = {{"src/a.cpp", 7, "wall-clock", "no"}};
+  EXPECT_EQ(format_findings(fs), "src/a.cpp:7: [wall-clock] no\n");
+}
+
+#ifdef NESTWX_LINT_BIN
+int run_lint(const std::string& args) {
+  const std::string cmd = std::string(NESTWX_LINT_BIN) + " " + args;
+  const int rc = std::system(cmd.c_str());
+#ifdef WEXITSTATUS
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+#else
+  return rc;
+#endif
+}
+
+TEST(LintCli, ExitCodes) {
+  EXPECT_EQ(run_lint("--root=" + fixture_path("plankey_ok")), 0);
+  EXPECT_EQ(run_lint("--root=" + fixture_path("plankey_drift")), 1);
+  EXPECT_EQ(run_lint("--no-such-flag"), 2);
+  EXPECT_EQ(run_lint("--help"), 0);
+}
+
+TEST(LintCli, CountFieldsMode) {
+  EXPECT_EQ(run_lint("--root=" + fixture_path("plankey_ok") +
+                     " --count-fields=src/inputs.hpp:PlanInputs"),
+            0);
+  EXPECT_EQ(run_lint("--root=" + fixture_path("plankey_ok") +
+                     " --count-fields=src/inputs.hpp:Absent"),
+            2);
+}
+#endif  // NESTWX_LINT_BIN
+
+}  // namespace
