@@ -76,6 +76,9 @@ void Table::write_csv(const std::string& path) const {
 }
 
 bool Table::write_bench_csv(const std::string& name) const {
+  // Bench harness entry point: single-threaded when consulted, and the
+  // environment is never mutated by this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* dir = std::getenv("NESTWX_BENCH_OUT");
   if (dir == nullptr || *dir == '\0') return false;
   std::filesystem::create_directories(dir);

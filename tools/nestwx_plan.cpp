@@ -5,8 +5,8 @@
 /// mapfile), and the predicted per-iteration performance of the default
 /// sequential strategy versus the concurrent strategy.
 ///
-///   nestwx-plan --machine=bgp --cores=4096 \
-///               --parent=286x307 --nests=394x418,232x202,313x337 \
+///   nestwx-plan --machine=bgp --cores=4096
+///               --parent=286x307 --nests=394x418,232x202,313x337
 ///               --scheme=multilevel --mapfile=run.map --io
 ///
 /// Flags:
