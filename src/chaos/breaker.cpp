@@ -1,0 +1,101 @@
+#include "chaos/breaker.hpp"
+
+#include "util/error.hpp"
+
+namespace nestwx::chaos {
+
+using util::MutexLock;
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::closed: return "closed";
+    case BreakerState::open: return "open";
+    case BreakerState::half_open: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) : policy_(policy) {
+  NESTWX_REQUIRE(policy_.failure_threshold >= 1,
+                 "breaker needs a positive failure threshold");
+  NESTWX_REQUIRE(policy_.cooldown >= 0.0,
+                 "breaker cooldown must be non-negative");
+  NESTWX_REQUIRE(policy_.probe_successes >= 1,
+                 "breaker needs a positive probe-success count");
+}
+
+void CircuitBreaker::move_to(BreakerState to, double now) {
+  transitions_.push_back(Transition{now, state_, to});
+  state_ = to;
+  if (to == BreakerState::open) {
+    ++trips_;
+    opened_at_ = now;
+    probe_successes_ = 0;
+  } else if (to == BreakerState::closed) {
+    ++closes_;
+    consecutive_failures_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow(double now) {
+  MutexLock lock(mu_);
+  if (state_ == BreakerState::closed) return true;
+  if (state_ == BreakerState::open) {
+    if (now < opened_at_ + policy_.cooldown) {
+      ++short_circuits_;
+      return false;
+    }
+    move_to(BreakerState::half_open, now);
+  }
+  return true;  // half-open: the call is the probe
+}
+
+void CircuitBreaker::record_success(double now) {
+  MutexLock lock(mu_);
+  if (state_ == BreakerState::closed) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (state_ == BreakerState::half_open &&
+      ++probe_successes_ >= policy_.probe_successes)
+    move_to(BreakerState::closed, now);
+}
+
+void CircuitBreaker::record_failure(double now) {
+  MutexLock lock(mu_);
+  if (state_ == BreakerState::half_open) {
+    move_to(BreakerState::open, now);  // probe failed: cooldown restarts
+    return;
+  }
+  if (state_ == BreakerState::closed &&
+      ++consecutive_failures_ >= policy_.failure_threshold)
+    move_to(BreakerState::open, now);
+}
+
+BreakerState CircuitBreaker::state() const {
+  MutexLock lock(mu_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::trips() const {
+  MutexLock lock(mu_);
+  return trips_;
+}
+
+std::size_t CircuitBreaker::closes() const {
+  MutexLock lock(mu_);
+  return closes_;
+}
+
+std::size_t CircuitBreaker::short_circuits() const {
+  MutexLock lock(mu_);
+  return short_circuits_;
+}
+
+std::vector<CircuitBreaker::Transition> CircuitBreaker::transitions() const {
+  MutexLock lock(mu_);
+  return transitions_;
+}
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,81 @@
+#pragma once
+/// \file breaker.hpp
+/// Circuit breaker in virtual time for the plan-store spill path.
+///
+/// The spill disk is an optimisation, never a correctness dependency —
+/// so when it fails repeatedly the right move is to stop paying for the
+/// failures, not to keep retrying every eviction. The breaker implements
+/// the classic three-state machine over *virtual* time (the caller passes
+/// `now`, there is no wall clock here, so replays are exact):
+///
+///   closed ──(failure_threshold consecutive failures)──▶ open
+///   open ──(cooldown elapses; next allow() is the probe)──▶ half_open
+///   half_open ──(probe_successes successes)──▶ closed
+///   half_open ──(any failure)──▶ open (cooldown restarts)
+///
+/// While open, allow() short-circuits: the sharded cache degrades to
+/// memory-only (evictions just drop) instead of stalling every trim on a
+/// dead disk. Transitions are recorded with their virtual times so the
+/// serve report's incident log can show exactly when the service
+/// degraded and when it recovered.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nestwx::chaos {
+
+struct BreakerPolicy {
+  int failure_threshold = 3;  ///< consecutive failures that trip the breaker
+  double cooldown = 600.0;    ///< open duration before a half-open probe, virtual s
+  int probe_successes = 1;    ///< half-open successes needed to close
+};
+
+enum class BreakerState { closed, open, half_open };
+
+std::string to_string(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  struct Transition {
+    double time = 0.0;  ///< virtual seconds
+    BreakerState from = BreakerState::closed;
+    BreakerState to = BreakerState::closed;
+  };
+
+  explicit CircuitBreaker(BreakerPolicy policy);
+
+  /// May the guarded operation run at virtual time `now`? An open breaker
+  /// whose cooldown has elapsed moves to half_open here and admits the
+  /// call as its probe; an open breaker inside the cooldown denies it
+  /// (counted as a short circuit).
+  bool allow(double now);
+
+  void record_success(double now);
+  void record_failure(double now);
+
+  BreakerState state() const;
+  std::size_t trips() const;           ///< transitions into open
+  std::size_t closes() const;          ///< transitions into closed
+  std::size_t short_circuits() const;  ///< calls denied while open
+  std::vector<Transition> transitions() const;  ///< chronological
+
+ private:
+  void move_to(BreakerState to, double now) NESTWX_REQUIRES(mu_);
+
+  BreakerPolicy policy_;
+  mutable util::Mutex mu_;
+  BreakerState state_ NESTWX_GUARDED_BY(mu_) = BreakerState::closed;
+  int consecutive_failures_ NESTWX_GUARDED_BY(mu_) = 0;
+  int probe_successes_ NESTWX_GUARDED_BY(mu_) = 0;
+  double opened_at_ NESTWX_GUARDED_BY(mu_) = 0.0;
+  std::size_t trips_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t closes_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t short_circuits_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::vector<Transition> transitions_ NESTWX_GUARDED_BY(mu_);
+};
+
+}  // namespace nestwx::chaos

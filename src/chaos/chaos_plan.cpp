@@ -1,0 +1,179 @@
+#include "chaos/chaos_plan.hpp"
+
+// Policy-knob manifest, checked by nestwx-lint's plan-key-fields rule:
+// every struct whose fields feed RecoveryPolicies::fingerprint() (and
+// through it the serve report's policy fingerprint and the chaos golden
+// files) is registered here with its field count. Adding a knob to any
+// of these structs without mixing it into the fingerprint would let two
+// differently-configured drains alias the same policy fingerprint; the
+// lint failure below is the reminder to extend the fingerprint first.
+//
+// nestwx-lint: plan-key-fields(src/chaos/chaos_plan.hpp:ChaosRule=5)
+// nestwx-lint: plan-key-fields(src/chaos/chaos_plan.hpp:ChaosPlan=3)
+// nestwx-lint: plan-key-fields(src/chaos/breaker.hpp:BreakerPolicy=3)
+// nestwx-lint: plan-key-fields(src/chaos/engine.hpp:RecoveryPolicies=4)
+// nestwx-lint: plan-key-fields(src/util/retry.hpp:RetryPolicy=6)
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace nestwx::chaos {
+
+std::string to_string(Site site) {
+  switch (site) {
+    case Site::spool_submit: return "spool_submit";
+    case Site::spool_claim: return "spool_claim";
+    case Site::spool_retire: return "spool_retire";
+    case Site::store_spill: return "store_spill";
+    case Site::store_reload: return "store_reload";
+    case Site::cache_shard: return "cache_shard";
+    case Site::execute: return "execute";
+  }
+  return "?";
+}
+
+Site site_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site site = static_cast<Site>(i);
+    if (to_string(site) == name) return site;
+  }
+  throw util::PreconditionError("unknown chaos site \"" + name + "\"");
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::transient: return "transient";
+    case FaultKind::permanent: return "permanent";
+    case FaultKind::corrupt: return "corrupt";
+    case FaultKind::slow: return "slow";
+    case FaultKind::stall: return "stall";
+  }
+  return "?";
+}
+
+FaultKind kind_from_string(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::stall); ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    if (to_string(kind) == name) return kind;
+  }
+  throw util::PreconditionError("unknown chaos fault kind \"" + name + "\"");
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(s);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!s.empty() && s.back() == sep) out.push_back("");
+  return out;
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size())
+      throw util::PreconditionError("trailing junk in " + what + ": \"" + s +
+                                    "\"");
+    return v;
+  } catch (const util::PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::PreconditionError("cannot parse " + what + ": \"" + s +
+                                  "\"");
+  }
+}
+
+int parse_int(const std::string& s, const std::string& what) {
+  const double v = parse_double(s, what);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v)
+    throw util::PreconditionError(what + " must be an integer: \"" + s +
+                                  "\"");
+  return i;
+}
+
+/// Default virtual delay a slow / stall rule carries when the script
+/// leaves it off: a slow call is a hiccup; a stall is meant to outlive
+/// any sane per-request deadline.
+double default_delay(FaultKind kind) {
+  if (kind == FaultKind::slow) return 30.0;
+  if (kind == FaultKind::stall) return 3600.0;
+  return 0.0;
+}
+
+}  // namespace
+
+std::string ChaosRule::to_string() const {
+  std::ostringstream os;
+  os << chaos::to_string(site) << ':' << chaos::to_string(kind) << ':'
+     << subject << ':' << max_hits << ':' << util::json_num(delay);
+  return os.str();
+}
+
+ChaosPlan ChaosPlan::parse(const std::string& script) {
+  ChaosPlan plan;
+  if (script.empty()) return plan;
+  for (const std::string& part : split(script, ';')) {
+    if (part.empty())
+      throw util::PreconditionError("empty chaos rule in \"" + script +
+                                    "\"");
+    const std::vector<std::string> fields = split(part, ':');
+    if (fields.size() < 3 || fields.size() > 5)
+      throw util::PreconditionError(
+          "chaos rule needs site:kind:subject[:max_hits[:delay]]: \"" +
+          part + "\"");
+    ChaosRule rule;
+    rule.site = site_from_string(fields[0]);
+    rule.kind = kind_from_string(fields[1]);
+    rule.subject = fields[2];
+    rule.max_hits =
+        fields.size() > 3 ? parse_int(fields[3], "chaos rule max_hits") : 0;
+    rule.delay = fields.size() > 4
+                     ? parse_double(fields[4], "chaos rule delay")
+                     : default_delay(rule.kind);
+    plan.rules.push_back(std::move(rule));
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string ChaosPlan::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    os << (i == 0 ? "" : ";") << rules[i].to_string();
+  return os.str();
+}
+
+std::uint64_t ChaosPlan::fingerprint() const {
+  const std::string script = to_string();
+  std::uint64_t h = util::fnv1a(script.data(), script.size());
+  h = util::fnv1a(&seed, sizeof(seed), h);
+  h = util::fnv1a(&rate, sizeof(rate), h);
+  return h;
+}
+
+void ChaosPlan::validate() const {
+  NESTWX_REQUIRE(rate >= 0.0 && rate <= 1.0,
+                 "chaos rate must lie in [0, 1]");
+  for (const ChaosRule& rule : rules) {
+    NESTWX_REQUIRE(!rule.subject.empty(),
+                   "chaos rule subject must not be empty");
+    NESTWX_REQUIRE(rule.max_hits >= 0,
+                   "chaos rule max_hits must be non-negative");
+    NESTWX_REQUIRE(rule.delay >= 0.0,
+                   "chaos rule delay must be non-negative");
+    const bool delayed =
+        rule.kind == FaultKind::slow || rule.kind == FaultKind::stall;
+    NESTWX_REQUIRE(delayed || rule.delay == 0.0,
+                   "only slow/stall chaos rules carry a delay (rule " +
+                       rule.to_string() + ")");
+  }
+}
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,102 @@
+#pragma once
+/// \file chaos_plan.hpp
+/// Scripted / seeded fault plans for the campaign service's substrate.
+///
+/// PR 2's fault layer (src/fault) scripts *machine* attrition — nodes and
+/// links dying under a campaign. This layer scripts the attrition of the
+/// service's own substrate: the spool directory, the plan-store spill
+/// disk, the sharded cache, and the executor itself. A ChaosPlan names
+/// which side-effecting boundary misbehaves (the Site), how (the
+/// FaultKind), for which subject, and for how many injections — all in
+/// virtual time, so replaying the same plan against the same spool
+/// reproduces the identical incident sequence byte-for-byte at any host
+/// thread count.
+///
+/// Script grammar (mirrors fault::FaultPlan): rules joined by ';', each
+///   site:kind:subject[:max_hits[:delay]]
+/// e.g. "execute:transient:req-0007:0;store_spill:transient:*:9".
+/// `subject` is a request id (execute/spool sites), a 0x-prefixed plan
+/// key (store/cache sites), or "*" for any. `max_hits` bounds how many
+/// operations the rule faults (0 = unlimited); `delay` is the virtual
+/// seconds a slow/stall fault adds. parse(to_string()) round-trips
+/// exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nestwx::chaos {
+
+/// Side-effecting boundary a fault can be injected at.
+enum class Site {
+  spool_submit,  ///< writing a request file into the spool
+  spool_claim,   ///< claiming a pending request file
+  spool_retire,  ///< moving a claimed file to done/ or rejected/
+  store_spill,   ///< writing an evicted plan to the spill directory
+  store_reload,  ///< reading a spilled plan back on a cache miss
+  cache_shard,   ///< a sharded plan-cache access
+  execute        ///< running a request's campaign
+};
+
+inline constexpr std::size_t kSiteCount = 7;
+
+std::string to_string(Site site);
+Site site_from_string(const std::string& name);
+
+/// How the faulted operation misbehaves.
+enum class FaultKind {
+  transient,  ///< fails now, may succeed on retry
+  permanent,  ///< fails every time (no retry is attempted)
+  corrupt,    ///< returns garbage instead of failing
+  slow,       ///< succeeds after an extra virtual delay
+  stall       ///< succeeds after a delay long enough to blow deadlines
+};
+
+std::string to_string(FaultKind kind);
+FaultKind kind_from_string(const std::string& name);
+
+/// One scripted fault rule. Rules are consulted in plan order; the first
+/// match decides the operation's fate.
+struct ChaosRule {
+  Site site = Site::execute;
+  FaultKind kind = FaultKind::transient;
+  std::string subject = "*";  ///< request id / plan key hex / "*" = any
+  int max_hits = 0;           ///< injections before the rule retires; 0 = unlimited
+  double delay = 0.0;         ///< extra virtual seconds (slow/stall only)
+
+  std::string to_string() const;
+
+  friend bool operator==(const ChaosRule&, const ChaosRule&) = default;
+};
+
+struct ChaosPlan {
+  std::vector<ChaosRule> rules;
+  /// Seeded mode: with rate > 0, operations no scripted rule matches
+  /// fault transiently with probability `rate`, decided by a stateless
+  /// hash of (seed, site, subject, attempt) — deterministic however host
+  /// threads interleave.
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+
+  /// Parse the ';'-joined rule script (see file comment). Throws
+  /// PreconditionError on malformed input. seed/rate are not part of the
+  /// script; set them separately (the CLI carries them as flags).
+  static ChaosPlan parse(const std::string& script);
+
+  /// The script form of the rules; parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  /// Stable 64-bit fingerprint over rules, seed and rate (reported in
+  /// JSON so a replayed drain can be matched to its chaos configuration).
+  std::uint64_t fingerprint() const;
+
+  /// Check every rule is well-formed: non-negative budgets and delays,
+  /// non-empty subjects, delays only on slow/stall rules. Throws
+  /// PreconditionError.
+  void validate() const;
+
+  bool empty() const { return rules.empty() && rate <= 0.0; }
+};
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,29 @@
+#include "chaos/engine.hpp"
+
+#include "util/hash.hpp"
+
+namespace nestwx::chaos {
+
+std::uint64_t RecoveryPolicies::fingerprint() const {
+  std::uint64_t h = plan.fingerprint();
+  h = util::fnv1a(&retry.max_attempts, sizeof(retry.max_attempts), h);
+  h = util::fnv1a(&retry.base_backoff, sizeof(retry.base_backoff), h);
+  h = util::fnv1a(&retry.multiplier, sizeof(retry.multiplier), h);
+  h = util::fnv1a(&retry.max_backoff, sizeof(retry.max_backoff), h);
+  h = util::fnv1a(&retry.jitter, sizeof(retry.jitter), h);
+  h = util::fnv1a(&retry.seed, sizeof(retry.seed), h);
+  h = util::fnv1a(&breaker.failure_threshold,
+                  sizeof(breaker.failure_threshold), h);
+  h = util::fnv1a(&breaker.cooldown, sizeof(breaker.cooldown), h);
+  h = util::fnv1a(&breaker.probe_successes, sizeof(breaker.probe_successes),
+                  h);
+  h = util::fnv1a(&deadline, sizeof(deadline), h);
+  return h;
+}
+
+ChaosEngine::ChaosEngine(RecoveryPolicies policies)
+    : policies_(std::move(policies)),
+      injector_(policies_.plan),
+      breaker_(policies_.breaker) {}
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,76 @@
+#pragma once
+/// \file engine.hpp
+/// The chaos/recovery bundle one service instance carries.
+///
+/// RecoveryPolicies is the configuration — what faults to inject and how
+/// the service fights back (retry budget, spill breaker, per-request
+/// deadline). ChaosEngine is the runtime: the injector with its rule
+/// budgets, the spill breaker with its state, the incident log, and the
+/// DES's virtual "now" (an atomic the event loop publishes at each event
+/// so boundaries hit from campaign worker threads can stamp incidents
+/// and consult the breaker in virtual time).
+///
+/// Ownership: the CampaignServer creates one engine per instance when
+/// its policies are active and shares it (shared_ptr) with the sharded
+/// cache and — in the daemon — the spool, so every wrapped boundary
+/// draws decisions from the same rule budgets and logs into the same
+/// incident stream. Engine state persists across execute() calls exactly
+/// like the plan cache does; the incident log alone is cleared per drain
+/// so each report carries its own incidents.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "chaos/breaker.hpp"
+#include "chaos/chaos_plan.hpp"
+#include "chaos/incident.hpp"
+#include "chaos/injector.hpp"
+#include "util/retry.hpp"
+
+namespace nestwx::chaos {
+
+struct RecoveryPolicies {
+  ChaosPlan plan;            ///< what to inject; empty = nothing
+  util::RetryPolicy retry;   ///< per-boundary attempt budget + backoff
+  BreakerPolicy breaker;     ///< guards the plan-store spill path
+  double deadline = 0.0;     ///< per-request virtual deadline; 0 = none
+
+  /// Anything to do? Injection, retries or deadlines each activate the
+  /// engine; with all three off the service runs the exact pre-chaos
+  /// paths.
+  bool active() const {
+    return !plan.empty() || retry.max_attempts > 1 || deadline > 0.0;
+  }
+
+  /// Stable 64-bit digest over every knob (reported in JSON so a drain
+  /// can be matched to its exact policy configuration — see the
+  /// plan-key-fields manifest in chaos_plan.cpp).
+  std::uint64_t fingerprint() const;
+};
+
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(RecoveryPolicies policies);
+
+  const RecoveryPolicies& policies() const { return policies_; }
+  ChaosInjector& injector() { return injector_; }
+  CircuitBreaker& spill_breaker() { return breaker_; }
+  IncidentLog& log() { return log_; }
+
+  /// Virtual time, published by the DES loop at each event. Boundaries
+  /// reached from worker threads mid-service observe the service's start
+  /// time — the same value on every thread, so incident stamps stay
+  /// deterministic.
+  double now() const { return now_.load(std::memory_order_relaxed); }
+  void set_now(double t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  RecoveryPolicies policies_;
+  ChaosInjector injector_;
+  CircuitBreaker breaker_;
+  IncidentLog log_;
+  std::atomic<double> now_{0.0};
+};
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,59 @@
+#include "chaos/incident.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "util/json.hpp"
+
+namespace nestwx::chaos {
+
+using util::MutexLock;
+
+void sort_incidents(std::vector<Incident>& incidents) {
+  std::sort(incidents.begin(), incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              return std::tie(a.time, a.site, a.subject, a.attempt, a.kind,
+                              a.detail) < std::tie(b.time, b.site, b.subject,
+                                                   b.attempt, b.kind,
+                                                   b.detail);
+            });
+}
+
+std::string incident_to_json(const Incident& incident) {
+  std::ostringstream os;
+  os << "{\"t\": " << util::json_num(incident.time)
+     << ", \"site\": " << util::json_quote(to_string(incident.site))
+     << ", \"kind\": " << util::json_quote(incident.kind)
+     << ", \"subject\": " << util::json_quote(incident.subject)
+     << ", \"attempt\": " << incident.attempt
+     << ", \"detail\": " << util::json_quote(incident.detail) << "}";
+  return os.str();
+}
+
+void IncidentLog::record(Incident incident) {
+  MutexLock lock(mu_);
+  incidents_.push_back(std::move(incident));
+}
+
+std::vector<Incident> IncidentLog::sorted() const {
+  std::vector<Incident> out;
+  {
+    MutexLock lock(mu_);
+    out = incidents_;
+  }
+  sort_incidents(out);
+  return out;
+}
+
+std::size_t IncidentLog::size() const {
+  MutexLock lock(mu_);
+  return incidents_.size();
+}
+
+void IncidentLog::clear() {
+  MutexLock lock(mu_);
+  incidents_.clear();
+}
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,62 @@
+#pragma once
+/// \file incident.hpp
+/// Deterministic incident log for chaos injections and recovery actions.
+///
+/// Every injected fault, retry, breaker transition, quarantine and
+/// timeout is recorded as one flat Incident, mirroring the resilience
+/// layer's incident log (resilience/guarded_run.hpp): flat one-line JSON
+/// objects with stable key order and %.12g numbers, fit for golden
+/// files.
+///
+/// Incidents are *recorded* from whatever thread hits the boundary —
+/// campaign workers reload spilled plans concurrently — so the append
+/// order is scheduling-dependent. The log therefore never exposes that
+/// order: sorted() returns the incidents under a canonical total order
+/// (time, site, subject, attempt, kind, detail), which is
+/// scheduling-independent because the *set* of incidents is. That is
+/// what keeps a chaos drain's JSON report byte-identical at any
+/// --threads value.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nestwx::chaos {
+
+struct Incident {
+  double time = 0.0;          ///< virtual seconds
+  Site site = Site::execute;  ///< boundary the incident happened at
+  std::string kind;  ///< "inject-transient", "retry", "quarantine",
+                     ///< "timeout", "breaker-open", ... (free-form slug)
+  std::string subject;  ///< request id / plan key hex
+  int attempt = 0;      ///< 1-based attempt number (0 = not attempt-bound)
+  std::string detail;
+};
+
+/// Canonical deterministic order: (time, site, subject, attempt, kind,
+/// detail).
+void sort_incidents(std::vector<Incident>& incidents);
+
+/// One-line JSON object, stable key order, %.12g time.
+std::string incident_to_json(const Incident& incident);
+
+class IncidentLog {
+ public:
+  void record(Incident incident);
+
+  /// Snapshot in canonical order (see sort_incidents).
+  std::vector<Incident> sorted() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<Incident> incidents_ NESTWX_GUARDED_BY(mu_);
+};
+
+}  // namespace nestwx::chaos

@@ -1,0 +1,84 @@
+#include "chaos/injector.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace nestwx::chaos {
+
+using util::MutexLock;
+
+bool ordered_site(Site site) {
+  return site != Site::store_reload && site != Site::cache_shard;
+}
+
+ChaosInjector::ChaosInjector(ChaosPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  hits_.assign(plan_.rules.size(), 0);
+  subject_hits_.resize(plan_.rules.size());
+}
+
+bool ChaosInjector::rule_fires(std::size_t rule_index,
+                               const std::string& subject) {
+  const ChaosRule& rule = plan_.rules[rule_index];
+  if (rule.max_hits == 0) {
+    ++hits_[rule_index];
+    return true;
+  }
+  // Bounded budget: ordered sites consume globally in call order;
+  // concurrent sites consume per subject so host scheduling cannot
+  // reassign which operation eats the budget.
+  std::uint64_t& count = ordered_site(rule.site)
+                             ? hits_[rule_index]
+                             : subject_hits_[rule_index][subject];
+  if (count >= static_cast<std::uint64_t>(rule.max_hits)) return false;
+  ++count;
+  return true;
+}
+
+FaultDecision ChaosInjector::consult(Site site, const std::string& subject,
+                                     int attempt) {
+  FaultDecision decision;
+  MutexLock lock(mu_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const ChaosRule& rule = plan_.rules[i];
+    if (rule.site != site) continue;
+    if (rule.subject != "*" && rule.subject != subject) continue;
+    if (!rule_fires(i, subject)) continue;
+    decision.faulted = true;
+    decision.kind = rule.kind;
+    decision.delay = rule.delay;
+    decision.rule = rule.to_string();
+    ++injected_[static_cast<std::size_t>(site)];
+    return decision;
+  }
+  if (plan_.rate > 0.0) {
+    // Stateless draw: a pure function of (seed, site, subject, attempt).
+    std::uint64_t h = util::fnv1a(subject.data(), subject.size());
+    h ^= static_cast<std::uint64_t>(site) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(attempt) << 48;
+    std::uint64_t state = plan_.seed ^ h;
+    const std::uint64_t z = util::splitmix64(state);
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    if (u < plan_.rate) {
+      decision.faulted = true;
+      decision.kind = FaultKind::transient;
+      decision.rule = "seeded";
+      ++injected_[static_cast<std::size_t>(site)];
+    }
+  }
+  return decision;
+}
+
+std::size_t ChaosInjector::injected() const {
+  MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const std::size_t n : injected_) total += n;
+  return total;
+}
+
+std::size_t ChaosInjector::injected_at(Site site) const {
+  MutexLock lock(mu_);
+  return injected_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace nestwx::chaos

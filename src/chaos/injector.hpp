@@ -1,0 +1,83 @@
+#pragma once
+/// \file injector.hpp
+/// Deterministic fault decisions for wrapped side-effecting operations.
+///
+/// The injector answers one question — "does attempt N of this operation
+/// on this subject at this site fault, and how?" — and answers it the
+/// same way on every replay. Two counting disciplines keep that true:
+///
+///  * *Ordered* sites (spool_submit / spool_claim / spool_retire /
+///    store_spill / execute) are only ever consulted from deterministic
+///    sequential call sites — the tool's drain loop, the DES event loop,
+///    and the quiescent-point cache trim — so a scripted rule's hit
+///    budget is consumed by one global per-rule counter in call order.
+///  * *Concurrent* sites (store_reload / cache_shard) are consulted from
+///    campaign worker threads in scheduling-dependent order, so budgets
+///    there are counted per (rule, subject): a decision depends only on
+///    the subject's own attempt number, never on which thread got to the
+///    injector first. (Single-flight makes the per-subject attempt
+///    sequence itself deterministic.)
+///
+/// Seeded mode (plan.rate > 0) is stateless either way: a splitmix64
+/// hash of (seed, site, subject, attempt) decides, so it is safe at
+/// every site.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace nestwx::chaos {
+
+/// The injector's verdict for one attempt of one operation.
+struct FaultDecision {
+  bool faulted = false;
+  FaultKind kind = FaultKind::transient;
+  double delay = 0.0;   ///< extra virtual seconds (slow/stall)
+  std::string rule;     ///< script form of the deciding rule ("seeded"
+                        ///< for rate-mode faults); incident detail
+};
+
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(ChaosPlan plan);
+
+  /// Decide the fate of attempt `attempt` (1-based) of the operation on
+  /// `subject` at `site`. Thread-safe; deterministic per the file
+  /// comment's counting disciplines.
+  FaultDecision consult(Site site, const std::string& subject, int attempt);
+
+  /// Total injected faults so far (a deterministic function of the
+  /// consult sequence, which is itself deterministic per site).
+  std::size_t injected() const;
+
+  /// Injected faults at one site.
+  std::size_t injected_at(Site site) const;
+
+  const ChaosPlan& plan() const { return plan_; }
+
+ private:
+  bool rule_fires(std::size_t rule_index, const std::string& subject)
+      NESTWX_REQUIRES(mu_);
+
+  ChaosPlan plan_;
+  mutable util::Mutex mu_;
+  /// Ordered-site budget consumption, one counter per rule.
+  std::vector<std::uint64_t> hits_ NESTWX_GUARDED_BY(mu_);
+  /// Concurrent-site budget consumption, per (rule, subject).
+  std::vector<std::map<std::string, std::uint64_t>> subject_hits_
+      NESTWX_GUARDED_BY(mu_);
+  std::array<std::size_t, kSiteCount> injected_ NESTWX_GUARDED_BY(mu_){};
+};
+
+/// True for sites whose consult order is deterministic and sequential
+/// (global rule budgets are safe); false for sites consulted from worker
+/// threads (budgets must count per subject).
+bool ordered_site(Site site);
+
+}  // namespace nestwx::chaos

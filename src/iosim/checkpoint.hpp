@@ -38,6 +38,17 @@ class CheckpointMissingError : public CheckpointError {
       : CheckpointError(what) {}
 };
 
+/// The file exists but cannot be opened or read (permissions, a
+/// directory squatting on the path, transient I/O failure). Distinct
+/// from missing on purpose: the data may still be there, so callers must
+/// not treat the path as "never written" — a cache that did would
+/// silently forget a spilled entry it could have recovered.
+class CheckpointUnreadableError : public CheckpointError {
+ public:
+  explicit CheckpointUnreadableError(const std::string& what)
+      : CheckpointError(what) {}
+};
+
 /// The file ends before the declared payload does (interrupted write on
 /// a filesystem without atomic rename, torn copy, …).
 class CheckpointTruncatedError : public CheckpointError {

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -260,9 +261,22 @@ void save_plan(const core::ExecutionPlan& plan, std::uint64_t key,
 
 core::ExecutionPlan load_plan(const std::string& path,
                               std::uint64_t expected_key) {
+  // "Missing" means the path genuinely holds nothing — a failed open (or
+  // a directory squatting on the path, which glibc lets ifstream open
+  // only to fail on the first read) while something exists there is
+  // "unreadable": the spill may still be recoverable, so the caller must
+  // not conclude the key was never spilled.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec))
+    throw CheckpointUnreadableError("plan store path is a directory: " +
+                                    path);
   std::ifstream f(path, std::ios::binary);
-  if (!f.good())
+  if (!f.good()) {
+    if (std::filesystem::exists(path, ec) && !ec)
+      throw CheckpointUnreadableError(
+          "plan store exists but cannot be opened: " + path);
     throw CheckpointMissingError("cannot open plan store: " + path);
+  }
   Header h;
   f.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (!f.good())

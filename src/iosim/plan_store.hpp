@@ -12,9 +12,10 @@
 /// plan. Writes are atomic (temp file + rename), loads validate every
 /// count before allocating and verify the checksum, and failures are the
 /// same typed errors the checkpoint reader throws
-/// (CheckpointMissingError / CheckpointTruncatedError /
-/// CheckpointCorruptError), so cache code distinguishes "never spilled"
-/// from "spill file damaged — recompute".
+/// (CheckpointMissingError / CheckpointUnreadableError /
+/// CheckpointTruncatedError / CheckpointCorruptError), so cache code
+/// distinguishes "never spilled" from "spill file present but unreadable
+/// — may recover later" from "spill file damaged — recompute".
 
 #include <cstdint>
 #include <string>
@@ -36,8 +37,9 @@ void save_plan(const core::ExecutionPlan& plan, std::uint64_t key,
 /// Read a plan back, verifying the checksum and that the stored
 /// fingerprint equals `expected_key` (a spill directory is keyed by
 /// fingerprint — a renamed or spliced file must not satisfy the wrong
-/// request). Throws CheckpointMissingError / CheckpointTruncatedError /
-/// CheckpointCorruptError.
+/// request). Throws CheckpointMissingError (nothing at `path`) /
+/// CheckpointUnreadableError (something at `path` that cannot be
+/// opened) / CheckpointTruncatedError / CheckpointCorruptError.
 core::ExecutionPlan load_plan(const std::string& path,
                               std::uint64_t expected_key);
 

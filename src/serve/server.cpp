@@ -8,6 +8,7 @@
 
 #include "core/perf_model.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -25,6 +26,8 @@ std::string to_string(OutcomeStatus status) {
     case OutcomeStatus::amend_applied: return "amend-applied";
     case OutcomeStatus::amend_replanned: return "amend-replanned";
     case OutcomeStatus::amend_invalid: return "amend-invalid";
+    case OutcomeStatus::timed_out: return "timed-out";
+    case OutcomeStatus::quarantined: return "quarantined";
   }
   return "?";
 }
@@ -41,6 +44,13 @@ CampaignServer::CampaignServer(topo::MachineParams machine,
                  "admission queue needs at least one slot");
   NESTWX_REQUIRE(options_.aging_rate >= 0.0,
                  "aging rate must be non-negative");
+  if (options_.resilience.active()) {
+    options_.resilience.plan.validate();
+    NESTWX_REQUIRE(options_.resilience.deadline >= 0.0,
+                   "deadline must be non-negative");
+    engine_ = std::make_shared<chaos::ChaosEngine>(options_.resilience);
+    cache_->set_engine(engine_);
+  }
 }
 
 CampaignServer CampaignServer::with_profiled_model(
@@ -59,10 +69,16 @@ struct Pending {
   std::uint64_t fingerprint = 0;
   std::uint64_t seq = 0;  ///< admission order, FIFO tie-break
   std::vector<std::size_t> followers;  ///< coalesced outcome indices
+  /// Set when the campaign ran past the request's deadline: the
+  /// completion event fires at the clamped deadline instant and retires
+  /// the request as timed_out instead of completed.
+  bool deadline_abort = false;
 };
 
+enum class EventKind { arrival, completion, retry };
+
 struct EventRef {
-  bool completion = false;
+  EventKind kind = EventKind::arrival;
   std::size_t outcome = 0;
 };
 
@@ -94,25 +110,107 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
   util::EventQueue<EventRef> events;
   for (std::size_t i = 0; i < report.outcomes.size(); ++i)
     events.push(report.outcomes[i].request.arrival, kArrivalTier,
-                EventRef{false, i});
+                EventRef{EventKind::arrival, i});
 
   std::vector<Pending> queued;
+  /// Admitted requests parked between a transient execute fault and
+  /// their backoff-scheduled retry. Still dedup targets, immune to
+  /// eviction (admission was already paid).
+  std::vector<Pending> parked;
   std::optional<Pending> serving;
   std::uint64_t next_seq = 0;
   ServeMetrics& m = report.metrics;
   std::vector<double> waits;
+
+  // Each drain gets its own incident stream; engine rule budgets and
+  // breaker state persist across drains like the cache does.
+  std::size_t breaker_transitions_before = 0;
+  if (engine_) {
+    engine_->log().clear();
+    engine_->set_now(0.0);
+    breaker_transitions_before = engine_->spill_breaker().transitions().size();
+  }
 
   const auto effective = [&](const Pending& p, double now) {
     const Request& r = report.outcomes[p.outcome].request;
     return r.priority + options_.aging_rate * (now - r.arrival);
   };
 
+  // Retire a request (and every coalesced follower) without serving it:
+  // deadline timeouts caught before service, poison-request quarantine.
+  const auto fail_request = [&](Pending p, OutcomeStatus status,
+                                const std::string& detail,
+                                std::size_t& counter) {
+    RequestOutcome& out = report.outcomes[p.outcome];
+    out.status = status;
+    out.detail = detail;
+    ++counter;
+    for (std::size_t follower_index : p.followers) {
+      RequestOutcome& follower = report.outcomes[follower_index];
+      follower.status = status;
+      follower.detail = "shared " + out.request.id;
+      ++counter;
+    }
+  };
+
   // Serve one campaign: build the ensemble from the request's scalars and
   // run it through the shared scheduler/cache. Sequential in virtual time
-  // (one machine); parallel on the host inside the campaign.
+  // (one machine); parallel on the host inside the campaign. Under active
+  // policies the executor boundary runs first: the request can time out,
+  // be parked for a backoff retry, or be quarantined — all without
+  // occupying the machine.
   const auto start_service = [&](Pending p) {
     RequestOutcome& out = report.outcomes[p.outcome];
     const Request& r = out.request;
+    const double deadline = engine_ ? engine_->policies().deadline : 0.0;
+    const double deadline_at = r.arrival + deadline;
+    if (deadline > 0.0 && clock.now() >= deadline_at) {
+      engine_->log().record({clock.now(), chaos::Site::execute, "timeout",
+                             r.id, out.attempts,
+                             "deadline exceeded before service"});
+      fail_request(std::move(p), OutcomeStatus::timed_out,
+                   "deadline exceeded before service", m.timeouts);
+      return;
+    }
+    double extra_delay = 0.0;
+    if (engine_) {
+      const util::RetryPolicy& retry = engine_->policies().retry;
+      const int attempt = ++out.attempts;
+      const chaos::FaultDecision d = engine_->injector().consult(
+          chaos::Site::execute, r.id, attempt);
+      if (d.faulted) {
+        engine_->log().record(
+            {clock.now(), chaos::Site::execute,
+             "inject-" + chaos::to_string(d.kind), r.id, attempt, d.rule});
+        if (d.kind == chaos::FaultKind::slow ||
+            d.kind == chaos::FaultKind::stall) {
+          extra_delay = d.delay;  // the execution lands, late
+        } else if (d.kind == chaos::FaultKind::transient &&
+                   retry.allows_retry(attempt)) {
+          const double backoff = retry.backoff_before(
+              attempt + 1, util::fnv1a(r.id.data(), r.id.size()));
+          ++m.retries;
+          engine_->log().record({clock.now(), chaos::Site::execute, "retry",
+                                 r.id, attempt,
+                                 "backoff " + util::json_num(backoff) + "s (" +
+                                     d.rule + ")"});
+          events.push(clock.now() + backoff, kArrivalTier,
+                      EventRef{EventKind::retry, p.outcome});
+          parked.push_back(std::move(p));
+          return;
+        } else {
+          // Permanent fault, corrupt execution, or retry budget spent:
+          // poison — quarantine instead of wedging the drain loop.
+          engine_->log().record({clock.now(), chaos::Site::execute,
+                                 "quarantine", r.id, attempt, d.rule});
+          fail_request(std::move(p), OutcomeStatus::quarantined,
+                       "quarantined after " + std::to_string(attempt) +
+                           " attempt(s)",
+                       m.quarantined);
+          return;
+        }
+      }
+    }
     campaign::CampaignOptions copt;
     copt.threads = options_.threads;
     copt.sharing = r.sharing;
@@ -136,26 +234,41 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
     const campaign::CampaignReport rep = scheduler_.run(members, copt);
     out.start = clock.now();
     out.queue_wait = clock.now() - r.arrival;
-    out.service_seconds = rep.metrics.makespan;
+    out.service_seconds = rep.metrics.makespan + extra_delay;
     out.finish = clock.now() + out.service_seconds;
-    out.campaign = rep.metrics;
-    out.executed = true;
+    if (deadline > 0.0 && out.finish > deadline_at) {
+      // Ran (or stalled) past the deadline: the executor abandons the
+      // request at the deadline instant — the machine frees there, the
+      // campaign result is discarded, and completion retires the request
+      // as timed_out.
+      p.deadline_abort = true;
+      out.finish = deadline_at;
+      out.service_seconds = out.finish - out.start;
+    } else {
+      out.campaign = rep.metrics;
+      out.executed = true;
+    }
     m.busy_seconds += out.service_seconds;
-    events.push(out.finish, kCompletionTier, EventRef{true, p.outcome});
+    events.push(out.finish, kCompletionTier,
+                EventRef{EventKind::completion, p.outcome});
     serving = std::move(p);
   };
 
   const auto start_next = [&] {
-    if (serving.has_value() || queued.empty()) return;
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < queued.size(); ++i) {
-      const double a = effective(queued[i], clock.now());
-      const double b = effective(queued[best], clock.now());
-      if (a > b || (a == b && queued[i].seq < queued[best].seq)) best = i;
+    // start_service may dispose of the picked request without occupying
+    // the machine (timeout / quarantine / parked retry) — keep picking
+    // until something actually serves or the queue empties.
+    while (!serving.has_value() && !queued.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < queued.size(); ++i) {
+        const double a = effective(queued[i], clock.now());
+        const double b = effective(queued[best], clock.now());
+        if (a > b || (a == b && queued[i].seq < queued[best].seq)) best = i;
+      }
+      Pending p = std::move(queued[best]);
+      queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(best));
+      start_service(std::move(p));
     }
-    Pending p = std::move(queued[best]);
-    queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(best));
-    start_service(std::move(p));
   };
 
   const auto handle_submit = [&](std::size_t index) {
@@ -167,6 +280,12 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
       return;
     }
     for (Pending& p : queued) {
+      if (p.fingerprint == out.fingerprint) {
+        p.followers.push_back(index);
+        return;
+      }
+    }
+    for (Pending& p : parked) {
       if (p.fingerprint == out.fingerprint) {
         p.followers.push_back(index);
         return;
@@ -268,7 +387,8 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
     const std::size_t synth_index = report.outcomes.size();
     report.outcomes.push_back(std::move(synth));
     by_id.emplace(replan.id, synth_index);
-    events.push(clock.now(), kArrivalTier, EventRef{false, synth_index});
+    events.push(clock.now(), kArrivalTier,
+                EventRef{EventKind::arrival, synth_index});
     // push_back may have reallocated: `out` and `target` are dead here.
     RequestOutcome& amend_out = report.outcomes[index];
     amend_out.status = OutcomeStatus::amend_replanned;
@@ -279,6 +399,17 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
   const auto complete = [&] {
     NESTWX_ASSERT(serving.has_value(), "completion event with idle server");
     RequestOutcome& primary = report.outcomes[serving->outcome];
+    if (serving->deadline_abort) {
+      engine_->log().record({clock.now(), chaos::Site::execute, "timeout",
+                             primary.request.id, primary.attempts,
+                             "deadline exceeded mid-service; "
+                             "execution abandoned"});
+      fail_request(std::move(*serving), OutcomeStatus::timed_out,
+                   "deadline exceeded mid-service", m.timeouts);
+      m.drain_makespan = clock.now();
+      serving.reset();
+      return;
+    }
     primary.status = OutcomeStatus::completed;
     ++m.completed;
     waits.push_back(primary.queue_wait);
@@ -302,29 +433,77 @@ ServeReport CampaignServer::execute(std::span<const Request> requests) {
   while (!events.empty()) {
     const auto event = events.pop();
     clock.advance_to(event.time);
-    if (event.payload.completion) {
-      complete();
-    } else {
-      const RequestOutcome& out = report.outcomes[event.payload.outcome];
-      if (out.request.kind == RequestKind::submit)
-        handle_submit(event.payload.outcome);
-      else
-        handle_amend(event.payload.outcome);
+    // Publish virtual time before handling: boundaries reached from
+    // campaign worker threads during this event stamp incidents with it.
+    if (engine_) engine_->set_now(clock.now());
+    switch (event.payload.kind) {
+      case EventKind::completion:
+        complete();
+        break;
+      case EventKind::retry:
+        // Backoff elapsed: the parked request rejoins the queue (it
+        // keeps its admission seq — no second admission fight) and
+        // competes on aged priority like everyone else.
+        for (std::size_t i = 0; i < parked.size(); ++i) {
+          if (parked[i].outcome != event.payload.outcome) continue;
+          queued.push_back(std::move(parked[i]));
+          parked.erase(parked.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        break;
+      case EventKind::arrival: {
+        const RequestOutcome& out = report.outcomes[event.payload.outcome];
+        if (out.request.kind == RequestKind::submit)
+          handle_submit(event.payload.outcome);
+        else
+          handle_amend(event.payload.outcome);
+        break;
+      }
     }
     start_next();
   }
-  NESTWX_ASSERT(!serving.has_value() && queued.empty(),
+  NESTWX_ASSERT(!serving.has_value() && queued.empty() && parked.empty(),
                 "drain left work behind");
 
   m.utilization =
       m.drain_makespan > 0.0 ? m.busy_seconds / m.drain_makespan : 0.0;
-  m.wait_mean = util::mean(waits);
-  m.wait_p50 = util::percentile(waits, 50.0);
-  m.wait_p99 = util::percentile(waits, 99.0);
+  // A fully degraded drain (everything timed out / quarantined /
+  // rejected) serves nothing; the wait distribution is then identically
+  // zero rather than a precondition failure.
+  if (!waits.empty()) {
+    m.wait_mean = util::mean(waits);
+    m.wait_p50 = util::percentile(waits, 50.0);
+    m.wait_p99 = util::percentile(waits, 99.0);
+  }
   const double served = static_cast<double>(m.completed + m.coalesced);
   m.sustained_per_hour =
       m.drain_makespan > 0.0 ? served * 3600.0 / m.drain_makespan : 0.0;
   report.cache = cache_->sharded_stats();
+
+  if (engine_) {
+    report.incidents = engine_->log().sorted();
+    // Merge this drain's breaker transitions as incidents (the breaker
+    // itself persists across drains, so only the new tail belongs here).
+    const auto transitions = engine_->spill_breaker().transitions();
+    for (std::size_t i = breaker_transitions_before; i < transitions.size();
+         ++i) {
+      const auto& t = transitions[i];
+      std::string kind = "breaker-half-open";
+      if (t.to == chaos::BreakerState::open) {
+        kind = "breaker-open";
+        ++m.breaker_trips;
+      } else if (t.to == chaos::BreakerState::closed) {
+        kind = "breaker-close";
+        ++m.breaker_closes;
+      }
+      report.incidents.push_back({t.time, chaos::Site::store_spill, kind,
+                                  "spill-breaker", 0,
+                                  "from " + chaos::to_string(t.from)});
+    }
+    chaos::sort_incidents(report.incidents);
+    for (const chaos::Incident& incident : report.incidents)
+      if (incident.kind.rfind("inject-", 0) == 0) ++m.faults_injected;
+  }
   return report;
 }
 
@@ -392,7 +571,8 @@ std::string outcome_to_json(const RequestOutcome& o) {
      << ", \"start\": " << json_num(o.start)
      << ", \"finish\": " << json_num(o.finish)
      << ", \"queue_wait\": " << json_num(o.queue_wait)
-     << ", \"service_seconds\": " << json_num(o.service_seconds);
+     << ", \"service_seconds\": " << json_num(o.service_seconds)
+     << ", \"attempts\": " << o.attempts;
   if (o.executed) {
     const campaign::CampaignMetrics& c = o.campaign;
     os << ", \"campaign\": {\"members\": " << c.members
@@ -460,6 +640,10 @@ std::string report_to_json(const ServeReport& report,
   os << "    \"spills\": " << c.spills << ",\n";
   os << "    \"reloads\": " << c.reloads << ",\n";
   os << "    \"spill_failures\": " << c.spill_failures << ",\n";
+  os << "    \"reload_failures\": " << c.reload_failures << ",\n";
+  os << "    \"spill_write_failures\": " << c.spill_write_failures << ",\n";
+  os << "    \"spill_skips\": " << c.spill_skips << ",\n";
+  os << "    \"cache_bypasses\": " << c.cache_bypasses << ",\n";
   os << "    \"size\": " << c.total.size << ",\n";
   os << "    \"capacity\": " << c.total.capacity << ",\n";
   os << "    \"shards\": [\n";
@@ -469,6 +653,28 @@ std::string report_to_json(const ServeReport& report,
        << ", \"evictions\": " << s.evictions << ", \"size\": " << s.size
        << "}" << (i + 1 < c.shards.size() ? "," : "") << "\n";
   }
+  os << "    ]\n";
+  os << "  },\n";
+  // Unconditional so the report shape never depends on whether chaos was
+  // on: an inactive drain shows zeroed policies and an empty incident
+  // array.
+  const chaos::RecoveryPolicies& rp = options.resilience;
+  os << "  \"resilience\": {\n";
+  os << "    \"deadline\": " << json_num(rp.deadline) << ",\n";
+  os << "    \"retry_max_attempts\": " << rp.retry.max_attempts << ",\n";
+  os << "    \"chaos\": " << json_quote(rp.plan.to_string()) << ",\n";
+  os << "    \"policy_fingerprint\": " << json_quote(json_hex(rp.fingerprint()))
+     << ",\n";
+  os << "    \"retries\": " << m.retries << ",\n";
+  os << "    \"timeouts\": " << m.timeouts << ",\n";
+  os << "    \"quarantined\": " << m.quarantined << ",\n";
+  os << "    \"faults_injected\": " << m.faults_injected << ",\n";
+  os << "    \"breaker_trips\": " << m.breaker_trips << ",\n";
+  os << "    \"breaker_closes\": " << m.breaker_closes << ",\n";
+  os << "    \"incidents\": [\n";
+  for (std::size_t i = 0; i < report.incidents.size(); ++i)
+    os << "      " << chaos::incident_to_json(report.incidents[i])
+       << (i + 1 < report.incidents.size() ? "," : "") << "\n";
   os << "    ]\n";
   os << "  }\n";
   os << "}\n";

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "chaos/engine.hpp"
+#include "chaos/incident.hpp"
 #include "serve/request.hpp"
 #include "serve/sharded_cache.hpp"
 #include "topo/machine.hpp"
@@ -60,6 +62,10 @@ struct ServeOptions {
   double aging_rate = 0.0;
   ShardedPlanCache::Options cache;
   wrfsim::RunOptions run;  ///< per-member run options for every campaign
+  /// Chaos injection + recovery policies (retry budget, spill breaker,
+  /// per-request deadline). Inactive by default: with no faults, no
+  /// retries and no deadline the executor runs the exact pre-chaos paths.
+  chaos::RecoveryPolicies resilience;
 };
 
 /// Terminal status of one request.
@@ -70,7 +76,9 @@ enum class OutcomeStatus {
   evicted,         ///< was queued, displaced by a higher-priority arrival
   amend_applied,   ///< amend spliced into its queued target
   amend_replanned, ///< amend synthesised an incremental re-plan request
-  amend_invalid    ///< amend target unknown or delta infeasible
+  amend_invalid,   ///< amend target unknown or delta infeasible
+  timed_out,       ///< missed its deadline (queued or mid-service)
+  quarantined      ///< poison request: retries exhausted or permanent fault
 };
 
 std::string to_string(OutcomeStatus status);
@@ -88,6 +96,9 @@ struct RequestOutcome {
   double finish = -1.0;   ///< response time (virtual s; -1 = never served)
   double queue_wait = -1.0;
   double service_seconds = 0.0;  ///< campaign makespan (primaries only)
+  /// Execution attempts consumed at the execute boundary (0 when the
+  /// request never reached the executor; >1 means chaos retries).
+  int attempts = 0;
   bool executed = false;  ///< true for completed primaries
   campaign::CampaignMetrics campaign;  ///< valid when executed
 };
@@ -111,12 +122,24 @@ struct ServeMetrics {
   double wait_p99 = 0.0;
   /// Served requests per virtual hour of drain.
   double sustained_per_hour = 0.0;
+  // --- Chaos/recovery counters (all zero with inactive policies) ---
+  std::size_t retries = 0;       ///< execute attempts re-scheduled (backoff)
+  std::size_t timeouts = 0;      ///< requests past their deadline
+  std::size_t quarantined = 0;   ///< poison requests (incl. followers)
+  std::size_t faults_injected = 0;  ///< inject-* incidents this drain
+  std::size_t breaker_trips = 0;    ///< spill breaker closed→open this drain
+  std::size_t breaker_closes = 0;   ///< spill breaker →closed this drain
 };
 
 struct ServeReport {
   std::vector<RequestOutcome> outcomes;  ///< input order, then synthesised
   ServeMetrics metrics;
   ShardedCacheStats cache;
+  /// Canonically sorted incident log for this drain: every injected
+  /// fault, retry, timeout, quarantine and breaker transition, in virtual
+  /// time — deterministic at any host thread count (same shape as the
+  /// resilience layer's incident log).
+  std::vector<chaos::Incident> incidents;
 };
 
 /// The executor. One instance serves one machine and keeps its sharded
@@ -142,11 +165,16 @@ class CampaignServer {
   const topo::MachineParams& machine() const { return machine_; }
   const ServeOptions& options() const { return options_; }
   ShardedPlanCache& cache() { return *cache_; }
+  /// The chaos/recovery engine, created iff options.resilience.active().
+  /// Shared so the daemon can hand the same engine to its Spool — one
+  /// rule-budget stream across every boundary. Null when inactive.
+  std::shared_ptr<chaos::ChaosEngine> engine() const { return engine_; }
 
  private:
   topo::MachineParams machine_;
   ServeOptions options_;
   std::shared_ptr<ShardedPlanCache> cache_;
+  std::shared_ptr<chaos::ChaosEngine> engine_;  ///< null = chaos off
   campaign::CampaignScheduler scheduler_;
 };
 

@@ -5,11 +5,20 @@
 #include "iosim/plan_store.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/json.hpp"
 #include "util/mutex.hpp"
 
 namespace nestwx::serve {
 
 using util::MutexLock;
+
+namespace {
+
+std::string inject_kind(const chaos::FaultDecision& d) {
+  return std::string("inject-") + chaos::to_string(d.kind);
+}
+
+}  // namespace
 
 ShardedPlanCache::ShardedPlanCache(Options options)
     : options_(std::move(options)) {
@@ -26,6 +35,11 @@ ShardedPlanCache::ShardedPlanCache(Options options)
   }
 }
 
+void ShardedPlanCache::set_engine(
+    std::shared_ptr<chaos::ChaosEngine> engine) {
+  engine_ = std::move(engine);
+}
+
 std::size_t ShardedPlanCache::shard_of(std::uint64_t key) const {
   // Rehash before the modulo: plan fingerprints are FNV digests already,
   // but folding the bytes again decorrelates the low bits from any
@@ -37,6 +51,38 @@ std::size_t ShardedPlanCache::shard_of(std::uint64_t key) const {
 ShardedPlanCache::PlanPtr ShardedPlanCache::get_or_compute(
     std::uint64_t key, std::uint64_t stamp, const Compute& compute) {
   campaign::PlanCache& shard = *shards_[shard_of(key)];
+  const std::string subject = util::json_hex(key);
+
+  // Shard-access faults fire before the shard is touched at all. A
+  // transient fault retries within the attempt budget; a permanent fault
+  // (or an exhausted budget) degrades gracefully: the plan is computed
+  // directly and handed back uncached, so the request still succeeds and
+  // the cache simply misses its chance to help.
+  if (engine_) {
+    const util::RetryPolicy& retry = engine_->policies().retry;
+    for (int attempt = 1;; ++attempt) {
+      const chaos::FaultDecision d =
+          engine_->injector().consult(chaos::Site::cache_shard, subject,
+                                      attempt);
+      if (!d.faulted) break;
+      engine_->log().record({engine_->now(), chaos::Site::cache_shard,
+                             inject_kind(d), subject, attempt, d.rule});
+      if (d.kind == chaos::FaultKind::slow ||
+          d.kind == chaos::FaultKind::stall)
+        break;  // latency faults don't block a cache lookup
+      if (d.kind == chaos::FaultKind::transient && retry.allows_retry(attempt))
+        continue;
+      engine_->log().record({engine_->now(), chaos::Site::cache_shard,
+                             "cache-bypass", subject, attempt,
+                             "degraded to direct compute"});
+      {
+        MutexLock lock(mu_);
+        ++cache_bypasses_;
+      }
+      return std::make_shared<core::ExecutionPlan>(compute());
+    }
+  }
+
   if (options_.spill_dir.empty())
     return shard.get_or_compute(key, stamp, compute);
   // Wrap the compute with a disk-tier probe. The probe runs inside the
@@ -46,22 +92,71 @@ ShardedPlanCache::PlanPtr ShardedPlanCache::get_or_compute(
   const std::string path =
       iosim::plan_store_path(options_.spill_dir, key);
   auto probe_then_compute = [&]() -> core::ExecutionPlan {
-    try {
-      core::ExecutionPlan plan = iosim::load_plan(path, key);
-      MutexLock lock(mu_);
-      ++reloads_;
-      return plan;
-    } catch (const iosim::CheckpointMissingError&) {
-      // Never spilled (or already consumed): plain miss.
-    } catch (const iosim::CheckpointError&) {
-      // Damaged spill file: count it, drop it, recompute. The disk tier
-      // must never turn corruption into a wrong plan or a failed request.
-      {
-        MutexLock lock(mu_);
-        ++spill_failures_;
+    bool probe = true;
+    if (engine_) {
+      const util::RetryPolicy& retry = engine_->policies().retry;
+      for (int attempt = 1;; ++attempt) {
+        const chaos::FaultDecision d = engine_->injector().consult(
+            chaos::Site::store_reload, subject, attempt);
+        if (!d.faulted) break;
+        engine_->log().record({engine_->now(), chaos::Site::store_reload,
+                               inject_kind(d), subject, attempt, d.rule});
+        if (d.kind == chaos::FaultKind::slow ||
+            d.kind == chaos::FaultKind::stall)
+          break;
+        if (d.kind == chaos::FaultKind::corrupt) {
+          // Injected damage behaves exactly like real damage: count,
+          // drop the file, recompute.
+          {
+            MutexLock lock(mu_);
+            ++spill_failures_;
+          }
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+          probe = false;
+          break;
+        }
+        if (d.kind == chaos::FaultKind::transient &&
+            retry.allows_retry(attempt))
+          continue;
+        // Permanent (or retry budget spent): the file may be fine, so it
+        // stays on disk, but this miss recomputes.
+        engine_->log().record({engine_->now(), chaos::Site::store_reload,
+                               "reload-failed", subject, attempt,
+                               "recomputed; spill file kept"});
+        {
+          MutexLock lock(mu_);
+          ++reload_failures_;
+        }
+        probe = false;
+        break;
       }
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
+    }
+    if (probe) {
+      try {
+        core::ExecutionPlan plan = iosim::load_plan(path, key);
+        MutexLock lock(mu_);
+        ++reloads_;
+        return plan;
+      } catch (const iosim::CheckpointMissingError&) {
+        // Never spilled (or already consumed): plain miss.
+      } catch (const iosim::CheckpointUnreadableError&) {
+        // Present but unopenable. The bytes may still be intact, so the
+        // file stays put (unlike damage) — but the miss is recorded as a
+        // reload failure, not hidden as "never spilled".
+        MutexLock lock(mu_);
+        ++reload_failures_;
+      } catch (const iosim::CheckpointError&) {
+        // Damaged spill file: count it, drop it, recompute. The disk tier
+        // must never turn corruption into a wrong plan or a failed
+        // request.
+        {
+          MutexLock lock(mu_);
+          ++spill_failures_;
+        }
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+      }
     }
     return compute();
   };
@@ -93,13 +188,102 @@ std::size_t ShardedPlanCache::trim() {
     evicted += victims.size();
     if (options_.spill_dir.empty()) continue;
     for (const auto& [key, plan] : victims) {
-      iosim::save_plan(*plan,
-                       key, iosim::plan_store_path(options_.spill_dir, key));
-      MutexLock lock(mu_);
-      ++spills_;
+      const std::string path =
+          iosim::plan_store_path(options_.spill_dir, key);
+      if (engine_) {
+        spill_with_policies(key, *plan, path);
+      } else {
+        iosim::save_plan(*plan, key, path);
+        MutexLock lock(mu_);
+        ++spills_;
+      }
     }
   }
   return evicted;
+}
+
+void ShardedPlanCache::spill_with_policies(std::uint64_t key,
+                                           const core::ExecutionPlan& plan,
+                                           const std::string& path) {
+  const std::string subject = util::json_hex(key);
+  const double now = engine_->now();
+  chaos::CircuitBreaker& breaker = engine_->spill_breaker();
+  if (!breaker.allow(now)) {
+    // Breaker open: the cache degrades to memory-only for this victim —
+    // the plan is simply dropped, to be recomputed on a future miss,
+    // instead of hammering a disk that keeps failing.
+    engine_->log().record({now, chaos::Site::store_spill, "spill-skip",
+                           subject, 0, "breaker open"});
+    MutexLock lock(mu_);
+    ++spill_skips_;
+    return;
+  }
+  const util::RetryPolicy& retry = engine_->policies().retry;
+  for (int attempt = 1;; ++attempt) {
+    const chaos::FaultDecision d = engine_->injector().consult(
+        chaos::Site::store_spill, subject, attempt);
+    bool wrote = false;
+    bool fault_terminal = false;
+    if (d.faulted) {
+      engine_->log().record({now, chaos::Site::store_spill, inject_kind(d),
+                             subject, attempt, d.rule});
+      switch (d.kind) {
+        case chaos::FaultKind::slow:
+        case chaos::FaultKind::stall:
+          // Latency only; the write itself lands.
+          break;
+        case chaos::FaultKind::corrupt: {
+          // The write "succeeds" but the bytes on disk are torn: spill
+          // the real plan, then truncate the tail so a future reload
+          // sees exactly the damage the hardened loader is built for.
+          iosim::save_plan(plan, key, path);
+          std::error_code ec;
+          const auto size = std::filesystem::file_size(path, ec);
+          if (!ec && size > 0)
+            std::filesystem::resize_file(path, size - 1, ec);
+          wrote = true;
+          break;
+        }
+        case chaos::FaultKind::transient:
+          fault_terminal = !retry.allows_retry(attempt);
+          break;
+        case chaos::FaultKind::permanent:
+          fault_terminal = true;
+          break;
+      }
+      if (d.kind == chaos::FaultKind::transient && !fault_terminal)
+        continue;  // retry the write within budget
+    }
+    if (!d.faulted || d.kind == chaos::FaultKind::slow ||
+        d.kind == chaos::FaultKind::stall) {
+      try {
+        iosim::save_plan(plan, key, path);
+        wrote = true;
+      } catch (const iosim::CheckpointError&) {
+        if (retry.allows_retry(attempt)) continue;
+        fault_terminal = true;
+      }
+    }
+    if (wrote) {
+      breaker.record_success(now);
+      MutexLock lock(mu_);
+      ++spills_;
+      return;
+    }
+    if (fault_terminal) {
+      // All attempts spent (or a permanent fault): abandon this spill.
+      // The entry is lost from the disk tier — a recompute, never a
+      // wrong answer — and the breaker hears about it.
+      engine_->log().record({now, chaos::Site::store_spill,
+                             "spill-abandoned", subject, attempt,
+                             "write abandoned after " +
+                                 std::to_string(attempt) + " attempt(s)"});
+      breaker.record_failure(now);
+      MutexLock lock(mu_);
+      ++spill_write_failures_;
+      return;
+    }
+  }
 }
 
 campaign::PlanCacheStats ShardedPlanCache::stats() const {
@@ -123,6 +307,10 @@ void ShardedPlanCache::clear() {
   spills_ = 0;
   reloads_ = 0;
   spill_failures_ = 0;
+  reload_failures_ = 0;
+  spill_skips_ = 0;
+  spill_write_failures_ = 0;
+  cache_bypasses_ = 0;
 }
 
 ShardedCacheStats ShardedPlanCache::sharded_stats() const {
@@ -134,6 +322,10 @@ ShardedCacheStats ShardedPlanCache::sharded_stats() const {
   out.spills = spills_;
   out.reloads = reloads_;
   out.spill_failures = spill_failures_;
+  out.reload_failures = reload_failures_;
+  out.spill_skips = spill_skips_;
+  out.spill_write_failures = spill_write_failures_;
+  out.cache_bypasses = cache_bypasses_;
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "campaign/plan_cache.hpp"
+#include "chaos/engine.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -44,6 +45,13 @@ struct ShardedCacheStats {
   std::size_t spills = 0;          ///< evicted plans written to disk
   std::size_t reloads = 0;         ///< misses satisfied from disk
   std::size_t spill_failures = 0;  ///< damaged spill files (recomputed)
+  /// Spill files present but unopenable (CheckpointUnreadableError):
+  /// recomputed like damage, but the file is left in place — it may
+  /// recover, and "unreadable" must never masquerade as "never spilled".
+  std::size_t reload_failures = 0;
+  std::size_t spill_skips = 0;  ///< spills short-circuited by an open breaker
+  std::size_t spill_write_failures = 0;  ///< spills abandoned after retries
+  std::size_t cache_bypasses = 0;  ///< accesses degraded to direct compute
 };
 
 class ShardedPlanCache : public campaign::PlanCacheBase {
@@ -72,17 +80,36 @@ class ShardedPlanCache : public campaign::PlanCacheBase {
   ShardedCacheStats sharded_stats() const;
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Attach the service's chaos/recovery engine: injected faults at the
+  /// store_spill / store_reload / cache_shard sites, retry-bounded
+  /// recovery, and the circuit breaker that degrades the spill tier to
+  /// memory-only while the disk misbehaves. nullptr detaches (the exact
+  /// pre-chaos paths run).
+  void set_engine(std::shared_ptr<chaos::ChaosEngine> engine);
+
   /// Which shard `key` routes to (exposed so tests can target shards).
   std::size_t shard_of(std::uint64_t key) const;
 
  private:
+  /// Spill one evicted plan under the attached engine: breaker-gated,
+  /// fault-injected, retry-bounded. Called from trim() (quiescent,
+  /// sequential), so the injector's global rule budgets apply safely.
+  void spill_with_policies(std::uint64_t key,
+                           const core::ExecutionPlan& plan,
+                           const std::string& path);
+
   Options options_;
   std::vector<std::unique_ptr<campaign::PlanCache>> shards_;
+  std::shared_ptr<chaos::ChaosEngine> engine_;  ///< null = chaos off
   mutable util::Mutex mu_;  ///< stamp counter + disk-tier counters
   std::uint64_t next_stamp_ NESTWX_GUARDED_BY(mu_) = 0;
   std::size_t spills_ NESTWX_GUARDED_BY(mu_) = 0;
   std::size_t reloads_ NESTWX_GUARDED_BY(mu_) = 0;
   std::size_t spill_failures_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t reload_failures_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t spill_skips_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t spill_write_failures_ NESTWX_GUARDED_BY(mu_) = 0;
+  std::size_t cache_bypasses_ NESTWX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nestwx::serve

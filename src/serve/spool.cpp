@@ -79,6 +79,30 @@ std::string Spool::submit(const std::string& dir, const std::string& name,
   return path.string();
 }
 
+std::string Spool::submit(const std::string& name, const std::string& text) {
+  if (engine_) {
+    const util::RetryPolicy& retry = engine_->policies().retry;
+    for (int attempt = 1;; ++attempt) {
+      const chaos::FaultDecision d = engine_->injector().consult(
+          chaos::Site::spool_submit, name, attempt);
+      if (!d.faulted || d.kind == chaos::FaultKind::slow ||
+          d.kind == chaos::FaultKind::stall)
+        break;  // latency faults don't block a local file write
+      if (d.kind == chaos::FaultKind::transient && retry.allows_retry(attempt)) {
+        ++chaos_.submit_retries;
+        continue;
+      }
+      throw SpoolError("submit of \"" + name + "\" failed (chaos rule " +
+                       d.rule + ", attempt " + std::to_string(attempt) + ")");
+    }
+  }
+  return submit(dir_, name, text);
+}
+
+void Spool::set_engine(std::shared_ptr<chaos::ChaosEngine> engine) {
+  engine_ = std::move(engine);
+}
+
 std::size_t Spool::recover() {
   std::vector<fs::path> claimed;
   for (const auto& entry : fs::directory_iterator(dir_)) {
@@ -112,6 +136,34 @@ std::vector<ClaimedRequest> Spool::claim_pending() {
     claimed.name = path.filename().string();
     claimed.name.resize(claimed.name.size() -
                         std::string(kReqSuffix).size());
+    bool scramble = false;
+    if (engine_) {
+      const util::RetryPolicy& retry = engine_->policies().retry;
+      const int attempt = ++claim_attempts_[claimed.name];
+      const chaos::FaultDecision d = engine_->injector().consult(
+          chaos::Site::spool_claim, claimed.name, attempt);
+      if (d.faulted && d.kind == chaos::FaultKind::corrupt) {
+        scramble = true;
+      } else if (d.faulted && d.kind != chaos::FaultKind::slow &&
+                 d.kind != chaos::FaultKind::stall) {
+        if (d.kind == chaos::FaultKind::transient &&
+            retry.allows_retry(attempt)) {
+          // Defer: the file stays pending and the next pass retries it
+          // with the next attempt number.
+          ++chaos_.claim_deferrals;
+          continue;
+        }
+        // Permanent fault or budget spent: quarantine instead of letting
+        // the drain loop re-claim it forever.
+        const fs::path rejected = fs::path(dir_) / "rejected";
+        write_file_atomic(rejected / (claimed.name + ".error"),
+                          "quarantined at spool_claim (chaos rule " + d.rule +
+                              ", attempt " + std::to_string(attempt) + ")\n");
+        move_file(path, rejected / (claimed.name + kReqSuffix));
+        ++chaos_.quarantined;
+        continue;
+      }
+    }
     claimed.claimed_path = path.string() + ".claimed";
     // The claim itself: atomic rename. If another process claimed the
     // file between the scan and here, skip it — it is owned elsewhere.
@@ -119,19 +171,56 @@ std::vector<ClaimedRequest> Spool::claim_pending() {
     fs::rename(path, claimed.claimed_path, ec);
     if (ec) continue;
     claimed.text = read_file(claimed.claimed_path);
+    if (scramble) {
+      // A corrupt claim delivers garbage, not an error: the payload is
+      // scrambled so the request parser downstream rejects it through
+      // the normal malformed-request path.
+      claimed.text = "\x7f chaos-corrupted: " + claimed.text;
+      ++chaos_.corrupted;
+    }
     out.push_back(std::move(claimed));
   }
   return out;
 }
 
+void Spool::requeue(const ClaimedRequest& claimed) {
+  move_file(claimed.claimed_path,
+            fs::path(dir_) / (claimed.name + kReqSuffix));
+}
+
+void Spool::consult_retire(const std::string& name) {
+  if (!engine_) return;
+  const util::RetryPolicy& retry = engine_->policies().retry;
+  for (int attempt = 1;; ++attempt) {
+    const chaos::FaultDecision d = engine_->injector().consult(
+        chaos::Site::spool_retire, name, attempt);
+    if (!d.faulted || d.kind == chaos::FaultKind::slow ||
+        d.kind == chaos::FaultKind::stall)
+      return;
+    if (d.kind == chaos::FaultKind::transient && retry.allows_retry(attempt)) {
+      ++chaos_.retire_retries;
+      continue;
+    }
+    // Permanent, corrupt, or budget spent: the retirement is abandoned
+    // and the file stays claimed — byte-for-byte the crash shape that
+    // recover()/requeue() already re-queue safely.
+    ++chaos_.retire_failures;
+    throw SpoolError("retire of \"" + name + "\" failed (chaos rule " +
+                     d.rule + ", attempt " + std::to_string(attempt) +
+                     "); request stays claimed");
+  }
+}
+
 void Spool::complete(const ClaimedRequest& claimed,
                      const std::string& response_json) {
+  consult_retire(claimed.name);
   const fs::path done = fs::path(dir_) / "done";
   write_file_atomic(done / (claimed.name + ".json"), response_json);
   move_file(claimed.claimed_path, done / (claimed.name + kReqSuffix));
 }
 
 void Spool::reject(const ClaimedRequest& claimed, const std::string& reason) {
+  consult_retire(claimed.name);
   const fs::path rejected = fs::path(dir_) / "rejected";
   write_file_atomic(rejected / (claimed.name + ".error"), reason + "\n");
   move_file(claimed.claimed_path, rejected / (claimed.name + kReqSuffix));

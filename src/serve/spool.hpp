@@ -23,9 +23,12 @@
 /// deterministic for a fixed spool content.
 
 #include <cstddef>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/engine.hpp"
 #include "util/error.hpp"
 
 namespace nestwx::serve {
@@ -45,6 +48,19 @@ struct ClaimedRequest {
   std::string text;
 };
 
+/// What the spool's chaos boundaries did during a drain. Spool faults
+/// fire around the report (submission before it, retirement after the
+/// response JSON is already written), so these counters are surfaced on
+/// the daemon's stdout, never inside the byte-pinned report.
+struct SpoolChaosCounters {
+  std::size_t submit_retries = 0;    ///< transient submit faults absorbed
+  std::size_t claim_deferrals = 0;   ///< claims skipped, file left pending
+  std::size_t quarantined = 0;       ///< claims moved to rejected/ by policy
+  std::size_t corrupted = 0;         ///< payloads scrambled by corrupt faults
+  std::size_t retire_retries = 0;    ///< transient retire faults absorbed
+  std::size_t retire_failures = 0;   ///< retires abandoned (file stays claimed)
+};
+
 class Spool {
  public:
   /// Open (creating if needed) the spool at `dir`, with its done/ and
@@ -59,13 +75,40 @@ class Spool {
   static std::string submit(const std::string& dir, const std::string& name,
                             const std::string& text);
 
+  /// Instance submit: same write, but routed through the attached chaos
+  /// engine's spool_submit boundary — transient faults retry within the
+  /// policy budget, permanent faults (or an exhausted budget) throw
+  /// SpoolError with the deciding rule in the message.
+  std::string submit(const std::string& name, const std::string& text);
+
+  /// Attach the service's chaos/recovery engine; nullptr detaches (the
+  /// exact pre-chaos paths run). The spool consults the injector and the
+  /// retry policy only — it never writes the incident log, because its
+  /// retire boundary fires after the report JSON is already on disk.
+  void set_engine(std::shared_ptr<chaos::ChaosEngine> engine);
+
+  /// Chaos-boundary counters for this spool instance (stdout reporting).
+  const SpoolChaosCounters& chaos_counters() const { return chaos_; }
+
   /// Re-queue requests a crashed daemon left claimed: every
   /// `*.req.claimed` is renamed back to `*.req`. Returns how many were
   /// recovered.
   std::size_t recover();
 
+  /// Put one claimed request back in the pending queue under its
+  /// ORIGINAL name. The name is the submit-order key (claims are
+  /// lexicographic), so a re-queue — crash recovery, a deferred retry —
+  /// that minted a fresh name would silently reorder the next drain and
+  /// break report reproducibility.
+  void requeue(const ClaimedRequest& claimed);
+
   /// Claim every pending `*.req` in lexicographic name order and read it.
   /// Unreadable files throw SpoolError; content is not parsed here.
+  /// With an engine attached each claim passes the spool_claim boundary:
+  /// a transient fault defers the file (left pending for the next pass),
+  /// a permanent fault or exhausted budget quarantines it to rejected/,
+  /// and a corrupt fault claims it but scrambles the payload so the
+  /// parser downstream rejects it.
   std::vector<ClaimedRequest> claim_pending();
 
   /// Retire a claimed request as drained: move the request file to
@@ -81,7 +124,19 @@ class Spool {
   std::size_t pending() const;
 
  private:
+  /// Run the spool_retire boundary for `name` (complete and reject are
+  /// both retirements). Throws SpoolError on a terminal fault — the
+  /// request file then stays claimed, which is exactly the crash shape
+  /// recover()/requeue() already handle.
+  void consult_retire(const std::string& name);
+
   std::string dir_;
+  std::shared_ptr<chaos::ChaosEngine> engine_;  ///< null = chaos off
+  SpoolChaosCounters chaos_;
+  /// spool_claim attempts per request name: a deferred file is retried
+  /// on a later claim_pending() pass, and its budget must pick up where
+  /// it left off.
+  std::map<std::string, int> claim_attempts_;
 };
 
 }  // namespace nestwx::serve

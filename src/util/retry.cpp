@@ -1,0 +1,41 @@
+#include "util/retry.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nestwx::util {
+
+const char* to_string(RetryOutcome outcome) {
+  switch (outcome) {
+    case RetryOutcome::succeeded: return "succeeded";
+    case RetryOutcome::exhausted: return "exhausted";
+    case RetryOutcome::permanent: return "permanent";
+  }
+  return "?";
+}
+
+double RetryPolicy::backoff_before(int next_attempt,
+                                   std::uint64_t subject) const {
+  NESTWX_REQUIRE(next_attempt >= 2,
+                 "backoff applies from the second attempt on");
+  NESTWX_REQUIRE(base_backoff >= 0.0 && max_backoff >= 0.0,
+                 "backoff durations must be non-negative");
+  NESTWX_REQUIRE(jitter >= 0.0 && jitter < 1.0,
+                 "jitter fraction must lie in [0, 1)");
+  double backoff = base_backoff;
+  for (int attempt = 2; attempt < next_attempt && backoff < max_backoff;
+       ++attempt)
+    backoff *= multiplier;
+  if (backoff > max_backoff) backoff = max_backoff;
+  if (jitter == 0.0) return backoff;
+  // Stateless splitmix64 draw keyed by (seed, subject, attempt): the same
+  // retry always backs off by the same amount, whatever else retried in
+  // between.
+  std::uint64_t state = seed ^ (subject * 0x9E3779B97F4A7C15ULL) ^
+                        (static_cast<std::uint64_t>(next_attempt) << 32);
+  const std::uint64_t z = splitmix64(state);
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return backoff * (1.0 - jitter + 2.0 * jitter * u);
+}
+
+}  // namespace nestwx::util

@@ -1,0 +1,48 @@
+#pragma once
+/// \file retry.hpp
+/// Deterministic bounded-retry policy in virtual time.
+///
+/// Every side-effecting boundary the campaign service wraps (spool I/O,
+/// plan-store spill/reload, per-request execution) retries transient
+/// failures under one shared vocabulary: a bounded attempt budget and an
+/// exponential backoff whose jitter is *seeded*, so the schedule of a
+/// retried operation is a pure function of (policy, subject, attempt) —
+/// never of wall-clock time or host scheduling. Backoffs are virtual
+/// seconds: the serve tier's discrete-event loop advances its virtual
+/// clock past them instead of sleeping, which keeps chaos replays exact
+/// and byte-identical at any thread count.
+
+#include <cstdint>
+
+namespace nestwx::util {
+
+/// Typed terminal classification of a retried operation.
+enum class RetryOutcome {
+  succeeded,  ///< an attempt completed within the budget
+  exhausted,  ///< transient failures consumed every attempt
+  permanent   ///< a non-retryable failure ended the loop early
+};
+
+const char* to_string(RetryOutcome outcome);
+
+struct RetryPolicy {
+  int max_attempts = 1;        ///< total tries, >= 1 (1 = no retry)
+  double base_backoff = 5.0;   ///< virtual seconds before attempt 2
+  double multiplier = 2.0;     ///< geometric growth per further retry
+  double max_backoff = 60.0;   ///< backoff cap, virtual seconds
+  double jitter = 0.1;         ///< +/- fraction applied deterministically
+  std::uint64_t seed = 0;      ///< jitter stream seed
+
+  /// True while another attempt is allowed after `attempts` tries.
+  bool allows_retry(int attempts) const { return attempts < max_attempts; }
+
+  /// Virtual-seconds backoff before attempt `next_attempt` (>= 2) of the
+  /// operation identified by `subject` (any stable 64-bit digest of its
+  /// identity). Pure function of (policy, subject, next_attempt):
+  /// base_backoff * multiplier^(next_attempt - 2) capped at max_backoff,
+  /// then scaled by a factor in [1 - jitter, 1 + jitter) drawn from a
+  /// splitmix64 stream keyed by (seed, subject, next_attempt).
+  double backoff_before(int next_attempt, std::uint64_t subject) const;
+};
+
+}  // namespace nestwx::util

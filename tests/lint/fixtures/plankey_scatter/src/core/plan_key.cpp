@@ -1,0 +1,4 @@
+// Fixture mini-tree: the anchor manifest here is correct, but a second
+// manifest lives in another source file (src/policy/knobs.cpp) and drifts.
+// nestwx-lint: plan-key-fields(src/inputs.hpp:PlanInputs=3)
+int fixture_plan_key = 0;

@@ -1,0 +1,9 @@
+#pragma once
+// Fixture planning-input struct: exactly 3 data members.
+#include <string>
+
+struct PlanInputs {
+  std::string name;
+  int width = 2;
+  double aspect = 1.0;
+};

@@ -1,0 +1,5 @@
+// Fixture: a manifest owned by a subsystem file other than plan_key.cpp.
+// The count is stale (RetryKnobs has 3 fields), so the drift finding must
+// be attributed to THIS file, not the anchor.
+// nestwx-lint: plan-key-fields(src/policy/knobs.hpp:RetryKnobs=2)
+int fixture_policy_knobs = 0;

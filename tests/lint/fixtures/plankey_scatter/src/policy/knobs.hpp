@@ -1,0 +1,7 @@
+#pragma once
+
+struct RetryKnobs {
+  int max_attempts = 1;
+  double base_backoff = 5.0;
+  double multiplier = 2.0;
+};

@@ -1,0 +1,318 @@
+/// Chaos-layer semantics: script grammar round-trips, injector budget
+/// disciplines (global at ordered sites, per-subject at concurrent
+/// sites), seeded-mode statelessness, the spill circuit breaker's state
+/// machine, and the incident log's canonical deterministic order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/breaker.hpp"
+#include "chaos/chaos_plan.hpp"
+#include "chaos/engine.hpp"
+#include "chaos/incident.hpp"
+#include "chaos/injector.hpp"
+#include "util/error.hpp"
+
+namespace ch = nestwx::chaos;
+namespace u = nestwx::util;
+
+// --- Script grammar -----------------------------------------------------
+
+TEST(ChaosPlan, ParseToStringRoundTrips) {
+  const std::string script =
+      "execute:transient:req-0000:0;"
+      "execute:stall:req-0137:1:100000;"
+      "store_spill:transient:*:9";
+  const ch::ChaosPlan plan = ch::ChaosPlan::parse(script);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  // to_string always emits all five fields (canonical form)...
+  EXPECT_EQ(plan.to_string(),
+            "execute:transient:req-0000:0:0;"
+            "execute:stall:req-0137:1:100000;"
+            "store_spill:transient:*:9:0");
+  // ...and the canonical form parses back to the identical plan.
+  EXPECT_EQ(ch::ChaosPlan::parse(plan.to_string()).rules, plan.rules);
+}
+
+TEST(ChaosPlan, EmptyScriptIsTheInertPlan) {
+  const ch::ChaosPlan plan = ch::ChaosPlan::parse("");
+  EXPECT_TRUE(plan.rules.empty());
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "");
+}
+
+TEST(ChaosPlan, OmittedDelaysDefaultPerKind) {
+  EXPECT_EQ(ch::ChaosPlan::parse("execute:slow:*").rules[0].delay, 30.0);
+  EXPECT_EQ(ch::ChaosPlan::parse("execute:stall:*").rules[0].delay, 3600.0);
+  EXPECT_EQ(ch::ChaosPlan::parse("execute:transient:*").rules[0].delay, 0.0);
+}
+
+TEST(ChaosPlan, MalformedScriptsThrowTypedErrors) {
+  const auto reject = [](const std::string& script) {
+    EXPECT_THROW(ch::ChaosPlan::parse(script), u::PreconditionError)
+        << "accepted: " << script;
+  };
+  reject("execute:transient");              // too few fields
+  reject("execute:transient:*:0:0:extra");  // too many fields
+  reject("warp:transient:*");               // unknown site
+  reject("execute:gremlins:*");             // unknown kind
+  reject("execute:transient:*;");           // trailing empty rule
+  reject("execute:transient:*:x");          // non-numeric budget
+  reject("execute:transient:*:-1");         // negative budget
+  reject("execute:transient:*:0:5");        // delay on a non-latency kind
+  reject("execute:slow:*:0:-2");            // negative delay
+}
+
+TEST(ChaosPlan, FingerprintSeesEveryKnob) {
+  ch::ChaosPlan plan = ch::ChaosPlan::parse("execute:transient:*:1");
+  const std::uint64_t base = plan.fingerprint();
+  ch::ChaosPlan other = plan;
+  other.seed = 1;
+  EXPECT_NE(other.fingerprint(), base);
+  other = plan;
+  other.rate = 0.25;
+  EXPECT_NE(other.fingerprint(), base);
+  other = ch::ChaosPlan::parse("execute:transient:*:2");
+  EXPECT_NE(other.fingerprint(), base);
+  // Same configuration, same fingerprint — the replay-matching property.
+  EXPECT_EQ(ch::ChaosPlan::parse("execute:transient:*:1").fingerprint(),
+            base);
+}
+
+TEST(ChaosPlan, SiteAndKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < ch::kSiteCount; ++i) {
+    const ch::Site site = static_cast<ch::Site>(i);
+    EXPECT_EQ(ch::site_from_string(ch::to_string(site)), site);
+  }
+  for (ch::FaultKind kind :
+       {ch::FaultKind::transient, ch::FaultKind::permanent,
+        ch::FaultKind::corrupt, ch::FaultKind::slow, ch::FaultKind::stall})
+    EXPECT_EQ(ch::kind_from_string(ch::to_string(kind)), kind);
+  EXPECT_THROW(ch::site_from_string("nowhere"), u::PreconditionError);
+  EXPECT_THROW(ch::kind_from_string("never"), u::PreconditionError);
+}
+
+// --- Injector -----------------------------------------------------------
+
+TEST(ChaosInjector, OrderedSiteBudgetIsGlobalAcrossSubjects) {
+  ch::ChaosInjector inj(ch::ChaosPlan::parse("execute:transient:*:2"));
+  EXPECT_TRUE(inj.consult(ch::Site::execute, "a", 1).faulted);
+  EXPECT_TRUE(inj.consult(ch::Site::execute, "b", 1).faulted);
+  // Two injections spent the whole rule budget, whoever absorbed them.
+  EXPECT_FALSE(inj.consult(ch::Site::execute, "c", 1).faulted);
+  EXPECT_FALSE(inj.consult(ch::Site::execute, "a", 2).faulted);
+  EXPECT_EQ(inj.injected(), 2u);
+  EXPECT_EQ(inj.injected_at(ch::Site::execute), 2u);
+  EXPECT_EQ(inj.injected_at(ch::Site::store_spill), 0u);
+}
+
+TEST(ChaosInjector, ConcurrentSiteBudgetCountsPerSubject) {
+  // store_reload is consulted from worker threads, so a "*:1" budget is
+  // one injection PER SUBJECT — a global counter would make the outcome
+  // depend on which thread reached the injector first.
+  ch::ChaosInjector inj(ch::ChaosPlan::parse("store_reload:transient:*:1"));
+  EXPECT_TRUE(inj.consult(ch::Site::store_reload, "a", 1).faulted);
+  EXPECT_FALSE(inj.consult(ch::Site::store_reload, "a", 2).faulted);
+  EXPECT_TRUE(inj.consult(ch::Site::store_reload, "b", 1).faulted);
+  EXPECT_EQ(inj.injected_at(ch::Site::store_reload), 2u);
+}
+
+TEST(ChaosInjector, RulesFilterBySiteAndSubject) {
+  ch::ChaosInjector inj(ch::ChaosPlan::parse("execute:permanent:req-1:0"));
+  EXPECT_FALSE(inj.consult(ch::Site::execute, "req-2", 1).faulted);
+  EXPECT_FALSE(inj.consult(ch::Site::store_spill, "req-1", 1).faulted);
+  const ch::FaultDecision d = inj.consult(ch::Site::execute, "req-1", 1);
+  EXPECT_TRUE(d.faulted);
+  EXPECT_EQ(d.kind, ch::FaultKind::permanent);
+  EXPECT_EQ(d.rule, "execute:permanent:req-1:0:0");
+}
+
+TEST(ChaosInjector, FirstMatchingRuleDecides) {
+  ch::ChaosInjector inj(ch::ChaosPlan::parse(
+      "execute:stall:*:0:123;execute:transient:*:0"));
+  const ch::FaultDecision d = inj.consult(ch::Site::execute, "x", 1);
+  EXPECT_TRUE(d.faulted);
+  EXPECT_EQ(d.kind, ch::FaultKind::stall);
+  EXPECT_EQ(d.delay, 123.0);
+}
+
+TEST(ChaosInjector, SeededModeIsStatelessAndDeterministic) {
+  ch::ChaosPlan plan;  // no scripted rules
+  plan.seed = 42;
+  plan.rate = 0.5;
+  ch::ChaosInjector a(plan);
+  ch::ChaosInjector b(plan);
+  std::size_t faulted = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::string subject = "req-" + std::to_string(i);
+    const ch::FaultDecision da = a.consult(ch::Site::execute, subject, 1);
+    // Two injectors with the same plan agree; the same injector asked
+    // again agrees with itself (the decision is a pure hash, no state).
+    EXPECT_EQ(da.faulted, b.consult(ch::Site::execute, subject, 1).faulted);
+    EXPECT_EQ(da.faulted, a.consult(ch::Site::execute, subject, 1).faulted);
+    if (da.faulted) {
+      EXPECT_EQ(da.kind, ch::FaultKind::transient);
+      EXPECT_EQ(da.rule, "seeded");
+      ++faulted;
+    }
+  }
+  // rate = 0.5 over 64 draws: both all-faulted and none-faulted would
+  // mean the hash ignores its inputs.
+  EXPECT_GT(faulted, 0u);
+  EXPECT_LT(faulted, 64u);
+  // A certain rate faults every attempt; a zero rate never does.
+  plan.rate = 1.0;
+  EXPECT_TRUE(ch::ChaosInjector(plan)
+                  .consult(ch::Site::cache_shard, "k", 1)
+                  .faulted);
+  plan.rate = 0.0;
+  EXPECT_FALSE(ch::ChaosInjector(plan)
+                   .consult(ch::Site::cache_shard, "k", 1)
+                   .faulted);
+}
+
+TEST(ChaosInjector, OrderedSiteClassificationMatchesTheCallSites) {
+  EXPECT_TRUE(ch::ordered_site(ch::Site::spool_submit));
+  EXPECT_TRUE(ch::ordered_site(ch::Site::spool_claim));
+  EXPECT_TRUE(ch::ordered_site(ch::Site::spool_retire));
+  EXPECT_TRUE(ch::ordered_site(ch::Site::store_spill));
+  EXPECT_TRUE(ch::ordered_site(ch::Site::execute));
+  EXPECT_FALSE(ch::ordered_site(ch::Site::store_reload));
+  EXPECT_FALSE(ch::ordered_site(ch::Site::cache_shard));
+}
+
+// --- Circuit breaker ----------------------------------------------------
+
+TEST(CircuitBreaker, FullStateMachineInVirtualTime) {
+  ch::BreakerPolicy policy;
+  policy.failure_threshold = 2;
+  policy.cooldown = 10.0;
+  ch::CircuitBreaker breaker(policy);
+  EXPECT_EQ(breaker.state(), ch::BreakerState::closed);
+  EXPECT_TRUE(breaker.allow(0.0));
+
+  // Consecutive failures trip it; a success in between resets the count.
+  breaker.record_failure(1.0);
+  breaker.record_success(2.0);
+  breaker.record_failure(3.0);
+  EXPECT_EQ(breaker.state(), ch::BreakerState::closed);
+  breaker.record_failure(4.0);
+  EXPECT_EQ(breaker.state(), ch::BreakerState::open);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  // Open + inside the cooldown: denied, counted as short circuits.
+  EXPECT_FALSE(breaker.allow(5.0));
+  EXPECT_FALSE(breaker.allow(13.9));
+  EXPECT_EQ(breaker.short_circuits(), 2u);
+
+  // Cooldown elapsed: the next allow() is the half-open probe.
+  EXPECT_TRUE(breaker.allow(14.0));
+  EXPECT_EQ(breaker.state(), ch::BreakerState::half_open);
+  // A failed probe reopens and restarts the cooldown.
+  breaker.record_failure(14.5);
+  EXPECT_EQ(breaker.state(), ch::BreakerState::open);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow(20.0));  // 14.5 + 10 not yet reached
+  EXPECT_TRUE(breaker.allow(24.5));
+  breaker.record_success(25.0);
+  EXPECT_EQ(breaker.state(), ch::BreakerState::closed);
+  EXPECT_EQ(breaker.closes(), 1u);
+
+  // The transition history is chronological and complete.
+  const auto transitions = breaker.transitions();
+  ASSERT_EQ(transitions.size(), 5u);
+  for (std::size_t i = 1; i < transitions.size(); ++i)
+    EXPECT_LE(transitions[i - 1].time, transitions[i].time);
+  EXPECT_EQ(transitions.front().from, ch::BreakerState::closed);
+  EXPECT_EQ(transitions.front().to, ch::BreakerState::open);
+  EXPECT_EQ(transitions.back().to, ch::BreakerState::closed);
+  EXPECT_EQ(transitions.back().time, 25.0);
+}
+
+TEST(CircuitBreaker, StateNamesAreStable) {
+  EXPECT_EQ(ch::to_string(ch::BreakerState::closed), "closed");
+  EXPECT_EQ(ch::to_string(ch::BreakerState::open), "open");
+  EXPECT_EQ(ch::to_string(ch::BreakerState::half_open), "half-open");
+}
+
+// --- Incident log -------------------------------------------------------
+
+TEST(IncidentLog, SortedIsCanonicalWhateverTheAppendOrder) {
+  const auto make = [](double t, ch::Site site, const std::string& kind,
+                       const std::string& subject, int attempt) {
+    return ch::Incident{t, site, kind, subject, attempt, ""};
+  };
+  // Deliberately appended out of order, with ties at every sort level.
+  ch::IncidentLog log;
+  log.record(make(2.0, ch::Site::execute, "retry", "b", 1));
+  log.record(make(1.0, ch::Site::store_spill, "inject-transient", "k", 1));
+  log.record(make(2.0, ch::Site::execute, "retry", "a", 2));
+  log.record(make(2.0, ch::Site::execute, "inject-transient", "a", 1));
+  log.record(make(1.0, ch::Site::spool_claim, "inject-transient", "k", 1));
+  EXPECT_EQ(log.size(), 5u);
+
+  const std::vector<ch::Incident> sorted = log.sorted();
+  ASSERT_EQ(sorted.size(), 5u);
+  // (time, site, subject, attempt, kind, detail): time first, then the
+  // site's enum order (spool_claim < store_spill), then subject, then
+  // attempt, then kind.
+  EXPECT_EQ(sorted[0].site, ch::Site::spool_claim);
+  EXPECT_EQ(sorted[1].site, ch::Site::store_spill);
+  EXPECT_EQ(sorted[2].subject, "a");
+  EXPECT_EQ(sorted[2].attempt, 1);
+  EXPECT_EQ(sorted[3].subject, "a");
+  EXPECT_EQ(sorted[3].attempt, 2);
+  EXPECT_EQ(sorted[4].subject, "b");
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.sorted().empty());
+}
+
+TEST(IncidentLog, IncidentJsonIsFlatWithStableKeyOrder) {
+  const ch::Incident incident{627.93125, ch::Site::execute, "quarantine",
+                              "req-0000", 3, "retries exhausted"};
+  EXPECT_EQ(ch::incident_to_json(incident),
+            "{\"t\": 627.93125, \"site\": \"execute\", "
+            "\"kind\": \"quarantine\", \"subject\": \"req-0000\", "
+            "\"attempt\": 3, \"detail\": \"retries exhausted\"}");
+}
+
+// --- RecoveryPolicies ---------------------------------------------------
+
+TEST(RecoveryPolicies, ActiveOnlyWhenSomePolicyBites) {
+  ch::RecoveryPolicies p;
+  EXPECT_FALSE(p.active());  // defaults: no faults, no retry, no deadline
+  p.retry.max_attempts = 2;
+  EXPECT_TRUE(p.active());
+  p = ch::RecoveryPolicies{};
+  p.deadline = 100.0;
+  EXPECT_TRUE(p.active());
+  p = ch::RecoveryPolicies{};
+  p.plan = ch::ChaosPlan::parse("execute:transient:*:1");
+  EXPECT_TRUE(p.active());
+  p = ch::RecoveryPolicies{};
+  p.plan.rate = 0.1;  // seeded mode alone activates the engine
+  EXPECT_TRUE(p.active());
+}
+
+TEST(RecoveryPolicies, FingerprintCoversEveryPolicyLayer) {
+  ch::RecoveryPolicies p;
+  p.plan = ch::ChaosPlan::parse("execute:transient:*:1");
+  const std::uint64_t base = p.fingerprint();
+  ch::RecoveryPolicies q = p;
+  q.deadline = 4000.0;
+  EXPECT_NE(q.fingerprint(), base);
+  q = p;
+  q.retry.max_attempts = 3;
+  EXPECT_NE(q.fingerprint(), base);
+  q = p;
+  q.breaker.cooldown = 2000.0;
+  EXPECT_NE(q.fingerprint(), base);
+  q = p;
+  q.plan.seed = 9;
+  EXPECT_NE(q.fingerprint(), base);
+  EXPECT_EQ(ch::RecoveryPolicies(p).fingerprint(), base);
+}

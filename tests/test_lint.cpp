@@ -140,6 +140,19 @@ TEST(LintPlanKey, DriftAndMissingStructAreFindings) {
   EXPECT_EQ(got, want);
 }
 
+TEST(LintPlanKey, ManifestsAnywhereInSrcAreHonoredAndSelfAttributed) {
+  const auto got = lint_tree(fixture_path("plankey_scatter"));
+  // The anchor manifest in plan_key.cpp is clean; the stale one in
+  // src/policy/knobs.cpp must produce exactly one drift finding attributed
+  // to its own file, not to the anchor.
+  ASSERT_EQ(got.size(), 1u) << format_findings(got);
+  EXPECT_EQ(got[0].file, "src/policy/knobs.cpp");
+  EXPECT_EQ(got[0].line, 4);
+  EXPECT_EQ(got[0].rule, "plan-key-fields");
+  EXPECT_NE(got[0].message.find("RetryKnobs"), std::string::npos);
+  EXPECT_NE(got[0].message.find("src/policy/knobs.cpp"), std::string::npos);
+}
+
 TEST(LintRepo, TreeIsClean) {
   const auto findings = lint_tree(NESTWX_SOURCE_DIR);
   EXPECT_TRUE(findings.empty()) << format_findings(findings);

@@ -162,6 +162,18 @@ TEST(PlanStore, RejectsMissingFile) {
                io::CheckpointMissingError);
 }
 
+TEST(PlanStore, DistinguishesUnreadableFromMissing) {
+  // "missing" means never spilled (a plain cache miss); "unreadable"
+  // means the file is there but cannot be opened — a different failure
+  // with a different recovery (keep the file, count the incident).
+  const std::string dir = fresh_dir("plan_store_unreadable");
+  const std::string path = io::plan_store_path(dir, 3);
+  fs::create_directories(path);  // a directory squatting on the spill path
+  EXPECT_THROW(io::load_plan(path, 3), io::CheckpointUnreadableError);
+  // Both are CheckpointErrors, so existing catch-all recovery still works.
+  EXPECT_THROW(io::load_plan(path, 3), io::CheckpointError);
+}
+
 TEST(PlanStore, RejectsWrongKey) {
   // A renamed or spliced spill file must not satisfy the wrong request:
   // the stored fingerprint is part of the verified header.
@@ -320,6 +332,38 @@ TEST(ShardedCache, DamagedSpillFileIsCountedRemovedAndRecomputed) {
   EXPECT_FALSE(fs::exists(path)) << "damaged spill file must be removed";
   const auto stats = cache.sharded_stats();
   EXPECT_EQ(stats.spill_failures, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+}
+
+TEST(ShardedCache, UnreadableSpillFileIsCountedKeptAndRecomputed) {
+  const std::string spill = fresh_dir("sharded_unreadable");
+  sv::ShardedPlanCache::Options opt;
+  opt.shards = 1;
+  opt.shard_capacity = 1;
+  opt.spill_dir = spill;
+  sv::ShardedPlanCache cache(opt);
+
+  const std::uint64_t base = cache.reserve_stamps(2);
+  cache.get_or_compute(10, base + 0, [] { return tagged_plan(10.0); });
+  cache.get_or_compute(20, base + 1, [] { return tagged_plan(20.0); });
+  cache.trim();
+  const std::string path = io::plan_store_path(spill, 10);
+  ASSERT_TRUE(fs::exists(path));
+  // Replace the spill file with a directory squatting on its path: the
+  // reload cannot even open it — a distinct failure from damage.
+  fs::remove(path);
+  fs::create_directories(path);
+
+  // Unreadable is recomputed like damage, but the path is LEFT IN PLACE:
+  // it may recover, and "unreadable" must never masquerade as damage
+  // (which is evidence-destroying removal) or as "never spilled".
+  const auto plan =
+      cache.get_or_compute(10, [] { return tagged_plan(99.0); });
+  EXPECT_DOUBLE_EQ(tag_of(plan), 99.0);
+  EXPECT_TRUE(fs::exists(path)) << "unreadable spill path must be kept";
+  const auto stats = cache.sharded_stats();
+  EXPECT_EQ(stats.reload_failures, 1u);
+  EXPECT_EQ(stats.spill_failures, 0u);
   EXPECT_EQ(stats.reloads, 0u);
 }
 

@@ -1,0 +1,292 @@
+/// Chaos drains of the campaign service: scripted fault injection with
+/// typed recovery — backoff retries, per-request deadlines, poison
+/// quarantine, breaker-gated spill degradation — and the headline
+/// guarantee that a chaos drain's merged report is *still* byte-identical
+/// at 1, 2 and 8 worker threads and across same-seed replays, pinned
+/// against a golden file (regenerate deliberately with
+/// NESTWX_REGEN_GOLDEN=1).
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.hpp"
+#include "chaos/engine.hpp"
+#include "core/perf_model.hpp"
+#include "workload/machines.hpp"
+#include "wrfsim/driver.hpp"
+
+namespace sv = nestwx::serve;
+namespace ch = nestwx::chaos;
+namespace c = nestwx::core;
+namespace w = nestwx::workload;
+
+namespace {
+
+std::shared_ptr<const c::PerfModel> shared_model(int cores) {
+  static std::map<int, std::shared_ptr<const c::PerfModel>> cache;
+  auto& slot = cache[cores];
+  if (!slot) {
+    slot = std::make_shared<c::DelaunayPerfModel>(
+        c::DelaunayPerfModel::fit(nestwx::wrfsim::profile_basis(
+            w::bluegene_l(cores), c::default_basis_domains())));
+  }
+  return slot;
+}
+
+sv::CampaignServer make_server(sv::ServeOptions options) {
+  return sv::CampaignServer(w::bluegene_l(64), shared_model(64),
+                            std::move(options));
+}
+
+/// A small submit: 2 members × 10 iterations keeps policy tests quick.
+sv::Request submit(const std::string& id, double arrival, int priority,
+                   std::uint64_t seed) {
+  sv::Request r;
+  r.kind = sv::RequestKind::submit;
+  r.id = id;
+  r.arrival = arrival;
+  r.priority = priority;
+  r.seed = seed;
+  r.members = 2;
+  r.iterations = 10;
+  return r;
+}
+
+const sv::RequestOutcome& outcome_of(const sv::ServeReport& report,
+                                     const std::string& id) {
+  for (const auto& o : report.outcomes)
+    if (o.request.id == id) return o;
+  throw std::runtime_error("no outcome for " + id);
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(NESTWX_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("NESTWX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NESTWX_REGEN_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "report drifted from " << path
+      << "; if intentional, regenerate with NESTWX_REGEN_GOLDEN=1";
+}
+
+/// Baseline policies for the focused tests: scripted chaos, a 3-attempt
+/// retry budget, no deadline (tests opt in).
+sv::ServeOptions chaos_options(const std::string& script) {
+  sv::ServeOptions options;
+  ch::RecoveryPolicies& rp = options.resilience;
+  rp.plan = ch::ChaosPlan::parse(script);
+  rp.plan.seed = 42;
+  rp.retry.max_attempts = 3;
+  rp.retry.seed = 42;
+  return options;
+}
+
+bool has_incident(const sv::ServeReport& report, const std::string& kind,
+                  const std::string& subject) {
+  for (const auto& i : report.incidents)
+    if (i.kind == kind && i.subject == subject) return true;
+  return false;
+}
+
+}  // namespace
+
+// --- Focused recovery semantics -----------------------------------------
+
+TEST(ServeChaos, TransientFaultRetriesWithBackoffThenCompletes) {
+  // One transient injection (budget 1): attempt 1 faults and parks the
+  // request for a deterministic backoff; attempt 2 runs clean.
+  auto server = make_server(chaos_options("execute:transient:r0:1"));
+  const auto report =
+      server.execute(std::vector<sv::Request>{submit("r0", 0.0, 0, 100)});
+  const auto& out = outcome_of(report, "r0");
+  EXPECT_EQ(out.status, sv::OutcomeStatus::completed);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.executed);
+  // The retry's backoff delayed the service start past the arrival.
+  EXPECT_GT(out.start, 0.0);
+  EXPECT_EQ(report.metrics.retries, 1u);
+  EXPECT_EQ(report.metrics.completed, 1u);
+  EXPECT_EQ(report.metrics.quarantined, 0u);
+  EXPECT_EQ(report.metrics.faults_injected, 1u);
+  EXPECT_TRUE(has_incident(report, "inject-transient", "r0"));
+  EXPECT_TRUE(has_incident(report, "retry", "r0"));
+}
+
+TEST(ServeChaos, ExhaustedRetryBudgetQuarantines) {
+  // Unlimited transient faults: attempts 1 and 2 retry, attempt 3 spends
+  // the budget and the request is quarantined as poison.
+  auto server = make_server(chaos_options("execute:transient:r0:0"));
+  const auto report =
+      server.execute(std::vector<sv::Request>{submit("r0", 0.0, 0, 100)});
+  const auto& out = outcome_of(report, "r0");
+  EXPECT_EQ(out.status, sv::OutcomeStatus::quarantined);
+  EXPECT_EQ(out.detail, "quarantined after 3 attempt(s)");
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_FALSE(out.executed);
+  EXPECT_EQ(report.metrics.retries, 2u);
+  EXPECT_EQ(report.metrics.quarantined, 1u);
+  EXPECT_TRUE(has_incident(report, "quarantine", "r0"));
+}
+
+TEST(ServeChaos, PermanentFaultQuarantinesPrimaryAndCoalescedFollower) {
+  // busy serves first; r0 queues behind it and r1 coalesces onto r0.
+  // When r0 finally starts, the permanent fault skips the retry budget
+  // entirely — and the quarantine takes the follower down with it.
+  auto server = make_server(chaos_options("execute:permanent:r0:0"));
+  const std::vector<sv::Request> requests = {
+      submit("busy", 0.0, 0, 100),
+      submit("r0", 1e-3, 0, 200),
+      submit("r1", 2e-3, 0, 200),  // same work fingerprint as r0
+  };
+  const auto report = server.execute(requests);
+  EXPECT_EQ(outcome_of(report, "busy").status, sv::OutcomeStatus::completed);
+  const auto& r0 = outcome_of(report, "r0");
+  EXPECT_EQ(r0.status, sv::OutcomeStatus::quarantined);
+  EXPECT_EQ(r0.detail, "quarantined after 1 attempt(s)");
+  EXPECT_EQ(r0.attempts, 1);  // permanent: no retry attempted
+  const auto& r1 = outcome_of(report, "r1");
+  EXPECT_EQ(r1.status, sv::OutcomeStatus::quarantined);
+  EXPECT_EQ(r1.detail, "shared r0");
+  EXPECT_EQ(report.metrics.quarantined, 2u);
+  EXPECT_EQ(report.metrics.retries, 0u);
+}
+
+TEST(ServeChaos, StallPastTheDeadlineAbandonsTheExecution) {
+  sv::ServeOptions options = chaos_options("execute:stall:r0:1:100000");
+  options.resilience.deadline = 500.0;
+  auto server = make_server(std::move(options));
+  const auto report =
+      server.execute(std::vector<sv::Request>{submit("r0", 0.0, 0, 100)});
+  const auto& out = outcome_of(report, "r0");
+  EXPECT_EQ(out.status, sv::OutcomeStatus::timed_out);
+  EXPECT_EQ(out.detail, "deadline exceeded mid-service");
+  // The executor abandoned the request at the deadline instant: the
+  // campaign result is discarded and the machine freed there.
+  EXPECT_FALSE(out.executed);
+  EXPECT_EQ(out.finish, 500.0);
+  EXPECT_EQ(report.metrics.timeouts, 1u);
+  EXPECT_EQ(report.metrics.completed, 0u);
+  EXPECT_TRUE(has_incident(report, "inject-stall", "r0"));
+  EXPECT_TRUE(has_incident(report, "timeout", "r0"));
+  EXPECT_EQ(sv::to_string(sv::OutcomeStatus::timed_out), "timed-out");
+}
+
+TEST(ServeChaos, CacheShardFaultDegradesToDirectCompute) {
+  // Every sharded-cache access faults permanently: the service bypasses
+  // the cache and computes directly — degraded, never wrong.
+  auto server = make_server(chaos_options("cache_shard:permanent:*:0"));
+  const auto report =
+      server.execute(std::vector<sv::Request>{submit("r0", 0.0, 0, 100)});
+  EXPECT_EQ(outcome_of(report, "r0").status, sv::OutcomeStatus::completed);
+  EXPECT_GT(report.cache.cache_bypasses, 0u);
+  EXPECT_EQ(report.cache.total.hits + report.cache.total.misses, 0u);
+}
+
+TEST(ServeChaos, ResilienceSectionIsAlwaysInTheReport) {
+  // Chaos off: the engine is never created, but the report keeps its
+  // resilience section (all zeros) so the JSON shape never depends on
+  // the policy configuration.
+  auto server = make_server(sv::ServeOptions{});
+  EXPECT_EQ(server.engine(), nullptr);
+  const auto report =
+      server.execute(std::vector<sv::Request>{submit("r0", 0.0, 0, 100)});
+  const std::string json =
+      sv::report_to_json(report, server.machine(), server.options());
+  EXPECT_NE(json.find("\"resilience\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy_fingerprint\""), std::string::npos);
+  EXPECT_NE(json.find("\"incidents\": [\n    ]"), std::string::npos);
+  EXPECT_TRUE(report.incidents.empty());
+}
+
+// --- The headline guarantee, under fire ---------------------------------
+
+TEST(ServeChaos, ScriptedChaosDrainIsByteIdenticalAtAnyThreadCount) {
+  // 200 mixed-priority requests under a three-pronged assault: a poison
+  // request (unlimited transient faults on req-0000 outlive the 3-attempt
+  // budget), one executor stall long enough to blow the 4000 s deadline,
+  // and nine transient spill failures that trip the breaker (threshold 3)
+  // into memory-only degradation until its 2000 s cooldown probe heals
+  // it. The merged report — counters, incident log, breaker transitions —
+  // must stay byte-identical at 1, 2 and 8 worker threads and across
+  // same-seed replays.
+  // Round-trip the workload through the spool's JSON encoding first: the
+  // CI chaos-smoke job drains this exact spool with nestwx-serve and
+  // diffs against the same golden, and %.12g request serialisation is
+  // what the daemon actually sees.
+  std::vector<sv::Request> requests;
+  for (const auto& r : sv::generate_requests(7, 200, 30.0))
+    requests.push_back(sv::parse_request(sv::to_json(r), r.id));
+  const auto run = [&](int threads) {
+    sv::ServeOptions options;
+    options.threads = threads;
+    options.queue_depth = 16;
+    options.aging_rate = 0.01;
+    options.cache.shards = 4;
+    options.cache.shard_capacity = 2;
+    options.cache.spill_dir = fresh_dir("serve_chaos_spill");
+    ch::RecoveryPolicies& rp = options.resilience;
+    rp.plan = ch::ChaosPlan::parse(
+        "execute:transient:req-0000:0;"
+        "execute:stall:req-0137:1:100000;"
+        "store_spill:transient:*:9");
+    rp.plan.seed = 42;
+    rp.retry.max_attempts = 3;
+    rp.retry.base_backoff = 5.0;
+    rp.retry.seed = 42;
+    rp.deadline = 4000.0;
+    rp.breaker.failure_threshold = 3;
+    rp.breaker.cooldown = 2000.0;
+    auto server = make_server(std::move(options));
+    const auto report = server.execute(requests);
+    return std::make_pair(
+        sv::report_to_json(report, server.machine(), server.options()),
+        report.metrics);
+  };
+
+  const auto [baseline, metrics] = run(8);
+  // The drain degraded gracefully instead of hanging or crashing: the
+  // poison request quarantined, the stall timed out, the breaker tripped
+  // on the spill disk and later healed.
+  EXPECT_GE(metrics.quarantined, 1u);
+  EXPECT_GE(metrics.retries, 2u);
+  EXPECT_GE(metrics.timeouts, 1u);
+  EXPECT_EQ(metrics.breaker_trips, 1u);
+  EXPECT_EQ(metrics.breaker_closes, 1u);
+  EXPECT_GT(metrics.faults_injected, 0u);
+  EXPECT_GT(metrics.completed, 0u);
+
+  EXPECT_EQ(run(1).first, baseline) << "1-thread chaos drain diverged";
+  EXPECT_EQ(run(2).first, baseline) << "2-thread chaos drain diverged";
+  EXPECT_EQ(run(8).first, baseline) << "same-seed chaos replay diverged";
+  check_golden("serve_chaos_report.json", baseline);
+}

@@ -10,12 +10,16 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos/chaos_plan.hpp"
+#include "chaos/engine.hpp"
 #include "serve/request.hpp"
 
 namespace sv = nestwx::serve;
+namespace ch = nestwx::chaos;
 namespace fs = std::filesystem;
 
 namespace {
@@ -35,6 +39,15 @@ std::string read_file(const std::string& path) {
 const char* kGoodSubmit =
     "{\"kind\": \"submit\", \"id\": \"r1\", \"arrival\": 5.0, "
     "\"seed\": 7, \"members\": 3}";
+
+/// A chaos engine for spool-boundary tests: scripted plan, bounded retry.
+std::shared_ptr<ch::ChaosEngine> make_engine(const std::string& script,
+                                             int max_attempts) {
+  ch::RecoveryPolicies policies;
+  policies.plan = ch::ChaosPlan::parse(script);
+  policies.retry.max_attempts = max_attempts;
+  return std::make_shared<ch::ChaosEngine>(std::move(policies));
+}
 
 }  // namespace
 
@@ -248,6 +261,114 @@ TEST(Spool, RecoverOnACleanSpoolIsANoop) {
   sv::Spool::submit(dir, "r1", kGoodSubmit);
   EXPECT_EQ(spool.recover(), 0u);
   EXPECT_EQ(spool.pending(), 1u);
+}
+
+TEST(Spool, RequeuePreservesTheOriginalSubmitOrderName) {
+  // A re-queued request must go back under its ORIGINAL name: the name is
+  // the submit-order key (claims are lexicographic), so minting a fresh
+  // one would silently reorder the next drain and break replayability.
+  const std::string dir = fresh_dir("spool_requeue");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "req-0001", kGoodSubmit);
+  sv::Spool::submit(dir, "req-0002", kGoodSubmit);
+  const auto claimed = spool.claim_pending();
+  ASSERT_EQ(claimed.size(), 2u);
+  EXPECT_EQ(spool.pending(), 0u);
+
+  // Put both back (reverse order on purpose — order must come from the
+  // names, not from the requeue sequence).
+  spool.requeue(claimed[1]);
+  spool.requeue(claimed[0]);
+  EXPECT_TRUE(fs::exists(dir + "/req-0001.req"));
+  EXPECT_TRUE(fs::exists(dir + "/req-0002.req"));
+  EXPECT_FALSE(fs::exists(claimed[0].claimed_path));
+  EXPECT_EQ(spool.pending(), 2u);
+
+  const auto reclaimed = spool.claim_pending();
+  ASSERT_EQ(reclaimed.size(), 2u);
+  EXPECT_EQ(reclaimed[0].name, "req-0001");
+  EXPECT_EQ(reclaimed[1].name, "req-0002");
+  EXPECT_EQ(reclaimed[0].text, kGoodSubmit);
+}
+
+// --- Spool chaos boundaries ---------------------------------------------
+
+TEST(SpoolChaos, TransientSubmitFaultRetriesWithinTheBudget) {
+  const std::string dir = fresh_dir("spool_chaos_submit");
+  sv::Spool spool(dir);
+  spool.set_engine(make_engine("spool_submit:transient:r1:1", 2));
+  spool.submit("r1", kGoodSubmit);
+  EXPECT_EQ(spool.chaos_counters().submit_retries, 1u);
+  EXPECT_EQ(read_file(dir + "/r1.req"), kGoodSubmit);
+  // A permanent fault throws with the deciding rule in the message.
+  spool.set_engine(make_engine("spool_submit:permanent:r2:0", 2));
+  EXPECT_THROW(spool.submit("r2", kGoodSubmit), sv::SpoolError);
+  EXPECT_FALSE(fs::exists(dir + "/r2.req"));
+}
+
+TEST(SpoolChaos, TransientClaimFaultDefersThenQuarantinesOnExhaustion) {
+  const std::string dir = fresh_dir("spool_chaos_claim");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "evil", kGoodSubmit);
+  sv::Spool::submit(dir, "ok", kGoodSubmit);
+  spool.set_engine(make_engine("spool_claim:transient:evil:0", 2));
+
+  // Pass 1: "evil" is deferred (stays pending), "ok" claims normally.
+  const auto first = spool.claim_pending();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].name, "ok");
+  EXPECT_EQ(spool.chaos_counters().claim_deferrals, 1u);
+  EXPECT_EQ(spool.pending(), 1u);
+
+  // Pass 2: attempt 2 spends the retry budget — quarantined to rejected/
+  // instead of looping forever.
+  EXPECT_TRUE(spool.claim_pending().empty());
+  EXPECT_EQ(spool.chaos_counters().quarantined, 1u);
+  EXPECT_EQ(spool.pending(), 0u);
+  EXPECT_EQ(read_file(dir + "/rejected/evil.req"), kGoodSubmit);
+  const std::string reason = read_file(dir + "/rejected/evil.error");
+  EXPECT_NE(reason.find("quarantined at spool_claim"), std::string::npos);
+}
+
+TEST(SpoolChaos, CorruptClaimScramblesThePayloadForTheParser) {
+  // A corrupt claim delivers garbage, not an error: the scrambled payload
+  // flows through the normal malformed-request rejection path.
+  const std::string dir = fresh_dir("spool_chaos_corrupt");
+  sv::Spool spool(dir);
+  sv::Spool::submit(dir, "bad", kGoodSubmit);
+  spool.set_engine(make_engine("spool_claim:corrupt:bad:0", 1));
+  const auto claimed = spool.claim_pending();
+  ASSERT_EQ(claimed.size(), 1u);
+  EXPECT_NE(claimed[0].text, kGoodSubmit);
+  EXPECT_EQ(spool.chaos_counters().corrupted, 1u);
+  EXPECT_THROW(sv::parse_request(claimed[0].text, claimed[0].name),
+               sv::RequestParseError);
+}
+
+TEST(SpoolChaos, TerminalRetireFaultLeavesTheFileClaimedForRecovery) {
+  // A retire that fails terminally leaves the file claimed — exactly the
+  // crash shape recover() already re-queues — and the next (healthy)
+  // daemon finishes the job.
+  const std::string dir = fresh_dir("spool_chaos_retire");
+  {
+    sv::Spool daemon1(dir);
+    sv::Spool::submit(dir, "r1", kGoodSubmit);
+    daemon1.set_engine(make_engine("spool_retire:transient:r1:0", 2));
+    const auto claimed = daemon1.claim_pending();
+    ASSERT_EQ(claimed.size(), 1u);
+    EXPECT_THROW(daemon1.complete(claimed[0], "{}\n"), sv::SpoolError);
+    EXPECT_EQ(daemon1.chaos_counters().retire_retries, 1u);
+    EXPECT_EQ(daemon1.chaos_counters().retire_failures, 1u);
+    EXPECT_TRUE(fs::exists(claimed[0].claimed_path));
+    EXPECT_FALSE(fs::exists(dir + "/done/r1.json"));
+  }
+  sv::Spool daemon2(dir);  // no chaos engine: the disk healed
+  EXPECT_EQ(daemon2.recover(), 1u);
+  const auto reclaimed = daemon2.claim_pending();
+  ASSERT_EQ(reclaimed.size(), 1u);
+  EXPECT_EQ(reclaimed[0].name, "r1");
+  daemon2.complete(reclaimed[0], "{}\n");
+  EXPECT_EQ(read_file(dir + "/done/r1.req"), kGoodSubmit);
 }
 
 TEST(Spool, CorruptSpoolFileSurvivesTheCrashLoop) {

@@ -1,0 +1,91 @@
+/// Retry-policy semantics: the attempt budget, the deterministic jittered
+/// exponential backoff (a pure function of policy, subject and attempt —
+/// the property that keeps chaos replays byte-identical), and the cap.
+
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace u = nestwx::util;
+
+TEST(RetryPolicy, AttemptBudgetBoundsRetries) {
+  u::RetryPolicy three;
+  three.max_attempts = 3;
+  EXPECT_TRUE(three.allows_retry(1));   // attempt 2 may follow
+  EXPECT_TRUE(three.allows_retry(2));   // attempt 3 may follow
+  EXPECT_FALSE(three.allows_retry(3));  // budget spent
+
+  const u::RetryPolicy one;  // default: max_attempts = 1, no retry ever
+  EXPECT_EQ(one.max_attempts, 1);
+  EXPECT_FALSE(one.allows_retry(1));
+}
+
+TEST(RetryPolicy, BackoffIsAPureFunctionOfPolicySubjectAndAttempt) {
+  u::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.seed = 42;
+  const std::uint64_t subject = 0x1234;
+  const double first = policy.backoff_before(3, subject);
+  // Same (policy, subject, attempt) — same backoff, however many other
+  // draws happen in between.
+  policy.backoff_before(2, 999);
+  policy.backoff_before(4, subject);
+  EXPECT_EQ(policy.backoff_before(3, subject), first);
+
+  // A copy of the policy draws the identical stream.
+  const u::RetryPolicy copy = policy;
+  EXPECT_EQ(copy.backoff_before(3, subject), first);
+
+  // Different subjects and seeds decorrelate the jitter.
+  EXPECT_NE(policy.backoff_before(3, subject + 1), first);
+  u::RetryPolicy reseeded = policy;
+  reseeded.seed = 43;
+  EXPECT_NE(reseeded.backoff_before(3, subject), first);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyWithinJitterBounds) {
+  u::RetryPolicy policy;  // base 5, multiplier 2, cap 60, jitter 0.1
+  policy.seed = 7;
+  for (std::uint64_t subject : {0ull, 1ull, 0xDEADBEEFull}) {
+    double nominal = policy.base_backoff;
+    for (int attempt = 2; attempt <= 8; ++attempt) {
+      const double b = policy.backoff_before(attempt, subject);
+      EXPECT_GE(b, nominal * (1.0 - policy.jitter)) << attempt;
+      EXPECT_LT(b, nominal * (1.0 + policy.jitter)) << attempt;
+      nominal = std::min(nominal * policy.multiplier, policy.max_backoff);
+    }
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsExactExponentialWithCap) {
+  u::RetryPolicy policy;
+  policy.jitter = 0.0;  // base 5, multiplier 2, cap 60
+  EXPECT_EQ(policy.backoff_before(2, 0), 5.0);
+  EXPECT_EQ(policy.backoff_before(3, 0), 10.0);
+  EXPECT_EQ(policy.backoff_before(4, 0), 20.0);
+  EXPECT_EQ(policy.backoff_before(5, 0), 40.0);
+  EXPECT_EQ(policy.backoff_before(6, 0), 60.0);  // 80 clipped to the cap
+  EXPECT_EQ(policy.backoff_before(9, 0), 60.0);  // stays at the cap
+}
+
+TEST(RetryPolicy, BackoffPreconditionsAreEnforced) {
+  const u::RetryPolicy policy;
+  // Backoff precedes a RE-attempt: attempt 1 never waits.
+  EXPECT_THROW(policy.backoff_before(1, 0), u::PreconditionError);
+  u::RetryPolicy bad = policy;
+  bad.jitter = 1.0;  // jitter must lie in [0, 1)
+  EXPECT_THROW(bad.backoff_before(2, 0), u::PreconditionError);
+  bad = policy;
+  bad.base_backoff = -1.0;
+  EXPECT_THROW(bad.backoff_before(2, 0), u::PreconditionError);
+}
+
+TEST(RetryPolicy, OutcomeNamesAreStable) {
+  EXPECT_STREQ(u::to_string(u::RetryOutcome::succeeded), "succeeded");
+  EXPECT_STREQ(u::to_string(u::RetryOutcome::exhausted), "exhausted");
+  EXPECT_STREQ(u::to_string(u::RetryOutcome::permanent), "permanent");
+}

@@ -390,6 +390,22 @@ std::string read_file(const fs::path& path) {
   return ss.str();
 }
 
+/// Every C++ source under <root>/src, sorted for deterministic reports.
+std::vector<fs::path> source_files(const std::string& root) {
+  std::vector<fs::path> files;
+  const fs::path src = fs::path(root) / "src";
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
 }  // namespace
 
 int count_struct_fields(const std::string& header_content,
@@ -488,48 +504,60 @@ void lint_source(const std::string& rel_path, const std::string& content,
 }
 
 void lint_plan_key(const std::string& root, std::vector<Finding>& out) {
-  const std::string manifest_rel = "src/core/plan_key.cpp";
-  const fs::path manifest_path = fs::path(root) / manifest_rel;
-  if (!fs::exists(manifest_path)) return;  // fixture trees without one
-  const std::string content = read_file(manifest_path);
+  // The canonical manifest lives next to the plan-key fingerprint; a
+  // tree without it (most lint fixtures) opts out of the rule entirely.
+  const std::string anchor_rel = "src/core/plan_key.cpp";
+  if (!fs::exists(fs::path(root) / anchor_rel)) return;
 
+  // Manifest entries may live in ANY source file: each subsystem
+  // registers the structs feeding its own fingerprint (core's plan key
+  // in plan_key.cpp, the chaos layer's policy fingerprint in
+  // chaos_plan.cpp) next to that fingerprint's implementation, and a
+  // finding points at the pragma that made the claim.
   static const std::regex entry_re(
       R"(nestwx-lint:\s*plan-key-fields\(\s*([^:()\s]+)\s*:\s*(\w+)\s*=\s*(\d+)\s*\))");
-  const std::vector<std::string> lines = split_lines(content);
   bool any = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(lines[i], m, entry_re)) continue;
-    any = true;
-    const int lineno = static_cast<int>(i) + 1;
-    const std::string header_rel = m[1].str();
-    const std::string struct_name = m[2].str();
-    const int expected = std::stoi(m[3].str());
-    const fs::path header_path = fs::path(root) / header_rel;
-    if (!fs::exists(header_path)) {
-      out.push_back({manifest_rel, lineno, "plan-key-fields",
-                     "manifest names missing header " + header_rel});
-      continue;
+  for (const fs::path& file : source_files(root)) {
+    const std::string manifest_rel =
+        fs::relative(file, fs::path(root)).generic_string();
+    const std::vector<std::string> lines = split_lines(read_file(file));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(lines[i], m, entry_re)) continue;
+      any = true;
+      const int lineno = static_cast<int>(i) + 1;
+      const std::string header_rel = m[1].str();
+      const std::string struct_name = m[2].str();
+      const int expected = std::stoi(m[3].str());
+      const fs::path header_path = fs::path(root) / header_rel;
+      if (!fs::exists(header_path)) {
+        out.push_back({manifest_rel, lineno, "plan-key-fields",
+                       "manifest names missing header " + header_rel});
+        continue;
+      }
+      const int actual =
+          count_struct_fields(read_file(header_path), struct_name);
+      if (actual < 0) {
+        out.push_back({manifest_rel, lineno, "plan-key-fields",
+                       "struct " + struct_name + " not found in " +
+                           header_rel});
+        continue;
+      }
+      if (actual != expected)
+        out.push_back(
+            {manifest_rel, lineno, "plan-key-fields",
+             struct_name + " in " + header_rel + " has " +
+                 std::to_string(actual) +
+                 " fields but the manifest says " +
+                 std::to_string(expected) +
+                 ": if you added a policy or planning input, extend the "
+                 "owning fingerprint() to mix it, then update the "
+                 "manifest count in " +
+                 manifest_rel});
     }
-    const int actual =
-        count_struct_fields(read_file(header_path), struct_name);
-    if (actual < 0) {
-      out.push_back({manifest_rel, lineno, "plan-key-fields",
-                     "struct " + struct_name + " not found in " +
-                         header_rel});
-      continue;
-    }
-    if (actual != expected)
-      out.push_back(
-          {manifest_rel, lineno, "plan-key-fields",
-           struct_name + " in " + header_rel + " has " +
-               std::to_string(actual) + " fields but the manifest says " +
-               std::to_string(expected) +
-               ": if you added a planning input, extend fingerprint() in " +
-               manifest_rel + " to mix it, then update the manifest count"});
   }
   if (!any)
-    out.push_back({manifest_rel, 0, "plan-key-fields",
+    out.push_back({anchor_rel, 0, "plan-key-fields",
                    "no plan-key-fields manifest found; planning-input "
                    "structs must be registered so fingerprint coverage "
                    "is checked"});
@@ -537,18 +565,7 @@ void lint_plan_key(const std::string& root, std::vector<Finding>& out) {
 
 std::vector<Finding> lint_tree(const std::string& root) {
   std::vector<Finding> out;
-  std::vector<fs::path> files;
-  const fs::path src = fs::path(root) / "src";
-  if (fs::exists(src)) {
-    for (const auto& entry : fs::recursive_directory_iterator(src)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-        files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());  // deterministic report order
-  for (const fs::path& file : files) {
+  for (const fs::path& file : source_files(root)) {
     const std::string rel =
         fs::relative(file, fs::path(root)).generic_string();
     lint_source(rel, read_file(file), out);

@@ -27,9 +27,22 @@
 ///   --gen-seed=S             request generator seed             [7]
 ///   --gen-gap=G              mean inter-arrival gap, virtual s  [50]
 ///
+/// Chaos / recovery flags (see docs/architecture.md, "Chaos and
+/// recovery policies"):
+///   --chaos=SCRIPT           scripted fault plan, ';'-joined
+///                            site:kind:subject[:max_hits[:delay]] rules
+///   --chaos-seed=S           seed for rate-mode faults + retry jitter [0]
+///   --chaos-rate=R           seeded fault probability per attempt    [0]
+///   --retry=N                max attempts per boundary               [1]
+///   --retry-base=B           base backoff, virtual seconds           [5]
+///   --deadline=D             per-request virtual deadline (0 = none) [0]
+///   --breaker-threshold=N    spill-breaker consecutive failures      [3]
+///   --breaker-cooldown=C     spill-breaker cooldown, virtual s       [600]
+///
 /// The merged report and every per-request response in done/ are
 /// deterministic: byte-identical for the same spool content at any
-/// --threads value.
+/// --threads value — with or without chaos (injected faults live in
+/// virtual time, so a chaos drain is replayable exactly).
 
 #include <chrono>
 #include <fstream>
@@ -53,6 +66,16 @@ using namespace nestwx;
 std::size_t drain_once(serve::Spool& spool, serve::CampaignServer& server,
                        const std::string& json_path) {
   std::vector<serve::ClaimedRequest> claimed = spool.claim_pending();
+  // Under chaos, a transient claim fault defers its file (left pending);
+  // re-claiming advances its attempt number, so every deferred file
+  // either claims or quarantines within the retry budget. Bound the
+  // passes by that budget — the drain must never wedge on one bad file.
+  const int max_passes =
+      std::max(1, server.options().resilience.retry.max_attempts);
+  for (int pass = 1; pass < max_passes && spool.pending() > 0; ++pass) {
+    std::vector<serve::ClaimedRequest> more = spool.claim_pending();
+    for (auto& file : more) claimed.push_back(std::move(file));
+  }
   if (claimed.empty()) return 0;
 
   std::vector<serve::Request> requests;
@@ -82,10 +105,20 @@ std::size_t drain_once(serve::Spool& spool, serve::CampaignServer& server,
 
   // Retire the spool files with their responses. Outcomes [0, n) are the
   // claimed requests in claim order; synthesised re-plans follow and have
-  // no spool file of their own.
-  for (std::size_t i = 0; i < sources.size(); ++i)
-    spool.complete(*sources[i],
-                   serve::outcome_to_json(report.outcomes[i]) + "\n");
+  // no spool file of their own. A retire that fails terminally under
+  // chaos leaves its file claimed — exactly the crash shape the next
+  // daemon's recover() re-queues — and must not abort the other retires.
+  std::size_t retire_failed = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    try {
+      spool.complete(*sources[i],
+                     serve::outcome_to_json(report.outcomes[i]) + "\n");
+    } catch (const serve::SpoolError& e) {
+      ++retire_failed;
+      std::cout << "retire failed (file stays claimed): " << e.what()
+                << "\n";
+    }
+  }
 
   const serve::ServeMetrics& m = report.metrics;
   std::cout << "drain: " << m.submitted << " submitted, " << m.completed
@@ -108,6 +141,19 @@ std::size_t drain_once(serve::Spool& spool, serve::CampaignServer& server,
             << c.total.evictions << " evicted, " << c.spills << " spilled, "
             << c.reloads << " reloaded, " << c.spill_failures
             << " damaged spill(s), " << c.total.size << " resident\n";
+  if (server.engine()) {
+    std::cout << "resilience: " << m.faults_injected << " fault(s) injected, "
+              << m.retries << " retried, " << m.timeouts << " timed out, "
+              << m.quarantined << " quarantined, breaker "
+              << m.breaker_trips << " trip(s)/" << m.breaker_closes
+              << " close(s), " << c.spill_skips << " spill(s) skipped, "
+              << c.cache_bypasses << " cache bypass(es)\n";
+    const serve::SpoolChaosCounters& sc = spool.chaos_counters();
+    std::cout << "spool chaos: " << sc.claim_deferrals << " claim(s) deferred, "
+              << sc.quarantined << " quarantined at claim, " << sc.corrupted
+              << " corrupted, " << sc.retire_retries << " retire retry(ies), "
+              << retire_failed << " retire(s) failed\n";
+  }
   std::cout << "wall: " << util::Table::num(wall, 2) << " s\n";
 
   if (!json_path.empty()) {
@@ -156,6 +202,17 @@ int main(int argc, char** argv) {
     options.cache.shard_capacity =
         static_cast<std::size_t>(cli.get_int("shard-capacity", 0));
     options.cache.spill_dir = cli.get("spill-dir", "");
+    chaos::RecoveryPolicies& rp = options.resilience;
+    rp.plan = chaos::ChaosPlan::parse(cli.get("chaos", ""));
+    rp.plan.seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
+    rp.plan.rate = cli.get_double("chaos-rate", 0.0);
+    rp.retry.max_attempts = static_cast<int>(cli.get_int("retry", 1));
+    rp.retry.base_backoff = cli.get_double("retry-base", 5.0);
+    rp.retry.seed = rp.plan.seed;
+    rp.deadline = cli.get_double("deadline", 0.0);
+    rp.breaker.failure_threshold =
+        static_cast<int>(cli.get_int("breaker-threshold", 3));
+    rp.breaker.cooldown = cli.get_double("breaker-cooldown", 600.0);
 
     serve::Spool spool(spool_dir);
     const std::size_t recovered = spool.recover();
@@ -173,6 +230,13 @@ int main(int argc, char** argv) {
               << "\n";
     std::cout << "fitting perf model...\n";
     auto server = serve::CampaignServer::with_profiled_model(machine, options);
+    if (auto engine = server.engine()) {
+      // One engine across every boundary: server, cache and spool share
+      // the same rule budgets and retry policy.
+      spool.set_engine(engine);
+      std::cout << "chaos engine active: policy fingerprint 0x" << std::hex
+                << engine->policies().fingerprint() << std::dec << "\n";
+    }
 
     const std::string json_path = cli.get("json", "");
     drain_once(spool, server, json_path);
